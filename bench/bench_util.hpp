@@ -1,0 +1,59 @@
+// Shared helpers for the table-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "apps/specs.hpp"
+#include "binsim/compiler.hpp"
+#include "cg/call_graph.hpp"
+#include "cg/metacg_builder.hpp"
+#include "dyncapi/process_symbol_oracle.hpp"
+#include "select/selection_driver.hpp"
+#include "support/strings.hpp"
+
+namespace capi::bench {
+
+/// A prepared application: model, whole-program CG and compiled images.
+struct PreparedApp {
+    std::string name;
+    binsim::AppModel model;
+    cg::CallGraph graph;
+    binsim::CompiledProgram compiled;
+};
+
+inline PreparedApp prepare(std::string name, binsim::AppModel model,
+                           const binsim::CompileOptions& options = [] {
+                               binsim::CompileOptions o;
+                               o.xrayThreshold.instructionThreshold = 1;
+                               return o;
+                           }()) {
+    PreparedApp app;
+    app.name = std::move(name);
+    cg::MetaCgBuilder builder;
+    app.graph = builder.build(model.toSourceModel());
+    app.compiled = binsim::compile(model, options);
+    app.model = std::move(model);
+    return app;
+}
+
+/// Runs one of the paper's selection specs against a prepared app.
+inline select::SelectionReport runPaperSelection(const PreparedApp& app,
+                                                 const std::string& specName,
+                                                 const std::string& specText) {
+    static spec::ModuleResolver resolver = apps::bundledResolver();
+    dyncapi::ProcessSymbolOracle oracle(app.compiled);
+    select::SelectionOptions options;
+    options.specText = specText;
+    options.specName = specName;
+    options.resolver = &resolver;
+    options.symbolOracle = &oracle;
+    return select::runSelection(app.graph, options);
+}
+
+inline void printRule(char c = '-', int width = 86) {
+    for (int i = 0; i < width; ++i) std::putchar(c);
+    std::putchar('\n');
+}
+
+}  // namespace capi::bench

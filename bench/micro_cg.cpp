@@ -1,0 +1,68 @@
+// Micro-benchmarks of the MetaCG substrate: local construction, whole-program
+// merge and JSON (de)serialization throughput.
+#include <benchmark/benchmark.h>
+
+#include "apps/lulesh.hpp"
+#include "apps/openfoam.hpp"
+#include "cg/metacg_builder.hpp"
+#include "cg/metacg_json.hpp"
+
+namespace {
+
+using namespace capi;
+
+binsim::AppModel modelOfSize(std::uint32_t nodes) {
+    apps::OpenFoamParams params;
+    params.targetNodes = nodes;
+    return apps::makeOpenFoam(params);
+}
+
+void BM_BuildWholeProgramCg(benchmark::State& state) {
+    binsim::AppModel model = modelOfSize(static_cast<std::uint32_t>(state.range(0)));
+    cg::SourceModel source = model.toSourceModel();
+    for (auto _ : state) {
+        cg::MetaCgBuilder builder;
+        cg::CallGraph graph = builder.build(source);
+        benchmark::DoNotOptimize(graph.size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildWholeProgramCg)->Arg(10000)->Arg(50000);
+
+void BM_MetaCgToJson(benchmark::State& state) {
+    binsim::AppModel model = modelOfSize(static_cast<std::uint32_t>(state.range(0)));
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+    for (auto _ : state) {
+        std::string text = cg::toMetaCgJson(graph).dump();
+        benchmark::DoNotOptimize(text.size());
+        state.counters["bytes"] = static_cast<double>(text.size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MetaCgToJson)->Arg(10000)->Arg(50000);
+
+void BM_MetaCgFromJson(benchmark::State& state) {
+    binsim::AppModel model = modelOfSize(static_cast<std::uint32_t>(state.range(0)));
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+    std::string text = cg::toMetaCgJson(graph).dump();
+    for (auto _ : state) {
+        cg::CallGraph parsed = cg::fromMetaCgJson(support::Json::parse(text));
+        benchmark::DoNotOptimize(parsed.size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MetaCgFromJson)->Arg(10000)->Arg(50000);
+
+void BM_LuleshModelGeneration(benchmark::State& state) {
+    for (auto _ : state) {
+        binsim::AppModel model = apps::makeLulesh();
+        benchmark::DoNotOptimize(model.functions.size());
+    }
+}
+BENCHMARK(BM_LuleshModelGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Micro-benchmarks of selector evaluation: how the Table I "Time" column
+// scales with call-graph size for the interesting selector types.
+#include <benchmark/benchmark.h>
+
+#include "apps/openfoam.hpp"
+#include "apps/specs.hpp"
+#include "cg/metacg_builder.hpp"
+#include "select/pipeline.hpp"
+#include "spec/parser.hpp"
+
+namespace {
+
+using namespace capi;
+
+/// Cache of scaled OpenFOAM graphs (construction excluded from timing).
+const cg::CallGraph& graphOfSize(std::uint32_t nodes) {
+    static std::map<std::uint32_t, cg::CallGraph> cache;
+    auto it = cache.find(nodes);
+    if (it == cache.end()) {
+        apps::OpenFoamParams params;
+        params.targetNodes = nodes;
+        cg::MetaCgBuilder builder;
+        it = cache.emplace(nodes, builder.build(apps::makeOpenFoam(params).toSourceModel()))
+                 .first;
+    }
+    return it->second;
+}
+
+void runSpecBench(benchmark::State& state, const std::string& specText) {
+    const cg::CallGraph& graph = graphOfSize(static_cast<std::uint32_t>(state.range(0)));
+    static spec::ModuleResolver resolver = apps::bundledResolver();
+    spec::SpecAst ast = spec::parseSpec(specText, resolver);
+    select::Pipeline pipeline(ast);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pipeline.run(graph).result.count());
+    }
+    state.SetItemsProcessed(state.iterations() * graph.size());
+}
+
+void BM_MetricSelector(benchmark::State& state) {
+    runSpecBench(state, "flops(\">=\", 10, loopDepth(\">=\", 1, %%))");
+}
+BENCHMARK(BM_MetricSelector)->Arg(10000)->Arg(50000)->Arg(200000);
+
+void BM_OnCallPathTo(benchmark::State& state) {
+    runSpecBench(state, apps::kernelsSpec());
+}
+BENCHMARK(BM_OnCallPathTo)->Arg(10000)->Arg(50000)->Arg(200000);
+
+void BM_CoarseSelector(benchmark::State& state) {
+    runSpecBench(state, apps::kernelsCoarseSpec());
+}
+BENCHMARK(BM_CoarseSelector)->Arg(10000)->Arg(50000)->Arg(200000);
+
+void BM_StatementAggregation(benchmark::State& state) {
+    runSpecBench(state, "statementAggregation(\">=\", 100)");
+}
+BENCHMARK(BM_StatementAggregation)->Arg(10000)->Arg(50000)->Arg(200000);
+
+void BM_MpiSpecFull(benchmark::State& state) {
+    runSpecBench(state, apps::mpiSpec());
+}
+BENCHMARK(BM_MpiSpecFull)->Arg(10000)->Arg(50000)->Arg(200000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

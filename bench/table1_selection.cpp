@@ -1,0 +1,67 @@
+// Reproduces Table I: SELECTION RESULTS.
+//
+// For {lulesh, openfoam} x {mpi, mpi coarse, kernels, kernels coarse}:
+//   Time            wall time of the complete selection phase
+//   #selected pre   selected functions before post-processing
+//   #selected       after compiler-inlined functions were removed
+//   #added          functions added by inlining compensation
+//
+// Expected shapes vs. the paper (absolute times differ: the paper's pipeline
+// runs a full Clang-based analysis, ours runs on the prebuilt model):
+//   - selections shrink the instrumented set to a few % of the call graph;
+//   - coarse variants remove further functions before compensation;
+//   - openfoam selection costs dominate lulesh by orders of magnitude;
+//   - compensation adds functions for openfoam, none/few for lulesh.
+#include <cstdio>
+
+#include "apps/lulesh.hpp"
+#include "apps/openfoam.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace capi;
+
+void printHeader() {
+    std::printf("%-16s %10s %18s %18s %8s\n", "", "Time", "#selected pre",
+                "#selected", "#added");
+}
+
+void runApp(const bench::PreparedApp& app) {
+    std::printf("%s  (call graph: %zu nodes, %zu edges)\n", app.name.c_str(),
+                app.graph.size(), app.graph.edgeCount());
+    for (const apps::NamedSpec& spec : apps::evaluationSpecs()) {
+        select::SelectionReport report =
+            bench::runPaperSelection(app, spec.name, spec.text);
+        std::printf("%-16s %9.3fs %10zu (%4.1f%%) %10zu (%4.1f%%) %8zu\n",
+                    spec.name.c_str(), report.selectionSeconds,
+                    report.selectedPre, report.selectedPrePercent(),
+                    report.selectedFinal, report.selectedFinalPercent(),
+                    report.added);
+    }
+}
+
+}  // namespace
+
+int main() {
+    std::printf("TABLE I: SELECTION RESULTS (paper: Kreutzer et al., Table I)\n");
+    capi::bench::printRule('=');
+    printHeader();
+    capi::bench::printRule();
+
+    {
+        bench::PreparedApp lulesh = bench::prepare("lulesh", apps::makeLulesh());
+        runApp(lulesh);
+    }
+    capi::bench::printRule();
+    {
+        bench::PreparedApp openfoam = bench::prepare(
+            "openfoam", apps::makeOpenFoam(apps::OpenFoamParams::selectionScale()));
+        runApp(openfoam);
+    }
+    capi::bench::printRule('=');
+    std::printf(
+        "paper reference rows: lulesh mpi 19->12 (+0), kernels 38->10 (+0);\n"
+        "openfoam mpi 59929->16956 (+1366), kernels 24089->4661 (+312)\n");
+    return 0;
+}

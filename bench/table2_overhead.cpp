@@ -1,0 +1,173 @@
+// Reproduces Table II: INSTRUMENTATION OVERHEAD.
+//
+// For {lulesh, openfoam} x {TALP, Score-P} x
+//     {vanilla, xray inactive, xray full, mpi, mpi coarse, kernels,
+//      kernels coarse}:
+//   Tinit   initialization time (symbol resolution + patching; for Score-P
+//           additionally the address-resolver construction)
+//   Ttotal  wall time of the complete 2-rank run
+//
+// Absolute times are scaled (the workload runs seconds, not the paper's
+// minutes on a cluster node); the shapes to check are:
+//   - xray inactive ~= vanilla (unpatched sleds are free);
+//   - xray full is by far the most expensive, Score-P full > TALP full;
+//   - the kernels ICs are cheapest; mpi ICs sit inbetween;
+//   - TALP's mpi IC costs more than Score-P's (per-MPI-op open-region walk);
+//   - Tinit grows with the number of prepared functions (openfoam >> lulesh)
+//     and is higher for Score-P than for TALP.
+#include <cstdio>
+#include <optional>
+
+#include "apps/lulesh.hpp"
+#include "apps/openfoam.hpp"
+#include "bench_util.hpp"
+#include "binsim/execution_engine.hpp"
+#include "binsim/process.hpp"
+#include "dyncapi/dyncapi.hpp"
+#include "dyncapi/mpi_port.hpp"
+#include "mpisim/mpi_world.hpp"
+#include "scorepsim/cyg_adapter.hpp"
+#include "support/timer.hpp"
+#include "talpsim/talp.hpp"
+
+namespace {
+
+using namespace capi;
+
+constexpr int kRanks = 2;
+
+enum class Tool { Talp, ScoreP };
+
+enum class Config { Vanilla, XrayInactive, XrayFull, Ic };
+
+struct RowResult {
+    double initSeconds = 0.0;
+    double totalSeconds = 0.0;
+};
+
+/// Executes the application once with the given instrumentation setup.
+RowResult runConfig(const bench::PreparedApp& app, Tool tool, Config config,
+                    const select::InstrumentationConfig* ic) {
+    // Vanilla builds have no sleds at all; everything else reuses the
+    // instrumented images (that is the point of the paper: one build).
+    std::optional<binsim::CompiledProgram> vanillaBuild;
+    const binsim::CompiledProgram* programImages = &app.compiled;
+    if (config == Config::Vanilla) {
+        binsim::CompileOptions options;
+        options.xrayInstrument = false;
+        vanillaBuild = binsim::compile(app.model, options);
+        programImages = &*vanillaBuild;
+    }
+
+    binsim::Process process(*programImages);
+    RowResult result;
+
+    mpi::MpiWorld world(kRanks);
+    talp::TalpRuntime talp(world);
+    std::optional<dyncapi::DynCapi> dyn;
+    std::optional<scorep::Measurement> measurement;
+    std::optional<scorep::CygProfileAdapter> adapter;
+
+    if (config == Config::XrayFull || config == Config::Ic) {
+        support::Timer initTimer;
+        dyn.emplace(process);
+        if (config == Config::XrayFull) {
+            dyn->patchAll();
+        } else {
+            dyn->applyIc(*ic);
+        }
+        if (tool == Tool::ScoreP) {
+            measurement.emplace();
+            adapter.emplace(*measurement,
+                            scorep::SymbolResolver::withSymbolInjection(process));
+            dyn->attachCygHandler(*adapter);
+        } else {
+            dyn->attachTalpHandler(talp);
+        }
+        result.initSeconds = initTimer.elapsedSec();
+    }
+
+    dyncapi::WorldMpiPort port(world);
+    support::Timer runTimer;
+    mpi::runRanks(world, [&](int rank) {
+        binsim::ExecutionEngine engine(process);
+        engine.setMpiPort(&port);
+        engine.run(rank, kRanks);
+    });
+    result.totalSeconds = runTimer.elapsedSec();
+    return result;
+}
+
+const char* configName(Config config, const char* icName) {
+    switch (config) {
+        case Config::Vanilla: return "vanilla";
+        case Config::XrayInactive: return "xray inactive";
+        case Config::XrayFull: return "xray full";
+        case Config::Ic: return icName;
+    }
+    return "?";
+}
+
+void runTool(const bench::PreparedApp& app, Tool tool,
+             const std::vector<std::pair<std::string, select::InstrumentationConfig>>&
+                 ics,
+             double vanillaSeconds) {
+    std::printf("%s\n", tool == Tool::Talp ? "TALP" : "Score-P");
+    auto printRow = [&](const char* name, const RowResult& row) {
+        double factor = vanillaSeconds > 0 ? row.totalSeconds / vanillaSeconds : 0.0;
+        if (row.initSeconds > 0) {
+            std::printf("  %-16s %9.3fs %9.3fs  (x%.2f)\n", name, row.initSeconds,
+                        row.totalSeconds, factor);
+        } else {
+            std::printf("  %-16s %10s %9.3fs  (x%.2f)\n", name, "-",
+                        row.totalSeconds, factor);
+        }
+    };
+    printRow("xray inactive", runConfig(app, tool, Config::XrayInactive, nullptr));
+    printRow("xray full", runConfig(app, tool, Config::XrayFull, nullptr));
+    for (const auto& [name, ic] : ics) {
+        printRow(name.c_str(), runConfig(app, tool, Config::Ic, &ic));
+    }
+}
+
+void runApp(const bench::PreparedApp& app) {
+    std::printf("%s (%d ranks)\n", app.name.c_str(), kRanks);
+    capi::bench::printRule();
+    std::printf("  %-16s %10s %10s\n", "", "Tinit", "Ttotal");
+
+    // Selection phase: the four ICs, computed once per application.
+    std::vector<std::pair<std::string, select::InstrumentationConfig>> ics;
+    for (const apps::NamedSpec& spec : apps::evaluationSpecs()) {
+        ics.emplace_back(spec.name,
+                         bench::runPaperSelection(app, spec.name, spec.text).ic);
+    }
+
+    RowResult vanilla = runConfig(app, Tool::Talp, Config::Vanilla, nullptr);
+    std::printf("  %-16s %10s %9.3fs  (x1.00)\n", "vanilla", "-",
+                vanilla.totalSeconds);
+    runTool(app, Tool::Talp, ics, vanilla.totalSeconds);
+    runTool(app, Tool::ScoreP, ics, vanilla.totalSeconds);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("TABLE II: INSTRUMENTATION OVERHEAD (paper: Table II)\n");
+    capi::bench::printRule('=');
+    {
+        bench::PreparedApp lulesh = bench::prepare("lulesh", apps::makeLulesh());
+        runApp(lulesh);
+    }
+    capi::bench::printRule('=');
+    {
+        bench::PreparedApp openfoam = bench::prepare(
+            "openfoam", apps::makeOpenFoam(apps::OpenFoamParams::executionScale()));
+        runApp(openfoam);
+    }
+    capi::bench::printRule('=');
+    std::printf(
+        "paper reference factors (openfoam): TALP full x3.76, Score-P full x6.7,\n"
+        "TALP mpi x2.0, Score-P mpi x1.6, kernels x1.16 both; lulesh full +67-78%%,\n"
+        "lulesh filtered ICs ~= vanilla; xray inactive ~= vanilla everywhere\n");
+    return 0;
+}

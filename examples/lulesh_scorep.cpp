@@ -1,0 +1,92 @@
+// Fine-grained Score-P profiling of the LULESH proxy app.
+//
+// Runs the paper's `kernels` selection on the LULESH model, patches the
+// resulting IC with DynCaPI, executes the workload on two MPI ranks and
+// prints the Score-P call-path profile plus a scorep-score estimate of what
+// a *full* instrumentation would have cost — motivating why the selection
+// matters.
+#include <cstdio>
+
+#include "apps/lulesh.hpp"
+#include "apps/specs.hpp"
+#include "binsim/execution_engine.hpp"
+#include "cg/metacg_builder.hpp"
+#include "dyncapi/dyncapi.hpp"
+#include "dyncapi/mpi_port.hpp"
+#include "dyncapi/process_symbol_oracle.hpp"
+#include "mpisim/mpi_world.hpp"
+#include "scorepsim/cyg_adapter.hpp"
+#include "scorepsim/profile_report.hpp"
+#include "scorepsim/scorep_score.hpp"
+#include "select/selection_driver.hpp"
+
+using namespace capi;
+
+int main() {
+    apps::LuleshParams params;
+    params.iterations = 20;
+    params.kernelWorkUnits = 5000;
+    binsim::AppModel model = apps::makeLulesh(params);
+
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+    std::printf("lulesh call graph: %zu nodes\n", graph.size());
+
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    binsim::CompiledProgram compiled = binsim::compile(model, copts);
+    dyncapi::ProcessSymbolOracle oracle(compiled);
+
+    spec::ModuleResolver resolver = apps::bundledResolver();
+    select::SelectionOptions options;
+    options.specText = apps::kernelsSpec();
+    options.specName = "kernels";
+    options.resolver = &resolver;
+    options.symbolOracle = &oracle;
+    select::SelectionReport report = select::runSelection(graph, options);
+    std::printf("kernels IC: %zu of %zu functions (%.1f%%), selection took %.1f ms\n",
+                report.selectedFinal, report.graphNodes,
+                report.selectedFinalPercent(), report.selectionSeconds * 1e3);
+
+    binsim::Process process(compiled);
+    dyncapi::DynCapi dyn(process);
+    dyncapi::InitStats init = dyn.applyIc(report.ic);
+    std::printf("patched %zu functions (Tinit %.2f ms)\n\n", init.patchedFunctions,
+                init.totalSeconds * 1e3);
+
+    scorep::Measurement measurement;
+    scorep::CygProfileAdapter adapter(
+        measurement, scorep::SymbolResolver::withSymbolInjection(process));
+    dyn.attachCygHandler(adapter);
+
+    mpi::MpiWorld world(2);
+    dyncapi::WorldMpiPort port(world);
+    mpi::runRanks(world, [&](int rank) {
+        binsim::ExecutionEngine engine(process);
+        engine.setMpiPort(&port);
+        engine.run(rank, world.worldSize());
+    });
+
+    scorep::ProfileTree profile = measurement.mergedProfile();
+    std::printf("%s\n", scorep::renderCallTree(profile, measurement).c_str());
+    std::printf("%s\n", scorep::renderFlatProfile(profile, measurement, 10).c_str());
+
+    // What would full instrumentation have cost? scorep-score style estimate
+    // over a full-instrumentation dry run.
+    dyn.patchAll();
+    scorep::Measurement fullMeasurement;
+    scorep::CygProfileAdapter fullAdapter(
+        fullMeasurement, scorep::SymbolResolver::withSymbolInjection(process));
+    dyn.attachCygHandler(fullAdapter);
+    mpi::MpiWorld world2(2);
+    dyncapi::WorldMpiPort port2(world2);
+    mpi::runRanks(world2, [&](int rank) {
+        binsim::ExecutionEngine engine(process);
+        engine.setMpiPort(&port2);
+        engine.run(rank, world2.worldSize());
+    });
+    scorep::ScoreResult score =
+        scorep::scoreProfile(fullMeasurement.mergedProfile(), fullMeasurement);
+    std::printf("%s\n", scorep::renderScoreReport(score, 12).c_str());
+    return 0;
+}

@@ -1,0 +1,121 @@
+// Quickstart: the complete CaPI workflow on a small synthetic application.
+//
+//   1. describe the program (normally: your build tree),
+//   2. build the whole-program call graph (MetaCG),
+//   3. write a selection spec and run the selector pipeline -> IC,
+//   4. compile once with XRay sleds and load,
+//   5. let DynCaPI patch the selected functions at startup,
+//   6. run under the generic cyg-profile interface and print the profile.
+//
+// Then change the IC and re-patch — no recompilation.
+#include <cstdio>
+
+#include "binsim/execution_engine.hpp"
+#include "cg/metacg_builder.hpp"
+#include "dyncapi/dyncapi.hpp"
+#include "dyncapi/process_symbol_oracle.hpp"
+#include "scorepsim/cyg_adapter.hpp"
+#include "scorepsim/profile_report.hpp"
+#include "select/selection_driver.hpp"
+
+using namespace capi;
+
+namespace {
+
+/// A toy solver: main -> assemble + solve(iterate -> {applyStencil, dot}).
+binsim::AppModel toyApp() {
+    binsim::AppModel model;
+    model.name = "toy";
+    auto add = [&](const char* name, std::uint32_t instr, std::uint32_t flops,
+                   std::uint32_t loops, std::uint32_t work) {
+        binsim::AppFunction fn;
+        fn.name = name;
+        fn.unit = "toy.cpp";
+        fn.metrics.numInstructions = instr;
+        fn.metrics.flops = flops;
+        fn.metrics.loopDepth = loops;
+        fn.metrics.numStatements = instr / 4;
+        fn.flags.hasBody = true;
+        fn.workUnits = work;
+        model.functions.push_back(fn);
+        return static_cast<std::uint32_t>(model.functions.size() - 1);
+    };
+    std::uint32_t mainFn = add("main", 80, 0, 0, 10);
+    std::uint32_t assemble = add("assemble", 150, 8, 1, 500);
+    std::uint32_t solve = add("solve", 90, 0, 0, 10);
+    std::uint32_t iterate = add("iterate", 60, 0, 0, 10);
+    std::uint32_t stencil = add("applyStencil", 220, 40, 2, 800);
+    std::uint32_t dot = add("dot", 120, 15, 1, 200);
+    model.entry = mainFn;
+    auto call = [&](std::uint32_t a, std::uint32_t b, std::uint32_t n) {
+        model.functions[a].calls.push_back({b, n});
+    };
+    call(mainFn, assemble, 1);
+    call(mainFn, solve, 1);
+    call(solve, iterate, 25);
+    call(iterate, stencil, 1);
+    call(iterate, dot, 2);
+    return model;
+}
+
+void profileWithIc(dyncapi::DynCapi& dyn, binsim::Process& process,
+                   const select::InstrumentationConfig& ic, const char* label) {
+    dyncapi::InitStats init = dyn.applyIc(ic);
+    std::printf("[%s] patched %zu of %zu requested functions in %.1f us\n", label,
+                init.patchedFunctions, init.requestedFunctions,
+                init.totalSeconds * 1e6);
+
+    scorep::Measurement measurement;
+    scorep::CygProfileAdapter adapter(
+        measurement, scorep::SymbolResolver::withSymbolInjection(process));
+    dyn.attachCygHandler(adapter);
+
+    binsim::ExecutionEngine engine(process);
+    binsim::RunStats stats = engine.run();
+    std::printf("[%s] %llu calls executed, %llu instrumented events\n", label,
+                static_cast<unsigned long long>(stats.dynamicCalls),
+                static_cast<unsigned long long>(stats.sledHits));
+    std::printf("%s\n",
+                scorep::renderCallTree(measurement.mergedProfile(), measurement)
+                    .c_str());
+    dyn.detachHandler();
+}
+
+}  // namespace
+
+int main() {
+    binsim::AppModel model = toyApp();
+
+    // Call-graph analysis (MetaCG).
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+    std::printf("call graph: %zu nodes, %zu edges\n\n", graph.size(),
+                graph.edgeCount());
+
+    // One instrumented build, used for every configuration below.
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 50;
+    binsim::CompiledProgram compiled = binsim::compile(model, copts);
+    binsim::Process process(compiled);
+    dyncapi::DynCapi dyn(process);
+
+    // Selection #1: compute kernels (>= 10 flops and a loop).
+    dyncapi::ProcessSymbolOracle oracle(compiled);
+    select::SelectionOptions options;
+    options.specText = "flops(\">=\", 10, loopDepth(\">=\", 1, %%))";
+    options.specName = "kernels";
+    options.symbolOracle = &oracle;
+    select::SelectionReport kernels = select::runSelection(graph, options);
+    profileWithIc(dyn, process, kernels.ic, "kernels IC");
+
+    // Selection #2 (refinement, same binary, no rebuild): everything on the
+    // call path to `dot`, coarse-collapsed.
+    options.specText =
+        "targets = byName(\"dot\", %%)\ncoarse(onCallPathTo(%targets), %targets)\n";
+    options.specName = "dot path";
+    select::SelectionReport dotPath = select::runSelection(graph, options);
+    profileWithIc(dyn, process, dotPath.ic, "dot-path IC");
+
+    std::printf("refined instrumentation twice without recompiling once.\n");
+    return 0;
+}

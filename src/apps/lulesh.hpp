@@ -1,0 +1,29 @@
+// LULESH-like proxy application model (paper Sec. VI, first test case).
+//
+// A single executable with no shared-library dependencies whose MetaCG call
+// graph has ~3,360 function nodes (the paper's reported size). The backbone
+// mirrors LULESH 2.0's real call structure (LagrangeLeapFrog and friends);
+// the remainder are deterministic filler functions: inline math helpers under
+// the kernels, system-header (STL-style) utilities, and one-time mesh-setup
+// helpers. Communication wrappers call the MPI API, some through tiny
+// auto-inlined shims — those exercise the inlining-compensation path.
+#pragma once
+
+#include <cstdint>
+
+#include "binsim/app_model.hpp"
+
+namespace capi::apps {
+
+struct LuleshParams {
+    std::uint32_t targetNodes = 3360;   ///< Call-graph size goal.
+    std::uint32_t iterations = 50;      ///< Time steps per run.
+    std::uint64_t seed = 20230320;
+    std::uint32_t kernelWorkUnits = 30000;   ///< Real spin per kernel call.
+    std::uint32_t helperCallsPerKernel = 60; ///< Hot helper calls per kernel.
+    double kernelVirtualNs = 60000.0;        ///< Virtual compute per kernel call.
+};
+
+binsim::AppModel makeLulesh(const LuleshParams& params = {});
+
+}  // namespace capi::apps

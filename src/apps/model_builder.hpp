@@ -1,0 +1,114 @@
+// Small fluent helper for assembling AppModels in the generators.
+#pragma once
+
+#include <string>
+
+#include "binsim/app_model.hpp"
+
+namespace capi::apps {
+
+class ModelBuilder {
+public:
+    explicit ModelBuilder(std::string appName) { model_.name = std::move(appName); }
+
+    int addDso(std::string name) {
+        model_.dsos.push_back({std::move(name)});
+        return static_cast<int>(model_.dsos.size()) - 1;
+    }
+
+    struct FnOpts {
+        std::string unit;
+        int dso = -1;
+        std::uint32_t statements = 8;
+        std::uint32_t flops = 0;
+        std::uint32_t loopDepth = 0;
+        std::uint32_t instructions = 40;
+        std::uint32_t callSites = 0;
+        bool inlineSpecified = false;
+        bool systemHeader = false;
+        bool hidden = false;
+        bool hasBody = true;
+        bool isVirtual = false;
+        std::uint32_t workUnits = 0;
+        double workVirtualNs = 0.0;
+        double imbalanceSlope = 0.0;
+        binsim::MpiOp mpiOp = binsim::MpiOp::None;
+    };
+
+    std::uint32_t add(const std::string& name, const FnOpts& opts) {
+        binsim::AppFunction fn;
+        fn.name = name;
+        fn.prettyName = name;
+        fn.unit = opts.unit.empty() ? model_.name + ".cpp" : opts.unit;
+        fn.dso = opts.dso;
+        fn.metrics.numStatements = opts.statements;
+        fn.metrics.flops = opts.flops;
+        fn.metrics.loopDepth = opts.loopDepth;
+        fn.metrics.numInstructions = opts.instructions;
+        fn.metrics.numCallSites = opts.callSites;
+        fn.metrics.cyclomaticComplexity = 1 + opts.loopDepth + opts.statements / 8;
+        fn.flags.inlineSpecified = opts.inlineSpecified;
+        fn.flags.inSystemHeader = opts.systemHeader;
+        fn.flags.hiddenVisibility = opts.hidden;
+        fn.flags.hasBody = opts.hasBody;
+        fn.flags.isVirtual = opts.isVirtual;
+        fn.flags.isMpi = name.rfind("MPI_", 0) == 0;
+        fn.workUnits = opts.workUnits;
+        fn.workVirtualNs = opts.workVirtualNs;
+        fn.imbalanceSlope = opts.imbalanceSlope;
+        fn.mpiOp = opts.mpiOp;
+        model_.functions.push_back(std::move(fn));
+        return static_cast<std::uint32_t>(model_.functions.size()) - 1;
+    }
+
+    void call(std::uint32_t caller, std::uint32_t callee, std::uint32_t count = 1) {
+        model_.functions[caller].calls.push_back({callee, count});
+        model_.functions[caller].metrics.numCallSites += 1;
+    }
+
+    void setEntry(std::uint32_t entry) { model_.entry = entry; }
+
+    void addOverride(const std::string& base, const std::string& derived) {
+        model_.overrides.push_back({base, derived});
+    }
+
+    binsim::AppFunction& fn(std::uint32_t index) { return model_.functions[index]; }
+    std::size_t size() const { return model_.functions.size(); }
+
+    binsim::AppModel build() { return std::move(model_); }
+
+private:
+    binsim::AppModel model_;
+};
+
+/// Declarations of the MPI API (no bodies; live in system headers). The
+/// engine triggers the simulated MPI operation when these are called.
+struct MpiApi {
+    std::uint32_t init, finalize, allreduce, barrier, bcast, sendrecv;
+    std::uint32_t commRank, commSize;
+};
+
+inline MpiApi addMpiApi(ModelBuilder& b) {
+    auto decl = [&](const char* name, binsim::MpiOp op) {
+        ModelBuilder::FnOpts opts;
+        opts.unit = "mpi.h";
+        opts.systemHeader = true;
+        opts.hasBody = false;
+        opts.mpiOp = op;
+        opts.instructions = 0;
+        opts.statements = 0;
+        return b.add(name, opts);
+    };
+    MpiApi api;
+    api.init = decl("MPI_Init", binsim::MpiOp::Init);
+    api.finalize = decl("MPI_Finalize", binsim::MpiOp::Finalize);
+    api.allreduce = decl("MPI_Allreduce", binsim::MpiOp::Allreduce);
+    api.barrier = decl("MPI_Barrier", binsim::MpiOp::Barrier);
+    api.bcast = decl("MPI_Bcast", binsim::MpiOp::Bcast);
+    api.sendrecv = decl("MPI_Sendrecv", binsim::MpiOp::HaloExchange);
+    api.commRank = decl("MPI_Comm_rank", binsim::MpiOp::None);
+    api.commSize = decl("MPI_Comm_size", binsim::MpiOp::None);
+    return api;
+}
+
+}  // namespace capi::apps

@@ -1,0 +1,61 @@
+#include "apps/specs.hpp"
+
+namespace capi::apps {
+
+std::string mpiCapiModule() {
+    return R"(# Selector instances shared by MPI-centric specs.
+mpi_calls = byName("MPI_*", %%)
+mpi_direct_callers = callers(%mpi_calls)
+mpi_comm = onCallPathTo(%mpi_calls)
+)";
+}
+
+std::string mpiSpec() {
+    return R"(!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+subtract(%mpi_comm, %excluded)
+)";
+}
+
+std::string mpiCoarseSpec() {
+    return R"(!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+mpi_sel = subtract(%mpi_comm, %excluded)
+coarse(%mpi_sel, %mpi_direct_callers)
+)";
+}
+
+std::string kernelsSpec() {
+    return R"(excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+kernels_raw = flops(">=", 10, loopDepth(">=", 1, %%))
+subtract(onCallPathTo(%kernels_raw), %excluded)
+)";
+}
+
+std::string kernelsCoarseSpec() {
+    // Critical set: the kernels themselves plus their direct callers, so a
+    // coarse TALP region set always keeps a region around every kernel even
+    // when the kernel sits at the end of a sole-caller wrapper chain.
+    return R"(excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+kernels_raw = flops(">=", 10, loopDepth(">=", 1, %%))
+kernels_sel = subtract(onCallPathTo(%kernels_raw), %excluded)
+coarse(%kernels_sel, join(%kernels_raw, callers(%kernels_raw)))
+)";
+}
+
+spec::ModuleResolver bundledResolver() {
+    spec::ModuleResolver resolver;
+    resolver.registerModule("mpi.capi", mpiCapiModule());
+    return resolver;
+}
+
+std::vector<NamedSpec> evaluationSpecs() {
+    return {
+        {"mpi", mpiSpec()},
+        {"mpi coarse", mpiCoarseSpec()},
+        {"kernels", kernelsSpec()},
+        {"kernels coarse", kernelsCoarseSpec()},
+    };
+}
+
+}  // namespace capi::apps

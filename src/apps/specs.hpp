@@ -1,0 +1,41 @@
+// The selection specifications evaluated in the paper (Sec. VI).
+//
+// Four general-purpose specs modelling typical profiling use cases:
+//   mpi            — functions on a call path to an MPI operation, minus
+//                    inline-marked and system-header functions
+//   mpi coarse     — mpi with the coarse selector applied at the end
+//   kernels        — functions on a call path to a function with >= 10 flops
+//                    and a loop, minus inline-marked and system-header
+//   kernels coarse — kernels with the coarse selector applied at the end
+//
+// The shared "mpi.capi" module provides %mpi_calls / %mpi_comm as in
+// Listing 1. All specs are embedded so benches run without file I/O.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/module_resolver.hpp"
+
+namespace capi::apps {
+
+/// The "mpi.capi" importable module.
+std::string mpiCapiModule();
+
+std::string mpiSpec();
+std::string mpiCoarseSpec();
+std::string kernelsSpec();
+std::string kernelsCoarseSpec();
+
+/// Resolver with every bundled module registered.
+spec::ModuleResolver bundledResolver();
+
+struct NamedSpec {
+    std::string name;
+    std::string text;
+};
+
+/// The four evaluation specs, in Table I order.
+std::vector<NamedSpec> evaluationSpecs();
+
+}  // namespace capi::apps

@@ -1,0 +1,103 @@
+#include "binsim/app_model.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace capi::binsim {
+
+std::uint32_t AppModel::indexOf(const std::string& functionName) const {
+    for (std::uint32_t i = 0; i < functions.size(); ++i) {
+        if (functions[i].name == functionName) {
+            return i;
+        }
+    }
+    throw support::Error("AppModel: unknown function '" + functionName + "'");
+}
+
+cg::SourceModel AppModel::toSourceModel() const {
+    cg::SourceModel model;
+    model.overrides = overrides;
+
+    // Group functions by translation unit, preserving first-seen order.
+    std::map<std::string, std::size_t> unitIndex;
+    for (const AppFunction& fn : functions) {
+        std::string unit = fn.unit.empty() ? "<unknown>" : fn.unit;
+        auto [it, inserted] = unitIndex.try_emplace(unit, model.units.size());
+        if (inserted) {
+            cg::TranslationUnit tu;
+            tu.name = unit;
+            model.units.push_back(std::move(tu));
+        }
+        cg::SourceFunction sf;
+        sf.desc.name = fn.name;
+        sf.desc.prettyName = fn.prettyName.empty() ? fn.name : fn.prettyName;
+        sf.desc.translationUnit = unit;
+        sf.desc.sourceFile = unit;
+        sf.desc.signature = fn.signature;
+        sf.desc.metrics = fn.metrics;
+        sf.desc.flags = fn.flags;
+        for (const AppCallSite& site : fn.calls) {
+            sf.callSites.push_back(
+                {cg::CallSite::Kind::Direct, functions[site.callee].name, ""});
+        }
+        for (const cg::CallSite& site : fn.extraStaticCallSites) {
+            sf.callSites.push_back(site);
+        }
+        model.units[it->second].functions.push_back(std::move(sf));
+    }
+    return model;
+}
+
+std::uint64_t AppModel::estimatedDynamicCalls() const {
+    // calls(f) = 1 + sum over sites of count * calls(callee); memoized and
+    // cycle-checked (execution models must be acyclic).
+    std::vector<std::uint64_t> memo(functions.size(), 0);
+    std::vector<std::uint8_t> state(functions.size(), 0);  // 0=new 1=open 2=done
+
+    struct Frame {
+        std::uint32_t fn;
+        std::size_t site = 0;
+        std::uint64_t sum = 1;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({entry, 0, 1});
+    state[entry] = 1;
+
+    while (!stack.empty()) {
+        Frame& frame = stack.back();
+        const AppFunction& fn = functions[frame.fn];
+        if (frame.site < fn.calls.size()) {
+            const AppCallSite& site = fn.calls[frame.site];
+            if (state[site.callee] == 1) {
+                throw support::Error("AppModel: dynamic call cycle through '" +
+                                     functions[site.callee].name + "'");
+            }
+            if (state[site.callee] == 2) {
+                frame.sum += site.count * memo[site.callee];
+                ++frame.site;
+            } else {
+                state[site.callee] = 1;
+                stack.push_back({site.callee, 0, 1});
+            }
+            continue;
+        }
+        memo[frame.fn] = frame.sum;
+        state[frame.fn] = 2;
+        std::uint64_t finished = frame.sum;
+        std::uint32_t finishedFn = frame.fn;
+        stack.pop_back();
+        if (!stack.empty()) {
+            Frame& parent = stack.back();
+            const AppCallSite& site =
+                functions[parent.fn].calls[parent.site];
+            (void)finishedFn;
+            parent.sum += site.count * finished;
+            ++parent.site;
+        }
+    }
+    return memo[entry];
+}
+
+}  // namespace capi::binsim

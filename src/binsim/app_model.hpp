@@ -1,0 +1,84 @@
+// Application model: the input to the simulated build-and-run toolchain.
+//
+// An AppModel describes a program the way its source code would: functions
+// with static properties, the translation unit and (optionally) shared
+// object each lives in, its call sites with dynamic repeat counts, work cost,
+// and MPI behaviour. The generators in src/apps produce LULESH-like and
+// OpenFOAM-like models; src/binsim "compiles" them into object images and
+// executes them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cg/source_model.hpp"
+#include "cg/types.hpp"
+
+namespace capi::binsim {
+
+/// MPI operations a model function can perform (executed through mpisim).
+enum class MpiOp : std::uint8_t {
+    None,
+    Init,
+    Finalize,
+    Barrier,
+    Allreduce,
+    Bcast,
+    HaloExchange,  ///< Paired neighbour send/recv.
+};
+
+/// A dynamic call site: when the containing function executes once, it calls
+/// `callee` `count` times.
+struct AppCallSite {
+    std::uint32_t callee = 0;
+    std::uint32_t count = 1;
+};
+
+struct AppFunction {
+    std::string name;          ///< Unique (mangled) name.
+    std::string prettyName;
+    std::string unit;          ///< Translation unit.
+    int dso = -1;              ///< -1 = main executable, otherwise DSO index.
+    cg::FunctionMetrics metrics;
+    cg::FunctionFlags flags;
+    std::string signature;
+
+    /// Dynamic behaviour.
+    std::vector<AppCallSite> calls;
+    std::uint32_t workUnits = 0;      ///< Real spin iterations per invocation.
+    double workVirtualNs = 0.0;       ///< Virtual compute time per invocation.
+    double imbalanceSlope = 0.0;      ///< Per-rank virtual-time skew: rank r of R
+                                      ///< runs workVirtualNs*(1+slope*r/(R-1)).
+    MpiOp mpiOp = MpiOp::None;
+
+    /// Static-only call facts for the call-graph (virtual dispatch sites,
+    /// function-pointer sites). Dynamic `calls` above are emitted as Direct
+    /// call sites automatically.
+    std::vector<cg::CallSite> extraStaticCallSites;
+};
+
+struct AppDso {
+    std::string name;  ///< e.g. "libfiniteVolume.so".
+};
+
+struct AppModel {
+    std::string name;
+    std::vector<AppDso> dsos;
+    std::vector<AppFunction> functions;
+    std::uint32_t entry = 0;  ///< Index of main.
+    std::vector<cg::OverrideRelation> overrides;
+
+    std::uint32_t indexOf(const std::string& functionName) const;
+
+    /// Derives the source-level model consumed by the MetaCG builder. Every
+    /// dynamic call becomes a Direct call site; extraStaticCallSites are
+    /// appended verbatim.
+    cg::SourceModel toSourceModel() const;
+
+    /// Total dynamic calls a single top-down execution of `entry` performs
+    /// (used to sanity-check generated workloads).
+    std::uint64_t estimatedDynamicCalls() const;
+};
+
+}  // namespace capi::binsim

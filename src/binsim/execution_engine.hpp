@@ -1,0 +1,77 @@
+// Execution engine: interprets a compiled program.
+//
+// Each function invocation fires the entry sled (a patched sled dispatches
+// into the XRay handler; an unpatched one falls through), performs the
+// function's work — real spin cycles so instrumentation overhead is
+// physically measurable, plus deterministic virtual time so parallel
+// efficiency metrics are reproducible — executes its MPI operation through
+// the attached port, recurses into its call sites, and fires the exit sled.
+//
+// Functions the compiler inlined away execute inline: their work happens,
+// but no sleds fire and nothing is attributed to them — the exact behaviour
+// the inlining-compensation step exists to mitigate.
+#pragma once
+
+#include <cstdint>
+
+#include "binsim/process.hpp"
+
+namespace capi::binsim {
+
+/// Per-rank mutable execution state.
+struct RankState {
+    int rank = 0;
+    int worldSize = 1;
+    double virtualNs = 0.0;        ///< Deterministic per-rank compute clock.
+    std::uint64_t dynamicCalls = 0;
+    std::uint64_t sledHits = 0;    ///< Sled invocations that dispatched.
+};
+
+/// The rank state of the execution currently running on this thread, or
+/// nullptr outside ExecutionEngine::run. Measurement handlers (TALP, Score-P)
+/// use this to attribute events to the right rank, mirroring how real tools
+/// use thread-local state.
+RankState* currentRankState();
+
+/// Interface to the MPI substrate; implemented by dyncapi/mpisim glue so
+/// binsim stays independent of the MPI simulation.
+class MpiPort {
+public:
+    virtual ~MpiPort() = default;
+    virtual void execute(MpiOp op, RankState& rank) = 0;
+};
+
+struct EngineOptions {
+    std::uint64_t maxDynamicCalls = 200'000'000;  ///< Runaway-model guard.
+    double workScale = 1.0;  ///< Scales real spin work (not virtual time).
+};
+
+struct RunStats {
+    std::uint64_t dynamicCalls = 0;
+    std::uint64_t sledHits = 0;
+    double virtualNs = 0.0;
+    double wallSeconds = 0.0;
+};
+
+class ExecutionEngine {
+public:
+    explicit ExecutionEngine(Process& process, EngineOptions options = {});
+
+    /// MPI operations are routed here; null executes them as no-ops.
+    void setMpiPort(MpiPort* port) { mpiPort_ = port; }
+
+    /// Runs the program entry point once for the given rank.
+    RunStats run(int rank = 0, int worldSize = 1);
+
+    /// Runs an arbitrary function (for targeted tests).
+    RunStats runFunction(std::uint32_t modelIndex, int rank = 0, int worldSize = 1);
+
+private:
+    void call(std::uint32_t modelIndex, RankState& state);
+
+    Process* process_;
+    EngineOptions options_;
+    MpiPort* mpiPort_ = nullptr;
+};
+
+}  // namespace capi::binsim

@@ -1,0 +1,47 @@
+// nm-like symbol dump of object images.
+//
+// DynCaPI resolves XRay function IDs to names by dumping each object's
+// symbols with `nm` and translating the link-time addresses through the
+// loader's memory map (the symbol-injection method from the original CaPI
+// paper). Hidden-visibility symbols do not appear in the dump — those are
+// exactly the functions that cannot be resolved at runtime (paper Sec. VI-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "binsim/object_image.hpp"
+
+namespace capi::binsim {
+
+struct NmEntry {
+    std::string name;
+    std::uint64_t address = 0;  ///< Link-time (object-local) address.
+    std::uint64_t size = 0;
+};
+
+/// Visible text symbols of one object, sorted by address.
+inline std::vector<NmEntry> nmDump(const ObjectImage& image) {
+    std::vector<NmEntry> out;
+    out.reserve(image.symbols.size());
+    for (const Symbol& symbol : image.symbols) {
+        if (!symbol.hidden) {
+            out.push_back({symbol.name, symbol.address, symbol.size});
+        }
+    }
+    return out;
+}
+
+/// Count of symbols the dump cannot show (hidden visibility).
+inline std::size_t hiddenSymbolCount(const ObjectImage& image) {
+    std::size_t count = 0;
+    for (const Symbol& symbol : image.symbols) {
+        if (symbol.hidden) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+}  // namespace capi::binsim

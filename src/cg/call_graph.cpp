@@ -1,0 +1,88 @@
+#include "cg/call_graph.hpp"
+
+#include <algorithm>
+
+namespace capi::cg {
+
+bool insertSorted(std::vector<FunctionId>& vec, FunctionId value) {
+    auto it = std::lower_bound(vec.begin(), vec.end(), value);
+    if (it != vec.end() && *it == value) {
+        return false;
+    }
+    vec.insert(it, value);
+    return true;
+}
+
+bool containsSorted(const std::vector<FunctionId>& vec, FunctionId value) {
+    return std::binary_search(vec.begin(), vec.end(), value);
+}
+
+FunctionId CallGraph::addFunction(const FunctionDesc& desc) {
+    auto it = byName_.find(desc.name);
+    if (it != byName_.end()) {
+        Node& existing = nodes_[it->second];
+        // A definition sighting supplies the authoritative metadata; merge so
+        // declaration-only TUs do not erase what the defining TU recorded.
+        if (desc.flags.hasBody && !existing.desc.flags.hasBody) {
+            FunctionDesc merged = desc;
+            existing.desc = merged;
+        } else if (desc.flags.hasBody && existing.desc.flags.hasBody) {
+            // Two definitions (inline functions in headers): keep first, but
+            // accumulate flags that any sighting may set.
+            existing.desc.flags.inlineSpecified |= desc.flags.inlineSpecified;
+            existing.desc.flags.addressTaken |= desc.flags.addressTaken;
+        } else {
+            existing.desc.flags.addressTaken |= desc.flags.addressTaken;
+        }
+        return it->second;
+    }
+    FunctionId id = static_cast<FunctionId>(nodes_.size());
+    nodes_.push_back(Node{desc, {}, {}, {}, {}});
+    byName_.emplace(desc.name, id);
+    return id;
+}
+
+void CallGraph::addCallEdge(FunctionId caller, FunctionId callee) {
+    if (insertSorted(nodes_[caller].callees, callee)) {
+        insertSorted(nodes_[callee].callers, caller);
+    }
+}
+
+void CallGraph::addOverride(FunctionId base, FunctionId derived) {
+    insertSorted(nodes_[derived].overrides, base);
+    insertSorted(nodes_[base].overriddenBy, derived);
+}
+
+bool CallGraph::hasEdge(FunctionId caller, FunctionId callee) const {
+    return containsSorted(nodes_[caller].callees, callee);
+}
+
+FunctionId CallGraph::lookup(std::string_view name) const {
+    auto it = byName_.find(std::string(name));
+    return it == byName_.end() ? kInvalidFunction : it->second;
+}
+
+FunctionId CallGraph::entryPoint() const {
+    if (entry_.has_value()) {
+        return *entry_;
+    }
+    return lookup("main");
+}
+
+std::size_t CallGraph::edgeCount() const {
+    std::size_t count = 0;
+    for (const Node& n : nodes_) {
+        count += n.callees.size();
+    }
+    return count;
+}
+
+std::vector<FunctionId> CallGraph::allIds() const {
+    std::vector<FunctionId> ids(nodes_.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        ids[i] = static_cast<FunctionId>(i);
+    }
+    return ids;
+}
+
+}  // namespace capi::cg

@@ -1,0 +1,76 @@
+// Whole-program call graph: the data structure every CaPI selector operates on.
+//
+// Nodes are stored densely and addressed by FunctionId so selectors can use
+// bitsets; edges are deduplicated adjacency vectors kept sorted for binary
+// search. Virtual-dispatch relations (overrides / overriddenBy) are recorded
+// separately from plain call edges, mirroring MetaCG.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cg/types.hpp"
+
+namespace capi::cg {
+
+class CallGraph {
+public:
+    struct Node {
+        FunctionDesc desc;
+        std::vector<FunctionId> callees;      ///< Sorted, unique.
+        std::vector<FunctionId> callers;      ///< Sorted, unique.
+        std::vector<FunctionId> overrides;    ///< Base methods this one overrides.
+        std::vector<FunctionId> overriddenBy; ///< Derived methods overriding this one.
+    };
+
+    /// Adds a node (or merges metadata into an existing node of the same
+    /// name) and returns its id. Merging keeps the definition's metadata:
+    /// a declaration-only sighting never downgrades `hasBody`.
+    FunctionId addFunction(const FunctionDesc& desc);
+
+    /// Adds caller->callee; no-op if the edge already exists.
+    void addCallEdge(FunctionId caller, FunctionId callee);
+
+    /// Records that `derived` overrides `base` (virtual dispatch relation).
+    void addOverride(FunctionId base, FunctionId derived);
+
+    bool hasEdge(FunctionId caller, FunctionId callee) const;
+
+    FunctionId lookup(std::string_view name) const;  ///< kInvalidFunction if absent.
+    bool contains(std::string_view name) const { return lookup(name) != kInvalidFunction; }
+
+    std::size_t size() const noexcept { return nodes_.size(); }
+
+    const Node& node(FunctionId id) const { return nodes_[id]; }
+    Node& node(FunctionId id) { return nodes_[id]; }
+    const FunctionDesc& desc(FunctionId id) const { return nodes_[id].desc; }
+    const std::string& name(FunctionId id) const { return nodes_[id].desc.name; }
+    const std::vector<FunctionId>& callees(FunctionId id) const { return nodes_[id].callees; }
+    const std::vector<FunctionId>& callers(FunctionId id) const { return nodes_[id].callers; }
+
+    /// The program entry point; by convention the node named "main" unless
+    /// overridden. kInvalidFunction when no entry is known.
+    FunctionId entryPoint() const;
+    void setEntryPoint(FunctionId id) { entry_ = id; }
+
+    std::size_t edgeCount() const;
+
+    /// Iteration helper: valid ids are [0, size()).
+    std::vector<FunctionId> allIds() const;
+
+private:
+    std::vector<Node> nodes_;
+    std::unordered_map<std::string, FunctionId> byName_;
+    std::optional<FunctionId> entry_;
+};
+
+/// Inserts `value` into a sorted unique vector; returns false if present.
+bool insertSorted(std::vector<FunctionId>& vec, FunctionId value);
+
+/// Binary search in a sorted unique vector.
+bool containsSorted(const std::vector<FunctionId>& vec, FunctionId value);
+
+}  // namespace capi::cg

@@ -1,0 +1,160 @@
+#include "cg/metacg_builder.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace capi::cg {
+
+LocalCallGraph MetaCgBuilder::buildLocal(const TranslationUnit& unit) {
+    LocalCallGraph local;
+    local.unitName = unit.name;
+
+    for (const SourceFunction& fn : unit.functions) {
+        FunctionDesc desc = fn.desc;
+        if (desc.translationUnit.empty() && desc.flags.hasBody) {
+            desc.translationUnit = unit.name;
+        }
+        local.graph.addFunction(desc);
+    }
+
+    for (const SourceFunction& fn : unit.functions) {
+        if (!fn.desc.flags.hasBody) {
+            continue;
+        }
+        FunctionId caller = local.graph.lookup(fn.desc.name);
+        for (const CallSite& site : fn.callSites) {
+            switch (site.kind) {
+                case CallSite::Kind::Direct: {
+                    FunctionId callee = local.graph.lookup(site.target);
+                    if (callee == kInvalidFunction) {
+                        // Callee defined in another TU: insert a declaration
+                        // node so the local graph is self-contained.
+                        FunctionDesc decl;
+                        decl.name = site.target;
+                        decl.prettyName = site.target;
+                        callee = local.graph.addFunction(decl);
+                    }
+                    local.graph.addCallEdge(caller, callee);
+                    break;
+                }
+                case CallSite::Kind::Virtual:
+                    local.pendingVirtual.push_back({fn.desc.name, site});
+                    break;
+                case CallSite::Kind::FunctionPointer:
+                    local.pendingPointer.push_back({fn.desc.name, site});
+                    break;
+            }
+        }
+    }
+    return local;
+}
+
+CallGraph MetaCgBuilder::merge(const std::vector<LocalCallGraph>& locals,
+                               const std::vector<OverrideRelation>& overrides) {
+    stats_ = MergeStats{};
+    unresolved_.clear();
+    stats_.translationUnits = locals.size();
+
+    CallGraph whole;
+
+    // Pass 1: union of nodes. addFunction() merges duplicate sightings,
+    // preferring definition metadata over declarations.
+    for (const LocalCallGraph& local : locals) {
+        for (FunctionId id = 0; id < local.graph.size(); ++id) {
+            whole.addFunction(local.graph.desc(id));
+        }
+    }
+
+    // Pass 2: direct edges.
+    for (const LocalCallGraph& local : locals) {
+        for (FunctionId id = 0; id < local.graph.size(); ++id) {
+            FunctionId caller = whole.lookup(local.graph.name(id));
+            for (FunctionId localCallee : local.graph.callees(id)) {
+                FunctionId callee = whole.lookup(local.graph.name(localCallee));
+                if (!whole.hasEdge(caller, callee)) {
+                    ++stats_.directEdges;
+                    whole.addCallEdge(caller, callee);
+                }
+            }
+        }
+    }
+
+    // Pass 3: class hierarchy.
+    for (const OverrideRelation& rel : overrides) {
+        FunctionId base = whole.lookup(rel.base);
+        FunctionId derived = whole.lookup(rel.derived);
+        if (base != kInvalidFunction && derived != kInvalidFunction) {
+            whole.addOverride(base, derived);
+        }
+    }
+
+    // Pass 4: virtual call sites. An edge is inserted to the static target
+    // and to every definition transitively overriding it. This
+    // over-approximation guarantees all possible call paths are represented
+    // (paper, Sec. III-A).
+    for (const LocalCallGraph& local : locals) {
+        for (const LocalCallGraph::PendingCall& pending : local.pendingVirtual) {
+            FunctionId caller = whole.lookup(pending.caller);
+            FunctionId base = whole.lookup(pending.site.target);
+            if (caller == kInvalidFunction || base == kInvalidFunction) {
+                continue;
+            }
+            std::deque<FunctionId> queue{base};
+            std::unordered_set<FunctionId> seen{base};
+            while (!queue.empty()) {
+                FunctionId target = queue.front();
+                queue.pop_front();
+                if (!whole.hasEdge(caller, target)) {
+                    whole.addCallEdge(caller, target);
+                    ++stats_.virtualEdges;
+                }
+                for (FunctionId derived : whole.node(target).overriddenBy) {
+                    if (seen.insert(derived).second) {
+                        queue.push_back(derived);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 5: function-pointer call sites. Candidates are address-taken
+    // functions whose signature group matches. A unique candidate resolves
+    // statically; ambiguous or empty candidate sets are reported so the
+    // profile-validation utility can insert the missing edges later.
+    std::unordered_map<std::string, std::vector<FunctionId>> bySignature;
+    for (FunctionId id = 0; id < whole.size(); ++id) {
+        const FunctionDesc& desc = whole.desc(id);
+        if (desc.flags.addressTaken && !desc.signature.empty()) {
+            bySignature[desc.signature].push_back(id);
+        }
+    }
+    for (const LocalCallGraph& local : locals) {
+        for (const LocalCallGraph::PendingCall& pending : local.pendingPointer) {
+            FunctionId caller = whole.lookup(pending.caller);
+            auto it = bySignature.find(pending.site.signature);
+            if (caller != kInvalidFunction && it != bySignature.end() &&
+                it->second.size() == 1) {
+                whole.addCallEdge(caller, it->second.front());
+                ++stats_.pointerEdgesResolved;
+            } else {
+                ++stats_.pointerSitesUnresolved;
+                unresolved_.push_back({pending.caller, pending.site.signature});
+            }
+        }
+    }
+
+    stats_.totalNodes = whole.size();
+    return whole;
+}
+
+CallGraph MetaCgBuilder::build(const SourceModel& model) {
+    std::vector<LocalCallGraph> locals;
+    locals.reserve(model.units.size());
+    for (const TranslationUnit& unit : model.units) {
+        locals.push_back(buildLocal(unit));
+    }
+    return merge(locals, model.overrides);
+}
+
+}  // namespace capi::cg

@@ -1,0 +1,71 @@
+// MetaCG-style whole-program call-graph construction.
+//
+// Mirrors the two-step workflow from the paper (Fig. 2, steps 3-4): a local
+// call graph is built for every translation unit, then the local graphs are
+// merged into the whole-program graph. Virtual calls are over-approximated
+// with edges to every known overriding definition so all possible call paths
+// are represented; function-pointer calls are resolved statically where the
+// signature group has exactly one address-taken candidate, and reported as
+// unresolved otherwise (the profile-based validation utility can patch those).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cg/call_graph.hpp"
+#include "cg/source_model.hpp"
+
+namespace capi::cg {
+
+/// Per-TU graph plus the call sites that need whole-program knowledge.
+struct LocalCallGraph {
+    std::string unitName;
+    CallGraph graph;
+    struct PendingCall {
+        std::string caller;
+        CallSite site;
+    };
+    std::vector<PendingCall> pendingVirtual;
+    std::vector<PendingCall> pendingPointer;
+};
+
+/// Statistics of a whole-program merge.
+struct MergeStats {
+    std::size_t translationUnits = 0;
+    std::size_t totalNodes = 0;
+    std::size_t directEdges = 0;
+    std::size_t virtualEdges = 0;        ///< Edges added for virtual dispatch.
+    std::size_t pointerEdgesResolved = 0;///< Function-pointer sites resolved statically.
+    std::size_t pointerSitesUnresolved = 0;
+};
+
+/// An indirect call site the static analysis could not resolve.
+struct UnresolvedPointerCall {
+    std::string caller;
+    std::string signature;
+};
+
+class MetaCgBuilder {
+public:
+    /// Step 3 of the workflow: TU-local graph construction.
+    static LocalCallGraph buildLocal(const TranslationUnit& unit);
+
+    /// Step 4: merge local graphs into the whole-program graph.
+    /// `overrides` is the global class-hierarchy information.
+    CallGraph merge(const std::vector<LocalCallGraph>& locals,
+                    const std::vector<OverrideRelation>& overrides);
+
+    /// Convenience: run both steps over a complete source model.
+    CallGraph build(const SourceModel& model);
+
+    const MergeStats& stats() const { return stats_; }
+    const std::vector<UnresolvedPointerCall>& unresolvedPointerCalls() const {
+        return unresolved_;
+    }
+
+private:
+    MergeStats stats_;
+    std::vector<UnresolvedPointerCall> unresolved_;
+};
+
+}  // namespace capi::cg

@@ -1,0 +1,27 @@
+// MetaCG-compatible JSON serialization of whole-program call graphs.
+//
+// The on-disk layout follows the MetaCG v2 file format: a `_MetaCG` header
+// with version info and a `_CG` object mapping function names to their edges,
+// override relations and `meta` blob. Static metrics live under
+// `meta.capiMetrics`, where the real pipeline stores tool-specific metadata.
+#pragma once
+
+#include <string>
+
+#include "cg/call_graph.hpp"
+#include "support/json.hpp"
+
+namespace capi::cg {
+
+/// Serializes a call graph into MetaCG v2 JSON.
+support::Json toMetaCgJson(const CallGraph& graph);
+
+/// Parses MetaCG v2 JSON back into a call graph.
+/// Throws support::Error on structural problems.
+CallGraph fromMetaCgJson(const support::Json& doc);
+
+/// File helpers.
+void writeMetaCgFile(const CallGraph& graph, const std::string& path);
+CallGraph readMetaCgFile(const std::string& path);
+
+}  // namespace capi::cg

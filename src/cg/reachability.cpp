@@ -1,0 +1,70 @@
+#include "cg/reachability.hpp"
+
+#include <deque>
+
+namespace capi::cg {
+
+using support::DynamicBitset;
+
+namespace {
+
+/// Generic BFS over either edge direction.
+template <typename NeighborFn>
+DynamicBitset closure(const CallGraph& graph, const DynamicBitset& seeds,
+                      NeighborFn&& neighbors) {
+    DynamicBitset visited(graph.size());
+    std::deque<FunctionId> queue;
+    seeds.forEach([&](std::size_t id) {
+        visited.set(id);
+        queue.push_back(static_cast<FunctionId>(id));
+    });
+    while (!queue.empty()) {
+        FunctionId current = queue.front();
+        queue.pop_front();
+        for (FunctionId next : neighbors(current)) {
+            if (!visited.test(next)) {
+                visited.set(next);
+                queue.push_back(next);
+            }
+        }
+    }
+    return visited;
+}
+
+}  // namespace
+
+DynamicBitset reachableFrom(const CallGraph& graph, const DynamicBitset& roots) {
+    return closure(graph, roots,
+                   [&](FunctionId id) -> const std::vector<FunctionId>& {
+                       return graph.callees(id);
+                   });
+}
+
+DynamicBitset reachesTo(const CallGraph& graph, const DynamicBitset& targets) {
+    return closure(graph, targets,
+                   [&](FunctionId id) -> const std::vector<FunctionId>& {
+                       return graph.callers(id);
+                   });
+}
+
+DynamicBitset onCallPath(const CallGraph& graph, FunctionId from,
+                         const DynamicBitset& targets) {
+    DynamicBitset result(graph.size());
+    if (from == kInvalidFunction) {
+        return result;
+    }
+    DynamicBitset forward = reachableFrom(graph, from);
+    DynamicBitset backward = reachesTo(graph, targets);
+    forward &= backward;
+    return forward;
+}
+
+DynamicBitset reachableFrom(const CallGraph& graph, FunctionId root) {
+    DynamicBitset roots(graph.size());
+    if (root != kInvalidFunction) {
+        roots.set(root);
+    }
+    return reachableFrom(graph, roots);
+}
+
+}  // namespace capi::cg

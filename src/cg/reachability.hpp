@@ -1,0 +1,33 @@
+// Reachability analyses over the whole-program call graph.
+//
+// These back the call-path selectors: `onCallPathTo(S)` is the set of
+// functions f such that f is reachable from the entry point AND some member
+// of S is reachable from f — i.e. f lies on at least one call path from main
+// to S. Implemented as forward/backward BFS on word-packed bitsets.
+#pragma once
+
+#include <vector>
+
+#include "cg/call_graph.hpp"
+#include "support/bitset.hpp"
+
+namespace capi::cg {
+
+/// Forward closure: everything reachable from `roots` via callee edges
+/// (roots included).
+support::DynamicBitset reachableFrom(const CallGraph& graph,
+                                     const support::DynamicBitset& roots);
+
+/// Backward closure: everything that can reach `targets` via callee edges
+/// (targets included).
+support::DynamicBitset reachesTo(const CallGraph& graph,
+                                 const support::DynamicBitset& targets);
+
+/// Functions lying on a call path from `from` (usually main) to any target.
+support::DynamicBitset onCallPath(const CallGraph& graph, FunctionId from,
+                                  const support::DynamicBitset& targets);
+
+/// Single-root convenience.
+support::DynamicBitset reachableFrom(const CallGraph& graph, FunctionId root);
+
+}  // namespace capi::cg

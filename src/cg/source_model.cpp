@@ -1,0 +1,17 @@
+#include "cg/source_model.hpp"
+
+namespace capi::cg {
+
+std::size_t SourceModel::definitionCount() const {
+    std::size_t count = 0;
+    for (const TranslationUnit& tu : units) {
+        for (const SourceFunction& fn : tu.functions) {
+            if (fn.desc.flags.hasBody) {
+                ++count;
+            }
+        }
+    }
+    return count;
+}
+
+}  // namespace capi::cg

@@ -1,0 +1,57 @@
+// Source-level program model consumed by the MetaCG-style builder.
+//
+// This plays the role of the Clang AST in the real MetaCG pipeline: per
+// translation unit we know which functions are defined, their static metrics,
+// and the call expressions in each body (direct, virtual through a base
+// method, or through a function pointer). The synthetic application
+// generators in src/apps produce these models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cg/types.hpp"
+
+namespace capi::cg {
+
+/// One call expression inside a function body.
+struct CallSite {
+    enum class Kind {
+        Direct,          ///< Plain call; `target` is the callee name.
+        Virtual,         ///< Call through a base method; `target` is the base.
+        FunctionPointer, ///< Indirect call; `signature` identifies candidates.
+    };
+
+    Kind kind = Kind::Direct;
+    std::string target;     ///< Callee (Direct) or base method (Virtual).
+    std::string signature;  ///< Signature group for FunctionPointer sites.
+};
+
+/// A function as seen in one translation unit.
+struct SourceFunction {
+    FunctionDesc desc;                 ///< flags.hasBody=true for definitions.
+    std::vector<CallSite> callSites;   ///< Only meaningful for definitions.
+};
+
+/// One translation unit (one .cpp after preprocessing).
+struct TranslationUnit {
+    std::string name;                       ///< e.g. "lulesh.cc" or "fvMatrix.C".
+    std::vector<SourceFunction> functions;
+};
+
+/// Class-hierarchy override fact: `derived` overrides `base`.
+struct OverrideRelation {
+    std::string base;
+    std::string derived;
+};
+
+/// Whole program as a set of TUs plus the global class hierarchy.
+struct SourceModel {
+    std::vector<TranslationUnit> units;
+    std::vector<OverrideRelation> overrides;
+
+    /// Total number of function definitions across all TUs.
+    std::size_t definitionCount() const;
+};
+
+}  // namespace capi::cg

@@ -1,0 +1,50 @@
+// Basic call-graph value types shared by the MetaCG substrate and selectors.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace capi::cg {
+
+/// Dense index of a function node within a CallGraph.
+using FunctionId = std::uint32_t;
+
+inline constexpr FunctionId kInvalidFunction = std::numeric_limits<FunctionId>::max();
+
+/// Static source-level properties a compiler front end can report per function.
+/// These drive the metric-based selectors (flops, loopDepth, statements, ...).
+struct FunctionMetrics {
+    std::uint32_t numStatements = 0;       ///< Source statements in the body.
+    std::uint32_t flops = 0;               ///< Floating-point operations (static count).
+    std::uint32_t loopDepth = 0;           ///< Maximum loop nesting depth.
+    std::uint32_t cyclomaticComplexity = 1;///< McCabe complexity.
+    std::uint32_t numCallSites = 0;        ///< Call expressions in the body.
+    std::uint32_t numInstructions = 0;     ///< Approximate machine instructions
+                                           ///< (XRay threshold pre-filter input).
+};
+
+/// Structural flags recorded by the call-graph construction.
+struct FunctionFlags {
+    bool hasBody = false;          ///< Definition seen (not just a declaration).
+    bool inlineSpecified = false;  ///< Marked `inline` in source.
+    bool inSystemHeader = false;   ///< Defined in a system header.
+    bool isVirtual = false;        ///< Virtual member function.
+    bool isMpi = false;            ///< An MPI API entry point (MPI_*).
+    bool addressTaken = false;     ///< Address used as a function pointer.
+    bool hiddenVisibility = false; ///< Not visible in the dynamic symbol table.
+};
+
+/// One function node: identity, location, flags and static metrics.
+struct FunctionDesc {
+    std::string name;            ///< Unique (mangled) name; lookup key.
+    std::string prettyName;      ///< Human-readable (demangled) name.
+    std::string translationUnit; ///< TU the definition lives in ("" = unknown).
+    std::string sourceFile;      ///< File of the definition.
+    std::uint32_t line = 0;
+    std::string signature;       ///< Type signature group (function-pointer resolution).
+    FunctionFlags flags;
+    FunctionMetrics metrics;
+};
+
+}  // namespace capi::cg

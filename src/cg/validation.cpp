@@ -1,0 +1,36 @@
+#include "cg/validation.hpp"
+
+namespace capi::cg {
+
+ValidationResult validateAgainstProfile(CallGraph& graph,
+                                        const std::vector<ObservedEdge>& observed) {
+    ValidationResult result;
+    result.observedEdges = observed.size();
+
+    auto ensureNode = [&](const std::string& name) {
+        FunctionId id = graph.lookup(name);
+        if (id == kInvalidFunction) {
+            FunctionDesc desc;
+            desc.name = name;
+            desc.prettyName = name;
+            id = graph.addFunction(desc);
+            ++result.nodesInserted;
+        }
+        return id;
+    };
+
+    for (const ObservedEdge& edge : observed) {
+        FunctionId caller = ensureNode(edge.caller);
+        FunctionId callee = ensureNode(edge.callee);
+        if (graph.hasEdge(caller, callee)) {
+            ++result.alreadyPresent;
+        } else {
+            graph.addCallEdge(caller, callee);
+            ++result.edgesInserted;
+            result.inserted.push_back(edge);
+        }
+    }
+    return result;
+}
+
+}  // namespace capi::cg

@@ -1,0 +1,36 @@
+// Profile-based call-graph validation.
+//
+// MetaCG ships a utility that validates the statically constructed call graph
+// against a Score-P profile and inserts edges the static analysis missed
+// (unresolvable function pointers, dlopen'd plugins, ...). This reproduces
+// that utility: observed caller/callee pairs from a measured run are checked
+// against the graph, missing edges are inserted, and unknown functions are
+// added as body-less nodes so the graph stays closed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cg/call_graph.hpp"
+
+namespace capi::cg {
+
+/// One dynamically observed call relation (e.g. from a call-path profile).
+struct ObservedEdge {
+    std::string caller;
+    std::string callee;
+};
+
+struct ValidationResult {
+    std::size_t observedEdges = 0;
+    std::size_t alreadyPresent = 0;
+    std::size_t edgesInserted = 0;
+    std::size_t nodesInserted = 0;  ///< Functions the static graph did not know.
+    std::vector<ObservedEdge> inserted;
+};
+
+/// Validates `graph` against observed edges, inserting anything missing.
+ValidationResult validateAgainstProfile(CallGraph& graph,
+                                        const std::vector<ObservedEdge>& observed);
+
+}  // namespace capi::cg

@@ -1,0 +1,278 @@
+#include "dyncapi/dyncapi.hpp"
+
+#include <mutex>
+
+#include "binsim/execution_engine.hpp"
+#include "binsim/nm.hpp"
+#include "scorepsim/cyg_adapter.hpp"
+#include "support/timer.hpp"
+#include "talpsim/talp.hpp"
+
+namespace capi::dyncapi {
+
+// ---------------------------------------------------------------- backends --
+
+/// Forwards XRay events to __cyg_profile_func_enter/exit with the function's
+/// address — the generic interface Score-P uses under Clang (Sec. V-C1).
+struct DynCapi::CygBackend {
+    DynCapi* owner = nullptr;
+    scorep::CygProfileAdapter* adapter = nullptr;
+
+    static void handle(void* context, xray::PackedId id, xray::XRayEntryType type) {
+        auto* self = static_cast<CygBackend*>(context);
+        std::uint64_t address = self->owner->addressOf(id);
+        switch (type) {
+            case xray::XRayEntryType::Entry:
+                self->adapter->funcEnter(address, 0);
+                break;
+            case xray::XRayEntryType::Exit:
+            case xray::XRayEntryType::TailExit:
+                self->adapter->funcExit(address, 0);
+                break;
+        }
+    }
+};
+
+/// Forwards XRay events to TALP monitoring regions (Sec. V-C2): a region map
+/// stores the handle per function; regions are registered lazily on first
+/// entry and retried while unregistered (registration fails before MPI_Init).
+struct DynCapi::TalpBackend {
+    DynCapi* owner = nullptr;
+    talp::TalpRuntime* talp = nullptr;
+
+    struct RegionSlot {
+        talp::MonitorHandle handle = talp::MonitorHandle::invalid();
+    };
+    std::mutex mutex;
+    std::unordered_map<xray::PackedId, RegionSlot> regions;
+    std::uint64_t failedRegistrations = 0;
+
+    static void handle(void* context, xray::PackedId id, xray::XRayEntryType type) {
+        auto* self = static_cast<TalpBackend*>(context);
+        binsim::RankState* rank = binsim::currentRankState();
+        if (rank == nullptr) {
+            return;  // Event outside a simulated rank (e.g. startup code).
+        }
+        if (type == xray::XRayEntryType::Entry) {
+            talp::MonitorHandle handle = self->handleFor(id, rank->rank);
+            if (handle.valid()) {
+                self->talp->regionStart(handle, rank->rank, rank->virtualNs);
+            }
+        } else {
+            talp::MonitorHandle handle;
+            {
+                std::lock_guard<std::mutex> lock(self->mutex);
+                auto it = self->regions.find(id);
+                if (it == self->regions.end()) {
+                    return;
+                }
+                handle = it->second.handle;
+            }
+            if (handle.valid()) {
+                self->talp->regionStop(handle, rank->rank, rank->virtualNs);
+            }
+        }
+    }
+
+    talp::MonitorHandle handleFor(xray::PackedId id, int rank) {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            auto it = regions.find(id);
+            if (it != regions.end() && it->second.handle.valid()) {
+                return it->second.handle;
+            }
+        }
+        // Register (or retry) outside the map lock; TALP locks internally.
+        std::optional<std::string> name = owner->nameOf(id);
+        if (!name.has_value()) {
+            return talp::MonitorHandle::invalid();
+        }
+        talp::MonitorHandle handle = talp->regionRegister(*name, rank);
+        std::lock_guard<std::mutex> lock(mutex);
+        RegionSlot& slot = regions[id];
+        if (!handle.valid()) {
+            if (!slot.handle.valid()) {
+                ++failedRegistrations;
+            }
+            return slot.handle;
+        }
+        slot.handle = handle;
+        return handle;
+    }
+};
+
+// ------------------------------------------------------------------ DynCapi --
+
+DynCapi::DynCapi(binsim::Process& process) : process_(&process) {
+    resolveAllObjects();
+}
+
+DynCapi::~DynCapi() { detachHandler(); }
+
+void DynCapi::resolveAllObjects() {
+    support::Timer timer;
+    addressByObject_.assign(xray::kMaxObjectId + 1, {});
+    nameByObject_.assign(xray::kMaxObjectId + 1, {});
+    packedByName_.clear();
+    unresolvable_ = 0;
+    sledded_ = 0;
+    objectsScanned_ = 0;
+
+    xray::XRayRuntime& xr = process_->xray();
+    const binsim::CompiledProgram& program = process_->program();
+
+    // Candidate objects: the executable plus every DSO; find their XRay
+    // object ids from the process (registration order).
+    std::vector<std::pair<xray::ObjectId, const binsim::ObjectImage*>> objects;
+    objects.emplace_back(xray::kMainExecutableObjectId, &program.executable);
+    for (std::size_t d = 0; d < program.dsos.size(); ++d) {
+        std::optional<xray::ObjectId> id =
+            process_->xrayObjectId(static_cast<int>(d));
+        if (id.has_value() && xr.objectRegistered(*id)) {
+            objects.emplace_back(*id, &program.dsos[d]);
+        }
+    }
+
+    for (const auto& [objectId, image] : objects) {
+        ++objectsScanned_;
+        std::uint32_t functions = xr.functionCount(objectId);
+        addressByObject_[objectId].assign(functions, 0);
+        nameByObject_[objectId].assign(functions, std::string());
+
+        // nm dump translated by load base: runtime address -> symbol name.
+        std::unordered_map<std::uint64_t, const binsim::NmEntry*> byAddress;
+        std::vector<binsim::NmEntry> symbols = binsim::nmDump(*image);
+        std::uint64_t delta = image->loadBase - image->linkBase;
+        byAddress.reserve(symbols.size());
+        for (const binsim::NmEntry& symbol : symbols) {
+            byAddress.emplace(symbol.address + delta, &symbol);
+        }
+
+        // Cross-check every XRay function id against the translated symbols.
+        for (std::uint32_t fid = 0; fid < functions; ++fid) {
+            xray::PackedId pid = xray::packId(objectId, fid);
+            std::uint64_t address = xr.functionAddress(pid);
+            if (address == 0) {
+                continue;
+            }
+            ++sledded_;
+            addressByObject_[objectId][fid] = address;
+            auto it = byAddress.find(address);
+            if (it == byAddress.end()) {
+                ++unresolvable_;  // Hidden symbol: nm cannot see it.
+                continue;
+            }
+            nameByObject_[objectId][fid] = it->second->name;
+            packedByName_.emplace(it->second->name, pid);
+        }
+    }
+    resolutionSeconds_ = timer.elapsedSec();
+}
+
+std::optional<xray::PackedId> DynCapi::resolveName(const std::string& name) const {
+    auto it = packedByName_.find(name);
+    if (it == packedByName_.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+std::optional<std::string> DynCapi::nameOf(xray::PackedId id) const {
+    xray::ObjectId objectId = xray::objectIdOf(id);
+    xray::FunctionId fid = xray::functionIdOf(id);
+    if (objectId >= nameByObject_.size() || fid >= nameByObject_[objectId].size() ||
+        nameByObject_[objectId][fid].empty()) {
+        return std::nullopt;
+    }
+    return nameByObject_[objectId][fid];
+}
+
+std::uint64_t DynCapi::addressOf(xray::PackedId id) const {
+    xray::ObjectId objectId = xray::objectIdOf(id);
+    xray::FunctionId fid = xray::functionIdOf(id);
+    if (objectId >= addressByObject_.size() ||
+        fid >= addressByObject_[objectId].size()) {
+        return 0;
+    }
+    return addressByObject_[objectId][fid];
+}
+
+InitStats DynCapi::applyIc(const select::InstrumentationConfig& ic) {
+    InitStats stats;
+    stats.symbolResolutionSeconds = resolutionSeconds_;
+    stats.objectsScanned = objectsScanned_;
+    stats.sleddedFunctions = sledded_;
+    stats.unresolvableFunctions = unresolvable_;
+    stats.requestedFunctions = ic.functions.size();
+
+    support::Timer timer;
+    xray::XRayRuntime& xr = process_->xray();
+    xr.unpatchAll();
+    for (const std::string& name : ic.functions) {
+        std::optional<xray::PackedId> pid;
+        auto staticIt = ic.staticIds.find(name);
+        if (staticIt != ic.staticIds.end()) {
+            pid = staticIt->second;  // Static-ID extension: no name resolution.
+        } else {
+            pid = resolveName(name);
+        }
+        if (pid.has_value() && xr.patchFunction(*pid)) {
+            ++stats.patchedFunctions;
+        } else {
+            ++stats.requestedUnavailable;
+        }
+    }
+    stats.patchSeconds = timer.elapsedSec();
+    stats.totalSeconds = stats.symbolResolutionSeconds + stats.patchSeconds;
+    return stats;
+}
+
+InitStats DynCapi::patchAll() {
+    InitStats stats;
+    stats.symbolResolutionSeconds = resolutionSeconds_;
+    stats.objectsScanned = objectsScanned_;
+    stats.sleddedFunctions = sledded_;
+    stats.unresolvableFunctions = unresolvable_;
+    support::Timer timer;
+    xray::PatchStats patched = process_->xray().patchAll();
+    stats.patchedFunctions = sledded_;
+    stats.requestedFunctions = sledded_;
+    stats.patchSeconds = timer.elapsedSec();
+    stats.totalSeconds = stats.symbolResolutionSeconds + stats.patchSeconds;
+    (void)patched;
+    return stats;
+}
+
+void DynCapi::unpatchAll() { process_->xray().unpatchAll(); }
+
+void DynCapi::attachCygHandler(scorep::CygProfileAdapter& adapter) {
+    detachHandler();
+    cygBackend_ = std::make_unique<CygBackend>();
+    cygBackend_->owner = this;
+    cygBackend_->adapter = &adapter;
+    process_->xray().setHandler(&CygBackend::handle, cygBackend_.get());
+}
+
+void DynCapi::attachTalpHandler(talp::TalpRuntime& talp) {
+    detachHandler();
+    talpBackend_ = std::make_unique<TalpBackend>();
+    talpBackend_->owner = this;
+    talpBackend_->talp = &talp;
+    process_->xray().setHandler(&TalpBackend::handle, talpBackend_.get());
+}
+
+void DynCapi::detachHandler() {
+    process_->xray().clearHandler();
+    cygBackend_.reset();
+    talpBackend_.reset();
+}
+
+std::uint64_t DynCapi::talpFailedRegistrations() const {
+    if (talpBackend_ == nullptr) {
+        return 0;
+    }
+    std::lock_guard<std::mutex> lock(talpBackend_->mutex);
+    return talpBackend_->failedRegistrations;
+}
+
+}  // namespace capi::dyncapi

@@ -1,0 +1,124 @@
+// DynCaPI: the runtime-adaptable instrumentation runtime (paper Sec. IV, V-C).
+//
+// DynCaPI sits between XRay and the measurement library. At program start it
+//  1. determines the mapping between XRay function IDs and function names for
+//     every registered object — nm symbol dumps are translated through the
+//     loader's memory map and cross-checked against __xray_function_address;
+//     hidden symbols cannot be resolved this way and are counted (Sec. VI-B);
+//  2. patches exactly the sleds selected by the IC passed via the
+//     environment (here: an InstrumentationConfig object or file);
+//  3. installs an event handler forwarding entry/exit events to the chosen
+//     backend: the generic __cyg_profile interface, Score-P, or TALP.
+//
+// Because patching is cheap, the IC can be swapped at any quiescent point —
+// no recompilation, the headline capability of the paper. The static-ID
+// extension (IC carries packed IDs) bypasses name resolution entirely and
+// reaches hidden symbols, implementing the future-work idea from Sec. VI-B.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "binsim/process.hpp"
+#include "select/ic.hpp"
+#include "xraysim/xray_runtime.hpp"
+
+namespace capi::scorep {
+class CygProfileAdapter;
+class Measurement;
+}
+namespace capi::talp {
+class TalpRuntime;
+}
+
+namespace capi::dyncapi {
+
+struct InitStats {
+    double totalSeconds = 0.0;
+    double symbolResolutionSeconds = 0.0;
+    double patchSeconds = 0.0;
+    std::size_t objectsScanned = 0;
+    std::size_t sleddedFunctions = 0;        ///< Functions with sleds, all objects.
+    std::size_t unresolvableFunctions = 0;   ///< Sledded but name unknown (hidden).
+    std::size_t requestedFunctions = 0;      ///< IC entries.
+    std::size_t patchedFunctions = 0;
+    std::size_t requestedUnavailable = 0;    ///< In IC but no patchable sled
+                                             ///< (inlined away or filtered).
+};
+
+class DynCapi {
+public:
+    /// Builds the fid<->name mapping for every object registered with the
+    /// process's XRay runtime (this is the symbol-resolution phase of Tinit).
+    explicit DynCapi(binsim::Process& process);
+
+    ~DynCapi();
+    DynCapi(const DynCapi&) = delete;
+    DynCapi& operator=(const DynCapi&) = delete;
+
+    // --- patching ---------------------------------------------------------
+    /// Applies an IC: unpatches everything, then patches the selected
+    /// functions. Safe to call repeatedly at quiescent points (the
+    /// runtime-adaptable workflow). Uses staticIds entries when present,
+    /// names otherwise.
+    InitStats applyIc(const select::InstrumentationConfig& ic);
+
+    /// Patches every sled (the `xray full` configuration).
+    InitStats patchAll();
+    void unpatchAll();
+
+    // --- name resolution ----------------------------------------------------
+    std::optional<xray::PackedId> resolveName(const std::string& name) const;
+    /// Name for a packed id; nullopt for hidden symbols.
+    std::optional<std::string> nameOf(xray::PackedId id) const;
+    /// Runtime entry-sled address for a packed id (0 if unknown).
+    std::uint64_t addressOf(xray::PackedId id) const;
+
+    std::size_t unresolvableFunctionCount() const { return unresolvable_; }
+    std::size_t sleddedFunctionCount() const { return sledded_; }
+    double symbolResolutionSeconds() const { return resolutionSeconds_; }
+
+    // --- measurement backends ----------------------------------------------
+    /// Default GCC -finstrument-functions-compatible interface.
+    void attachCygHandler(scorep::CygProfileAdapter& adapter);
+    /// Score-P backend (same generic interface; pair it with a resolver
+    /// built via symbol injection to cover DSOs).
+    void attachScorePHandler(scorep::CygProfileAdapter& adapter) {
+        attachCygHandler(adapter);
+    }
+    /// TALP backend: entry/exit drive monitoring-region start/stop.
+    void attachTalpHandler(talp::TalpRuntime& talp);
+    void detachHandler();
+
+    /// TALP-backend failure counters (regions that could not register
+    /// because MPI was not initialized yet; Sec. VI-B).
+    std::uint64_t talpFailedRegistrations() const;
+
+    binsim::Process& process() { return *process_; }
+
+private:
+    struct TalpBackend;
+    struct CygBackend;
+
+    void resolveAllObjects();
+
+    binsim::Process* process_;
+    /// addressByObject_[objectId][localFid] = runtime entry address (0 = none).
+    std::vector<std::vector<std::uint64_t>> addressByObject_;
+    /// nameByObject_[objectId][localFid]; empty = unresolvable.
+    std::vector<std::vector<std::string>> nameByObject_;
+    std::unordered_map<std::string, xray::PackedId> packedByName_;
+    std::size_t unresolvable_ = 0;
+    std::size_t sledded_ = 0;
+    std::size_t objectsScanned_ = 0;
+    double resolutionSeconds_ = 0.0;
+
+    std::unique_ptr<CygBackend> cygBackend_;
+    std::unique_ptr<TalpBackend> talpBackend_;
+};
+
+}  // namespace capi::dyncapi

@@ -1,0 +1,46 @@
+// Glue between the execution engine's MPI operations and the MPI simulation.
+//
+// binsim is deliberately independent of mpisim; this adapter implements the
+// engine's MpiPort against an MpiWorld, keeping the rank's virtual clock in
+// sync with the collective completion times.
+#pragma once
+
+#include "binsim/execution_engine.hpp"
+#include "mpisim/mpi_world.hpp"
+
+namespace capi::dyncapi {
+
+class WorldMpiPort final : public binsim::MpiPort {
+public:
+    explicit WorldMpiPort(mpi::MpiWorld& world) : world_(&world) {}
+
+    void execute(binsim::MpiOp op, binsim::RankState& rank) override {
+        switch (op) {
+            case binsim::MpiOp::None:
+                return;
+            case binsim::MpiOp::Init:
+                rank.virtualNs = world_->init(rank.rank, rank.virtualNs);
+                return;
+            case binsim::MpiOp::Finalize:
+                rank.virtualNs = world_->finalize(rank.rank, rank.virtualNs);
+                return;
+            case binsim::MpiOp::Barrier:
+                rank.virtualNs = world_->barrier(rank.rank, rank.virtualNs);
+                return;
+            case binsim::MpiOp::Allreduce:
+                rank.virtualNs = world_->allreduce(rank.rank, rank.virtualNs);
+                return;
+            case binsim::MpiOp::Bcast:
+                rank.virtualNs = world_->bcast(rank.rank, rank.virtualNs);
+                return;
+            case binsim::MpiOp::HaloExchange:
+                rank.virtualNs = world_->haloExchange(rank.rank, rank.virtualNs);
+                return;
+        }
+    }
+
+private:
+    mpi::MpiWorld* world_;
+};
+
+}  // namespace capi::dyncapi

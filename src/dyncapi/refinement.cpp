@@ -1,0 +1,65 @@
+#include "dyncapi/refinement.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace capi::dyncapi {
+
+RefinementResult refineIc(const select::InstrumentationConfig& ic,
+                          const scorep::ProfileTree& profile,
+                          const scorep::Measurement& measurement,
+                          const RefinementOptions& options) {
+    // Aggregate the profile per region name.
+    struct Accum {
+        std::uint64_t visits = 0;
+        std::uint64_t exclusiveNs = 0;
+    };
+    std::map<std::string, Accum> byName;
+    for (std::size_t i = 0; i < profile.nodeCount(); ++i) {
+        const scorep::ProfileNode& node = profile.node(i);
+        if (node.region == scorep::kNoRegion) {
+            continue;
+        }
+        Accum& accum = byName[measurement.region(node.region).name];
+        accum.visits += node.visits;
+        accum.exclusiveNs += profile.exclusiveNs(i);
+    }
+
+    RefinementResult result;
+    result.ic.specName = ic.specName + "+refined";
+    result.ic.application = ic.application;
+
+    for (const std::string& name : ic.functions) {
+        auto it = byName.find(name);
+        if (it == byName.end()) {
+            // Not measured this run: keep (the region may simply be on a
+            // cold path for this input).
+            ++result.unmeasured;
+            result.ic.addFunction(name);
+            continue;
+        }
+        const Accum& accum = it->second;
+        bool keepListed = std::find(options.keep.begin(), options.keep.end(),
+                                    name) != options.keep.end();
+        double perVisit = accum.visits == 0
+                              ? 0.0
+                              : static_cast<double>(accum.exclusiveNs) /
+                                    static_cast<double>(accum.visits);
+        bool noisy = accum.visits > options.visitThreshold &&
+                     perVisit < options.minExclusiveNsPerVisit;
+        if (noisy && !keepListed) {
+            result.excluded.push_back(name);
+            result.excludedVisits += accum.visits;
+        } else {
+            result.ic.addFunction(name);
+            // Preserve any static-ID annotations for surviving entries.
+            auto staticIt = ic.staticIds.find(name);
+            if (staticIt != ic.staticIds.end()) {
+                result.ic.staticIds.insert(*staticIt);
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace capi::dyncapi

@@ -1,0 +1,48 @@
+// Profile-driven IC refinement: the "Adjust" step of the paper's Fig. 1.
+//
+// After surveying a measurement, the user typically excludes individual
+// functions that produced too much overhead — small, frequently called
+// regions that flood the measurement without contributing insight. This
+// module automates one adjustment round: given the IC that produced a
+// profile, it drops regions whose visit count is large while their exclusive
+// time per visit stays below the measurement cost, exactly the reasoning a
+// performance engineer applies by hand (and PIRA automates iteratively).
+//
+// Because the runtime is adaptable, each refinement round is applyIc() —
+// not a recompilation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scorepsim/measurement.hpp"
+#include "scorepsim/profile.hpp"
+#include "select/ic.hpp"
+
+namespace capi::dyncapi {
+
+struct RefinementOptions {
+    /// A region becomes an exclusion candidate above this visit count.
+    std::uint64_t visitThreshold = 10000;
+    /// ...but survives if it averages at least this much exclusive work per
+    /// visit (ns) — it is genuinely hot, not just frequently entered.
+    double minExclusiveNsPerVisit = 1000.0;
+    /// Functions never removed (the user's critical set).
+    std::vector<std::string> keep;
+};
+
+struct RefinementResult {
+    select::InstrumentationConfig ic;        ///< The refined configuration.
+    std::vector<std::string> excluded;       ///< What was dropped and why.
+    std::uint64_t excludedVisits = 0;        ///< Events eliminated next run.
+    std::size_t unmeasured = 0;              ///< IC entries without profile data
+                                             ///< (kept; likely cold paths).
+};
+
+/// One refinement round over a measured profile.
+RefinementResult refineIc(const select::InstrumentationConfig& ic,
+                          const scorep::ProfileTree& profile,
+                          const scorep::Measurement& measurement,
+                          const RefinementOptions& options = {});
+
+}  // namespace capi::dyncapi

@@ -1,0 +1,212 @@
+#include "mpisim/mpi_world.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace capi::mpi {
+
+const char* opName(OpKind op) {
+    switch (op) {
+        case OpKind::Init: return "MPI_Init";
+        case OpKind::Finalize: return "MPI_Finalize";
+        case OpKind::Barrier: return "MPI_Barrier";
+        case OpKind::Allreduce: return "MPI_Allreduce";
+        case OpKind::Bcast: return "MPI_Bcast";
+        case OpKind::HaloExchange: return "MPI_Sendrecv";
+    }
+    return "MPI_<unknown>";
+}
+
+double LatencyModel::latencyOf(OpKind op) const {
+    switch (op) {
+        case OpKind::Init: return initNs;
+        case OpKind::Finalize: return finalizeNs;
+        case OpKind::Barrier: return barrierNs;
+        case OpKind::Allreduce: return allreduceNs;
+        case OpKind::Bcast: return bcastNs;
+        case OpKind::HaloExchange: return haloExchangeNs;
+    }
+    return 0.0;
+}
+
+MpiWorld::MpiWorld(int worldSize, LatencyModel latency)
+    : worldSize_(worldSize), latency_(latency) {
+    if (worldSize <= 0) {
+        throw support::Error("MpiWorld: world size must be positive");
+    }
+    clocks_.assign(static_cast<std::size_t>(worldSize), 0.0);
+    completions_.assign(static_cast<std::size_t>(worldSize), 0.0);
+    initialized_.assign(static_cast<std::size_t>(worldSize), false);
+    finalized_.assign(static_cast<std::size_t>(worldSize), false);
+    mpiTimeNs_.assign(static_cast<std::size_t>(worldSize), 0.0);
+}
+
+double MpiWorld::collectiveSync(
+    int rank, double virtualNow, OpKind op,
+    const std::function<double(const std::vector<double>&, int)>& completionFn) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (abort_) {
+        throw support::Error("MPI aborted");
+    }
+    clocks_[static_cast<std::size_t>(rank)] = virtualNow;
+    std::uint64_t myGeneration = generation_;
+    if (++arrived_ == worldSize_) {
+        // Last arrival computes every rank's completion clock and releases
+        // the generation.
+        for (int r = 0; r < worldSize_; ++r) {
+            completions_[static_cast<std::size_t>(r)] = completionFn(clocks_, r);
+        }
+        arrived_ = 0;
+        ++generation_;
+        cv_.notify_all();
+    } else {
+        cv_.wait(lock, [&] { return generation_ != myGeneration || abort_; });
+        if (abort_) {
+            throw support::Error("MPI aborted");
+        }
+    }
+    (void)op;
+    return completions_[static_cast<std::size_t>(rank)];
+}
+
+double MpiWorld::runOp(int rank, double virtualNow, OpKind op) {
+    if (rank < 0 || rank >= worldSize_) {
+        throw support::Error("MPI: bad rank");
+    }
+    if (op != OpKind::Init && !initialized_[static_cast<std::size_t>(rank)]) {
+        throw support::Error(std::string("MPI: ") + opName(op) +
+                             " called before MPI_Init on rank " +
+                             std::to_string(rank));
+    }
+
+    PmpiInterceptor* interceptor = interceptor_;
+    if (interceptor != nullptr) {
+        interceptor->preOp(rank, op, virtualNow);
+    }
+
+    double latency = latency_.latencyOf(op);
+    double completed;
+    if (op == OpKind::HaloExchange) {
+        // Neighbour exchange on a ring: a rank can proceed once both
+        // neighbours have posted their halves.
+        completed = collectiveSync(
+            rank, virtualNow, op,
+            [this, latency](const std::vector<double>& clocks, int r) {
+                int left = (r + worldSize_ - 1) % worldSize_;
+                int right = (r + 1) % worldSize_;
+                double ready = std::max(
+                    {clocks[static_cast<std::size_t>(r)],
+                     clocks[static_cast<std::size_t>(left)],
+                     clocks[static_cast<std::size_t>(right)]});
+                return ready + latency;
+            });
+    } else {
+        // Fully synchronizing collective: completes at the global maximum.
+        completed = collectiveSync(
+            rank, virtualNow, op,
+            [latency](const std::vector<double>& clocks, int) {
+                return *std::max_element(clocks.begin(), clocks.end()) + latency;
+            });
+    }
+
+    double mpiNs = completed - virtualNow;
+    mpiTimeNs_[static_cast<std::size_t>(rank)] += mpiNs;
+
+    if (op == OpKind::Init) {
+        initialized_[static_cast<std::size_t>(rank)] = true;
+        if (interceptor != nullptr) {
+            interceptor->onInit(rank);
+        }
+    }
+    if (op == OpKind::Finalize) {
+        finalized_[static_cast<std::size_t>(rank)] = true;
+        if (interceptor != nullptr) {
+            interceptor->onFinalize(rank);
+        }
+    }
+    if (interceptor != nullptr) {
+        interceptor->postOp(rank, op, completed, mpiNs);
+    }
+    return completed;
+}
+
+double MpiWorld::init(int rank, double virtualNow) {
+    if (initialized(rank)) {
+        throw support::Error("MPI: MPI_Init called twice on rank " +
+                             std::to_string(rank));
+    }
+    return runOp(rank, virtualNow, OpKind::Init);
+}
+
+double MpiWorld::finalize(int rank, double virtualNow) {
+    return runOp(rank, virtualNow, OpKind::Finalize);
+}
+
+double MpiWorld::barrier(int rank, double virtualNow) {
+    return runOp(rank, virtualNow, OpKind::Barrier);
+}
+
+double MpiWorld::allreduce(int rank, double virtualNow) {
+    return runOp(rank, virtualNow, OpKind::Allreduce);
+}
+
+double MpiWorld::bcast(int rank, double virtualNow) {
+    return runOp(rank, virtualNow, OpKind::Bcast);
+}
+
+double MpiWorld::haloExchange(int rank, double virtualNow) {
+    return runOp(rank, virtualNow, OpKind::HaloExchange);
+}
+
+bool MpiWorld::initialized(int rank) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return initialized_[static_cast<std::size_t>(rank)];
+}
+
+bool MpiWorld::finalized(int rank) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return finalized_[static_cast<std::size_t>(rank)];
+}
+
+void MpiWorld::abort() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    abort_ = true;
+    cv_.notify_all();
+}
+
+bool MpiWorld::aborted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return abort_;
+}
+
+double MpiWorld::mpiTimeNs(int rank) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return mpiTimeNs_[static_cast<std::size_t>(rank)];
+}
+
+void runRanks(MpiWorld& world, const std::function<void(int)>& body) {
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(world.worldSize()));
+    threads.reserve(static_cast<std::size_t>(world.worldSize()));
+    for (int rank = 0; rank < world.worldSize(); ++rank) {
+        threads.emplace_back([&, rank] {
+            try {
+                body(rank);
+            } catch (...) {
+                errors[static_cast<std::size_t>(rank)] = std::current_exception();
+                world.abort();
+            }
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    for (const std::exception_ptr& error : errors) {
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+}
+
+}  // namespace capi::mpi

@@ -1,0 +1,122 @@
+// In-process MPI simulation with a PMPI interception layer.
+//
+// Ranks run on std::thread and synchronize through generation barriers.
+// Time is *virtual*: every rank carries its own virtual clock (advanced by
+// the execution engine's work model); blocking operations complete at the
+// latest participating clock plus an operation latency, exactly like a
+// perfectly synchronizing network. This makes POP efficiency metrics
+// deterministic and meaningful even on a single-core host, while the real
+// threads still pay real wall-clock costs for the instrumentation hooks.
+//
+// The PMPI layer mirrors the MPI profiling interface: a registered
+// interceptor sees every operation with the rank's virtual clock before and
+// after — that is all TALP needs (paper Sec. III-B).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace capi::mpi {
+
+enum class OpKind : std::uint8_t {
+    Init,
+    Finalize,
+    Barrier,
+    Allreduce,
+    Bcast,
+    HaloExchange,
+};
+
+const char* opName(OpKind op);
+
+/// Virtual latencies per operation, in nanoseconds.
+struct LatencyModel {
+    double barrierNs = 2000;
+    double allreduceNs = 4000;
+    double bcastNs = 3000;
+    double haloExchangeNs = 5000;
+    double initNs = 50000;
+    double finalizeNs = 10000;
+
+    double latencyOf(OpKind op) const;
+};
+
+/// PMPI-style interceptor: called around every MPI operation.
+class PmpiInterceptor {
+public:
+    virtual ~PmpiInterceptor() = default;
+    /// Before the op blocks. `virtualNow` is the rank's compute clock.
+    virtual void preOp(int rank, OpKind op, double virtualNow) {
+        (void)rank; (void)op; (void)virtualNow;
+    }
+    /// After the op completes. `mpiNs` = virtual time spent inside MPI.
+    virtual void postOp(int rank, OpKind op, double virtualNowAfter, double mpiNs) {
+        (void)rank; (void)op; (void)virtualNowAfter; (void)mpiNs;
+    }
+    virtual void onInit(int rank) { (void)rank; }
+    virtual void onFinalize(int rank) { (void)rank; }
+};
+
+class MpiWorld {
+public:
+    explicit MpiWorld(int worldSize, LatencyModel latency = {});
+
+    int worldSize() const { return worldSize_; }
+    void setInterceptor(PmpiInterceptor* interceptor) { interceptor_ = interceptor; }
+
+    /// All operations take the rank's current virtual clock and return the
+    /// clock after the operation. They throw support::Error after abort().
+    double init(int rank, double virtualNow);
+    double finalize(int rank, double virtualNow);
+    double barrier(int rank, double virtualNow);
+    double allreduce(int rank, double virtualNow);
+    double bcast(int rank, double virtualNow);
+    double haloExchange(int rank, double virtualNow);
+
+    bool initialized(int rank) const;
+    bool finalized(int rank) const;
+
+    /// Wakes every blocked rank with an error; used when a rank thread dies.
+    void abort();
+    bool aborted() const;
+
+    /// Per-rank accumulated virtual MPI time (diagnostics).
+    double mpiTimeNs(int rank) const;
+
+private:
+    /// Generation barrier collecting every rank's clock; returns the
+    /// completion clock for this rank as computed by `completionFn` from all
+    /// deposited clocks.
+    double collectiveSync(int rank, double virtualNow, OpKind op,
+                          const std::function<double(const std::vector<double>&, int)>&
+                              completionFn);
+
+    double runOp(int rank, double virtualNow, OpKind op);
+
+    int worldSize_;
+    LatencyModel latency_;
+    PmpiInterceptor* interceptor_ = nullptr;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<double> clocks_;
+    int arrived_ = 0;
+    std::uint64_t generation_ = 0;
+    std::vector<double> completions_;
+    bool abort_ = false;
+
+    std::vector<bool> initialized_;
+    std::vector<bool> finalized_;
+    std::vector<double> mpiTimeNs_;
+};
+
+/// Runs `body(rank)` on one thread per rank. If any body throws, the world
+/// is aborted (unblocking the other ranks) and the first error is rethrown.
+void runRanks(MpiWorld& world, const std::function<void(int)>& body);
+
+}  // namespace capi::mpi

@@ -1,0 +1,46 @@
+#include "scorepsim/cyg_adapter.hpp"
+
+namespace capi::scorep {
+
+RegionHandle CygProfileAdapter::handleFor(std::uint64_t address) {
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = byAddress_.find(address);
+        if (it != byAddress_.end()) {
+            return it->second;
+        }
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto it = byAddress_.find(address);
+    if (it != byAddress_.end()) {
+        return it->second;
+    }
+    RegionHandle handle = kNoRegion;
+    if (auto name = resolver_.resolve(address)) {
+        handle = measurement_->defineRegion(*name);
+    } else {
+        ++unresolved_;
+    }
+    byAddress_.emplace(address, handle);
+    return handle;
+}
+
+void CygProfileAdapter::funcEnter(std::uint64_t functionAddress, std::uint64_t) {
+    RegionHandle handle = handleFor(functionAddress);
+    if (handle != kNoRegion) {
+        measurement_->enter(handle);
+    } else {
+        droppedEvents_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void CygProfileAdapter::funcExit(std::uint64_t functionAddress, std::uint64_t) {
+    RegionHandle handle = handleFor(functionAddress);
+    if (handle != kNoRegion) {
+        measurement_->exit(handle);
+    } else {
+        droppedEvents_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+}  // namespace capi::scorep

@@ -1,0 +1,53 @@
+// GCC -finstrument-functions compatible adapter into Score-P.
+//
+// Score-P uses this generic interface when instrumenting with a compiler it
+// has no dedicated plugin for (Clang, notably). Only addresses reach the
+// measurement system (__cyg_profile_func_enter/exit), so every event is
+// resolved through the SymbolResolver; events whose address cannot be
+// resolved (DSO functions, unless symbol injection is active) are dropped
+// and counted.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "scorepsim/measurement.hpp"
+#include "scorepsim/symbol_resolver.hpp"
+
+namespace capi::scorep {
+
+class CygProfileAdapter {
+public:
+    CygProfileAdapter(Measurement& measurement, SymbolResolver resolver)
+        : measurement_(&measurement), resolver_(std::move(resolver)) {}
+
+    /// __cyg_profile_func_enter(fn, callsite)
+    void funcEnter(std::uint64_t functionAddress, std::uint64_t callSite);
+    /// __cyg_profile_func_exit(fn, callsite)
+    void funcExit(std::uint64_t functionAddress, std::uint64_t callSite);
+
+    /// Distinct addresses that could not be resolved to a name.
+    std::uint64_t unresolvedAddresses() const { return unresolved_; }
+    /// Events dropped because their address was unresolvable.
+    std::uint64_t droppedEvents() const {
+        return droppedEvents_.load(std::memory_order_relaxed);
+    }
+    const SymbolResolver& resolver() const { return resolver_; }
+
+private:
+    /// Region handle for an address; kNoRegion when unresolvable. The
+    /// per-address cache mirrors Score-P's lazy region definition.
+    RegionHandle handleFor(std::uint64_t address);
+
+    Measurement* measurement_;
+    SymbolResolver resolver_;
+    /// Address cache: read-mostly after warm-up, so lookups take a shared
+    /// lock and only first sightings take the exclusive one.
+    mutable std::shared_mutex mutex_;
+    std::unordered_map<std::uint64_t, RegionHandle> byAddress_;
+    std::uint64_t unresolved_ = 0;
+    std::atomic<std::uint64_t> droppedEvents_{0};
+};
+
+}  // namespace capi::scorep

@@ -1,0 +1,83 @@
+#include "scorepsim/filter_file.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace capi::scorep {
+
+FilterFile FilterFile::parse(const std::string& text) {
+    FilterFile filter;
+    bool inBlock = false;
+    bool sawBlock = false;
+    int lineNo = 0;
+    for (const std::string& rawLine : support::split(text, '\n')) {
+        ++lineNo;
+        std::string_view line = support::trim(rawLine);
+        if (line.empty() || line.front() == '#') {
+            continue;
+        }
+        if (line == "SCOREP_REGION_NAMES_BEGIN") {
+            inBlock = true;
+            sawBlock = true;
+            continue;
+        }
+        if (line == "SCOREP_REGION_NAMES_END") {
+            inBlock = false;
+            continue;
+        }
+        if (!inBlock) {
+            throw support::ParseError("filter: rule outside region-names block",
+                                      lineNo, 1);
+        }
+        std::vector<std::string> fields = support::splitWhitespace(line);
+        bool include;
+        if (fields[0] == "INCLUDE") {
+            include = true;
+        } else if (fields[0] == "EXCLUDE") {
+            include = false;
+        } else {
+            throw support::ParseError("filter: expected INCLUDE or EXCLUDE", lineNo, 1);
+        }
+        std::size_t first = 1;
+        if (fields.size() > 1 && fields[1] == "MANGLED") {
+            first = 2;
+        }
+        if (fields.size() <= first) {
+            throw support::ParseError("filter: rule without patterns", lineNo, 1);
+        }
+        for (std::size_t i = first; i < fields.size(); ++i) {
+            filter.addRule(include, fields[i]);
+        }
+    }
+    if (!sawBlock) {
+        throw support::Error("filter: missing SCOREP_REGION_NAMES block");
+    }
+    return filter;
+}
+
+void FilterFile::addRule(bool include, std::string pattern) {
+    rules_.push_back({include, std::move(pattern)});
+}
+
+bool FilterFile::isIncluded(const std::string& regionName) const {
+    bool included = true;
+    for (const FilterRule& rule : rules_) {
+        if (support::globMatch(rule.pattern, regionName)) {
+            included = rule.include;
+        }
+    }
+    return included;
+}
+
+std::string FilterFile::toText() const {
+    std::string out = "SCOREP_REGION_NAMES_BEGIN\n";
+    for (const FilterRule& rule : rules_) {
+        out += rule.include ? "  INCLUDE " : "  EXCLUDE ";
+        out += rule.pattern;
+        out += "\n";
+    }
+    out += "SCOREP_REGION_NAMES_END\n";
+    return out;
+}
+
+}  // namespace capi::scorep

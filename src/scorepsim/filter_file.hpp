@@ -1,0 +1,42 @@
+// Score-P measurement filter files (region-name rules).
+//
+// Full rule semantics, unlike the IC writer in src/select which only emits
+// the CaPI convention: a SCOREP_REGION_NAMES_BEGIN block contains INCLUDE and
+// EXCLUDE rules with glob patterns, evaluated top to bottom — the *last*
+// matching rule decides, names matching no rule are included. The optional
+// MANGLED keyword matches against mangled names (our names are already
+// mangled, so it is accepted and ignored).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace capi::scorep {
+
+struct FilterRule {
+    bool include = true;
+    std::string pattern;
+};
+
+class FilterFile {
+public:
+    FilterFile() = default;
+
+    /// Parses filter text; throws support::Error on malformed input.
+    static FilterFile parse(const std::string& text);
+
+    void addRule(bool include, std::string pattern);
+
+    /// Last matching rule wins; default is included.
+    bool isIncluded(const std::string& regionName) const;
+
+    std::size_t ruleCount() const { return rules_.size(); }
+    const std::vector<FilterRule>& rules() const { return rules_; }
+
+    std::string toText() const;
+
+private:
+    std::vector<FilterRule> rules_;
+};
+
+}  // namespace capi::scorep

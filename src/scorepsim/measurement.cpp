@@ -1,0 +1,135 @@
+#include "scorepsim/measurement.hpp"
+
+#include <thread>
+
+#include "scorepsim/tracing.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace capi::scorep {
+
+namespace {
+
+/// Per-thread cache mapping measurement instances to their thread state, so
+/// the hot probe path avoids a lock after first touch.
+thread_local std::unordered_map<const Measurement*, void*> t_stateCache;
+
+}  // namespace
+
+Measurement::Measurement(MeasurementOptions options)
+    : options_(std::move(options)),
+      chunks_(std::make_unique<std::unique_ptr<RegionDef[]>[]>(kMaxRegionChunks)) {}
+
+Measurement::~Measurement() {
+    // Invalidate this instance's per-thread cache entry for the destroying
+    // thread; other threads must not touch a dead Measurement by contract.
+    t_stateCache.erase(this);
+}
+
+RegionHandle Measurement::defineRegion(const std::string& name) {
+    std::lock_guard<std::mutex> lock(regionMutex_);
+    auto it = regionByName_.find(name);
+    if (it != regionByName_.end()) {
+        return it->second;
+    }
+    std::uint32_t handle = publishedRegions_.load(std::memory_order_relaxed);
+    std::size_t chunk = handle >> kRegionChunkBits;
+    if (chunk >= kMaxRegionChunks) {
+        throw support::Error("Score-P: region definition space exhausted");
+    }
+    if (chunks_[chunk] == nullptr) {
+        chunks_[chunk] = std::make_unique<RegionDef[]>(kRegionChunkSize);
+    }
+    RegionDef& def = chunks_[chunk][handle & (kRegionChunkSize - 1)];
+    def.name = name;
+    if (options_.runtimeFiltering) {
+        def.filtered = !options_.runtimeFilter.isIncluded(name);
+    }
+    regionByName_.emplace(name, handle);
+    // Publish after the definition is fully written.
+    publishedRegions_.store(handle + 1, std::memory_order_release);
+    return handle;
+}
+
+const RegionDef& Measurement::region(RegionHandle handle) const {
+    if (handle >= publishedRegions_.load(std::memory_order_acquire)) {
+        throw support::Error("Score-P: bad region handle");
+    }
+    return regionUnlocked(handle);
+}
+
+std::size_t Measurement::regionCount() const {
+    return publishedRegions_.load(std::memory_order_acquire);
+}
+
+Measurement::ThreadState& Measurement::threadState() {
+    auto it = t_stateCache.find(this);
+    if (it != t_stateCache.end()) {
+        return *static_cast<ThreadState*>(it->second);
+    }
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    threads_.push_back(std::make_unique<ThreadState>());
+    ThreadState* state = threads_.back().get();
+    t_stateCache[this] = state;
+    return *state;
+}
+
+void Measurement::enter(RegionHandle handle) {
+    probeEvents_.fetch_add(1, std::memory_order_relaxed);
+    if (handle >= publishedRegions_.load(std::memory_order_acquire)) {
+        throw support::Error("Score-P: enter with bad region handle");
+    }
+    if (regionUnlocked(handle).filtered) {
+        filteredEvents_.fetch_add(1, std::memory_order_relaxed);
+        return;  // Probe cost retained, measurement skipped.
+    }
+    ThreadState& state = threadState();
+    std::size_t parent = state.stack.empty() ? state.tree.root() : state.stack.back().node;
+    std::size_t node = state.tree.childOf(parent, handle);
+    std::uint64_t now = support::nowNs();
+    state.stack.push_back({node, now});
+    if (options_.trace != nullptr) {
+        options_.trace->record(handle, TraceEventType::Enter, now);
+    }
+}
+
+void Measurement::exit(RegionHandle handle) {
+    probeEvents_.fetch_add(1, std::memory_order_relaxed);
+    if (handle >= publishedRegions_.load(std::memory_order_acquire)) {
+        throw support::Error("Score-P: exit with bad region handle");
+    }
+    if (regionUnlocked(handle).filtered) {
+        filteredEvents_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    ThreadState& state = threadState();
+    if (state.stack.empty()) {
+        throw support::Error("Score-P: region exit with empty call stack");
+    }
+    ThreadState::StackEntry top = state.stack.back();
+    if (state.tree.node(top.node).region != handle) {
+        throw support::Error("Score-P: unbalanced region exit for '" +
+                             region(handle).name + "'");
+    }
+    state.stack.pop_back();
+    ProfileNode& node = state.tree.node(top.node);
+    node.visits += 1;
+    std::uint64_t now = support::nowNs();
+    node.inclusiveNs += now - top.enterNs;
+    if (options_.trace != nullptr) {
+        options_.trace->record(handle, TraceEventType::Exit, now);
+    }
+}
+
+const ProfileTree& Measurement::threadProfile() { return threadState().tree; }
+
+ProfileTree Measurement::mergedProfile() const {
+    ProfileTree merged;
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    for (const auto& thread : threads_) {
+        merged.mergeFrom(thread->tree);
+    }
+    return merged;
+}
+
+}  // namespace capi::scorep

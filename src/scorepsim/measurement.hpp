@@ -1,0 +1,111 @@
+// The Score-P measurement runtime (profiling mode).
+//
+// Maintains region definitions, per-thread shadow stacks and call-path
+// profile trees. Supports Score-P's runtime filtering: probes of filtered
+// regions still fire — the handler is invoked and the filtered flag checked
+// — but nothing is recorded, which is precisely why the paper's
+// selective *patching* beats runtime filtering on overhead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scorepsim/filter_file.hpp"
+#include "scorepsim/profile.hpp"
+
+namespace capi::scorep {
+
+class TraceBuffer;
+
+struct MeasurementOptions {
+    bool runtimeFiltering = false;
+    FilterFile runtimeFilter;  ///< Only used when runtimeFiltering is true.
+    /// Tracing mode: every unfiltered enter/exit is also recorded here
+    /// (not owned; must outlive the Measurement).
+    TraceBuffer* trace = nullptr;
+};
+
+struct RegionDef {
+    std::string name;
+    bool filtered = false;  ///< Excluded by the runtime filter at definition.
+};
+
+class Measurement {
+public:
+    explicit Measurement(MeasurementOptions options = {});
+    ~Measurement();
+
+    Measurement(const Measurement&) = delete;
+    Measurement& operator=(const Measurement&) = delete;
+
+    /// Defines (or looks up) a region by name. Thread-safe. The runtime
+    /// filter is evaluated once here, as in Score-P.
+    RegionHandle defineRegion(const std::string& name);
+
+    const RegionDef& region(RegionHandle handle) const;
+    std::size_t regionCount() const;
+
+    /// Region enter/exit probes. Filtered regions return immediately (the
+    /// probe cost is retained, the measurement is skipped).
+    void enter(RegionHandle handle);
+    void exit(RegionHandle handle);
+
+    /// Profile of the calling thread (creating it if needed).
+    const ProfileTree& threadProfile();
+
+    /// Merged profile over every thread that recorded events.
+    ProfileTree mergedProfile() const;
+
+    /// Total events that hit the probes (including filtered ones).
+    std::uint64_t probeEvents() const {
+        return probeEvents_.load(std::memory_order_relaxed);
+    }
+    /// Events dropped by runtime filtering.
+    std::uint64_t filteredEvents() const {
+        return filteredEvents_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct ThreadState {
+        ProfileTree tree;
+        struct StackEntry {
+            std::size_t node;
+            std::uint64_t enterNs;
+        };
+        std::vector<StackEntry> stack;
+    };
+
+    ThreadState& threadState();
+
+    /// Region storage with a lock-free read path: definitions are appended
+    /// under the mutex into fixed-size chunks (stable addresses) and then
+    /// published via an atomic count, so the per-event probes never lock —
+    /// matching real Score-P, whose profiling hot path is thread-local.
+    static constexpr std::size_t kRegionChunkBits = 12;  // 4096 per chunk
+    static constexpr std::size_t kRegionChunkSize = 1u << kRegionChunkBits;
+    static constexpr std::size_t kMaxRegionChunks = 1u << 12;  // 16.7M regions
+
+    const RegionDef& regionUnlocked(RegionHandle handle) const {
+        return chunks_[handle >> kRegionChunkBits][handle & (kRegionChunkSize - 1)];
+    }
+
+    MeasurementOptions options_;
+
+    mutable std::mutex regionMutex_;
+    std::unique_ptr<std::unique_ptr<RegionDef[]>[]> chunks_;
+    std::atomic<std::uint32_t> publishedRegions_{0};
+    std::unordered_map<std::string, RegionHandle> regionByName_;
+
+    mutable std::mutex threadsMutex_;
+    std::vector<std::unique_ptr<ThreadState>> threads_;
+
+    std::atomic<std::uint64_t> probeEvents_{0};
+    std::atomic<std::uint64_t> filteredEvents_{0};
+};
+
+}  // namespace capi::scorep

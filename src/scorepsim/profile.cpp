@@ -1,0 +1,78 @@
+#include "scorepsim/profile.hpp"
+
+#include <algorithm>
+
+namespace capi::scorep {
+
+std::size_t ProfileTree::childOf(std::size_t parent, RegionHandle region) {
+    auto it = nodes_[parent].children.find(region);
+    if (it != nodes_[parent].children.end()) {
+        return it->second;
+    }
+    std::size_t index = nodes_.size();
+    nodes_[parent].children.emplace(region, index);
+    ProfileNode child;
+    child.region = region;
+    nodes_.push_back(child);
+    return index;
+}
+
+void ProfileTree::mergeNode(std::size_t dst, const ProfileTree& other,
+                            std::size_t src) {
+    nodes_[dst].visits += other.nodes_[src].visits;
+    nodes_[dst].inclusiveNs += other.nodes_[src].inclusiveNs;
+    for (const auto& [region, srcChild] : other.nodes_[src].children) {
+        std::size_t dstChild = childOf(dst, region);
+        mergeNode(dstChild, other, srcChild);
+    }
+}
+
+void ProfileTree::mergeFrom(const ProfileTree& other) {
+    mergeNode(root(), other, other.root());
+}
+
+std::uint64_t ProfileTree::exclusiveNs(std::size_t index) const {
+    std::uint64_t childNs = 0;
+    for (const auto& [region, child] : nodes_[index].children) {
+        childNs += nodes_[child].inclusiveNs;
+    }
+    const std::uint64_t inclusive = nodes_[index].inclusiveNs;
+    return childNs > inclusive ? 0 : inclusive - childNs;
+}
+
+std::uint64_t ProfileTree::totalVisits(RegionHandle region) const {
+    std::uint64_t total = 0;
+    for (const ProfileNode& node : nodes_) {
+        if (node.region == region) {
+            total += node.visits;
+        }
+    }
+    return total;
+}
+
+std::uint64_t ProfileTree::totalExclusiveNs(RegionHandle region) const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].region == region) {
+            total += exclusiveNs(i);
+        }
+    }
+    return total;
+}
+
+std::size_t ProfileTree::depth() const {
+    // Iterative DFS carrying depth.
+    std::size_t maxDepth = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{root(), 0}};
+    while (!stack.empty()) {
+        auto [index, depth] = stack.back();
+        stack.pop_back();
+        maxDepth = std::max(maxDepth, depth);
+        for (const auto& [region, child] : nodes_[index].children) {
+            stack.push_back({child, depth + 1});
+        }
+    }
+    return maxDepth;
+}
+
+}  // namespace capi::scorep

@@ -1,0 +1,58 @@
+// Call-path profile trees (Score-P's profiling data model).
+//
+// Every thread owns a tree of call-path nodes; entering region R as a child
+// of the current path descends (creating the node on first visit), leaving
+// ascends and accumulates inclusive time. Trees from all threads merge by
+// call path for reporting. Exclusive time is derived: inclusive minus the
+// inclusive time of all children.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace capi::scorep {
+
+using RegionHandle = std::uint32_t;
+inline constexpr RegionHandle kNoRegion = 0xFFFFFFFFu;
+
+struct ProfileNode {
+    RegionHandle region = kNoRegion;
+    std::uint64_t visits = 0;
+    std::uint64_t inclusiveNs = 0;
+    std::map<RegionHandle, std::size_t> children;  ///< region -> node index.
+};
+
+class ProfileTree {
+public:
+    ProfileTree() { nodes_.push_back(ProfileNode{}); }  // node 0 = root
+
+    std::size_t root() const { return 0; }
+    const ProfileNode& node(std::size_t index) const { return nodes_[index]; }
+    ProfileNode& node(std::size_t index) { return nodes_[index]; }
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /// Child of `parent` for `region`, created on demand.
+    std::size_t childOf(std::size_t parent, RegionHandle region);
+
+    /// Accumulates another tree into this one, matching by call path.
+    void mergeFrom(const ProfileTree& other);
+
+    /// Exclusive time of a node: inclusive minus children's inclusive.
+    std::uint64_t exclusiveNs(std::size_t index) const;
+
+    /// Sum of visits across all nodes of a region.
+    std::uint64_t totalVisits(RegionHandle region) const;
+    std::uint64_t totalExclusiveNs(RegionHandle region) const;
+
+    /// Maximum call-path depth with visits.
+    std::size_t depth() const;
+
+private:
+    void mergeNode(std::size_t dst, const ProfileTree& other, std::size_t src);
+
+    std::vector<ProfileNode> nodes_;
+};
+
+}  // namespace capi::scorep

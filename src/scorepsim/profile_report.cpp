@@ -1,0 +1,111 @@
+#include "scorepsim/profile_report.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace capi::scorep {
+
+namespace {
+
+void renderNode(std::string& out, const ProfileTree& tree,
+                const Measurement& measurement, std::size_t index,
+                std::size_t depth, const ReportOptions& options) {
+    const ProfileNode& node = tree.node(index);
+    if (node.region != kNoRegion) {
+        out += std::string(depth * 2, ' ');
+        out += measurement.region(node.region).name;
+        out += "  visits=" + std::to_string(node.visits);
+        out += "  incl=" + support::fixed(
+                               static_cast<double>(node.inclusiveNs) / 1e6, 3) + "ms";
+        if (options.showExclusive) {
+            out += "  excl=" +
+                   support::fixed(static_cast<double>(tree.exclusiveNs(index)) / 1e6,
+                                  3) +
+                   "ms";
+        }
+        out += "\n";
+    }
+    if (depth >= options.maxDepth) {
+        return;
+    }
+    // Children sorted by inclusive time, largest first.
+    std::vector<std::size_t> children;
+    for (const auto& [region, child] : node.children) {
+        children.push_back(child);
+    }
+    std::sort(children.begin(), children.end(), [&](std::size_t a, std::size_t b) {
+        return tree.node(a).inclusiveNs > tree.node(b).inclusiveNs;
+    });
+    std::size_t shown = 0;
+    std::uint64_t restNs = 0;
+    std::size_t restCount = 0;
+    for (std::size_t child : children) {
+        if (shown < options.maxChildrenPerNode) {
+            renderNode(out, tree, measurement, child,
+                       node.region == kNoRegion ? depth : depth + 1, options);
+            ++shown;
+        } else {
+            restNs += tree.node(child).inclusiveNs;
+            ++restCount;
+        }
+    }
+    if (restCount > 0) {
+        out += std::string((node.region == kNoRegion ? depth : depth + 1) * 2, ' ');
+        out += "... (" + std::to_string(restCount) + " more children, " +
+               support::fixed(static_cast<double>(restNs) / 1e6, 3) + "ms)\n";
+    }
+}
+
+}  // namespace
+
+std::string renderCallTree(const ProfileTree& tree, const Measurement& measurement,
+                           const ReportOptions& options) {
+    std::string out = "=== Score-P call-path profile ===\n";
+    renderNode(out, tree, measurement, tree.root(), 0, options);
+    return out;
+}
+
+std::string renderFlatProfile(const ProfileTree& tree, const Measurement& measurement,
+                              std::size_t topN) {
+    struct Row {
+        RegionHandle region;
+        std::uint64_t visits = 0;
+        std::uint64_t exclusiveNs = 0;
+    };
+    std::map<RegionHandle, Row> rows;
+    for (std::size_t i = 0; i < tree.nodeCount(); ++i) {
+        const ProfileNode& node = tree.node(i);
+        if (node.region == kNoRegion) {
+            continue;
+        }
+        Row& row = rows[node.region];
+        row.region = node.region;
+        row.visits += node.visits;
+        row.exclusiveNs += tree.exclusiveNs(i);
+    }
+    std::vector<Row> sorted;
+    sorted.reserve(rows.size());
+    for (const auto& [region, row] : rows) {
+        sorted.push_back(row);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Row& a, const Row& b) { return a.exclusiveNs > b.exclusiveNs; });
+
+    std::string out = "=== Flat profile (top " + std::to_string(topN) + ") ===\n";
+    out += support::padRight("region", 48) + support::padLeft("visits", 12) +
+           support::padLeft("excl(ms)", 12) + "\n";
+    std::size_t shown = 0;
+    for (const Row& row : sorted) {
+        if (shown++ >= topN) break;
+        out += support::padRight(measurement.region(row.region).name, 48);
+        out += support::padLeft(std::to_string(row.visits), 12);
+        out += support::padLeft(
+            support::fixed(static_cast<double>(row.exclusiveNs) / 1e6, 3), 12);
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace capi::scorep

@@ -1,0 +1,25 @@
+// Text rendering of call-path profiles (the profile summary a user reads).
+#pragma once
+
+#include <string>
+
+#include "scorepsim/measurement.hpp"
+#include "scorepsim/profile.hpp"
+
+namespace capi::scorep {
+
+struct ReportOptions {
+    std::size_t maxDepth = 16;
+    std::size_t maxChildrenPerNode = 8;  ///< Largest-first; the rest summarized.
+    bool showExclusive = true;
+};
+
+/// Hierarchical call-tree report with visits and inclusive/exclusive times.
+std::string renderCallTree(const ProfileTree& tree, const Measurement& measurement,
+                           const ReportOptions& options = {});
+
+/// Flat per-region table sorted by exclusive time (hotspot list).
+std::string renderFlatProfile(const ProfileTree& tree, const Measurement& measurement,
+                              std::size_t topN = 20);
+
+}  // namespace capi::scorep

@@ -1,0 +1,86 @@
+#include "scorepsim/scorep_score.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace capi::scorep {
+
+ScoreResult scoreProfile(const ProfileTree& profile, const Measurement& measurement,
+                         const ScoreOptions& options) {
+    struct Accum {
+        std::uint64_t visits = 0;
+        std::uint64_t exclusiveNs = 0;
+    };
+    std::map<RegionHandle, Accum> byRegion;
+    for (std::size_t i = 0; i < profile.nodeCount(); ++i) {
+        const ProfileNode& node = profile.node(i);
+        if (node.region == kNoRegion) {
+            continue;
+        }
+        Accum& accum = byRegion[node.region];
+        accum.visits += node.visits;
+        accum.exclusiveNs += profile.exclusiveNs(i);
+    }
+
+    ScoreResult result;
+    for (const auto& [region, accum] : byRegion) {
+        ScoredRegion scored;
+        scored.name = measurement.region(region).name;
+        scored.visits = accum.visits;
+        scored.exclusiveNs = accum.exclusiveNs;
+        scored.estimatedOverheadNs =
+            static_cast<double>(accum.visits) * options.perVisitOverheadNs;
+        result.totalEstimatedOverheadNs += scored.estimatedOverheadNs;
+
+        double bodyNsPerVisit =
+            accum.visits == 0
+                ? 0.0
+                : static_cast<double>(accum.exclusiveNs) /
+                      static_cast<double>(accum.visits);
+        bool floodsBuffer =
+            scored.estimatedOverheadNs >
+            options.maxOverheadRatio * static_cast<double>(accum.exclusiveNs);
+        scored.excluded = floodsBuffer && bodyNsPerVisit < options.minBodyNsPerVisit;
+        if (scored.excluded) {
+            result.excludedOverheadNs += scored.estimatedOverheadNs;
+        }
+        result.regions.push_back(std::move(scored));
+    }
+
+    std::sort(result.regions.begin(), result.regions.end(),
+              [](const ScoredRegion& a, const ScoredRegion& b) {
+                  return a.estimatedOverheadNs > b.estimatedOverheadNs;
+              });
+    for (const ScoredRegion& region : result.regions) {
+        if (region.excluded) {
+            result.suggestedFilter.addRule(false, region.name);
+        }
+    }
+    return result;
+}
+
+std::string renderScoreReport(const ScoreResult& result, std::size_t topN) {
+    std::string out = "=== scorep-score estimate ===\n";
+    out += support::padRight("flag", 6) + support::padRight("region", 44) +
+           support::padLeft("visits", 12) + support::padLeft("excl(ms)", 12) +
+           support::padLeft("ovh(ms)", 12) + "\n";
+    std::size_t shown = 0;
+    for (const ScoredRegion& region : result.regions) {
+        if (shown++ >= topN) break;
+        out += support::padRight(region.excluded ? "FLT" : "USR", 6);
+        out += support::padRight(region.name, 44);
+        out += support::padLeft(std::to_string(region.visits), 12);
+        out += support::padLeft(
+            support::fixed(static_cast<double>(region.exclusiveNs) / 1e6, 3), 12);
+        out += support::padLeft(support::fixed(region.estimatedOverheadNs / 1e6, 3), 12);
+        out += "\n";
+    }
+    out += "total estimated overhead: " +
+           support::fixed(result.totalEstimatedOverheadNs / 1e6, 3) + "ms, excluded: " +
+           support::fixed(result.excludedOverheadNs / 1e6, 3) + "ms\n";
+    return out;
+}
+
+}  // namespace capi::scorep

@@ -1,0 +1,54 @@
+// scorep-score-style filter generation from a previous profiling run.
+//
+// This is the selection baseline the paper contrasts CaPI with (Sec. II-B):
+// take a full-instrumentation profile, estimate each region's measurement
+// overhead as visits x per-visit cost, and emit a filter excluding small,
+// frequently-called functions. Effective at killing overhead, but blind to
+// program structure and measurement objectives — which is exactly what the
+// ablation benchmark quantifies against CaPI's static-aware selection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scorepsim/filter_file.hpp"
+#include "scorepsim/measurement.hpp"
+#include "scorepsim/profile.hpp"
+
+namespace capi::scorep {
+
+struct ScoreOptions {
+    /// Estimated measurement cost per visit (enter+exit), nanoseconds.
+    double perVisitOverheadNs = 200.0;
+    /// Exclude a region when its estimated overhead exceeds this fraction of
+    /// its own exclusive time ("buffer flooders with no content").
+    double maxOverheadRatio = 0.5;
+    /// Never exclude regions with at least this much exclusive time per
+    /// visit (they are doing real work).
+    double minBodyNsPerVisit = 1000.0;
+};
+
+struct ScoredRegion {
+    std::string name;
+    std::uint64_t visits = 0;
+    std::uint64_t exclusiveNs = 0;
+    double estimatedOverheadNs = 0.0;
+    bool excluded = false;
+};
+
+struct ScoreResult {
+    std::vector<ScoredRegion> regions;  ///< Sorted by estimated overhead, desc.
+    FilterFile suggestedFilter;
+    double totalEstimatedOverheadNs = 0.0;
+    double excludedOverheadNs = 0.0;
+};
+
+/// Scores a merged profile and proposes an exclusion filter.
+ScoreResult scoreProfile(const ProfileTree& profile, const Measurement& measurement,
+                         const ScoreOptions& options = {});
+
+/// Renders the classic scorep-score table.
+std::string renderScoreReport(const ScoreResult& result, std::size_t topN = 25);
+
+}  // namespace capi::scorep

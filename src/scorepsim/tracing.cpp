@@ -1,0 +1,95 @@
+#include "scorepsim/tracing.hpp"
+
+#include <unordered_map>
+
+#include "scorepsim/measurement.hpp"
+#include "support/strings.hpp"
+
+namespace capi::scorep {
+
+namespace {
+thread_local std::unordered_map<const TraceBuffer*, void*> t_traceCache;
+}  // namespace
+
+TraceBuffer::~TraceBuffer() {
+    // Drop the destroying thread's cache entry so a later TraceBuffer at the
+    // same address cannot alias it; other threads must not touch a dead
+    // buffer by contract.
+    t_traceCache.erase(this);
+}
+
+TraceBuffer::ThreadTrace& TraceBuffer::threadTrace() {
+    auto it = t_traceCache.find(this);
+    if (it != t_traceCache.end()) {
+        return *static_cast<ThreadTrace*>(it->second);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads_.push_back(std::make_unique<ThreadTrace>());
+    ThreadTrace* trace = threads_.back().get();
+    trace->events.reserve(std::min<std::size_t>(capacity_, 4096));
+    t_traceCache[this] = trace;
+    return *trace;
+}
+
+bool TraceBuffer::record(RegionHandle region, TraceEventType type,
+                         std::uint64_t timestampNs) {
+    ThreadTrace& trace = threadTrace();
+    if (trace.events.size() >= capacity_) {
+        ++trace.dropped;
+        return false;
+    }
+    trace.events.push_back({timestampNs, region, type});
+    return true;
+}
+
+TraceStats TraceBuffer::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceStats stats;
+    stats.threads = threads_.size();
+    for (const auto& thread : threads_) {
+        stats.recorded += thread->events.size();
+        stats.dropped += thread->dropped;
+    }
+    stats.bytes = stats.recorded * sizeof(TraceEvent);
+    return stats;
+}
+
+std::vector<TraceEvent> TraceBuffer::collect() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceEvent> all;
+    for (const auto& thread : threads_) {
+        all.insert(all.end(), thread->events.begin(), thread->events.end());
+    }
+    return all;
+}
+
+std::string renderTraceExcerpt(const std::vector<TraceEvent>& events,
+                               const Measurement& measurement,
+                               std::size_t maxEvents) {
+    std::string out = "=== trace excerpt (" + std::to_string(events.size()) +
+                      " events) ===\n";
+    std::uint64_t base = events.empty() ? 0 : events.front().timestampNs;
+    int depth = 0;
+    for (std::size_t i = 0; i < events.size() && i < maxEvents; ++i) {
+        const TraceEvent& e = events[i];
+        if (e.type == TraceEventType::Exit && depth > 0) {
+            --depth;
+        }
+        out += support::padLeft(
+            support::fixed(static_cast<double>(e.timestampNs - base) / 1e3, 1), 12);
+        out += "us ";
+        out += std::string(static_cast<std::size_t>(depth) * 2, ' ');
+        out += e.type == TraceEventType::Enter ? "-> " : "<- ";
+        out += measurement.region(e.region).name;
+        out += "\n";
+        if (e.type == TraceEventType::Enter) {
+            ++depth;
+        }
+    }
+    if (events.size() > maxEvents) {
+        out += "  ... (" + std::to_string(events.size() - maxEvents) + " more)\n";
+    }
+    return out;
+}
+
+}  // namespace capi::scorep

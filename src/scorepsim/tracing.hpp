@@ -1,0 +1,79 @@
+// Event tracing (Score-P's OTF2-style tracing mode).
+//
+// Where profiling aggregates, tracing records every enter/exit event with a
+// timestamp into per-thread chunked buffers. Buffer capacity is bounded, as
+// in real measurement systems: once a thread's buffer is full, further
+// events are dropped and counted ("buffer flood" — the failure mode that
+// motivates instrumentation selection in the first place; an unselective
+// trace of OpenFOAM floods any realistic buffer within seconds).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "scorepsim/profile.hpp"
+
+namespace capi::scorep {
+
+class Measurement;
+
+enum class TraceEventType : std::uint8_t { Enter, Exit };
+
+struct TraceEvent {
+    std::uint64_t timestampNs = 0;
+    RegionHandle region = kNoRegion;
+    TraceEventType type = TraceEventType::Enter;
+};
+
+struct TraceStats {
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;   ///< Events past the per-thread capacity.
+    std::size_t threads = 0;
+    std::uint64_t bytes = 0;     ///< Recorded volume (sizeof(TraceEvent) each).
+};
+
+class TraceBuffer {
+public:
+    /// `capacityPerThread` bounds each thread's event count.
+    explicit TraceBuffer(std::size_t capacityPerThread = 1 << 20)
+        : capacity_(capacityPerThread) {}
+    ~TraceBuffer();
+
+    TraceBuffer(const TraceBuffer&) = delete;
+    TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+    /// Records one event for the calling thread; lock-free after the
+    /// thread's first event. Returns false when the buffer is full.
+    bool record(RegionHandle region, TraceEventType type, std::uint64_t timestampNs);
+
+    TraceStats stats() const;
+
+    /// Events of all threads, concatenated per thread (stable order within a
+    /// thread, thread order = first-event order).
+    std::vector<TraceEvent> collect() const;
+
+    std::size_t capacityPerThread() const { return capacity_; }
+
+private:
+    struct ThreadTrace {
+        std::vector<TraceEvent> events;
+        std::uint64_t dropped = 0;
+    };
+
+    ThreadTrace& threadTrace();
+
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<ThreadTrace>> threads_;
+};
+
+/// Renders a human-readable excerpt of a trace (first `maxEvents` events).
+std::string renderTraceExcerpt(const std::vector<TraceEvent>& events,
+                               const Measurement& measurement,
+                               std::size_t maxEvents = 40);
+
+}  // namespace capi::scorep

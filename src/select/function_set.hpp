@@ -1,0 +1,74 @@
+// FunctionSet: the value type flowing through a CaPI selection pipeline.
+//
+// A set of FunctionIds over a fixed universe (the call graph's node count),
+// represented as a packed bitset. All selector combinators are O(nodes/64).
+#pragma once
+
+#include <vector>
+
+#include "cg/types.hpp"
+#include "support/bitset.hpp"
+
+namespace capi::select {
+
+class FunctionSet {
+public:
+    FunctionSet() = default;
+    explicit FunctionSet(std::size_t universe) : bits_(universe) {}
+
+    static FunctionSet all(std::size_t universe) {
+        FunctionSet s(universe);
+        s.bits_.setAll();
+        return s;
+    }
+
+    std::size_t universe() const noexcept { return bits_.size(); }
+    std::size_t count() const { return bits_.count(); }
+    bool empty() const { return !bits_.any(); }
+
+    void add(cg::FunctionId id) { bits_.set(id); }
+    void remove(cg::FunctionId id) { bits_.reset(id); }
+    bool contains(cg::FunctionId id) const { return bits_.test(id); }
+
+    FunctionSet& operator|=(const FunctionSet& other) {
+        bits_ |= other.bits_;
+        return *this;
+    }
+    FunctionSet& operator&=(const FunctionSet& other) {
+        bits_ &= other.bits_;
+        return *this;
+    }
+    FunctionSet& operator-=(const FunctionSet& other) {
+        bits_ -= other.bits_;
+        return *this;
+    }
+    void complement() { bits_.flipAll(); }
+
+    bool operator==(const FunctionSet& other) const { return bits_ == other.bits_; }
+
+    template <typename Fn>
+    void forEach(Fn&& fn) const {
+        bits_.forEach([&](std::size_t i) { fn(static_cast<cg::FunctionId>(i)); });
+    }
+
+    std::vector<cg::FunctionId> ids() const {
+        std::vector<cg::FunctionId> out;
+        out.reserve(count());
+        forEach([&](cg::FunctionId id) { out.push_back(id); });
+        return out;
+    }
+
+    const support::DynamicBitset& bits() const noexcept { return bits_; }
+    support::DynamicBitset& bits() noexcept { return bits_; }
+
+    static FunctionSet fromBits(support::DynamicBitset bits) {
+        FunctionSet s;
+        s.bits_ = std::move(bits);
+        return s;
+    }
+
+private:
+    support::DynamicBitset bits_;
+};
+
+}  // namespace capi::select

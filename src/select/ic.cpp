@@ -1,0 +1,150 @@
+#include "select/ic.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace capi::select {
+
+bool InstrumentationConfig::contains(const std::string& name) const {
+    return std::binary_search(functions.begin(), functions.end(), name);
+}
+
+void InstrumentationConfig::addFunction(std::string name) {
+    auto it = std::lower_bound(functions.begin(), functions.end(), name);
+    if (it == functions.end() || *it != name) {
+        functions.insert(it, std::move(name));
+    }
+}
+
+std::string InstrumentationConfig::toScorePFilter() const {
+    std::string out;
+    out += "# CaPI instrumentation configuration";
+    if (!specName.empty()) {
+        out += " (spec: " + specName + ")";
+    }
+    out += "\nSCOREP_REGION_NAMES_BEGIN\n";
+    out += "  EXCLUDE *\n";
+    for (const std::string& fn : functions) {
+        out += "  INCLUDE MANGLED " + fn + "\n";
+    }
+    out += "SCOREP_REGION_NAMES_END\n";
+    return out;
+}
+
+InstrumentationConfig InstrumentationConfig::fromScorePFilter(const std::string& text) {
+    InstrumentationConfig ic;
+    bool inBlock = false;
+    bool sawBlock = false;
+    int lineNo = 0;
+    for (const std::string& rawLine : support::split(text, '\n')) {
+        ++lineNo;
+        std::string_view line = support::trim(rawLine);
+        if (line.empty() || line.front() == '#') {
+            continue;
+        }
+        if (line == "SCOREP_REGION_NAMES_BEGIN") {
+            inBlock = true;
+            sawBlock = true;
+            continue;
+        }
+        if (line == "SCOREP_REGION_NAMES_END") {
+            inBlock = false;
+            continue;
+        }
+        if (!inBlock) {
+            throw support::ParseError("filter: content outside region-names block",
+                                      lineNo, 1);
+        }
+        std::vector<std::string> fields = support::splitWhitespace(line);
+        if (fields.empty()) {
+            continue;
+        }
+        if (fields[0] == "EXCLUDE") {
+            continue;  // The CaPI convention is EXCLUDE * followed by INCLUDEs.
+        }
+        if (fields[0] != "INCLUDE") {
+            throw support::ParseError("filter: expected INCLUDE/EXCLUDE", lineNo, 1);
+        }
+        std::size_t nameIndex = 1;
+        if (fields.size() > 2 && fields[1] == "MANGLED") {
+            nameIndex = 2;
+        }
+        if (fields.size() <= nameIndex) {
+            throw support::ParseError("filter: INCLUDE without a name", lineNo, 1);
+        }
+        ic.addFunction(fields[nameIndex]);
+    }
+    if (!sawBlock) {
+        throw support::Error("filter: missing SCOREP_REGION_NAMES_BEGIN block");
+    }
+    return ic;
+}
+
+support::Json InstrumentationConfig::toJson() const {
+    support::Json doc = support::Json::object();
+    doc["format"] = support::Json("capi-ic/1");
+    doc["spec"] = support::Json(specName);
+    doc["application"] = support::Json(application);
+    support::Json fns = support::Json::array();
+    for (const std::string& fn : functions) {
+        fns.push_back(support::Json(fn));
+    }
+    doc["functions"] = fns;
+    if (!staticIds.empty()) {
+        support::Json ids = support::Json::object();
+        for (const auto& [name, id] : staticIds) {
+            ids[name] = support::Json(static_cast<std::int64_t>(id));
+        }
+        doc["staticIds"] = ids;
+    }
+    return doc;
+}
+
+InstrumentationConfig InstrumentationConfig::fromJson(const support::Json& doc) {
+    if (doc.getString("format", "") != "capi-ic/1") {
+        throw support::Error("IC: unknown format tag");
+    }
+    InstrumentationConfig ic;
+    ic.specName = doc.getString("spec", "");
+    ic.application = doc.getString("application", "");
+    if (const support::Json* fns = doc.find("functions")) {
+        for (const support::Json& fn : fns->asArray()) {
+            ic.addFunction(fn.asString());
+        }
+    }
+    if (const support::Json* ids = doc.find("staticIds")) {
+        for (const auto& [name, id] : ids->asObject()) {
+            ic.staticIds[name] = static_cast<std::uint32_t>(id.asInt());
+        }
+    }
+    return ic;
+}
+
+void InstrumentationConfig::writeFile(const std::string& path, bool scorePFormat) const {
+    std::ofstream out(path);
+    if (!out) {
+        throw support::Error("cannot open for writing: " + path);
+    }
+    out << (scorePFormat ? toScorePFilter() : toJson().dump(true));
+}
+
+InstrumentationConfig InstrumentationConfig::readFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw support::Error("cannot open for reading: " + path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    std::string_view trimmed = support::trim(text);
+    if (!trimmed.empty() && trimmed.front() == '{') {
+        return fromJson(support::Json::parse(text));
+    }
+    return fromScorePFilter(text);
+}
+
+}  // namespace capi::select

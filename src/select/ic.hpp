@@ -1,0 +1,54 @@
+// Instrumentation configuration (IC): the output of a CaPI selection.
+//
+// An IC is the list of functions to instrument. It can be written in two
+// interchange formats:
+//  * the Score-P region-name filter format (what CaPI feeds to Score-P's
+//    instrumenter and to the static instrumentation plugin), and
+//  * a JSON format that can additionally carry packed XRay function IDs
+//    (the "static ID" extension the paper proposes in Sec. VI-B for hidden
+//    symbols that cannot be resolved at runtime).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace capi::select {
+
+struct InstrumentationConfig {
+    /// Mangled names of the functions to instrument, sorted and unique.
+    std::vector<std::string> functions;
+
+    /// Optional packed XRay IDs keyed by function name (static-ID extension;
+    /// lets the runtime patch hidden symbols without resolving names).
+    std::map<std::string, std::uint32_t> staticIds;
+
+    /// Provenance for reports.
+    std::string specName;
+    std::string application;
+
+    bool contains(const std::string& name) const;
+    void addFunction(std::string name);
+    std::size_t size() const { return functions.size(); }
+
+    /// Score-P filter-file format:
+    ///   SCOREP_REGION_NAMES_BEGIN
+    ///     EXCLUDE *
+    ///     INCLUDE MANGLED name
+    ///     ...
+    ///   SCOREP_REGION_NAMES_END
+    std::string toScorePFilter() const;
+    static InstrumentationConfig fromScorePFilter(const std::string& text);
+
+    support::Json toJson() const;
+    static InstrumentationConfig fromJson(const support::Json& doc);
+
+    void writeFile(const std::string& path, bool scorePFormat = false) const;
+    static InstrumentationConfig readFile(const std::string& path);
+};
+
+}  // namespace capi::select

@@ -1,0 +1,90 @@
+#include "select/inline_compensation.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "support/bitset.hpp"
+
+namespace capi::select {
+
+InlineCompensationStats compensateInlining(const cg::CallGraph& graph,
+                                           FunctionSet& selection,
+                                           const SymbolOracle& oracle) {
+    InlineCompensationStats stats;
+
+    // Step 1: selected functions whose symbol is gone -> assumed inlined.
+    std::vector<cg::FunctionId> inlined;
+    selection.forEach([&](cg::FunctionId id) {
+        if (!oracle.hasSymbol(graph.name(id))) {
+            inlined.push_back(id);
+        }
+    });
+
+    FunctionSet afterRemoval = selection;
+    for (cg::FunctionId id : inlined) {
+        afterRemoval.remove(id);
+    }
+    stats.inlinedRemoved = inlined.size();
+    stats.removed = inlined;
+
+    // Step 2: recursively find the first available (non-inlined) callers of
+    // every inlined selected function. Callers that are themselves inlined
+    // are traversed through; visited marking keeps cycles terminating.
+    //
+    // The visited set is epoch-stamped rather than a per-function bitset:
+    // OpenFOAM-scale graphs remove tens of thousands of inlined functions,
+    // and clearing a 410k-bit set per function would dominate the whole
+    // selection phase. The symbol-oracle verdict is also memoized, since the
+    // same hot callers are probed from many inlined functions.
+    FunctionSet additions(graph.size());
+    std::vector<std::uint32_t> visitedEpoch(graph.size(), 0);
+    std::uint32_t epoch = 0;
+    enum class SymbolState : std::uint8_t { Unknown, Present, Absent };
+    std::vector<SymbolState> symbolCache(graph.size(), SymbolState::Unknown);
+    auto symbolPresent = [&](cg::FunctionId id) {
+        if (symbolCache[id] == SymbolState::Unknown) {
+            symbolCache[id] = oracle.hasSymbol(graph.name(id))
+                                  ? SymbolState::Present
+                                  : SymbolState::Absent;
+        }
+        return symbolCache[id] == SymbolState::Present;
+    };
+
+    std::deque<cg::FunctionId> queue;
+    for (cg::FunctionId id : inlined) {
+        ++epoch;
+        visitedEpoch[id] = epoch;
+        queue.assign(graph.callers(id).begin(), graph.callers(id).end());
+        while (!queue.empty()) {
+            cg::FunctionId caller = queue.front();
+            queue.pop_front();
+            if (visitedEpoch[caller] == epoch) {
+                continue;
+            }
+            visitedEpoch[caller] = epoch;
+            if (symbolPresent(caller)) {
+                additions.add(caller);
+            } else {
+                for (cg::FunctionId next : graph.callers(caller)) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+
+    // #added counts only functions the post-removal selection did not
+    // already contain (Table I semantics).
+    additions.forEach([&](cg::FunctionId id) {
+        if (!afterRemoval.contains(id)) {
+            stats.added.push_back(id);
+        }
+    });
+    stats.callersAdded = stats.added.size();
+
+    afterRemoval |= additions;
+    selection = std::move(afterRemoval);
+    return stats;
+}
+
+}  // namespace capi::select

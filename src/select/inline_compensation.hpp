@@ -1,0 +1,39 @@
+// Inlining compensation (paper Sec. V-E).
+//
+// XRay sleds are inserted after the inliner has run, so functions inlined at
+// every call site have no sled and cannot be patched. The call graph is
+// built from source-level information and does not know the compiler's
+// inlining decisions, so CaPI post-processes the selection:
+//
+//  1. Approximate the inlined set: a selected function whose symbol cannot be
+//     found in the binary or any dependent DSO is assumed inlined everywhere.
+//  2. For each such function, walk the caller relation upward and collect the
+//     first non-inlined callers on every path; add them to the selection and
+//     drop the inlined function.
+//
+// This guarantees the inlined function's execution is still measured, albeit
+// attributed to its caller.
+#pragma once
+
+#include <vector>
+
+#include "cg/call_graph.hpp"
+#include "select/function_set.hpp"
+#include "select/symbol_oracle.hpp"
+
+namespace capi::select {
+
+struct InlineCompensationStats {
+    std::size_t inlinedRemoved = 0;  ///< Selected functions without a symbol.
+    std::size_t callersAdded = 0;    ///< Newly selected compensation callers
+                                     ///< (not in the post-removal selection).
+    std::vector<cg::FunctionId> removed;
+    std::vector<cg::FunctionId> added;
+};
+
+/// Applies inlining compensation to `selection` in place.
+InlineCompensationStats compensateInlining(const cg::CallGraph& graph,
+                                           FunctionSet& selection,
+                                           const SymbolOracle& oracle);
+
+}  // namespace capi::select

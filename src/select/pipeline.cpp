@@ -1,0 +1,38 @@
+#include "select/pipeline.hpp"
+
+#include "support/timer.hpp"
+
+namespace capi::select {
+
+Pipeline::Pipeline(const spec::SpecAst& ast, const SelectorRegistry& registry) {
+    SelectorBuilder builder(registry);
+    std::size_t anonymousCount = 0;
+    for (const spec::Definition& def : ast.definitions) {
+        Stage stage;
+        stage.isNamed = !def.name.empty();
+        stage.name = stage.isNamed
+                         ? def.name
+                         : "<anonymous:" + std::to_string(anonymousCount++) + ">";
+        stage.selector = builder.build(*def.expr);
+        stages_.push_back(std::move(stage));
+    }
+}
+
+PipelineRun Pipeline::run(const cg::CallGraph& graph) const {
+    EvalContext ctx(graph);
+    PipelineRun run;
+    run.result = FunctionSet(graph.size());
+    for (const Stage& stage : stages_) {
+        support::Timer timer;
+        FunctionSet result = stage.selector->evaluate(ctx);
+        run.timingsNs.emplace_back(stage.name, timer.elapsedNs());
+        run.sizes.emplace_back(stage.name, result.count());
+        if (stage.isNamed) {
+            ctx.named[stage.name] = result;
+        }
+        run.result = std::move(result);  // Last stage wins (entry point).
+    }
+    return run;
+}
+
+}  // namespace capi::select

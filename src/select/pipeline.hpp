@@ -1,0 +1,47 @@
+// Selection pipeline: evaluates a parsed spec against a call graph.
+//
+// Definitions are evaluated in order; named results are memoized into the
+// EvalContext so `%ref` selectors can read them. The last definition is the
+// pipeline entry point whose result is the raw selection (paper Sec. III-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cg/call_graph.hpp"
+#include "select/registry.hpp"
+#include "spec/ast.hpp"
+
+namespace capi::select {
+
+struct PipelineRun {
+    FunctionSet result;  ///< Result of the entry-point definition.
+    /// Name (or synthesized "<anonymous:i>") and wall time per definition.
+    std::vector<std::pair<std::string, std::uint64_t>> timingsNs;
+    /// Per-definition result sizes, for selection reports.
+    std::vector<std::pair<std::string, std::size_t>> sizes;
+};
+
+class Pipeline {
+public:
+    /// Builds and validates selector trees for every definition.
+    /// Throws on unknown selector types or malformed arguments.
+    explicit Pipeline(const spec::SpecAst& ast,
+                      const SelectorRegistry& registry = SelectorRegistry::builtin());
+
+    /// Evaluates the pipeline bottom-to-top over `graph`.
+    PipelineRun run(const cg::CallGraph& graph) const;
+
+    std::size_t definitionCount() const { return stages_.size(); }
+
+private:
+    struct Stage {
+        std::string name;  ///< Display name; real name for named definitions.
+        bool isNamed;
+        SelectorPtr selector;
+    };
+    std::vector<Stage> stages_;
+};
+
+}  // namespace capi::select

@@ -1,0 +1,78 @@
+#include "select/scc.hpp"
+
+#include <limits>
+
+namespace capi::select {
+
+namespace {
+constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+}
+
+SccResult computeScc(const cg::CallGraph& graph) {
+    const std::size_t n = graph.size();
+    SccResult result;
+    result.component.assign(n, kUnvisited);
+
+    std::vector<std::uint32_t> index(n, kUnvisited);
+    std::vector<std::uint32_t> lowlink(n, 0);
+    std::vector<bool> onStack(n, false);
+    std::vector<cg::FunctionId> stack;
+    std::uint32_t nextIndex = 0;
+    std::uint32_t nextComponent = 0;
+
+    // Explicit DFS frame: node plus the next callee position to visit.
+    struct Frame {
+        cg::FunctionId node;
+        std::size_t childPos;
+    };
+    std::vector<Frame> dfs;
+
+    for (cg::FunctionId root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited) {
+            continue;
+        }
+        dfs.push_back({root, 0});
+        index[root] = lowlink[root] = nextIndex++;
+        stack.push_back(root);
+        onStack[root] = true;
+
+        while (!dfs.empty()) {
+            Frame& frame = dfs.back();
+            const std::vector<cg::FunctionId>& callees = graph.callees(frame.node);
+            if (frame.childPos < callees.size()) {
+                cg::FunctionId child = callees[frame.childPos++];
+                if (index[child] == kUnvisited) {
+                    index[child] = lowlink[child] = nextIndex++;
+                    stack.push_back(child);
+                    onStack[child] = true;
+                    dfs.push_back({child, 0});
+                } else if (onStack[child] && index[child] < lowlink[frame.node]) {
+                    lowlink[frame.node] = index[child];
+                }
+                continue;
+            }
+            // All children explored: maybe emit a component, then propagate
+            // the lowlink into the parent frame.
+            cg::FunctionId node = frame.node;
+            dfs.pop_back();
+            if (lowlink[node] == index[node]) {
+                while (true) {
+                    cg::FunctionId member = stack.back();
+                    stack.pop_back();
+                    onStack[member] = false;
+                    result.component[member] = nextComponent;
+                    if (member == node) break;
+                }
+                ++nextComponent;
+            }
+            if (!dfs.empty() && lowlink[node] < lowlink[dfs.back().node]) {
+                lowlink[dfs.back().node] = lowlink[node];
+            }
+        }
+    }
+
+    result.componentCount = nextComponent;
+    return result;
+}
+
+}  // namespace capi::select

@@ -1,0 +1,37 @@
+// Strongly-connected-component decomposition of the call graph.
+//
+// Needed by the statement-aggregation selector: recursion cycles must be
+// collapsed before statements can be aggregated along call chains. Iterative
+// Tarjan, so deep OpenFOAM-style call chains cannot overflow the stack.
+//
+// Component ids have the Tarjan property: if component A contains a call into
+// component B (A != B), then id(B) < id(A). Processing nodes by descending
+// component id therefore visits callers before callees (top-down).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cg/call_graph.hpp"
+
+namespace capi::select {
+
+struct SccResult {
+    std::vector<std::uint32_t> component;  ///< Node id -> component id.
+    std::size_t componentCount = 0;
+
+    /// Sum of a per-node value over each component.
+    template <typename Getter>
+    std::vector<std::uint64_t> accumulate(const cg::CallGraph& graph,
+                                          Getter&& getter) const {
+        std::vector<std::uint64_t> totals(componentCount, 0);
+        for (cg::FunctionId id = 0; id < graph.size(); ++id) {
+            totals[component[id]] += getter(graph.desc(id));
+        }
+        return totals;
+    }
+};
+
+SccResult computeScc(const cg::CallGraph& graph);
+
+}  // namespace capi::select

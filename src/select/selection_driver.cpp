@@ -1,0 +1,49 @@
+#include "select/selection_driver.hpp"
+
+#include "spec/parser.hpp"
+#include "support/timer.hpp"
+
+namespace capi::select {
+
+SelectionReport runSelection(const cg::CallGraph& graph,
+                             const SelectionOptions& options) {
+    support::Timer timer;
+
+    spec::SpecAst ast = options.resolver != nullptr
+                            ? spec::parseSpec(options.specText, *options.resolver)
+                            : spec::parseSpec(options.specText);
+    Pipeline pipeline(ast);
+    PipelineRun run = pipeline.run(graph);
+
+    SelectionReport report;
+    report.graphNodes = graph.size();
+
+    FunctionSet selection = run.result;
+    if (options.definedOnly) {
+        FunctionSet defined(graph.size());
+        for (cg::FunctionId id = 0; id < graph.size(); ++id) {
+            if (graph.desc(id).flags.hasBody) {
+                defined.add(id);
+            }
+        }
+        selection &= defined;
+    }
+    report.selectedPre = selection.count();
+
+    if (options.applyInlineCompensation && options.symbolOracle != nullptr) {
+        InlineCompensationStats stats =
+            compensateInlining(graph, selection, *options.symbolOracle);
+        report.added = stats.callersAdded;
+    }
+    report.selectedFinal = selection.count();
+
+    report.ic.specName = options.specName;
+    selection.forEach(
+        [&](cg::FunctionId id) { report.ic.addFunction(graph.name(id)); });
+
+    report.pipelineRun = std::move(run);
+    report.selectionSeconds = timer.elapsedSec();
+    return report;
+}
+
+}  // namespace capi::select

@@ -1,0 +1,63 @@
+// Selector interface and evaluation context.
+//
+// A selector determines, from the whole-program call graph, the set of
+// functions matching its inclusion condition (paper Sec. III-A). Selectors
+// compose: combinators take other selectors as input. Named instances are
+// evaluated once and memoized in the EvalContext.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cg/call_graph.hpp"
+#include "select/function_set.hpp"
+
+namespace capi::select {
+
+/// Per-evaluation state: the graph plus results of named selector instances.
+struct EvalContext {
+    explicit EvalContext(const cg::CallGraph& g) : graph(g) {}
+
+    const cg::CallGraph& graph;
+    std::unordered_map<std::string, FunctionSet> named;
+
+    /// Per-instance wall-clock nanoseconds, in evaluation order (diagnostics).
+    std::vector<std::pair<std::string, std::uint64_t>> timings;
+};
+
+class Selector {
+public:
+    virtual ~Selector() = default;
+
+    virtual FunctionSet evaluate(EvalContext& ctx) const = 0;
+
+    /// One-line description for reports and error messages.
+    virtual std::string describe() const = 0;
+};
+
+using SelectorPtr = std::unique_ptr<Selector>;
+
+/// Comparison operators accepted by the metric selectors
+/// (spelled ">=", "<", "==", ... in spec strings).
+enum class CompareOp { Lt, Le, Gt, Ge, Eq, Ne };
+
+CompareOp parseCompareOp(const std::string& text);
+const char* compareOpName(CompareOp op);
+
+inline bool compareMetric(std::uint64_t value, CompareOp op, std::int64_t threshold) {
+    const auto v = static_cast<std::int64_t>(value);
+    switch (op) {
+        case CompareOp::Lt: return v < threshold;
+        case CompareOp::Le: return v <= threshold;
+        case CompareOp::Gt: return v > threshold;
+        case CompareOp::Ge: return v >= threshold;
+        case CompareOp::Eq: return v == threshold;
+        case CompareOp::Ne: return v != threshold;
+    }
+    return false;
+}
+
+}  // namespace capi::select

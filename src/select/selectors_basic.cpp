@@ -1,0 +1,353 @@
+// Built-in flag, metric, name and set-combinator selector types.
+//
+// Selector catalogue (basic half):
+//   %%                                   all functions
+//   byName(pattern, input)               glob on mangled name
+//   byPrettyName(pattern, input)         glob on demangled name
+//   byPath(pattern, input)               glob on source file path
+//   inSystemHeader(input)                defined in a system header
+//   inlineSpecified(input)               marked `inline` in source
+//   defined(input)                       has a body in the program
+//   isVirtual(input)                     virtual member functions
+//   addressTaken(input)                  used as a function pointer
+//   mpiFunctions(input)                  MPI API entry points
+//   flops(op, n, input)                  static flop count compares true
+//   loopDepth(op, n, input)              max loop nesting compares true
+//   statements(op, n, input)             statement count compares true
+//   cyclomatic(op, n, input)             McCabe complexity compares true
+//   callSites(op, n, input)              call expressions compare true
+//   instructions(op, n, input)           approx. machine instructions
+//   join(a, b, ...)                      set union
+//   intersect(a, b, ...)                 set intersection
+//   subtract(a, b)                       set difference
+//   complement(a)                        universe minus a
+
+#include <functional>
+
+#include "select/registry.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace capi::select {
+
+CompareOp parseCompareOp(const std::string& text) {
+    if (text == "<") return CompareOp::Lt;
+    if (text == "<=") return CompareOp::Le;
+    if (text == ">") return CompareOp::Gt;
+    if (text == ">=") return CompareOp::Ge;
+    if (text == "==" || text == "=") return CompareOp::Eq;
+    if (text == "!=") return CompareOp::Ne;
+    throw support::Error("unknown comparison operator '" + text + "'");
+}
+
+const char* compareOpName(CompareOp op) {
+    switch (op) {
+        case CompareOp::Lt: return "<";
+        case CompareOp::Le: return "<=";
+        case CompareOp::Gt: return ">";
+        case CompareOp::Ge: return ">=";
+        case CompareOp::Eq: return "==";
+        case CompareOp::Ne: return "!=";
+    }
+    return "?";
+}
+
+namespace {
+
+class EverythingSelector final : public Selector {
+public:
+    FunctionSet evaluate(EvalContext& ctx) const override {
+        return FunctionSet::all(ctx.graph.size());
+    }
+    std::string describe() const override { return "%%"; }
+};
+
+/// `%name`: looks up a previously evaluated named instance.
+class ReferenceSelector final : public Selector {
+public:
+    explicit ReferenceSelector(std::string name) : name_(std::move(name)) {}
+
+    FunctionSet evaluate(EvalContext& ctx) const override {
+        auto it = ctx.named.find(name_);
+        if (it == ctx.named.end()) {
+            throw support::Error("selector reference '%" + name_ +
+                                 "' used before definition");
+        }
+        return it->second;
+    }
+    std::string describe() const override { return "%" + name_; }
+
+private:
+    std::string name_;
+};
+
+/// Filters the input set by a per-function predicate.
+class FilterSelector final : public Selector {
+public:
+    using Predicate = std::function<bool(const cg::FunctionDesc&)>;
+
+    FilterSelector(std::string name, SelectorPtr input, Predicate predicate)
+        : name_(std::move(name)), input_(std::move(input)),
+          predicate_(std::move(predicate)) {}
+
+    FunctionSet evaluate(EvalContext& ctx) const override {
+        FunctionSet in = input_->evaluate(ctx);
+        FunctionSet out(ctx.graph.size());
+        in.forEach([&](cg::FunctionId id) {
+            if (predicate_(ctx.graph.desc(id))) {
+                out.add(id);
+            }
+        });
+        return out;
+    }
+
+    std::string describe() const override {
+        return name_ + "(" + input_->describe() + ")";
+    }
+
+private:
+    std::string name_;
+    SelectorPtr input_;
+    Predicate predicate_;
+};
+
+enum class SetOp { Union, Intersection };
+
+/// join(...) / intersect(...): variadic set combinators.
+class CombineSelector final : public Selector {
+public:
+    CombineSelector(SetOp op, std::vector<SelectorPtr> inputs)
+        : op_(op), inputs_(std::move(inputs)) {}
+
+    FunctionSet evaluate(EvalContext& ctx) const override {
+        FunctionSet result = inputs_.front()->evaluate(ctx);
+        for (std::size_t i = 1; i < inputs_.size(); ++i) {
+            FunctionSet next = inputs_[i]->evaluate(ctx);
+            if (op_ == SetOp::Union) {
+                result |= next;
+            } else {
+                result &= next;
+            }
+        }
+        return result;
+    }
+
+    std::string describe() const override {
+        std::string out = op_ == SetOp::Union ? "join(" : "intersect(";
+        for (std::size_t i = 0; i < inputs_.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += inputs_[i]->describe();
+        }
+        return out + ")";
+    }
+
+private:
+    SetOp op_;
+    std::vector<SelectorPtr> inputs_;
+};
+
+class SubtractSelector final : public Selector {
+public:
+    SubtractSelector(SelectorPtr left, SelectorPtr right)
+        : left_(std::move(left)), right_(std::move(right)) {}
+
+    FunctionSet evaluate(EvalContext& ctx) const override {
+        FunctionSet result = left_->evaluate(ctx);
+        result -= right_->evaluate(ctx);
+        return result;
+    }
+
+    std::string describe() const override {
+        return "subtract(" + left_->describe() + ", " + right_->describe() + ")";
+    }
+
+private:
+    SelectorPtr left_;
+    SelectorPtr right_;
+};
+
+class ComplementSelector final : public Selector {
+public:
+    explicit ComplementSelector(SelectorPtr input) : input_(std::move(input)) {}
+
+    FunctionSet evaluate(EvalContext& ctx) const override {
+        FunctionSet result = input_->evaluate(ctx);
+        result.complement();
+        return result;
+    }
+
+    std::string describe() const override {
+        return "complement(" + input_->describe() + ")";
+    }
+
+private:
+    SelectorPtr input_;
+};
+
+// --- factory helpers --------------------------------------------------------
+
+using DescPredicate = bool (*)(const cg::FunctionDesc&);
+
+SelectorFactory flagFactory(DescPredicate predicate) {
+    return [predicate](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
+        b.checkArity(call, 1, 1);
+        return std::make_unique<FilterSelector>(call.value, b.selectorArg(call, 0),
+                                                predicate);
+    };
+}
+
+using MetricGetter = std::uint64_t (*)(const cg::FunctionDesc&);
+
+SelectorFactory metricFactory(MetricGetter getter) {
+    return [getter](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
+        b.checkArity(call, 3, 3);
+        CompareOp op = parseCompareOp(b.stringArg(call, 0));
+        std::int64_t threshold = b.numberArg(call, 1);
+        return std::make_unique<FilterSelector>(
+            call.value, b.selectorArg(call, 2),
+            [getter, op, threshold](const cg::FunctionDesc& desc) {
+                return compareMetric(getter(desc), op, threshold);
+            });
+    };
+}
+
+enum class NameField { Mangled, Pretty, Path };
+
+SelectorFactory nameFactory(NameField field) {
+    return [field](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
+        b.checkArity(call, 2, 2);
+        std::string pattern = b.stringArg(call, 0);
+        return std::make_unique<FilterSelector>(
+            call.value, b.selectorArg(call, 1),
+            [field, pattern](const cg::FunctionDesc& desc) {
+                const std::string& value = field == NameField::Mangled ? desc.name
+                                           : field == NameField::Pretty
+                                               ? desc.prettyName
+                                               : desc.sourceFile;
+                return support::globMatch(pattern, value);
+            });
+    };
+}
+
+}  // namespace
+
+namespace detail {
+
+SelectorPtr makeEverything() { return std::make_unique<EverythingSelector>(); }
+
+SelectorPtr makeReference(std::string name) {
+    return std::make_unique<ReferenceSelector>(std::move(name));
+}
+
+void registerBasicSelectors(SelectorRegistry& r) {
+    r.registerType("byName", nameFactory(NameField::Mangled),
+                   "byName(pattern, input): glob match on mangled names");
+    r.registerType("byPrettyName", nameFactory(NameField::Pretty),
+                   "byPrettyName(pattern, input): glob match on demangled names");
+    r.registerType("byPath", nameFactory(NameField::Path),
+                   "byPath(pattern, input): glob match on source file paths");
+
+    r.registerType(
+        "inSystemHeader",
+        flagFactory([](const cg::FunctionDesc& d) { return d.flags.inSystemHeader; }),
+        "inSystemHeader(input): functions defined in system headers");
+    r.registerType(
+        "inlineSpecified",
+        flagFactory([](const cg::FunctionDesc& d) { return d.flags.inlineSpecified; }),
+        "inlineSpecified(input): functions marked inline in source");
+    r.registerType(
+        "defined", flagFactory([](const cg::FunctionDesc& d) { return d.flags.hasBody; }),
+        "defined(input): functions with a body in the program");
+    r.registerType(
+        "isVirtual",
+        flagFactory([](const cg::FunctionDesc& d) { return d.flags.isVirtual; }),
+        "isVirtual(input): virtual member functions");
+    r.registerType(
+        "addressTaken",
+        flagFactory([](const cg::FunctionDesc& d) { return d.flags.addressTaken; }),
+        "addressTaken(input): functions whose address is taken");
+    r.registerType(
+        "mpiFunctions",
+        flagFactory([](const cg::FunctionDesc& d) { return d.flags.isMpi; }),
+        "mpiFunctions(input): MPI API entry points");
+
+    r.registerType(
+        "flops",
+        metricFactory([](const cg::FunctionDesc& d) -> std::uint64_t {
+            return d.metrics.flops;
+        }),
+        "flops(op, n, input): static floating-point operation count");
+    r.registerType(
+        "loopDepth",
+        metricFactory([](const cg::FunctionDesc& d) -> std::uint64_t {
+            return d.metrics.loopDepth;
+        }),
+        "loopDepth(op, n, input): maximum loop nesting depth");
+    r.registerType(
+        "statements",
+        metricFactory([](const cg::FunctionDesc& d) -> std::uint64_t {
+            return d.metrics.numStatements;
+        }),
+        "statements(op, n, input): source statement count");
+    r.registerType(
+        "cyclomatic",
+        metricFactory([](const cg::FunctionDesc& d) -> std::uint64_t {
+            return d.metrics.cyclomaticComplexity;
+        }),
+        "cyclomatic(op, n, input): McCabe cyclomatic complexity");
+    r.registerType(
+        "callSites",
+        metricFactory([](const cg::FunctionDesc& d) -> std::uint64_t {
+            return d.metrics.numCallSites;
+        }),
+        "callSites(op, n, input): number of call expressions in the body");
+    r.registerType(
+        "instructions",
+        metricFactory([](const cg::FunctionDesc& d) -> std::uint64_t {
+            return d.metrics.numInstructions;
+        }),
+        "instructions(op, n, input): approximate machine instruction count");
+
+    r.registerType(
+        "join",
+        [](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
+            b.checkArity(call, 1, SIZE_MAX);
+            std::vector<SelectorPtr> inputs;
+            for (std::size_t i = 0; i < call.args.size(); ++i) {
+                inputs.push_back(b.selectorArg(call, i));
+            }
+            return std::make_unique<CombineSelector>(SetOp::Union, std::move(inputs));
+        },
+        "join(a, b, ...): set union");
+    r.registerType(
+        "intersect",
+        [](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
+            b.checkArity(call, 1, SIZE_MAX);
+            std::vector<SelectorPtr> inputs;
+            for (std::size_t i = 0; i < call.args.size(); ++i) {
+                inputs.push_back(b.selectorArg(call, i));
+            }
+            return std::make_unique<CombineSelector>(SetOp::Intersection,
+                                                     std::move(inputs));
+        },
+        "intersect(a, b, ...): set intersection");
+    r.registerType(
+        "subtract",
+        [](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
+            b.checkArity(call, 2, 2);
+            return std::make_unique<SubtractSelector>(b.selectorArg(call, 0),
+                                                      b.selectorArg(call, 1));
+        },
+        "subtract(a, b): set difference");
+    r.registerType(
+        "complement",
+        [](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
+            b.checkArity(call, 1, 1);
+            return std::make_unique<ComplementSelector>(b.selectorArg(call, 0));
+        },
+        "complement(a): all functions not in a");
+}
+
+}  // namespace detail
+
+}  // namespace capi::select

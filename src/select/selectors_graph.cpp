@@ -1,0 +1,283 @@
+// Built-in selector types that need whole-graph analyses.
+//
+// Selector catalogue (graph half):
+//   onCallPathTo(target)            functions on a call path main -> target
+//   onCallPathFrom(source)          functions reachable from source
+//   callers(a)                      direct callers of members of a
+//   callees(a)                      direct callees of members of a
+//   coarse(input [, critical])      drop sole-caller chain members (paper V-D)
+//   statementAggregation(op, n [, input])
+//                                   statements aggregated along the call
+//                                   chain from main compare true [16]
+
+#include <deque>
+
+#include "cg/reachability.hpp"
+#include "select/registry.hpp"
+#include "select/scc.hpp"
+#include "support/error.hpp"
+
+namespace capi::select {
+namespace {
+
+class OnCallPathToSelector final : public Selector {
+public:
+    explicit OnCallPathToSelector(SelectorPtr target) : target_(std::move(target)) {}
+
+    FunctionSet evaluate(EvalContext& ctx) const override {
+        FunctionSet targets = target_->evaluate(ctx);
+        return FunctionSet::fromBits(
+            cg::onCallPath(ctx.graph, ctx.graph.entryPoint(), targets.bits()));
+    }
+
+    std::string describe() const override {
+        return "onCallPathTo(" + target_->describe() + ")";
+    }
+
+private:
+    SelectorPtr target_;
+};
+
+class OnCallPathFromSelector final : public Selector {
+public:
+    explicit OnCallPathFromSelector(SelectorPtr source) : source_(std::move(source)) {}
+
+    FunctionSet evaluate(EvalContext& ctx) const override {
+        FunctionSet sources = source_->evaluate(ctx);
+        return FunctionSet::fromBits(cg::reachableFrom(ctx.graph, sources.bits()));
+    }
+
+    std::string describe() const override {
+        return "onCallPathFrom(" + source_->describe() + ")";
+    }
+
+private:
+    SelectorPtr source_;
+};
+
+enum class Hop { Callers, Callees };
+
+class NeighborSelector final : public Selector {
+public:
+    NeighborSelector(Hop hop, SelectorPtr input)
+        : hop_(hop), input_(std::move(input)) {}
+
+    FunctionSet evaluate(EvalContext& ctx) const override {
+        FunctionSet in = input_->evaluate(ctx);
+        FunctionSet out(ctx.graph.size());
+        in.forEach([&](cg::FunctionId id) {
+            const auto& neighbors = hop_ == Hop::Callers ? ctx.graph.callers(id)
+                                                         : ctx.graph.callees(id);
+            for (cg::FunctionId n : neighbors) {
+                out.add(n);
+            }
+        });
+        return out;
+    }
+
+    std::string describe() const override {
+        return std::string(hop_ == Hop::Callers ? "callers(" : "callees(") +
+               input_->describe() + ")";
+    }
+
+private:
+    Hop hop_;
+    SelectorPtr input_;
+};
+
+/// The coarse selector added for TALP region instrumentation (paper Sec. V-D).
+///
+/// Traverses the call graph from the entry point top-down. For every callee v
+/// of the currently visited node u: if v is selected, u is v's only caller in
+/// the whole-program graph, and v is not protected by the critical set, v is
+/// removed. Traversal continues through removed nodes, so wrapper chains like
+/// solve -> solveSegregated -> ... -> Amul collapse; critical functions
+/// (e.g. the kernels themselves) are always retained.
+class CoarseSelector final : public Selector {
+public:
+    CoarseSelector(SelectorPtr input, SelectorPtr critical)
+        : input_(std::move(input)), critical_(std::move(critical)) {}
+
+    FunctionSet evaluate(EvalContext& ctx) const override {
+        FunctionSet result = input_->evaluate(ctx);
+        FunctionSet critical = critical_ != nullptr
+                                   ? critical_->evaluate(ctx)
+                                   : FunctionSet(ctx.graph.size());
+
+        const cg::CallGraph& graph = ctx.graph;
+        std::vector<bool> visited(graph.size(), false);
+        std::deque<cg::FunctionId> queue;
+
+        cg::FunctionId entry = graph.entryPoint();
+        if (entry != cg::kInvalidFunction) {
+            queue.push_back(entry);
+            visited[entry] = true;
+        }
+        // Functions unreachable from main are traversed afterwards so the
+        // rule is applied uniformly (library call roots, registered
+        // callbacks, ...).
+        auto drainQueue = [&] {
+            while (!queue.empty()) {
+                cg::FunctionId u = queue.front();
+                queue.pop_front();
+                for (cg::FunctionId v : graph.callees(u)) {
+                    if (result.contains(v) && graph.callers(v).size() == 1 &&
+                        !critical.contains(v)) {
+                        result.remove(v);
+                    }
+                    if (!visited[v]) {
+                        visited[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        };
+        drainQueue();
+        for (cg::FunctionId id = 0; id < graph.size(); ++id) {
+            if (!visited[id]) {
+                visited[id] = true;
+                queue.push_back(id);
+                drainQueue();
+            }
+        }
+        return result;
+    }
+
+    std::string describe() const override {
+        std::string out = "coarse(" + input_->describe();
+        if (critical_ != nullptr) {
+            out += ", " + critical_->describe();
+        }
+        return out + ")";
+    }
+
+private:
+    SelectorPtr input_;
+    SelectorPtr critical_;  ///< May be null.
+};
+
+/// Statement aggregation selection [16]: local statement counts are
+/// aggregated along the call chain from main; a function is selected when the
+/// aggregate compares true against the threshold. Recursion cycles are
+/// collapsed via SCC condensation (a cycle's members share one aggregate).
+class StatementAggregationSelector final : public Selector {
+public:
+    StatementAggregationSelector(CompareOp op, std::int64_t threshold,
+                                 SelectorPtr input)
+        : op_(op), threshold_(threshold), input_(std::move(input)) {}
+
+    FunctionSet evaluate(EvalContext& ctx) const override {
+        const cg::CallGraph& graph = ctx.graph;
+        SccResult scc = computeScc(graph);
+        std::vector<std::uint64_t> localStmts = scc.accumulate(
+            graph, [](const cg::FunctionDesc& d) -> std::uint64_t {
+                return d.metrics.numStatements;
+            });
+
+        // agg(C) = stmts(C) + max over caller components agg(C'), computed
+        // top-down. Tarjan ids order callees before callers, so descending
+        // component id visits callers first.
+        std::vector<std::uint64_t> agg(scc.componentCount, 0);
+        std::vector<std::vector<std::uint32_t>> callerComps(scc.componentCount);
+        for (cg::FunctionId id = 0; id < graph.size(); ++id) {
+            std::uint32_t comp = scc.component[id];
+            for (cg::FunctionId caller : graph.callers(id)) {
+                std::uint32_t callerComp = scc.component[caller];
+                if (callerComp != comp) {
+                    callerComps[comp].push_back(callerComp);
+                }
+            }
+        }
+        for (std::uint32_t comp = scc.componentCount; comp-- > 0;) {
+            std::uint64_t best = 0;
+            for (std::uint32_t callerComp : callerComps[comp]) {
+                best = std::max(best, agg[callerComp]);
+            }
+            agg[comp] = best + localStmts[comp];
+        }
+
+        FunctionSet in = input_ != nullptr ? input_->evaluate(ctx)
+                                           : FunctionSet::all(graph.size());
+        FunctionSet out(graph.size());
+        in.forEach([&](cg::FunctionId id) {
+            if (compareMetric(agg[scc.component[id]], op_, threshold_)) {
+                out.add(id);
+            }
+        });
+        return out;
+    }
+
+    std::string describe() const override {
+        return std::string("statementAggregation(") + compareOpName(op_) + ", " +
+               std::to_string(threshold_) +
+               (input_ != nullptr ? ", " + input_->describe() : std::string()) + ")";
+    }
+
+private:
+    CompareOp op_;
+    std::int64_t threshold_;
+    SelectorPtr input_;  ///< May be null (defaults to %%).
+};
+
+}  // namespace
+
+namespace detail {
+
+void registerGraphSelectors(SelectorRegistry& r) {
+    r.registerType(
+        "onCallPathTo",
+        [](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
+            b.checkArity(call, 1, 1);
+            return std::make_unique<OnCallPathToSelector>(b.selectorArg(call, 0));
+        },
+        "onCallPathTo(target): functions on a call path from main to target");
+    r.registerType(
+        "onCallPathFrom",
+        [](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
+            b.checkArity(call, 1, 1);
+            return std::make_unique<OnCallPathFromSelector>(b.selectorArg(call, 0));
+        },
+        "onCallPathFrom(source): functions reachable from source");
+    r.registerType(
+        "callers",
+        [](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
+            b.checkArity(call, 1, 1);
+            return std::make_unique<NeighborSelector>(Hop::Callers,
+                                                      b.selectorArg(call, 0));
+        },
+        "callers(a): direct callers of members of a");
+    r.registerType(
+        "callees",
+        [](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
+            b.checkArity(call, 1, 1);
+            return std::make_unique<NeighborSelector>(Hop::Callees,
+                                                      b.selectorArg(call, 0));
+        },
+        "callees(a): direct callees of members of a");
+    r.registerType(
+        "coarse",
+        [](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
+            b.checkArity(call, 1, 2);
+            SelectorPtr critical =
+                call.args.size() == 2 ? b.selectorArg(call, 1) : nullptr;
+            return std::make_unique<CoarseSelector>(b.selectorArg(call, 0),
+                                                    std::move(critical));
+        },
+        "coarse(input[, critical]): remove sole-caller chain functions");
+    r.registerType(
+        "statementAggregation",
+        [](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
+            b.checkArity(call, 2, 3);
+            CompareOp op = parseCompareOp(b.stringArg(call, 0));
+            std::int64_t threshold = b.numberArg(call, 1);
+            SelectorPtr input =
+                call.args.size() == 3 ? b.selectorArg(call, 2) : nullptr;
+            return std::make_unique<StatementAggregationSelector>(op, threshold,
+                                                                  std::move(input));
+        },
+        "statementAggregation(op, n[, input]): statements aggregated along call chains");
+}
+
+}  // namespace detail
+
+}  // namespace capi::select

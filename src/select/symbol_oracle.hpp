@@ -1,0 +1,42 @@
+// Abstraction over "which function symbols exist in the final binary".
+//
+// The inlining-compensation step approximates the set of inlined functions by
+// probing the symbol tables of the executable and all dependent shared
+// objects (paper Sec. V-E). The selection library only needs this one
+// predicate; src/binsim provides the implementation backed by compiled
+// program images, and tests can use the simple set-based oracle below.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+namespace capi::select {
+
+class SymbolOracle {
+public:
+    virtual ~SymbolOracle() = default;
+
+    /// True when a symbol for `functionName` exists in the executable or any
+    /// dependent shared object. Absence is interpreted as "inlined at all
+    /// call sites".
+    virtual bool hasSymbol(const std::string& functionName) const = 0;
+};
+
+/// Oracle backed by an explicit symbol-name set.
+class SetSymbolOracle final : public SymbolOracle {
+public:
+    SetSymbolOracle() = default;
+    explicit SetSymbolOracle(std::unordered_set<std::string> symbols)
+        : symbols_(std::move(symbols)) {}
+
+    void add(const std::string& name) { symbols_.insert(name); }
+
+    bool hasSymbol(const std::string& functionName) const override {
+        return symbols_.contains(functionName);
+    }
+
+private:
+    std::unordered_set<std::string> symbols_;
+};
+
+}  // namespace capi::select

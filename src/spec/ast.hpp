@@ -1,0 +1,53 @@
+// AST for parsed selection specifications.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace capi::spec {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One expression node. `Call` covers selector instantiations like
+/// `flops(">=", 10, %%)`; `Ref` is `%name`; `Everything` is `%%`.
+struct Expr {
+    enum class Kind { Call, Ref, Everything, String, Number };
+
+    Kind kind = Kind::Everything;
+    std::string value;          ///< Call: selector type. Ref: name. String: text.
+    std::int64_t number = 0;    ///< Valid for Kind::Number.
+    std::vector<ExprPtr> args;  ///< Valid for Kind::Call.
+    int line = 0;
+    int column = 0;
+
+    static ExprPtr makeCall(std::string name, int line, int column) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Kind::Call;
+        e->value = std::move(name);
+        e->line = line;
+        e->column = column;
+        return e;
+    }
+};
+
+/// `name = expr` or an anonymous trailing `expr`.
+struct Definition {
+    std::string name;  ///< Empty for anonymous definitions.
+    ExprPtr expr;
+    std::string sourceModule;  ///< Which file/module defined it ("" = main spec).
+};
+
+/// A fully parsed spec: imports already expanded, definitions in evaluation
+/// order. The final definition is the pipeline entry point (paper Sec. III-A).
+struct SpecAst {
+    std::vector<Definition> definitions;
+
+    const Definition* entryPoint() const {
+        return definitions.empty() ? nullptr : &definitions.back();
+    }
+};
+
+}  // namespace capi::spec

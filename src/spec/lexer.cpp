@@ -1,0 +1,193 @@
+#include "spec/lexer.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+
+namespace capi::spec {
+
+const char* tokenKindName(TokenKind kind) {
+    switch (kind) {
+        case TokenKind::Identifier: return "identifier";
+        case TokenKind::Reference: return "selector reference";
+        case TokenKind::Everything: return "'%%'";
+        case TokenKind::String: return "string";
+        case TokenKind::Number: return "number";
+        case TokenKind::LParen: return "'('";
+        case TokenKind::RParen: return "')'";
+        case TokenKind::Comma: return "','";
+        case TokenKind::Equals: return "'='";
+        case TokenKind::Directive: return "directive";
+        case TokenKind::EndOfInput: return "end of input";
+    }
+    return "?";
+}
+
+namespace {
+
+bool isIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool isIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Lexer {
+public:
+    explicit Lexer(std::string_view text) : text_(text) {}
+
+    std::vector<Token> run() {
+        std::vector<Token> tokens;
+        while (true) {
+            skipTrivia();
+            Token tok = next();
+            bool end = tok.kind == TokenKind::EndOfInput;
+            tokens.push_back(std::move(tok));
+            if (end) break;
+        }
+        return tokens;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& message) const {
+        throw support::ParseError("spec: " + message, line_, column_);
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    char peek() const { return text_[pos_]; }
+
+    char advance() {
+        char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    void skipTrivia() {
+        while (!atEnd()) {
+            char c = peek();
+            if (c == '#') {
+                while (!atEnd() && peek() != '\n') advance();
+            } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+                advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    Token make(TokenKind kind, std::string text = {}) {
+        Token tok;
+        tok.kind = kind;
+        tok.text = std::move(text);
+        tok.line = startLine_;
+        tok.column = startColumn_;
+        return tok;
+    }
+
+    Token next() {
+        startLine_ = line_;
+        startColumn_ = column_;
+        if (atEnd()) {
+            return make(TokenKind::EndOfInput);
+        }
+        char c = advance();
+        switch (c) {
+            case '(': return make(TokenKind::LParen);
+            case ')': return make(TokenKind::RParen);
+            case ',': return make(TokenKind::Comma);
+            case '=': return make(TokenKind::Equals);
+            case '%': {
+                if (!atEnd() && peek() == '%') {
+                    advance();
+                    return make(TokenKind::Everything);
+                }
+                if (atEnd() || !isIdentStart(peek())) {
+                    fail("expected selector name after '%'");
+                }
+                return make(TokenKind::Reference, lexIdentifier());
+            }
+            case '!': {
+                if (atEnd() || !isIdentStart(peek())) {
+                    fail("expected directive name after '!'");
+                }
+                return make(TokenKind::Directive, lexIdentifier());
+            }
+            case '"': return lexString();
+            default:
+                if (isIdentStart(c)) {
+                    std::string ident(1, c);
+                    ident += lexIdentifier();
+                    return make(TokenKind::Identifier, std::move(ident));
+                }
+                if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-') {
+                    return lexNumber(c);
+                }
+                fail(std::string("unexpected character '") + c + "'");
+        }
+    }
+
+    std::string lexIdentifier() {
+        std::string out;
+        while (!atEnd() && isIdentChar(peek())) {
+            out.push_back(advance());
+        }
+        return out;
+    }
+
+    Token lexString() {
+        std::string out;
+        while (true) {
+            if (atEnd()) fail("unterminated string literal");
+            char c = advance();
+            if (c == '"') break;
+            if (c == '\\') {
+                if (atEnd()) fail("unterminated escape in string literal");
+                char esc = advance();
+                switch (esc) {
+                    case '"': out.push_back('"'); break;
+                    case '\\': out.push_back('\\'); break;
+                    case 'n': out.push_back('\n'); break;
+                    case 't': out.push_back('\t'); break;
+                    default: fail("unknown escape in string literal");
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        return make(TokenKind::String, std::move(out));
+    }
+
+    Token lexNumber(char first) {
+        bool negative = first == '-';
+        std::int64_t value = negative ? 0 : first - '0';
+        if (negative && (atEnd() || std::isdigit(static_cast<unsigned char>(peek())) == 0)) {
+            fail("expected digits after '-'");
+        }
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+            value = value * 10 + (advance() - '0');
+        }
+        Token tok = make(TokenKind::Number);
+        tok.number = negative ? -value : value;
+        return tok;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+    int startLine_ = 1;
+    int startColumn_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view text) { return Lexer(text).run(); }
+
+}  // namespace capi::spec

@@ -1,0 +1,23 @@
+// Lexer for the CaPI selection DSL.
+//
+// The dialect (paper Listing 1):
+//   !import("mpi.capi")
+//   excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+//   kernels  = flops(">=", 10, loopDepth(">=", 1, %%))
+//   join(subtract(%kernels, %excluded), %mpi_comm)
+//
+// '#' starts a line comment. '%name' references a previously defined selector
+// instance; '%%' is the predefined set of all functions.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "spec/token.hpp"
+
+namespace capi::spec {
+
+/// Tokenizes a complete spec; throws support::ParseError on bad input.
+std::vector<Token> tokenize(std::string_view text);
+
+}  // namespace capi::spec

@@ -1,0 +1,32 @@
+#include "spec/module_resolver.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace capi::spec {
+
+void ModuleResolver::registerModule(const std::string& name, std::string text) {
+    modules_[name] = std::move(text);
+}
+
+void ModuleResolver::addSearchPath(std::string dir) {
+    searchPaths_.push_back(std::move(dir));
+}
+
+std::optional<std::string> ModuleResolver::resolve(const std::string& name) const {
+    auto it = modules_.find(name);
+    if (it != modules_.end()) {
+        return it->second;
+    }
+    for (const std::string& dir : searchPaths_) {
+        std::ifstream in(dir + "/" + name);
+        if (in) {
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            return buffer.str();
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace capi::spec

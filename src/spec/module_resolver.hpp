@@ -1,0 +1,32 @@
+// Resolution of `!import("module.capi")` directives.
+//
+// Modules are resolved by name to spec text either from an in-memory registry
+// (used for the specs bundled with the library, e.g. "mpi.capi") or from a
+// list of filesystem search paths, mirroring how CaPI locates spec modules.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace capi::spec {
+
+class ModuleResolver {
+public:
+    /// Registers an in-memory module; later registrations win.
+    void registerModule(const std::string& name, std::string text);
+
+    /// Adds a directory searched for `<dir>/<name>` on resolve().
+    void addSearchPath(std::string dir);
+
+    /// Returns the module text, checking in-memory modules before the
+    /// filesystem. std::nullopt when the module cannot be found.
+    std::optional<std::string> resolve(const std::string& name) const;
+
+private:
+    std::unordered_map<std::string, std::string> modules_;
+    std::vector<std::string> searchPaths_;
+};
+
+}  // namespace capi::spec

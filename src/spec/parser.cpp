@@ -1,0 +1,196 @@
+#include "spec/parser.hpp"
+
+#include <unordered_set>
+
+#include "spec/lexer.hpp"
+#include "support/error.hpp"
+
+namespace capi::spec {
+
+namespace {
+
+class Parser {
+public:
+    Parser(std::string_view text, const ModuleResolver* resolver)
+        : tokens_(tokenize(text)), resolver_(resolver) {}
+
+    void parseInto(SpecAst& ast, const std::string& moduleName,
+                   std::unordered_set<std::string>& importStack,
+                   std::unordered_set<std::string>& importedModules) {
+        while (!check(TokenKind::EndOfInput)) {
+            if (check(TokenKind::Directive)) {
+                parseDirective(ast, importStack, importedModules);
+                continue;
+            }
+            parseDefinition(ast, moduleName);
+        }
+    }
+
+private:
+    const Token& current() const { return tokens_[pos_]; }
+
+    const Token& lookahead(std::size_t n) const {
+        std::size_t idx = pos_ + n;
+        return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+    }
+
+    bool check(TokenKind kind) const { return current().kind == kind; }
+
+    Token consume() { return tokens_[pos_++]; }
+
+    [[noreturn]] void fail(const std::string& message, const Token& at) const {
+        throw support::ParseError("spec: " + message + ", got " +
+                                      tokenKindName(at.kind),
+                                  at.line, at.column);
+    }
+
+    Token expect(TokenKind kind, const char* what) {
+        if (!check(kind)) {
+            fail(std::string("expected ") + what, current());
+        }
+        return consume();
+    }
+
+    void parseDirective(SpecAst& ast, std::unordered_set<std::string>& importStack,
+                        std::unordered_set<std::string>& importedModules) {
+        Token directive = consume();
+        if (directive.text != "import") {
+            fail("unknown directive '!" + directive.text + "'", directive);
+        }
+        expect(TokenKind::LParen, "'('");
+        Token module = expect(TokenKind::String, "module name string");
+        expect(TokenKind::RParen, "')'");
+
+        if (importedModules.contains(module.text)) {
+            return;  // Idempotent: a module is expanded once.
+        }
+        if (importStack.contains(module.text)) {
+            throw support::ParseError("spec: import cycle through '" + module.text + "'",
+                                      module.line, module.column);
+        }
+        if (resolver_ == nullptr) {
+            throw support::ParseError("spec: imports not allowed here ('" +
+                                          module.text + "')",
+                                      module.line, module.column);
+        }
+        std::optional<std::string> text = resolver_->resolve(module.text);
+        if (!text.has_value()) {
+            throw support::ParseError("spec: cannot resolve module '" + module.text + "'",
+                                      module.line, module.column);
+        }
+        importStack.insert(module.text);
+        Parser nested(*text, resolver_);
+        nested.parseInto(ast, module.text, importStack, importedModules);
+        importStack.erase(module.text);
+        importedModules.insert(module.text);
+    }
+
+    void parseDefinition(SpecAst& ast, const std::string& moduleName) {
+        Definition def;
+        def.sourceModule = moduleName;
+        if (check(TokenKind::Identifier) && lookahead(1).kind == TokenKind::Equals) {
+            def.name = consume().text;  // identifier
+            consume();                  // '='
+            for (const Definition& existing : ast.definitions) {
+                if (!existing.name.empty() && existing.name == def.name) {
+                    fail("duplicate definition of '" + def.name + "'", current());
+                }
+            }
+        }
+        def.expr = parseExpr();
+        ast.definitions.push_back(std::move(def));
+    }
+
+    ExprPtr parseExpr() {
+        const Token& tok = current();
+        switch (tok.kind) {
+            case TokenKind::Identifier: return parseCall();
+            case TokenKind::Reference: {
+                Token t = consume();
+                auto e = std::make_unique<Expr>();
+                e->kind = Expr::Kind::Ref;
+                e->value = t.text;
+                e->line = t.line;
+                e->column = t.column;
+                return e;
+            }
+            case TokenKind::Everything: {
+                Token t = consume();
+                auto e = std::make_unique<Expr>();
+                e->kind = Expr::Kind::Everything;
+                e->line = t.line;
+                e->column = t.column;
+                return e;
+            }
+            case TokenKind::String: {
+                Token t = consume();
+                auto e = std::make_unique<Expr>();
+                e->kind = Expr::Kind::String;
+                e->value = t.text;
+                e->line = t.line;
+                e->column = t.column;
+                return e;
+            }
+            case TokenKind::Number: {
+                Token t = consume();
+                auto e = std::make_unique<Expr>();
+                e->kind = Expr::Kind::Number;
+                e->number = t.number;
+                e->line = t.line;
+                e->column = t.column;
+                return e;
+            }
+            default: fail("expected expression", tok);
+        }
+    }
+
+    ExprPtr parseCall() {
+        Token name = consume();
+        ExprPtr call = Expr::makeCall(name.text, name.line, name.column);
+        expect(TokenKind::LParen, "'(' after selector name");
+        if (!check(TokenKind::RParen)) {
+            while (true) {
+                call->args.push_back(parseExpr());
+                if (check(TokenKind::Comma)) {
+                    consume();
+                    continue;
+                }
+                break;
+            }
+        }
+        expect(TokenKind::RParen, "')'");
+        return call;
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+    const ModuleResolver* resolver_;
+};
+
+}  // namespace
+
+SpecAst parseSpec(std::string_view text, const ModuleResolver& resolver) {
+    SpecAst ast;
+    std::unordered_set<std::string> importStack;
+    std::unordered_set<std::string> importedModules;
+    Parser parser(text, &resolver);
+    parser.parseInto(ast, "", importStack, importedModules);
+    if (ast.definitions.empty()) {
+        throw support::Error("spec: no selector definitions");
+    }
+    return ast;
+}
+
+SpecAst parseSpec(std::string_view text) {
+    SpecAst ast;
+    std::unordered_set<std::string> importStack;
+    std::unordered_set<std::string> importedModules;
+    Parser parser(text, nullptr);
+    parser.parseInto(ast, "", importStack, importedModules);
+    if (ast.definitions.empty()) {
+        throw support::Error("spec: no selector definitions");
+    }
+    return ast;
+}
+
+}  // namespace capi::spec

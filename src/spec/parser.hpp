@@ -1,0 +1,29 @@
+// Recursive-descent parser for the CaPI selection DSL.
+//
+// Grammar:
+//   spec        := (directive | definition)*
+//   directive   := '!' 'import' '(' STRING ')'
+//   definition  := [IDENT '='] expr
+//   expr        := call | REF | '%%' | STRING | NUMBER
+//   call        := IDENT '(' [expr (',' expr)*] ')'
+//
+// Imports are expanded inline (depth-first, duplicates skipped, cycles
+// rejected), so the resulting SpecAst is self-contained; imported definitions
+// precede the importing spec's own definitions, as in CaPI.
+#pragma once
+
+#include <string_view>
+
+#include "spec/ast.hpp"
+#include "spec/module_resolver.hpp"
+
+namespace capi::spec {
+
+/// Parses a spec with import support. Throws support::ParseError on syntax
+/// errors, unknown modules, import cycles, or duplicate definition names.
+SpecAst parseSpec(std::string_view text, const ModuleResolver& resolver);
+
+/// Parses a spec that must not contain imports.
+SpecAst parseSpec(std::string_view text);
+
+}  // namespace capi::spec

@@ -1,0 +1,34 @@
+// Token model for the CaPI selection-specification DSL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace capi::spec {
+
+enum class TokenKind {
+    Identifier,   // selector type or definition name
+    Reference,    // %name
+    Everything,   // %%
+    String,       // "..."
+    Number,       // integer literal
+    LParen,
+    RParen,
+    Comma,
+    Equals,
+    Directive,    // !name  (e.g. !import)
+    EndOfInput,
+};
+
+struct Token {
+    TokenKind kind = TokenKind::EndOfInput;
+    std::string text;        // identifier/reference/directive name, string value
+    std::int64_t number = 0; // valid when kind == Number
+    int line = 1;
+    int column = 1;
+};
+
+/// Human-readable token-kind name for diagnostics.
+const char* tokenKindName(TokenKind kind);
+
+}  // namespace capi::spec

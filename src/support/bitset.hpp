@@ -1,0 +1,98 @@
+// Dynamic bitset with set-algebra operations.
+//
+// Backbone of FunctionSet and the reachability analyses: the OpenFOAM-scale
+// call graph has ~410k nodes, so selectors operate on 64-bit word arrays
+// rather than per-element containers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace capi::support {
+
+class DynamicBitset {
+public:
+    DynamicBitset() = default;
+    explicit DynamicBitset(std::size_t size)
+        : size_(size), words_((size + 63) / 64, 0) {}
+
+    std::size_t size() const noexcept { return size_; }
+
+    void set(std::size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+    void reset(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+    bool test(std::size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1ULL; }
+
+    void clear() {
+        for (std::uint64_t& w : words_) w = 0;
+    }
+
+    void setAll() {
+        for (std::uint64_t& w : words_) w = ~0ULL;
+        trimTail();
+    }
+
+    std::size_t count() const {
+        std::size_t total = 0;
+        for (std::uint64_t w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+        return total;
+    }
+
+    bool any() const {
+        for (std::uint64_t w : words_) {
+            if (w != 0) return true;
+        }
+        return false;
+    }
+
+    DynamicBitset& operator|=(const DynamicBitset& other) {
+        for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+        return *this;
+    }
+
+    DynamicBitset& operator&=(const DynamicBitset& other) {
+        for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+        return *this;
+    }
+
+    /// Set difference: remove every bit present in `other`.
+    DynamicBitset& operator-=(const DynamicBitset& other) {
+        for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+        return *this;
+    }
+
+    /// Complement within [0, size()).
+    void flipAll() {
+        for (std::uint64_t& w : words_) w = ~w;
+        trimTail();
+    }
+
+    bool operator==(const DynamicBitset& other) const {
+        return size_ == other.size_ && words_ == other.words_;
+    }
+
+    /// Calls fn(index) for every set bit, in increasing order.
+    template <typename Fn>
+    void forEach(Fn&& fn) const {
+        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+            std::uint64_t w = words_[wi];
+            while (w != 0) {
+                unsigned bit = static_cast<unsigned>(__builtin_ctzll(w));
+                fn(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+    }
+
+private:
+    void trimTail() {
+        if (size_ % 64 != 0 && !words_.empty()) {
+            words_.back() &= (1ULL << (size_ % 64)) - 1;
+        }
+    }
+
+    std::size_t size_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace capi::support

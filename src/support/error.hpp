@@ -1,0 +1,40 @@
+// Error types shared across the CaPI reproduction libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace capi::support {
+
+/// Base class for all errors raised by this project. Carries a plain message;
+/// subclasses tag the subsystem so callers can catch selectively.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised on malformed input files (JSON, spec DSL, filter files).
+class ParseError : public Error {
+public:
+    ParseError(const std::string& what, int line, int column)
+        : Error(what + " (line " + std::to_string(line) + ", column " +
+                std::to_string(column) + ")"),
+          line_(line),
+          column_(column) {}
+
+    int line() const noexcept { return line_; }
+    int column() const noexcept { return column_; }
+
+private:
+    int line_;
+    int column_;
+};
+
+/// Raised when a simulated machine-level invariant is violated, e.g. writing
+/// to a code page that was not made writable via mprotect().
+class MachineFault : public Error {
+public:
+    explicit MachineFault(const std::string& what) : Error(what) {}
+};
+
+}  // namespace capi::support

@@ -1,0 +1,121 @@
+// Minimal JSON value model, parser and writer.
+//
+// Used for the MetaCG-style call-graph interchange format and for IC files.
+// Supports the JSON subset needed there: null, bool, integers, doubles,
+// strings with escapes, arrays and objects. Object member order is preserved
+// so emitted files diff cleanly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace capi::support {
+
+class Json;
+
+/// Object representation: insertion-ordered key/value list with a side index
+/// for O(log n) lookup.
+class JsonObject {
+public:
+    using Member = std::pair<std::string, Json>;
+
+    Json& operator[](const std::string& key);
+    const Json* find(std::string_view key) const;
+    bool contains(std::string_view key) const { return find(key) != nullptr; }
+    std::size_t size() const noexcept { return members_.size(); }
+    bool empty() const noexcept { return members_.empty(); }
+
+    auto begin() const { return members_.begin(); }
+    auto end() const { return members_.end(); }
+    auto begin() { return members_.begin(); }
+    auto end() { return members_.end(); }
+
+private:
+    std::vector<Member> members_;
+    std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+/// A JSON value. Integers and doubles are kept distinct so that function IDs
+/// and counters round-trip exactly.
+class Json {
+public:
+    enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+    using Array = std::vector<Json>;
+
+    Json() : type_(Type::Null) {}
+    Json(std::nullptr_t) : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(int v) : type_(Type::Int), int_(v) {}
+    Json(unsigned v) : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+    Json(std::int64_t v) : type_(Type::Int), int_(v) {}
+    Json(std::uint64_t v) : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+    Json(double v) : type_(Type::Double), double_(v) {}
+    Json(const char* s) : type_(Type::String), string_(s) {}
+    Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+    Json(std::string_view s) : type_(Type::String), string_(s) {}
+    Json(Array a) : type_(Type::Array), array_(std::make_shared<Array>(std::move(a))) {}
+    Json(JsonObject o)
+        : type_(Type::Object), object_(std::make_shared<JsonObject>(std::move(o))) {}
+
+    static Json array() { return Json(Array{}); }
+    static Json object() { return Json(JsonObject{}); }
+
+    Type type() const noexcept { return type_; }
+    bool isNull() const noexcept { return type_ == Type::Null; }
+    bool isBool() const noexcept { return type_ == Type::Bool; }
+    bool isInt() const noexcept { return type_ == Type::Int; }
+    bool isDouble() const noexcept { return type_ == Type::Double; }
+    bool isNumber() const noexcept { return isInt() || isDouble(); }
+    bool isString() const noexcept { return type_ == Type::String; }
+    bool isArray() const noexcept { return type_ == Type::Array; }
+    bool isObject() const noexcept { return type_ == Type::Object; }
+
+    bool asBool() const;
+    std::int64_t asInt() const;
+    double asDouble() const;
+    const std::string& asString() const;
+    const Array& asArray() const;
+    Array& asArray();
+    const JsonObject& asObject() const;
+    JsonObject& asObject();
+
+    /// Object member access; creates the member (as null) on mutable access.
+    Json& operator[](const std::string& key);
+    /// Lookup without creation; returns nullptr when absent or not an object.
+    const Json* find(std::string_view key) const;
+
+    /// Convenience typed getters with defaults for optional members.
+    std::int64_t getInt(std::string_view key, std::int64_t def) const;
+    double getDouble(std::string_view key, double def) const;
+    bool getBool(std::string_view key, bool def) const;
+    std::string getString(std::string_view key, const std::string& def) const;
+
+    void push_back(Json v);
+
+    /// Serialize. Pretty output uses two-space indentation.
+    std::string dump(bool pretty = false) const;
+
+    /// Parse a complete JSON document; trailing non-space input is an error.
+    static Json parse(std::string_view text);
+
+private:
+    void writeTo(std::string& out, bool pretty, int indent) const;
+
+    Type type_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::shared_ptr<Array> array_;
+    std::shared_ptr<JsonObject> object_;
+};
+
+}  // namespace capi::support

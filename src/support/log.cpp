@@ -1,0 +1,36 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace capi::support {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+
+const char* levelTag(LogLevel level) {
+    switch (level) {
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO ";
+        case LogLevel::Warn: return "WARN ";
+        case LogLevel::Error: return "ERROR";
+        default: return "?????";
+    }
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void logMessage(LogLevel level, const std::string& message) {
+    if (level < g_level.load(std::memory_order_relaxed)) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "[capi %s] %s\n", levelTag(level), message.c_str());
+}
+
+}  // namespace capi::support

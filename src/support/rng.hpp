@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation for the synthetic app models.
+//
+// SplitMix64: tiny, fast, well-distributed; identical streams across
+// platforms, which keeps every generated call graph and workload reproducible
+// from a seed (std::mt19937 distributions are not portable across stdlibs).
+#pragma once
+
+#include <cstdint>
+
+namespace capi::support {
+
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform integer in [0, bound); bound must be > 0.
+    std::uint64_t nextBelow(std::uint64_t bound) { return next() % bound; }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi) {
+        return lo + nextBelow(hi - lo + 1);
+    }
+
+    /// Uniform double in [0, 1).
+    double nextDouble() {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /// Bernoulli draw.
+    bool nextBool(double probability) { return nextDouble() < probability; }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace capi::support

@@ -1,0 +1,46 @@
+// Wall-clock timing helpers used by the measurement substrates and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace capi::support {
+
+/// Monotonic wall-clock timestamp in nanoseconds.
+inline std::uint64_t nowNs() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Simple stopwatch. Constructed running.
+class Timer {
+public:
+    Timer() : start_(nowNs()) {}
+
+    void restart() { start_ = nowNs(); }
+
+    std::uint64_t elapsedNs() const { return nowNs() - start_; }
+    double elapsedUs() const { return static_cast<double>(elapsedNs()) / 1e3; }
+    double elapsedMs() const { return static_cast<double>(elapsedNs()) / 1e6; }
+    double elapsedSec() const { return static_cast<double>(elapsedNs()) / 1e9; }
+
+private:
+    std::uint64_t start_;
+};
+
+/// Accumulates into a target on destruction; for timing scopes inside loops.
+class ScopedAccumulator {
+public:
+    explicit ScopedAccumulator(std::uint64_t& target) : target_(target) {}
+    ~ScopedAccumulator() { target_ += timer_.elapsedNs(); }
+    ScopedAccumulator(const ScopedAccumulator&) = delete;
+    ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+private:
+    std::uint64_t& target_;
+    Timer timer_;
+};
+
+}  // namespace capi::support

@@ -1,0 +1,204 @@
+#include "talpsim/talp.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace capi::talp {
+
+TalpRuntime::TalpRuntime(mpi::MpiWorld& world) : world_(&world) {
+    ranks_.resize(static_cast<std::size_t>(world.worldSize()));
+    world_->setInterceptor(this);
+}
+
+TalpRuntime::~TalpRuntime() {
+    world_->setInterceptor(nullptr);
+}
+
+MonitorHandle TalpRuntime::registerLocked(const std::string& name) {
+    auto it = regionByName_.find(name);
+    if (it != regionByName_.end()) {
+        return MonitorHandle{it->second};
+    }
+    std::uint32_t id = static_cast<std::uint32_t>(regionNames_.size());
+    regionNames_.push_back(name);
+    regionByName_.emplace(name, id);
+    for (RankData& rank : ranks_) {
+        rank.regions.resize(regionNames_.size());
+    }
+    return MonitorHandle{id};
+}
+
+MonitorHandle TalpRuntime::regionRegister(const std::string& name, int rank) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // TALP requires MPI to be initialized before regions can be registered
+    // (paper Sec. VI-B): regions entered before MPI_Init are not recorded.
+    if (!world_->initialized(rank)) {
+        ++failedRegistrations_;
+        return MonitorHandle::invalid();
+    }
+    return registerLocked(name);
+}
+
+bool TalpRuntime::regionStart(MonitorHandle handle, int rank, double virtualNow) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!handle.valid() || handle.id >= regionNames_.size() || rank < 0 ||
+        static_cast<std::size_t>(rank) >= ranks_.size()) {
+        ++failedStarts_;
+        return false;
+    }
+    RankData& data = ranks_[static_cast<std::size_t>(rank)];
+    RankRegionState& state = data.regions[handle.id];
+    if (++state.depth == 1) {
+        state.startVirtualNs = virtualNow;
+        state.mpiInsideNs = 0.0;
+        data.openStack.push_back(handle.id);
+    }
+    return true;
+}
+
+bool TalpRuntime::regionStop(MonitorHandle handle, int rank, double virtualNow) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!handle.valid() || handle.id >= regionNames_.size() || rank < 0 ||
+        static_cast<std::size_t>(rank) >= ranks_.size()) {
+        ++failedStops_;
+        return false;
+    }
+    RankData& data = ranks_[static_cast<std::size_t>(rank)];
+    RankRegionState& state = data.regions[handle.id];
+    if (state.depth == 0) {
+        ++failedStops_;  // Stop without a matching start.
+        return false;
+    }
+    if (--state.depth == 0) {
+        double elapsed = virtualNow - state.startVirtualNs;
+        if (elapsed < 0) {
+            elapsed = 0;
+        }
+        state.elapsedNs += elapsed;
+        state.mpiNs += state.mpiInsideNs;
+        double useful = elapsed - state.mpiInsideNs;
+        state.usefulNs += useful > 0 ? useful : 0;
+        state.visits += 1;
+        auto it = std::find(data.openStack.rbegin(), data.openStack.rend(), handle.id);
+        if (it != data.openStack.rend()) {
+            data.openStack.erase(std::next(it).base());
+        }
+    }
+    return true;
+}
+
+void TalpRuntime::preOp(int rank, mpi::OpKind op, double virtualNow) {
+    if (op == mpi::OpKind::Finalize) {
+        // Close the implicit global region before MPI shuts down.
+        MonitorHandle global;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            global = globalRegion_;
+        }
+        if (global.valid()) {
+            regionStop(global, rank, virtualNow);
+        }
+    }
+}
+
+void TalpRuntime::postOp(int rank, mpi::OpKind op, double virtualNowAfter,
+                         double mpiNs) {
+    if (op == mpi::OpKind::Init) {
+        MonitorHandle global;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            globalRegion_ = registerLocked(kGlobalRegionName);
+            global = globalRegion_;
+        }
+        regionStart(global, rank, virtualNowAfter);
+        return;
+    }
+    // Attribute this operation's MPI time to every region currently open on
+    // the rank. This walk is what makes TALP's per-MPI-op cost scale with
+    // the number of open monitoring regions.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rank < 0 || static_cast<std::size_t>(rank) >= ranks_.size()) {
+        return;
+    }
+    RankData& data = ranks_[static_cast<std::size_t>(rank)];
+    for (std::uint32_t regionId : data.openStack) {
+        data.regions[regionId].mpiInsideNs += mpiNs;
+    }
+}
+
+PopMetrics TalpRuntime::aggregate(std::uint32_t regionId) const {
+    PopMetrics metrics;
+    metrics.name = regionNames_[regionId];
+    double usefulSum = 0.0;
+    for (const RankData& rank : ranks_) {
+        const RankRegionState& state = rank.regions[regionId];
+        if (state.visits == 0) {
+            continue;
+        }
+        ++metrics.ranks;
+        metrics.visits += state.visits;
+        metrics.elapsedNs = std::max(metrics.elapsedNs, state.elapsedNs);
+        metrics.usefulMaxNs = std::max(metrics.usefulMaxNs, state.usefulNs);
+        usefulSum += state.usefulNs;
+        metrics.mpiAvgNs += state.mpiNs;
+    }
+    if (metrics.ranks == 0) {
+        return metrics;
+    }
+    metrics.usefulAvgNs = usefulSum / metrics.ranks;
+    metrics.mpiAvgNs /= metrics.ranks;
+    if (metrics.elapsedNs > 0) {
+        metrics.communicationEfficiency = metrics.usefulMaxNs / metrics.elapsedNs;
+    }
+    if (metrics.usefulMaxNs > 0) {
+        metrics.loadBalance = metrics.usefulAvgNs / metrics.usefulMaxNs;
+    }
+    metrics.parallelEfficiency =
+        metrics.communicationEfficiency * metrics.loadBalance;
+    return metrics;
+}
+
+std::optional<PopMetrics> TalpRuntime::metrics(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = regionByName_.find(name);
+    if (it == regionByName_.end()) {
+        return std::nullopt;
+    }
+    return aggregate(it->second);
+}
+
+std::vector<PopMetrics> TalpRuntime::collectAll() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<PopMetrics> all;
+    for (std::uint32_t id = 0; id < regionNames_.size(); ++id) {
+        PopMetrics m = aggregate(id);
+        if (m.visits > 0) {
+            all.push_back(std::move(m));
+        }
+    }
+    return all;
+}
+
+std::size_t TalpRuntime::regionCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return regionNames_.size();
+}
+
+std::string TalpRuntime::report() const {
+    std::vector<PopMetrics> all = collectAll();
+    std::string out = "======= TALP monitoring regions =======\n";
+    for (const PopMetrics& m : all) {
+        out += "Region \"" + m.name + "\" (" + std::to_string(m.ranks) + " ranks, " +
+               std::to_string(m.visits) + " visits)\n";
+        out += "  elapsed: " + support::fixed(m.elapsedNs / 1e6, 3) + " ms";
+        out += ", useful avg: " + support::fixed(m.usefulAvgNs / 1e6, 3) + " ms";
+        out += ", MPI avg: " + support::fixed(m.mpiAvgNs / 1e6, 3) + " ms\n";
+        out += "  parallel efficiency: " + support::fixed(m.parallelEfficiency, 3);
+        out += "  (communication: " + support::fixed(m.communicationEfficiency, 3);
+        out += ", load balance: " + support::fixed(m.loadBalance, 3) + ")\n";
+    }
+    return out;
+}
+
+}  // namespace capi::talp

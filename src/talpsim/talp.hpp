@@ -1,0 +1,122 @@
+// TALP (Tracking Application Live Performance), the DLB monitoring module.
+//
+// Reproduces the TALP behaviour the paper integrates with (Sec. III-B):
+//  * monitoring regions registered by name, started/stopped via handles;
+//    regions may nest and overlap arbitrarily;
+//  * registration requires MPI to be initialized on the calling rank —
+//    regions entered before MPI_Init fail to register (the Sec. VI-B
+//    limitation, counted explicitly);
+//  * a PMPI interceptor attributes the virtual time spent inside each MPI
+//    operation to every region currently open on that rank (this makes the
+//    per-MPI-op cost grow with the number of open regions, which is why the
+//    paper's `mpi` IC is more expensive under TALP than under Score-P);
+//  * per-region POP efficiency metrics: parallel efficiency = communication
+//    efficiency x load balance;
+//  * an end-of-run text summary plus a runtime query API.
+//
+// An implicit "MPI Execution" region spans MPI_Init..MPI_Finalize, as in DLB.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mpisim/mpi_world.hpp"
+
+namespace capi::talp {
+
+struct MonitorHandle {
+    std::uint32_t id = 0;
+    bool valid() const { return id != 0xFFFFFFFFu; }
+    static MonitorHandle invalid() { return {0xFFFFFFFFu}; }
+};
+
+/// POP parallel-efficiency metrics of one region, aggregated over ranks.
+struct PopMetrics {
+    std::string name;
+    int ranks = 0;
+    std::uint64_t visits = 0;          ///< Total start/stop pairs over all ranks.
+    double elapsedNs = 0.0;            ///< Max accumulated elapsed across ranks.
+    double usefulAvgNs = 0.0;
+    double usefulMaxNs = 0.0;
+    double mpiAvgNs = 0.0;
+    double communicationEfficiency = 0.0;  ///< usefulMax / elapsed.
+    double loadBalance = 0.0;              ///< usefulAvg / usefulMax.
+    double parallelEfficiency = 0.0;       ///< product of the two.
+};
+
+class TalpRuntime final : public mpi::PmpiInterceptor {
+public:
+    /// Installs itself as the world's PMPI interceptor.
+    explicit TalpRuntime(mpi::MpiWorld& world);
+    ~TalpRuntime() override;
+
+    // --- DLB monitoring-region API -------------------------------------
+    /// DLB_MonitoringRegionRegister: fails (invalid handle) when MPI is not
+    /// initialized on this rank. Registering the same name twice returns the
+    /// same handle.
+    MonitorHandle regionRegister(const std::string& name, int rank);
+
+    /// DLB_MonitoringRegionStart at the rank's current virtual time.
+    bool regionStart(MonitorHandle handle, int rank, double virtualNow);
+    /// DLB_MonitoringRegionStop.
+    bool regionStop(MonitorHandle handle, int rank, double virtualNow);
+
+    // --- PMPI hooks (called by MpiWorld) --------------------------------
+    void preOp(int rank, mpi::OpKind op, double virtualNow) override;
+    void postOp(int rank, mpi::OpKind op, double virtualNowAfter,
+                double mpiNs) override;
+
+    // --- results ---------------------------------------------------------
+    /// Metrics of one region aggregated over all ranks (completed visits).
+    std::optional<PopMetrics> metrics(const std::string& name) const;
+    /// Runtime query API: all regions with at least one completed visit.
+    std::vector<PopMetrics> collectAll() const;
+    /// TALP-style end-of-run text summary.
+    std::string report() const;
+
+    std::size_t regionCount() const;
+
+    // --- failure accounting (paper Sec. VI-B) ----------------------------
+    std::uint64_t failedRegistrations() const { return failedRegistrations_; }
+    std::uint64_t failedStarts() const { return failedStarts_; }
+    std::uint64_t failedStops() const { return failedStops_; }
+
+    static constexpr const char* kGlobalRegionName = "MPI Execution";
+
+private:
+    struct RankRegionState {
+        int depth = 0;             ///< Nesting depth; outermost pair accounts.
+        double startVirtualNs = 0.0;
+        double mpiInsideNs = 0.0;
+        // Accumulated over completed visits:
+        double elapsedNs = 0.0;
+        double usefulNs = 0.0;
+        double mpiNs = 0.0;
+        std::uint64_t visits = 0;
+    };
+    struct RankData {
+        std::vector<RankRegionState> regions;
+        std::vector<std::uint32_t> openStack;  ///< Regions open on this rank.
+    };
+
+    MonitorHandle registerLocked(const std::string& name);
+    PopMetrics aggregate(std::uint32_t regionId) const;
+
+    mpi::MpiWorld* world_;
+
+    mutable std::mutex mutex_;
+    std::vector<std::string> regionNames_;
+    std::unordered_map<std::string, std::uint32_t> regionByName_;
+    std::vector<RankData> ranks_;
+    MonitorHandle globalRegion_ = MonitorHandle::invalid();
+
+    std::uint64_t failedRegistrations_ = 0;
+    std::uint64_t failedStarts_ = 0;
+    std::uint64_t failedStops_ = 0;
+};
+
+}  // namespace capi::talp

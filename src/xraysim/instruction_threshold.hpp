@@ -1,0 +1,34 @@
+// XRay's compile-time instrumentation pre-filter.
+//
+// The XRay machine pass skips functions below an instruction-count threshold
+// (default 200 in LLVM, controlled by -fxray-instruction-threshold): tiny
+// functions are deemed not relevant w.r.t. runtime consumption and would only
+// add patching surface. Functions containing loops are instrumented even
+// under the threshold (they may run long), and an always-instrument attribute
+// overrides everything — both as in LLVM.
+#pragma once
+
+#include <cstdint>
+
+namespace capi::xray {
+
+inline constexpr std::uint32_t kDefaultInstructionThreshold = 200;
+
+struct ThresholdPolicy {
+    std::uint32_t instructionThreshold = kDefaultInstructionThreshold;
+    bool ignoreLoops = false;  ///< -fxray-ignore-loops
+};
+
+constexpr bool shouldPrepareFunction(std::uint32_t numInstructions, bool hasLoop,
+                                     bool alwaysInstrument,
+                                     const ThresholdPolicy& policy = {}) {
+    if (alwaysInstrument) {
+        return true;
+    }
+    if (numInstructions >= policy.instructionThreshold) {
+        return true;
+    }
+    return hasLoop && !policy.ignoreLoops;
+}
+
+}  // namespace capi::xray

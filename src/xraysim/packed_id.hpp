@@ -1,0 +1,49 @@
+// Packed XRay function identifiers (paper Fig. 4).
+//
+// The original XRay runtime identified functions with a flat 32-bit ID that
+// is only unique within the main executable. To support instrumenting
+// dynamic shared objects, the ID space is split: the first (most significant)
+// 8 bits carry the object ID, the remaining 24 bits the per-object function
+// ID. The main executable is always object 0, so its packed IDs are
+// numerically identical to the legacy function IDs — existing tools keep
+// working unchanged.
+//
+// Capacity consequences (validated by tests and reported in the paper):
+//   * at most 255 DSOs can be registered alongside the main executable,
+//   * at most 2^24 (~16.7 M) functions per object. For reference, the
+//     largest object in the paper's OpenFOAM case used 28,687 IDs.
+#pragma once
+
+#include <cstdint>
+
+namespace capi::xray {
+
+using PackedId = std::uint32_t;
+using ObjectId = std::uint32_t;    ///< 0 = main executable, 1..255 = DSOs.
+using FunctionId = std::uint32_t;  ///< Local to one object; 24 bits.
+
+inline constexpr unsigned kObjectIdBits = 8;
+inline constexpr unsigned kFunctionIdBits = 24;
+inline constexpr ObjectId kMainExecutableObjectId = 0;
+inline constexpr ObjectId kMaxObjectId = (1u << kObjectIdBits) - 1;  // 255
+inline constexpr std::uint32_t kMaxFunctionsPerObject = 1u << kFunctionIdBits;
+inline constexpr FunctionId kFunctionIdMask = kMaxFunctionsPerObject - 1;
+
+constexpr PackedId packId(ObjectId object, FunctionId function) {
+    return (object << kFunctionIdBits) | (function & kFunctionIdMask);
+}
+
+constexpr ObjectId objectIdOf(PackedId packed) {
+    return packed >> kFunctionIdBits;
+}
+
+constexpr FunctionId functionIdOf(PackedId packed) {
+    return packed & kFunctionIdMask;
+}
+
+static_assert(packId(kMainExecutableObjectId, 1234) == 1234,
+              "main-executable packed IDs must equal legacy function IDs");
+static_assert(objectIdOf(packId(200, 99)) == 200);
+static_assert(functionIdOf(packId(200, 99)) == 99);
+
+}  // namespace capi::xray

@@ -1,0 +1,59 @@
+// XRay sleds: patchable NOP regions at function entry and exit points.
+//
+// The compiler's XRay machine pass emits a fixed-size run of NOP bytes (a
+// "sled") at every instrumentation point of every prepared function, plus a
+// table recording each sled's address, kind and function ID. At runtime the
+// NOPs can be overwritten ("patched") with a jump into a trampoline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xraysim/packed_id.hpp"
+
+namespace capi::xray {
+
+/// Sled size in simulated code bytes. Real x86-64 XRay entry sleds are 11
+/// bytes; the exact value only affects address layout here.
+inline constexpr std::uint64_t kSledBytes = 16;
+
+enum class SledKind : std::uint8_t {
+    FunctionEnter,
+    FunctionExit,
+    TailCallExit,
+};
+
+/// One entry of an object's XRay sled table (the xray_instr_map section).
+struct SledEntry {
+    std::uint64_t address = 0;   ///< Link-time address of the sled.
+    SledKind kind = SledKind::FunctionEnter;
+    FunctionId function = 0;     ///< Object-local function ID (24-bit space).
+};
+
+/// Event kinds delivered to the installed handler.
+enum class XRayEntryType : std::uint8_t {
+    Entry,
+    Exit,
+    TailExit,
+};
+
+/// Per-object sled table as extracted from the object file.
+struct SledTable {
+    std::vector<SledEntry> sleds;  ///< Grouped by function, entry before exits.
+
+    std::size_t size() const { return sleds.size(); }
+    bool empty() const { return sleds.empty(); }
+
+    /// Highest function ID referenced plus one (the object's ID space size).
+    std::uint32_t functionCount() const {
+        std::uint32_t maxId = 0;
+        bool any = false;
+        for (const SledEntry& s : sleds) {
+            any = true;
+            if (s.function > maxId) maxId = s.function;
+        }
+        return any ? maxId + 1 : 0;
+    }
+};
+
+}  // namespace capi::xray

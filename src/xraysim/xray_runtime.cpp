@@ -1,0 +1,398 @@
+#include "xraysim/xray_runtime.hpp"
+
+#include <algorithm>
+
+#include "support/timer.hpp"
+
+namespace capi::xray {
+
+void XRayRuntime::validateRegistration(const ObjectRegistration& registration) const {
+    std::uint32_t functions = registration.sledTable.functionCount();
+    if (functions > kMaxFunctionsPerObject) {
+        throw support::Error("XRay: object '" + registration.name + "' uses " +
+                             std::to_string(functions) +
+                             " function IDs, exceeding the 24-bit limit");
+    }
+    for (const SledEntry& sled : registration.sledTable.sleds) {
+        std::uint64_t addr =
+            sled.address - registration.linkBase + registration.loadBase;
+        if (addr >= memory_->sizeBytes()) {
+            throw support::Error("XRay: sled of '" + registration.name +
+                                 "' outside mapped code memory");
+        }
+    }
+}
+
+XRayRuntime::ObjectRecord XRayRuntime::makeRecord(
+    ObjectRegistration&& registration) const {
+    ObjectRecord record;
+    record.inUse = true;
+    record.name = std::move(registration.name);
+    record.linkBase = registration.linkBase;
+    record.loadBase = registration.loadBase;
+    record.trampolinesPic = registration.trampolinesPositionIndependent;
+    record.sleds = std::move(registration.sledTable);
+    record.sledsOfFunction.resize(record.sleds.functionCount());
+    for (std::uint32_t i = 0; i < record.sleds.sleds.size(); ++i) {
+        record.sledsOfFunction[record.sleds.sleds[i].function].push_back(i);
+    }
+    return record;
+}
+
+void XRayRuntime::initializeSleds(const ObjectRecord& obj) {
+    // Loading maps the object's text segment, whose sled locations contain
+    // the NOP sequences emitted at compile time. Model that by seeding the
+    // cells before the pages are sealed execute-only.
+    if (obj.sleds.empty()) {
+        return;
+    }
+    std::uint64_t lo = UINT64_MAX;
+    std::uint64_t hi = 0;
+    for (const SledEntry& sled : obj.sleds.sleds) {
+        std::uint64_t addr = runtimeAddress(obj, sled.address);
+        lo = std::min(lo, addr);
+        hi = std::max(hi, addr + kSledBytes);
+    }
+    memory_->mprotect(lo, hi - lo, /*writable=*/true);
+    for (const SledEntry& sled : obj.sleds.sleds) {
+        memory_->write(runtimeAddress(obj, sled.address), CodeCell{Instr::NopSled, 0});
+    }
+    memory_->mprotect(lo, hi - lo, /*writable=*/false);
+}
+
+ObjectId XRayRuntime::registerMainExecutable(ObjectRegistration registration) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (mainRegistered_) {
+        throw support::Error("XRay: main executable already registered");
+    }
+    validateRegistration(registration);
+    objects_[kMainExecutableObjectId] = makeRecord(std::move(registration));
+    initializeSleds(objects_[kMainExecutableObjectId]);
+    mainRegistered_ = true;
+    return kMainExecutableObjectId;
+}
+
+std::optional<ObjectId> XRayRuntime::registerDso(ObjectRegistration registration) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!mainRegistered_) {
+        throw support::Error("XRay: register the main executable before DSOs");
+    }
+    validateRegistration(registration);
+    for (ObjectId id = 1; id <= kMaxObjectId; ++id) {
+        if (!objects_[id].inUse) {
+            objects_[id] = makeRecord(std::move(registration));
+            initializeSleds(objects_[id]);
+            return id;
+        }
+    }
+    return std::nullopt;  // All 255 DSO slots occupied.
+}
+
+bool XRayRuntime::unregisterDso(ObjectId id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id == kMainExecutableObjectId || id > kMaxObjectId || !objects_[id].inUse) {
+        return false;
+    }
+    applyToObject(objects_[id], id, /*patch=*/false);
+    objects_[id] = ObjectRecord{};
+    return true;
+}
+
+bool XRayRuntime::objectRegistered(ObjectId id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return id <= kMaxObjectId && objects_[id].inUse;
+}
+
+std::size_t XRayRuntime::registeredObjectCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t count = 0;
+    for (const ObjectRecord& obj : objects_) {
+        if (obj.inUse) ++count;
+    }
+    return count;
+}
+
+std::uint32_t XRayRuntime::functionCount(ObjectId id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const ObjectRecord* obj = findObject(id);
+    return obj != nullptr ? obj->sleds.functionCount() : 0;
+}
+
+const std::string& XRayRuntime::objectName(ObjectId id) const {
+    static const std::string kEmpty;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const ObjectRecord* obj = findObject(id);
+    return obj != nullptr ? obj->name : kEmpty;
+}
+
+const XRayRuntime::ObjectRecord* XRayRuntime::findObject(ObjectId id) const {
+    if (id > kMaxObjectId || !objects_[id].inUse) {
+        return nullptr;
+    }
+    return &objects_[id];
+}
+
+void XRayRuntime::writeSled(const ObjectRecord& obj, ObjectId id,
+                            const SledEntry& sled, bool patch) {
+    CodeCell cell;
+    if (patch) {
+        switch (sled.kind) {
+            case SledKind::FunctionEnter: cell.instr = Instr::JmpEntryTrampoline; break;
+            case SledKind::FunctionExit: cell.instr = Instr::JmpExitTrampoline; break;
+            case SledKind::TailCallExit: cell.instr = Instr::JmpTailTrampoline; break;
+        }
+        // The patched sled materializes the packed ID as an immediate, like
+        // the real `mov r10d, <id>` sequence.
+        cell.operand = packId(id, sled.function);
+    } else {
+        cell.instr = Instr::NopSled;
+        cell.operand = 0;
+    }
+    memory_->write(runtimeAddress(obj, sled.address), cell);
+}
+
+PatchStats XRayRuntime::applyToObject(ObjectRecord& obj, ObjectId id, bool patch) {
+    PatchStats stats;
+    if (obj.sleds.empty()) {
+        return stats;
+    }
+    support::Timer timer;
+
+    // Like the real runtime: compute the page span containing all sleds and
+    // flip its protection once, rather than per sled.
+    std::uint64_t lo = UINT64_MAX;
+    std::uint64_t hi = 0;
+    for (const SledEntry& sled : obj.sleds.sleds) {
+        std::uint64_t addr = runtimeAddress(obj, sled.address);
+        lo = std::min(lo, addr);
+        hi = std::max(hi, addr + kSledBytes);
+    }
+    std::uint64_t writableBefore = memory_->pagesMadeWritable();
+    memory_->mprotect(lo, hi - lo, /*writable=*/true);
+
+    for (const SledEntry& sled : obj.sleds.sleds) {
+        writeSled(obj, id, sled, patch);
+        if (patch) {
+            ++stats.sledsPatched;
+        } else {
+            ++stats.sledsUnpatched;
+        }
+    }
+
+    memory_->mprotect(lo, hi - lo, /*writable=*/false);
+    stats.pagesMadeWritable = memory_->pagesMadeWritable() - writableBefore;
+    stats.nanoseconds = timer.elapsedNs();
+    return stats;
+}
+
+PatchStats XRayRuntime::patchAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PatchStats total;
+    for (ObjectId id = 0; id <= kMaxObjectId; ++id) {
+        if (!objects_[id].inUse) continue;
+        PatchStats s = applyToObject(objects_[id], id, /*patch=*/true);
+        total.sledsPatched += s.sledsPatched;
+        total.pagesMadeWritable += s.pagesMadeWritable;
+        total.nanoseconds += s.nanoseconds;
+    }
+    return total;
+}
+
+PatchStats XRayRuntime::unpatchAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PatchStats total;
+    for (ObjectId id = 0; id <= kMaxObjectId; ++id) {
+        if (!objects_[id].inUse) continue;
+        PatchStats s = applyToObject(objects_[id], id, /*patch=*/false);
+        total.sledsUnpatched += s.sledsUnpatched;
+        total.pagesMadeWritable += s.pagesMadeWritable;
+        total.nanoseconds += s.nanoseconds;
+    }
+    return total;
+}
+
+PatchStats XRayRuntime::patchObject(ObjectId id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const ObjectRecord* obj = findObject(id);
+    if (obj == nullptr) {
+        throw support::Error("XRay: patchObject on unregistered object " +
+                             std::to_string(id));
+    }
+    return applyToObject(objects_[id], id, /*patch=*/true);
+}
+
+PatchStats XRayRuntime::unpatchObject(ObjectId id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const ObjectRecord* obj = findObject(id);
+    if (obj == nullptr) {
+        throw support::Error("XRay: unpatchObject on unregistered object " +
+                             std::to_string(id));
+    }
+    return applyToObject(objects_[id], id, /*patch=*/false);
+}
+
+namespace {
+
+/// Patches or unpatches the sleds of exactly one function: protection is
+/// flipped for the affected pages only.
+struct SingleFunctionPatcher {
+    CodeMemory& memory;
+
+    void apply(const std::vector<std::uint64_t>& addresses) const {
+        if (addresses.empty()) return;
+        std::uint64_t lo = *std::min_element(addresses.begin(), addresses.end());
+        std::uint64_t hi = *std::max_element(addresses.begin(), addresses.end()) +
+                           kSledBytes;
+        memory.mprotect(lo, hi - lo, true);
+    }
+
+    void seal(const std::vector<std::uint64_t>& addresses) const {
+        if (addresses.empty()) return;
+        std::uint64_t lo = *std::min_element(addresses.begin(), addresses.end());
+        std::uint64_t hi = *std::max_element(addresses.begin(), addresses.end()) +
+                           kSledBytes;
+        memory.mprotect(lo, hi - lo, false);
+    }
+};
+
+}  // namespace
+
+bool XRayRuntime::patchFunction(PackedId function) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ObjectId objId = objectIdOf(function);
+    FunctionId fnId = functionIdOf(function);
+    const ObjectRecord* obj = findObject(objId);
+    if (obj == nullptr || fnId >= obj->sledsOfFunction.size()) {
+        return false;
+    }
+    std::vector<std::uint64_t> addresses;
+    for (std::uint32_t sledIndex : obj->sledsOfFunction[fnId]) {
+        addresses.push_back(runtimeAddress(*obj, obj->sleds.sleds[sledIndex].address));
+    }
+    if (addresses.empty()) {
+        return false;
+    }
+    SingleFunctionPatcher patcher{*memory_};
+    patcher.apply(addresses);
+    for (std::uint32_t sledIndex : obj->sledsOfFunction[fnId]) {
+        writeSled(*obj, objId, obj->sleds.sleds[sledIndex], /*patch=*/true);
+    }
+    patcher.seal(addresses);
+    return true;
+}
+
+bool XRayRuntime::unpatchFunction(PackedId function) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ObjectId objId = objectIdOf(function);
+    FunctionId fnId = functionIdOf(function);
+    const ObjectRecord* obj = findObject(objId);
+    if (obj == nullptr || fnId >= obj->sledsOfFunction.size()) {
+        return false;
+    }
+    std::vector<std::uint64_t> addresses;
+    for (std::uint32_t sledIndex : obj->sledsOfFunction[fnId]) {
+        addresses.push_back(runtimeAddress(*obj, obj->sleds.sleds[sledIndex].address));
+    }
+    if (addresses.empty()) {
+        return false;
+    }
+    SingleFunctionPatcher patcher{*memory_};
+    patcher.apply(addresses);
+    for (std::uint32_t sledIndex : obj->sledsOfFunction[fnId]) {
+        writeSled(*obj, objId, obj->sleds.sleds[sledIndex], /*patch=*/false);
+    }
+    patcher.seal(addresses);
+    return true;
+}
+
+std::uint64_t XRayRuntime::functionAddress(PackedId function) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ObjectId objId = objectIdOf(function);
+    FunctionId fnId = functionIdOf(function);
+    const ObjectRecord* obj = findObject(objId);
+    if (obj == nullptr || fnId >= obj->sledsOfFunction.size() ||
+        obj->sledsOfFunction[fnId].empty()) {
+        return 0;
+    }
+    // The entry sled is the function's address for all practical purposes.
+    for (std::uint32_t sledIndex : obj->sledsOfFunction[fnId]) {
+        const SledEntry& sled = obj->sleds.sleds[sledIndex];
+        if (sled.kind == SledKind::FunctionEnter) {
+            return runtimeAddress(*obj, sled.address);
+        }
+    }
+    return runtimeAddress(*obj, obj->sleds.sleds[obj->sledsOfFunction[fnId][0]].address);
+}
+
+bool XRayRuntime::functionPatched(PackedId function) const {
+    // Resolved through the sled table rather than functionAddress(): that
+    // API uses 0 as its "unknown" sentinel (as real __xray_function_address
+    // does), which would misreport a function legitimately linked at the
+    // object's base address.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const ObjectRecord* obj = findObject(objectIdOf(function));
+    FunctionId fnId = functionIdOf(function);
+    if (obj == nullptr || fnId >= obj->sledsOfFunction.size() ||
+        obj->sledsOfFunction[fnId].empty()) {
+        return false;
+    }
+    const SledEntry& sled = obj->sleds.sleds[obj->sledsOfFunction[fnId][0]];
+    return memory_->read(runtimeAddress(*obj, sled.address)).instr !=
+           Instr::NopSled;
+}
+
+void XRayRuntime::setHandler(Handler handler, void* context) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handler_ = handler;
+    handlerContext_ = context;
+}
+
+bool XRayRuntime::invokeSled(std::uint64_t runtimeAddress) {
+    const CodeCell& cell = memory_->read(runtimeAddress);
+    XRayEntryType type;
+    switch (cell.instr) {
+        case Instr::NopSled:
+            return false;  // Unpatched: execution falls through the NOPs.
+        case Instr::JmpEntryTrampoline: type = XRayEntryType::Entry; break;
+        case Instr::JmpExitTrampoline: type = XRayEntryType::Exit; break;
+        case Instr::JmpTailTrampoline: type = XRayEntryType::TailExit; break;
+        case Instr::Body:
+            throw support::MachineFault("executed body bytes as a sled at address " +
+                                        std::to_string(runtimeAddress));
+        default: return false;
+    }
+
+    PackedId pid = cell.operand;
+    const ObjectRecord& obj = objects_[objectIdOf(pid)];
+    // Position-independence check: a non-PIC trampoline addresses the
+    // handler pointer absolutely, which only works when the object was
+    // loaded at its link base. DSOs are relocated, so they fault here —
+    // the exact bug the @GOTPCREL change fixed (paper Sec. V-B2).
+    if (!obj.trampolinesPic && obj.loadBase != obj.linkBase) {
+        throw support::MachineFault(
+            "non-position-independent trampoline executed in relocated object '" +
+            obj.name + "'");
+    }
+    Handler handler = handler_;
+    if (handler != nullptr) {
+        handler(handlerContext_, pid, type);
+    }
+    return true;
+}
+
+std::size_t XRayRuntime::patchedSledCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t count = 0;
+    for (const ObjectRecord& obj : objects_) {
+        if (!obj.inUse) continue;
+        for (const SledEntry& sled : obj.sleds.sleds) {
+            if (memory_->read(runtimeAddress(obj, sled.address)).instr !=
+                Instr::NopSled) {
+                ++count;
+            }
+        }
+    }
+    return count;
+}
+
+}  // namespace capi::xray

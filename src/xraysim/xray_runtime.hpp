@@ -1,0 +1,142 @@
+// The XRay runtime (xray-rt) extended with DSO support (paper Sec. V-B).
+//
+// Responsibilities, mirroring compiler-rt's XRay runtime:
+//  * track every patchable object: the main executable (object 0) plus up to
+//    255 dynamically registered shared objects, each with its sled table and
+//    locally linked trampolines;
+//  * patch/unpatch sleds — flip the protection of the page range containing
+//    the sleds, rewrite NOP sleds into jumps carrying the *packed* function
+//    ID, and seal the pages again;
+//  * dispatch sled hits through the object's trampoline to the installed
+//    event handler.
+//
+// DSO trampolines must be position independent: they are linked into a
+// relocatable object, so absolute addressing of the handler pointer faults
+// once the object is loaded away from its link base. The simulation enforces
+// this exactly (see invokeSled), reproducing the @GOTPCREL fix described in
+// the paper.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xraysim/code_memory.hpp"
+#include "xraysim/packed_id.hpp"
+#include "xraysim/sled.hpp"
+
+namespace capi::xray {
+
+/// Event handler: the measurement tool's hook. Kept as a plain function
+/// pointer plus context, like __xray_set_handler.
+using Handler = void (*)(void* context, PackedId function, XRayEntryType type);
+
+/// Everything the xray-dso runtime hands over when an object is registered.
+struct ObjectRegistration {
+    std::string name;
+    std::uint64_t linkBase = 0;  ///< Address the sled table was linked for.
+    std::uint64_t loadBase = 0;  ///< Address the object got mapped at.
+    bool trampolinesPositionIndependent = false;
+    SledTable sledTable;         ///< Link-time sled addresses.
+};
+
+struct PatchStats {
+    std::size_t sledsPatched = 0;
+    std::size_t sledsUnpatched = 0;
+    std::size_t pagesMadeWritable = 0;
+    std::uint64_t nanoseconds = 0;
+};
+
+class XRayRuntime {
+public:
+    /// The runtime patches the process's code memory; it does not own it.
+    explicit XRayRuntime(CodeMemory& memory) : memory_(&memory) {}
+
+    XRayRuntime(const XRayRuntime&) = delete;
+    XRayRuntime& operator=(const XRayRuntime&) = delete;
+
+    // --- object registry ----------------------------------------------------
+
+    /// Registers the main executable as object 0. Must be called first.
+    ObjectId registerMainExecutable(ObjectRegistration registration);
+
+    /// Registers a DSO; returns std::nullopt when all 255 DSO slots are in
+    /// use. Throws support::Error if the object's function-ID space exceeds
+    /// 2^24 or the main executable is not registered yet.
+    std::optional<ObjectId> registerDso(ObjectRegistration registration);
+
+    /// Unpatches and removes a DSO; its object ID becomes reusable.
+    /// Returns false for unknown/not-in-use ids or object 0.
+    bool unregisterDso(ObjectId id);
+
+    bool objectRegistered(ObjectId id) const;
+    std::size_t registeredObjectCount() const;
+    std::uint32_t functionCount(ObjectId id) const;
+    const std::string& objectName(ObjectId id) const;
+
+    // --- patching -----------------------------------------------------------
+
+    PatchStats patchAll();
+    PatchStats unpatchAll();
+    PatchStats patchObject(ObjectId id);
+    PatchStats unpatchObject(ObjectId id);
+    bool patchFunction(PackedId function);
+    bool unpatchFunction(PackedId function);
+
+    /// Runtime address of a function's entry sled (__xray_function_address).
+    /// 0 when unknown.
+    std::uint64_t functionAddress(PackedId function) const;
+
+    /// True if the function's entry sled is currently patched.
+    bool functionPatched(PackedId function) const;
+
+    // --- dispatch -----------------------------------------------------------
+
+    void setHandler(Handler handler, void* context);
+    void clearHandler() { setHandler(nullptr, nullptr); }
+
+    /// Executes the sled at `runtimeAddress`: a NOP sled falls through
+    /// (returns false); a patched sled jumps through its object's trampoline
+    /// into the installed handler (returns true). Faults if the trampoline
+    /// is not position independent but the object was relocated.
+    bool invokeSled(std::uint64_t runtimeAddress);
+
+    std::size_t patchedSledCount() const;
+
+private:
+    struct ObjectRecord {
+        bool inUse = false;
+        std::string name;
+        std::uint64_t linkBase = 0;
+        std::uint64_t loadBase = 0;
+        bool trampolinesPic = false;
+        SledTable sleds;
+        /// Sled indices grouped per local function id.
+        std::vector<std::vector<std::uint32_t>> sledsOfFunction;
+    };
+
+    std::uint64_t runtimeAddress(const ObjectRecord& obj, std::uint64_t linkAddr) const {
+        return linkAddr - obj.linkBase + obj.loadBase;
+    }
+
+    void validateRegistration(const ObjectRegistration& registration) const;
+    ObjectRecord makeRecord(ObjectRegistration&& registration) const;
+    void initializeSleds(const ObjectRecord& obj);
+    PatchStats applyToObject(ObjectRecord& obj, ObjectId id, bool patch);
+    void writeSled(const ObjectRecord& obj, ObjectId id, const SledEntry& sled,
+                   bool patch);
+    const ObjectRecord* findObject(ObjectId id) const;
+
+    CodeMemory* memory_;
+    std::vector<ObjectRecord> objects_ = std::vector<ObjectRecord>(kMaxObjectId + 1);
+    bool mainRegistered_ = false;
+
+    Handler handler_ = nullptr;
+    void* handlerContext_ = nullptr;
+
+    mutable std::mutex mutex_;
+};
+
+}  // namespace capi::xray

@@ -1,0 +1,176 @@
+// Tests for the application model generators and the bundled specs.
+#include <gtest/gtest.h>
+
+#include "apps/lulesh.hpp"
+#include "apps/openfoam.hpp"
+#include "apps/specs.hpp"
+#include "cg/metacg_builder.hpp"
+#include "cg/reachability.hpp"
+#include "select/selection_driver.hpp"
+#include "spec/parser.hpp"
+
+namespace {
+
+using namespace capi;
+
+apps::LuleshParams smallLulesh() {
+    apps::LuleshParams p;
+    p.targetNodes = 600;
+    p.iterations = 3;
+    return p;
+}
+
+apps::OpenFoamParams smallFoam() {
+    apps::OpenFoamParams p;
+    p.targetNodes = 1500;
+    p.iterations = 2;
+    p.pcgIterations = 3;
+    return p;
+}
+
+TEST(Lulesh, GeneratorIsDeterministic) {
+    binsim::AppModel a = apps::makeLulesh(smallLulesh());
+    binsim::AppModel b = apps::makeLulesh(smallLulesh());
+    ASSERT_EQ(a.functions.size(), b.functions.size());
+    for (std::size_t i = 0; i < a.functions.size(); ++i) {
+        EXPECT_EQ(a.functions[i].name, b.functions[i].name);
+        EXPECT_EQ(a.functions[i].calls.size(), b.functions[i].calls.size());
+    }
+}
+
+TEST(Lulesh, HitsTargetNodeCountAndHasNoDsos) {
+    binsim::AppModel model = apps::makeLulesh(smallLulesh());
+    EXPECT_EQ(model.functions.size(), 600u);
+    EXPECT_TRUE(model.dsos.empty());
+    EXPECT_EQ(model.functions[model.entry].name, "main");
+}
+
+TEST(Lulesh, DefaultScaleMatchesPaper) {
+    binsim::AppModel model = apps::makeLulesh();
+    EXPECT_EQ(model.functions.size(), 3360u);  // paper: 3,360 CG nodes
+}
+
+TEST(Lulesh, WorkloadIsBoundedAndAcyclic) {
+    binsim::AppModel model = apps::makeLulesh(smallLulesh());
+    std::uint64_t calls = model.estimatedDynamicCalls();
+    EXPECT_GT(calls, 1000u);
+    EXPECT_LT(calls, 100'000'000u);
+}
+
+TEST(Lulesh, KernelsAndMpiPathsExist) {
+    binsim::AppModel model = apps::makeLulesh(smallLulesh());
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+
+    // At least the backbone kernels carry the kernel signature.
+    cg::FunctionId fb = graph.lookup("CalcFBHourglassForceForElems");
+    ASSERT_NE(fb, cg::kInvalidFunction);
+    EXPECT_GE(graph.desc(fb).metrics.flops, 10u);
+    EXPECT_GE(graph.desc(fb).metrics.loopDepth, 1u);
+
+    // MPI declarations are reachable from main.
+    cg::FunctionId sendrecv = graph.lookup("MPI_Sendrecv");
+    ASSERT_NE(sendrecv, cg::kInvalidFunction);
+    auto reach = cg::reachableFrom(graph, graph.entryPoint());
+    EXPECT_TRUE(reach.test(sendrecv));
+}
+
+TEST(OpenFoam, GeneratorScalesAndIsDeterministic) {
+    binsim::AppModel a = apps::makeOpenFoam(smallFoam());
+    binsim::AppModel b = apps::makeOpenFoam(smallFoam());
+    EXPECT_EQ(a.functions.size(), 1500u);
+    ASSERT_EQ(a.functions.size(), b.functions.size());
+    EXPECT_EQ(a.dsos.size(), 6u);  // paper: 6 patchable DSOs
+    for (std::size_t i = 0; i < a.functions.size(); i += 97) {
+        EXPECT_EQ(a.functions[i].name, b.functions[i].name);
+    }
+}
+
+TEST(OpenFoam, HiddenInitializersPresent) {
+    apps::OpenFoamParams p = smallFoam();
+    p.hiddenInitializerFraction = 0.01;
+    binsim::AppModel model = apps::makeOpenFoam(p);
+    std::size_t hidden = 0;
+    for (const binsim::AppFunction& fn : model.functions) {
+        if (fn.flags.hiddenVisibility) ++hidden;
+    }
+    EXPECT_EQ(hidden, 15u);  // 1% of 1500
+}
+
+TEST(OpenFoam, SolverChainMirrorsListing3) {
+    binsim::AppModel model = apps::makeOpenFoam(smallFoam());
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+
+    // The sole-caller wrapper chain from the paper's Listing 3.
+    const char* chain[] = {
+        "Foam::fvMatrix<double>::solve(const dictionary&)",
+        "Foam::fvMatrix<double>::solve(fvMatrix&)",
+        "Foam::fvMatrix<double>::solveSegregatedOrCoupled",
+        "Foam::fvMatrix<double>::solveSegregated",
+    };
+    for (std::size_t i = 0; i + 1 < std::size(chain); ++i) {
+        cg::FunctionId from = graph.lookup(chain[i]);
+        cg::FunctionId to = graph.lookup(chain[i + 1]);
+        ASSERT_NE(from, cg::kInvalidFunction) << chain[i];
+        ASSERT_NE(to, cg::kInvalidFunction) << chain[i + 1];
+        EXPECT_TRUE(graph.hasEdge(from, to));
+        EXPECT_EQ(graph.callers(to).size(), 1u) << chain[i + 1];
+    }
+
+    // Virtual dispatch over-approximation: solveSegregated reaches every
+    // lduMatrix solver override.
+    cg::FunctionId seg = graph.lookup("Foam::fvMatrix<double>::solveSegregated");
+    EXPECT_TRUE(graph.hasEdge(seg, graph.lookup("Foam::PCG::solve")));
+    EXPECT_TRUE(graph.hasEdge(seg, graph.lookup("Foam::PBiCGStab::solve")));
+    EXPECT_TRUE(graph.hasEdge(seg, graph.lookup("Foam::smoothSolver::solve")));
+}
+
+TEST(OpenFoam, WorkloadIsBoundedAndAcyclic) {
+    binsim::AppModel model = apps::makeOpenFoam(smallFoam());
+    std::uint64_t calls = model.estimatedDynamicCalls();
+    EXPECT_GT(calls, 1000u);
+    EXPECT_LT(calls, 100'000'000u);
+}
+
+TEST(Specs, AllBundledSpecsParse) {
+    spec::ModuleResolver resolver = apps::bundledResolver();
+    for (const apps::NamedSpec& named : apps::evaluationSpecs()) {
+        EXPECT_NO_THROW({
+            spec::SpecAst ast = spec::parseSpec(named.text, resolver);
+            EXPECT_FALSE(ast.definitions.empty());
+        }) << named.name;
+    }
+}
+
+TEST(Specs, SelectionProportionsFollowThePaper) {
+    // On the scaled OpenFOAM model the mpi selection must be a clear
+    // superset share of the graph vs the kernels selection, and coarse must
+    // shrink its input (Table I shapes).
+    binsim::AppModel model = apps::makeOpenFoam(smallFoam());
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+    spec::ModuleResolver resolver = apps::bundledResolver();
+
+    auto sizeOf = [&](const std::string& text) {
+        select::SelectionOptions options;
+        options.specText = text;
+        options.resolver = &resolver;
+        options.applyInlineCompensation = false;
+        return select::runSelection(graph, options).selectedPre;
+    };
+
+    std::size_t mpiSize = sizeOf(apps::mpiSpec());
+    std::size_t mpiCoarse = sizeOf(apps::mpiCoarseSpec());
+    std::size_t kernels = sizeOf(apps::kernelsSpec());
+    std::size_t kernelsCoarse = sizeOf(apps::kernelsCoarseSpec());
+
+    EXPECT_GT(mpiSize, 0u);
+    EXPECT_GT(kernels, 0u);
+    EXPECT_GT(mpiSize, kernels);          // paper: 14.6% vs 5.9%
+    EXPECT_LE(mpiCoarse, mpiSize);        // coarse only removes
+    EXPECT_LE(kernelsCoarse, kernels);
+    EXPECT_LT(mpiSize, graph.size() / 2); // selection, not everything
+}
+
+}  // namespace

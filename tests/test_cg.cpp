@@ -1,0 +1,335 @@
+// Unit tests for the call-graph substrate: construction, MetaCG build/merge,
+// virtual-call over-approximation, function-pointer resolution, JSON
+// round-trips, reachability and profile validation.
+#include <gtest/gtest.h>
+
+#include "cg/call_graph.hpp"
+#include "cg/metacg_builder.hpp"
+#include "cg/metacg_json.hpp"
+#include "cg/reachability.hpp"
+#include "cg/validation.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace capi;
+using capi::testutil::makeGraph;
+
+// ----------------------------------------------------------- CallGraph -----
+
+TEST(CallGraph, AddFunctionDeduplicatesByName) {
+    cg::CallGraph g;
+    cg::FunctionDesc d;
+    d.name = "f";
+    cg::FunctionId a = g.addFunction(d);
+    cg::FunctionId b = g.addFunction(d);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(CallGraph, DefinitionWinsOverDeclaration) {
+    cg::CallGraph g;
+    cg::FunctionDesc decl;
+    decl.name = "f";
+    decl.flags.hasBody = false;
+    g.addFunction(decl);
+
+    cg::FunctionDesc def;
+    def.name = "f";
+    def.flags.hasBody = true;
+    def.metrics.flops = 99;
+    def.translationUnit = "f.cpp";
+    g.addFunction(def);
+
+    cg::FunctionId id = g.lookup("f");
+    EXPECT_TRUE(g.desc(id).flags.hasBody);
+    EXPECT_EQ(g.desc(id).metrics.flops, 99u);
+    EXPECT_EQ(g.desc(id).translationUnit, "f.cpp");
+}
+
+TEST(CallGraph, EdgesAreDeduplicated) {
+    auto g = makeGraph({{.name = "a"}, {.name = "b"}}, {{"a", "b"}, {"a", "b"}});
+    EXPECT_EQ(g.edgeCount(), 1u);
+    EXPECT_TRUE(g.hasEdge(g.lookup("a"), g.lookup("b")));
+    EXPECT_FALSE(g.hasEdge(g.lookup("b"), g.lookup("a")));
+}
+
+TEST(CallGraph, CallersMirrorCallees) {
+    auto g = makeGraph({{.name = "a"}, {.name = "b"}, {.name = "c"}},
+                       {{"a", "c"}, {"b", "c"}});
+    cg::FunctionId c = g.lookup("c");
+    ASSERT_EQ(g.callers(c).size(), 2u);
+    EXPECT_EQ(g.callers(c)[0], g.lookup("a"));
+    EXPECT_EQ(g.callers(c)[1], g.lookup("b"));
+}
+
+TEST(CallGraph, EntryPointDefaultsToMain) {
+    auto g = makeGraph({{.name = "main"}, {.name = "x"}}, {});
+    EXPECT_EQ(g.entryPoint(), g.lookup("main"));
+    g.setEntryPoint(g.lookup("x"));
+    EXPECT_EQ(g.entryPoint(), g.lookup("x"));
+}
+
+TEST(CallGraph, LookupMissReturnsInvalid) {
+    cg::CallGraph g;
+    EXPECT_EQ(g.lookup("nope"), cg::kInvalidFunction);
+}
+
+// -------------------------------------------------------- MetaCgBuilder ----
+
+cg::SourceModel twoUnitModel() {
+    cg::SourceModel model;
+
+    cg::TranslationUnit tu1;
+    tu1.name = "main.cpp";
+    {
+        cg::SourceFunction fn;
+        fn.desc.name = "main";
+        fn.desc.flags.hasBody = true;
+        fn.callSites.push_back({cg::CallSite::Kind::Direct, "helper", ""});
+        fn.callSites.push_back({cg::CallSite::Kind::Direct, "compute", ""});
+        tu1.functions.push_back(std::move(fn));
+    }
+    {
+        cg::SourceFunction fn;
+        fn.desc.name = "helper";
+        fn.desc.flags.hasBody = true;
+        tu1.functions.push_back(std::move(fn));
+    }
+
+    cg::TranslationUnit tu2;
+    tu2.name = "compute.cpp";
+    {
+        cg::SourceFunction fn;
+        fn.desc.name = "compute";
+        fn.desc.flags.hasBody = true;
+        fn.desc.metrics.flops = 64;
+        fn.callSites.push_back({cg::CallSite::Kind::Direct, "helper", ""});
+        tu2.functions.push_back(std::move(fn));
+    }
+
+    model.units.push_back(std::move(tu1));
+    model.units.push_back(std::move(tu2));
+    return model;
+}
+
+TEST(MetaCgBuilder, LocalGraphInsertsDeclarationsForExternalCallees) {
+    cg::SourceModel model = twoUnitModel();
+    cg::LocalCallGraph local = cg::MetaCgBuilder::buildLocal(model.units[0]);
+    // main.cpp defines main+helper and calls compute (external).
+    EXPECT_EQ(local.graph.size(), 3u);
+    cg::FunctionId compute = local.graph.lookup("compute");
+    ASSERT_NE(compute, cg::kInvalidFunction);
+    EXPECT_FALSE(local.graph.desc(compute).flags.hasBody);
+}
+
+TEST(MetaCgBuilder, MergeUnifiesAcrossUnits) {
+    cg::MetaCgBuilder builder;
+    cg::CallGraph whole = builder.build(twoUnitModel());
+    EXPECT_EQ(whole.size(), 3u);
+    cg::FunctionId compute = whole.lookup("compute");
+    EXPECT_TRUE(whole.desc(compute).flags.hasBody);
+    EXPECT_EQ(whole.desc(compute).metrics.flops, 64u);
+    EXPECT_EQ(whole.desc(compute).translationUnit, "compute.cpp");
+    EXPECT_TRUE(whole.hasEdge(whole.lookup("main"), compute));
+    EXPECT_TRUE(whole.hasEdge(compute, whole.lookup("helper")));
+    EXPECT_EQ(builder.stats().translationUnits, 2u);
+}
+
+TEST(MetaCgBuilder, VirtualCallsOverApproximate) {
+    cg::SourceModel model;
+    cg::TranslationUnit tu;
+    tu.name = "virt.cpp";
+
+    auto addFn = [&](const std::string& name, bool isVirtual = false) {
+        cg::SourceFunction fn;
+        fn.desc.name = name;
+        fn.desc.flags.hasBody = true;
+        fn.desc.flags.isVirtual = isVirtual;
+        tu.functions.push_back(std::move(fn));
+        return tu.functions.size() - 1;
+    };
+    std::size_t mainIdx = addFn("main");
+    addFn("Base::solve", true);
+    addFn("Mid::solve", true);
+    addFn("Derived::solve", true);
+    tu.functions[mainIdx].callSites.push_back(
+        {cg::CallSite::Kind::Virtual, "Base::solve", ""});
+
+    model.units.push_back(std::move(tu));
+    model.overrides.push_back({"Base::solve", "Mid::solve"});
+    model.overrides.push_back({"Mid::solve", "Derived::solve"});
+
+    cg::MetaCgBuilder builder;
+    cg::CallGraph whole = builder.build(model);
+
+    cg::FunctionId mainId = whole.lookup("main");
+    // Over-approximation: edges to the static target and all transitive
+    // overriders, so every possible dispatch target is a call path.
+    EXPECT_TRUE(whole.hasEdge(mainId, whole.lookup("Base::solve")));
+    EXPECT_TRUE(whole.hasEdge(mainId, whole.lookup("Mid::solve")));
+    EXPECT_TRUE(whole.hasEdge(mainId, whole.lookup("Derived::solve")));
+    EXPECT_EQ(builder.stats().virtualEdges, 3u);
+}
+
+TEST(MetaCgBuilder, FunctionPointerUniqueCandidateResolves) {
+    cg::SourceModel model;
+    cg::TranslationUnit tu;
+    tu.name = "fp.cpp";
+
+    cg::SourceFunction mainFn;
+    mainFn.desc.name = "main";
+    mainFn.desc.flags.hasBody = true;
+    mainFn.callSites.push_back({cg::CallSite::Kind::FunctionPointer, "", "void(int)"});
+    mainFn.callSites.push_back({cg::CallSite::Kind::FunctionPointer, "", "void(double)"});
+    tu.functions.push_back(std::move(mainFn));
+
+    cg::SourceFunction cb;
+    cb.desc.name = "callback";
+    cb.desc.flags.hasBody = true;
+    cb.desc.flags.addressTaken = true;
+    cb.desc.signature = "void(int)";
+    tu.functions.push_back(std::move(cb));
+
+    // Two candidates for void(double): ambiguous, must stay unresolved.
+    for (const char* name : {"cb_d1", "cb_d2"}) {
+        cg::SourceFunction fn;
+        fn.desc.name = name;
+        fn.desc.flags.hasBody = true;
+        fn.desc.flags.addressTaken = true;
+        fn.desc.signature = "void(double)";
+        tu.functions.push_back(std::move(fn));
+    }
+
+    model.units.push_back(std::move(tu));
+    cg::MetaCgBuilder builder;
+    cg::CallGraph whole = builder.build(model);
+
+    EXPECT_TRUE(whole.hasEdge(whole.lookup("main"), whole.lookup("callback")));
+    EXPECT_FALSE(whole.hasEdge(whole.lookup("main"), whole.lookup("cb_d1")));
+    EXPECT_EQ(builder.stats().pointerEdgesResolved, 1u);
+    EXPECT_EQ(builder.stats().pointerSitesUnresolved, 1u);
+    ASSERT_EQ(builder.unresolvedPointerCalls().size(), 1u);
+    EXPECT_EQ(builder.unresolvedPointerCalls()[0].signature, "void(double)");
+}
+
+// ----------------------------------------------------------- MetaCG JSON ---
+
+TEST(MetaCgJson, RoundTripPreservesStructureAndMetadata) {
+    cg::CallGraph g = capi::testutil::listing3Graph();
+    g.addOverride(g.lookup("solve"), g.lookup("scalarSolve"));
+
+    support::Json doc = cg::toMetaCgJson(g);
+    cg::CallGraph round = cg::fromMetaCgJson(doc);
+
+    ASSERT_EQ(round.size(), g.size());
+    for (cg::FunctionId id = 0; id < g.size(); ++id) {
+        cg::FunctionId rid = round.lookup(g.name(id));
+        ASSERT_NE(rid, cg::kInvalidFunction);
+        EXPECT_EQ(round.desc(rid).metrics.flops, g.desc(id).metrics.flops);
+        EXPECT_EQ(round.desc(rid).metrics.loopDepth, g.desc(id).metrics.loopDepth);
+        EXPECT_EQ(round.desc(rid).flags.hasBody, g.desc(id).flags.hasBody);
+        EXPECT_EQ(round.callees(rid).size(), g.callees(id).size());
+    }
+    EXPECT_TRUE(round.hasEdge(round.lookup("scalarSolve"), round.lookup("Amul")));
+    EXPECT_EQ(round.node(round.lookup("solve")).overriddenBy.size(), 1u);
+    EXPECT_EQ(round.edgeCount(), g.edgeCount());
+}
+
+TEST(MetaCgJson, RejectsMissingHeader) {
+    support::Json doc = support::Json::object();
+    doc["_CG"] = support::Json::object();
+    EXPECT_THROW(cg::fromMetaCgJson(doc), support::Error);
+}
+
+TEST(MetaCgJson, RejectsWrongVersion) {
+    support::Json doc = support::Json::object();
+    doc["_MetaCG"]["version"] = support::Json("1.0");
+    doc["_CG"] = support::Json::object();
+    EXPECT_THROW(cg::fromMetaCgJson(doc), support::Error);
+}
+
+TEST(MetaCgJson, RejectsEdgeToUnknownFunction) {
+    support::Json doc = support::Json::object();
+    doc["_MetaCG"]["version"] = support::Json("2.0");
+    support::Json fn = support::Json::object();
+    support::Json callees = support::Json::array();
+    callees.push_back(support::Json("ghost"));
+    fn["callees"] = callees;
+    doc["_CG"]["f"] = fn;
+    EXPECT_THROW(cg::fromMetaCgJson(doc), support::Error);
+}
+
+// ---------------------------------------------------------- reachability ---
+
+TEST(Reachability, ForwardClosure) {
+    cg::CallGraph g = capi::testutil::listing3Graph();
+    auto reach = cg::reachableFrom(g, g.lookup("solveSegregated"));
+    EXPECT_TRUE(reach.test(g.lookup("solveSegregated")));
+    EXPECT_TRUE(reach.test(g.lookup("scalarSolve")));
+    EXPECT_TRUE(reach.test(g.lookup("Amul")));
+    EXPECT_TRUE(reach.test(g.lookup("residual")));
+    EXPECT_FALSE(reach.test(g.lookup("main")));
+    EXPECT_FALSE(reach.test(g.lookup("solve")));
+}
+
+TEST(Reachability, OnCallPathIntersectsForwardAndBackward) {
+    cg::CallGraph g = capi::testutil::listing3Graph();
+    capi::support::DynamicBitset targets(g.size());
+    targets.set(g.lookup("Amul"));
+    auto path = cg::onCallPath(g, g.entryPoint(), targets);
+    // Everything from main down to Amul, but not residual.
+    EXPECT_TRUE(path.test(g.lookup("main")));
+    EXPECT_TRUE(path.test(g.lookup("solve")));
+    EXPECT_TRUE(path.test(g.lookup("solveSegregated")));
+    EXPECT_TRUE(path.test(g.lookup("scalarSolve")));
+    EXPECT_TRUE(path.test(g.lookup("Amul")));
+    EXPECT_FALSE(path.test(g.lookup("residual")));
+}
+
+TEST(Reachability, HandlesCycles) {
+    auto g = makeGraph({{.name = "main"}, {.name = "a"}, {.name = "b"}},
+                       {{"main", "a"}, {"a", "b"}, {"b", "a"}});
+    auto reach = cg::reachableFrom(g, g.lookup("main"));
+    EXPECT_EQ(reach.count(), 3u);
+}
+
+TEST(Reachability, InvalidEntryYieldsEmptyPathSet) {
+    cg::CallGraph g;  // no "main"
+    cg::FunctionDesc d;
+    d.name = "f";
+    g.addFunction(d);
+    capi::support::DynamicBitset targets(g.size());
+    targets.set(0);
+    EXPECT_EQ(cg::onCallPath(g, g.entryPoint(), targets).count(), 0u);
+}
+
+// ------------------------------------------------------------ validation ---
+
+TEST(Validation, InsertsMissingEdgesAndNodes) {
+    cg::CallGraph g = capi::testutil::listing3Graph();
+    std::vector<cg::ObservedEdge> observed = {
+        {"main", "solve"},                 // already present
+        {"solve", "Amul"},                 // missing edge (observed shortcut)
+        {"Amul", "plugin_kernel"},         // unknown callee
+    };
+    cg::ValidationResult result = cg::validateAgainstProfile(g, observed);
+    EXPECT_EQ(result.observedEdges, 3u);
+    EXPECT_EQ(result.alreadyPresent, 1u);
+    EXPECT_EQ(result.edgesInserted, 2u);
+    EXPECT_EQ(result.nodesInserted, 1u);
+    EXPECT_TRUE(g.hasEdge(g.lookup("solve"), g.lookup("Amul")));
+    ASSERT_NE(g.lookup("plugin_kernel"), cg::kInvalidFunction);
+    EXPECT_FALSE(g.desc(g.lookup("plugin_kernel")).flags.hasBody);
+}
+
+TEST(Validation, IdempotentOnSecondRun) {
+    cg::CallGraph g = capi::testutil::listing3Graph();
+    std::vector<cg::ObservedEdge> observed = {{"solve", "Amul"}};
+    cg::validateAgainstProfile(g, observed);
+    cg::ValidationResult second = cg::validateAgainstProfile(g, observed);
+    EXPECT_EQ(second.edgesInserted, 0u);
+    EXPECT_EQ(second.alreadyPresent, 1u);
+}
+
+}  // namespace

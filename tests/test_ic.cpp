@@ -1,0 +1,101 @@
+// Tests for the instrumentation-configuration container and file formats.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "select/ic.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using capi::select::InstrumentationConfig;
+using capi::support::Error;
+
+InstrumentationConfig sampleIc() {
+    InstrumentationConfig ic;
+    ic.specName = "kernels";
+    ic.application = "lulesh";
+    ic.addFunction("CalcHourglassControlForElems");
+    ic.addFunction("Amul");
+    ic.addFunction("Foam::fvMatrix::solve");
+    return ic;
+}
+
+TEST(Ic, FunctionsStaySortedAndUnique) {
+    InstrumentationConfig ic = sampleIc();
+    ic.addFunction("Amul");
+    EXPECT_EQ(ic.size(), 3u);
+    EXPECT_EQ(ic.functions.front(), "Amul");
+    EXPECT_TRUE(ic.contains("Amul"));
+    EXPECT_FALSE(ic.contains("amul"));
+}
+
+TEST(Ic, ScorePFilterRoundTrip) {
+    InstrumentationConfig ic = sampleIc();
+    std::string filter = ic.toScorePFilter();
+    EXPECT_NE(filter.find("SCOREP_REGION_NAMES_BEGIN"), std::string::npos);
+    EXPECT_NE(filter.find("EXCLUDE *"), std::string::npos);
+    EXPECT_NE(filter.find("INCLUDE MANGLED Amul"), std::string::npos);
+
+    InstrumentationConfig round = InstrumentationConfig::fromScorePFilter(filter);
+    EXPECT_EQ(round.functions, ic.functions);
+}
+
+TEST(Ic, ScorePFilterAcceptsUnmangledIncludes) {
+    InstrumentationConfig ic = InstrumentationConfig::fromScorePFilter(
+        "SCOREP_REGION_NAMES_BEGIN\n"
+        "  EXCLUDE *\n"
+        "  INCLUDE foo\n"
+        "  INCLUDE MANGLED bar\n"
+        "SCOREP_REGION_NAMES_END\n");
+    EXPECT_EQ(ic.functions, (std::vector<std::string>{"bar", "foo"}));
+}
+
+TEST(Ic, ScorePFilterRejectsGarbage) {
+    EXPECT_THROW(InstrumentationConfig::fromScorePFilter("INCLUDE foo\n"), Error);
+    EXPECT_THROW(InstrumentationConfig::fromScorePFilter(
+                     "SCOREP_REGION_NAMES_BEGIN\nFROBNICATE x\nSCOREP_REGION_NAMES_END\n"),
+                 Error);
+    EXPECT_THROW(InstrumentationConfig::fromScorePFilter(""), Error);
+}
+
+TEST(Ic, JsonRoundTripWithStaticIds) {
+    InstrumentationConfig ic = sampleIc();
+    ic.staticIds["Amul"] = 0x01000005u;  // object 1, function 5
+    InstrumentationConfig round = InstrumentationConfig::fromJson(ic.toJson());
+    EXPECT_EQ(round.functions, ic.functions);
+    EXPECT_EQ(round.specName, "kernels");
+    EXPECT_EQ(round.application, "lulesh");
+    ASSERT_EQ(round.staticIds.size(), 1u);
+    EXPECT_EQ(round.staticIds.at("Amul"), 0x01000005u);
+}
+
+TEST(Ic, JsonRejectsUnknownFormat) {
+    capi::support::Json doc = capi::support::Json::object();
+    doc["format"] = capi::support::Json("other/9");
+    EXPECT_THROW(InstrumentationConfig::fromJson(doc), Error);
+}
+
+TEST(Ic, FileRoundTripDetectsFormat) {
+    InstrumentationConfig ic = sampleIc();
+    std::string jsonPath = ::testing::TempDir() + "/capi_ic_test.json";
+    std::string filterPath = ::testing::TempDir() + "/capi_ic_test.filter";
+
+    ic.writeFile(jsonPath, /*scorePFormat=*/false);
+    ic.writeFile(filterPath, /*scorePFormat=*/true);
+
+    InstrumentationConfig fromJsonFile = InstrumentationConfig::readFile(jsonPath);
+    InstrumentationConfig fromFilterFile = InstrumentationConfig::readFile(filterPath);
+    EXPECT_EQ(fromJsonFile.functions, ic.functions);
+    EXPECT_EQ(fromFilterFile.functions, ic.functions);
+
+    std::remove(jsonPath.c_str());
+    std::remove(filterPath.c_str());
+}
+
+TEST(Ic, ReadMissingFileThrows) {
+    EXPECT_THROW(InstrumentationConfig::readFile("/nonexistent/path/x.json"), Error);
+}
+
+}  // namespace

@@ -1,0 +1,304 @@
+// Property-based suites: invariants that must hold over randomized inputs.
+// Each suite sweeps deterministic seeds via TEST_P.
+#include <gtest/gtest.h>
+
+#include "binsim/compiler.hpp"
+#include "binsim/execution_engine.hpp"
+#include "binsim/process.hpp"
+#include "cg/metacg_builder.hpp"
+#include "cg/metacg_json.hpp"
+#include "cg/reachability.hpp"
+#include "dyncapi/process_symbol_oracle.hpp"
+#include "mpisim/mpi_world.hpp"
+#include "select/inline_compensation.hpp"
+#include "select/pipeline.hpp"
+#include "spec/parser.hpp"
+#include "support/rng.hpp"
+#include "talpsim/talp.hpp"
+#include "xraysim/xray_runtime.hpp"
+
+namespace {
+
+using namespace capi;
+
+// ------------------------------------------------------- random fixtures ---
+
+/// Random DAG-ish call graph with metadata, `nodes` functions, seeded.
+cg::CallGraph randomGraph(std::uint64_t seed, std::size_t nodes) {
+    support::SplitMix64 rng(seed);
+    cg::CallGraph graph;
+    for (std::size_t i = 0; i < nodes; ++i) {
+        cg::FunctionDesc desc;
+        desc.name = i == 0 ? "main" : "fn" + std::to_string(i);
+        desc.prettyName = desc.name;
+        desc.flags.hasBody = true;
+        desc.flags.inlineSpecified = rng.nextBool(0.2);
+        desc.flags.inSystemHeader = rng.nextBool(0.15);
+        desc.metrics.flops = static_cast<std::uint32_t>(rng.nextBelow(40));
+        desc.metrics.loopDepth = static_cast<std::uint32_t>(rng.nextBelow(4));
+        desc.metrics.numStatements = 1 + static_cast<std::uint32_t>(rng.nextBelow(30));
+        desc.metrics.numInstructions =
+            4 + static_cast<std::uint32_t>(rng.nextBelow(300));
+        graph.addFunction(desc);
+    }
+    for (std::size_t i = 1; i < nodes; ++i) {
+        // 1-3 callers from earlier nodes keeps main-reachability high;
+        // a few random forward edges add cycles.
+        std::size_t parents = 1 + rng.nextBelow(3);
+        for (std::size_t k = 0; k < parents; ++k) {
+            graph.addCallEdge(static_cast<cg::FunctionId>(rng.nextBelow(i)),
+                              static_cast<cg::FunctionId>(i));
+        }
+        if (rng.nextBool(0.05)) {
+            graph.addCallEdge(static_cast<cg::FunctionId>(i),
+                              static_cast<cg::FunctionId>(rng.nextBelow(nodes)));
+        }
+    }
+    return graph;
+}
+
+select::FunctionSet runSpecOn(const cg::CallGraph& graph, const std::string& text) {
+    select::Pipeline pipeline(spec::parseSpec(text));
+    return pipeline.run(graph).result;
+}
+
+class GraphPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ------------------------------------------------------ selector algebra ---
+
+TEST_P(GraphPropertyTest, CoarseOutputIsSubsetOfInput) {
+    cg::CallGraph graph = randomGraph(GetParam(), 400);
+    auto input = runSpecOn(graph, "statements(\">=\", 5, %%)");
+    auto coarse = runSpecOn(graph, "coarse(statements(\">=\", 5, %%))");
+    coarse.forEach([&](cg::FunctionId id) { EXPECT_TRUE(input.contains(id)); });
+    EXPECT_LE(coarse.count(), input.count());
+}
+
+TEST_P(GraphPropertyTest, CoarseKeepsMultiCallerFunctions) {
+    cg::CallGraph graph = randomGraph(GetParam(), 400);
+    auto input = select::FunctionSet::all(graph.size());
+    auto coarse = runSpecOn(graph, "coarse(%%)");
+    input.forEach([&](cg::FunctionId id) {
+        if (graph.callers(id).size() > 1) {
+            EXPECT_TRUE(coarse.contains(id))
+                << graph.name(id) << " has multiple callers";
+        }
+    });
+}
+
+TEST_P(GraphPropertyTest, CriticalSetAlwaysSurvivesCoarse) {
+    cg::CallGraph graph = randomGraph(GetParam(), 400);
+    auto critical = runSpecOn(graph, "flops(\">=\", 30, %%)");
+    auto coarse = runSpecOn(graph, "coarse(%%, flops(\">=\", 30, %%))");
+    critical.forEach([&](cg::FunctionId id) { EXPECT_TRUE(coarse.contains(id)); });
+}
+
+TEST_P(GraphPropertyTest, OnCallPathToIsWithinReachability) {
+    cg::CallGraph graph = randomGraph(GetParam(), 400);
+    auto path = runSpecOn(graph, "onCallPathTo(flops(\">=\", 20, %%))");
+    auto reach = cg::reachableFrom(graph, graph.entryPoint());
+    path.forEach([&](cg::FunctionId id) { EXPECT_TRUE(reach.test(id)); });
+}
+
+TEST_P(GraphPropertyTest, StatementAggregationMonotoneInThreshold) {
+    cg::CallGraph graph = randomGraph(GetParam(), 400);
+    auto loose = runSpecOn(graph, "statementAggregation(\">=\", 20)");
+    auto strict = runSpecOn(graph, "statementAggregation(\">=\", 60)");
+    strict.forEach([&](cg::FunctionId id) { EXPECT_TRUE(loose.contains(id)); });
+}
+
+TEST_P(GraphPropertyTest, MetaCgJsonRoundTripPreservesEverything) {
+    cg::CallGraph graph = randomGraph(GetParam(), 200);
+    cg::CallGraph round = cg::fromMetaCgJson(cg::toMetaCgJson(graph));
+    ASSERT_EQ(round.size(), graph.size());
+    EXPECT_EQ(round.edgeCount(), graph.edgeCount());
+    for (cg::FunctionId id = 0; id < graph.size(); ++id) {
+        cg::FunctionId rid = round.lookup(graph.name(id));
+        ASSERT_NE(rid, cg::kInvalidFunction);
+        EXPECT_EQ(round.desc(rid).metrics.numStatements,
+                  graph.desc(id).metrics.numStatements);
+        EXPECT_EQ(round.desc(rid).flags.inSystemHeader,
+                  graph.desc(id).flags.inSystemHeader);
+    }
+}
+
+TEST_P(GraphPropertyTest, CompensatedSelectionHasOnlyRealSymbols) {
+    cg::CallGraph graph = randomGraph(GetParam(), 400);
+    support::SplitMix64 rng(GetParam() ^ 0xABCD);
+    // Random symbol table: ~70% of functions kept.
+    select::SetSymbolOracle oracle;
+    for (cg::FunctionId id = 0; id < graph.size(); ++id) {
+        if (rng.nextBool(0.7)) {
+            oracle.add(graph.name(id));
+        }
+    }
+    select::FunctionSet selection = runSpecOn(graph, "statements(\">=\", 3, %%)");
+    select::compensateInlining(graph, selection, oracle);
+    selection.forEach([&](cg::FunctionId id) {
+        EXPECT_TRUE(oracle.hasSymbol(graph.name(id)))
+            << graph.name(id) << " survived compensation without a symbol";
+    });
+}
+
+TEST_P(GraphPropertyTest, CompensationIsIdempotent) {
+    cg::CallGraph graph = randomGraph(GetParam(), 300);
+    support::SplitMix64 rng(GetParam() ^ 0x1234);
+    select::SetSymbolOracle oracle;
+    for (cg::FunctionId id = 0; id < graph.size(); ++id) {
+        if (rng.nextBool(0.6)) {
+            oracle.add(graph.name(id));
+        }
+    }
+    select::FunctionSet selection = runSpecOn(graph, "statements(\">=\", 2, %%)");
+    select::compensateInlining(graph, selection, oracle);
+    select::FunctionSet once = selection;
+    select::InlineCompensationStats second =
+        select::compensateInlining(graph, selection, oracle);
+    EXPECT_EQ(second.inlinedRemoved, 0u);
+    EXPECT_EQ(second.callersAdded, 0u);
+    EXPECT_TRUE(selection == once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertyTest,
+                         ::testing::Values(3u, 17u, 99u, 2023u, 424242u));
+
+// ---------------------------------------------------- patching invariants --
+
+class PatchPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PatchPropertyTest, RandomPatchSequencesKeepCountsConsistent) {
+    support::SplitMix64 rng(GetParam());
+    const std::uint32_t functions = 64;
+    xray::CodeMemory memory(1 << 20);
+    xray::XRayRuntime runtime(memory);
+    xray::ObjectRegistration reg;
+    reg.name = "prop";
+    for (std::uint32_t f = 0; f < functions; ++f) {
+        std::uint64_t base = static_cast<std::uint64_t>(f) * 4 * xray::kSledBytes;
+        reg.sledTable.sleds.push_back(
+            {base, xray::SledKind::FunctionEnter, f});
+        reg.sledTable.sleds.push_back(
+            {base + 2 * xray::kSledBytes, xray::SledKind::FunctionExit, f});
+    }
+    runtime.registerMainExecutable(std::move(reg));
+
+    std::vector<bool> expected(functions, false);
+    for (int step = 0; step < 300; ++step) {
+        auto f = static_cast<std::uint32_t>(rng.nextBelow(functions));
+        if (rng.nextBool(0.5)) {
+            runtime.patchFunction(xray::packId(0, f));
+            expected[f] = true;
+        } else {
+            runtime.unpatchFunction(xray::packId(0, f));
+            expected[f] = false;
+        }
+    }
+    std::size_t expectedSleds = 0;
+    for (std::uint32_t f = 0; f < functions; ++f) {
+        EXPECT_EQ(runtime.functionPatched(xray::packId(0, f)), expected[f]);
+        if (expected[f]) expectedSleds += 2;
+    }
+    EXPECT_EQ(runtime.patchedSledCount(), expectedSleds);
+    // Pages end up sealed no matter the sequence.
+    EXPECT_FALSE(memory.pageWritable(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatchPropertyTest,
+                         ::testing::Values(5u, 55u, 555u));
+
+// -------------------------------------------------------- POP metric laws --
+
+class PopPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PopPropertyTest, EfficienciesStayInUnitInterval) {
+    support::SplitMix64 rng(GetParam());
+    mpi::MpiWorld world(3);
+    talp::TalpRuntime talp(world);
+    // Pre-generate per-rank random work slices so all ranks agree on the
+    // number of collectives.
+    const int slices = 20;
+    std::vector<std::vector<double>> work(3, std::vector<double>(slices));
+    for (auto& rankWork : work) {
+        for (double& w : rankWork) {
+            w = 100.0 + static_cast<double>(rng.nextBelow(5000));
+        }
+    }
+    mpi::runRanks(world, [&](int rank) {
+        double clock = world.init(rank, 0.0);
+        talp::MonitorHandle region = talp.regionRegister("prop", rank);
+        talp.regionStart(region, rank, clock);
+        for (int s = 0; s < slices; ++s) {
+            clock += work[static_cast<std::size_t>(rank)][static_cast<std::size_t>(s)];
+            clock = (s % 3 == 0) ? world.allreduce(rank, clock)
+                                 : world.haloExchange(rank, clock);
+        }
+        talp.regionStop(region, rank, clock);
+        world.finalize(rank, clock);
+    });
+    auto metrics = talp.metrics("prop");
+    ASSERT_TRUE(metrics.has_value());
+    EXPECT_GT(metrics->parallelEfficiency, 0.0);
+    EXPECT_LE(metrics->parallelEfficiency, 1.0 + 1e-9);
+    EXPECT_GT(metrics->loadBalance, 0.0);
+    EXPECT_LE(metrics->loadBalance, 1.0 + 1e-9);
+    EXPECT_GT(metrics->communicationEfficiency, 0.0);
+    EXPECT_LE(metrics->communicationEfficiency, 1.0 + 1e-9);
+    // Useful time can never exceed elapsed.
+    EXPECT_LE(metrics->usefulMaxNs, metrics->elapsedNs + 1e-9);
+    // PE = LB x CommEff by construction.
+    EXPECT_NEAR(metrics->parallelEfficiency,
+                metrics->loadBalance * metrics->communicationEfficiency, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PopPropertyTest,
+                         ::testing::Values(11u, 222u, 3333u));
+
+// ------------------------------------------------- end-to-end conservation --
+
+class EngineBackendTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineBackendTest, EventCountMatchesPatchedCallCount) {
+    support::SplitMix64 rng(GetParam());
+    // Random layered model: every function calls a few later ones.
+    binsim::AppModel model;
+    model.name = "prop";
+    const std::uint32_t n = 40;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        binsim::AppFunction fn;
+        fn.name = "f" + std::to_string(i);
+        fn.unit = "prop.cpp";
+        fn.metrics.numInstructions = 100;
+        fn.flags.hasBody = true;
+        model.functions.push_back(fn);
+    }
+    model.functions[0].name = "main";
+    model.entry = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t j = i + 1; j < n; ++j) {
+            if (rng.nextBool(0.08)) {
+                model.functions[i].calls.push_back(
+                    {j, 1 + static_cast<std::uint32_t>(rng.nextBelow(3))});
+            }
+        }
+    }
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    binsim::Process process(binsim::compile(model, copts));
+    process.xray().patchAll();
+
+    static thread_local std::uint64_t events;
+    events = 0;
+    process.xray().setHandler(
+        [](void*, xray::PackedId, xray::XRayEntryType) { ++events; }, nullptr);
+    binsim::ExecutionEngine engine(process);
+    binsim::RunStats stats = engine.run();
+    // Every dynamic call of a sledded function fires entry+exit; all
+    // functions here are sledded and none inlined (instr=100).
+    EXPECT_EQ(events, stats.dynamicCalls * 2);
+    EXPECT_EQ(stats.sledHits, events);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineBackendTest,
+                         ::testing::Values(7u, 77u, 777u));
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Tests for the profile-driven IC refinement (the Fig. 1 "Adjust" loop).
+#include <gtest/gtest.h>
+
+#include "binsim/compiler.hpp"
+#include "binsim/execution_engine.hpp"
+#include "binsim/process.hpp"
+#include "dyncapi/dyncapi.hpp"
+#include "dyncapi/refinement.hpp"
+#include "scorepsim/cyg_adapter.hpp"
+
+namespace {
+
+using namespace capi;
+
+scorep::ProfileTree syntheticProfile(scorep::Measurement& m) {
+    scorep::ProfileTree tree;
+    auto addFlat = [&](const char* name, std::uint64_t visits,
+                       std::uint64_t exclusiveNs) {
+        scorep::RegionHandle handle = m.defineRegion(name);
+        std::size_t node = tree.childOf(tree.root(), handle);
+        tree.node(node).visits = visits;
+        tree.node(node).inclusiveNs = exclusiveNs;  // leaves: incl == excl
+    };
+    addFlat("noisyHelper", 2'000'000, 1'000'000);  // 0.5 ns/visit: overhead
+    addFlat("hotKernel", 50'000, 5'000'000'000);   // 100 us/visit: real work
+    addFlat("coldDriver", 10, 1'000'000);          // rare
+    return tree;
+}
+
+TEST(Refinement, DropsNoisyKeepsHotAndCold) {
+    scorep::Measurement m;
+    scorep::ProfileTree profile = syntheticProfile(m);
+
+    select::InstrumentationConfig ic;
+    ic.specName = "survey";
+    ic.addFunction("noisyHelper");
+    ic.addFunction("hotKernel");
+    ic.addFunction("coldDriver");
+    ic.addFunction("neverRan");
+
+    dyncapi::RefinementResult result = dyncapi::refineIc(ic, profile, m);
+    EXPECT_FALSE(result.ic.contains("noisyHelper"));
+    EXPECT_TRUE(result.ic.contains("hotKernel"));    // real work per visit
+    EXPECT_TRUE(result.ic.contains("coldDriver"));   // under visit threshold
+    EXPECT_TRUE(result.ic.contains("neverRan"));     // unmeasured -> kept
+    EXPECT_EQ(result.unmeasured, 1u);
+    ASSERT_EQ(result.excluded.size(), 1u);
+    EXPECT_EQ(result.excluded[0], "noisyHelper");
+    EXPECT_EQ(result.excludedVisits, 2'000'000u);
+    EXPECT_EQ(result.ic.specName, "survey+refined");
+}
+
+TEST(Refinement, KeepListProtectsNoisyFunctions) {
+    scorep::Measurement m;
+    scorep::ProfileTree profile = syntheticProfile(m);
+    select::InstrumentationConfig ic;
+    ic.addFunction("noisyHelper");
+
+    dyncapi::RefinementOptions options;
+    options.keep = {"noisyHelper"};
+    dyncapi::RefinementResult result = dyncapi::refineIc(ic, profile, m, options);
+    EXPECT_TRUE(result.ic.contains("noisyHelper"));
+    EXPECT_TRUE(result.excluded.empty());
+}
+
+TEST(Refinement, PreservesStaticIdsOfSurvivors) {
+    scorep::Measurement m;
+    scorep::ProfileTree profile = syntheticProfile(m);
+    select::InstrumentationConfig ic;
+    ic.addFunction("hotKernel");
+    ic.addFunction("noisyHelper");
+    ic.staticIds["hotKernel"] = 0x01000002u;
+    ic.staticIds["noisyHelper"] = 0x01000003u;
+
+    dyncapi::RefinementResult result = dyncapi::refineIc(ic, profile, m);
+    EXPECT_EQ(result.ic.staticIds.count("hotKernel"), 1u);
+    EXPECT_EQ(result.ic.staticIds.count("noisyHelper"), 0u);
+}
+
+TEST(Refinement, EndToEndRoundReducesEvents) {
+    // Model with a noisy helper: a refinement round must strip it and the
+    // re-run must produce fewer events — all without rebuilding.
+    binsim::AppModel model;
+    model.name = "refine";
+    auto add = [&](const char* name, std::uint32_t instr, std::uint32_t work) {
+        binsim::AppFunction fn;
+        fn.name = name;
+        fn.unit = "r.cpp";
+        fn.metrics.numInstructions = instr;
+        fn.flags.hasBody = true;
+        fn.workUnits = work;
+        model.functions.push_back(fn);
+        return static_cast<std::uint32_t>(model.functions.size() - 1);
+    };
+    std::uint32_t mainFn = add("main", 100, 10);
+    std::uint32_t kernel = add("kernel", 300, 5000);
+    std::uint32_t noisy = add("noisy", 50, 1);
+    model.entry = mainFn;
+    model.functions[mainFn].calls.push_back({kernel, 4});
+    model.functions[kernel].calls.push_back({noisy, 20000});
+
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    binsim::Process process(binsim::compile(model, copts));
+    dyncapi::DynCapi dyn(process);
+
+    select::InstrumentationConfig ic;
+    ic.addFunction("kernel");
+    ic.addFunction("noisy");
+    dyn.applyIc(ic);
+
+    scorep::Measurement m1;
+    scorep::CygProfileAdapter a1(
+        m1, scorep::SymbolResolver::withSymbolInjection(process));
+    dyn.attachCygHandler(a1);
+    binsim::ExecutionEngine engine(process);
+    binsim::RunStats survey = engine.run();
+
+    dyncapi::RefinementOptions options;
+    options.visitThreshold = 1000;
+    options.minExclusiveNsPerVisit = 1000.0;
+    dyncapi::RefinementResult refined =
+        dyncapi::refineIc(ic, m1.mergedProfile(), m1, options);
+    EXPECT_FALSE(refined.ic.contains("noisy"));
+    EXPECT_TRUE(refined.ic.contains("kernel"));
+
+    dyn.applyIc(refined.ic);  // re-patch, no rebuild
+    scorep::Measurement m2;
+    scorep::CygProfileAdapter a2(
+        m2, scorep::SymbolResolver::withSymbolInjection(process));
+    dyn.attachCygHandler(a2);
+    binsim::RunStats refinedRun = engine.run();
+
+    EXPECT_LT(refinedRun.sledHits, survey.sledHits / 100);
+    EXPECT_EQ(m2.mergedProfile().totalVisits(m2.defineRegion("kernel")), 4u);
+}
+
+}  // namespace

@@ -1,0 +1,311 @@
+// Tests for the Score-P substrate: profile trees, measurement + runtime
+// filtering, filter-file semantics, symbol resolution (DSO limitation and
+// symbol injection), the cyg-profile adapter and scorep-score.
+#include <gtest/gtest.h>
+
+#include "binsim/compiler.hpp"
+#include "binsim/process.hpp"
+#include "scorepsim/cyg_adapter.hpp"
+#include "scorepsim/filter_file.hpp"
+#include "scorepsim/measurement.hpp"
+#include "scorepsim/profile.hpp"
+#include "scorepsim/profile_report.hpp"
+#include "scorepsim/scorep_score.hpp"
+#include "scorepsim/symbol_resolver.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace capi;
+using namespace capi::scorep;
+
+// ------------------------------------------------------------ ProfileTree --
+
+TEST(ProfileTree, ChildOfCreatesOnDemand) {
+    ProfileTree tree;
+    std::size_t a = tree.childOf(tree.root(), 1);
+    std::size_t a2 = tree.childOf(tree.root(), 1);
+    EXPECT_EQ(a, a2);
+    std::size_t b = tree.childOf(a, 2);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(tree.nodeCount(), 3u);
+}
+
+TEST(ProfileTree, ExclusiveIsInclusiveMinusChildren) {
+    ProfileTree tree;
+    std::size_t a = tree.childOf(tree.root(), 1);
+    std::size_t b = tree.childOf(a, 2);
+    tree.node(a).inclusiveNs = 1000;
+    tree.node(b).inclusiveNs = 300;
+    EXPECT_EQ(tree.exclusiveNs(a), 700u);
+    EXPECT_EQ(tree.exclusiveNs(b), 300u);
+}
+
+TEST(ProfileTree, MergeAccumulatesByCallPath) {
+    ProfileTree t1, t2;
+    std::size_t a1 = t1.childOf(t1.root(), 1);
+    t1.node(a1).visits = 2;
+    t1.node(a1).inclusiveNs = 100;
+    std::size_t a2 = t2.childOf(t2.root(), 1);
+    t2.node(a2).visits = 3;
+    t2.node(a2).inclusiveNs = 50;
+    std::size_t b2 = t2.childOf(a2, 7);
+    t2.node(b2).visits = 1;
+
+    t1.mergeFrom(t2);
+    std::size_t merged = t1.childOf(t1.root(), 1);
+    EXPECT_EQ(t1.node(merged).visits, 5u);
+    EXPECT_EQ(t1.node(merged).inclusiveNs, 150u);
+    EXPECT_EQ(t1.node(t1.childOf(merged, 7)).visits, 1u);
+}
+
+TEST(ProfileTree, DepthAndTotals) {
+    ProfileTree tree;
+    std::size_t a = tree.childOf(tree.root(), 1);
+    std::size_t b = tree.childOf(a, 2);
+    std::size_t c = tree.childOf(b, 1);  // region 1 again, deeper
+    tree.node(a).visits = 1;
+    tree.node(c).visits = 4;
+    tree.node(a).inclusiveNs = 100;
+    tree.node(c).inclusiveNs = 40;
+    EXPECT_EQ(tree.depth(), 3u);
+    EXPECT_EQ(tree.totalVisits(1), 5u);
+    EXPECT_EQ(tree.totalExclusiveNs(2), 0u);  // b: 0 - child 40 clamps to 0
+}
+
+// ------------------------------------------------------------ Measurement --
+
+TEST(Measurement, RecordsBalancedRegions) {
+    Measurement m;
+    RegionHandle a = m.defineRegion("alpha");
+    RegionHandle b = m.defineRegion("beta");
+    EXPECT_EQ(m.defineRegion("alpha"), a);  // dedup
+    m.enter(a);
+    m.enter(b);
+    m.exit(b);
+    m.exit(a);
+    ProfileTree profile = m.mergedProfile();
+    EXPECT_EQ(profile.totalVisits(a), 1u);
+    EXPECT_EQ(profile.totalVisits(b), 1u);
+    EXPECT_GE(profile.node(profile.childOf(profile.root(), a)).inclusiveNs,
+              profile.node(profile.childOf(profile.childOf(profile.root(), a), b))
+                  .inclusiveNs);
+}
+
+TEST(Measurement, UnbalancedExitThrows) {
+    Measurement m;
+    RegionHandle a = m.defineRegion("alpha");
+    RegionHandle b = m.defineRegion("beta");
+    m.enter(a);
+    EXPECT_THROW(m.exit(b), support::Error);
+    Measurement m2;
+    RegionHandle c = m2.defineRegion("c");
+    EXPECT_THROW(m2.exit(c), support::Error);
+}
+
+TEST(Measurement, RuntimeFilteringRetainsProbeCost) {
+    MeasurementOptions options;
+    options.runtimeFiltering = true;
+    options.runtimeFilter.addRule(false, "noisy_*");
+    Measurement m(options);
+    RegionHandle noisy = m.defineRegion("noisy_helper");
+    RegionHandle keep = m.defineRegion("kernel");
+    for (int i = 0; i < 10; ++i) {
+        m.enter(noisy);
+        m.exit(noisy);
+    }
+    m.enter(keep);
+    m.exit(keep);
+    EXPECT_EQ(m.probeEvents(), 22u);     // every probe fired
+    EXPECT_EQ(m.filteredEvents(), 20u);  // noisy ones dropped after the check
+    ProfileTree profile = m.mergedProfile();
+    EXPECT_EQ(profile.totalVisits(noisy), 0u);
+    EXPECT_EQ(profile.totalVisits(keep), 1u);
+}
+
+// -------------------------------------------------------------- FilterFile --
+
+TEST(FilterFile, LastMatchWins) {
+    FilterFile filter = FilterFile::parse(
+        "SCOREP_REGION_NAMES_BEGIN\n"
+        "  EXCLUDE *\n"
+        "  INCLUDE Calc*\n"
+        "  EXCLUDE CalcNoise\n"
+        "SCOREP_REGION_NAMES_END\n");
+    EXPECT_FALSE(filter.isIncluded("main"));
+    EXPECT_TRUE(filter.isIncluded("CalcEnergy"));
+    EXPECT_FALSE(filter.isIncluded("CalcNoise"));
+}
+
+TEST(FilterFile, DefaultIsIncluded) {
+    FilterFile filter;
+    EXPECT_TRUE(filter.isIncluded("anything"));
+}
+
+TEST(FilterFile, MangledKeywordAndMultiplePatterns) {
+    FilterFile filter = FilterFile::parse(
+        "SCOREP_REGION_NAMES_BEGIN\n"
+        "  EXCLUDE MANGLED _ZSt* _ZN4Foam*\n"
+        "SCOREP_REGION_NAMES_END\n");
+    EXPECT_FALSE(filter.isIncluded("_ZSt6vector"));
+    EXPECT_FALSE(filter.isIncluded("_ZN4Foam3fooEv"));
+    EXPECT_TRUE(filter.isIncluded("main"));
+}
+
+TEST(FilterFile, RoundTripAndErrors) {
+    FilterFile filter;
+    filter.addRule(false, "*");
+    filter.addRule(true, "Amul");
+    FilterFile round = FilterFile::parse(filter.toText());
+    EXPECT_EQ(round.ruleCount(), 2u);
+    EXPECT_TRUE(round.isIncluded("Amul"));
+    EXPECT_THROW(FilterFile::parse("EXCLUDE *\n"), support::Error);
+    EXPECT_THROW(FilterFile::parse("SCOREP_REGION_NAMES_BEGIN\nBOGUS x\n"
+                                   "SCOREP_REGION_NAMES_END\n"),
+                 support::Error);
+}
+
+// --------------------------------------------------------- SymbolResolver --
+
+binsim::CompiledProgram dsoProgram() {
+    binsim::AppModel model;
+    model.name = "resolve-test";
+    model.dsos.push_back({"libx.so"});
+    auto add = [&](const char* name, int dso, bool hidden = false) {
+        binsim::AppFunction fn;
+        fn.name = name;
+        fn.unit = "u.cpp";
+        fn.dso = dso;
+        fn.metrics.numInstructions = 100;
+        fn.flags.hasBody = true;
+        fn.flags.hiddenVisibility = hidden;
+        model.functions.push_back(fn);
+        return static_cast<std::uint32_t>(model.functions.size() - 1);
+    };
+    std::uint32_t mainFn = add("main", -1);
+    std::uint32_t exeFn = add("exeFn", -1);
+    std::uint32_t dsoFn = add("dsoFn", 0);
+    std::uint32_t hiddenFn = add("hiddenFn", 0, true);
+    model.entry = mainFn;
+    model.functions[mainFn].calls.push_back({exeFn, 1});
+    model.functions[mainFn].calls.push_back({dsoFn, 1});
+    model.functions[dsoFn].calls.push_back({hiddenFn, 1});
+    binsim::CompileOptions options;
+    options.xrayThreshold.instructionThreshold = 1;
+    return binsim::compile(model, options);
+}
+
+TEST(SymbolResolver, ExecutableOnlyCannotResolveDsoAddresses) {
+    binsim::Process process(dsoProgram());
+    SymbolResolver resolver = SymbolResolver::fromExecutable(
+        process.program().executable);
+
+    std::uint32_t exeFn = process.program().model.indexOf("exeFn");
+    std::uint32_t dsoFn = process.program().model.indexOf("dsoFn");
+    std::uint64_t exeAddr = process.execInfo()[exeFn].entryAddress;
+    std::uint64_t dsoAddr = process.execInfo()[dsoFn].entryAddress;
+
+    EXPECT_EQ(resolver.resolve(exeAddr).value_or(""), "exeFn");
+    EXPECT_FALSE(resolver.resolve(dsoAddr).has_value());  // the limitation
+}
+
+TEST(SymbolResolver, SymbolInjectionCoversDsos) {
+    binsim::Process process(dsoProgram());
+    SymbolResolver resolver = SymbolResolver::withSymbolInjection(process);
+    std::uint32_t dsoFn = process.program().model.indexOf("dsoFn");
+    std::uint64_t dsoAddr = process.execInfo()[dsoFn].entryAddress;
+    EXPECT_EQ(resolver.resolve(dsoAddr).value_or(""), "dsoFn");
+
+    // Hidden symbols stay unresolvable even with injection (nm can't see them).
+    std::uint32_t hiddenFn = process.program().model.indexOf("hiddenFn");
+    std::uint64_t hiddenAddr = process.execInfo()[hiddenFn].entryAddress;
+    EXPECT_FALSE(resolver.resolve(hiddenAddr).has_value());
+}
+
+TEST(SymbolResolver, ResolvesInteriorAddresses) {
+    binsim::Process process(dsoProgram());
+    SymbolResolver resolver =
+        SymbolResolver::fromExecutable(process.program().executable);
+    std::uint32_t exeFn = process.program().model.indexOf("exeFn");
+    std::uint64_t addr = process.execInfo()[exeFn].entryAddress;
+    EXPECT_EQ(resolver.resolve(addr + 16).value_or(""), "exeFn");
+    EXPECT_FALSE(resolver.resolve(3).has_value());
+}
+
+// ------------------------------------------------------- CygProfileAdapter --
+
+TEST(CygAdapter, ResolvesAndRecords) {
+    binsim::Process process(dsoProgram());
+    Measurement m;
+    CygProfileAdapter adapter(m, SymbolResolver::withSymbolInjection(process));
+    std::uint32_t exeFn = process.program().model.indexOf("exeFn");
+    std::uint64_t addr = process.execInfo()[exeFn].entryAddress;
+    adapter.funcEnter(addr, 0);
+    adapter.funcExit(addr, 0);
+    ProfileTree profile = m.mergedProfile();
+    EXPECT_EQ(profile.totalVisits(m.defineRegion("exeFn")), 1u);
+    EXPECT_EQ(adapter.droppedEvents(), 0u);
+}
+
+TEST(CygAdapter, DropsUnresolvableDsoEvents) {
+    binsim::Process process(dsoProgram());
+    Measurement m;
+    // Executable-only resolver: DSO events must be dropped, not crash.
+    CygProfileAdapter adapter(
+        m, SymbolResolver::fromExecutable(process.program().executable));
+    std::uint32_t dsoFn = process.program().model.indexOf("dsoFn");
+    std::uint64_t addr = process.execInfo()[dsoFn].entryAddress;
+    adapter.funcEnter(addr, 0);
+    adapter.funcExit(addr, 0);
+    EXPECT_EQ(adapter.unresolvedAddresses(), 1u);
+    EXPECT_EQ(adapter.droppedEvents(), 2u);
+    EXPECT_EQ(m.regionCount(), 0u);
+}
+
+// ------------------------------------------------------------ scorep-score --
+
+TEST(ScorepScore, ExcludesSmallFrequentFunctions) {
+    Measurement m;
+    RegionHandle hot = m.defineRegion("tinyHelper");
+    RegionHandle kernel = m.defineRegion("bigKernel");
+    ProfileTree tree;
+    std::size_t h = tree.childOf(tree.root(), hot);
+    tree.node(h).visits = 1000000;
+    tree.node(h).inclusiveNs = 5000000;  // 5ns/visit: pure overhead
+    std::size_t k = tree.childOf(tree.root(), kernel);
+    tree.node(k).visits = 100;
+    tree.node(k).inclusiveNs = 2000000000;  // 20ms/visit: real work
+
+    ScoreResult result = scoreProfile(tree, m);
+    ASSERT_EQ(result.regions.size(), 2u);
+    EXPECT_EQ(result.regions[0].name, "tinyHelper");  // highest overhead first
+    EXPECT_TRUE(result.regions[0].excluded);
+    EXPECT_FALSE(result.regions[1].excluded);
+    EXPECT_FALSE(result.suggestedFilter.isIncluded("tinyHelper"));
+    EXPECT_TRUE(result.suggestedFilter.isIncluded("bigKernel"));
+
+    std::string report = renderScoreReport(result);
+    EXPECT_NE(report.find("tinyHelper"), std::string::npos);
+    EXPECT_NE(report.find("FLT"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- reports --
+
+TEST(Reports, CallTreeAndFlatRender) {
+    Measurement m;
+    RegionHandle a = m.defineRegion("solve");
+    RegionHandle b = m.defineRegion("Amul");
+    m.enter(a);
+    m.enter(b);
+    m.exit(b);
+    m.exit(a);
+    ProfileTree profile = m.mergedProfile();
+    std::string tree = renderCallTree(profile, m);
+    EXPECT_NE(tree.find("solve"), std::string::npos);
+    EXPECT_NE(tree.find("Amul"), std::string::npos);
+    std::string flat = renderFlatProfile(profile, m);
+    EXPECT_NE(flat.find("region"), std::string::npos);
+    EXPECT_NE(flat.find("Amul"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,261 @@
+// Unit tests for the support library: JSON, strings/glob, bitset, RNG.
+#include <gtest/gtest.h>
+
+#include "support/bitset.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using capi::support::DynamicBitset;
+using capi::support::Json;
+using capi::support::ParseError;
+using capi::support::SplitMix64;
+
+// ---------------------------------------------------------------- JSON -----
+
+TEST(Json, ParsesScalars) {
+    EXPECT_TRUE(Json::parse("null").isNull());
+    EXPECT_EQ(Json::parse("true").asBool(), true);
+    EXPECT_EQ(Json::parse("false").asBool(), false);
+    EXPECT_EQ(Json::parse("42").asInt(), 42);
+    EXPECT_EQ(Json::parse("-17").asInt(), -17);
+    EXPECT_DOUBLE_EQ(Json::parse("2.5").asDouble(), 2.5);
+    EXPECT_DOUBLE_EQ(Json::parse("1e3").asDouble(), 1000.0);
+    EXPECT_EQ(Json::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, IntegersStayIntegers) {
+    Json v = Json::parse("123456789012345");
+    EXPECT_TRUE(v.isInt());
+    EXPECT_EQ(v.asInt(), 123456789012345LL);
+    EXPECT_EQ(v.dump(), "123456789012345");
+}
+
+TEST(Json, ParsesNestedStructures) {
+    Json doc = Json::parse(R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}})");
+    ASSERT_TRUE(doc.isObject());
+    const Json* a = doc.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->asArray().size(), 3u);
+    EXPECT_EQ(a->asArray()[2].find("b")->asString(), "x");
+    EXPECT_TRUE(doc.find("c")->find("d")->isNull());
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+    Json v(std::string("line\nquote\"back\\slash\ttab"));
+    Json round = Json::parse(v.dump());
+    EXPECT_EQ(round.asString(), "line\nquote\"back\\slash\ttab");
+}
+
+TEST(Json, UnicodeEscapeDecodes) {
+    EXPECT_EQ(Json::parse(R"("A")").asString(), "A");
+    EXPECT_EQ(Json::parse(R"("é")").asString(), "\xc3\xa9");  // é in UTF-8
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+    Json doc = Json::object();
+    doc["zebra"] = Json(1);
+    doc["alpha"] = Json(2);
+    doc["mid"] = Json(3);
+    EXPECT_EQ(doc.dump(), R"({"zebra":1,"alpha":2,"mid":3})");
+}
+
+TEST(Json, DumpParseRoundTripPretty) {
+    Json doc = Json::object();
+    doc["list"] = Json::array();
+    doc["list"].push_back(Json(1));
+    doc["list"].push_back(Json("two"));
+    doc["nested"]["flag"] = Json(true);
+    Json round = Json::parse(doc.dump(true));
+    EXPECT_EQ(round.dump(), doc.dump());
+}
+
+TEST(Json, RejectsMalformedInput) {
+    EXPECT_THROW(Json::parse("{"), ParseError);
+    EXPECT_THROW(Json::parse("[1,]"), ParseError);
+    EXPECT_THROW(Json::parse("\"unterminated"), ParseError);
+    EXPECT_THROW(Json::parse("tru"), ParseError);
+    EXPECT_THROW(Json::parse("1 2"), ParseError);
+    EXPECT_THROW(Json::parse("{\"a\" 1}"), ParseError);
+}
+
+TEST(Json, ParseErrorCarriesLocation) {
+    try {
+        Json::parse("{\n  \"a\": ]\n}");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 2);
+        EXPECT_GT(e.column(), 1);
+    }
+}
+
+TEST(Json, TypedGettersUseDefaults) {
+    Json doc = Json::parse(R"({"n": 7, "s": "x", "b": true})");
+    EXPECT_EQ(doc.getInt("n", -1), 7);
+    EXPECT_EQ(doc.getInt("missing", -1), -1);
+    EXPECT_EQ(doc.getString("s", "d"), "x");
+    EXPECT_EQ(doc.getString("n", "d"), "d");  // wrong type -> default
+    EXPECT_TRUE(doc.getBool("b", false));
+}
+
+// -------------------------------------------------------------- strings ----
+
+TEST(Strings, SplitKeepsEmptyFields) {
+    auto parts = capi::support::split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+    auto parts = capi::support::splitWhitespace("  INCLUDE   MANGLED  foo \t bar ");
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "INCLUDE");
+    EXPECT_EQ(parts[3], "bar");
+}
+
+TEST(Strings, Trim) {
+    EXPECT_EQ(capi::support::trim("  x y  "), "x y");
+    EXPECT_EQ(capi::support::trim("\t\n"), "");
+    EXPECT_EQ(capi::support::trim(""), "");
+}
+
+struct GlobCase {
+    const char* pattern;
+    const char* text;
+    bool expected;
+};
+
+class GlobTest : public ::testing::TestWithParam<GlobCase> {};
+
+TEST_P(GlobTest, Matches) {
+    const GlobCase& c = GetParam();
+    EXPECT_EQ(capi::support::globMatch(c.pattern, c.text), c.expected)
+        << "pattern=" << c.pattern << " text=" << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, GlobTest,
+    ::testing::Values(
+        GlobCase{"MPI_*", "MPI_Allreduce", true},
+        GlobCase{"MPI_*", "PMPI_Allreduce", false},
+        GlobCase{"*", "", true},
+        GlobCase{"*", "anything", true},
+        GlobCase{"", "", true},
+        GlobCase{"", "x", false},
+        GlobCase{"a?c", "abc", true},
+        GlobCase{"a?c", "ac", false},
+        GlobCase{"*Foam*", "icoFoamSolver", true},
+        GlobCase{"*::solve*", "Foam::fvMatrix::solve", true},
+        GlobCase{"a*b*c", "aXXbYYc", true},
+        GlobCase{"a*b*c", "aXXcYYb", false},
+        GlobCase{"**", "x", true},
+        GlobCase{"a*a*a*a*b", "aaaaaaaaaaaaaaaaaaaa", false}));
+
+TEST(Strings, IsGlobPattern) {
+    EXPECT_TRUE(capi::support::isGlobPattern("MPI_*"));
+    EXPECT_TRUE(capi::support::isGlobPattern("a?c"));
+    EXPECT_FALSE(capi::support::isGlobPattern("plain_name"));
+}
+
+TEST(Strings, FixedAndPadding) {
+    EXPECT_EQ(capi::support::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(capi::support::padLeft("7", 4), "   7");
+    EXPECT_EQ(capi::support::padRight("ab", 4), "ab  ");
+    EXPECT_EQ(capi::support::padLeft("long-text", 4), "long-text");
+}
+
+// --------------------------------------------------------------- bitset ----
+
+TEST(Bitset, SetTestCount) {
+    DynamicBitset b(130);
+    EXPECT_EQ(b.count(), 0u);
+    b.set(0);
+    b.set(64);
+    b.set(129);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(64));
+    EXPECT_TRUE(b.test(129));
+    EXPECT_FALSE(b.test(1));
+    EXPECT_EQ(b.count(), 3u);
+    b.reset(64);
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, SetAllRespectsSize) {
+    DynamicBitset b(70);
+    b.setAll();
+    EXPECT_EQ(b.count(), 70u);
+}
+
+TEST(Bitset, FlipAllIsComplement) {
+    DynamicBitset b(100);
+    for (std::size_t i = 0; i < 100; i += 3) b.set(i);
+    std::size_t setCount = b.count();
+    b.flipAll();
+    EXPECT_EQ(b.count(), 100u - setCount);
+}
+
+TEST(Bitset, SetAlgebra) {
+    DynamicBitset a(64), b(64);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+
+    DynamicBitset u = a;
+    u |= b;
+    EXPECT_EQ(u.count(), 3u);
+
+    DynamicBitset i = a;
+    i &= b;
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(2));
+
+    DynamicBitset d = a;
+    d -= b;
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_TRUE(d.test(1));
+}
+
+TEST(Bitset, ForEachVisitsInOrder) {
+    DynamicBitset b(200);
+    b.set(5);
+    b.set(63);
+    b.set(64);
+    b.set(199);
+    std::vector<std::size_t> seen;
+    b.forEach([&](std::size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, (std::vector<std::size_t>{5, 63, 64, 199}));
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(Rng, DeterministicStream) {
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    SplitMix64 a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, RangesRespected) {
+    SplitMix64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = rng.nextInRange(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+}  // namespace

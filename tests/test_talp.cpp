@@ -1,0 +1,220 @@
+// Tests for the TALP substrate: region lifecycle, nesting/overlap, MPI-time
+// attribution, POP metrics math and the pre-MPI_Init registration failure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpisim/mpi_world.hpp"
+#include "talpsim/talp.hpp"
+
+namespace {
+
+using namespace capi;
+using talp::MonitorHandle;
+using talp::PopMetrics;
+using talp::TalpRuntime;
+
+mpi::LatencyModel zeroLatency() {
+    mpi::LatencyModel latency;
+    latency.barrierNs = 0;
+    latency.allreduceNs = 0;
+    latency.bcastNs = 0;
+    latency.haloExchangeNs = 0;
+    latency.initNs = 0;
+    latency.finalizeNs = 0;
+    return latency;
+}
+
+TEST(Talp, RegistrationRequiresMpiInit) {
+    mpi::MpiWorld world(1, zeroLatency());
+    TalpRuntime talp(world);
+    MonitorHandle before = talp.regionRegister("early", 0);
+    EXPECT_FALSE(before.valid());
+    EXPECT_EQ(talp.failedRegistrations(), 1u);
+
+    world.init(0, 0.0);
+    MonitorHandle after = talp.regionRegister("late", 0);
+    EXPECT_TRUE(after.valid());
+    // Same name returns the same handle.
+    EXPECT_EQ(talp.regionRegister("late", 0).id, after.id);
+}
+
+TEST(Talp, BasicRegionAccounting) {
+    mpi::MpiWorld world(1, zeroLatency());
+    TalpRuntime talp(world);
+    double clock = world.init(0, 0.0);
+    MonitorHandle region = talp.regionRegister("solver", 0);
+
+    EXPECT_TRUE(talp.regionStart(region, 0, clock));
+    clock += 1000.0;  // 1000ns of pure compute
+    EXPECT_TRUE(talp.regionStop(region, 0, clock));
+
+    auto metrics = talp.metrics("solver");
+    ASSERT_TRUE(metrics.has_value());
+    EXPECT_EQ(metrics->visits, 1u);
+    EXPECT_DOUBLE_EQ(metrics->elapsedNs, 1000.0);
+    EXPECT_DOUBLE_EQ(metrics->usefulAvgNs, 1000.0);
+    EXPECT_DOUBLE_EQ(metrics->parallelEfficiency, 1.0);
+}
+
+TEST(Talp, MpiTimeAttributedToOpenRegions) {
+    mpi::LatencyModel latency = zeroLatency();
+    latency.allreduceNs = 200;
+    mpi::MpiWorld world(1, latency);
+    TalpRuntime talp(world);
+    double clock = world.init(0, 0.0);
+    MonitorHandle outer = talp.regionRegister("outer", 0);
+    MonitorHandle inner = talp.regionRegister("inner", 0);
+
+    talp.regionStart(outer, 0, clock);
+    clock += 500.0;
+    talp.regionStart(inner, 0, clock);
+    clock = world.allreduce(0, clock);  // +200ns MPI, attributed to both
+    clock += 300.0;
+    talp.regionStop(inner, 0, clock);
+    clock += 100.0;
+    talp.regionStop(outer, 0, clock);
+
+    auto innerM = talp.metrics("inner");
+    ASSERT_TRUE(innerM.has_value());
+    EXPECT_DOUBLE_EQ(innerM->elapsedNs, 500.0);   // 200 MPI + 300 compute
+    EXPECT_DOUBLE_EQ(innerM->mpiAvgNs, 200.0);
+    EXPECT_DOUBLE_EQ(innerM->usefulAvgNs, 300.0);
+
+    auto outerM = talp.metrics("outer");
+    EXPECT_DOUBLE_EQ(outerM->elapsedNs, 1100.0);
+    EXPECT_DOUBLE_EQ(outerM->mpiAvgNs, 200.0);
+    EXPECT_DOUBLE_EQ(outerM->usefulAvgNs, 900.0);
+}
+
+TEST(Talp, NestedSameRegionAccountsOutermostPair) {
+    mpi::MpiWorld world(1, zeroLatency());
+    TalpRuntime talp(world);
+    double clock = world.init(0, 0.0);
+    MonitorHandle region = talp.regionRegister("recursive", 0);
+    talp.regionStart(region, 0, clock);
+    talp.regionStart(region, 0, clock + 100.0);  // nested
+    talp.regionStop(region, 0, clock + 400.0);
+    talp.regionStop(region, 0, clock + 1000.0);
+
+    auto metrics = talp.metrics("recursive");
+    EXPECT_EQ(metrics->visits, 1u);
+    EXPECT_DOUBLE_EQ(metrics->elapsedNs, 1000.0);
+}
+
+TEST(Talp, OverlappingRegionsBothAccount) {
+    mpi::MpiWorld world(1, zeroLatency());
+    TalpRuntime talp(world);
+    double clock = world.init(0, 0.0);
+    MonitorHandle a = talp.regionRegister("A", 0);
+    MonitorHandle b = talp.regionRegister("B", 0);
+    talp.regionStart(a, 0, clock);
+    talp.regionStart(b, 0, clock + 100.0);
+    talp.regionStop(a, 0, clock + 300.0);   // A closes while B is open
+    talp.regionStop(b, 0, clock + 600.0);
+    EXPECT_DOUBLE_EQ(talp.metrics("A")->elapsedNs, 300.0);
+    EXPECT_DOUBLE_EQ(talp.metrics("B")->elapsedNs, 500.0);
+}
+
+TEST(Talp, StopWithoutStartFails) {
+    mpi::MpiWorld world(1, zeroLatency());
+    TalpRuntime talp(world);
+    double clock = world.init(0, 0.0);
+    MonitorHandle region = talp.regionRegister("r", 0);
+    EXPECT_FALSE(talp.regionStop(region, 0, clock));
+    EXPECT_EQ(talp.failedStops(), 1u);
+    EXPECT_FALSE(talp.regionStart(MonitorHandle::invalid(), 0, clock));
+    EXPECT_EQ(talp.failedStarts(), 1u);
+}
+
+TEST(Talp, PopMetricsLoadBalanceAcrossRanks) {
+    mpi::LatencyModel latency = zeroLatency();
+    latency.barrierNs = 0;
+    mpi::MpiWorld world(2, latency);
+    TalpRuntime talp(world);
+    mpi::runRanks(world, [&](int rank) {
+        double clock = world.init(rank, 0.0);
+        MonitorHandle region = talp.regionRegister("imbalanced", rank);
+        talp.regionStart(region, rank, clock);
+        // rank0 computes 600ns, rank1 1000ns, then both hit a barrier.
+        clock += rank == 0 ? 600.0 : 1000.0;
+        clock = world.barrier(rank, clock);
+        talp.regionStop(region, rank, clock);
+        world.finalize(rank, clock);
+    });
+
+    auto metrics = talp.metrics("imbalanced");
+    ASSERT_TRUE(metrics.has_value());
+    EXPECT_EQ(metrics->ranks, 2);
+    // Both ranks elapse until the barrier completion at 1000ns.
+    EXPECT_DOUBLE_EQ(metrics->elapsedNs, 1000.0);
+    EXPECT_DOUBLE_EQ(metrics->usefulMaxNs, 1000.0);
+    EXPECT_DOUBLE_EQ(metrics->usefulAvgNs, 800.0);
+    EXPECT_DOUBLE_EQ(metrics->loadBalance, 0.8);
+    EXPECT_DOUBLE_EQ(metrics->communicationEfficiency, 1.0);
+    EXPECT_DOUBLE_EQ(metrics->parallelEfficiency, 0.8);
+}
+
+TEST(Talp, MetricsAreBoundedBetweenZeroAndOne) {
+    mpi::LatencyModel latency = zeroLatency();
+    latency.allreduceNs = 500;
+    latency.haloExchangeNs = 300;
+    mpi::MpiWorld world(3, latency);
+    TalpRuntime talp(world);
+    mpi::runRanks(world, [&](int rank) {
+        double clock = world.init(rank, 0.0);
+        MonitorHandle region = talp.regionRegister("mixed", rank);
+        talp.regionStart(region, rank, clock);
+        for (int i = 0; i < 5; ++i) {
+            clock += 100.0 * (rank + 1);
+            clock = world.allreduce(rank, clock);
+            clock += 50.0;
+            clock = world.haloExchange(rank, clock);
+        }
+        talp.regionStop(region, rank, clock);
+        world.finalize(rank, clock);
+    });
+    auto metrics = talp.metrics("mixed");
+    ASSERT_TRUE(metrics.has_value());
+    EXPECT_GT(metrics->parallelEfficiency, 0.0);
+    EXPECT_LE(metrics->parallelEfficiency, 1.0);
+    EXPECT_LE(metrics->loadBalance, 1.0);
+    EXPECT_LE(metrics->communicationEfficiency, 1.0);
+}
+
+TEST(Talp, GlobalRegionSpansInitToFinalize) {
+    mpi::MpiWorld world(2, zeroLatency());
+    TalpRuntime talp(world);
+    mpi::runRanks(world, [&](int rank) {
+        double clock = world.init(rank, 0.0);
+        clock += 700.0;
+        world.finalize(rank, clock);
+    });
+    auto global = talp.metrics(TalpRuntime::kGlobalRegionName);
+    ASSERT_TRUE(global.has_value());
+    EXPECT_EQ(global->ranks, 2);
+    EXPECT_DOUBLE_EQ(global->elapsedNs, 700.0);
+}
+
+TEST(Talp, RuntimeQueryAndReport) {
+    mpi::MpiWorld world(1, zeroLatency());
+    TalpRuntime talp(world);
+    double clock = world.init(0, 0.0);
+    MonitorHandle region = talp.regionRegister("queryme", 0);
+    talp.regionStart(region, 0, clock);
+    talp.regionStop(region, 0, clock + 100.0);
+
+    // Runtime query (the external-entity API) while execution continues.
+    std::vector<PopMetrics> all = talp.collectAll();
+    bool found = false;
+    for (const PopMetrics& m : all) {
+        if (m.name == "queryme") found = true;
+    }
+    EXPECT_TRUE(found);
+
+    std::string report = talp.report();
+    EXPECT_NE(report.find("queryme"), std::string::npos);
+    EXPECT_NE(report.find("parallel efficiency"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Tests for the Score-P tracing mode: per-thread buffers, capacity limits,
+// integration with the measurement runtime and runtime filtering.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "scorepsim/measurement.hpp"
+#include "scorepsim/tracing.hpp"
+
+namespace {
+
+using namespace capi::scorep;
+
+TEST(TraceBuffer, RecordsEventsInOrder) {
+    TraceBuffer trace(64);
+    EXPECT_TRUE(trace.record(1, TraceEventType::Enter, 100));
+    EXPECT_TRUE(trace.record(2, TraceEventType::Enter, 110));
+    EXPECT_TRUE(trace.record(2, TraceEventType::Exit, 120));
+    EXPECT_TRUE(trace.record(1, TraceEventType::Exit, 130));
+
+    std::vector<TraceEvent> events = trace.collect();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].region, 1u);
+    EXPECT_EQ(events[0].type, TraceEventType::Enter);
+    EXPECT_EQ(events[3].timestampNs, 130u);
+}
+
+TEST(TraceBuffer, CapacityBoundsAndCountsDrops) {
+    TraceBuffer trace(3);
+    for (int i = 0; i < 10; ++i) {
+        trace.record(0, TraceEventType::Enter, static_cast<std::uint64_t>(i));
+    }
+    TraceStats stats = trace.stats();
+    EXPECT_EQ(stats.recorded, 3u);
+    EXPECT_EQ(stats.dropped, 7u);
+    EXPECT_EQ(stats.bytes, 3 * sizeof(TraceEvent));
+}
+
+TEST(TraceBuffer, PerThreadBuffersAreIndependent) {
+    TraceBuffer trace(2);
+    trace.record(0, TraceEventType::Enter, 1);
+    std::thread other([&] {
+        trace.record(1, TraceEventType::Enter, 2);
+        trace.record(1, TraceEventType::Exit, 3);
+    });
+    other.join();
+    TraceStats stats = trace.stats();
+    EXPECT_EQ(stats.threads, 2u);
+    EXPECT_EQ(stats.recorded, 3u);
+    EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(Tracing, MeasurementRecordsEnterExitPairs) {
+    TraceBuffer trace;
+    MeasurementOptions options;
+    options.trace = &trace;
+    Measurement m(options);
+    RegionHandle solve = m.defineRegion("solve");
+    RegionHandle amul = m.defineRegion("Amul");
+    m.enter(solve);
+    m.enter(amul);
+    m.exit(amul);
+    m.exit(solve);
+
+    std::vector<TraceEvent> events = trace.collect();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].region, solve);
+    EXPECT_EQ(events[1].region, amul);
+    EXPECT_EQ(events[1].type, TraceEventType::Enter);
+    EXPECT_EQ(events[2].type, TraceEventType::Exit);
+    // Timestamps are monotone within the thread.
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        EXPECT_GE(events[i].timestampNs, events[i - 1].timestampNs);
+    }
+}
+
+TEST(Tracing, FilteredRegionsAreNotTraced) {
+    TraceBuffer trace;
+    MeasurementOptions options;
+    options.trace = &trace;
+    options.runtimeFiltering = true;
+    options.runtimeFilter.addRule(false, "noisy*");
+    Measurement m(options);
+    RegionHandle noisy = m.defineRegion("noisy_one");
+    RegionHandle keep = m.defineRegion("kernel");
+    m.enter(noisy);
+    m.exit(noisy);
+    m.enter(keep);
+    m.exit(keep);
+    EXPECT_EQ(trace.stats().recorded, 2u);  // only the kernel pair
+}
+
+TEST(Tracing, ExcerptRendersNamesAndNesting) {
+    TraceBuffer trace;
+    MeasurementOptions options;
+    options.trace = &trace;
+    Measurement m(options);
+    RegionHandle outer = m.defineRegion("outer");
+    RegionHandle inner = m.defineRegion("inner");
+    m.enter(outer);
+    m.enter(inner);
+    m.exit(inner);
+    m.exit(outer);
+    std::string excerpt = renderTraceExcerpt(trace.collect(), m);
+    EXPECT_NE(excerpt.find("-> outer"), std::string::npos);
+    EXPECT_NE(excerpt.find("  -> inner"), std::string::npos);
+    EXPECT_NE(excerpt.find("<- outer"), std::string::npos);
+}
+
+TEST(Tracing, ExcerptTruncatesLongTraces) {
+    TraceBuffer trace;
+    MeasurementOptions options;
+    options.trace = &trace;
+    Measurement m(options);
+    RegionHandle r = m.defineRegion("r");
+    for (int i = 0; i < 100; ++i) {
+        m.enter(r);
+        m.exit(r);
+    }
+    std::string excerpt = renderTraceExcerpt(trace.collect(), m, 10);
+    EXPECT_NE(excerpt.find("more)"), std::string::npos);
+}
+
+}  // namespace

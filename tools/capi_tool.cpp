@@ -1,0 +1,133 @@
+// capi — the file-based selection front end (steps 5-6 of Fig. 2).
+//
+// Reads a MetaCG call-graph JSON and a selection spec, runs the selector
+// pipeline and writes the IC, either in CaPI's JSON format or as a Score-P
+// filter file. Symbol-table input (an `nm` dump: one symbol name per line)
+// enables inlining compensation.
+//
+// Usage:
+//   capi_tool --cg graph.metacg --spec selection.capi --output ic.json
+//             [--filter-format] [--symbols nm.txt] [--module-path DIR]
+//             [--no-inline-compensation] [--verbose]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/specs.hpp"
+#include "cg/metacg_json.hpp"
+#include "select/selection_driver.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+struct Args {
+    std::string cgPath;
+    std::string specPath;
+    std::string outputPath;
+    std::string symbolsPath;
+    std::vector<std::string> modulePaths;
+    bool filterFormat = false;
+    bool inlineCompensation = true;
+    bool verbose = false;
+};
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: capi_tool --cg <metacg.json> --spec <spec.capi> "
+                 "--output <ic>\n"
+                 "       [--filter-format] [--symbols <nm.txt>] "
+                 "[--module-path <dir>]...\n"
+                 "       [--no-inline-compensation] [--verbose]\n");
+}
+
+std::string readFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        throw capi::support::Error("cannot open " + path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--cg") args.cgPath = next();
+        else if (arg == "--spec") args.specPath = next();
+        else if (arg == "--output") args.outputPath = next();
+        else if (arg == "--symbols") args.symbolsPath = next();
+        else if (arg == "--module-path") args.modulePaths.push_back(next());
+        else if (arg == "--filter-format") args.filterFormat = true;
+        else if (arg == "--no-inline-compensation") args.inlineCompensation = false;
+        else if (arg == "--verbose") args.verbose = true;
+        else {
+            usage();
+            return 2;
+        }
+    }
+    if (args.cgPath.empty() || args.specPath.empty() || args.outputPath.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        capi::cg::CallGraph graph = capi::cg::readMetaCgFile(args.cgPath);
+
+        capi::spec::ModuleResolver resolver = capi::apps::bundledResolver();
+        for (const std::string& dir : args.modulePaths) {
+            resolver.addSearchPath(dir);
+        }
+
+        capi::select::SetSymbolOracle oracle;
+        bool haveSymbols = !args.symbolsPath.empty();
+        if (haveSymbols) {
+            std::istringstream in(readFile(args.symbolsPath));
+            std::string line;
+            while (std::getline(in, line)) {
+                if (!line.empty()) {
+                    oracle.add(line);
+                }
+            }
+        }
+
+        capi::select::SelectionOptions options;
+        options.specText = readFile(args.specPath);
+        options.specName = args.specPath;
+        options.resolver = &resolver;
+        options.symbolOracle = haveSymbols ? &oracle : nullptr;
+        options.applyInlineCompensation = args.inlineCompensation && haveSymbols;
+
+        capi::select::SelectionReport report =
+            capi::select::runSelection(graph, options);
+        report.ic.writeFile(args.outputPath, args.filterFormat);
+
+        std::printf("capi: %zu CG nodes, selected %zu pre / %zu final (+%zu), "
+                    "%.3fs -> %s\n",
+                    report.graphNodes, report.selectedPre, report.selectedFinal,
+                    report.added, report.selectionSeconds,
+                    args.outputPath.c_str());
+        if (args.verbose) {
+            for (const auto& [name, ns] : report.pipelineRun.timingsNs) {
+                std::printf("  stage %-24s %10.3f ms\n", name.c_str(),
+                            static_cast<double>(ns) / 1e6);
+            }
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "capi_tool: %s\n", e.what());
+        return 1;
+    }
+}
