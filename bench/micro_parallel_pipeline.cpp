@@ -1,0 +1,103 @@
+// Serial vs. parallel selection-pipeline evaluation on the OpenFOAM-scale
+// app model (~410k nodes at full scale; pass a smaller --graph via the
+// benchmark Arg to keep CI smoke runs fast).
+//
+// The workload is a wide multi-definition spec whose %ref DAG exposes
+// definition-level parallelism (independent filter/reachability stages) on
+// top of the intra-definition word sharding. BM_ParallelPipeline/T reports
+// the same work as BM_SerialPipeline distributed over T pool threads; with
+// >= 4 hardware threads the 4- and 8-thread variants should run >= 2x
+// faster than serial. BM_CachedPipeline shows the refinement-round case:
+// every stage answered from the selector cache.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "apps/openfoam.hpp"
+#include "cg/metacg_builder.hpp"
+#include "select/pipeline.hpp"
+#include "select/selector_cache.hpp"
+#include "spec/parser.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace capi;
+
+/// The multi-definition workload: four independent leaf stages, a diamond
+/// of combinators, and two reachability closures.
+const char* kWideSpec =
+    "hot = flops(\">=\", 10, %%)\n"
+    "looped = loopDepth(\">=\", 1, %%)\n"
+    "chatty = statements(\">=\", 15, %%)\n"
+    "excluded = join(inSystemHeader(%%), inlineSpecified(%%))\n"
+    "kernels = intersect(%hot, %looped)\n"
+    "paths = onCallPathTo(%kernels)\n"
+    "wide = join(%paths, onCallPathFrom(%chatty))\n"
+    "subtract(%wide, %excluded)\n";
+
+/// Cache of scaled OpenFOAM graphs (construction excluded from timing).
+const cg::CallGraph& graphOfSize(std::uint32_t nodes) {
+    static std::map<std::uint32_t, cg::CallGraph> cache;
+    auto it = cache.find(nodes);
+    if (it == cache.end()) {
+        apps::OpenFoamParams params;
+        params.targetNodes = nodes;
+        cg::MetaCgBuilder builder;
+        it = cache
+                 .emplace(nodes,
+                          builder.build(apps::makeOpenFoam(params).toSourceModel()))
+                 .first;
+    }
+    return it->second;
+}
+
+void BM_SerialPipeline(benchmark::State& state) {
+    const cg::CallGraph& graph =
+        graphOfSize(static_cast<std::uint32_t>(state.range(0)));
+    select::Pipeline pipeline(spec::parseSpec(kWideSpec));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pipeline.run(graph).result.count());
+    }
+    state.SetItemsProcessed(state.iterations() * graph.size());
+}
+BENCHMARK(BM_SerialPipeline)->Arg(50000)->Arg(410666)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelPipeline(benchmark::State& state) {
+    const cg::CallGraph& graph =
+        graphOfSize(static_cast<std::uint32_t>(state.range(0)));
+    select::Pipeline pipeline(spec::parseSpec(kWideSpec));
+    support::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+    select::PipelineOptions options;
+    options.pool = &pool;  // Persistent pool: spin-up excluded from timing.
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pipeline.run(graph, options).result.count());
+    }
+    state.SetItemsProcessed(state.iterations() * graph.size());
+    state.counters["threads"] = static_cast<double>(pool.threadCount());
+}
+BENCHMARK(BM_ParallelPipeline)
+    ->Args({50000, 2})->Args({50000, 4})->Args({50000, 8})
+    ->Args({410666, 2})->Args({410666, 4})->Args({410666, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CachedPipeline(benchmark::State& state) {
+    const cg::CallGraph& graph =
+        graphOfSize(static_cast<std::uint32_t>(state.range(0)));
+    select::Pipeline pipeline(spec::parseSpec(kWideSpec));
+    select::SelectorCache cache;
+    select::PipelineOptions options;
+    options.cache = &cache;
+    pipeline.run(graph, options);  // Warm: every stage memoized.
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pipeline.run(graph, options).result.count());
+    }
+    state.SetItemsProcessed(state.iterations() * graph.size());
+}
+BENCHMARK(BM_CachedPipeline)->Arg(50000)->Arg(410666)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

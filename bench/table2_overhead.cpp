@@ -98,16 +98,6 @@ RowResult runConfig(const bench::PreparedApp& app, Tool tool, Config config,
     return result;
 }
 
-const char* configName(Config config, const char* icName) {
-    switch (config) {
-        case Config::Vanilla: return "vanilla";
-        case Config::XrayInactive: return "xray inactive";
-        case Config::XrayFull: return "xray full";
-        case Config::Ic: return icName;
-    }
-    return "?";
-}
-
 void runTool(const bench::PreparedApp& app, Tool tool,
              const std::vector<std::pair<std::string, select::InstrumentationConfig>>&
                  ics,

@@ -1,8 +1,17 @@
 #include "cg/call_graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace capi::cg {
+
+std::uint64_t CallGraph::nextGenerationStamp() {
+    // Process-global so a stamp never repeats across graph instances: a
+    // cache entry stored for one graph can never be served for another that
+    // happens to have seen the same number of mutations.
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 bool insertSorted(std::vector<FunctionId>& vec, FunctionId value) {
     auto it = std::lower_bound(vec.begin(), vec.end(), value);
@@ -18,6 +27,7 @@ bool containsSorted(const std::vector<FunctionId>& vec, FunctionId value) {
 }
 
 FunctionId CallGraph::addFunction(const FunctionDesc& desc) {
+    generation_ = nextGenerationStamp();
     auto it = byName_.find(desc.name);
     if (it != byName_.end()) {
         Node& existing = nodes_[it->second];
@@ -45,11 +55,14 @@ FunctionId CallGraph::addFunction(const FunctionDesc& desc) {
 void CallGraph::addCallEdge(FunctionId caller, FunctionId callee) {
     if (insertSorted(nodes_[caller].callees, callee)) {
         insertSorted(nodes_[callee].callers, caller);
+        generation_ = nextGenerationStamp();
     }
 }
 
 void CallGraph::addOverride(FunctionId base, FunctionId derived) {
-    insertSorted(nodes_[derived].overrides, base);
+    if (insertSorted(nodes_[derived].overrides, base)) {
+        generation_ = nextGenerationStamp();
+    }
     insertSorted(nodes_[base].overriddenBy, derived);
 }
 

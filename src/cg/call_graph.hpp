@@ -6,6 +6,7 @@
 // separately from plain call edges, mirroring MetaCG.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -54,7 +55,19 @@ public:
     /// The program entry point; by convention the node named "main" unless
     /// overridden. kInvalidFunction when no entry is known.
     FunctionId entryPoint() const;
-    void setEntryPoint(FunctionId id) { entry_ = id; }
+    void setEntryPoint(FunctionId id) {
+        entry_ = id;
+        generation_ = nextGenerationStamp();
+    }
+
+    /// Content-version stamp: unique across every graph in the process and
+    /// bumped by every mutating call (addFunction/addCallEdge/addOverride/
+    /// setEntryPoint). Two graphs with the same stamp are the same object at
+    /// the same revision, so selector caches key memoized results on it and
+    /// drop them automatically when the graph changes (e.g. a dlopen'd DSO
+    /// adds nodes at runtime). Mutating nodes directly through the non-const
+    /// node() accessor does NOT bump the stamp.
+    std::uint64_t generation() const noexcept { return generation_; }
 
     std::size_t edgeCount() const;
 
@@ -62,9 +75,12 @@ public:
     std::vector<FunctionId> allIds() const;
 
 private:
+    static std::uint64_t nextGenerationStamp();
+
     std::vector<Node> nodes_;
     std::unordered_map<std::string, FunctionId> byName_;
     std::optional<FunctionId> entry_;
+    std::uint64_t generation_ = nextGenerationStamp();
 };
 
 /// Inserts `value` into a sorted unique vector; returns false if present.

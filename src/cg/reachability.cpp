@@ -1,6 +1,9 @@
 #include "cg/reachability.hpp"
 
+#include <algorithm>
 #include <deque>
+
+#include "support/thread_pool.hpp"
 
 namespace capi::cg {
 
@@ -8,10 +11,17 @@ using support::DynamicBitset;
 
 namespace {
 
-/// Generic BFS over either edge direction.
+/// Below this many frontier members a BFS level is expanded serially: the
+/// shard bookkeeping (one partial bitset per chunk) costs more than the
+/// neighbor scan it parallelizes.
+constexpr std::size_t kParallelFrontierThreshold = 256;
+
+/// Serial queue BFS over either edge direction (the original algorithm;
+/// kept as the small-graph / no-pool path and as the oracle the parallel
+/// traversal must match bit for bit).
 template <typename NeighborFn>
-DynamicBitset closure(const CallGraph& graph, const DynamicBitset& seeds,
-                      NeighborFn&& neighbors) {
+DynamicBitset serialClosure(const CallGraph& graph, const DynamicBitset& seeds,
+                            NeighborFn&& neighbors) {
     DynamicBitset visited(graph.size());
     std::deque<FunctionId> queue;
     seeds.forEach([&](std::size_t id) {
@@ -31,40 +41,110 @@ DynamicBitset closure(const CallGraph& graph, const DynamicBitset& seeds,
     return visited;
 }
 
+/// Level-synchronous frontier BFS with the frontier sharded over word
+/// ranges. Each worker expands the frontier bits inside its own word range
+/// into a private partial bitset; partials are OR-merged into the next
+/// frontier. Set union is order-independent, so the result is bit-identical
+/// to serialClosure().
+template <typename NeighborFn>
+DynamicBitset parallelClosure(const CallGraph& graph,
+                              const DynamicBitset& seeds,
+                              NeighborFn&& neighbors,
+                              support::ThreadPool& pool) {
+    DynamicBitset visited(graph.size());
+    seeds.forEach([&](std::size_t id) { visited.set(id); });
+    DynamicBitset frontier = visited;
+
+    const std::size_t words = visited.wordCount();
+    const std::size_t grainWords = std::max<std::size_t>(
+        64, words / (pool.threadCount() * 4));
+    const std::size_t chunkCount = (words + grainWords - 1) / grainWords;
+
+    std::vector<DynamicBitset> partials(chunkCount);
+
+    while (frontier.any()) {
+        DynamicBitset next(graph.size());
+        if (frontier.count() < kParallelFrontierThreshold || chunkCount <= 1) {
+            frontier.forEach([&](std::size_t id) {
+                for (FunctionId n : neighbors(static_cast<FunctionId>(id))) {
+                    next.set(n);
+                }
+            });
+        } else {
+            pool.parallelFor(chunkCount, 1, [&](std::size_t clo, std::size_t chi) {
+                for (std::size_t chunk = clo; chunk < chi; ++chunk) {
+                    std::size_t wlo = chunk * grainWords;
+                    std::size_t whi = std::min(words, wlo + grainWords);
+                    DynamicBitset partial(graph.size());
+                    frontier.forEachInWordRange(wlo, whi, [&](std::size_t id) {
+                        for (FunctionId n : neighbors(static_cast<FunctionId>(id))) {
+                            partial.set(n);
+                        }
+                    });
+                    partials[chunk] = std::move(partial);
+                }
+            });
+            for (DynamicBitset& partial : partials) {
+                next |= partial;
+            }
+        }
+        next -= visited;
+        visited |= next;
+        frontier = std::move(next);
+    }
+    return visited;
+}
+
+template <typename NeighborFn>
+DynamicBitset closure(const CallGraph& graph, const DynamicBitset& seeds,
+                      NeighborFn&& neighbors, support::ThreadPool* pool) {
+    if (pool != nullptr && pool->threadCount() > 1 &&
+        graph.size() >= kParallelFrontierThreshold) {
+        return parallelClosure(graph, seeds, neighbors, *pool);
+    }
+    return serialClosure(graph, seeds, neighbors);
+}
+
 }  // namespace
 
-DynamicBitset reachableFrom(const CallGraph& graph, const DynamicBitset& roots) {
+DynamicBitset reachableFrom(const CallGraph& graph, const DynamicBitset& roots,
+                            support::ThreadPool* pool) {
     return closure(graph, roots,
                    [&](FunctionId id) -> const std::vector<FunctionId>& {
                        return graph.callees(id);
-                   });
+                   },
+                   pool);
 }
 
-DynamicBitset reachesTo(const CallGraph& graph, const DynamicBitset& targets) {
+DynamicBitset reachesTo(const CallGraph& graph, const DynamicBitset& targets,
+                        support::ThreadPool* pool) {
     return closure(graph, targets,
                    [&](FunctionId id) -> const std::vector<FunctionId>& {
                        return graph.callers(id);
-                   });
+                   },
+                   pool);
 }
 
 DynamicBitset onCallPath(const CallGraph& graph, FunctionId from,
-                         const DynamicBitset& targets) {
+                         const DynamicBitset& targets,
+                         support::ThreadPool* pool) {
     DynamicBitset result(graph.size());
     if (from == kInvalidFunction) {
         return result;
     }
-    DynamicBitset forward = reachableFrom(graph, from);
-    DynamicBitset backward = reachesTo(graph, targets);
+    DynamicBitset forward = reachableFrom(graph, from, pool);
+    DynamicBitset backward = reachesTo(graph, targets, pool);
     forward &= backward;
     return forward;
 }
 
-DynamicBitset reachableFrom(const CallGraph& graph, FunctionId root) {
+DynamicBitset reachableFrom(const CallGraph& graph, FunctionId root,
+                            support::ThreadPool* pool) {
     DynamicBitset roots(graph.size());
     if (root != kInvalidFunction) {
         roots.set(root);
     }
-    return reachableFrom(graph, roots);
+    return reachableFrom(graph, roots, pool);
 }
 
 }  // namespace capi::cg

@@ -4,6 +4,11 @@
 // functions f such that f is reachable from the entry point AND some member
 // of S is reachable from f — i.e. f lies on at least one call path from main
 // to S. Implemented as forward/backward BFS on word-packed bitsets.
+//
+// Every analysis takes an optional thread pool. When given one, the BFS runs
+// level-synchronously with the current frontier sharded over 64-bit word
+// ranges; per-shard partial frontiers are OR-merged, so the visited set is
+// bit-identical to the serial traversal.
 #pragma once
 
 #include <vector>
@@ -11,23 +16,31 @@
 #include "cg/call_graph.hpp"
 #include "support/bitset.hpp"
 
+namespace capi::support {
+class ThreadPool;
+}
+
 namespace capi::cg {
 
 /// Forward closure: everything reachable from `roots` via callee edges
 /// (roots included).
 support::DynamicBitset reachableFrom(const CallGraph& graph,
-                                     const support::DynamicBitset& roots);
+                                     const support::DynamicBitset& roots,
+                                     support::ThreadPool* pool = nullptr);
 
 /// Backward closure: everything that can reach `targets` via callee edges
 /// (targets included).
 support::DynamicBitset reachesTo(const CallGraph& graph,
-                                 const support::DynamicBitset& targets);
+                                 const support::DynamicBitset& targets,
+                                 support::ThreadPool* pool = nullptr);
 
 /// Functions lying on a call path from `from` (usually main) to any target.
 support::DynamicBitset onCallPath(const CallGraph& graph, FunctionId from,
-                                  const support::DynamicBitset& targets);
+                                  const support::DynamicBitset& targets,
+                                  support::ThreadPool* pool = nullptr);
 
 /// Single-root convenience.
-support::DynamicBitset reachableFrom(const CallGraph& graph, FunctionId root);
+support::DynamicBitset reachableFrom(const CallGraph& graph, FunctionId root,
+                                     support::ThreadPool* pool = nullptr);
 
 }  // namespace capi::cg

@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <map>
 
+#include "support/thread_pool.hpp"
+
 namespace capi::dyncapi {
+
+RefinementSession::RefinementSession(const cg::CallGraph& graph,
+                                     std::size_t threads)
+    : graph_(&graph), threads_(threads) {
+    if (threads != 1) {
+        pool_ = std::make_unique<support::ThreadPool>(threads);
+    }
+}
+
+RefinementSession::~RefinementSession() = default;
+
+select::SelectionReport RefinementSession::select(
+    const std::string& specText, const std::string& specName,
+    select::SelectionOptions base) const {
+    base.specText = specText;
+    base.specName = specName;
+    base.cache = &cache_;
+    base.pool = pool_.get();
+    base.threads = threads_;
+    return select::runSelection(*graph_, base);
+}
 
 RefinementResult refineIc(const select::InstrumentationConfig& ic,
                           const scorep::ProfileTree& profile,

@@ -12,12 +12,20 @@
 // not a recompilation.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cg/call_graph.hpp"
 #include "scorepsim/measurement.hpp"
 #include "scorepsim/profile.hpp"
 #include "select/ic.hpp"
+#include "select/selection_driver.hpp"
+#include "select/selector_cache.hpp"
+
+namespace capi::support {
+class ThreadPool;
+}
 
 namespace capi::dyncapi {
 
@@ -44,5 +52,52 @@ RefinementResult refineIc(const select::InstrumentationConfig& ic,
                           const scorep::ProfileTree& profile,
                           const scorep::Measurement& measurement,
                           const RefinementOptions& options = {});
+
+/// Drives repeated select -> measure -> refine rounds against one call graph.
+///
+/// The session owns a SelectorCache (and, when threads > 1, a thread pool),
+/// so every selection run through it memoizes pipeline stage results keyed by
+/// the graph's generation stamp. A later round that re-evaluates the same or
+/// an overlapping spec — the common case: only thresholds near the leaves of
+/// the selector tree change between rounds — answers unchanged stages from
+/// the cache instead of recomputing reachability closures. Runtime graph
+/// updates (a dlopen'd DSO adding nodes) bump the generation stamp and the
+/// stale entries are purged on the next access; no manual invalidation hook
+/// is needed.
+class RefinementSession {
+public:
+    /// `graph` must outlive the session. `threads` as in PipelineOptions
+    /// (1 = serial, 0 = hardware concurrency).
+    explicit RefinementSession(const cg::CallGraph& graph,
+                               std::size_t threads = 1);
+    ~RefinementSession();
+
+    RefinementSession(const RefinementSession&) = delete;
+    RefinementSession& operator=(const RefinementSession&) = delete;
+
+    /// Runs the full selection phase with the session's cache and pool.
+    /// `base` supplies resolver/oracle/flags; its specText/specName/cache/
+    /// pool/threads fields are overridden by the session.
+    select::SelectionReport select(const std::string& specText,
+                                   const std::string& specName = "spec",
+                                   select::SelectionOptions base = {}) const;
+
+    /// One refinement round (see refineIc).
+    RefinementResult refine(const select::InstrumentationConfig& ic,
+                            const scorep::ProfileTree& profile,
+                            const scorep::Measurement& measurement,
+                            const RefinementOptions& options = {}) const {
+        return refineIc(ic, profile, measurement, options);
+    }
+
+    select::SelectorCache& cache() const { return cache_; }
+    const cg::CallGraph& graph() const { return *graph_; }
+
+private:
+    const cg::CallGraph* graph_;
+    std::size_t threads_;
+    std::unique_ptr<support::ThreadPool> pool_;  ///< Null when threads <= 1.
+    mutable select::SelectorCache cache_;
+};
 
 }  // namespace capi::dyncapi

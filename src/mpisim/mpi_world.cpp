@@ -160,11 +160,18 @@ double MpiWorld::haloExchange(int rank, double virtualNow) {
 
 bool MpiWorld::initialized(int rank) const {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (rank < 0 || rank >= worldSize_) {
+        return false;  // Out-of-world ranks are never initialized; runOp
+                       // reports the bad rank with a proper error.
+    }
     return initialized_[static_cast<std::size_t>(rank)];
 }
 
 bool MpiWorld::finalized(int rank) const {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (rank < 0 || rank >= worldSize_) {
+        return false;
+    }
     return finalized_[static_cast<std::size_t>(rank)];
 }
 

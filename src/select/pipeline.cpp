@@ -1,5 +1,13 @@
 #include "select/pipeline.hpp"
 
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "spec/deps.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace capi::select {
@@ -7,6 +15,10 @@ namespace capi::select {
 Pipeline::Pipeline(const spec::SpecAst& ast, const SelectorRegistry& registry) {
     SelectorBuilder builder(registry);
     std::size_t anonymousCount = 0;
+    // Latest preceding definition per name: %refs bind to it, matching the
+    // serial shadowing rule (a redefined name hides the earlier one).
+    std::unordered_map<std::string, std::size_t> latestByName;
+    std::unordered_map<std::string, std::uint64_t> hashByName;
     for (const spec::Definition& def : ast.definitions) {
         Stage stage;
         stage.isNamed = !def.name.empty();
@@ -14,17 +26,63 @@ Pipeline::Pipeline(const spec::SpecAst& ast, const SelectorRegistry& registry) {
                          ? def.name
                          : "<anonymous:" + std::to_string(anonymousCount++) + ">";
         stage.selector = builder.build(*def.expr);
+        for (const std::string& ref : spec::collectRefs(*def.expr)) {
+            auto it = latestByName.find(ref);
+            if (it != latestByName.end()) {
+                stage.deps.push_back(it->second);
+            }
+            // Unresolved refs keep their serial behavior: evaluate() throws
+            // "used before definition" because the name is never bound.
+        }
+        stage.canonicalHash = spec::canonicalSelectorHash(*def.expr, hashByName);
+        std::size_t index = stages_.size();
+        for (std::size_t dep : stage.deps) {
+            stages_[dep].dependents.push_back(index);
+        }
+        if (stage.isNamed) {
+            latestByName[def.name] = index;
+            hashByName[def.name] = stage.canonicalHash;
+        }
         stages_.push_back(std::move(stage));
     }
 }
 
-PipelineRun Pipeline::run(const cg::CallGraph& graph) const {
+PipelineRun Pipeline::run(const cg::CallGraph& graph,
+                          const PipelineOptions& options) const {
+    support::ThreadPool* pool = options.pool;
+    std::unique_ptr<support::ThreadPool> owned;
+    if (pool == nullptr && options.threads != 1) {
+        owned = std::make_unique<support::ThreadPool>(options.threads);
+        pool = owned.get();
+    }
+    if (pool == nullptr || pool->threadCount() <= 1 || stages_.size() <= 1) {
+        return runSerial(graph, pool, options.cache);
+    }
+    return runParallel(graph, *pool, options.cache);
+}
+
+PipelineRun Pipeline::runSerial(const cg::CallGraph& graph,
+                                support::ThreadPool* pool,
+                                SelectorCache* cache) const {
     EvalContext ctx(graph);
+    ctx.pool = pool;
     PipelineRun run;
     run.result = FunctionSet(graph.size());
     for (const Stage& stage : stages_) {
         support::Timer timer;
-        FunctionSet result = stage.selector->evaluate(ctx);
+        FunctionSet result;
+        auto cached = cache != nullptr
+                          ? cache->lookup(graph.generation(), stage.canonicalHash)
+                          : nullptr;
+        if (cached != nullptr) {
+            result = *cached;
+            ++run.cacheHits;
+        } else {
+            result = stage.selector->evaluate(ctx);
+            if (cache != nullptr) {
+                cache->store(graph.generation(), stage.canonicalHash, result);
+            }
+        }
         run.timingsNs.emplace_back(stage.name, timer.elapsedNs());
         run.sizes.emplace_back(stage.name, result.count());
         if (stage.isNamed) {
@@ -32,6 +90,120 @@ PipelineRun Pipeline::run(const cg::CallGraph& graph) const {
         }
         run.result = std::move(result);  // Last stage wins (entry point).
     }
+    return run;
+}
+
+PipelineRun Pipeline::runParallel(const cg::CallGraph& graph,
+                                  support::ThreadPool& pool,
+                                  SelectorCache* cache) const {
+    const std::size_t count = stages_.size();
+
+    struct RunState {
+        std::vector<FunctionSet> results;
+        std::vector<std::uint64_t> ns;
+        std::vector<std::size_t> sizes;
+        std::vector<std::exception_ptr> errors;
+        std::unique_ptr<std::atomic<std::size_t>[]> pending;
+        std::atomic<std::size_t> remaining{0};
+        std::atomic<std::size_t> cacheHits{0};
+        std::atomic<bool> abort{false};
+        std::mutex m;
+        std::condition_variable done;
+    };
+    RunState state;
+    state.results.resize(count);
+    state.ns.resize(count, 0);
+    state.sizes.resize(count, 0);
+    state.errors.resize(count);
+    state.pending.reset(new std::atomic<std::size_t>[count]);
+    state.remaining.store(count, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < count; ++i) {
+        state.pending[i].store(stages_[i].deps.size(), std::memory_order_relaxed);
+    }
+
+    // Stage bodies run on pool workers; dependents are released as their
+    // last dependency finishes. run() returns only after `remaining` hits
+    // zero, so `state` on this stack frame outlives every task.
+    std::function<void(std::size_t)> executeStage = [&](std::size_t index) {
+        const Stage& stage = stages_[index];
+        if (!state.abort.load(std::memory_order_acquire)) {
+            try {
+                EvalContext ctx(graph);
+                ctx.pool = &pool;
+                for (std::size_t dep : stage.deps) {
+                    ctx.named[stages_[dep].name] = state.results[dep];
+                }
+                support::Timer timer;
+                FunctionSet result;
+                auto cached =
+                    cache != nullptr
+                        ? cache->lookup(graph.generation(), stage.canonicalHash)
+                        : nullptr;
+                if (cached != nullptr) {
+                    result = *cached;
+                    state.cacheHits.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    result = stage.selector->evaluate(ctx);
+                    if (cache != nullptr) {
+                        cache->store(graph.generation(), stage.canonicalHash,
+                                     result);
+                    }
+                }
+                state.ns[index] = timer.elapsedNs();
+                state.sizes[index] = result.count();
+                state.results[index] = std::move(result);
+            } catch (...) {
+                state.errors[index] = std::current_exception();
+                state.abort.store(true, std::memory_order_release);
+            }
+        }
+        for (std::size_t dependent : stages_[index].dependents) {
+            if (state.pending[dependent].fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+                pool.submit([&executeStage, dependent] { executeStage(dependent); });
+            }
+        }
+        // The decrement must happen under the mutex: `state` lives on the
+        // waiting thread's stack, and a decrement outside the lock could let
+        // the waiter observe 0 and destroy `state` while this thread is
+        // still about to lock it.
+        {
+            std::lock_guard<std::mutex> lock(state.m);
+            if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                state.done.notify_all();
+            }
+        }
+    };
+
+    for (std::size_t i = 0; i < count; ++i) {
+        if (stages_[i].deps.empty()) {
+            pool.submit([&executeStage, i] { executeStage(i); });
+        }
+    }
+    {
+        std::unique_lock<std::mutex> lock(state.m);
+        state.done.wait(lock, [&] {
+            return state.remaining.load(std::memory_order_acquire) == 0;
+        });
+    }
+
+    // Rethrow the error of the lowest-index failed stage so parallel runs
+    // report the same failure a serial evaluation would hit first.
+    for (std::size_t i = 0; i < count; ++i) {
+        if (state.errors[i]) {
+            std::rethrow_exception(state.errors[i]);
+        }
+    }
+
+    PipelineRun run;
+    run.cacheHits = state.cacheHits.load(std::memory_order_relaxed);
+    run.timingsNs.reserve(count);
+    run.sizes.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        run.timingsNs.emplace_back(stages_[i].name, state.ns[i]);
+        run.sizes.emplace_back(stages_[i].name, state.sizes[i]);
+    }
+    run.result = std::move(state.results.back());
     return run;
 }
 

@@ -1,8 +1,17 @@
 // Selection pipeline: evaluates a parsed spec against a call graph.
 //
-// Definitions are evaluated in order; named results are memoized into the
-// EvalContext so `%ref` selectors can read them. The last definition is the
-// pipeline entry point whose result is the raw selection (paper Sec. III-A).
+// Definitions form a dependency DAG through their %ref edges. The serial
+// path (threads = 1, the default) evaluates them in spec order exactly as
+// CaPI does; the parallel path schedules independent definitions
+// concurrently on a fixed-size thread pool and additionally shards the hot
+// intra-definition primitives (reachability BFS, word combinators,
+// per-function filters) across the same pool. Both paths produce
+// bit-identical FunctionSets. The last definition is the pipeline entry
+// point whose result is the raw selection (paper Sec. III-A).
+//
+// An optional SelectorCache memoizes per-definition results keyed by
+// (call-graph generation, canonical selector hash) so repeated refinement
+// rounds against an unchanged graph reuse prior stage results.
 #pragma once
 
 #include <cstdint>
@@ -11,36 +20,83 @@
 
 #include "cg/call_graph.hpp"
 #include "select/registry.hpp"
+#include "select/selector_cache.hpp"
 #include "spec/ast.hpp"
+
+namespace capi::support {
+class ThreadPool;
+}
 
 namespace capi::select {
 
+struct PipelineOptions {
+    /// Worker count for definition-level and intra-definition parallelism.
+    /// 1 = fully serial (the reference semantics); 0 = hardware concurrency.
+    /// Ignored when `pool` is provided.
+    std::size_t threads = 1;
+
+    /// External pool to run on (shared across runs to amortize thread
+    /// spin-up). When null and threads != 1, a pool is created per run.
+    support::ThreadPool* pool = nullptr;
+
+    /// Cross-run memoization of stage results; may be shared between
+    /// concurrent runs. Null disables caching.
+    SelectorCache* cache = nullptr;
+};
+
 struct PipelineRun {
     FunctionSet result;  ///< Result of the entry-point definition.
-    /// Name (or synthesized "<anonymous:i>") and wall time per definition.
+    /// Name (or synthesized "<anonymous:i>") and wall time per definition,
+    /// in definition order regardless of execution interleaving.
     std::vector<std::pair<std::string, std::uint64_t>> timingsNs;
     /// Per-definition result sizes, for selection reports.
     std::vector<std::pair<std::string, std::size_t>> sizes;
+    /// Definitions answered from the SelectorCache.
+    std::size_t cacheHits = 0;
 };
 
 class Pipeline {
 public:
-    /// Builds and validates selector trees for every definition.
+    /// Builds and validates selector trees for every definition, and
+    /// extracts the %ref dependency DAG.
     /// Throws on unknown selector types or malformed arguments.
     explicit Pipeline(const spec::SpecAst& ast,
                       const SelectorRegistry& registry = SelectorRegistry::builtin());
 
     /// Evaluates the pipeline bottom-to-top over `graph`.
-    PipelineRun run(const cg::CallGraph& graph) const;
+    PipelineRun run(const cg::CallGraph& graph) const { return run(graph, {}); }
+    PipelineRun run(const cg::CallGraph& graph,
+                    const PipelineOptions& options) const;
 
     std::size_t definitionCount() const { return stages_.size(); }
+
+    /// Stage indices stage i depends on (its resolved %refs); for tests and
+    /// diagnostics.
+    const std::vector<std::size_t>& dependenciesOf(std::size_t stage) const {
+        return stages_[stage].deps;
+    }
 
 private:
     struct Stage {
         std::string name;  ///< Display name; real name for named definitions.
         bool isNamed;
         SelectorPtr selector;
+        /// Earlier stages this one references via %name (deduplicated).
+        /// A %ref resolves to the latest preceding definition of that name,
+        /// matching serial shadowing semantics.
+        std::vector<std::size_t> deps;
+        std::vector<std::size_t> dependents;
+        /// Stable identity with refs resolved; cache key component.
+        std::uint64_t canonicalHash = 0;
     };
+
+    PipelineRun runSerial(const cg::CallGraph& graph,
+                          support::ThreadPool* pool,
+                          SelectorCache* cache) const;
+    PipelineRun runParallel(const cg::CallGraph& graph,
+                            support::ThreadPool& pool,
+                            SelectorCache* cache) const;
+
     std::vector<Stage> stages_;
 };
 

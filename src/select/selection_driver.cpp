@@ -13,7 +13,11 @@ SelectionReport runSelection(const cg::CallGraph& graph,
                             ? spec::parseSpec(options.specText, *options.resolver)
                             : spec::parseSpec(options.specText);
     Pipeline pipeline(ast);
-    PipelineRun run = pipeline.run(graph);
+    PipelineOptions pipelineOptions;
+    pipelineOptions.threads = options.threads;
+    pipelineOptions.pool = options.pool;
+    pipelineOptions.cache = options.cache;
+    PipelineRun run = pipeline.run(graph, pipelineOptions);
 
     SelectionReport report;
     report.graphNodes = graph.size();

@@ -26,6 +26,10 @@ struct SelectionOptions {
     /// Restrict the IC to functions with a body (declarations such as MPI
     /// library entry points cannot carry XRay sleds).
     bool definedOnly = true;
+    /// Parallel evaluation and cross-run memoization (see PipelineOptions).
+    std::size_t threads = 1;
+    support::ThreadPool* pool = nullptr;
+    SelectorCache* cache = nullptr;
 };
 
 struct SelectionReport {

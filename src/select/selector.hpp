@@ -15,6 +15,10 @@
 #include "cg/call_graph.hpp"
 #include "select/function_set.hpp"
 
+namespace capi::support {
+class ThreadPool;
+}
+
 namespace capi::select {
 
 /// Per-evaluation state: the graph plus results of named selector instances.
@@ -23,6 +27,11 @@ struct EvalContext {
 
     const cg::CallGraph& graph;
     std::unordered_map<std::string, FunctionSet> named;
+
+    /// Intra-definition parallelism: when non-null, selectors shard their
+    /// hot loops (reachability BFS, word combinators, per-function filters)
+    /// over this pool. Results are bit-identical to the serial path.
+    support::ThreadPool* pool = nullptr;
 
     /// Per-instance wall-clock nanoseconds, in evaluation order (diagnostics).
     std::vector<std::pair<std::string, std::uint64_t>> timings;

@@ -1,0 +1,94 @@
+#include "select/selector_cache.hpp"
+
+#include "support/hash.hpp"
+
+namespace capi::select {
+
+namespace {
+
+std::uint64_t keyOf(std::uint64_t generation, std::uint64_t selectorHash) {
+    return support::hashCombine(generation, selectorHash);
+}
+
+}  // namespace
+
+void SelectorCache::invalidateOthersLocked(std::uint64_t generation) {
+    if (generation == lastGeneration_) {
+        return;
+    }
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.generation != generation) {
+            it = entries_.erase(it);
+            ++stats_.invalidations;
+        } else {
+            ++it;
+        }
+    }
+    std::deque<std::uint64_t> surviving;
+    for (std::uint64_t key : insertionOrder_) {
+        if (entries_.count(key) != 0) {
+            surviving.push_back(key);
+        }
+    }
+    insertionOrder_ = std::move(surviving);
+    lastGeneration_ = generation;
+}
+
+std::shared_ptr<const FunctionSet> SelectorCache::lookup(
+    std::uint64_t graphGeneration, std::uint64_t selectorHash) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    invalidateOthersLocked(graphGeneration);
+    auto it = entries_.find(keyOf(graphGeneration, selectorHash));
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    return it->second.result;
+}
+
+void SelectorCache::store(std::uint64_t graphGeneration,
+                          std::uint64_t selectorHash,
+                          const FunctionSet& result) {
+    if (maxEntries_ == 0) {
+        return;  // Immutable after construction; safe to check unlocked.
+    }
+    // Copy the bitset before taking the lock so concurrent stages don't
+    // serialize on a ~51KB memcpy.
+    auto shared = std::make_shared<const FunctionSet>(result);
+    std::lock_guard<std::mutex> lock(mutex_);
+    invalidateOthersLocked(graphGeneration);
+    std::uint64_t key = keyOf(graphGeneration, selectorHash);
+    if (entries_.count(key) != 0) {
+        return;  // Concurrent stage already stored the identical result.
+    }
+    while (entries_.size() >= maxEntries_ && !insertionOrder_.empty()) {
+        // Oldest-first eviction; the key may already be gone if a generation
+        // purge removed it, so erase() on a miss is a harmless no-op.
+        if (entries_.erase(insertionOrder_.front()) != 0) {
+            ++stats_.evictions;
+        }
+        insertionOrder_.pop_front();
+    }
+    entries_.emplace(key, Entry{graphGeneration, std::move(shared)});
+    insertionOrder_.push_back(key);
+    ++stats_.insertions;
+}
+
+void SelectorCache::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    insertionOrder_.clear();
+}
+
+std::size_t SelectorCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+SelectorCache::Stats SelectorCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+}  // namespace capi::select

@@ -1,0 +1,68 @@
+// Cross-run memoization of selector stage results.
+//
+// The runtime-adaptable workflow re-runs selection repeatedly: every
+// refinement round re-evaluates a spec whose early stages (imported MPI
+// modules, reachability closures) are unchanged. The cache keys each stage
+// result on (call-graph generation stamp, canonical selector hash) so those
+// stages are answered from memory; any graph mutation changes the stamp and
+// stale entries are purged on the next access ("invalidation on update").
+//
+// Thread-safe: pipeline stages running concurrently on the DAG scheduler
+// share one cache.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "select/function_set.hpp"
+
+namespace capi::select {
+
+class SelectorCache {
+public:
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t invalidations = 0;  ///< Entries purged by generation change.
+        std::uint64_t evictions = 0;      ///< Entries dropped by the size cap.
+    };
+
+    explicit SelectorCache(std::size_t maxEntries = 4096)
+        : maxEntries_(maxEntries) {}
+
+    /// Returns the memoized result for (graphGeneration, selectorHash), or
+    /// null. Results are immutable and shared, so a hit costs a refcount
+    /// bump under the lock, not a bitset copy (entries are ~51KB at
+    /// OpenFOAM scale). Observing a new generation purges older entries.
+    std::shared_ptr<const FunctionSet> lookup(std::uint64_t graphGeneration,
+                                              std::uint64_t selectorHash);
+
+    void store(std::uint64_t graphGeneration, std::uint64_t selectorHash,
+               const FunctionSet& result);
+
+    void clear();
+    std::size_t size() const;
+    Stats stats() const;
+
+private:
+    struct Entry {
+        std::uint64_t generation = 0;
+        std::shared_ptr<const FunctionSet> result;
+    };
+
+    /// Caller must hold mutex_. Drops entries whose generation differs.
+    void invalidateOthersLocked(std::uint64_t generation);
+
+    mutable std::mutex mutex_;
+    std::size_t maxEntries_;
+    std::uint64_t lastGeneration_ = 0;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    std::deque<std::uint64_t> insertionOrder_;  ///< For size-cap eviction.
+    Stats stats_;
+};
+
+}  // namespace capi::select

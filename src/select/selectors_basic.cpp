@@ -22,13 +22,38 @@
 //   subtract(a, b)                       set difference
 //   complement(a)                        universe minus a
 
+#include <algorithm>
 #include <functional>
 
 #include "select/registry.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 
 namespace capi::select {
+
+namespace {
+
+/// Below this universe size the shard bookkeeping outweighs the loop it
+/// splits; selectors fall back to the serial path.
+constexpr std::size_t kParallelUniverseThreshold = 1 << 14;
+
+bool useParallel(const EvalContext& ctx, std::size_t universe) {
+    return ctx.pool != nullptr && ctx.pool->threadCount() > 1 &&
+           universe >= kParallelUniverseThreshold;
+}
+
+/// Shards [0, wordCount) across the pool. Each invocation of `body` owns a
+/// disjoint word range, so writes through DynamicBitset::setWord/set stay
+/// race-free and the combined result is bit-identical to one serial pass.
+void forEachWordRange(const EvalContext& ctx, std::size_t wordCount,
+                      const std::function<void(std::size_t, std::size_t)>& body) {
+    std::size_t grain =
+        std::max<std::size_t>(256, wordCount / (ctx.pool->threadCount() * 4));
+    ctx.pool->parallelFor(wordCount, grain, body);
+}
+
+}  // namespace
 
 CompareOp parseCompareOp(const std::string& text) {
     if (text == "<") return CompareOp::Lt;
@@ -93,11 +118,20 @@ public:
     FunctionSet evaluate(EvalContext& ctx) const override {
         FunctionSet in = input_->evaluate(ctx);
         FunctionSet out(ctx.graph.size());
-        in.forEach([&](cg::FunctionId id) {
-            if (predicate_(ctx.graph.desc(id))) {
-                out.add(id);
-            }
-        });
+        auto filterWords = [&](std::size_t wordBegin, std::size_t wordEnd) {
+            // A bit at index i lives in word i/64, so a worker filtering
+            // words [wordBegin, wordEnd) only writes words in that range.
+            in.bits().forEachInWordRange(wordBegin, wordEnd, [&](std::size_t id) {
+                if (predicate_(ctx.graph.desc(static_cast<cg::FunctionId>(id)))) {
+                    out.add(static_cast<cg::FunctionId>(id));
+                }
+            });
+        };
+        if (useParallel(ctx, in.universe())) {
+            forEachWordRange(ctx, in.bits().wordCount(), filterWords);
+        } else {
+            filterWords(0, in.bits().wordCount());
+        }
         return out;
     }
 
@@ -121,6 +155,29 @@ public:
 
     FunctionSet evaluate(EvalContext& ctx) const override {
         FunctionSet result = inputs_.front()->evaluate(ctx);
+        if (inputs_.size() > 1 && useParallel(ctx, result.universe())) {
+            std::vector<FunctionSet> rest;
+            rest.reserve(inputs_.size() - 1);
+            for (std::size_t i = 1; i < inputs_.size(); ++i) {
+                rest.push_back(inputs_[i]->evaluate(ctx));
+            }
+            support::DynamicBitset& acc = result.bits();
+            forEachWordRange(
+                ctx, acc.wordCount(), [&](std::size_t lo, std::size_t hi) {
+                    for (std::size_t w = lo; w < hi; ++w) {
+                        std::uint64_t v = acc.word(w);
+                        for (const FunctionSet& s : rest) {
+                            if (op_ == SetOp::Union) {
+                                v |= s.bits().word(w);
+                            } else {
+                                v &= s.bits().word(w);
+                            }
+                        }
+                        acc.setWord(w, v);
+                    }
+                });
+            return result;
+        }
         for (std::size_t i = 1; i < inputs_.size(); ++i) {
             FunctionSet next = inputs_[i]->evaluate(ctx);
             if (op_ == SetOp::Union) {
@@ -153,7 +210,18 @@ public:
 
     FunctionSet evaluate(EvalContext& ctx) const override {
         FunctionSet result = left_->evaluate(ctx);
-        result -= right_->evaluate(ctx);
+        FunctionSet right = right_->evaluate(ctx);
+        if (useParallel(ctx, result.universe())) {
+            support::DynamicBitset& acc = result.bits();
+            forEachWordRange(
+                ctx, acc.wordCount(), [&](std::size_t lo, std::size_t hi) {
+                    for (std::size_t w = lo; w < hi; ++w) {
+                        acc.setWord(w, acc.word(w) & ~right.bits().word(w));
+                    }
+                });
+        } else {
+            result -= right;
+        }
         return result;
     }
 

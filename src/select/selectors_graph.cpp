@@ -26,8 +26,8 @@ public:
 
     FunctionSet evaluate(EvalContext& ctx) const override {
         FunctionSet targets = target_->evaluate(ctx);
-        return FunctionSet::fromBits(
-            cg::onCallPath(ctx.graph, ctx.graph.entryPoint(), targets.bits()));
+        return FunctionSet::fromBits(cg::onCallPath(
+            ctx.graph, ctx.graph.entryPoint(), targets.bits(), ctx.pool));
     }
 
     std::string describe() const override {
@@ -44,7 +44,8 @@ public:
 
     FunctionSet evaluate(EvalContext& ctx) const override {
         FunctionSet sources = source_->evaluate(ctx);
-        return FunctionSet::fromBits(cg::reachableFrom(ctx.graph, sources.bits()));
+        return FunctionSet::fromBits(
+            cg::reachableFrom(ctx.graph, sources.bits(), ctx.pool));
     }
 
     std::string describe() const override {

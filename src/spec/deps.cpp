@@ -1,0 +1,72 @@
+#include "spec/deps.hpp"
+
+#include <algorithm>
+
+#include "support/hash.hpp"
+
+namespace capi::spec {
+
+namespace {
+
+void collectRefsInto(const Expr& expr, std::vector<std::string>& out) {
+    if (expr.kind == Expr::Kind::Ref) {
+        if (std::find(out.begin(), out.end(), expr.value) == out.end()) {
+            out.push_back(expr.value);
+        }
+    }
+    for (const ExprPtr& arg : expr.args) {
+        collectRefsInto(*arg, out);
+    }
+}
+
+// Distinct tags keep e.g. the string "x" and a call named x from colliding.
+enum : std::uint64_t {
+    kTagEverything = 0xE1,
+    kTagNumber = 0xE2,
+    kTagString = 0xE3,
+    kTagRefFree = 0xE5,
+    kTagCall = 0xE6,
+};
+
+}  // namespace
+
+std::vector<std::string> collectRefs(const Expr& expr) {
+    std::vector<std::string> out;
+    collectRefsInto(expr, out);
+    return out;
+}
+
+std::uint64_t canonicalSelectorHash(
+    const Expr& expr,
+    const std::unordered_map<std::string, std::uint64_t>& bindings) {
+    using support::fnv1a;
+    using support::hashCombine;
+    switch (expr.kind) {
+        case Expr::Kind::Everything:
+            return hashCombine(kTagEverything, 0);
+        case Expr::Kind::Number:
+            return hashCombine(kTagNumber,
+                               static_cast<std::uint64_t>(expr.number));
+        case Expr::Kind::String:
+            return hashCombine(kTagString, fnv1a(expr.value));
+        case Expr::Kind::Ref: {
+            // A bound reference evaluates to exactly the referenced
+            // definition's result, so it shares that definition's identity
+            // untagged — `k = f(...); %k` hashes equal to `f(...)`.
+            auto it = bindings.find(expr.value);
+            return it != bindings.end()
+                       ? it->second
+                       : hashCombine(kTagRefFree, fnv1a(expr.value));
+        }
+        case Expr::Kind::Call: {
+            std::uint64_t h = hashCombine(kTagCall, fnv1a(expr.value));
+            for (const ExprPtr& arg : expr.args) {
+                h = hashCombine(h, canonicalSelectorHash(*arg, bindings));
+            }
+            return h;
+        }
+    }
+    return 0;
+}
+
+}  // namespace capi::spec

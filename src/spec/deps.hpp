@@ -1,0 +1,35 @@
+// %ref dependency extraction and canonical hashing over the spec AST.
+//
+// The parallel pipeline schedules definitions as a DAG: definition B depends
+// on definition A iff B's expression references %A (at any nesting depth).
+// collectRefs() extracts those edges.
+//
+// canonicalSelectorHash() produces a stable 64-bit identity for a definition
+// *with its references resolved*: a %name node contributes the hash of the
+// definition it is bound to, not the name itself. Two textually different
+// specs that denote the same selector tree over the same inputs therefore
+// hash equal, which is what lets the selector cache carry results across
+// refinement rounds and across specs sharing imported modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spec/ast.hpp"
+
+namespace capi::spec {
+
+/// Names referenced via %name anywhere inside `expr`, depth-first, deduplicated.
+std::vector<std::string> collectRefs(const Expr& expr);
+
+/// Stable content hash of `expr` with %name nodes resolved through
+/// `bindings` (name -> hash of the bound definition). Unbound names hash by
+/// name alone; evaluating such a selector fails anyway, so the collision
+/// surface is irrelevant.
+std::uint64_t canonicalSelectorHash(
+    const Expr& expr,
+    const std::unordered_map<std::string, std::uint64_t>& bindings);
+
+}  // namespace capi::spec

@@ -74,7 +74,33 @@ public:
     /// Calls fn(index) for every set bit, in increasing order.
     template <typename Fn>
     void forEach(Fn&& fn) const {
-        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+        forEachInWordRange(0, words_.size(), fn);
+    }
+
+    // --- word-level access (parallel shard interface) ----------------------
+    // The parallel selection engine shards set algebra and BFS frontiers over
+    // disjoint 64-bit word ranges; each worker only reads/writes words in its
+    // own range, so results are bit-identical to the serial loops.
+
+    std::size_t wordCount() const noexcept { return words_.size(); }
+
+    std::uint64_t word(std::size_t wi) const { return words_[wi]; }
+
+    /// Overwrites word `wi`. The caller may pass an unmasked value for the
+    /// final partial word; bits beyond size() are cleared to keep count()
+    /// and operator== exact.
+    void setWord(std::size_t wi, std::uint64_t value) {
+        words_[wi] = value;
+        if (wi + 1 == words_.size()) {
+            trimTail();
+        }
+    }
+
+    /// forEach restricted to set bits in words [wordBegin, wordEnd).
+    template <typename Fn>
+    void forEachInWordRange(std::size_t wordBegin, std::size_t wordEnd,
+                            Fn&& fn) const {
+        for (std::size_t wi = wordBegin; wi < wordEnd; ++wi) {
             std::uint64_t w = words_[wi];
             while (w != 0) {
                 unsigned bit = static_cast<unsigned>(__builtin_ctzll(w));

@@ -1,0 +1,34 @@
+// Stable 64-bit hashing for cache keys.
+//
+// FNV-1a plus a splitmix-style combiner: deterministic across platforms and
+// runs (unlike std::hash), which matters because selector-cache keys are
+// compared against values computed in earlier refinement rounds.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace capi::support {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+constexpr std::uint64_t fnv1a(std::string_view text,
+                              std::uint64_t seed = kFnvOffsetBasis) {
+    std::uint64_t h = seed;
+    for (char c : text) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/// Mixes `value` into `seed` (order-sensitive).
+constexpr std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t value) {
+    std::uint64_t z = seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace capi::support

@@ -8,7 +8,11 @@
 // Usage:
 //   capi_tool --cg graph.metacg --spec selection.capi --output ic.json
 //             [--filter-format] [--symbols nm.txt] [--module-path DIR]
-//             [--no-inline-compensation] [--verbose]
+//             [--no-inline-compensation] [--threads N] [--verbose]
+//
+// --threads N evaluates the pipeline on the parallel selection engine
+// (N = 0 means hardware concurrency); results are bit-identical to the
+// default serial evaluation.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,6 +35,7 @@ struct Args {
     bool filterFormat = false;
     bool inlineCompensation = true;
     bool verbose = false;
+    std::size_t threads = 1;
 };
 
 void usage() {
@@ -39,7 +44,8 @@ void usage() {
                  "--output <ic>\n"
                  "       [--filter-format] [--symbols <nm.txt>] "
                  "[--module-path <dir>]...\n"
-                 "       [--no-inline-compensation] [--verbose]\n");
+                 "       [--no-inline-compensation] [--threads <n>] "
+                 "[--verbose]\n");
 }
 
 std::string readFile(const std::string& path) {
@@ -72,6 +78,22 @@ int main(int argc, char** argv) {
         else if (arg == "--module-path") args.modulePaths.push_back(next());
         else if (arg == "--filter-format") args.filterFormat = true;
         else if (arg == "--no-inline-compensation") args.inlineCompensation = false;
+        else if (arg == "--threads") {
+            // std::stoul alone accepts "-1" (wraps) and "4abc"; require a
+            // pure decimal value.
+            std::string value = next();
+            bool numeric = !value.empty() &&
+                           value.find_first_not_of("0123456789") == std::string::npos;
+            try {
+                if (!numeric) throw std::invalid_argument(value);
+                args.threads = static_cast<std::size_t>(std::stoul(value));
+            } catch (const std::exception&) {
+                std::fprintf(stderr,
+                             "capi_tool: --threads expects a non-negative "
+                             "number, got '%s'\n", value.c_str());
+                return 2;
+            }
+        }
         else if (arg == "--verbose") args.verbose = true;
         else {
             usage();
@@ -109,6 +131,7 @@ int main(int argc, char** argv) {
         options.resolver = &resolver;
         options.symbolOracle = haveSymbols ? &oracle : nullptr;
         options.applyInlineCompensation = args.inlineCompensation && haveSymbols;
+        options.threads = args.threads;
 
         capi::select::SelectionReport report =
             capi::select::runSelection(graph, options);
