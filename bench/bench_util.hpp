@@ -1,9 +1,12 @@
-// Shared helpers for the table-reproduction benches.
+// Shared helpers for the table-reproduction and micro benches.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <map>
 #include <string>
 
+#include "apps/openfoam.hpp"
 #include "apps/specs.hpp"
 #include "binsim/compiler.hpp"
 #include "cg/call_graph.hpp"
@@ -13,6 +16,24 @@
 #include "support/strings.hpp"
 
 namespace capi::bench {
+
+/// Cache of scaled OpenFOAM whole-program graphs (construction excluded from
+/// bench timing). One copy shared by every micro bench TU, so Node-vs-CSR
+/// and selector cases always measure identically built graphs.
+inline const cg::CallGraph& scaledOpenFoamGraph(std::uint32_t nodes) {
+    static std::map<std::uint32_t, cg::CallGraph> cache;
+    auto it = cache.find(nodes);
+    if (it == cache.end()) {
+        apps::OpenFoamParams params;
+        params.targetNodes = nodes;
+        cg::MetaCgBuilder builder;
+        it = cache
+                 .emplace(nodes,
+                          builder.build(apps::makeOpenFoam(params).toSourceModel()))
+                 .first;
+    }
+    return it->second;
+}
 
 /// A prepared application: model, whole-program CG and compiled images.
 struct PreparedApp {

@@ -1,15 +1,19 @@
 // Micro-benchmarks of the MetaCG substrate: local construction, whole-program
-// merge and JSON (de)serialization throughput.
+// merge, JSON (de)serialization throughput, and Node-vs-CSR adjacency
+// traversal (the data-layout win every selector rides on).
 #include <benchmark/benchmark.h>
 
 #include "apps/lulesh.hpp"
 #include "apps/openfoam.hpp"
+#include "bench_util.hpp"
+#include "cg/csr_view.hpp"
 #include "cg/metacg_builder.hpp"
 #include "cg/metacg_json.hpp"
 
 namespace {
 
 using namespace capi;
+using bench::scaledOpenFoamGraph;
 
 binsim::AppModel modelOfSize(std::uint32_t nodes) {
     apps::OpenFoamParams params;
@@ -54,6 +58,54 @@ void BM_MetaCgFromJson(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MetaCgFromJson)->Arg(10000)->Arg(50000);
+
+// --- Node-vs-CSR traversal -------------------------------------------------
+// The same whole-graph edge walk (every callee row, then every caller row),
+// first through CallGraph::Node's per-node vectors, then through the flat
+// CsrView arrays. The delta is the cache-locality win the CSR-backed
+// selectors inherit.
+
+void BM_NodeAdjacencyTraversal(benchmark::State& state) {
+    const cg::CallGraph& graph =
+        scaledOpenFoamGraph(static_cast<std::uint32_t>(state.range(0)));
+    for (auto _ : state) {
+        std::uint64_t sum = 0;
+        for (cg::FunctionId id = 0; id < graph.size(); ++id) {
+            for (cg::FunctionId callee : graph.callees(id)) sum += callee;
+            for (cg::FunctionId caller : graph.callers(id)) sum += caller;
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * graph.edgeCount());
+}
+BENCHMARK(BM_NodeAdjacencyTraversal)->Arg(10000)->Arg(50000)->Arg(200000);
+
+void BM_CsrAdjacencyTraversal(benchmark::State& state) {
+    const cg::CallGraph& graph =
+        scaledOpenFoamGraph(static_cast<std::uint32_t>(state.range(0)));
+    cg::CsrView csr(graph);
+    for (auto _ : state) {
+        std::uint64_t sum = 0;
+        for (cg::FunctionId id = 0; id < csr.size(); ++id) {
+            for (cg::FunctionId callee : csr.callees(id)) sum += callee;
+            for (cg::FunctionId caller : csr.callers(id)) sum += caller;
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * csr.edgeCount());
+}
+BENCHMARK(BM_CsrAdjacencyTraversal)->Arg(10000)->Arg(50000)->Arg(200000);
+
+void BM_CsrViewBuild(benchmark::State& state) {
+    const cg::CallGraph& graph =
+        scaledOpenFoamGraph(static_cast<std::uint32_t>(state.range(0)));
+    for (auto _ : state) {
+        cg::CsrView csr(graph);
+        benchmark::DoNotOptimize(csr.edgeCount());
+    }
+    state.SetItemsProcessed(state.iterations() * graph.size());
+}
+BENCHMARK(BM_CsrViewBuild)->Arg(10000)->Arg(50000)->Arg(200000);
 
 void BM_LuleshModelGeneration(benchmark::State& state) {
     for (auto _ : state) {

@@ -11,9 +11,8 @@
 // every stage answered from the selector cache.
 #include <benchmark/benchmark.h>
 
-#include <map>
-
 #include "apps/openfoam.hpp"
+#include "bench_util.hpp"
 #include "cg/metacg_builder.hpp"
 #include "select/pipeline.hpp"
 #include "select/selector_cache.hpp"
@@ -23,6 +22,7 @@
 namespace {
 
 using namespace capi;
+using bench::scaledOpenFoamGraph;
 
 /// The multi-definition workload: four independent leaf stages, a diamond
 /// of combinators, and two reachability closures.
@@ -36,25 +36,9 @@ const char* kWideSpec =
     "wide = join(%paths, onCallPathFrom(%chatty))\n"
     "subtract(%wide, %excluded)\n";
 
-/// Cache of scaled OpenFOAM graphs (construction excluded from timing).
-const cg::CallGraph& graphOfSize(std::uint32_t nodes) {
-    static std::map<std::uint32_t, cg::CallGraph> cache;
-    auto it = cache.find(nodes);
-    if (it == cache.end()) {
-        apps::OpenFoamParams params;
-        params.targetNodes = nodes;
-        cg::MetaCgBuilder builder;
-        it = cache
-                 .emplace(nodes,
-                          builder.build(apps::makeOpenFoam(params).toSourceModel()))
-                 .first;
-    }
-    return it->second;
-}
-
 void BM_SerialPipeline(benchmark::State& state) {
     const cg::CallGraph& graph =
-        graphOfSize(static_cast<std::uint32_t>(state.range(0)));
+        scaledOpenFoamGraph(static_cast<std::uint32_t>(state.range(0)));
     select::Pipeline pipeline(spec::parseSpec(kWideSpec));
     for (auto _ : state) {
         benchmark::DoNotOptimize(pipeline.run(graph).result.count());
@@ -66,7 +50,7 @@ BENCHMARK(BM_SerialPipeline)->Arg(50000)->Arg(410666)
 
 void BM_ParallelPipeline(benchmark::State& state) {
     const cg::CallGraph& graph =
-        graphOfSize(static_cast<std::uint32_t>(state.range(0)));
+        scaledOpenFoamGraph(static_cast<std::uint32_t>(state.range(0)));
     select::Pipeline pipeline(spec::parseSpec(kWideSpec));
     support::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
     select::PipelineOptions options;
@@ -84,7 +68,7 @@ BENCHMARK(BM_ParallelPipeline)
 
 void BM_CachedPipeline(benchmark::State& state) {
     const cg::CallGraph& graph =
-        graphOfSize(static_cast<std::uint32_t>(state.range(0)));
+        scaledOpenFoamGraph(static_cast<std::uint32_t>(state.range(0)));
     select::Pipeline pipeline(spec::parseSpec(kWideSpec));
     select::SelectorCache cache;
     select::PipelineOptions options;

@@ -1,40 +1,43 @@
 // Micro-benchmarks of selector evaluation: how the Table I "Time" column
-// scales with call-graph size for the interesting selector types.
+// scales with call-graph size for the interesting selector types, plus
+// serial-vs-parallel cases for the CSR-backed graph selectors (SCC
+// condensation, coarse, k-hop neighbor expansion).
 #include <benchmark/benchmark.h>
 
 #include "apps/openfoam.hpp"
 #include "apps/specs.hpp"
+#include "bench_util.hpp"
 #include "cg/metacg_builder.hpp"
 #include "select/pipeline.hpp"
 #include "spec/parser.hpp"
+#include "support/executor.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
 using namespace capi;
+using bench::scaledOpenFoamGraph;
 
-/// Cache of scaled OpenFOAM graphs (construction excluded from timing).
-const cg::CallGraph& graphOfSize(std::uint32_t nodes) {
-    static std::map<std::uint32_t, cg::CallGraph> cache;
-    auto it = cache.find(nodes);
-    if (it == cache.end()) {
-        apps::OpenFoamParams params;
-        params.targetNodes = nodes;
-        cg::MetaCgBuilder builder;
-        it = cache.emplace(nodes, builder.build(apps::makeOpenFoam(params).toSourceModel()))
-                 .first;
-    }
-    return it->second;
-}
-
-void runSpecBench(benchmark::State& state, const std::string& specText) {
-    const cg::CallGraph& graph = graphOfSize(static_cast<std::uint32_t>(state.range(0)));
+void runSpecBench(benchmark::State& state, const std::string& specText,
+                  bool parallel = false) {
+    const cg::CallGraph& graph =
+        scaledOpenFoamGraph(static_cast<std::uint32_t>(state.range(0)));
     static spec::ModuleResolver resolver = apps::bundledResolver();
     spec::SpecAst ast = spec::parseSpec(specText, resolver);
     select::Pipeline pipeline(ast);
+    select::PipelineOptions options;
+    if (parallel) {
+        // The shared Executor pool, as production runs would borrow it.
+        options.pool = &support::Executor::pool();
+    }
     for (auto _ : state) {
-        benchmark::DoNotOptimize(pipeline.run(graph).result.count());
+        benchmark::DoNotOptimize(pipeline.run(graph, options).result.count());
     }
     state.SetItemsProcessed(state.iterations() * graph.size());
+    if (parallel) {
+        state.counters["threads"] =
+            static_cast<double>(support::Executor::pool().threadCount());
+    }
 }
 
 void BM_MetricSelector(benchmark::State& state) {
@@ -55,12 +58,48 @@ BENCHMARK(BM_CoarseSelector)->Arg(10000)->Arg(50000)->Arg(200000);
 void BM_StatementAggregation(benchmark::State& state) {
     runSpecBench(state, "statementAggregation(\">=\", 100)");
 }
-BENCHMARK(BM_StatementAggregation)->Arg(10000)->Arg(50000)->Arg(200000);
+BENCHMARK(BM_StatementAggregation)
+    ->Arg(10000)->Arg(50000)->Arg(200000)->Arg(410666);
 
 void BM_MpiSpecFull(benchmark::State& state) {
     runSpecBench(state, apps::mpiSpec());
 }
 BENCHMARK(BM_MpiSpecFull)->Arg(10000)->Arg(50000)->Arg(200000);
+
+// --- serial vs parallel, CSR-backed graph selectors ------------------------
+// Same spec, same graph; the parallel variants shard the SCC condensation,
+// the coarse filter and the neighbor expansions over the Executor pool.
+// Results are bit-identical; only the wall clock moves.
+
+void BM_StatementAggregationParallel(benchmark::State& state) {
+    runSpecBench(state, "statementAggregation(\">=\", 100)", /*parallel=*/true);
+}
+BENCHMARK(BM_StatementAggregationParallel)->Arg(50000)->Arg(200000)->Arg(410666);
+
+void BM_CoarseParallel(benchmark::State& state) {
+    runSpecBench(state, apps::kernelsCoarseSpec(), /*parallel=*/true);
+}
+BENCHMARK(BM_CoarseParallel)->Arg(50000)->Arg(200000);
+
+void BM_CallersOneHopSerial(benchmark::State& state) {
+    runSpecBench(state, "callers(flops(\">=\", 10, %%))");
+}
+BENCHMARK(BM_CallersOneHopSerial)->Arg(50000)->Arg(200000)->Arg(410666);
+
+void BM_CallersOneHopParallel(benchmark::State& state) {
+    runSpecBench(state, "callers(flops(\">=\", 10, %%))", /*parallel=*/true);
+}
+BENCHMARK(BM_CallersOneHopParallel)->Arg(50000)->Arg(200000)->Arg(410666);
+
+void BM_CalleesThreeHopSerial(benchmark::State& state) {
+    runSpecBench(state, "callees(flops(\">=\", 10, %%), 3)");
+}
+BENCHMARK(BM_CalleesThreeHopSerial)->Arg(50000)->Arg(200000);
+
+void BM_CalleesThreeHopParallel(benchmark::State& state) {
+    runSpecBench(state, "callees(flops(\">=\", 10, %%), 3)", /*parallel=*/true);
+}
+BENCHMARK(BM_CalleesThreeHopParallel)->Arg(50000)->Arg(200000);
 
 }  // namespace
 

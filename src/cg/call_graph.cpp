@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <atomic>
 
+#include "support/error.hpp"
+
 namespace capi::cg {
+
+void CallGraph::throwRenameError(const std::string& name) {
+    throw support::Error("mutateDesc must not rename '" + name +
+                         "': the name is the lookup index key");
+}
 
 std::uint64_t CallGraph::nextGenerationStamp() {
     // Process-global so a stamp never repeats across graph instances: a

@@ -11,6 +11,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cg/types.hpp"
@@ -46,11 +47,41 @@ public:
     std::size_t size() const noexcept { return nodes_.size(); }
 
     const Node& node(FunctionId id) const { return nodes_[id]; }
-    Node& node(FunctionId id) { return nodes_[id]; }
     const FunctionDesc& desc(FunctionId id) const { return nodes_[id].desc; }
     const std::string& name(FunctionId id) const { return nodes_[id].desc.name; }
     const std::vector<FunctionId>& callees(FunctionId id) const { return nodes_[id].callees; }
     const std::vector<FunctionId>& callers(FunctionId id) const { return nodes_[id].callers; }
+    const std::vector<FunctionId>& overrides(FunctionId id) const { return nodes_[id].overrides; }
+    const std::vector<FunctionId>& overriddenBy(FunctionId id) const {
+        return nodes_[id].overriddenBy;
+    }
+
+    /// Explicit metadata mutation. There is deliberately no non-const node()
+    /// accessor: every mutation must go through a method that bumps the
+    /// generation stamp, otherwise SelectorCache entries and CsrView
+    /// snapshots keyed on the stamp would keep serving pre-mutation results.
+    /// The stamp is bumped BEFORE the mutator runs, so even a mutator that
+    /// throws mid-write leaves the graph marked changed rather than serving
+    /// a half-mutated revision as fresh. Renaming is rejected (the name is
+    /// the byName_ index key): the write is reverted and an error thrown —
+    /// including when the mutator renames and then throws itself.
+    template <typename Fn>
+    void mutateDesc(FunctionId id, Fn&& mutate) {
+        generation_ = nextGenerationStamp();
+        std::string original = nodes_[id].desc.name;
+        try {
+            mutate(nodes_[id].desc);
+        } catch (...) {
+            // Noexcept move: restoring the index key cannot itself throw
+            // while an exception is in flight.
+            nodes_[id].desc.name = std::move(original);
+            throw;
+        }
+        if (nodes_[id].desc.name != original) {
+            nodes_[id].desc.name = std::move(original);
+            throwRenameError(nodes_[id].desc.name);
+        }
+    }
 
     /// The program entry point; by convention the node named "main" unless
     /// overridden. kInvalidFunction when no entry is known.
@@ -62,11 +93,11 @@ public:
 
     /// Content-version stamp: unique across every graph in the process and
     /// bumped by every mutating call (addFunction/addCallEdge/addOverride/
-    /// setEntryPoint). Two graphs with the same stamp are the same object at
-    /// the same revision, so selector caches key memoized results on it and
-    /// drop them automatically when the graph changes (e.g. a dlopen'd DSO
-    /// adds nodes at runtime). Mutating nodes directly through the non-const
-    /// node() accessor does NOT bump the stamp.
+    /// setEntryPoint/mutateDesc). Two graphs with the same stamp have the
+    /// same content, so selector caches and CsrView snapshots key memoized
+    /// results on it and drop them automatically when the graph changes
+    /// (e.g. a dlopen'd DSO adds nodes at runtime). All mutation goes through
+    /// the methods above — there is no stamp-bypassing mutable access.
     std::uint64_t generation() const noexcept { return generation_; }
 
     std::size_t edgeCount() const;
@@ -76,6 +107,7 @@ public:
 
 private:
     static std::uint64_t nextGenerationStamp();
+    [[noreturn]] static void throwRenameError(const std::string& name);
 
     std::vector<Node> nodes_;
     std::unordered_map<std::string, FunctionId> byName_;

@@ -1,0 +1,132 @@
+#include "cg/csr_view.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+
+#include "cg/call_graph.hpp"
+
+namespace capi::cg {
+
+namespace {
+
+/// Flattens one adjacency relation into CSR form. The per-node vectors are
+/// already sorted and unique, so a straight copy preserves that invariant.
+template <typename RowGetter>
+void buildRows(std::size_t n, RowGetter&& rowOf, std::vector<std::uint32_t>& offsets,
+               std::vector<FunctionId>& edges) {
+    offsets.resize(n + 1);
+    std::size_t total = 0;
+    for (std::size_t id = 0; id < n; ++id) {
+        offsets[id] = static_cast<std::uint32_t>(total);
+        total += rowOf(static_cast<FunctionId>(id)).size();
+    }
+    offsets[n] = static_cast<std::uint32_t>(total);
+    edges.reserve(total);
+    for (std::size_t id = 0; id < n; ++id) {
+        const auto& row = rowOf(static_cast<FunctionId>(id));
+        edges.insert(edges.end(), row.begin(), row.end());
+    }
+}
+
+}  // namespace
+
+CsrView::CsrView(const CallGraph& graph) {
+    const std::size_t n = graph.size();
+    generation_ = graph.generation();
+    nodeCount_ = n;
+    entry_ = graph.entryPoint();
+
+    buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
+        return graph.callees(id);
+    }, callees_.offsets, callees_.edges);
+    buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
+        return graph.callers(id);
+    }, callers_.offsets, callers_.edges);
+    buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
+        return graph.overrides(id);
+    }, overrides_.offsets, overrides_.edges);
+    buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
+        return graph.overriddenBy(id);
+    }, overriddenBy_.offsets, overriddenBy_.edges);
+
+    nameOffsets_.resize(n + 1);
+    std::size_t arenaBytes = 0;
+    for (std::size_t id = 0; id < n; ++id) {
+        nameOffsets_[id] = static_cast<std::uint32_t>(arenaBytes);
+        arenaBytes += graph.name(static_cast<FunctionId>(id)).size();
+    }
+    nameOffsets_[n] = static_cast<std::uint32_t>(arenaBytes);
+    nameArena_.reserve(arenaBytes);
+    numStatements_.resize(n);
+    for (std::size_t id = 0; id < n; ++id) {
+        nameArena_ += graph.name(static_cast<FunctionId>(id));
+        numStatements_[id] =
+            graph.desc(static_cast<FunctionId>(id)).metrics.numStatements;
+    }
+}
+
+std::shared_ptr<const CsrView> CsrView::snapshot(const CallGraph& graph) {
+    // Keyed by generation stamp alone: stamps are process-unique, every
+    // mutation assigns a fresh one, and graph copies sharing a stamp have
+    // identical content — so a hit is always the right snapshot. Bounded FIFO
+    // because OpenFOAM-scale views are tens of MB; a handful of live graph
+    // revisions per process is the realistic working set.
+    //
+    // The mutex guards only the registry; the O(V+E) build itself runs
+    // outside it. Each generation's entry is a shared_future, so concurrent
+    // requests for the SAME generation wait on one build (no duplicate
+    // work), while snapshots of unrelated graphs/generations build fully in
+    // parallel.
+    using ViewFuture = std::shared_future<std::shared_ptr<const CsrView>>;
+    constexpr std::size_t kMaxCachedViews = 4;
+    static std::mutex mutex;
+    static std::unordered_map<std::uint64_t, ViewFuture> cache;
+    static std::deque<std::uint64_t> order;
+
+    const std::uint64_t generation = graph.generation();
+    std::promise<std::shared_ptr<const CsrView>> promise;
+    ViewFuture future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(generation);
+        if (it != cache.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            cache.emplace(generation, future);
+            order.push_back(generation);
+            while (order.size() > kMaxCachedViews) {
+                // Evicting a future someone still waits on is fine: their
+                // shared_future copies keep the state alive.
+                cache.erase(order.front());
+                order.pop_front();
+            }
+            builder = true;
+        }
+    }
+    if (!builder) {
+        return future.get();  // Rethrows if the builder failed.
+    }
+    try {
+        auto view = std::make_shared<const CsrView>(graph);
+        promise.set_value(view);
+        return view;
+    } catch (...) {
+        // Unblock waiters with the error and drop the entry so the next
+        // caller retries instead of inheriting a poisoned future.
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mutex);
+        cache.erase(generation);
+        auto pos = std::find(order.begin(), order.end(), generation);
+        if (pos != order.end()) {
+            order.erase(pos);
+        }
+        throw;
+    }
+}
+
+}  // namespace capi::cg

@@ -1,0 +1,96 @@
+// Immutable, data-oriented CSR snapshot of a CallGraph.
+//
+// CallGraph::Node keeps four per-node std::vectors, which is the right shape
+// for incremental construction (MetaCG merge, dlopen-time node additions) but
+// the wrong shape for analysis: every traversal pointer-chases through
+// separately allocated adjacency vectors and drags the cold FunctionDesc
+// strings through the cache with it. CsrView flattens each edge relation into
+// one offsets array plus one edge array (compressed sparse row), interns all
+// function names into a single arena, and lifts the metrics the hot selectors
+// read (statement counts) into flat arrays. A whole-graph BFS/Tarjan walk then
+// touches a handful of contiguous allocations instead of ~4 per node.
+//
+// Snapshots are immutable and keyed by CallGraph::generation(): snapshot()
+// builds lazily on first use after a mutation and returns the same shared
+// instance for every caller at the same stamp, so all pipeline stages of a
+// run (and repeated runs against an unchanged graph) share one view. Because
+// generation stamps are process-unique and every CallGraph mutation assigns a
+// fresh one, a cached view can never be served for a graph revision it was
+// not built from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cg/types.hpp"
+
+namespace capi::cg {
+
+class CallGraph;
+
+class CsrView {
+public:
+    /// The shared snapshot of `graph` at its current generation. Built on
+    /// first use after a mutation; later calls at the same stamp return the
+    /// same instance (thread-safe, bounded process-wide registry).
+    static std::shared_ptr<const CsrView> snapshot(const CallGraph& graph);
+
+    /// Direct build, bypassing the registry (benchmarks, tests).
+    explicit CsrView(const CallGraph& graph);
+
+    std::uint64_t generation() const noexcept { return generation_; }
+    std::size_t size() const noexcept { return nodeCount_; }
+    std::size_t edgeCount() const noexcept { return callees_.edges.size(); }
+    FunctionId entryPoint() const noexcept { return entry_; }
+
+    // Adjacency rows. Each span aliases one flat array; element order is the
+    // CallGraph's (sorted, unique), so row contents are comparable 1:1.
+    std::span<const FunctionId> callees(FunctionId id) const { return callees_.row(id); }
+    std::span<const FunctionId> callers(FunctionId id) const { return callers_.row(id); }
+    std::span<const FunctionId> overrides(FunctionId id) const { return overrides_.row(id); }
+    std::span<const FunctionId> overriddenBy(FunctionId id) const {
+        return overriddenBy_.row(id);
+    }
+
+    std::size_t calleeCount(FunctionId id) const { return callees_.degree(id); }
+    std::size_t callerCount(FunctionId id) const { return callers_.degree(id); }
+
+    /// Mangled name, viewing the interned arena (valid as long as the view).
+    std::string_view name(FunctionId id) const {
+        return {nameArena_.data() + nameOffsets_[id],
+                nameOffsets_[id + 1] - nameOffsets_[id]};
+    }
+
+    /// Flat copy of desc(id).metrics.numStatements (statementAggregation's
+    /// hot read; avoids touching FunctionDesc in the aggregation loops).
+    std::uint32_t numStatements(FunctionId id) const { return numStatements_[id]; }
+
+private:
+    struct Rows {
+        std::vector<std::uint32_t> offsets;  ///< size() + 1 entries.
+        std::vector<FunctionId> edges;
+
+        std::span<const FunctionId> row(FunctionId id) const {
+            return {edges.data() + offsets[id], edges.data() + offsets[id + 1]};
+        }
+        std::size_t degree(FunctionId id) const {
+            return offsets[id + 1] - offsets[id];
+        }
+    };
+
+    std::uint64_t generation_ = 0;
+    std::size_t nodeCount_ = 0;
+    FunctionId entry_ = kInvalidFunction;
+    Rows callees_;
+    Rows callers_;
+    Rows overrides_;
+    Rows overriddenBy_;
+    std::string nameArena_;
+    std::vector<std::uint32_t> nameOffsets_;
+    std::vector<std::uint32_t> numStatements_;
+};
+
+}  // namespace capi::cg

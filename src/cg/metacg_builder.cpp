@@ -109,7 +109,7 @@ CallGraph MetaCgBuilder::merge(const std::vector<LocalCallGraph>& locals,
                     whole.addCallEdge(caller, target);
                     ++stats_.virtualEdges;
                 }
-                for (FunctionId derived : whole.node(target).overriddenBy) {
+                for (FunctionId derived : whole.overriddenBy(target)) {
                     if (seen.insert(derived).second) {
                         queue.push_back(derived);
                     }

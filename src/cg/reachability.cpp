@@ -16,13 +16,16 @@ namespace {
 /// neighbor scan it parallelizes.
 constexpr std::size_t kParallelFrontierThreshold = 256;
 
+std::span<const FunctionId> rowOf(const CsrView& csr, FunctionId id, EdgeDir dir) {
+    return dir == EdgeDir::Callees ? csr.callees(id) : csr.callers(id);
+}
+
 /// Serial queue BFS over either edge direction (the original algorithm;
 /// kept as the small-graph / no-pool path and as the oracle the parallel
 /// traversal must match bit for bit).
-template <typename NeighborFn>
-DynamicBitset serialClosure(const CallGraph& graph, const DynamicBitset& seeds,
-                            NeighborFn&& neighbors) {
-    DynamicBitset visited(graph.size());
+DynamicBitset serialClosure(const CsrView& csr, const DynamicBitset& seeds,
+                            EdgeDir dir) {
+    DynamicBitset visited(csr.size());
     std::deque<FunctionId> queue;
     seeds.forEach([&](std::size_t id) {
         visited.set(id);
@@ -31,7 +34,7 @@ DynamicBitset serialClosure(const CallGraph& graph, const DynamicBitset& seeds,
     while (!queue.empty()) {
         FunctionId current = queue.front();
         queue.pop_front();
-        for (FunctionId next : neighbors(current)) {
+        for (FunctionId next : rowOf(csr, current, dir)) {
             if (!visited.test(next)) {
                 visited.set(next);
                 queue.push_back(next);
@@ -41,53 +44,57 @@ DynamicBitset serialClosure(const CallGraph& graph, const DynamicBitset& seeds,
     return visited;
 }
 
-/// Level-synchronous frontier BFS with the frontier sharded over word
-/// ranges. Each worker expands the frontier bits inside its own word range
-/// into a private partial bitset; partials are OR-merged into the next
-/// frontier. Set union is order-independent, so the result is bit-identical
-/// to serialClosure().
-template <typename NeighborFn>
-DynamicBitset parallelClosure(const CallGraph& graph,
-                              const DynamicBitset& seeds,
-                              NeighborFn&& neighbors,
-                              support::ThreadPool& pool) {
-    DynamicBitset visited(graph.size());
+/// One frontier expansion with the frontier sharded over word ranges. Each
+/// worker expands the frontier bits inside its own word range into a private
+/// partial bitset; partials are OR-merged. Set union is order-independent,
+/// so the result is bit-identical to a serial scan.
+DynamicBitset expandFrontier(const CsrView& csr, const DynamicBitset& frontier,
+                             EdgeDir dir, support::ThreadPool* pool) {
+    DynamicBitset next(csr.size());
+    const std::size_t words = frontier.wordCount();
+    const bool parallel = pool != nullptr && pool->threadCount() > 1 &&
+                          frontier.count() >= kParallelFrontierThreshold;
+    if (!parallel) {
+        frontier.forEach([&](std::size_t id) {
+            for (FunctionId n : rowOf(csr, static_cast<FunctionId>(id), dir)) {
+                next.set(n);
+            }
+        });
+        return next;
+    }
+
+    const std::size_t grainWords =
+        std::max<std::size_t>(64, words / (pool->threadCount() * 4));
+    const std::size_t chunkCount = (words + grainWords - 1) / grainWords;
+    std::vector<DynamicBitset> partials(chunkCount);
+    pool->parallelFor(chunkCount, 1, [&](std::size_t clo, std::size_t chi) {
+        for (std::size_t chunk = clo; chunk < chi; ++chunk) {
+            std::size_t wlo = chunk * grainWords;
+            std::size_t whi = std::min(words, wlo + grainWords);
+            DynamicBitset partial(csr.size());
+            frontier.forEachInWordRange(wlo, whi, [&](std::size_t id) {
+                for (FunctionId n :
+                     rowOf(csr, static_cast<FunctionId>(id), dir)) {
+                    partial.set(n);
+                }
+            });
+            partials[chunk] = std::move(partial);
+        }
+    });
+    for (DynamicBitset& partial : partials) {
+        next |= partial;
+    }
+    return next;
+}
+
+/// Level-synchronous frontier BFS built on expandFrontier().
+DynamicBitset parallelClosure(const CsrView& csr, const DynamicBitset& seeds,
+                              EdgeDir dir, support::ThreadPool* pool) {
+    DynamicBitset visited(csr.size());
     seeds.forEach([&](std::size_t id) { visited.set(id); });
     DynamicBitset frontier = visited;
-
-    const std::size_t words = visited.wordCount();
-    const std::size_t grainWords = std::max<std::size_t>(
-        64, words / (pool.threadCount() * 4));
-    const std::size_t chunkCount = (words + grainWords - 1) / grainWords;
-
-    std::vector<DynamicBitset> partials(chunkCount);
-
     while (frontier.any()) {
-        DynamicBitset next(graph.size());
-        if (frontier.count() < kParallelFrontierThreshold || chunkCount <= 1) {
-            frontier.forEach([&](std::size_t id) {
-                for (FunctionId n : neighbors(static_cast<FunctionId>(id))) {
-                    next.set(n);
-                }
-            });
-        } else {
-            pool.parallelFor(chunkCount, 1, [&](std::size_t clo, std::size_t chi) {
-                for (std::size_t chunk = clo; chunk < chi; ++chunk) {
-                    std::size_t wlo = chunk * grainWords;
-                    std::size_t whi = std::min(words, wlo + grainWords);
-                    DynamicBitset partial(graph.size());
-                    frontier.forEachInWordRange(wlo, whi, [&](std::size_t id) {
-                        for (FunctionId n : neighbors(static_cast<FunctionId>(id))) {
-                            partial.set(n);
-                        }
-                    });
-                    partials[chunk] = std::move(partial);
-                }
-            });
-            for (DynamicBitset& partial : partials) {
-                next |= partial;
-            }
-        }
+        DynamicBitset next = expandFrontier(csr, frontier, dir, pool);
         next -= visited;
         visited |= next;
         frontier = std::move(next);
@@ -95,47 +102,61 @@ DynamicBitset parallelClosure(const CallGraph& graph,
     return visited;
 }
 
-template <typename NeighborFn>
-DynamicBitset closure(const CallGraph& graph, const DynamicBitset& seeds,
-                      NeighborFn&& neighbors, support::ThreadPool* pool) {
+DynamicBitset closure(const CsrView& csr, const DynamicBitset& seeds,
+                      EdgeDir dir, support::ThreadPool* pool) {
     if (pool != nullptr && pool->threadCount() > 1 &&
-        graph.size() >= kParallelFrontierThreshold) {
-        return parallelClosure(graph, seeds, neighbors, *pool);
+        csr.size() >= kParallelFrontierThreshold) {
+        return parallelClosure(csr, seeds, dir, pool);
     }
-    return serialClosure(graph, seeds, neighbors);
+    return serialClosure(csr, seeds, dir);
 }
 
 }  // namespace
 
+DynamicBitset neighborUnion(const CsrView& csr, const DynamicBitset& seeds,
+                            EdgeDir dir, support::ThreadPool* pool) {
+    return expandFrontier(csr, seeds, dir, pool);
+}
+
+DynamicBitset reachableFrom(const CsrView& csr, const DynamicBitset& roots,
+                            support::ThreadPool* pool) {
+    return closure(csr, roots, EdgeDir::Callees, pool);
+}
+
+DynamicBitset reachesTo(const CsrView& csr, const DynamicBitset& targets,
+                        support::ThreadPool* pool) {
+    return closure(csr, targets, EdgeDir::Callers, pool);
+}
+
+DynamicBitset onCallPath(const CsrView& csr, FunctionId from,
+                         const DynamicBitset& targets,
+                         support::ThreadPool* pool) {
+    DynamicBitset result(csr.size());
+    if (from == kInvalidFunction) {
+        return result;
+    }
+    DynamicBitset roots(csr.size());
+    roots.set(from);
+    DynamicBitset forward = reachableFrom(csr, roots, pool);
+    DynamicBitset backward = reachesTo(csr, targets, pool);
+    forward &= backward;
+    return forward;
+}
+
 DynamicBitset reachableFrom(const CallGraph& graph, const DynamicBitset& roots,
                             support::ThreadPool* pool) {
-    return closure(graph, roots,
-                   [&](FunctionId id) -> const std::vector<FunctionId>& {
-                       return graph.callees(id);
-                   },
-                   pool);
+    return reachableFrom(*CsrView::snapshot(graph), roots, pool);
 }
 
 DynamicBitset reachesTo(const CallGraph& graph, const DynamicBitset& targets,
                         support::ThreadPool* pool) {
-    return closure(graph, targets,
-                   [&](FunctionId id) -> const std::vector<FunctionId>& {
-                       return graph.callers(id);
-                   },
-                   pool);
+    return reachesTo(*CsrView::snapshot(graph), targets, pool);
 }
 
 DynamicBitset onCallPath(const CallGraph& graph, FunctionId from,
                          const DynamicBitset& targets,
                          support::ThreadPool* pool) {
-    DynamicBitset result(graph.size());
-    if (from == kInvalidFunction) {
-        return result;
-    }
-    DynamicBitset forward = reachableFrom(graph, from, pool);
-    DynamicBitset backward = reachesTo(graph, targets, pool);
-    forward &= backward;
-    return forward;
+    return onCallPath(*CsrView::snapshot(graph), from, targets, pool);
 }
 
 DynamicBitset reachableFrom(const CallGraph& graph, FunctionId root,

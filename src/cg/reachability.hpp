@@ -5,15 +5,19 @@
 // of S is reachable from f — i.e. f lies on at least one call path from main
 // to S. Implemented as forward/backward BFS on word-packed bitsets.
 //
+// All traversals run against the flat cg::CsrView snapshot rather than the
+// pointer-chasing CallGraph::Node vectors; the CallGraph overloads snapshot
+// (or reuse the cached snapshot for) the graph's current generation and
+// delegate.
+//
 // Every analysis takes an optional thread pool. When given one, the BFS runs
 // level-synchronously with the current frontier sharded over 64-bit word
 // ranges; per-shard partial frontiers are OR-merged, so the visited set is
 // bit-identical to the serial traversal.
 #pragma once
 
-#include <vector>
-
 #include "cg/call_graph.hpp"
+#include "cg/csr_view.hpp"
 #include "support/bitset.hpp"
 
 namespace capi::support {
@@ -22,19 +26,41 @@ class ThreadPool;
 
 namespace capi::cg {
 
+/// Which edge relation a traversal follows.
+enum class EdgeDir { Callees, Callers };
+
+/// One-hop neighbor expansion: the union of `dir` rows over every member of
+/// `seeds` (seeds themselves NOT included unless they are neighbors). The
+/// building block of the callers()/callees() k-hop selectors; sharded over
+/// frontier word ranges when a pool is given, with bit-identical results
+/// (set union is order-independent).
+support::DynamicBitset neighborUnion(const CsrView& csr,
+                                     const support::DynamicBitset& seeds,
+                                     EdgeDir dir,
+                                     support::ThreadPool* pool = nullptr);
+
 /// Forward closure: everything reachable from `roots` via callee edges
 /// (roots included).
+support::DynamicBitset reachableFrom(const CsrView& csr,
+                                     const support::DynamicBitset& roots,
+                                     support::ThreadPool* pool = nullptr);
 support::DynamicBitset reachableFrom(const CallGraph& graph,
                                      const support::DynamicBitset& roots,
                                      support::ThreadPool* pool = nullptr);
 
 /// Backward closure: everything that can reach `targets` via callee edges
 /// (targets included).
+support::DynamicBitset reachesTo(const CsrView& csr,
+                                 const support::DynamicBitset& targets,
+                                 support::ThreadPool* pool = nullptr);
 support::DynamicBitset reachesTo(const CallGraph& graph,
                                  const support::DynamicBitset& targets,
                                  support::ThreadPool* pool = nullptr);
 
 /// Functions lying on a call path from `from` (usually main) to any target.
+support::DynamicBitset onCallPath(const CsrView& csr, FunctionId from,
+                                  const support::DynamicBitset& targets,
+                                  support::ThreadPool* pool = nullptr);
 support::DynamicBitset onCallPath(const CallGraph& graph, FunctionId from,
                                   const support::DynamicBitset& targets,
                                   support::ThreadPool* pool = nullptr);

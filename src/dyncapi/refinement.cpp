@@ -3,17 +3,13 @@
 #include <algorithm>
 #include <map>
 
-#include "support/thread_pool.hpp"
+#include "support/executor.hpp"
 
 namespace capi::dyncapi {
 
 RefinementSession::RefinementSession(const cg::CallGraph& graph,
                                      std::size_t threads)
-    : graph_(&graph), threads_(threads) {
-    if (threads != 1) {
-        pool_ = std::make_unique<support::ThreadPool>(threads);
-    }
-}
+    : graph_(&graph), threads_(threads) {}
 
 RefinementSession::~RefinementSession() = default;
 
@@ -23,7 +19,13 @@ select::SelectionReport RefinementSession::select(
     base.specText = specText;
     base.specName = specName;
     base.cache = &cache_;
-    base.pool = pool_.get();
+    // Parallel sessions borrow the process-wide Executor pool: refinement
+    // rounds are exactly the repeated-selection workload pool reuse targets.
+    // A pool the caller injected through `base` wins — that is the width
+    // cap for embedders sharing cores with the measured application.
+    if (base.pool == nullptr) {
+        base.pool = support::Executor::poolFor(threads_);
+    }
     base.threads = threads_;
     return select::runSelection(*graph_, base);
 }

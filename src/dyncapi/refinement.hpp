@@ -23,10 +23,6 @@
 #include "select/selection_driver.hpp"
 #include "select/selector_cache.hpp"
 
-namespace capi::support {
-class ThreadPool;
-}
-
 namespace capi::dyncapi {
 
 struct RefinementOptions {
@@ -55,8 +51,9 @@ RefinementResult refineIc(const select::InstrumentationConfig& ic,
 
 /// Drives repeated select -> measure -> refine rounds against one call graph.
 ///
-/// The session owns a SelectorCache (and, when threads > 1, a thread pool),
-/// so every selection run through it memoizes pipeline stage results keyed by
+/// The session owns a SelectorCache (parallel rounds borrow the process-wide
+/// support::Executor pool rather than owning threads), so every selection run
+/// through it memoizes pipeline stage results keyed by
 /// the graph's generation stamp. A later round that re-evaluates the same or
 /// an overlapping spec — the common case: only thresholds near the leaves of
 /// the selector tree change between rounds — answers unchanged stages from
@@ -66,8 +63,12 @@ RefinementResult refineIc(const select::InstrumentationConfig& ic,
 /// is needed.
 class RefinementSession {
 public:
-    /// `graph` must outlive the session. `threads` as in PipelineOptions
-    /// (1 = serial, 0 = hardware concurrency).
+    /// `graph` must outlive the session. `threads` as in PipelineOptions:
+    /// 1 = serial; any other value runs on the process-wide Executor pool
+    /// at full hardware width (results are width-invariant). Embedders that
+    /// must cap worker threads — e.g. refinement running beside the measured
+    /// application — pass their own pool via SelectionOptions::pool in the
+    /// `base` argument of select(), which always wins.
     explicit RefinementSession(const cg::CallGraph& graph,
                                std::size_t threads = 1);
     ~RefinementSession();
@@ -96,7 +97,6 @@ public:
 private:
     const cg::CallGraph* graph_;
     std::size_t threads_;
-    std::unique_ptr<support::ThreadPool> pool_;  ///< Null when threads <= 1.
     mutable select::SelectorCache cache_;
 };
 

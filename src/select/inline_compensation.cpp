@@ -4,6 +4,7 @@
 #include <deque>
 #include <vector>
 
+#include "cg/csr_view.hpp"
 #include "support/bitset.hpp"
 
 namespace capi::select {
@@ -12,6 +13,12 @@ InlineCompensationStats compensateInlining(const cg::CallGraph& graph,
                                            FunctionSet& selection,
                                            const SymbolOracle& oracle) {
     InlineCompensationStats stats;
+    // The caller walk below is pure graph traversal: run it over the flat
+    // CSR rows. Oracle probes keep using graph.name() (a std::string the
+    // oracle interface wants) — they are memoized per id, so the traversal
+    // never re-enters the cold FunctionDesc path.
+    std::shared_ptr<const cg::CsrView> snapshot = cg::CsrView::snapshot(graph);
+    const cg::CsrView& csr = *snapshot;
 
     // Step 1: selected functions whose symbol is gone -> assumed inlined.
     std::vector<cg::FunctionId> inlined;
@@ -55,7 +62,8 @@ InlineCompensationStats compensateInlining(const cg::CallGraph& graph,
     for (cg::FunctionId id : inlined) {
         ++epoch;
         visitedEpoch[id] = epoch;
-        queue.assign(graph.callers(id).begin(), graph.callers(id).end());
+        std::span<const cg::FunctionId> callers = csr.callers(id);
+        queue.assign(callers.begin(), callers.end());
         while (!queue.empty()) {
             cg::FunctionId caller = queue.front();
             queue.pop_front();
@@ -66,7 +74,7 @@ InlineCompensationStats compensateInlining(const cg::CallGraph& graph,
             if (symbolPresent(caller)) {
                 additions.add(caller);
             } else {
-                for (cg::FunctionId next : graph.callers(caller)) {
+                for (cg::FunctionId next : csr.callers(caller)) {
                     queue.push_back(next);
                 }
             }

@@ -1,0 +1,37 @@
+// Shared intra-definition sharding policy for selector implementations.
+//
+// Both selector halves (basic filters/combinators and the graph analyses)
+// decide identically when a loop is worth splitting and how it is sliced, so
+// the parallel-engagement policy cannot drift between them.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+#include "select/selector.hpp"
+#include "support/thread_pool.hpp"
+
+namespace capi::select {
+
+/// Below this universe size the shard bookkeeping outweighs the loop it
+/// splits; selectors fall back to the serial path.
+inline constexpr std::size_t kParallelUniverseThreshold = 1 << 14;
+
+inline bool useParallel(const EvalContext& ctx, std::size_t universe) {
+    return ctx.pool != nullptr && ctx.pool->threadCount() > 1 &&
+           universe >= kParallelUniverseThreshold;
+}
+
+/// Shards [0, wordCount) across the pool. Each invocation of `body` owns a
+/// disjoint word range, so writes through DynamicBitset::setWord/set stay
+/// race-free and the combined result is bit-identical to one serial pass.
+inline void forEachWordRange(
+    const EvalContext& ctx, std::size_t wordCount,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+    std::size_t grain =
+        std::max<std::size_t>(256, wordCount / (ctx.pool->threadCount() * 4));
+    ctx.pool->parallelFor(wordCount, grain, body);
+}
+
+}  // namespace capi::select

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "spec/deps.hpp"
+#include "support/executor.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
@@ -49,12 +50,11 @@ Pipeline::Pipeline(const spec::SpecAst& ast, const SelectorRegistry& registry) {
 
 PipelineRun Pipeline::run(const cg::CallGraph& graph,
                           const PipelineOptions& options) const {
-    support::ThreadPool* pool = options.pool;
-    std::unique_ptr<support::ThreadPool> owned;
-    if (pool == nullptr && options.threads != 1) {
-        owned = std::make_unique<support::ThreadPool>(options.threads);
-        pool = owned.get();
-    }
+    // Parallel runs without an injected pool borrow the process-wide
+    // Executor pool instead of spinning threads up per run.
+    support::ThreadPool* pool = options.pool != nullptr
+                                    ? options.pool
+                                    : support::Executor::poolFor(options.threads);
     if (pool == nullptr || pool->threadCount() <= 1 || stages_.size() <= 1) {
         return runSerial(graph, pool, options.cache);
     }

@@ -30,13 +30,16 @@ class ThreadPool;
 namespace capi::select {
 
 struct PipelineOptions {
-    /// Worker count for definition-level and intra-definition parallelism.
-    /// 1 = fully serial (the reference semantics); 0 = hardware concurrency.
-    /// Ignored when `pool` is provided.
+    /// Parallelism request: 1 = fully serial (the reference semantics);
+    /// anything else (0 or N > 1) runs definition-level and intra-definition
+    /// parallelism on the process-wide support::Executor pool. Results are
+    /// bit-identical at any width, so the request only selects serial vs.
+    /// parallel. Ignored when `pool` is provided.
     std::size_t threads = 1;
 
-    /// External pool to run on (shared across runs to amortize thread
-    /// spin-up). When null and threads != 1, a pool is created per run.
+    /// Explicitly injected pool (custom size or lifetime); overrides the
+    /// shared Executor pool. When null and threads != 1, the Executor pool
+    /// is borrowed — no per-run thread spin-up.
     support::ThreadPool* pool = nullptr;
 
     /// Cross-run memoization of stage results; may be shared between

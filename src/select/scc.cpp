@@ -1,15 +1,23 @@
 #include "select/scc.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <limits>
+
+#include "support/thread_pool.hpp"
 
 namespace capi::select {
 
 namespace {
 constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
-}
 
-SccResult computeScc(const cg::CallGraph& graph) {
-    const std::size_t n = graph.size();
+/// Below this node count the sharded condensation's atomic bookkeeping costs
+/// more than the plain loops it splits.
+constexpr std::size_t kParallelCondenseThreshold = 1 << 14;
+}  // namespace
+
+SccResult computeScc(const cg::CsrView& csr) {
+    const std::size_t n = csr.size();
     SccResult result;
     result.component.assign(n, kUnvisited);
 
@@ -38,7 +46,7 @@ SccResult computeScc(const cg::CallGraph& graph) {
 
         while (!dfs.empty()) {
             Frame& frame = dfs.back();
-            const std::vector<cg::FunctionId>& callees = graph.callees(frame.node);
+            std::span<const cg::FunctionId> callees = csr.callees(frame.node);
             if (frame.childPos < callees.size()) {
                 cg::FunctionId child = callees[frame.childPos++];
                 if (index[child] == kUnvisited) {
@@ -73,6 +81,112 @@ SccResult computeScc(const cg::CallGraph& graph) {
 
     result.componentCount = nextComponent;
     return result;
+}
+
+SccResult computeScc(const cg::CallGraph& graph) {
+    return computeScc(*cg::CsrView::snapshot(graph));
+}
+
+SccCondensation condenseScc(const cg::CsrView& csr, const SccResult& scc,
+                            support::ThreadPool* pool) {
+    const std::size_t n = csr.size();
+    const std::size_t comps = scc.componentCount;
+    SccCondensation out;
+    out.callerOffsets.assign(comps + 1, 0);
+
+    const bool parallel = pool != nullptr && pool->threadCount() > 1 &&
+                          n >= kParallelCondenseThreshold;
+
+    if (!parallel) {
+        out.localStmts.assign(comps, 0);
+        // Count cross-component caller edges per component, prefix-sum into
+        // offsets, then fill. Duplicate (comp, callerComp) pairs are kept,
+        // exactly as the pre-CSR implementation pushed them.
+        std::vector<std::uint32_t> degree(comps, 0);
+        for (cg::FunctionId id = 0; id < n; ++id) {
+            std::uint32_t comp = scc.component[id];
+            out.localStmts[comp] += csr.numStatements(id);
+            for (cg::FunctionId caller : csr.callers(id)) {
+                if (scc.component[caller] != comp) {
+                    ++degree[comp];
+                }
+            }
+        }
+        for (std::size_t c = 0; c < comps; ++c) {
+            out.callerOffsets[c + 1] = out.callerOffsets[c] + degree[c];
+        }
+        out.callerComps.resize(out.callerOffsets[comps]);
+        std::vector<std::uint32_t> cursor(out.callerOffsets.begin(),
+                                          out.callerOffsets.end() - 1);
+        for (cg::FunctionId id = 0; id < n; ++id) {
+            std::uint32_t comp = scc.component[id];
+            for (cg::FunctionId caller : csr.callers(id)) {
+                std::uint32_t callerComp = scc.component[caller];
+                if (callerComp != comp) {
+                    out.callerComps[cursor[comp]++] = callerComp;
+                }
+            }
+        }
+        return out;
+    }
+
+    // Parallel path: shard nodes; accumulate per-component sums and degrees
+    // with relaxed atomics (addition commutes, so totals are exact regardless
+    // of interleaving), then fill rows through per-component atomic cursors.
+    // Row element ORDER is scheduling-dependent, but the row CONTENT is the
+    // same multiset as the serial pass and the consumer folds it with max.
+    std::vector<std::atomic<std::uint64_t>> stmts(comps);
+    std::vector<std::atomic<std::uint32_t>> degree(comps);
+    for (std::size_t c = 0; c < comps; ++c) {
+        stmts[c].store(0, std::memory_order_relaxed);
+        degree[c].store(0, std::memory_order_relaxed);
+    }
+    const std::size_t grain =
+        std::max<std::size_t>(1024, n / (pool->threadCount() * 4));
+    pool->parallelFor(n, grain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const auto id = static_cast<cg::FunctionId>(i);
+            std::uint32_t comp = scc.component[id];
+            stmts[comp].fetch_add(csr.numStatements(id),
+                                  std::memory_order_relaxed);
+            std::uint32_t local = 0;
+            for (cg::FunctionId caller : csr.callers(id)) {
+                if (scc.component[caller] != comp) {
+                    ++local;
+                }
+            }
+            if (local != 0) {
+                degree[comp].fetch_add(local, std::memory_order_relaxed);
+            }
+        }
+    });
+
+    out.localStmts.resize(comps);
+    for (std::size_t c = 0; c < comps; ++c) {
+        out.localStmts[c] = stmts[c].load(std::memory_order_relaxed);
+        out.callerOffsets[c + 1] =
+            out.callerOffsets[c] + degree[c].load(std::memory_order_relaxed);
+    }
+    out.callerComps.resize(out.callerOffsets[comps]);
+
+    std::vector<std::atomic<std::uint32_t>> cursor(comps);
+    for (std::size_t c = 0; c < comps; ++c) {
+        cursor[c].store(out.callerOffsets[c], std::memory_order_relaxed);
+    }
+    pool->parallelFor(n, grain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const auto id = static_cast<cg::FunctionId>(i);
+            std::uint32_t comp = scc.component[id];
+            for (cg::FunctionId caller : csr.callers(id)) {
+                std::uint32_t callerComp = scc.component[caller];
+                if (callerComp != comp) {
+                    out.callerComps[cursor[comp].fetch_add(
+                        1, std::memory_order_relaxed)] = callerComp;
+                }
+            }
+        }
+    });
+    return out;
 }
 
 }  // namespace capi::select

@@ -2,7 +2,9 @@
 //
 // Needed by the statement-aggregation selector: recursion cycles must be
 // collapsed before statements can be aggregated along call chains. Iterative
-// Tarjan, so deep OpenFOAM-style call chains cannot overflow the stack.
+// Tarjan over the flat CsrView rows, so deep OpenFOAM-style call chains
+// cannot overflow the stack and the DFS streams through two contiguous
+// arrays instead of per-node vectors.
 //
 // Component ids have the Tarjan property: if component A contains a call into
 // component B (A != B), then id(B) < id(A). Processing nodes by descending
@@ -13,25 +15,39 @@
 #include <vector>
 
 #include "cg/call_graph.hpp"
+#include "cg/csr_view.hpp"
+
+namespace capi::support {
+class ThreadPool;
+}
 
 namespace capi::select {
 
 struct SccResult {
     std::vector<std::uint32_t> component;  ///< Node id -> component id.
     std::size_t componentCount = 0;
-
-    /// Sum of a per-node value over each component.
-    template <typename Getter>
-    std::vector<std::uint64_t> accumulate(const cg::CallGraph& graph,
-                                          Getter&& getter) const {
-        std::vector<std::uint64_t> totals(componentCount, 0);
-        for (cg::FunctionId id = 0; id < graph.size(); ++id) {
-            totals[component[id]] += getter(graph.desc(id));
-        }
-        return totals;
-    }
 };
 
+SccResult computeScc(const cg::CsrView& csr);
+
+/// Snapshot-and-delegate convenience for callers holding only a CallGraph.
 SccResult computeScc(const cg::CallGraph& graph);
+
+/// Condensation of the call graph under an SCC decomposition, in the shape
+/// statementAggregation consumes: per-component local statement totals plus
+/// the cross-component caller adjacency as CSR (duplicates permitted — the
+/// consumer folds with max, which absorbs them).
+struct SccCondensation {
+    std::vector<std::uint64_t> localStmts;      ///< Component id -> sum of stmts.
+    std::vector<std::uint32_t> callerOffsets;   ///< componentCount + 1 entries.
+    std::vector<std::uint32_t> callerComps;     ///< Flattened caller-component rows.
+};
+
+/// Builds the condensation. With a pool, the per-node counting and fill
+/// passes are sharded over node ranges; sums and per-component row contents
+/// are order-independent (integer addition commutes, rows are consumed by
+/// max), so the result is semantically identical to the serial pass.
+SccCondensation condenseScc(const cg::CsrView& csr, const SccResult& scc,
+                            support::ThreadPool* pool = nullptr);
 
 }  // namespace capi::select

@@ -26,7 +26,9 @@ struct SelectionOptions {
     /// Restrict the IC to functions with a body (declarations such as MPI
     /// library entry points cannot carry XRay sleds).
     bool definedOnly = true;
-    /// Parallel evaluation and cross-run memoization (see PipelineOptions).
+    /// Parallel evaluation and cross-run memoization (see PipelineOptions):
+    /// threads != 1 runs on the process-wide support::Executor pool unless
+    /// `pool` injects a specific one.
     std::size_t threads = 1;
     support::ThreadPool* pool = nullptr;
     SelectorCache* cache = nullptr;

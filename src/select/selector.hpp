@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cg/call_graph.hpp"
+#include "cg/csr_view.hpp"
 #include "select/function_set.hpp"
 
 namespace capi::support {
@@ -33,8 +34,22 @@ struct EvalContext {
     /// over this pool. Results are bit-identical to the serial path.
     support::ThreadPool* pool = nullptr;
 
+    /// The flat CSR snapshot of `graph` at its current generation — the
+    /// structure every graph-walking selector traverses. Lazily resolved;
+    /// concurrent stages holding separate EvalContexts still share one view
+    /// because snapshots are memoized per generation stamp.
+    const cg::CsrView& csr() const {
+        if (csr_ == nullptr) {
+            csr_ = cg::CsrView::snapshot(graph);
+        }
+        return *csr_;
+    }
+
     /// Per-instance wall-clock nanoseconds, in evaluation order (diagnostics).
     std::vector<std::pair<std::string, std::uint64_t>> timings;
+
+private:
+    mutable std::shared_ptr<const cg::CsrView> csr_;
 };
 
 class Selector {

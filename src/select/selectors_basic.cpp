@@ -25,35 +25,13 @@
 #include <algorithm>
 #include <functional>
 
+#include "select/parallel_util.hpp"
 #include "select/registry.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 
 namespace capi::select {
-
-namespace {
-
-/// Below this universe size the shard bookkeeping outweighs the loop it
-/// splits; selectors fall back to the serial path.
-constexpr std::size_t kParallelUniverseThreshold = 1 << 14;
-
-bool useParallel(const EvalContext& ctx, std::size_t universe) {
-    return ctx.pool != nullptr && ctx.pool->threadCount() > 1 &&
-           universe >= kParallelUniverseThreshold;
-}
-
-/// Shards [0, wordCount) across the pool. Each invocation of `body` owns a
-/// disjoint word range, so writes through DynamicBitset::setWord/set stay
-/// race-free and the combined result is bit-identical to one serial pass.
-void forEachWordRange(const EvalContext& ctx, std::size_t wordCount,
-                      const std::function<void(std::size_t, std::size_t)>& body) {
-    std::size_t grain =
-        std::max<std::size_t>(256, wordCount / (ctx.pool->threadCount() * 4));
-    ctx.pool->parallelFor(wordCount, grain, body);
-}
-
-}  // namespace
 
 CompareOp parseCompareOp(const std::string& text) {
     if (text == "<") return CompareOp::Lt;

@@ -3,22 +3,31 @@
 // Selector catalogue (graph half):
 //   onCallPathTo(target)            functions on a call path main -> target
 //   onCallPathFrom(source)          functions reachable from source
-//   callers(a)                      direct callers of members of a
-//   callees(a)                      direct callees of members of a
+//   callers(a [, k])                callers of members of a, up to k hops
+//   callees(a [, k])                callees of members of a, up to k hops
 //   coarse(input [, critical])      drop sole-caller chain members (paper V-D)
 //   statementAggregation(op, n [, input])
 //                                   statements aggregated along the call
 //                                   chain from main compare true [16]
+//
+// Every traversal here runs against the immutable cg::CsrView snapshot
+// (flat offset+edge arrays) instead of the CallGraph's per-node vectors, and
+// shards its hot loops over ctx.pool when one is set — bit-identical to the
+// serial path in all cases.
 
-#include <deque>
+#include <algorithm>
 
 #include "cg/reachability.hpp"
+#include "select/parallel_util.hpp"
 #include "select/registry.hpp"
 #include "select/scc.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace capi::select {
 namespace {
+
+using support::DynamicBitset;
 
 class OnCallPathToSelector final : public Selector {
 public:
@@ -26,8 +35,9 @@ public:
 
     FunctionSet evaluate(EvalContext& ctx) const override {
         FunctionSet targets = target_->evaluate(ctx);
-        return FunctionSet::fromBits(cg::onCallPath(
-            ctx.graph, ctx.graph.entryPoint(), targets.bits(), ctx.pool));
+        const cg::CsrView& csr = ctx.csr();
+        return FunctionSet::fromBits(
+            cg::onCallPath(csr, csr.entryPoint(), targets.bits(), ctx.pool));
     }
 
     std::string describe() const override {
@@ -45,7 +55,7 @@ public:
     FunctionSet evaluate(EvalContext& ctx) const override {
         FunctionSet sources = source_->evaluate(ctx);
         return FunctionSet::fromBits(
-            cg::reachableFrom(ctx.graph, sources.bits(), ctx.pool));
+            cg::reachableFrom(ctx.csr(), sources.bits(), ctx.pool));
     }
 
     std::string describe() const override {
@@ -56,44 +66,72 @@ private:
     SelectorPtr source_;
 };
 
-enum class Hop { Callers, Callees };
-
+/// callers(a, k) / callees(a, k): the union of 1..k-hop neighborhoods of the
+/// input set (the input itself only if re-reached). k = 1 is the classic
+/// CaPI direct-neighbor selector. Each hop is one sharded frontier expansion
+/// over the CSR rows; hop results are set unions, so serial and parallel
+/// evaluation agree bit for bit.
 class NeighborSelector final : public Selector {
 public:
-    NeighborSelector(Hop hop, SelectorPtr input)
-        : hop_(hop), input_(std::move(input)) {}
+    NeighborSelector(cg::EdgeDir dir, std::int64_t hops, SelectorPtr input)
+        : dir_(dir), hops_(hops), input_(std::move(input)) {}
 
     FunctionSet evaluate(EvalContext& ctx) const override {
         FunctionSet in = input_->evaluate(ctx);
-        FunctionSet out(ctx.graph.size());
-        in.forEach([&](cg::FunctionId id) {
-            const auto& neighbors = hop_ == Hop::Callers ? ctx.graph.callers(id)
-                                                         : ctx.graph.callees(id);
-            for (cg::FunctionId n : neighbors) {
-                out.add(n);
+        const cg::CsrView& csr = ctx.csr();
+        DynamicBitset acc(csr.size());
+        DynamicBitset frontier = in.bits();
+        for (std::int64_t hop = 0; hop < hops_; ++hop) {
+            DynamicBitset next = cg::neighborUnion(csr, frontier, dir_, ctx.pool);
+            // BFS layering: only newly reached nodes stay on the frontier.
+            // A node at minimal distance d <= k is reached at hop d either
+            // way, so the union is identical to re-expanding everything —
+            // but each edge is now traversed O(1) times instead of O(k),
+            // and the loop terminates at the fixpoint even on cycles with
+            // an astronomically large user-supplied k.
+            next -= acc;
+            if (!next.any()) {
+                break;
             }
-        });
-        return out;
+            acc |= next;
+            frontier = std::move(next);
+        }
+        return FunctionSet::fromBits(std::move(acc));
     }
 
     std::string describe() const override {
-        return std::string(hop_ == Hop::Callers ? "callers(" : "callees(") +
-               input_->describe() + ")";
+        std::string out =
+            std::string(dir_ == cg::EdgeDir::Callers ? "callers(" : "callees(") +
+            input_->describe();
+        if (hops_ != 1) {
+            out += ", " + std::to_string(hops_);
+        }
+        return out + ")";
     }
 
 private:
-    Hop hop_;
+    cg::EdgeDir dir_;
+    std::int64_t hops_;
     SelectorPtr input_;
 };
 
 /// The coarse selector added for TALP region instrumentation (paper Sec. V-D).
 ///
-/// Traverses the call graph from the entry point top-down. For every callee v
-/// of the currently visited node u: if v is selected, u is v's only caller in
-/// the whole-program graph, and v is not protected by the critical set, v is
-/// removed. Traversal continues through removed nodes, so wrapper chains like
-/// solve -> solveSegregated -> ... -> Amul collapse; critical functions
-/// (e.g. the kernels themselves) are always retained.
+/// Spec semantics (Listing 3): walk the graph from the entry point and, for
+/// every callee v of a visited node, remove v when it is selected, has
+/// exactly one caller in the whole-program graph, and is not protected by
+/// the critical set; unreachable nodes are traversed afterwards so the rule
+/// applies uniformly. Because that walk visits EVERY node, each function
+/// with >= 1 caller is examined, the removal condition reads only v's own
+/// whole-graph caller count (not the traversal state, and not whether its
+/// caller survived), and a multi-caller v is never removed — the traversal
+/// order cannot change the outcome. The selector therefore collapses to a
+/// flat per-node filter:
+///     remove v  iff  selected(v) && callerCount(v) == 1 && !critical(v)
+/// which runs word-sharded over the CSR caller offsets (a degree is one
+/// subtraction) instead of BFS-ing with a queue. Wrapper chains like
+/// solve -> solveSegregated -> ... -> Amul still collapse wholesale: every
+/// chain member is individually sole-caller.
 class CoarseSelector final : public Selector {
 public:
     CoarseSelector(SelectorPtr input, SelectorPtr critical)
@@ -104,42 +142,22 @@ public:
         FunctionSet critical = critical_ != nullptr
                                    ? critical_->evaluate(ctx)
                                    : FunctionSet(ctx.graph.size());
+        const cg::CsrView& csr = ctx.csr();
 
-        const cg::CallGraph& graph = ctx.graph;
-        std::vector<bool> visited(graph.size(), false);
-        std::deque<cg::FunctionId> queue;
-
-        cg::FunctionId entry = graph.entryPoint();
-        if (entry != cg::kInvalidFunction) {
-            queue.push_back(entry);
-            visited[entry] = true;
-        }
-        // Functions unreachable from main are traversed afterwards so the
-        // rule is applied uniformly (library call roots, registered
-        // callbacks, ...).
-        auto drainQueue = [&] {
-            while (!queue.empty()) {
-                cg::FunctionId u = queue.front();
-                queue.pop_front();
-                for (cg::FunctionId v : graph.callees(u)) {
-                    if (result.contains(v) && graph.callers(v).size() == 1 &&
-                        !critical.contains(v)) {
-                        result.remove(v);
-                    }
-                    if (!visited[v]) {
-                        visited[v] = true;
-                        queue.push_back(v);
-                    }
+        auto filterWords = [&](std::size_t wlo, std::size_t whi) {
+            result.bits().forEachInWordRange(wlo, whi, [&](std::size_t i) {
+                const auto id = static_cast<cg::FunctionId>(i);
+                if (csr.callerCount(id) == 1 && !critical.contains(id)) {
+                    result.remove(id);
                 }
-            }
+            });
         };
-        drainQueue();
-        for (cg::FunctionId id = 0; id < graph.size(); ++id) {
-            if (!visited[id]) {
-                visited[id] = true;
-                queue.push_back(id);
-                drainQueue();
-            }
+        if (useParallel(ctx, csr.size())) {
+            // Each shard clears bits only inside its own words: remove(id)
+            // writes the word containing id, and id came from that word.
+            forEachWordRange(ctx, result.bits().wordCount(), filterWords);
+        } else {
+            filterWords(0, result.bits().wordCount());
         }
         return result;
     }
@@ -160,7 +178,9 @@ private:
 /// Statement aggregation selection [16]: local statement counts are
 /// aggregated along the call chain from main; a function is selected when the
 /// aggregate compares true against the threshold. Recursion cycles are
-/// collapsed via SCC condensation (a cycle's members share one aggregate).
+/// collapsed via SCC condensation (a cycle's members share one aggregate);
+/// the condensation passes are sharded over node ranges and the final
+/// threshold filter over word ranges.
 class StatementAggregationSelector final : public Selector {
 public:
     StatementAggregationSelector(CompareOp op, std::int64_t threshold,
@@ -168,43 +188,41 @@ public:
         : op_(op), threshold_(threshold), input_(std::move(input)) {}
 
     FunctionSet evaluate(EvalContext& ctx) const override {
-        const cg::CallGraph& graph = ctx.graph;
-        SccResult scc = computeScc(graph);
-        std::vector<std::uint64_t> localStmts = scc.accumulate(
-            graph, [](const cg::FunctionDesc& d) -> std::uint64_t {
-                return d.metrics.numStatements;
-            });
+        const cg::CsrView& csr = ctx.csr();
+        SccResult scc = computeScc(csr);
+        SccCondensation cond = condenseScc(csr, scc, ctx.pool);
 
         // agg(C) = stmts(C) + max over caller components agg(C'), computed
         // top-down. Tarjan ids order callees before callers, so descending
-        // component id visits callers first.
+        // component id visits callers first. Inherently sequential (each
+        // component depends on its callers), but O(comps + cross edges) over
+        // two flat arrays.
         std::vector<std::uint64_t> agg(scc.componentCount, 0);
-        std::vector<std::vector<std::uint32_t>> callerComps(scc.componentCount);
-        for (cg::FunctionId id = 0; id < graph.size(); ++id) {
-            std::uint32_t comp = scc.component[id];
-            for (cg::FunctionId caller : graph.callers(id)) {
-                std::uint32_t callerComp = scc.component[caller];
-                if (callerComp != comp) {
-                    callerComps[comp].push_back(callerComp);
-                }
-            }
-        }
         for (std::uint32_t comp = scc.componentCount; comp-- > 0;) {
             std::uint64_t best = 0;
-            for (std::uint32_t callerComp : callerComps[comp]) {
-                best = std::max(best, agg[callerComp]);
+            for (std::uint32_t ci = cond.callerOffsets[comp];
+                 ci < cond.callerOffsets[comp + 1]; ++ci) {
+                best = std::max(best, agg[cond.callerComps[ci]]);
             }
-            agg[comp] = best + localStmts[comp];
+            agg[comp] = best + cond.localStmts[comp];
         }
 
         FunctionSet in = input_ != nullptr ? input_->evaluate(ctx)
-                                           : FunctionSet::all(graph.size());
-        FunctionSet out(graph.size());
-        in.forEach([&](cg::FunctionId id) {
-            if (compareMetric(agg[scc.component[id]], op_, threshold_)) {
-                out.add(id);
-            }
-        });
+                                           : FunctionSet::all(csr.size());
+        FunctionSet out(csr.size());
+        auto filterWords = [&](std::size_t wlo, std::size_t whi) {
+            in.bits().forEachInWordRange(wlo, whi, [&](std::size_t i) {
+                const auto id = static_cast<cg::FunctionId>(i);
+                if (compareMetric(agg[scc.component[id]], op_, threshold_)) {
+                    out.add(id);
+                }
+            });
+        };
+        if (useParallel(ctx, csr.size())) {
+            forEachWordRange(ctx, in.bits().wordCount(), filterWords);
+        } else {
+            filterWords(0, in.bits().wordCount());
+        }
         return out;
     }
 
@@ -219,6 +237,16 @@ private:
     std::int64_t threshold_;
     SelectorPtr input_;  ///< May be null (defaults to %%).
 };
+
+SelectorPtr makeNeighborSelector(cg::EdgeDir dir, const spec::Expr& call,
+                                 SelectorBuilder& b) {
+    b.checkArity(call, 1, 2);
+    std::int64_t hops = call.args.size() == 2 ? b.numberArg(call, 1) : 1;
+    if (hops < 1) {
+        b.fail(call, "hop count must be >= 1");
+    }
+    return std::make_unique<NeighborSelector>(dir, hops, b.selectorArg(call, 0));
+}
 
 }  // namespace
 
@@ -242,19 +270,15 @@ void registerGraphSelectors(SelectorRegistry& r) {
     r.registerType(
         "callers",
         [](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
-            b.checkArity(call, 1, 1);
-            return std::make_unique<NeighborSelector>(Hop::Callers,
-                                                      b.selectorArg(call, 0));
+            return makeNeighborSelector(cg::EdgeDir::Callers, call, b);
         },
-        "callers(a): direct callers of members of a");
+        "callers(a[, k]): callers of members of a, up to k hops (default 1)");
     r.registerType(
         "callees",
         [](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
-            b.checkArity(call, 1, 1);
-            return std::make_unique<NeighborSelector>(Hop::Callees,
-                                                      b.selectorArg(call, 0));
+            return makeNeighborSelector(cg::EdgeDir::Callees, call, b);
         },
-        "callees(a): direct callees of members of a");
+        "callees(a[, k]): callees of members of a, up to k hops (default 1)");
     r.registerType(
         "coarse",
         [](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {

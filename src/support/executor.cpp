@@ -1,0 +1,17 @@
+#include "support/executor.hpp"
+
+#include "support/thread_pool.hpp"
+
+namespace capi::support {
+
+ThreadPool& Executor::pool() {
+    // Magic static: thread-safe lazy construction, joined at process exit.
+    static ThreadPool shared(ThreadPool::defaultThreadCount());
+    return shared;
+}
+
+ThreadPool* Executor::poolFor(std::size_t threads) {
+    return threads == 1 ? nullptr : &pool();
+}
+
+}  // namespace capi::support

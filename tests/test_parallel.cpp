@@ -18,6 +18,7 @@
 #include "spec/deps.hpp"
 #include "spec/parser.hpp"
 #include "support/error.hpp"
+#include "support/executor.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "test_util.hpp"
@@ -165,7 +166,8 @@ cg::CallGraph randomGraph(std::uint64_t seed, std::size_t nodes) {
 }
 
 /// A wide multi-definition spec exercising every parallelized primitive:
-/// filters, reachability, combinators, refs and a diamond-shaped DAG.
+/// filters, reachability, combinators, SCC condensation, coarse, k-hop
+/// neighbor expansion, refs and a diamond-shaped DAG.
 const char* kWideSpec =
     "hot = flops(\">=\", 10, %%)\n"
     "looped = loopDepth(\">=\", 1, %%)\n"
@@ -173,8 +175,11 @@ const char* kWideSpec =
     "excluded = join(inSystemHeader(%%), inlineSpecified(%%))\n"
     "kernels = intersect(%hot, %looped)\n"
     "paths = onCallPathTo(%kernels)\n"
+    "near = join(callers(%kernels), callees(%kernels, 2))\n"
+    "agg = statementAggregation(\">=\", 40, %near)\n"
     "wide = join(%paths, onCallPathFrom(%chatty))\n"
-    "subtract(%wide, %excluded)\n";
+    "trimmed = coarse(%wide, %kernels)\n"
+    "subtract(join(%trimmed, %agg), %excluded)\n";
 
 // ------------------------------------------------- serial/parallel parity ---
 
@@ -217,6 +222,57 @@ TEST_P(ParallelPipelineProperty, ReachabilitySharededMatchesSerialBfs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelPipelineProperty,
                          ::testing::Values(1u, 7u, 42u, 2026u, 956416u));
+
+TEST(ParallelSelectors, LargeGraphEngagesShardedPathsBitIdentically) {
+    // 600-node property graphs stay below the intra-stage sharding
+    // thresholds; this graph is large enough that coarse, the SCC
+    // condensation and the k-hop expansions actually take their parallel
+    // paths, which must still be bit-identical to serial.
+    cg::CallGraph graph = randomGraph(99, 20000);
+    support::ThreadPool pool(4);
+    for (const char* specText : {
+             "coarse(statements(\">=\", 5, %%))",
+             "coarse(%%, flops(\">=\", 30, %%))",
+             "statementAggregation(\">=\", 60)",
+             "statementAggregation(\"<\", 45, loopDepth(\">=\", 1, %%))",
+             "callers(flops(\">=\", 25, %%))",
+             "callers(flops(\">=\", 25, %%), 3)",
+             "callees(flops(\">=\", 25, %%), 2)",
+         }) {
+        Pipeline pipeline(spec::parseSpec(specText));
+        select::FunctionSet serial = pipeline.run(graph).result;
+        PipelineOptions options;
+        options.pool = &pool;
+        EXPECT_TRUE(pipeline.run(graph, options).result == serial)
+            << "spec: " << specText;
+    }
+}
+
+// -------------------------------------------------------------- executor ---
+
+TEST(Executor, PoolIsProcessWideAndReused) {
+    support::ThreadPool& a = support::Executor::pool();
+    support::ThreadPool& b = support::Executor::pool();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.threadCount(), 1u);
+}
+
+TEST(Executor, PoolForMapsSerialToNull) {
+    EXPECT_EQ(support::Executor::poolFor(1), nullptr);
+    EXPECT_EQ(support::Executor::poolFor(0), &support::Executor::pool());
+    EXPECT_EQ(support::Executor::poolFor(8), &support::Executor::pool());
+}
+
+TEST(Executor, PipelineBorrowsSharedPoolForParallelRuns) {
+    cg::CallGraph graph = randomGraph(31, 400);
+    Pipeline pipeline(spec::parseSpec(kWideSpec));
+    select::FunctionSet serial = pipeline.run(graph).result;
+    PipelineOptions options;
+    options.threads = 0;  // "hardware concurrency" -> Executor pool.
+    EXPECT_TRUE(pipeline.run(graph, options).result == serial);
+    options.threads = 4;  // Any parallel request borrows the same pool.
+    EXPECT_TRUE(pipeline.run(graph, options).result == serial);
+}
 
 TEST(ParallelPipeline, RefBeforeDefinitionThrowsInBothModes) {
     cg::CallGraph graph = randomGraph(3, 50);
