@@ -1,0 +1,162 @@
+// Micro-benchmarks for the adaptive subsystem: delta repatching against the
+// full unpatch-then-patch reference on IC swaps of varying width, and the
+// budget planner's greedy knapsack (serial vs the sharded lookup phase) at
+// call-graph scale.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "adapt/budget_planner.hpp"
+#include "adapt/overhead_model.hpp"
+#include "bench_util.hpp"
+#include "binsim/compiler.hpp"
+#include "binsim/process.hpp"
+#include "dyncapi/dyncapi.hpp"
+#include "select/ic.hpp"
+#include "support/executor.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace capi;
+
+/// Flat executable with `functions` sledded functions.
+binsim::AppModel flatModel(std::uint32_t functions) {
+    binsim::AppModel model;
+    model.name = "repatch";
+    for (std::uint32_t i = 0; i < functions; ++i) {
+        binsim::AppFunction fn;
+        fn.name = "fn" + std::to_string(i);
+        fn.unit = "repatch.cpp";
+        fn.metrics.numInstructions = 100;
+        fn.flags.hasBody = true;
+        model.functions.push_back(fn);
+    }
+    model.entry = 0;
+    return model;
+}
+
+/// Two ICs over `functions` names: both instrument the even half; B swaps
+/// `width` even entries for odd ones, so A->B->A... flips 2*width functions.
+std::pair<select::InstrumentationConfig, select::InstrumentationConfig> swapIcs(
+    std::uint32_t functions, std::uint32_t width) {
+    select::InstrumentationConfig a;
+    select::InstrumentationConfig b;
+    for (std::uint32_t i = 0; i < functions; i += 2) {
+        a.addFunction("fn" + std::to_string(i));
+        b.addFunction("fn" + std::to_string(i < 2 * width ? i + 1 : i));
+    }
+    return {std::move(a), std::move(b)};
+}
+
+void BM_FullRepatch(benchmark::State& state) {
+    binsim::Process process(binsim::compile(
+        flatModel(static_cast<std::uint32_t>(state.range(0)))));
+    dyncapi::DynCapi dyn(process);
+    auto [icA, icB] = swapIcs(static_cast<std::uint32_t>(state.range(0)),
+                              static_cast<std::uint32_t>(state.range(1)));
+    std::uint64_t pages = 0;
+    bool flip = false;
+    for (auto _ : state) {
+        dyncapi::InitStats stats = dyn.applyIc(flip ? icB : icA);
+        pages += stats.pagesTouched;
+        flip = !flip;
+    }
+    state.counters["pages/op"] =
+        static_cast<double>(pages) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_FullRepatch)->Args({5000, 16})->Args({5000, 256});
+
+void BM_DeltaRepatch(benchmark::State& state) {
+    binsim::Process process(binsim::compile(
+        flatModel(static_cast<std::uint32_t>(state.range(0)))));
+    dyncapi::DynCapi dyn(process);
+    auto [icA, icB] = swapIcs(static_cast<std::uint32_t>(state.range(0)),
+                              static_cast<std::uint32_t>(state.range(1)));
+    dyn.applyIc(icA);
+    std::uint64_t pages = 0;
+    bool flip = true;
+    for (auto _ : state) {
+        dyncapi::DeltaStats stats = dyn.applyIcDelta(flip ? icB : icA);
+        pages += stats.pagesTouched;
+        flip = !flip;
+    }
+    state.counters["pages/op"] =
+        static_cast<double>(pages) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DeltaRepatch)->Args({5000, 16})->Args({5000, 256});
+
+/// Planner fixture per graph size: candidate = every node, model populated
+/// with deterministic synthetic estimates.
+struct PlannerFixture {
+    std::unique_ptr<scorep::Measurement> measurement;
+    adapt::OverheadModel model;
+    select::InstrumentationConfig candidate;
+
+    explicit PlannerFixture(const cg::CallGraph& graph)
+        : measurement(std::make_unique<scorep::Measurement>()),
+          model([] {
+              adapt::ModelOptions options;
+              options.perEventCostNs = 100.0;
+              return options;
+          }()) {
+        scorep::ProfileTree tree;
+        for (cg::FunctionId id = 0; id < graph.size(); ++id) {
+            const std::string& name = graph.name(id);
+            candidate.addFunction(name);
+            scorep::RegionHandle handle = measurement->defineRegion(name);
+            std::size_t node = tree.childOf(tree.root(), handle);
+            tree.node(node).visits = (id * 7919u) % 3000u;
+            tree.node(node).inclusiveNs = (id * 104729u) % 1000000u;
+        }
+        model.observeEpoch(tree, *measurement, 1e10);
+    }
+};
+
+const PlannerFixture& plannerFixture(std::uint32_t nodes) {
+    static std::map<std::uint32_t, std::unique_ptr<PlannerFixture>> cache;
+    auto it = cache.find(nodes);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(nodes, std::make_unique<PlannerFixture>(
+                                     bench::scaledOpenFoamGraph(nodes)))
+                 .first;
+    }
+    return *it->second;
+}
+
+void runPlannerBench(benchmark::State& state, bool parallel) {
+    const cg::CallGraph& graph =
+        bench::scaledOpenFoamGraph(static_cast<std::uint32_t>(state.range(0)));
+    const PlannerFixture& fixture =
+        plannerFixture(static_cast<std::uint32_t>(state.range(0)));
+    adapt::BudgetPlanner planner(graph);
+    adapt::PlannerOptions options;
+    options.budgetFraction = 0.05;
+    options.threads = parallel ? 0 : 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            planner.plan(fixture.candidate, fixture.model, options).ic.size());
+    }
+    state.SetItemsProcessed(state.iterations() * graph.size());
+    if (parallel) {
+        state.counters["threads"] =
+            static_cast<double>(support::Executor::pool().threadCount());
+    }
+}
+
+void BM_BudgetPlannerSerial(benchmark::State& state) {
+    runPlannerBench(state, /*parallel=*/false);
+}
+BENCHMARK(BM_BudgetPlannerSerial)->Arg(50000)->Arg(200000);
+
+void BM_BudgetPlannerParallel(benchmark::State& state) {
+    runPlannerBench(state, /*parallel=*/true);
+}
+BENCHMARK(BM_BudgetPlannerParallel)->Arg(50000)->Arg(200000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

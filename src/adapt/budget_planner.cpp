@@ -1,0 +1,167 @@
+#include "adapt/budget_planner.hpp"
+
+#include <algorithm>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/executor.hpp"
+#include "support/thread_pool.hpp"
+
+namespace capi::adapt {
+
+namespace {
+
+/// Below this candidate count the sharded lookup phase costs more than the
+/// loop it splits (same family as select's sharding threshold).
+constexpr std::size_t kParallelPlanThreshold = 1 << 14;
+
+struct CandidateInfo {
+    std::uint64_t group = 0;
+    double costNs = 0.0;
+    double valueNs = 0.0;
+};
+
+struct Group {
+    double costNs = 0.0;
+    double valueNs = 0.0;
+    std::size_t firstCandidate = 0;  ///< Deterministic tie-break.
+    bool keep = false;
+    bool included = false;
+};
+
+}  // namespace
+
+PlanResult BudgetPlanner::plan(const select::InstrumentationConfig& candidate,
+                               const OverheadModel& model,
+                               const PlannerOptions& options) const {
+    PlanResult result;
+    result.ic.specName = candidate.specName.empty() ? "budget"
+                                                    : candidate.specName + "+budget";
+    result.ic.application = candidate.application;
+
+    if (model.epochCount() == 0) {
+        // Nothing measured yet: no basis to exclude anything.
+        result.ic.functions = candidate.functions;
+        result.ic.staticIds = candidate.staticIds;
+        return result;
+    }
+
+    std::shared_ptr<const select::SccResult> scc;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        if (cachedScc_ == nullptr || cachedGeneration_ != graph_->generation()) {
+            cachedScc_ = std::make_shared<const select::SccResult>(
+                select::computeScc(*graph_));
+            cachedGeneration_ = graph_->generation();
+        }
+        scc = cachedScc_;
+    }
+    const std::size_t comps = scc->componentCount;
+
+    // Phase 1 (sharded): per-candidate graph/SCC/model lookups. Each shard
+    // writes a disjoint slice, so the array is identical at any width; the
+    // serial sweep below consumes it in fixed candidate order, which is what
+    // makes the whole plan thread-count invariant.
+    const std::size_t count = candidate.functions.size();
+    std::vector<CandidateInfo> info(count);
+    auto lookupRange = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const std::string& name = candidate.functions[i];
+            CandidateInfo& entry = info[i];
+            cg::FunctionId id = graph_->lookup(name);
+            // Candidates outside the graph (added by inlining compensation
+            // against a newer binary, say) form singleton pseudo-groups
+            // above the component id space.
+            entry.group = id == cg::kInvalidFunction
+                              ? static_cast<std::uint64_t>(comps) + i
+                              : scc->component[id];
+            if (const RegionEstimate* estimate = model.estimate(name)) {
+                entry.costNs = model.probeCostNs(*estimate);
+                entry.valueNs = estimate->exclusiveNs;
+            }
+        }
+    };
+    support::ThreadPool* pool =
+        options.pool != nullptr ? options.pool : support::Executor::poolFor(options.threads);
+    if (pool != nullptr && pool->threadCount() > 1 && count >= kParallelPlanThreshold) {
+        std::size_t grain = std::max<std::size_t>(512, count / (pool->threadCount() * 4));
+        pool->parallelFor(count, grain, lookupRange);
+    } else {
+        lookupRange(0, count);
+    }
+
+    // Phase 2 (serial, deterministic): fold candidates into groups in
+    // candidate order.
+    std::unordered_set<std::string_view> keepSet(options.keep.begin(),
+                                                 options.keep.end());
+    std::unordered_map<std::uint64_t, std::size_t> groupIndex;
+    std::vector<Group> groups;
+    std::vector<std::size_t> groupOf(count);
+    groupIndex.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto [it, inserted] = groupIndex.try_emplace(info[i].group, groups.size());
+        if (inserted) {
+            groups.push_back(Group{0.0, 0.0, i, false, false});
+        }
+        Group& group = groups[it->second];
+        groupOf[i] = it->second;
+        group.costNs += info[i].costNs;
+        group.valueNs += info[i].valueNs;
+        group.keep = group.keep || keepSet.count(candidate.functions[i]) != 0;
+    }
+    result.groupsConsidered = groups.size();
+
+    // Phase 3: greedy cost/value knapsack. Keep-listed groups first (budget
+    // notwithstanding), free groups next (they cannot spend budget), then
+    // the rest by value density — compared by cross multiplication so no
+    // division noise enters the ordering.
+    result.budgetNs = options.budgetFraction * model.appRuntimeNs();
+    double spentNs = 0.0;
+    std::vector<std::size_t> sweep;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (groups[g].keep || groups[g].costNs <= 0.0) {
+            groups[g].included = true;
+            spentNs += groups[g].costNs;
+        } else {
+            sweep.push_back(g);
+        }
+    }
+    std::sort(sweep.begin(), sweep.end(), [&](std::size_t a, std::size_t b) {
+        double lhs = groups[a].valueNs * groups[b].costNs;
+        double rhs = groups[b].valueNs * groups[a].costNs;
+        if (lhs != rhs) {
+            return lhs > rhs;
+        }
+        return groups[a].firstCandidate < groups[b].firstCandidate;
+    });
+    for (std::size_t g : sweep) {
+        if (spentNs + groups[g].costNs <= result.budgetNs) {
+            groups[g].included = true;
+            spentNs += groups[g].costNs;
+        }
+    }
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::string& name = candidate.functions[i];
+        if (groups[groupOf[i]].included) {
+            result.ic.addFunction(name);
+            auto staticIt = candidate.staticIds.find(name);
+            if (staticIt != candidate.staticIds.end()) {
+                result.ic.staticIds.insert(*staticIt);
+            }
+        } else {
+            result.excluded.push_back(name);
+        }
+    }
+    for (const Group& group : groups) {
+        if (group.included) {
+            result.plannedProbeCostNs += group.costNs;
+            result.retainedValueNs += group.valueNs;
+            ++result.groupsRetained;
+        }
+    }
+    return result;
+}
+
+}  // namespace capi::adapt

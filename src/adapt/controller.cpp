@@ -1,0 +1,121 @@
+#include "adapt/controller.hpp"
+
+#include <algorithm>
+
+namespace capi::adapt {
+
+Controller::Controller(const cg::CallGraph& graph, dyncapi::DynCapi& dyn,
+                       ControllerOptions options)
+    : dyn_(&dyn),
+      options_(std::move(options)),
+      session_(std::make_unique<dyncapi::RefinementSession>(graph,
+                                                            options_.threads)),
+      model_(options_.model),
+      planner_(graph) {}
+
+Controller::~Controller() = default;
+
+select::SelectionReport Controller::startFromSpec(const std::string& specText,
+                                                  const std::string& specName,
+                                                  select::SelectionOptions base) {
+    select::SelectionReport report = session_->select(specText, specName, base);
+    start(report.ic);
+    return report;
+}
+
+dyncapi::InitStats Controller::start(select::InstrumentationConfig surveyIc) {
+    surveyIc_ = std::move(surveyIc);
+    currentIc_ = surveyIc_;
+    lastReport_ = EpochReport{};
+    return dyn_->applyIc(currentIc_);
+}
+
+EpochReport Controller::epoch(const scorep::ProfileTree& profile,
+                              const scorep::Measurement& measurement,
+                              double runtimeNs) {
+    model_.observeEpoch(profile, measurement, runtimeNs, &currentIc_);
+
+    EpochReport report;
+    report.epoch = lastReport_.epoch + 1;
+    report.runtimeNs = runtimeNs;
+    report.measuredProbeCostNs = model_.lastEpochProbeCostNs();
+    report.measuredOverheadRatio = model_.lastEpochOverheadRatio();
+    report.withinBudget = report.measuredOverheadRatio <= options_.budgetFraction;
+
+    // Re-plan over the survey candidates, not the shrunken current IC:
+    // the model's frozen estimates let the planner re-admit regions whose
+    // smoothed cost no longer blocks the budget.
+    PlannerOptions plannerOptions;
+    plannerOptions.budgetFraction = options_.budgetFraction;
+    plannerOptions.keep = options_.keep;
+    plannerOptions.threads = options_.threads;
+    PlanResult plan = planner_.plan(surveyIc_, model_, plannerOptions);
+    report.budgetNs = plan.budgetNs;
+    report.plannedProbeCostNs = plan.plannedProbeCostNs;
+    report.icSize = plan.ic.size();
+
+    select::IcDelta delta = select::icDiff(currentIc_, plan.ic);
+    report.addedFunctions = delta.added.size();
+    report.removedFunctions = delta.removed.size();
+    report.patch = dyn_->applyIcDelta(plan.ic);
+    currentIc_ = std::move(plan.ic);
+
+    lastReport_ = report;
+    return report;
+}
+
+EpochReport Controller::epochAllRanks(mpi::MpiWorld& world, int rank,
+                                      double virtualNow,
+                                      const scorep::ProfileTree& localProfile,
+                                      const scorep::Measurement& measurement,
+                                      double runtimeNs) {
+    struct Slot {
+        const scorep::ProfileTree* local;
+        double runtimeNs;
+        EpochReport report;
+    };
+    Slot slot{&localProfile, runtimeNs, {}};
+    // The last-arriving rank reduces every deposited tree, runs the epoch
+    // once and broadcasts the report back through the slots — one plan, one
+    // delta repatch, one IC for the whole world. Runtimes are SUMMED across
+    // ranks to match the merged profile's summed visit counts: the world's
+    // probe cost over the world's aggregate compute time is the average
+    // per-rank overhead, so the ratio (and the budget derived from it) does
+    // not scale with world size.
+    world.allreduceData(
+        rank, virtualNow, &slot, [&](const std::vector<void*>& all) {
+            scorep::ProfileTree merged;
+            double worldRuntimeNs = 0.0;
+            for (void* entry : all) {
+                auto* other = static_cast<Slot*>(entry);
+                merged.mergeFrom(*other->local);
+                worldRuntimeNs += other->runtimeNs;
+            }
+            EpochReport report = epoch(merged, measurement, worldRuntimeNs);
+            for (void* entry : all) {
+                static_cast<Slot*>(entry)->report = report;
+            }
+        });
+    return slot.report;
+}
+
+select::InstrumentationConfig surveyOfDefinedFunctions(
+    const cg::CallGraph& graph) {
+    select::InstrumentationConfig ic;
+    ic.specName = "survey";
+    for (cg::FunctionId id = 0; id < graph.size(); ++id) {
+        if (graph.desc(id).flags.hasBody) {
+            ic.addFunction(graph.name(id));
+        }
+    }
+    return ic;
+}
+
+double virtualEpochRuntimeNs(const binsim::RunStats& stats,
+                             const scorep::Measurement& measurement,
+                             double perEventCostNs) {
+    return stats.virtualNs +
+           static_cast<double>(measurement.probeEvents()) * perEventCostNs;
+}
+
+}  // namespace capi::adapt

@@ -1,0 +1,141 @@
+// The adaptive controller: a continuous measure -> model -> plan ->
+// delta-patch loop that converges the instrumented set onto an overhead
+// budget at runtime, without recompilation.
+//
+//          +-----------(next epoch)------------+
+//          v                                   |
+//   [measure epoch] -> [OverheadModel] -> [BudgetPlanner] -> [applyIcDelta]
+//    profile, runtime    EWMA per-region        greedy knapsack    flip only
+//                        visits/excl. time      under the budget   changed sleds
+//
+// The controller replaces the one-shot refineIc threshold rule with a closed
+// feedback loop: every epoch re-plans over the full survey candidate set, so
+// regions excluded earlier are re-admitted when their smoothed cost drops —
+// the instrumentation breathes with the workload. Repatching applies only
+// the IC delta; the epochs after the first touch a handful of code pages
+// where a full applyIc re-flips every sled page in the process.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapt/budget_planner.hpp"
+#include "adapt/overhead_model.hpp"
+#include "binsim/execution_engine.hpp"
+#include "dyncapi/dyncapi.hpp"
+#include "dyncapi/refinement.hpp"
+#include "mpisim/mpi_world.hpp"
+#include "select/ic.hpp"
+
+namespace capi::adapt {
+
+struct ControllerOptions {
+    /// Probe-time budget as a fraction of application runtime.
+    double budgetFraction = 0.05;
+    /// Epoch cap for run() convenience loops (the controller itself keeps
+    /// accepting epochs beyond it).
+    std::size_t maxEpochs = 10;
+    ModelOptions model;
+    /// Regions never excluded (forwarded to the planner).
+    std::vector<std::string> keep;
+    /// Selection/planning parallelism, as in PipelineOptions.
+    std::size_t threads = 1;
+};
+
+/// What one epoch measured and what the controller did about it.
+struct EpochReport {
+    std::size_t epoch = 0;                ///< 1-based.
+    double runtimeNs = 0.0;               ///< As reported by the embedder.
+    double measuredProbeCostNs = 0.0;     ///< Observed visits x event cost.
+    double measuredOverheadRatio = 0.0;   ///< Cost / runtime, this epoch.
+    bool withinBudget = false;            ///< ratio <= budgetFraction.
+    double budgetNs = 0.0;                ///< Planner budget applied.
+    double plannedProbeCostNs = 0.0;      ///< Predicted cost of the new IC.
+    std::size_t icSize = 0;               ///< Functions in the new IC.
+    std::size_t addedFunctions = 0;       ///< Re-admitted vs previous IC.
+    std::size_t removedFunctions = 0;     ///< Excluded vs previous IC.
+    dyncapi::DeltaStats patch;            ///< The delta repatch that applied it.
+};
+
+class Controller {
+public:
+    /// `graph` and `dyn` must outlive the controller. Owns a
+    /// dyncapi::RefinementSession so spec-driven survey selection shares
+    /// stage results across epochs and borrows the process-wide pool.
+    Controller(const cg::CallGraph& graph, dyncapi::DynCapi& dyn,
+               ControllerOptions options = {});
+    ~Controller();
+
+    Controller(const Controller&) = delete;
+    Controller& operator=(const Controller&) = delete;
+
+    /// Runs `specText` through the session and installs the result as the
+    /// survey IC (full repatch — the reference path; every later epoch
+    /// patches deltas only).
+    select::SelectionReport startFromSpec(const std::string& specText,
+                                          const std::string& specName = "survey",
+                                          select::SelectionOptions base = {});
+
+    /// Installs a ready-made survey IC via full applyIc.
+    dyncapi::InitStats start(select::InstrumentationConfig surveyIc);
+
+    /// One epoch: folds the measured profile into the model, re-plans over
+    /// the survey candidates under the budget, and delta-patches the result.
+    /// `runtimeNs` is the epoch's runtime in the same time base as the
+    /// model's perEventCostNs (wall or virtual — consistency is what
+    /// matters).
+    EpochReport epoch(const scorep::ProfileTree& profile,
+                      const scorep::Measurement& measurement, double runtimeNs);
+
+    /// MPI variant: a data-carrying allreduce merges every rank's profile
+    /// tree, one rank runs epoch() over the merged tree (with the runtimes
+    /// summed across ranks, matching the summed visit counts), and all
+    /// ranks return the identical report — so the whole world converges on
+    /// one IC, as the paper's MPI use case requires. Collective: every rank
+    /// must call it. Precondition: all ranks share ONE Measurement (the
+    /// in-process simulation's natural shape), so region handles mean the
+    /// same thing in every deposited tree.
+    EpochReport epochAllRanks(mpi::MpiWorld& world, int rank, double virtualNow,
+                              const scorep::ProfileTree& localProfile,
+                              const scorep::Measurement& measurement,
+                              double runtimeNs);
+
+    /// The last epoch's measured overhead met the budget.
+    bool converged() const { return lastReport_.epoch > 0 && lastReport_.withinBudget; }
+    /// Converged, or the maxEpochs cap is exhausted.
+    bool done() const {
+        return converged() || lastReport_.epoch >= options_.maxEpochs;
+    }
+
+    std::size_t epochsRun() const { return lastReport_.epoch; }
+    const EpochReport& lastReport() const { return lastReport_; }
+    const select::InstrumentationConfig& currentIc() const { return currentIc_; }
+    const select::InstrumentationConfig& surveyIc() const { return surveyIc_; }
+    const OverheadModel& model() const { return model_; }
+    dyncapi::RefinementSession& session() { return *session_; }
+
+private:
+    dyncapi::DynCapi* dyn_;
+    ControllerOptions options_;
+    std::unique_ptr<dyncapi::RefinementSession> session_;
+    OverheadModel model_;
+    BudgetPlanner planner_;
+    select::InstrumentationConfig surveyIc_;
+    select::InstrumentationConfig currentIc_;
+    EpochReport lastReport_;
+};
+
+/// The "instrument everything with a body" survey IC — the broadest useful
+/// starting point for the controller (tools, examples and tests share it).
+select::InstrumentationConfig surveyOfDefinedFunctions(const cg::CallGraph& graph);
+
+/// Epoch runtime for virtual-clock embedders: the engine's virtual time
+/// excludes probe cost, so add the modelled cost back to get the total a
+/// wall clock would have seen (wall-clock embedders pass elapsed time).
+double virtualEpochRuntimeNs(const binsim::RunStats& stats,
+                             const scorep::Measurement& measurement,
+                             double perEventCostNs);
+
+}  // namespace capi::adapt

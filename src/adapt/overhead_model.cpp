@@ -1,0 +1,73 @@
+#include "adapt/overhead_model.hpp"
+
+namespace capi::adapt {
+
+namespace {
+
+double ewma(double previous, double observed, double alpha, bool first) {
+    return first ? observed : alpha * observed + (1.0 - alpha) * previous;
+}
+
+}  // namespace
+
+void OverheadModel::observeEpoch(const scorep::ProfileTree& profile,
+                                 const scorep::Measurement& measurement,
+                                 double epochRuntimeNs,
+                                 const select::InstrumentationConfig* activeIc) {
+    // Aggregate the epoch per region name (several handles can share a name
+    // when measurements are recreated across epochs, so fold by name).
+    struct Observed {
+        double visits = 0.0;
+        double exclusiveNs = 0.0;
+    };
+    std::unordered_map<std::string, Observed> observed;
+    for (const auto& [region, totals] : profile.regionTotals()) {
+        Observed& entry = observed[measurement.region(region).name];
+        entry.visits += static_cast<double>(totals.visits);
+        entry.exclusiveNs += static_cast<double>(totals.exclusiveNs);
+    }
+
+    double epochCostNs = 0.0;
+    for (const auto& [name, obs] : observed) {
+        epochCostNs += obs.visits * 2.0 * options_.perEventCostNs;
+        RegionEstimate& estimate = estimates_[name];
+        bool first = estimate.epochsObserved == 0;
+        estimate.visits = ewma(estimate.visits, obs.visits, options_.ewmaAlpha, first);
+        estimate.exclusiveNs =
+            ewma(estimate.exclusiveNs, obs.exclusiveNs, options_.ewmaAlpha, first);
+        ++estimate.epochsObserved;
+    }
+
+    // Active regions without profile data observed zero this epoch; inactive
+    // regions are unobservable and keep their frozen estimate.
+    if (activeIc != nullptr) {
+        for (const std::string& name : activeIc->functions) {
+            if (observed.count(name) != 0) {
+                continue;
+            }
+            auto it = estimates_.find(name);
+            if (it == estimates_.end() || it->second.epochsObserved == 0) {
+                continue;  // Never seen: nothing to decay.
+            }
+            RegionEstimate& estimate = it->second;
+            estimate.visits = ewma(estimate.visits, 0.0, options_.ewmaAlpha, false);
+            estimate.exclusiveNs =
+                ewma(estimate.exclusiveNs, 0.0, options_.ewmaAlpha, false);
+            ++estimate.epochsObserved;
+        }
+    }
+
+    bool first = epochs_ == 0;
+    runtimeNs_ = ewma(runtimeNs_, epochRuntimeNs, options_.ewmaAlpha, first);
+    incurredCostNs_ = ewma(incurredCostNs_, epochCostNs, options_.ewmaAlpha, first);
+    lastEpochCostNs_ = epochCostNs;
+    lastEpochRuntimeNs_ = epochRuntimeNs;
+    ++epochs_;
+}
+
+const RegionEstimate* OverheadModel::estimate(const std::string& name) const {
+    auto it = estimates_.find(name);
+    return it == estimates_.end() ? nullptr : &it->second;
+}
+
+}  // namespace capi::adapt

@@ -1,0 +1,99 @@
+// Per-region probe-cost estimation across measurement epochs.
+//
+// The adaptive controller (see controller.hpp) needs two numbers per region
+// to trade instrumentation coverage against overhead: what keeping the
+// region's probes costs per epoch (visit count x calibrated per-event cost,
+// the model of Arafa et al.'s "redundancy" — probes whose cost exceeds their
+// information value) and what measuring it buys (its exclusive time). Both
+// are folded across epochs with an exponentially weighted moving average so
+// a single bursty epoch cannot thrash the instrumented set, following the
+// adaptive-sampling feedback designs of Mertz & Nunes.
+//
+// Regions carried in the active IC but absent from an epoch's profile
+// observed a true zero (they did not run); regions *outside* the active IC
+// are unobservable — their probes are unpatched — so their estimates stay
+// frozen at the last measured value, which is the best predictor available
+// should the planner re-admit them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "scorepsim/measurement.hpp"
+#include "scorepsim/profile.hpp"
+#include "select/ic.hpp"
+
+namespace capi::adapt {
+
+struct ModelOptions {
+    /// Calibrated wall (or virtual) cost of one probe event; see
+    /// scorep::calibrateProbeCostNs().
+    double perEventCostNs = 120.0;
+    /// Weight of the newest epoch in the moving average (1.0 = no memory).
+    double ewmaAlpha = 0.5;
+};
+
+/// Smoothed per-epoch behaviour of one region.
+struct RegionEstimate {
+    double visits = 0.0;        ///< Visits per epoch (EWMA).
+    double exclusiveNs = 0.0;   ///< Exclusive time per epoch (EWMA).
+    std::size_t epochsObserved = 0;
+};
+
+class OverheadModel {
+public:
+    explicit OverheadModel(ModelOptions options = {}) : options_(options) {}
+
+    /// Folds one epoch's merged profile into the estimates. `activeIc`
+    /// names the regions that were instrumented during the epoch (see the
+    /// freeze semantics above); nullptr treats every known region as active.
+    void observeEpoch(const scorep::ProfileTree& profile,
+                      const scorep::Measurement& measurement,
+                      double epochRuntimeNs,
+                      const select::InstrumentationConfig* activeIc = nullptr);
+
+    std::size_t epochCount() const { return epochs_; }
+    const ModelOptions& options() const { return options_; }
+
+    const RegionEstimate* estimate(const std::string& name) const;
+    const std::unordered_map<std::string, RegionEstimate>& estimates() const {
+        return estimates_;
+    }
+
+    /// Predicted per-epoch probe cost of keeping a region instrumented:
+    /// one enter plus one exit event per visit.
+    double probeCostNs(const RegionEstimate& estimate) const {
+        return estimate.visits * 2.0 * options_.perEventCostNs;
+    }
+
+    /// Smoothed epoch runtime and the probe cost actually incurred.
+    double epochRuntimeNs() const { return runtimeNs_; }
+    double incurredProbeCostNs() const { return incurredCostNs_; }
+    /// Runtime attributable to the application itself — the base the
+    /// planner's budget is computed against, so the post-trim overhead
+    /// ratio stays below the budget even as the runtime shrinks.
+    double appRuntimeNs() const {
+        double app = runtimeNs_ - incurredCostNs_;
+        return app > 0.0 ? app : 0.0;
+    }
+
+    /// The latest epoch alone, un-smoothed: this is the "measured probe
+    /// overhead" the controller checks for convergence.
+    double lastEpochProbeCostNs() const { return lastEpochCostNs_; }
+    double lastEpochOverheadRatio() const {
+        return lastEpochRuntimeNs_ > 0.0 ? lastEpochCostNs_ / lastEpochRuntimeNs_
+                                         : 0.0;
+    }
+
+private:
+    ModelOptions options_;
+    std::unordered_map<std::string, RegionEstimate> estimates_;
+    std::size_t epochs_ = 0;
+    double runtimeNs_ = 0.0;
+    double incurredCostNs_ = 0.0;
+    double lastEpochCostNs_ = 0.0;
+    double lastEpochRuntimeNs_ = 0.0;
+};
+
+}  // namespace capi::adapt

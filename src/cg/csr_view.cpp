@@ -7,17 +7,52 @@
 #include <unordered_map>
 
 #include "cg/call_graph.hpp"
+#include "support/executor.hpp"
+#include "support/thread_pool.hpp"
 
 namespace capi::cg {
 
 namespace {
 
+/// Below this node count the sharded build's bookkeeping outweighs the
+/// copies it splits (same threshold family as the selector halves).
+constexpr std::size_t kParallelBuildThreshold = 1 << 14;
+
+std::size_t buildGrain(std::size_t n, const support::ThreadPool& pool) {
+    return std::max<std::size_t>(1024, n / (pool.threadCount() * 4));
+}
+
 /// Flattens one adjacency relation into CSR form. The per-node vectors are
 /// already sorted and unique, so a straight copy preserves that invariant.
+/// With a pool: per-node sizes are counted in parallel, prefix-summed
+/// serially (O(V), cheap), and each shard then copies its rows into the
+/// offset-determined slice of the edge array — bit-identical to the serial
+/// append loop because every byte's position is fixed by the offsets alone.
 template <typename RowGetter>
 void buildRows(std::size_t n, RowGetter&& rowOf, std::vector<std::uint32_t>& offsets,
-               std::vector<FunctionId>& edges) {
+               std::vector<FunctionId>& edges, support::ThreadPool* pool) {
     offsets.resize(n + 1);
+    if (pool != nullptr) {
+        const std::size_t grain = buildGrain(n, *pool);
+        pool->parallelFor(n, grain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t id = lo; id < hi; ++id) {
+                offsets[id + 1] = static_cast<std::uint32_t>(
+                    rowOf(static_cast<FunctionId>(id)).size());
+            }
+        });
+        offsets[0] = 0;
+        for (std::size_t id = 0; id < n; ++id) {
+            offsets[id + 1] += offsets[id];
+        }
+        edges.resize(offsets[n]);
+        pool->parallelFor(n, grain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t id = lo; id < hi; ++id) {
+                const auto& row = rowOf(static_cast<FunctionId>(id));
+                std::copy(row.begin(), row.end(), edges.begin() + offsets[id]);
+            }
+        });
+        return;
+    }
     std::size_t total = 0;
     for (std::size_t id = 0; id < n; ++id) {
         offsets[id] = static_cast<std::uint32_t>(total);
@@ -33,26 +68,54 @@ void buildRows(std::size_t n, RowGetter&& rowOf, std::vector<std::uint32_t>& off
 
 }  // namespace
 
-CsrView::CsrView(const CallGraph& graph) {
+CsrView::CsrView(const CallGraph& graph, support::ThreadPool* pool) {
     const std::size_t n = graph.size();
     generation_ = graph.generation();
     nodeCount_ = n;
     entry_ = graph.entryPoint();
+    if (pool != nullptr && (pool->threadCount() <= 1 || n < kParallelBuildThreshold)) {
+        pool = nullptr;
+    }
 
     buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
         return graph.callees(id);
-    }, callees_.offsets, callees_.edges);
+    }, callees_.offsets, callees_.edges, pool);
     buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
         return graph.callers(id);
-    }, callers_.offsets, callers_.edges);
+    }, callers_.offsets, callers_.edges, pool);
     buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
         return graph.overrides(id);
-    }, overrides_.offsets, overrides_.edges);
+    }, overrides_.offsets, overrides_.edges, pool);
     buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
         return graph.overriddenBy(id);
-    }, overriddenBy_.offsets, overriddenBy_.edges);
+    }, overriddenBy_.offsets, overriddenBy_.edges, pool);
 
     nameOffsets_.resize(n + 1);
+    numStatements_.resize(n);
+    if (pool != nullptr) {
+        const std::size_t grain = buildGrain(n, *pool);
+        pool->parallelFor(n, grain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t id = lo; id < hi; ++id) {
+                nameOffsets_[id + 1] = static_cast<std::uint32_t>(
+                    graph.name(static_cast<FunctionId>(id)).size());
+            }
+        });
+        nameOffsets_[0] = 0;
+        for (std::size_t id = 0; id < n; ++id) {
+            nameOffsets_[id + 1] += nameOffsets_[id];
+        }
+        nameArena_.resize(nameOffsets_[n]);
+        pool->parallelFor(n, grain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t id = lo; id < hi; ++id) {
+                const std::string& name = graph.name(static_cast<FunctionId>(id));
+                std::copy(name.begin(), name.end(),
+                          nameArena_.begin() + nameOffsets_[id]);
+                numStatements_[id] =
+                    graph.desc(static_cast<FunctionId>(id)).metrics.numStatements;
+            }
+        });
+        return;
+    }
     std::size_t arenaBytes = 0;
     for (std::size_t id = 0; id < n; ++id) {
         nameOffsets_[id] = static_cast<std::uint32_t>(arenaBytes);
@@ -60,7 +123,6 @@ CsrView::CsrView(const CallGraph& graph) {
     }
     nameOffsets_[n] = static_cast<std::uint32_t>(arenaBytes);
     nameArena_.reserve(arenaBytes);
-    numStatements_.resize(n);
     for (std::size_t id = 0; id < n; ++id) {
         nameArena_ += graph.name(static_cast<FunctionId>(id));
         numStatements_[id] =
@@ -112,7 +174,12 @@ std::shared_ptr<const CsrView> CsrView::snapshot(const CallGraph& graph) {
         return future.get();  // Rethrows if the builder failed.
     }
     try {
-        auto view = std::make_shared<const CsrView>(graph);
+        // Large graphs borrow the process-wide pool (0 = "hardware width");
+        // the ctor falls back to the serial reference path below threshold.
+        support::ThreadPool* pool =
+            graph.size() >= kParallelBuildThreshold ? support::Executor::poolFor(0)
+                                                    : nullptr;
+        auto view = std::make_shared<const CsrView>(graph, pool);
         promise.set_value(view);
         return view;
     } catch (...) {

@@ -27,6 +27,10 @@
 
 #include "cg/types.hpp"
 
+namespace capi::support {
+class ThreadPool;
+}
+
 namespace capi::cg {
 
 class CallGraph;
@@ -35,11 +39,16 @@ class CsrView {
 public:
     /// The shared snapshot of `graph` at its current generation. Built on
     /// first use after a mutation; later calls at the same stamp return the
-    /// same instance (thread-safe, bounded process-wide registry).
+    /// same instance (thread-safe, bounded process-wide registry). Large
+    /// graphs build on the process-wide support::Executor pool — the build
+    /// was the last serial O(V+E) pass on the re-selection path.
     static std::shared_ptr<const CsrView> snapshot(const CallGraph& graph);
 
-    /// Direct build, bypassing the registry (benchmarks, tests).
-    explicit CsrView(const CallGraph& graph);
+    /// Direct build, bypassing the registry (benchmarks, tests). With a
+    /// pool, per-relation size counting and row filling are sharded over
+    /// node ranges; the result is bit-identical to the serial build (each
+    /// shard writes a disjoint, position-determined slice).
+    explicit CsrView(const CallGraph& graph, support::ThreadPool* pool = nullptr);
 
     std::uint64_t generation() const noexcept { return generation_; }
     std::size_t size() const noexcept { return nodeCount_; }

@@ -1,6 +1,7 @@
 #include "dyncapi/dyncapi.hpp"
 
 #include <mutex>
+#include <unordered_set>
 
 #include "binsim/execution_engine.hpp"
 #include "binsim/nm.hpp"
@@ -207,23 +208,75 @@ InitStats DynCapi::applyIc(const select::InstrumentationConfig& ic) {
 
     support::Timer timer;
     xray::XRayRuntime& xr = process_->xray();
+    const std::uint64_t pagesBefore = process_->memory().pagesMadeWritable();
     xr.unpatchAll();
     for (const std::string& name : ic.functions) {
-        std::optional<xray::PackedId> pid;
-        auto staticIt = ic.staticIds.find(name);
-        if (staticIt != ic.staticIds.end()) {
-            pid = staticIt->second;  // Static-ID extension: no name resolution.
-        } else {
-            pid = resolveName(name);
-        }
+        std::optional<xray::PackedId> pid = resolveIcEntry(ic, name);
         if (pid.has_value() && xr.patchFunction(*pid)) {
             ++stats.patchedFunctions;
         } else {
             ++stats.requestedUnavailable;
         }
     }
+    stats.pagesTouched = process_->memory().pagesMadeWritable() - pagesBefore;
     stats.patchSeconds = timer.elapsedSec();
     stats.totalSeconds = stats.symbolResolutionSeconds + stats.patchSeconds;
+    return stats;
+}
+
+std::optional<xray::PackedId> DynCapi::resolveIcEntry(
+    const select::InstrumentationConfig& ic, const std::string& name) const {
+    auto staticIt = ic.staticIds.find(name);
+    if (staticIt != ic.staticIds.end()) {
+        return staticIt->second;  // Static-ID extension: no name resolution.
+    }
+    return resolveName(name);
+}
+
+DeltaStats DynCapi::applyIcDelta(const select::InstrumentationConfig& ic) {
+    DeltaStats stats;
+    stats.requestedFunctions = ic.functions.size();
+
+    support::Timer timer;
+    xray::XRayRuntime& xr = process_->xray();
+
+    // Requested set, resolved to live packed ids. An entry that resolves but
+    // has no live sled (its object was dlclosed) counts as unavailable here,
+    // matching applyIc's failed patchFunction.
+    std::unordered_set<xray::PackedId> target;
+    target.reserve(ic.functions.size());
+    for (const std::string& name : ic.functions) {
+        std::optional<xray::PackedId> pid = resolveIcEntry(ic, name);
+        if (pid.has_value() && xr.functionAddress(*pid) != 0) {
+            target.insert(*pid);
+        } else {
+            ++stats.requestedUnavailable;
+        }
+    }
+
+    // The currently-patched set is read from the sleds themselves, so state
+    // the previous IC never saw — a re-registered DSO whose sleds reset to
+    // NOP, or sleds another caller flipped — diffs correctly.
+    std::vector<xray::PackedId> toUnpatch;
+    for (xray::PackedId pid : xr.patchedFunctions()) {
+        if (target.erase(pid) != 0) {
+            ++stats.functionsUnchanged;
+        } else {
+            toUnpatch.push_back(pid);
+        }
+    }
+    std::vector<xray::PackedId> toPatch(target.begin(), target.end());
+
+    xray::XRayRuntime::DeltaPatchStats patch = xr.patchDelta(toPatch, toUnpatch);
+    // Per-list unavailability: a toPatch entry that went stale between the
+    // pre-check above and patchDelta (dlclose raced us) is a failed request,
+    // like applyIc's failed patchFunction; a stale toUnpatch entry is simply
+    // already effectively unpatched and not an IC request at all.
+    stats.functionsPatched = toPatch.size() - patch.unavailablePatch;
+    stats.functionsUnpatched = toUnpatch.size() - patch.unavailableUnpatch;
+    stats.requestedUnavailable += patch.unavailablePatch;
+    stats.pagesTouched = patch.pagesMadeWritable;
+    stats.patchSeconds = timer.elapsedSec();
     return stats;
 }
 
@@ -237,9 +290,9 @@ InitStats DynCapi::patchAll() {
     xray::PatchStats patched = process_->xray().patchAll();
     stats.patchedFunctions = sledded_;
     stats.requestedFunctions = sledded_;
+    stats.pagesTouched = patched.pagesMadeWritable;
     stats.patchSeconds = timer.elapsedSec();
     stats.totalSeconds = stats.symbolResolutionSeconds + stats.patchSeconds;
-    (void)patched;
     return stats;
 }
 

@@ -48,6 +48,18 @@ struct InitStats {
     std::size_t patchedFunctions = 0;
     std::size_t requestedUnavailable = 0;    ///< In IC but no patchable sled
                                              ///< (inlined away or filtered).
+    std::uint64_t pagesTouched = 0;          ///< Code pages made writable.
+};
+
+/// Result of an incremental IC swap (applyIcDelta).
+struct DeltaStats {
+    double patchSeconds = 0.0;
+    std::size_t requestedFunctions = 0;   ///< IC entries.
+    std::size_t requestedUnavailable = 0; ///< No live, patchable sled.
+    std::size_t functionsPatched = 0;     ///< Newly instrumented.
+    std::size_t functionsUnpatched = 0;   ///< Dropped from the IC.
+    std::size_t functionsUnchanged = 0;   ///< Already in the requested state.
+    std::uint64_t pagesTouched = 0;       ///< Code pages made writable.
 };
 
 class DynCapi {
@@ -66,6 +78,15 @@ public:
     /// runtime-adaptable workflow). Uses staticIds entries when present,
     /// names otherwise.
     InitStats applyIc(const select::InstrumentationConfig& ic);
+
+    /// Applies an IC incrementally: diffs the requested set against the
+    /// runtime's *actual* sled state and flips only the difference, leaving
+    /// the process in exactly the state applyIc(ic) would — but touching
+    /// only the code pages of changed functions instead of every sled page
+    /// twice. Sound across dlopen/dlclose because the current set is read
+    /// from the sleds, not from a cached previous IC. This is what makes
+    /// the adaptive controller's epoch loop cheap (see src/adapt/).
+    DeltaStats applyIcDelta(const select::InstrumentationConfig& ic);
 
     /// Patches every sled (the `xray full` configuration).
     InitStats patchAll();
@@ -105,6 +126,8 @@ private:
     struct CygBackend;
 
     void resolveAllObjects();
+    std::optional<xray::PackedId> resolveIcEntry(
+        const select::InstrumentationConfig& ic, const std::string& name) const;
 
     binsim::Process* process_;
     /// addressByObject_[objectId][localFid] = runtime entry address (0 = none).

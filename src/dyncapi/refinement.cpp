@@ -1,7 +1,8 @@
 #include "dyncapi/refinement.hpp"
 
-#include <algorithm>
 #include <map>
+#include <string_view>
+#include <unordered_set>
 
 #include "support/executor.hpp"
 
@@ -35,25 +36,21 @@ RefinementResult refineIc(const select::InstrumentationConfig& ic,
                           const scorep::Measurement& measurement,
                           const RefinementOptions& options) {
     // Aggregate the profile per region name.
-    struct Accum {
-        std::uint64_t visits = 0;
-        std::uint64_t exclusiveNs = 0;
-    };
+    using Accum = scorep::ProfileTree::RegionTotals;
     std::map<std::string, Accum> byName;
-    for (std::size_t i = 0; i < profile.nodeCount(); ++i) {
-        const scorep::ProfileNode& node = profile.node(i);
-        if (node.region == scorep::kNoRegion) {
-            continue;
-        }
-        Accum& accum = byName[measurement.region(node.region).name];
-        accum.visits += node.visits;
-        accum.exclusiveNs += profile.exclusiveNs(i);
+    for (const auto& [region, totals] : profile.regionTotals()) {
+        Accum& accum = byName[measurement.region(region).name];
+        accum.visits += totals.visits;
+        accum.exclusiveNs += totals.exclusiveNs;
     }
 
     RefinementResult result;
     result.ic.specName = ic.specName + "+refined";
     result.ic.application = ic.application;
 
+    // string_view keys borrow from options.keep, which outlives the loop.
+    std::unordered_set<std::string_view> keepSet(options.keep.begin(),
+                                                 options.keep.end());
     for (const std::string& name : ic.functions) {
         auto it = byName.find(name);
         if (it == byName.end()) {
@@ -64,8 +61,7 @@ RefinementResult refineIc(const select::InstrumentationConfig& ic,
             continue;
         }
         const Accum& accum = it->second;
-        bool keepListed = std::find(options.keep.begin(), options.keep.end(),
-                                    name) != options.keep.end();
+        bool keepListed = keepSet.count(name) != 0;
         double perVisit = accum.visits == 0
                               ? 0.0
                               : static_cast<double>(accum.exclusiveNs) /

@@ -36,6 +36,7 @@ MpiWorld::MpiWorld(int worldSize, LatencyModel latency)
     }
     clocks_.assign(static_cast<std::size_t>(worldSize), 0.0);
     completions_.assign(static_cast<std::size_t>(worldSize), 0.0);
+    payloads_.assign(static_cast<std::size_t>(worldSize), nullptr);
     initialized_.assign(static_cast<std::size_t>(worldSize), false);
     finalized_.assign(static_cast<std::size_t>(worldSize), false);
     mpiTimeNs_.assign(static_cast<std::size_t>(worldSize), 0.0);
@@ -43,16 +44,31 @@ MpiWorld::MpiWorld(int worldSize, LatencyModel latency)
 
 double MpiWorld::collectiveSync(
     int rank, double virtualNow, OpKind op,
-    const std::function<double(const std::vector<double>&, int)>& completionFn) {
+    const std::function<double(const std::vector<double>&, int)>& completionFn,
+    void* payload, const CombineFn* combine) {
     std::unique_lock<std::mutex> lock(mutex_);
     if (abort_) {
         throw support::Error("MPI aborted");
     }
     clocks_[static_cast<std::size_t>(rank)] = virtualNow;
+    payloads_[static_cast<std::size_t>(rank)] = payload;
     std::uint64_t myGeneration = generation_;
     if (++arrived_ == worldSize_) {
-        // Last arrival computes every rank's completion clock and releases
-        // the generation.
+        // Last arrival reduces any deposited data (every rank passed an
+        // equivalent combine by contract, so running the last one is
+        // running "the" reduction), computes every rank's completion clock
+        // and releases the generation. A throwing combine aborts the world
+        // — the generation can never complete, so the blocked peers must be
+        // woken with an error, exactly as when a rank thread dies.
+        if (combine != nullptr && *combine) {
+            try {
+                (*combine)(payloads_);
+            } catch (...) {
+                abort_ = true;
+                cv_.notify_all();
+                throw;
+            }
+        }
         for (int r = 0; r < worldSize_; ++r) {
             completions_[static_cast<std::size_t>(r)] = completionFn(clocks_, r);
         }
@@ -69,7 +85,8 @@ double MpiWorld::collectiveSync(
     return completions_[static_cast<std::size_t>(rank)];
 }
 
-double MpiWorld::runOp(int rank, double virtualNow, OpKind op) {
+double MpiWorld::runOp(int rank, double virtualNow, OpKind op, void* payload,
+                       const CombineFn* combine) {
     if (rank < 0 || rank >= worldSize_) {
         throw support::Error("MPI: bad rank");
     }
@@ -106,7 +123,8 @@ double MpiWorld::runOp(int rank, double virtualNow, OpKind op) {
             rank, virtualNow, op,
             [latency](const std::vector<double>& clocks, int) {
                 return *std::max_element(clocks.begin(), clocks.end()) + latency;
-            });
+            },
+            payload, combine);
     }
 
     double mpiNs = completed - virtualNow;
@@ -148,6 +166,11 @@ double MpiWorld::barrier(int rank, double virtualNow) {
 
 double MpiWorld::allreduce(int rank, double virtualNow) {
     return runOp(rank, virtualNow, OpKind::Allreduce);
+}
+
+double MpiWorld::allreduceData(int rank, double virtualNow, void* inout,
+                               const CombineFn& combine) {
+    return runOp(rank, virtualNow, OpKind::Allreduce, inout, &combine);
 }
 
 double MpiWorld::bcast(int rank, double virtualNow) {

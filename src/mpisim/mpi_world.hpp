@@ -78,6 +78,21 @@ public:
     double bcast(int rank, double virtualNow);
     double haloExchange(int rank, double virtualNow);
 
+    /// MPI_Allreduce carrying user data. Every rank deposits `inout`; when
+    /// the last rank arrives, its `combine` runs exactly once over the
+    /// deposited pointers (rank order) and must write the reduced value back
+    /// through every pointer — the receive-buffer contract of a real
+    /// allreduce. All ranks must pass equivalent combine functions; combine
+    /// runs under the world lock and must not call back into the world. A
+    /// throwing combine aborts the world: the blocked peers wake with an
+    /// error and the exception propagates on the reducing rank.
+    /// Clock/latency/interceptor semantics are identical to allreduce().
+    /// This is how the adaptive controller reduces per-rank profiles so
+    /// every rank converges on one IC.
+    using CombineFn = std::function<void(const std::vector<void*>&)>;
+    double allreduceData(int rank, double virtualNow, void* inout,
+                         const CombineFn& combine);
+
     bool initialized(int rank) const;
     bool finalized(int rank) const;
 
@@ -94,9 +109,12 @@ private:
     /// deposited clocks.
     double collectiveSync(int rank, double virtualNow, OpKind op,
                           const std::function<double(const std::vector<double>&, int)>&
-                              completionFn);
+                              completionFn,
+                          void* payload = nullptr,
+                          const CombineFn* combine = nullptr);
 
-    double runOp(int rank, double virtualNow, OpKind op);
+    double runOp(int rank, double virtualNow, OpKind op, void* payload = nullptr,
+                 const CombineFn* combine = nullptr);
 
     int worldSize_;
     LatencyModel latency_;
@@ -108,6 +126,7 @@ private:
     int arrived_ = 0;
     std::uint64_t generation_ = 0;
     std::vector<double> completions_;
+    std::vector<void*> payloads_;
     bool abort_ = false;
 
     std::vector<bool> initialized_;

@@ -132,4 +132,22 @@ ProfileTree Measurement::mergedProfile() const {
     return merged;
 }
 
+double calibrateProbeCostNs(std::size_t eventPairs) {
+    if (eventPairs == 0) {
+        eventPairs = 1;  // A zero-sized calibration would divide by zero.
+    }
+    Measurement scratch;
+    RegionHandle region = scratch.defineRegion("__capi_probe_calibration");
+    // Warm the thread state and region chunk before timing.
+    scratch.enter(region);
+    scratch.exit(region);
+    support::Timer timer;
+    for (std::size_t i = 0; i < eventPairs; ++i) {
+        scratch.enter(region);
+        scratch.exit(region);
+    }
+    double ns = static_cast<double>(timer.elapsedNs());
+    return ns / static_cast<double>(eventPairs * 2);
+}
+
 }  // namespace capi::scorep

@@ -22,6 +22,12 @@ namespace capi::scorep {
 
 class TraceBuffer;
 
+/// Measures the wall-clock cost of one probe event (half an enter/exit pair)
+/// by driving a scratch Measurement through `eventPairs` region round trips.
+/// This is the calibrated per-event cost the adaptive overhead model scales
+/// visit counts with; rerun it on the deployment machine, not once globally.
+double calibrateProbeCostNs(std::size_t eventPairs = 1 << 14);
+
 struct MeasurementOptions {
     bool runtimeFiltering = false;
     FilterFile runtimeFilter;  ///< Only used when runtimeFiltering is true.

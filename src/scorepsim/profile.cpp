@@ -60,6 +60,20 @@ std::uint64_t ProfileTree::totalExclusiveNs(RegionHandle region) const {
     return total;
 }
 
+std::unordered_map<RegionHandle, ProfileTree::RegionTotals>
+ProfileTree::regionTotals() const {
+    std::unordered_map<RegionHandle, RegionTotals> totals;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].region == kNoRegion) {
+            continue;
+        }
+        RegionTotals& entry = totals[nodes_[i].region];
+        entry.visits += nodes_[i].visits;
+        entry.exclusiveNs += exclusiveNs(i);
+    }
+    return totals;
+}
+
 std::size_t ProfileTree::depth() const {
     // Iterative DFS carrying depth.
     std::size_t maxDepth = 0;

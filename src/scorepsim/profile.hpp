@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace capi::scorep {
@@ -45,6 +46,15 @@ public:
     /// Sum of visits across all nodes of a region.
     std::uint64_t totalVisits(RegionHandle region) const;
     std::uint64_t totalExclusiveNs(RegionHandle region) const;
+
+    /// Per-region visit and exclusive-time totals over the whole tree, in
+    /// one pass (the per-region queries above are O(nodes) each; refinement
+    /// and the overhead model need every region at once).
+    struct RegionTotals {
+        std::uint64_t visits = 0;
+        std::uint64_t exclusiveNs = 0;
+    };
+    std::unordered_map<RegionHandle, RegionTotals> regionTotals() const;
 
     /// Maximum call-path depth with visits.
     std::size_t depth() const;

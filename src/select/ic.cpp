@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -145,6 +146,17 @@ InstrumentationConfig InstrumentationConfig::readFile(const std::string& path) {
         return fromJson(support::Json::parse(text));
     }
     return fromScorePFilter(text);
+}
+
+IcDelta icDiff(const InstrumentationConfig& from, const InstrumentationConfig& to) {
+    IcDelta delta;
+    std::set_difference(to.functions.begin(), to.functions.end(),
+                        from.functions.begin(), from.functions.end(),
+                        std::back_inserter(delta.added));
+    std::set_difference(from.functions.begin(), from.functions.end(),
+                        to.functions.begin(), to.functions.end(),
+                        std::back_inserter(delta.removed));
+    return delta;
 }
 
 }  // namespace capi::select

@@ -51,4 +51,17 @@ struct InstrumentationConfig {
     static InstrumentationConfig readFile(const std::string& path);
 };
 
+/// Set difference of two ICs (function names only; both lists are sorted, so
+/// this is one linear merge pass). The adaptive controller logs this per
+/// epoch — the patch/unpatch sets themselves are diffed against live sled
+/// state by DynCapi::applyIcDelta, not here.
+struct IcDelta {
+    std::vector<std::string> added;    ///< In `to` but not `from`.
+    std::vector<std::string> removed;  ///< In `from` but not `to`.
+
+    bool empty() const { return added.empty() && removed.empty(); }
+};
+
+IcDelta icDiff(const InstrumentationConfig& from, const InstrumentationConfig& to);
+
 }  // namespace capi::select

@@ -305,6 +305,116 @@ bool XRayRuntime::unpatchFunction(PackedId function) {
     return true;
 }
 
+XRayRuntime::DeltaPatchStats XRayRuntime::patchDelta(
+    const std::vector<PackedId>& toPatch, const std::vector<PackedId>& toUnpatch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DeltaPatchStats stats;
+    support::Timer timer;
+
+    // Group the requested flips per object; a function whose object vanished
+    // since the delta was computed (dlclose raced the planner) is not an
+    // error, it is simply no longer patchable.
+    struct Flip {
+        FunctionId function;
+        bool patch;
+    };
+    std::vector<std::vector<Flip>> flipsOfObject(kMaxObjectId + 1);
+    auto classify = [&](const std::vector<PackedId>& ids, bool patch,
+                        std::size_t& unavailable) {
+        for (PackedId pid : ids) {
+            ObjectId objId = objectIdOf(pid);
+            FunctionId fnId = functionIdOf(pid);
+            const ObjectRecord* obj = findObject(objId);
+            if (obj == nullptr || fnId >= obj->sledsOfFunction.size() ||
+                obj->sledsOfFunction[fnId].empty()) {
+                ++unavailable;
+                continue;
+            }
+            flipsOfObject[objId].push_back({fnId, patch});
+        }
+    };
+    classify(toPatch, /*patch=*/true, stats.unavailablePatch);
+    classify(toUnpatch, /*patch=*/false, stats.unavailableUnpatch);
+
+    const std::uint64_t writableBefore = memory_->pagesMadeWritable();
+    for (ObjectId objId = 0; objId <= kMaxObjectId; ++objId) {
+        if (flipsOfObject[objId].empty()) {
+            continue;
+        }
+        const ObjectRecord& obj = objects_[objId];
+
+        // Coalesce the affected sleds' byte spans into contiguous page runs,
+        // so a dense cluster of changed functions costs one protection flip
+        // while distant stragglers do not drag whole untouched ranges along
+        // (which is exactly what applyToObject's single lo..hi span does).
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+        for (const Flip& flip : flipsOfObject[objId]) {
+            for (std::uint32_t sledIndex : obj.sledsOfFunction[flip.function]) {
+                std::uint64_t addr =
+                    runtimeAddress(obj, obj.sleds.sleds[sledIndex].address);
+                spans.emplace_back(addr / kPageSize,
+                                   (addr + kSledBytes - 1) / kPageSize);
+            }
+        }
+        std::sort(spans.begin(), spans.end());
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> runs;
+        for (const auto& [first, last] : spans) {
+            if (!runs.empty() && first <= runs.back().second + 1) {
+                runs.back().second = std::max(runs.back().second, last);
+            } else {
+                runs.emplace_back(first, last);
+            }
+        }
+
+        for (const auto& [first, last] : runs) {
+            memory_->mprotect(first * kPageSize, (last - first + 1) * kPageSize,
+                              /*writable=*/true);
+        }
+        for (const Flip& flip : flipsOfObject[objId]) {
+            for (std::uint32_t sledIndex : obj.sledsOfFunction[flip.function]) {
+                writeSled(obj, objId, obj.sleds.sleds[sledIndex], flip.patch);
+                if (flip.patch) {
+                    ++stats.sledsPatched;
+                } else {
+                    ++stats.sledsUnpatched;
+                }
+            }
+        }
+        for (const auto& [first, last] : runs) {
+            memory_->mprotect(first * kPageSize, (last - first + 1) * kPageSize,
+                              /*writable=*/false);
+        }
+    }
+    stats.pagesMadeWritable = memory_->pagesMadeWritable() - writableBefore;
+    stats.nanoseconds = timer.elapsedNs();
+    return stats;
+}
+
+std::vector<PackedId> XRayRuntime::patchedFunctions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<PackedId> patched;
+    for (ObjectId objId = 0; objId <= kMaxObjectId; ++objId) {
+        const ObjectRecord& obj = objects_[objId];
+        if (!obj.inUse) {
+            continue;
+        }
+        for (FunctionId fnId = 0; fnId < obj.sledsOfFunction.size(); ++fnId) {
+            if (obj.sledsOfFunction[fnId].empty()) {
+                continue;
+            }
+            // All of a function's sleds flip together through every patching
+            // API, so the first sled's state speaks for the function (as in
+            // functionPatched).
+            const SledEntry& sled = obj.sleds.sleds[obj.sledsOfFunction[fnId][0]];
+            if (memory_->read(runtimeAddress(obj, sled.address)).instr !=
+                Instr::NopSled) {
+                patched.push_back(packId(objId, fnId));
+            }
+        }
+    }
+    return patched;
+}
+
 std::uint64_t XRayRuntime::functionAddress(PackedId function) const {
     std::lock_guard<std::mutex> lock(mutex_);
     ObjectId objId = objectIdOf(function);

@@ -85,6 +85,24 @@ public:
     bool patchFunction(PackedId function);
     bool unpatchFunction(PackedId function);
 
+    /// Flips exactly the sleds of the listed functions in one pass: both
+    /// lists are grouped per object, the affected sled addresses coalesced
+    /// into contiguous page runs, and each run's protection toggled once.
+    /// Functions whose object is gone (dlclosed) or that have no sleds are
+    /// skipped and counted per list. Final state is identical to calling
+    /// patchFunction/unpatchFunction per entry; the page-touch count is
+    /// what the adaptive controller's delta repatching optimizes.
+    struct DeltaPatchStats : PatchStats {
+        std::size_t unavailablePatch = 0;    ///< Skipped toPatch entries.
+        std::size_t unavailableUnpatch = 0;  ///< Skipped toUnpatch entries.
+    };
+    DeltaPatchStats patchDelta(const std::vector<PackedId>& toPatch,
+                               const std::vector<PackedId>& toUnpatch);
+
+    /// Packed ids of every function whose sleds are currently patched, over
+    /// all registered objects (the ground truth a delta is computed against).
+    std::vector<PackedId> patchedFunctions() const;
+
     /// Runtime address of a function's entry sled (__xray_function_address).
     /// 0 when unknown.
     std::uint64_t functionAddress(PackedId function) const;

@@ -1,0 +1,501 @@
+// Tests for src/adapt/: overhead model EWMA semantics, budget planner
+// (knapsack, SCC-group atomicity, keep list, thread-count invariance) and
+// the adaptive controller's converge-under-budget epoch loop, including the
+// cross-rank MPI variant and the delta-beats-full-repatch page accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "adapt/budget_planner.hpp"
+#include "adapt/controller.hpp"
+#include "adapt/overhead_model.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/model_builder.hpp"
+#include "binsim/compiler.hpp"
+#include "binsim/execution_engine.hpp"
+#include "binsim/process.hpp"
+#include "cg/metacg_builder.hpp"
+#include "dyncapi/dyncapi.hpp"
+#include "dyncapi/mpi_port.hpp"
+#include "mpisim/mpi_world.hpp"
+#include "scorepsim/cyg_adapter.hpp"
+#include "scorepsim/symbol_resolver.hpp"
+#include "support/executor.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace capi;
+
+// ------------------------------------------------------------ test helpers --
+
+/// Flat profile: every region a direct child of the root.
+struct FlatProfile {
+    explicit FlatProfile(scorep::Measurement& m) : measurement(m) {}
+
+    scorep::Measurement& measurement;
+    scorep::ProfileTree tree;
+
+    void add(const std::string& name, std::uint64_t visits,
+             std::uint64_t exclusiveNs) {
+        scorep::RegionHandle handle = measurement.defineRegion(name);
+        std::size_t node = tree.childOf(tree.root(), handle);
+        tree.node(node).visits += visits;
+        tree.node(node).inclusiveNs += exclusiveNs;  // leaves: incl == excl
+    }
+};
+
+/// main -> kernel, main -> noisy: independent singleton SCC groups.
+cg::CallGraph simpleGraph() {
+    cg::CallGraph graph;
+    auto add = [&](const char* name) {
+        cg::FunctionDesc desc;
+        desc.name = name;
+        desc.prettyName = name;
+        desc.flags.hasBody = true;
+        return graph.addFunction(desc);
+    };
+    cg::FunctionId mainFn = add("main");
+    cg::FunctionId kernel = add("kernel");
+    cg::FunctionId noisy = add("noisy");
+    graph.addCallEdge(mainFn, kernel);
+    graph.addCallEdge(mainFn, noisy);
+    return graph;
+}
+
+select::InstrumentationConfig icOf(std::initializer_list<const char*> names) {
+    select::InstrumentationConfig ic;
+    ic.specName = "survey";
+    for (const char* name : names) {
+        ic.addFunction(name);
+    }
+    return ic;
+}
+
+// ------------------------------------------------------------ OverheadModel --
+
+TEST(OverheadModel, EwmaSmoothsAcrossEpochs) {
+    adapt::ModelOptions options;
+    options.perEventCostNs = 100.0;
+    options.ewmaAlpha = 0.5;
+    adapt::OverheadModel model(options);
+    scorep::Measurement m;
+
+    FlatProfile epoch1{m};
+    epoch1.add("kernel", 1000, 5'000'000);
+    model.observeEpoch(epoch1.tree, m, 1e9);
+    ASSERT_NE(model.estimate("kernel"), nullptr);
+    EXPECT_DOUBLE_EQ(model.estimate("kernel")->visits, 1000.0);
+
+    FlatProfile epoch2{m};
+    epoch2.add("kernel", 3000, 5'000'000);  // bursty epoch
+    model.observeEpoch(epoch2.tree, m, 1e9);
+    // 0.5 * 3000 + 0.5 * 1000: the burst moves the estimate halfway, not all
+    // the way — that is what keeps the planner from thrashing.
+    EXPECT_DOUBLE_EQ(model.estimate("kernel")->visits, 2000.0);
+    EXPECT_EQ(model.epochCount(), 2u);
+}
+
+TEST(OverheadModel, ActiveMissingDecaysInactiveFrozen) {
+    adapt::ModelOptions options;
+    options.ewmaAlpha = 0.5;
+    adapt::OverheadModel model(options);
+    scorep::Measurement m;
+
+    FlatProfile epoch1{m};
+    epoch1.add("a", 800, 1000);
+    epoch1.add("b", 400, 1000);
+    select::InstrumentationConfig active = icOf({"a", "b"});
+    model.observeEpoch(epoch1.tree, m, 1e9, &active);
+
+    // Next epoch "a" stays instrumented but does not run; "b" was unpatched.
+    FlatProfile epoch2{m};
+    select::InstrumentationConfig onlyA = icOf({"a"});
+    model.observeEpoch(epoch2.tree, m, 1e9, &onlyA);
+    EXPECT_DOUBLE_EQ(model.estimate("a")->visits, 400.0);  // decayed toward 0
+    EXPECT_DOUBLE_EQ(model.estimate("b")->visits, 400.0);  // frozen
+}
+
+TEST(OverheadModel, LastEpochOverheadRatioUsesCalibratedCost) {
+    adapt::ModelOptions options;
+    options.perEventCostNs = 100.0;
+    adapt::OverheadModel model(options);
+    scorep::Measurement m;
+    FlatProfile epoch{m};
+    epoch.add("noisy", 1'000'000, 1000);
+    model.observeEpoch(epoch.tree, m, 1e9);
+    // 1e6 visits x 2 events x 100ns = 2e8 ns of probes in a 1e9 ns epoch.
+    EXPECT_DOUBLE_EQ(model.lastEpochProbeCostNs(), 2e8);
+    EXPECT_DOUBLE_EQ(model.lastEpochOverheadRatio(), 0.2);
+    EXPECT_DOUBLE_EQ(model.appRuntimeNs(), 8e8);
+}
+
+// ------------------------------------------------------------ BudgetPlanner --
+
+TEST(BudgetPlanner, EmptyModelKeepsEveryCandidate) {
+    cg::CallGraph graph = simpleGraph();
+    adapt::BudgetPlanner planner(graph);
+    adapt::OverheadModel model;
+    adapt::PlanResult plan = planner.plan(icOf({"kernel", "noisy"}), model);
+    EXPECT_EQ(plan.ic.size(), 2u);
+    EXPECT_TRUE(plan.excluded.empty());
+}
+
+TEST(BudgetPlanner, ExcludesCostOverBudgetKeepsValueAndCold) {
+    cg::CallGraph graph = simpleGraph();
+    adapt::BudgetPlanner planner(graph);
+    adapt::ModelOptions mopts;
+    mopts.perEventCostNs = 100.0;
+    adapt::OverheadModel model(mopts);
+    scorep::Measurement m;
+    FlatProfile epoch{m};
+    epoch.add("kernel", 100, 900'000'000);  // cost 20k ns, huge value
+    epoch.add("noisy", 1'000'000, 1'000'000);  // cost 2e8 ns, tiny value
+    model.observeEpoch(epoch.tree, m, 1e9);
+
+    adapt::PlannerOptions popts;
+    popts.budgetFraction = 0.05;  // 5% of 8e8 app ns = 4e7 ns budget
+    adapt::PlanResult plan = planner.plan(icOf({"kernel", "noisy", "main"}),
+                                          model, popts);
+    EXPECT_TRUE(plan.ic.contains("kernel"));
+    EXPECT_TRUE(plan.ic.contains("main"));  // unmeasured: free, kept
+    EXPECT_FALSE(plan.ic.contains("noisy"));
+    ASSERT_EQ(plan.excluded.size(), 1u);
+    EXPECT_EQ(plan.excluded[0], "noisy");
+    EXPECT_LE(plan.plannedProbeCostNs, plan.budgetNs);
+}
+
+TEST(BudgetPlanner, KeepListOverridesBudget) {
+    cg::CallGraph graph = simpleGraph();
+    adapt::BudgetPlanner planner(graph);
+    adapt::ModelOptions mopts;
+    mopts.perEventCostNs = 100.0;
+    adapt::OverheadModel model(mopts);
+    scorep::Measurement m;
+    FlatProfile epoch{m};
+    epoch.add("noisy", 1'000'000, 1'000'000);
+    model.observeEpoch(epoch.tree, m, 1e9);
+
+    adapt::PlannerOptions popts;
+    popts.budgetFraction = 0.05;
+    popts.keep = {"noisy"};
+    adapt::PlanResult plan = planner.plan(icOf({"noisy"}), model, popts);
+    EXPECT_TRUE(plan.ic.contains("noisy"));
+    EXPECT_TRUE(plan.excluded.empty());
+}
+
+TEST(BudgetPlanner, NeverSplitsSccGroup) {
+    // main -> a <-> b: a and b form one condensation component.
+    cg::CallGraph graph;
+    auto add = [&](const char* name) {
+        cg::FunctionDesc desc;
+        desc.name = name;
+        desc.prettyName = name;
+        desc.flags.hasBody = true;
+        return graph.addFunction(desc);
+    };
+    cg::FunctionId mainFn = add("main");
+    cg::FunctionId a = add("a");
+    cg::FunctionId b = add("b");
+    graph.addCallEdge(mainFn, a);
+    graph.addCallEdge(a, b);
+    graph.addCallEdge(b, a);
+
+    adapt::BudgetPlanner planner(graph);
+    adapt::ModelOptions mopts;
+    mopts.perEventCostNs = 100.0;
+    adapt::OverheadModel model(mopts);
+    scorep::Measurement m;
+    FlatProfile epoch{m};
+    epoch.add("a", 1'000'000, 1000);       // alone: way over budget
+    epoch.add("b", 10, 900'000'000);       // alone: trivially cheap
+    model.observeEpoch(epoch.tree, m, 1e9);
+
+    adapt::PlannerOptions popts;
+    popts.budgetFraction = 0.05;
+    adapt::PlanResult plan = planner.plan(icOf({"a", "b"}), model, popts);
+    // The group's combined cost exceeds the budget: both go, not just "a" —
+    // aggregated recursive statements must stay consistent.
+    EXPECT_FALSE(plan.ic.contains("a"));
+    EXPECT_FALSE(plan.ic.contains("b"));
+
+    // And the keep list re-admits the whole group, not one member.
+    popts.keep = {"b"};
+    adapt::PlanResult kept = planner.plan(icOf({"a", "b"}), model, popts);
+    EXPECT_TRUE(kept.ic.contains("a"));
+    EXPECT_TRUE(kept.ic.contains("b"));
+}
+
+TEST(BudgetPlanner, ReAdmitsWhenBudgetGrows) {
+    cg::CallGraph graph = simpleGraph();
+    adapt::BudgetPlanner planner(graph);
+    adapt::ModelOptions mopts;
+    mopts.perEventCostNs = 100.0;
+    mopts.ewmaAlpha = 1.0;  // no smoothing: make the arithmetic exact
+    adapt::OverheadModel model(mopts);
+    scorep::Measurement m;
+    FlatProfile epoch1{m};
+    epoch1.add("noisy", 1'000'000, 1'000'000);
+    model.observeEpoch(epoch1.tree, m, 1e9);
+
+    adapt::PlannerOptions popts;
+    popts.budgetFraction = 0.05;
+    EXPECT_FALSE(planner.plan(icOf({"noisy"}), model, popts).ic.contains("noisy"));
+
+    // A much longer epoch: the same probe cost now fits the 5% budget, and
+    // the frozen estimate lets the planner re-admit the region.
+    FlatProfile epoch2{m};
+    model.observeEpoch(epoch2.tree, m, 1e11);
+    EXPECT_TRUE(planner.plan(icOf({"noisy"}), model, popts).ic.contains("noisy"));
+}
+
+TEST(BudgetPlanner, SerialAndParallelPlansAreIdentical) {
+    // Large enough to engage the sharded lookup phase (>= 2^14 candidates).
+    constexpr std::size_t kNodes = 20000;
+    support::SplitMix64 rng(20260730);
+    cg::CallGraph graph;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+        cg::FunctionDesc desc;
+        desc.name = i == 0 ? "main" : "fn" + std::to_string(i);
+        desc.prettyName = desc.name;
+        desc.flags.hasBody = true;
+        graph.addFunction(desc);
+    }
+    for (std::size_t i = 1; i < kNodes; ++i) {
+        graph.addCallEdge(static_cast<cg::FunctionId>(rng.nextBelow(i)),
+                          static_cast<cg::FunctionId>(i));
+        if (rng.nextBool(0.05)) {  // back edges: non-trivial SCC groups
+            graph.addCallEdge(static_cast<cg::FunctionId>(i),
+                              static_cast<cg::FunctionId>(rng.nextBelow(i)));
+        }
+    }
+
+    adapt::ModelOptions mopts;
+    mopts.perEventCostNs = 50.0;
+    adapt::OverheadModel model(mopts);
+    scorep::Measurement m;
+    FlatProfile epoch{m};
+    select::InstrumentationConfig candidate;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+        const std::string& name = graph.name(static_cast<cg::FunctionId>(i));
+        candidate.addFunction(name);
+        epoch.add(name, rng.nextBelow(2000), rng.nextBelow(10'000'000));
+    }
+    // Aggregate probe cost ~2e9 ns against 1e10 ns of runtime: the budget
+    // bites, but plenty of groups still fit.
+    model.observeEpoch(epoch.tree, m, 1e10);
+
+    adapt::BudgetPlanner planner(graph);
+    adapt::PlannerOptions serial;
+    serial.budgetFraction = 0.05;
+    serial.threads = 1;
+    adapt::PlanResult serialPlan = planner.plan(candidate, model, serial);
+    ASSERT_FALSE(serialPlan.excluded.empty());
+    ASSERT_GT(serialPlan.ic.size(), 0u);
+
+    // Explicit pools so the sharded lookup phase runs even on single-core
+    // hosts (Executor's shared pool is hardware width there: 1 thread).
+    for (std::size_t threads : {std::size_t{2}, std::size_t{5}, std::size_t{8}}) {
+        support::ThreadPool pool(threads);
+        adapt::PlannerOptions parallel = serial;
+        parallel.pool = &pool;
+        adapt::PlanResult parallelPlan = planner.plan(candidate, model, parallel);
+        EXPECT_EQ(parallelPlan.ic.functions, serialPlan.ic.functions)
+            << "threads=" << threads;
+        EXPECT_EQ(parallelPlan.excluded, serialPlan.excluded);
+        EXPECT_DOUBLE_EQ(parallelPlan.plannedProbeCostNs,
+                         serialPlan.plannedProbeCostNs);
+    }
+}
+
+TEST(IcDiff, ComputesAddedAndRemoved) {
+    select::IcDelta delta =
+        select::icDiff(icOf({"a", "b", "c"}), icOf({"b", "c", "d"}));
+    EXPECT_EQ(delta.added, std::vector<std::string>{"d"});
+    EXPECT_EQ(delta.removed, std::vector<std::string>{"a"});
+    EXPECT_TRUE(select::icDiff(icOf({"a"}), icOf({"a"})).empty());
+}
+
+// --------------------------------------------------------------- Controller --
+
+/// One measured epoch: run the engine under the current patch state and
+/// return (merged profile, total runtime including modelled probe cost).
+struct EpochRun {
+    scorep::Measurement measurement;
+    scorep::ProfileTree profile;
+    double runtimeNs = 0.0;
+};
+
+std::unique_ptr<EpochRun> runEpoch(binsim::Process& process,
+                                   dyncapi::DynCapi& dyn,
+                                   double perEventCostNs) {
+    auto run = std::make_unique<EpochRun>();
+    scorep::CygProfileAdapter adapter(
+        run->measurement, scorep::SymbolResolver::withSymbolInjection(process));
+    dyn.attachCygHandler(adapter);
+    binsim::ExecutionEngine engine(process);
+    binsim::RunStats stats = engine.run();
+    dyn.detachHandler();
+    run->profile = run->measurement.mergedProfile();
+    run->runtimeNs =
+        adapt::virtualEpochRuntimeNs(stats, run->measurement, perEventCostNs);
+    return run;
+}
+
+TEST(Controller, ConvergesAndReAdmitsOnSyntheticApp) {
+    binsim::AppModel model;
+    model.name = "adapt";
+    auto add = [&](const char* name, std::uint32_t instr, double virtualNs) {
+        binsim::AppFunction fn;
+        fn.name = name;
+        fn.unit = "a.cpp";
+        fn.metrics.numInstructions = instr;
+        fn.flags.hasBody = true;
+        fn.workVirtualNs = virtualNs;
+        model.functions.push_back(fn);
+        return static_cast<std::uint32_t>(model.functions.size() - 1);
+    };
+    std::uint32_t mainFn = add("main", 100, 100.0);
+    std::uint32_t kernel = add("kernel", 300, 1'000'000.0);
+    std::uint32_t noisy = add("noisy", 50, 10.0);
+    model.entry = mainFn;
+    model.functions[mainFn].calls.push_back({kernel, 4});
+    model.functions[kernel].calls.push_back({noisy, 20000});
+
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    binsim::CompiledProgram compiled = binsim::compile(model, copts);
+    binsim::Process process(compiled);
+    dyncapi::DynCapi dyn(process);
+
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+
+    adapt::ControllerOptions options;
+    options.budgetFraction = 0.05;
+    options.maxEpochs = 5;
+    options.model.perEventCostNs = 100.0;
+    adapt::Controller controller(graph, dyn, options);
+    controller.start(adapt::surveyOfDefinedFunctions(graph));
+    EXPECT_TRUE(controller.currentIc().contains("noisy"));
+
+    auto survey = runEpoch(process, dyn, options.model.perEventCostNs);
+    adapt::EpochReport first =
+        controller.epoch(survey->profile, survey->measurement, survey->runtimeNs);
+    EXPECT_GT(first.measuredOverheadRatio, 0.05);  // survey blows the budget
+    EXPECT_FALSE(controller.currentIc().contains("noisy"));
+    EXPECT_TRUE(controller.currentIc().contains("kernel"));
+    EXPECT_GT(first.patch.functionsUnpatched, 0u);
+
+    auto trimmed = runEpoch(process, dyn, options.model.perEventCostNs);
+    adapt::EpochReport second = controller.epoch(
+        trimmed->profile, trimmed->measurement, trimmed->runtimeNs);
+    EXPECT_TRUE(second.withinBudget);
+    EXPECT_TRUE(controller.converged());
+    EXPECT_LE(controller.epochsRun(), 5u);
+}
+
+TEST(Controller, LuleshConvergesUnderFivePercentWithDeltaRepatching) {
+    apps::LuleshParams params;
+    params.iterations = 10;
+    params.kernelWorkUnits = 20;  // keep the real spin cheap in tests
+    binsim::AppModel model = apps::makeLulesh(params);
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    binsim::CompiledProgram compiled = binsim::compile(model, copts);
+    binsim::Process process(compiled);
+    dyncapi::DynCapi dyn(process);
+    // Twin process: the full-repatch reference the delta path must beat.
+    binsim::Process fullProcess(compiled);
+    dyncapi::DynCapi fullDyn(fullProcess);
+
+    adapt::ControllerOptions options;
+    options.budgetFraction = 0.05;
+    options.maxEpochs = 5;
+    options.model.perEventCostNs = 200.0;
+    adapt::Controller controller(graph, dyn, options);
+    dyncapi::InitStats surveyStats = controller.start(adapt::surveyOfDefinedFunctions(graph));
+    ASSERT_GT(surveyStats.patchedFunctions, 100u);
+    fullDyn.applyIc(controller.currentIc());
+
+    bool sawStrictlySmallerDelta = false;
+    while (!controller.done()) {
+        auto epoch = runEpoch(process, dyn, options.model.perEventCostNs);
+        adapt::EpochReport report =
+            controller.epoch(epoch->profile, epoch->measurement, epoch->runtimeNs);
+
+        // Reference: the same IC applied via full repatch on the twin.
+        dyncapi::InitStats full = fullDyn.applyIc(controller.currentIc());
+        EXPECT_LT(report.patch.pagesTouched, full.pagesTouched)
+            << "epoch " << report.epoch;
+        sawStrictlySmallerDelta = true;
+        // And the states agree exactly.
+        EXPECT_EQ(process.xray().patchedFunctions(),
+                  fullProcess.xray().patchedFunctions());
+    }
+    EXPECT_TRUE(controller.converged());
+    EXPECT_LE(controller.epochsRun(), 5u);
+    EXPECT_TRUE(sawStrictlySmallerDelta);
+    EXPECT_LE(controller.lastReport().measuredOverheadRatio, 0.05);
+    // The noisy hot helpers went; the kernels' ancestors stayed visible.
+    EXPECT_FALSE(controller.currentIc().contains("CalcElemVolume"));
+    EXPECT_TRUE(controller.currentIc().contains("LagrangeLeapFrog"));
+}
+
+TEST(Controller, EpochAllRanksConvergesWorldOnOneIc) {
+    apps::LuleshParams params;
+    params.iterations = 5;
+    params.kernelWorkUnits = 20;
+    params.targetNodes = 600;
+    binsim::AppModel model = apps::makeLulesh(params);
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    binsim::Process process(binsim::compile(model, copts));
+    dyncapi::DynCapi dyn(process);
+
+    adapt::ControllerOptions options;
+    options.budgetFraction = 0.05;
+    options.model.perEventCostNs = 200.0;
+    adapt::Controller controller(graph, dyn, options);
+    controller.start(adapt::surveyOfDefinedFunctions(graph));
+
+    scorep::Measurement measurement;
+    scorep::CygProfileAdapter adapter(
+        measurement, scorep::SymbolResolver::withSymbolInjection(process));
+    dyn.attachCygHandler(adapter);
+
+    constexpr int kRanks = 2;
+    mpi::MpiWorld world(kRanks);
+    dyncapi::WorldMpiPort port(world);
+    std::vector<adapt::EpochReport> reports(kRanks);
+    mpi::runRanks(world, [&](int rank) {
+        binsim::ExecutionEngine engine(process);
+        engine.setMpiPort(&port);
+        binsim::RunStats stats = engine.run(rank, kRanks);
+        const scorep::ProfileTree& local = measurement.threadProfile();
+        double runtimeNs = adapt::virtualEpochRuntimeNs(
+            stats, measurement, options.model.perEventCostNs);
+        reports[rank] = controller.epochAllRanks(world, rank, stats.virtualNs,
+                                                 local, measurement, runtimeNs);
+    });
+    dyn.detachHandler();
+
+    // One epoch ran for the whole world and every rank saw the same plan.
+    EXPECT_EQ(controller.epochsRun(), 1u);
+    EXPECT_EQ(reports[0].epoch, 1u);
+    EXPECT_EQ(reports[1].epoch, 1u);
+    EXPECT_EQ(reports[0].icSize, reports[1].icSize);
+    EXPECT_EQ(reports[0].patch.functionsUnpatched,
+              reports[1].patch.functionsUnpatched);
+    EXPECT_GT(reports[0].patch.functionsUnpatched, 0u);
+}
+
+}  // namespace

@@ -15,7 +15,9 @@
 #include "select/scc.hpp"
 #include "spec/parser.hpp"
 #include "support/error.hpp"
+#include "support/executor.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -105,6 +107,28 @@ TEST_P(CsrViewProperty, RebuildAfterMutationTracksNewAdjacency) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CsrViewProperty,
                          ::testing::Values(1u, 7u, 42u, 2026u, 956416u));
+
+TEST(CsrView, ParallelBuildEqualsSerialBuild) {
+    // Above the sharded-build threshold (2^14 nodes), so the pooled ctor
+    // actually takes the parallel path; both views must match the graph
+    // element for element — the parallel build is bit-identical by
+    // construction (offsets fix every write position). Explicit pool so the
+    // sharded path runs even on single-core hosts.
+    cg::CallGraph graph = randomGraph(77, 20000);
+    support::ThreadPool pool(4);
+    cg::CsrView serial(graph);
+    cg::CsrView parallel(graph, &pool);
+    expectViewMatchesGraph(serial, graph);
+    expectViewMatchesGraph(parallel, graph);
+    EXPECT_EQ(parallel.edgeCount(), serial.edgeCount());
+}
+
+TEST(CsrView, ParallelBuildBelowThresholdFallsBackToSerial) {
+    cg::CallGraph graph = randomGraph(78, 500);
+    support::ThreadPool pool(4);
+    cg::CsrView view(graph, &pool);
+    expectViewMatchesGraph(view, graph);
+}
 
 TEST(CsrView, SnapshotIsSharedPerGeneration) {
     cg::CallGraph graph = randomGraph(3, 100);

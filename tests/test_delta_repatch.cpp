@@ -1,0 +1,153 @@
+// Property test for DynCapi::applyIcDelta: over an arbitrary IC sequence,
+// delta repatching must leave the process's sled/patch state bit-identical
+// to the full unpatch-everything-then-patch applyIc reference path —
+// including across a mid-sequence dlclose/dlopen of a DSO, which resets the
+// re-registered object's sleds to NOP behind the previous IC's back.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "binsim/compiler.hpp"
+#include "binsim/process.hpp"
+#include "dyncapi/dyncapi.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace capi;
+using namespace capi::binsim;
+
+/// Executable + two DSOs, `perObject` sledded functions each.
+AppModel patchModel(std::uint32_t perObject) {
+    AppModel model;
+    model.name = "deltapatch";
+    model.dsos.push_back({"liba.so"});
+    model.dsos.push_back({"libb.so"});
+    for (int dso = -1; dso < 2; ++dso) {
+        std::string prefix = dso < 0 ? "exe_" : (dso == 0 ? "a_" : "b_");
+        for (std::uint32_t i = 0; i < perObject; ++i) {
+            AppFunction fn;
+            fn.name = prefix + "fn" + std::to_string(i);
+            fn.unit = prefix + "unit.cpp";
+            fn.dso = dso;
+            fn.metrics.numInstructions = 100;
+            fn.flags.hasBody = true;
+            model.functions.push_back(fn);
+        }
+    }
+    model.entry = 0;
+    return model;
+}
+
+void expectSameSledState(Process& delta, Process& full) {
+    ASSERT_EQ(delta.xray().patchedFunctions(), full.xray().patchedFunctions());
+    ASSERT_EQ(delta.xray().patchedSledCount(), full.xray().patchedSledCount());
+    const std::vector<ExecInfo>& deltaInfo = delta.execInfo();
+    const std::vector<ExecInfo>& fullInfo = full.execInfo();
+    ASSERT_EQ(deltaInfo.size(), fullInfo.size());
+    for (std::size_t i = 0; i < deltaInfo.size(); ++i) {
+        ASSERT_EQ(deltaInfo[i].hasSleds, fullInfo[i].hasSleds);
+        if (!deltaInfo[i].hasSleds) {
+            continue;
+        }
+        for (std::uint64_t address :
+             {deltaInfo[i].entryAddress, deltaInfo[i].exitAddress}) {
+            const xray::CodeCell& lhs = delta.memory().read(address);
+            const xray::CodeCell& rhs = full.memory().read(address);
+            ASSERT_EQ(lhs.instr, rhs.instr) << "sled at " << address;
+            ASSERT_EQ(lhs.operand, rhs.operand) << "sled at " << address;
+        }
+    }
+}
+
+class DeltaRepatchProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeltaRepatchProperty, SequenceMatchesFullRepatchBitForBit) {
+    constexpr std::uint32_t kPerObject = 40;
+    constexpr std::size_t kRounds = 30;
+    AppModel model = patchModel(kPerObject);
+    CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    CompiledProgram compiled = compile(model, copts);
+
+    Process deltaProcess(compiled);
+    Process fullProcess(compiled);
+    dyncapi::DynCapi deltaDyn(deltaProcess);
+    dyncapi::DynCapi fullDyn(fullProcess);
+
+    std::vector<std::string> names;
+    for (const AppFunction& fn : model.functions) {
+        names.push_back(fn.name);
+    }
+
+    support::SplitMix64 rng(GetParam());
+    for (std::size_t round = 0; round < kRounds; ++round) {
+        // Mid-sequence DSO lifecycle on BOTH processes: close liba at round
+        // 10, reopen it at round 20. Reopening re-registers the object with
+        // freshly NOP'd sleds, which only an actual-state diff survives.
+        if (round == 10) {
+            ASSERT_TRUE(deltaProcess.dlcloseDso(0));
+            ASSERT_TRUE(fullProcess.dlcloseDso(0));
+        }
+        if (round == 20) {
+            ASSERT_TRUE(deltaProcess.dlopenDso(0));
+            ASSERT_TRUE(fullProcess.dlopenDso(0));
+        }
+
+        select::InstrumentationConfig ic;
+        ic.specName = "round" + std::to_string(round);
+        for (const std::string& name : names) {
+            if (rng.nextBool(0.4)) {
+                ic.addFunction(name);
+            }
+        }
+
+        dyncapi::DeltaStats delta = deltaDyn.applyIcDelta(ic);
+        dyncapi::InitStats full = fullDyn.applyIc(ic);
+        ASSERT_NO_FATAL_FAILURE(expectSameSledState(deltaProcess, fullProcess))
+            << "round " << round;
+        ASSERT_EQ(delta.requestedUnavailable, full.requestedUnavailable)
+            << "round " << round;
+
+        // Re-applying the same IC must be a no-op for the delta path.
+        dyncapi::DeltaStats again = deltaDyn.applyIcDelta(ic);
+        EXPECT_EQ(again.functionsPatched, 0u);
+        EXPECT_EQ(again.functionsUnpatched, 0u);
+        EXPECT_EQ(again.pagesTouched, 0u);
+        EXPECT_EQ(again.functionsUnchanged,
+                  delta.functionsPatched + delta.functionsUnchanged);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaRepatchProperty,
+                         ::testing::Values(1u, 42u, 20230320u, 99991u));
+
+TEST(DeltaRepatch, TouchesOnlyChangedPages) {
+    AppModel model = patchModel(200);
+    CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    Process process(compile(model, copts));
+    dyncapi::DynCapi dyn(process);
+
+    select::InstrumentationConfig broad;
+    for (const AppFunction& fn : model.functions) {
+        broad.addFunction(fn.name);
+    }
+    dyncapi::InitStats fullStats = dyn.applyIc(broad);
+    ASSERT_GT(fullStats.patchedFunctions, 0u);
+    ASSERT_GT(fullStats.pagesTouched, 0u);
+
+    // Drop one function: the delta flips one function's sleds, so it can
+    // touch at most the pages under those sleds — strictly fewer than the
+    // full path, which re-protects every sled page in the process.
+    select::InstrumentationConfig narrowed = broad;
+    narrowed.functions.erase(narrowed.functions.begin());
+    dyncapi::DeltaStats delta = dyn.applyIcDelta(narrowed);
+    EXPECT_EQ(delta.functionsUnpatched, 1u);
+    EXPECT_EQ(delta.functionsPatched, 0u);
+    EXPECT_LE(delta.pagesTouched, 4u);  // one function's sleds, worst case
+    EXPECT_LT(delta.pagesTouched, fullStats.pagesTouched);
+}
+
+}  // namespace

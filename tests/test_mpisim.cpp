@@ -159,4 +159,56 @@ TEST(MpiWorld, SequentialCollectivesKeepOrder) {
     EXPECT_DOUBLE_EQ(clocks[0], clocks[1]);
 }
 
+TEST(MpiWorld, AllreduceDataCombinesOnceAndWritesBack) {
+    mpi::LatencyModel latency;
+    latency.initNs = 0;
+    latency.allreduceNs = 50;
+    MpiWorld world(4, latency);
+    std::atomic<int> combineRuns{0};
+    std::vector<int> values(4);
+    std::vector<double> after(4);
+    mpi::runRanks(world, [&](int rank) {
+        double clock = world.init(rank, 0.0);
+        values[static_cast<std::size_t>(rank)] = rank + 1;
+        after[static_cast<std::size_t>(rank)] = world.allreduceData(
+            rank, clock, &values[static_cast<std::size_t>(rank)],
+            [&](const std::vector<void*>& all) {
+                ++combineRuns;
+                int sum = 0;
+                for (void* entry : all) {
+                    sum += *static_cast<int*>(entry);
+                }
+                for (void* entry : all) {
+                    *static_cast<int*>(entry) = sum;  // the receive buffer
+                }
+            });
+    });
+    EXPECT_EQ(combineRuns.load(), 1);  // exactly one reduction per collective
+    for (int rank = 0; rank < 4; ++rank) {
+        EXPECT_EQ(values[static_cast<std::size_t>(rank)], 10);  // 1+2+3+4
+        EXPECT_DOUBLE_EQ(after[static_cast<std::size_t>(rank)], 50.0);
+    }
+}
+
+TEST(MpiWorld, ThrowingCombineAbortsWorldInsteadOfDeadlocking) {
+    mpi::LatencyModel latency;
+    latency.initNs = 0;
+    MpiWorld world(3);
+    int payload = 0;
+    // Every rank must see an error: the reducing rank the original
+    // exception, the peers the abort — nobody blocks forever.
+    EXPECT_THROW(
+        mpi::runRanks(world,
+                      [&](int rank) {
+                          double clock = world.init(rank, 0.0);
+                          world.allreduceData(
+                              rank, clock, &payload,
+                              [](const std::vector<void*>&) {
+                                  throw support::Error("combine failed");
+                              });
+                      }),
+        support::Error);
+    EXPECT_TRUE(world.aborted());
+}
+
 }  // namespace

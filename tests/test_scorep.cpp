@@ -73,6 +73,31 @@ TEST(ProfileTree, DepthAndTotals) {
     EXPECT_EQ(tree.totalExclusiveNs(2), 0u);  // b: 0 - child 40 clamps to 0
 }
 
+TEST(ProfileTree, RegionTotalsMatchPerRegionQueries) {
+    ProfileTree tree;
+    std::size_t a = tree.childOf(tree.root(), 1);
+    std::size_t b = tree.childOf(a, 2);
+    std::size_t c = tree.childOf(b, 1);
+    tree.node(a).visits = 1;
+    tree.node(a).inclusiveNs = 100;
+    tree.node(b).visits = 2;
+    tree.node(b).inclusiveNs = 60;
+    tree.node(c).visits = 4;
+    tree.node(c).inclusiveNs = 40;
+    auto totals = tree.regionTotals();
+    ASSERT_EQ(totals.size(), 2u);
+    for (RegionHandle region : {RegionHandle{1}, RegionHandle{2}}) {
+        EXPECT_EQ(totals[region].visits, tree.totalVisits(region));
+        EXPECT_EQ(totals[region].exclusiveNs, tree.totalExclusiveNs(region));
+    }
+}
+
+TEST(Measurement, ProbeCostCalibrationIsPositiveAndFinite) {
+    double costNs = calibrateProbeCostNs(1 << 10);
+    EXPECT_GT(costNs, 0.0);
+    EXPECT_LT(costNs, 1e7);  // sanity: an event costs well under 10ms
+}
+
 // ------------------------------------------------------------ Measurement --
 
 TEST(Measurement, RecordsBalancedRegions) {

@@ -13,14 +13,28 @@
 // --threads N evaluates the pipeline on the parallel selection engine
 // (N = 0 means hardware concurrency); results are bit-identical to the
 // default serial evaluation.
+//
+// The `adapt` subcommand drives the adaptive overhead-budget controller on
+// a bundled app model (measurement epochs -> budget planning -> delta
+// repatching; see src/adapt/):
+//   capi_tool adapt [--app lulesh|openfoam] [--budget 0.05] [--epochs 5]
+//             [--per-event-cost-ns 200] [--keep NAME]... [--threads N]
+//             [--output ic.json]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "adapt/controller.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/openfoam.hpp"
 #include "apps/specs.hpp"
+#include "binsim/execution_engine.hpp"
+#include "cg/metacg_builder.hpp"
 #include "cg/metacg_json.hpp"
+#include "scorepsim/cyg_adapter.hpp"
+#include "scorepsim/symbol_resolver.hpp"
 #include "select/selection_driver.hpp"
 #include "support/error.hpp"
 
@@ -45,7 +59,12 @@ void usage() {
                  "       [--filter-format] [--symbols <nm.txt>] "
                  "[--module-path <dir>]...\n"
                  "       [--no-inline-compensation] [--threads <n>] "
-                 "[--verbose]\n");
+                 "[--verbose]\n"
+                 "   or: capi_tool adapt [--app lulesh|openfoam] "
+                 "[--budget <fraction>]\n"
+                 "       [--epochs <n>] [--per-event-cost-ns <ns>] "
+                 "[--keep <name>]...\n"
+                 "       [--threads <n>] [--output <ic>]\n");
 }
 
 std::string readFile(const std::string& path) {
@@ -58,9 +77,128 @@ std::string readFile(const std::string& path) {
     return buffer.str();
 }
 
+std::size_t parseThreads(const std::string& value) {
+    bool numeric = !value.empty() &&
+                   value.find_first_not_of("0123456789") == std::string::npos;
+    if (!numeric) {
+        throw capi::support::Error("expected a non-negative number, got '" +
+                                   value + "'");
+    }
+    return static_cast<std::size_t>(std::stoul(value));
+}
+
+int runAdapt(int argc, char** argv) {
+    using namespace capi;
+    std::string app = "lulesh";
+    std::string outputPath;
+    adapt::ControllerOptions options;
+    options.budgetFraction = 0.05;
+    options.maxEpochs = 5;
+    options.model.perEventCostNs = 200.0;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        try {
+            if (arg == "--app") app = next();
+            else if (arg == "--budget") options.budgetFraction = std::stod(next());
+            else if (arg == "--epochs") options.maxEpochs = parseThreads(next());
+            else if (arg == "--per-event-cost-ns")
+                options.model.perEventCostNs = std::stod(next());
+            else if (arg == "--keep") options.keep.push_back(next());
+            else if (arg == "--threads") options.threads = parseThreads(next());
+            else if (arg == "--output") outputPath = next();
+            else {
+                usage();
+                return 2;
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "capi_tool adapt: bad value for %s: %s\n",
+                         arg.c_str(), e.what());
+            return 2;
+        }
+    }
+
+    binsim::AppModel model;
+    if (app == "lulesh") {
+        apps::LuleshParams params;
+        params.iterations = 20;
+        params.kernelWorkUnits = 500;
+        model = apps::makeLulesh(params);
+    } else if (app == "openfoam") {
+        apps::OpenFoamParams params = apps::OpenFoamParams::executionScale();
+        params.iterations = 5;
+        model = apps::makeOpenFoam(params);
+    } else {
+        std::fprintf(stderr, "capi_tool adapt: unknown --app '%s'\n", app.c_str());
+        return 2;
+    }
+
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    binsim::Process process(binsim::compile(model, copts));
+    dyncapi::DynCapi dyn(process);
+    adapt::Controller controller(graph, dyn, options);
+
+    select::InstrumentationConfig survey = adapt::surveyOfDefinedFunctions(graph);
+    survey.application = app;
+    dyncapi::InitStats init = controller.start(survey);
+    std::printf("%s: %zu CG nodes, survey IC %zu, budget %.1f%%, full patch "
+                "touched %llu pages\n",
+                app.c_str(), graph.size(), survey.size(),
+                options.budgetFraction * 100.0,
+                static_cast<unsigned long long>(init.pagesTouched));
+
+    while (!controller.done()) {
+        scorep::Measurement measurement;
+        scorep::CygProfileAdapter adapter(
+            measurement, scorep::SymbolResolver::withSymbolInjection(process));
+        dyn.attachCygHandler(adapter);
+        binsim::ExecutionEngine engine(process);
+        binsim::RunStats stats = engine.run();
+        dyn.detachHandler();
+        adapt::EpochReport report = controller.epoch(
+            measurement.mergedProfile(), measurement,
+            adapt::virtualEpochRuntimeNs(stats, measurement,
+                                         options.model.perEventCostNs));
+        std::printf("epoch %zu: overhead %.2f%%, IC %zu (-%zu/+%zu), delta "
+                    "touched %llu pages%s\n",
+                    report.epoch, report.measuredOverheadRatio * 100.0,
+                    report.icSize, report.removedFunctions,
+                    report.addedFunctions,
+                    static_cast<unsigned long long>(report.patch.pagesTouched),
+                    report.withinBudget ? " [in budget]" : "");
+    }
+    std::printf("%s after %zu epochs: IC %zu of %zu functions\n",
+                controller.converged() ? "converged" : "epoch cap reached",
+                controller.epochsRun(), controller.currentIc().size(),
+                survey.size());
+    if (!outputPath.empty()) {
+        controller.currentIc().writeFile(outputPath);
+        std::printf("wrote %s\n", outputPath.c_str());
+    }
+    return controller.converged() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (argc > 1 && std::strcmp(argv[1], "adapt") == 0) {
+        try {
+            return runAdapt(argc, argv);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "capi_tool adapt: %s\n", e.what());
+            return 1;
+        }
+    }
     Args args;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
