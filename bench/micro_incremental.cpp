@@ -1,0 +1,187 @@
+// Selection turnaround under runtime graph deltas: full recompute (cold
+// cache, CSR patching disabled) vs incremental re-selection (journal-driven
+// CSR patching plus footprint-aware SelectorCache survival).
+//
+// The workload models the paper's dlopen scenario: a large application graph
+// with a plugin cluster of ~1% of the nodes hanging off to the side (a sink —
+// nothing on the instrumented paths calls into it, it calls nobody outside).
+// Each iteration churns edges inside the plugin and re-runs a multi-stage
+// selection over the main application. The full path rebuilds the CSR and
+// re-evaluates every stage; the incremental path patches the touched rows
+// and answers every unaffected stage from the surviving cache. The ratio
+// Full/Incremental at the same node count is the re-selection speedup the
+// incremental engine buys (target from the roadmap: >= 10x at 200k nodes,
+// <= 1% churn per round).
+//
+// A third case churns edges inside the hot region itself — the honest worst
+// case where footprints intersect the delta and stages must re-run.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cg/call_graph.hpp"
+#include "cg/csr_view.hpp"
+#include "select/pipeline.hpp"
+#include "select/selector_cache.hpp"
+#include "spec/parser.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace capi;
+
+/// Multi-stage selection over the main application: metric filters feeding
+/// reachability, k-hop neighborhoods and coarse pruning. No spec stage can
+/// reach the plugin cluster (it is unreachable from main and contains no MPI
+/// or high-statement functions), so plugin churn stays outside every
+/// footprint.
+const char* kTurnaroundSpec =
+    "hot = statements(\">=\", 25, %%)\n"
+    "mpi = mpiFunctions(%%)\n"
+    "paths = onCallPathTo(%hot)\n"
+    "near = join(callers(%mpi), callees(%mpi, 2))\n"
+    "trimmed = coarse(%paths, %hot)\n"
+    "join(%trimmed, %near)\n";
+
+struct PluginFixture {
+    cg::CallGraph graph;
+    std::vector<cg::FunctionId> plugin;   ///< The churn cluster (~1% of nodes).
+    std::vector<cg::FunctionId> hotRegion;  ///< Sample of main-app nodes.
+};
+
+/// Scaled OpenFOAM graph plus a plugin sink cluster of n/100 nodes with
+/// internal chain edges. Plugin functions have tiny statement counts so no
+/// metric filter selects them.
+PluginFixture makeFixture(std::uint32_t nodes) {
+    PluginFixture fx;
+    fx.graph = bench::scaledOpenFoamGraph(nodes);  // Copy: we mutate it.
+    const std::size_t pluginSize = std::max<std::size_t>(16, nodes / 100);
+    cg::FunctionId previous = cg::kInvalidFunction;
+    for (std::size_t i = 0; i < pluginSize; ++i) {
+        cg::FunctionDesc desc;
+        desc.name = "plugin_fn" + std::to_string(i);
+        desc.prettyName = desc.name;
+        desc.flags.hasBody = true;
+        desc.metrics.numStatements = 1;
+        cg::FunctionId id = fx.graph.addFunction(desc);
+        if (previous != cg::kInvalidFunction) {
+            fx.graph.addCallEdge(previous, id);
+        }
+        previous = id;
+        fx.plugin.push_back(id);
+    }
+    for (cg::FunctionId id = 0; id < nodes; id += std::max(1u, nodes / 64)) {
+        fx.hotRegion.push_back(id);
+    }
+    return fx;
+}
+
+/// One churn round: toggles ~cluster-size edges between random members of
+/// `cluster` (<= 1% of the graph dirty per round).
+void churn(cg::CallGraph& graph, const std::vector<cg::FunctionId>& cluster,
+           support::SplitMix64& rng) {
+    const std::size_t flips = cluster.size() / 2;
+    for (std::size_t i = 0; i < flips; ++i) {
+        cg::FunctionId from = cluster[rng.nextBelow(cluster.size())];
+        cg::FunctionId to = cluster[rng.nextBelow(cluster.size())];
+        if (from == to) {
+            continue;
+        }
+        if (graph.hasEdge(from, to)) {
+            graph.removeCallEdge(from, to);
+        } else {
+            graph.addCallEdge(from, to);
+        }
+    }
+}
+
+void runTurnaround(benchmark::State& state, bool incremental,
+                   bool churnHotRegion) {
+    PluginFixture fx = makeFixture(static_cast<std::uint32_t>(state.range(0)));
+    select::Pipeline pipeline(spec::parseSpec(kTurnaroundSpec));
+    select::SelectorCache cache;
+    support::SplitMix64 rng(1234);
+
+    cg::CsrView::setIncrementalPatching(incremental);
+    select::PipelineOptions options;
+    options.cache = incremental ? &cache : nullptr;
+    if (incremental) {
+        pipeline.run(fx.graph, options);  // Warm the cache once.
+    }
+
+    std::size_t selected = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        churn(fx.graph, churnHotRegion ? fx.hotRegion : fx.plugin, rng);
+        if (!incremental) {
+            cache.clear();
+        }
+        state.ResumeTiming();
+        select::PipelineRun run = pipeline.run(fx.graph, options);
+        selected = run.result.count();
+        benchmark::DoNotOptimize(selected);
+    }
+    cg::CsrView::setIncrementalPatching(true);
+
+    state.counters["selected"] =
+        benchmark::Counter(static_cast<double>(selected));
+    if (incremental) {
+        select::SelectorCache::Stats stats = cache.stats();
+        state.counters["cache_survivals"] =
+            benchmark::Counter(static_cast<double>(stats.survivals));
+        state.counters["cache_invalidations"] =
+            benchmark::Counter(static_cast<double>(stats.invalidations));
+    }
+}
+
+void BM_ReselectTurnaroundFull(benchmark::State& state) {
+    runTurnaround(state, /*incremental=*/false, /*churnHotRegion=*/false);
+}
+
+void BM_ReselectTurnaroundIncremental(benchmark::State& state) {
+    runTurnaround(state, /*incremental=*/true, /*churnHotRegion=*/false);
+}
+
+void BM_ReselectTurnaroundIncrementalDirtyHotRegion(benchmark::State& state) {
+    // Worst case: the churn hits the instrumented region, so traversal
+    // footprints intersect the delta and those stages re-evaluate — the win
+    // shrinks to the CSR patch and the untouched filter stages.
+    runTurnaround(state, /*incremental=*/true, /*churnHotRegion=*/true);
+}
+
+BENCHMARK(BM_ReselectTurnaroundFull)->Arg(20000)->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReselectTurnaroundIncremental)->Arg(20000)->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReselectTurnaroundIncrementalDirtyHotRegion)
+    ->Arg(20000)->Arg(200000)->Unit(benchmark::kMillisecond);
+
+/// CSR maintenance alone: journal-driven patch vs full rebuild, per churn
+/// round (the snapshot layer's share of the turnaround win).
+void BM_CsrSnapshot(benchmark::State& state) {
+    const bool incremental = state.range(1) != 0;
+    PluginFixture fx = makeFixture(static_cast<std::uint32_t>(state.range(0)));
+    support::SplitMix64 rng(99);
+    cg::CsrView::setIncrementalPatching(incremental);
+    cg::CsrView::snapshot(fx.graph);
+    for (auto _ : state) {
+        state.PauseTiming();
+        churn(fx.graph, fx.plugin, rng);
+        state.ResumeTiming();
+        auto view = cg::CsrView::snapshot(fx.graph);
+        benchmark::DoNotOptimize(view->edgeCount());
+    }
+    cg::CsrView::setIncrementalPatching(true);
+}
+
+BENCHMARK(BM_CsrSnapshot)
+    ->ArgsProduct({{20000, 200000}, {0, 1}})
+    ->ArgNames({"nodes", "patch"})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -3,12 +3,19 @@
 // Demonstrates the packed-ID scheme (Fig. 4) and the registration API the
 // paper added to XRay: shared objects register their sled tables when
 // loaded, get an 8-bit object ID, can be patched selectively, and deregister
-// cleanly on dlclose — including ID reuse for later loads.
+// cleanly on dlclose — including ID reuse for later loads. The second half
+// mirrors the same lifecycle into the whole-program call graph through the
+// mutation journal (dyncapi::DsoGraphBinding), so re-selection after the
+// dlclose/dlopen is incremental: a patched CSR snapshot and a cache that
+// keeps every stage the plugin never touched.
 #include <cstdio>
 
 #include "binsim/execution_engine.hpp"
 #include "binsim/process.hpp"
+#include "cg/metacg_builder.hpp"
 #include "dyncapi/dyncapi.hpp"
+#include "dyncapi/graph_sync.hpp"
+#include "dyncapi/refinement.hpp"
 #include "xraysim/packed_id.hpp"
 
 using namespace capi;
@@ -90,5 +97,33 @@ int main() {
     engine.run();
     std::printf("\ndlopen + re-patch: %u events again (object id %u reused)\n",
                 events, xray::objectIdOf(*pidA2));
+
+    // --- the graph side of the same lifecycle ------------------------------
+    // Selection sees the plugin come and go through journaled graph deltas
+    // instead of a rebuilt graph: each re-selection patches the CSR snapshot
+    // and re-evaluates only the stages whose read footprint the plugin
+    // actually intersects.
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(pluginApp().toSourceModel());
+    dyncapi::RefinementSession session(graph);
+    dyncapi::DsoGraphBinding pluginA(graph, {"plugin_a_run"});
+    const char* spec = "onCallPathFrom(byName(\"plugin*\", defined(%%)))";
+
+    cg::CsrView::RegistryStats before = cg::CsrView::registryStats();
+    std::size_t full = session.select(spec, "plugins").selectedFinal;
+    pluginA.unload(graph);  // dlclose, journaled as a bulk removal.
+    std::size_t without = session.select(spec, "plugins").selectedFinal;
+    pluginA.reload(graph);  // dlopen, journaled re-add of nodes + edges.
+    select::SelectionReport again = session.select(spec, "plugins");
+    cg::CsrView::RegistryStats after = cg::CsrView::registryStats();
+    std::printf("\ngraph mirror: %zu plugin functions selected -> %zu after "
+                "dlclose -> %zu after dlopen (%llu of %llu CSR snapshots "
+                "patched, not rebuilt)\n",
+                full, without, again.selectedFinal,
+                static_cast<unsigned long long>(after.patchBuilds -
+                                                before.patchBuilds),
+                static_cast<unsigned long long>(
+                    after.patchBuilds + after.fullBuilds -
+                    before.patchBuilds - before.fullBuilds));
     return 0;
 }

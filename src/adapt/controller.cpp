@@ -1,6 +1,8 @@
 #include "adapt/controller.hpp"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
 
 namespace capi::adapt {
 
@@ -33,7 +35,36 @@ dyncapi::InitStats Controller::start(select::InstrumentationConfig surveyIc) {
 EpochReport Controller::epoch(const scorep::ProfileTree& profile,
                               const scorep::Measurement& measurement,
                               double runtimeNs) {
-    model_.observeEpoch(profile, measurement, runtimeNs, &currentIc_);
+    // One profile walk per epoch, shared by the model and the metric fold.
+    const auto regionTotals = profile.regionTotals();
+    model_.observeEpoch(regionTotals, measurement, runtimeNs, &currentIc_);
+
+    if (options_.foldVisitMetricsInto != nullptr) {
+        // Route the epoch's observed visit counts into the graph as
+        // metric-only journal touches: only the regions whose count actually
+        // changed are dirtied, so a following re-selection patches its CSR
+        // snapshot and keeps every cached stage that reads no metrics of the
+        // touched nodes. Summed per name first — several region handles can
+        // share one function name across measurement recreations.
+        std::unordered_map<std::string, std::uint64_t> visitsByName;
+        for (const auto& [region, totals] : regionTotals) {
+            visitsByName[measurement.region(region).name] += totals.visits;
+        }
+        cg::CallGraph& graph = *options_.foldVisitMetricsInto;
+        for (const auto& [name, totalVisits] : visitsByName) {
+            cg::FunctionId id = graph.lookup(name);
+            if (id == cg::kInvalidFunction || !graph.alive(id)) {
+                continue;
+            }
+            const auto visits = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(totalVisits, UINT32_MAX));
+            if (graph.desc(id).metrics.profiledVisits != visits) {
+                graph.touchMetrics(id, [visits](cg::FunctionMetrics& metrics) {
+                    metrics.profiledVisits = visits;
+                });
+            }
+        }
+    }
 
     EpochReport report;
     report.epoch = lastReport_.epoch + 1;

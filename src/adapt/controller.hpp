@@ -42,6 +42,14 @@ struct ControllerOptions {
     std::vector<std::string> keep;
     /// Selection/planning parallelism, as in PipelineOptions.
     std::size_t threads = 1;
+    /// When set (to the SAME graph the controller was constructed over),
+    /// every epoch folds the measured per-region visit counts into
+    /// FunctionMetrics::profiledVisits through CallGraph::touchMetrics —
+    /// metric-only journal records. Specs re-run through the session (e.g.
+    /// `profiledVisits(">=", n, ...)` refinements) then see fresh runtime
+    /// metrics while structural stages stay cache-warm and the CsrView is
+    /// patched, not rebuilt.
+    cg::CallGraph* foldVisitMetricsInto = nullptr;
 };
 
 /// What one epoch measured and what the controller did about it.

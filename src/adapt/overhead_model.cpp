@@ -14,6 +14,14 @@ void OverheadModel::observeEpoch(const scorep::ProfileTree& profile,
                                  const scorep::Measurement& measurement,
                                  double epochRuntimeNs,
                                  const select::InstrumentationConfig* activeIc) {
+    observeEpoch(profile.regionTotals(), measurement, epochRuntimeNs, activeIc);
+}
+
+void OverheadModel::observeEpoch(
+    const std::unordered_map<scorep::RegionHandle,
+                             scorep::ProfileTree::RegionTotals>& regionTotals,
+    const scorep::Measurement& measurement, double epochRuntimeNs,
+    const select::InstrumentationConfig* activeIc) {
     // Aggregate the epoch per region name (several handles can share a name
     // when measurements are recreated across epochs, so fold by name).
     struct Observed {
@@ -21,7 +29,7 @@ void OverheadModel::observeEpoch(const scorep::ProfileTree& profile,
         double exclusiveNs = 0.0;
     };
     std::unordered_map<std::string, Observed> observed;
-    for (const auto& [region, totals] : profile.regionTotals()) {
+    for (const auto& [region, totals] : regionTotals) {
         Observed& entry = observed[measurement.region(region).name];
         entry.visits += static_cast<double>(totals.visits);
         entry.exclusiveNs += static_cast<double>(totals.exclusiveNs);

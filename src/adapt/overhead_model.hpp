@@ -53,6 +53,15 @@ public:
                       double epochRuntimeNs,
                       const select::InstrumentationConfig* activeIc = nullptr);
 
+    /// Same, over pre-aggregated per-region totals — for callers that need
+    /// the totals themselves (the controller's metric folding) so the
+    /// profile tree is walked once per epoch, not once per consumer.
+    void observeEpoch(
+        const std::unordered_map<scorep::RegionHandle,
+                                 scorep::ProfileTree::RegionTotals>& regionTotals,
+        const scorep::Measurement& measurement, double epochRuntimeNs,
+        const select::InstrumentationConfig* activeIc = nullptr);
+
     std::size_t epochCount() const { return epochs_; }
     const ModelOptions& options() const { return options_; }
 

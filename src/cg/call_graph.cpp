@@ -3,13 +3,29 @@
 #include <algorithm>
 #include <atomic>
 
+#include "cg/csr_view.hpp"
 #include "support/error.hpp"
 
 namespace capi::cg {
 
+namespace {
+
+/// Journal bound: above this the oldest half is trimmed and the floor rises,
+/// turning very old deltaSince() requests into full-invalidation answers.
+/// Sized so a dlopen of a mid-sized DSO (thousands of nodes/edges) still
+/// fits between two selection runs.
+constexpr std::size_t kJournalCap = 1 << 16;
+
+}  // namespace
+
 void CallGraph::throwRenameError(const std::string& name) {
     throw support::Error("mutateDesc must not rename '" + name +
                          "': the name is the lookup index key");
+}
+
+void CallGraph::throwDeadNodeError(FunctionId id) {
+    throw support::Error("operation on removed function id " +
+                         std::to_string(id));
 }
 
 std::uint64_t CallGraph::nextGenerationStamp() {
@@ -20,12 +36,182 @@ std::uint64_t CallGraph::nextGenerationStamp() {
     return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+std::uint64_t CallGraph::nextGraphId() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+CallGraph::CallGraph() = default;
+
+CallGraph::~CallGraph() {
+    releaseSnapshots();
+}
+
+void CallGraph::releaseSnapshots() noexcept {
+    if (graphId_ != 0) {
+        CsrView::releaseGraph(graphId_);
+    }
+}
+
+CallGraph::CallGraph(const CallGraph& other)
+    : nodes_(other.nodes_),
+      byName_(other.byName_),
+      entry_(other.entry_),
+      aliveCount_(other.aliveCount_),
+      generation_(other.generation_),
+      graphId_(nextGraphId()),
+      journal_(),
+      // The copy shares the original's content stamp but starts a fresh
+      // lineage: deltas are answerable from the copied revision onward.
+      journalFloor_(other.generation_),
+      drainMark_(other.generation_) {}
+
+CallGraph& CallGraph::operator=(const CallGraph& other) {
+    if (this == &other) {
+        return *this;
+    }
+    releaseSnapshots();
+    nodes_ = other.nodes_;
+    byName_ = other.byName_;
+    entry_ = other.entry_;
+    aliveCount_ = other.aliveCount_;
+    generation_ = other.generation_;
+    graphId_ = nextGraphId();
+    journal_.clear();
+    journalFloor_ = other.generation_;
+    drainMark_ = other.generation_;
+    return *this;
+}
+
+CallGraph::CallGraph(CallGraph&& other) noexcept
+    : nodes_(std::move(other.nodes_)),
+      byName_(std::move(other.byName_)),
+      entry_(other.entry_),
+      aliveCount_(other.aliveCount_),
+      generation_(other.generation_),
+      graphId_(other.graphId_),
+      journal_(std::move(other.journal_)),
+      journalFloor_(other.journalFloor_),
+      drainMark_(other.drainMark_) {
+    other.graphId_ = 0;  // The husk no longer owns registered snapshots.
+}
+
+CallGraph& CallGraph::operator=(CallGraph&& other) noexcept {
+    if (this == &other) {
+        return *this;
+    }
+    releaseSnapshots();
+    nodes_ = std::move(other.nodes_);
+    byName_ = std::move(other.byName_);
+    entry_ = other.entry_;
+    aliveCount_ = other.aliveCount_;
+    generation_ = other.generation_;
+    graphId_ = other.graphId_;
+    journal_ = std::move(other.journal_);
+    journalFloor_ = other.journalFloor_;
+    drainMark_ = other.drainMark_;
+    other.graphId_ = 0;
+    return *this;
+}
+
+void CallGraph::journalAppend(DeltaKind kind, FunctionId a, FunctionId b) {
+    if (journal_.size() >= kJournalCap) {
+        // Trim the oldest half; the floor rises to the newest trimmed stamp,
+        // so deltaSince() for anything at or before it reports "history
+        // gone" instead of a partial delta.
+        const std::size_t keep = kJournalCap / 2;
+        const std::size_t drop = journal_.size() - keep;
+        journalFloor_ = journal_[drop - 1].generation;
+        journal_.erase(journal_.begin(),
+                       journal_.begin() + static_cast<std::ptrdiff_t>(drop));
+    }
+    journal_.push_back(DeltaRecord{generation_, a, b, kind});
+}
+
+std::optional<GraphDelta> CallGraph::deltaSince(std::uint64_t generation) const {
+    if (generation < journalFloor_ || generation > generation_) {
+        return std::nullopt;
+    }
+    auto it = std::upper_bound(
+        journal_.begin(), journal_.end(), generation,
+        [](std::uint64_t gen, const DeltaRecord& rec) { return gen < rec.generation; });
+    // Stamps are process-global, so a stamp issued to a DIFFERENT graph can
+    // fall numerically inside [journalFloor_, generation_]. Answering for it
+    // would hand a caller holding another graph's revision a bogus partial
+    // delta (and let a shared SelectorCache revive that graph's entries
+    // here). Stamps are process-unique, so "this graph issued `generation`"
+    // is exact: it is the current stamp, the floor stamp, or some journaled
+    // record's stamp.
+    const bool issuedHere =
+        generation == generation_ || generation == journalFloor_ ||
+        (it != journal_.begin() && std::prev(it)->generation == generation);
+    if (!issuedHere) {
+        return std::nullopt;
+    }
+    GraphDelta delta;
+    delta.fromGeneration = generation;
+    delta.toGeneration = generation_;
+    for (; it != journal_.end(); ++it) {
+        switch (it->kind) {
+            case DeltaKind::NodeAdd: delta.addedNodes.push_back(it->a); break;
+            case DeltaKind::NodeRemove: delta.removedNodes.push_back(it->a); break;
+            case DeltaKind::CallEdgeAdd:
+                delta.addedCallEdges.emplace_back(it->a, it->b);
+                break;
+            case DeltaKind::CallEdgeRemove:
+                delta.removedCallEdges.emplace_back(it->a, it->b);
+                break;
+            case DeltaKind::OverrideAdd:
+                delta.addedOverrides.emplace_back(it->a, it->b);
+                break;
+            case DeltaKind::OverrideRemove:
+                delta.removedOverrides.emplace_back(it->a, it->b);
+                break;
+            case DeltaKind::MetricTouch: delta.metricTouches.push_back(it->a); break;
+            case DeltaKind::DescTouch: delta.descTouches.push_back(it->a); break;
+            case DeltaKind::EntryChange: delta.entryChanged = true; break;
+        }
+    }
+    return delta;
+}
+
+GraphDelta CallGraph::drainDelta() {
+    std::optional<GraphDelta> delta = deltaSince(drainMark_);
+    drainMark_ = generation_;
+    if (delta.has_value()) {
+        return std::move(*delta);
+    }
+    // History trimmed past the drain mark: report "everything changed" the
+    // only sound way available — every live node as added, entry changed.
+    // Tombstones stay out: addedNodes never names dead ids, so a consumer
+    // mirroring the drain cannot resurrect dlclosed functions.
+    GraphDelta full;
+    full.fromGeneration = journalFloor_;
+    full.toGeneration = generation_;
+    full.entryChanged = true;
+    for (FunctionId id = 0; id < nodes_.size(); ++id) {
+        if (nodes_[id].alive) {
+            full.addedNodes.push_back(id);
+        }
+    }
+    return full;
+}
+
 bool insertSorted(std::vector<FunctionId>& vec, FunctionId value) {
     auto it = std::lower_bound(vec.begin(), vec.end(), value);
     if (it != vec.end() && *it == value) {
         return false;
     }
     vec.insert(it, value);
+    return true;
+}
+
+bool eraseSorted(std::vector<FunctionId>& vec, FunctionId value) {
+    auto it = std::lower_bound(vec.begin(), vec.end(), value);
+    if (it == vec.end() || *it != value) {
+        return false;
+    }
+    vec.erase(it);
     return true;
 }
 
@@ -51,26 +237,97 @@ FunctionId CallGraph::addFunction(const FunctionDesc& desc) {
         } else {
             existing.desc.flags.addressTaken |= desc.flags.addressTaken;
         }
+        // Any merge may rewrite flags/metrics; the name cannot change.
+        journalAppend(DeltaKind::DescTouch, it->second);
         return it->second;
     }
     FunctionId id = static_cast<FunctionId>(nodes_.size());
-    nodes_.push_back(Node{desc, {}, {}, {}, {}});
+    nodes_.push_back(Node{desc, {}, {}, {}, {}, true});
     byName_.emplace(desc.name, id);
+    ++aliveCount_;
+    journalAppend(DeltaKind::NodeAdd, id);
+    if (!entry_.has_value() && desc.name == "main") {
+        // No explicit entry: entryPoint() falls back to lookup("main"), so
+        // this add silently changed it. Journal that, or cached traversal
+        // results anchored on the old (absent) entry would survive.
+        journalAppend(DeltaKind::EntryChange, id);
+    }
     return id;
 }
 
 void CallGraph::addCallEdge(FunctionId caller, FunctionId callee) {
+    requireAlive(caller);
+    requireAlive(callee);
     if (insertSorted(nodes_[caller].callees, callee)) {
         insertSorted(nodes_[callee].callers, caller);
         generation_ = nextGenerationStamp();
+        journalAppend(DeltaKind::CallEdgeAdd, caller, callee);
+    }
+}
+
+void CallGraph::removeCallEdge(FunctionId caller, FunctionId callee) {
+    if (eraseSorted(nodes_[caller].callees, callee)) {
+        eraseSorted(nodes_[callee].callers, caller);
+        generation_ = nextGenerationStamp();
+        journalAppend(DeltaKind::CallEdgeRemove, caller, callee);
     }
 }
 
 void CallGraph::addOverride(FunctionId base, FunctionId derived) {
+    requireAlive(base);
+    requireAlive(derived);
     if (insertSorted(nodes_[derived].overrides, base)) {
         generation_ = nextGenerationStamp();
+        journalAppend(DeltaKind::OverrideAdd, base, derived);
     }
     insertSorted(nodes_[base].overriddenBy, derived);
+}
+
+void CallGraph::removeFunction(FunctionId id) {
+    Node& node = nodes_[id];
+    if (!node.alive) {
+        return;
+    }
+    // One stamp covers the whole removal; every journaled record shares it.
+    generation_ = nextGenerationStamp();
+    for (FunctionId callee : node.callees) {
+        eraseSorted(nodes_[callee].callers, id);
+        journalAppend(DeltaKind::CallEdgeRemove, id, callee);
+    }
+    for (FunctionId caller : node.callers) {
+        eraseSorted(nodes_[caller].callees, id);
+        journalAppend(DeltaKind::CallEdgeRemove, caller, id);
+    }
+    for (FunctionId base : node.overrides) {
+        eraseSorted(nodes_[base].overriddenBy, id);
+        journalAppend(DeltaKind::OverrideRemove, base, id);
+    }
+    for (FunctionId derived : node.overriddenBy) {
+        eraseSorted(nodes_[derived].overrides, id);
+        journalAppend(DeltaKind::OverrideRemove, id, derived);
+    }
+    node.callees.clear();
+    node.callers.clear();
+    node.overrides.clear();
+    node.overriddenBy.clear();
+    const bool wasImplicitEntry = !entry_.has_value() && node.desc.name == "main";
+    byName_.erase(node.desc.name);
+    node.desc = FunctionDesc{};
+    node.alive = false;
+    --aliveCount_;
+    if ((entry_.has_value() && *entry_ == id) || wasImplicitEntry) {
+        // Explicit entry gone, or the lookup("main") fallback just lost its
+        // target — either way entryPoint() changed.
+        entry_.reset();
+        journalAppend(DeltaKind::EntryChange, id);
+    }
+    journalAppend(DeltaKind::NodeRemove, id);
+}
+
+void CallGraph::removeFunctions(const std::vector<FunctionId>& ids) {
+    for (FunctionId id : ids) {
+        removeFunction(id);
+    }
 }
 
 bool CallGraph::hasEdge(FunctionId caller, FunctionId callee) const {

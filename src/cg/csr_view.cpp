@@ -1,12 +1,14 @@
 #include "cg/csr_view.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <future>
 #include <mutex>
 #include <unordered_map>
 
 #include "cg/call_graph.hpp"
+#include "support/bitset.hpp"
 #include "support/executor.hpp"
 #include "support/thread_pool.hpp"
 
@@ -18,55 +20,86 @@ namespace {
 /// copies it splits (same threshold family as the selector halves).
 constexpr std::size_t kParallelBuildThreshold = 1 << 14;
 
+/// Snapshot chain depth kept per graph: the current view plus the
+/// predecessor the next delta will patch from.
+constexpr std::size_t kMaxViewsPerGraph = 2;
+
 std::size_t buildGrain(std::size_t n, const support::ThreadPool& pool) {
     return std::max<std::size_t>(1024, n / (pool.threadCount() * 4));
 }
 
-/// Flattens one adjacency relation into CSR form. The per-node vectors are
-/// already sorted and unique, so a straight copy preserves that invariant.
-/// With a pool: per-node sizes are counted in parallel, prefix-summed
-/// serially (O(V), cheap), and each shard then copies its rows into the
-/// offset-determined slice of the edge array — bit-identical to the serial
-/// append loop because every byte's position is fixed by the offsets alone.
+struct RegistryCounters {
+    std::atomic<std::uint64_t> fullBuilds{0};
+    std::atomic<std::uint64_t> patchBuilds{0};
+    std::atomic<std::uint64_t> sharedHits{0};
+    std::atomic<std::uint64_t> graphsReleased{0};
+};
+
+RegistryCounters& counters() {
+    static RegistryCounters c;
+    return c;
+}
+
+std::atomic<bool>& patchingFlag() {
+    static std::atomic<bool> enabled{true};
+    return enabled;
+}
+
+}  // namespace
+
+/// Flattens one adjacency relation into (start, len) rows over one pool. The
+/// per-node vectors are already sorted and unique, so a straight copy
+/// preserves that invariant. With a pool: per-node sizes are counted in
+/// parallel, prefix-summed serially (O(V), cheap), and each shard then
+/// copies its rows into the offset-determined slice of the pool —
+/// bit-identical to the serial append loop because every element's position
+/// is fixed by the prefix sums alone.
 template <typename RowGetter>
-void buildRows(std::size_t n, RowGetter&& rowOf, std::vector<std::uint32_t>& offsets,
-               std::vector<FunctionId>& edges, support::ThreadPool* pool) {
-    offsets.resize(n + 1);
+std::shared_ptr<const CsrView::Rows> CsrView::buildRows(
+    std::size_t n, RowGetter&& rowOf, support::ThreadPool* pool) {
+    auto rows = std::make_shared<CsrView::Rows>();
+    rows->start.resize(n);
+    rows->len.resize(n);
+    auto edges = std::make_shared<std::vector<FunctionId>>();
     if (pool != nullptr) {
         const std::size_t grain = buildGrain(n, *pool);
         pool->parallelFor(n, grain, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t id = lo; id < hi; ++id) {
-                offsets[id + 1] = static_cast<std::uint32_t>(
+                rows->len[id] = static_cast<std::uint32_t>(
                     rowOf(static_cast<FunctionId>(id)).size());
             }
         });
-        offsets[0] = 0;
+        std::uint32_t running = 0;
         for (std::size_t id = 0; id < n; ++id) {
-            offsets[id + 1] += offsets[id];
+            rows->start[id] = running;
+            running += rows->len[id];
         }
-        edges.resize(offsets[n]);
+        edges->resize(running);
         pool->parallelFor(n, grain, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t id = lo; id < hi; ++id) {
                 const auto& row = rowOf(static_cast<FunctionId>(id));
-                std::copy(row.begin(), row.end(), edges.begin() + offsets[id]);
+                std::copy(row.begin(), row.end(),
+                          edges->begin() + rows->start[id]);
             }
         });
-        return;
+        rows->pool = std::move(edges);
+        return rows;
     }
     std::size_t total = 0;
     for (std::size_t id = 0; id < n; ++id) {
-        offsets[id] = static_cast<std::uint32_t>(total);
-        total += rowOf(static_cast<FunctionId>(id)).size();
+        rows->start[id] = static_cast<std::uint32_t>(total);
+        const std::size_t degree = rowOf(static_cast<FunctionId>(id)).size();
+        rows->len[id] = static_cast<std::uint32_t>(degree);
+        total += degree;
     }
-    offsets[n] = static_cast<std::uint32_t>(total);
-    edges.reserve(total);
+    edges->reserve(total);
     for (std::size_t id = 0; id < n; ++id) {
         const auto& row = rowOf(static_cast<FunctionId>(id));
-        edges.insert(edges.end(), row.begin(), row.end());
+        edges->insert(edges->end(), row.begin(), row.end());
     }
+    rows->pool = std::move(edges);
+    return rows;
 }
-
-}  // namespace
 
 CsrView::CsrView(const CallGraph& graph, support::ThreadPool* pool) {
     const std::size_t n = graph.size();
@@ -77,95 +110,311 @@ CsrView::CsrView(const CallGraph& graph, support::ThreadPool* pool) {
         pool = nullptr;
     }
 
-    buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
+    callees_ = buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
         return graph.callees(id);
-    }, callees_.offsets, callees_.edges, pool);
-    buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
+    }, pool);
+    callers_ = buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
         return graph.callers(id);
-    }, callers_.offsets, callers_.edges, pool);
-    buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
+    }, pool);
+    overrides_ = buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
         return graph.overrides(id);
-    }, overrides_.offsets, overrides_.edges, pool);
-    buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
+    }, pool);
+    overriddenBy_ = buildRows(n, [&](FunctionId id) -> const std::vector<FunctionId>& {
         return graph.overriddenBy(id);
-    }, overriddenBy_.offsets, overriddenBy_.edges, pool);
+    }, pool);
+    callEdgeCount_ = callees_->pool->size();
 
-    nameOffsets_.resize(n + 1);
-    numStatements_.resize(n);
+    auto names = std::make_shared<NameArena>();
+    names->start.resize(n);
+    names->len.resize(n);
+    auto arena = std::make_shared<std::string>();
+    auto stmts = std::make_shared<std::vector<std::uint32_t>>(n);
     if (pool != nullptr) {
         const std::size_t grain = buildGrain(n, *pool);
         pool->parallelFor(n, grain, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t id = lo; id < hi; ++id) {
-                nameOffsets_[id + 1] = static_cast<std::uint32_t>(
+                names->len[id] = static_cast<std::uint32_t>(
                     graph.name(static_cast<FunctionId>(id)).size());
             }
         });
-        nameOffsets_[0] = 0;
+        std::uint32_t running = 0;
         for (std::size_t id = 0; id < n; ++id) {
-            nameOffsets_[id + 1] += nameOffsets_[id];
+            names->start[id] = running;
+            running += names->len[id];
         }
-        nameArena_.resize(nameOffsets_[n]);
+        arena->resize(running);
         pool->parallelFor(n, grain, [&](std::size_t lo, std::size_t hi) {
             for (std::size_t id = lo; id < hi; ++id) {
                 const std::string& name = graph.name(static_cast<FunctionId>(id));
                 std::copy(name.begin(), name.end(),
-                          nameArena_.begin() + nameOffsets_[id]);
-                numStatements_[id] =
+                          arena->begin() + names->start[id]);
+                (*stmts)[id] =
                     graph.desc(static_cast<FunctionId>(id)).metrics.numStatements;
             }
         });
-        return;
+    } else {
+        std::size_t arenaBytes = 0;
+        for (std::size_t id = 0; id < n; ++id) {
+            names->start[id] = static_cast<std::uint32_t>(arenaBytes);
+            const std::size_t bytes = graph.name(static_cast<FunctionId>(id)).size();
+            names->len[id] = static_cast<std::uint32_t>(bytes);
+            arenaBytes += bytes;
+        }
+        arena->reserve(arenaBytes);
+        for (std::size_t id = 0; id < n; ++id) {
+            *arena += graph.name(static_cast<FunctionId>(id));
+            (*stmts)[id] =
+                graph.desc(static_cast<FunctionId>(id)).metrics.numStatements;
+        }
     }
-    std::size_t arenaBytes = 0;
-    for (std::size_t id = 0; id < n; ++id) {
-        nameOffsets_[id] = static_cast<std::uint32_t>(arenaBytes);
-        arenaBytes += graph.name(static_cast<FunctionId>(id)).size();
-    }
-    nameOffsets_[n] = static_cast<std::uint32_t>(arenaBytes);
-    nameArena_.reserve(arenaBytes);
-    for (std::size_t id = 0; id < n; ++id) {
-        nameArena_ += graph.name(static_cast<FunctionId>(id));
-        numStatements_[id] =
-            graph.desc(static_cast<FunctionId>(id)).metrics.numStatements;
-    }
+    names->pool = std::move(arena);
+    names_ = std::move(names);
+    numStatements_ = std::move(stmts);
 }
 
-std::shared_ptr<const CsrView> CsrView::snapshot(const CallGraph& graph) {
-    // Keyed by generation stamp alone: stamps are process-unique, every
-    // mutation assigns a fresh one, and graph copies sharing a stamp have
-    // identical content — so a hit is always the right snapshot. Bounded FIFO
-    // because OpenFOAM-scale views are tens of MB; a handful of live graph
-    // revisions per process is the realistic working set.
-    //
-    // The mutex guards only the registry; the O(V+E) build itself runs
-    // outside it. Each generation's entry is a shared_future, so concurrent
-    // requests for the SAME generation wait on one build (no duplicate
-    // work), while snapshots of unrelated graphs/generations build fully in
-    // parallel.
-    using ViewFuture = std::shared_future<std::shared_ptr<const CsrView>>;
-    constexpr std::size_t kMaxCachedViews = 4;
-    static std::mutex mutex;
-    static std::unordered_map<std::uint64_t, ViewFuture> cache;
-    static std::deque<std::uint64_t> order;
+std::shared_ptr<const CsrView> CsrView::tryPatch(const CsrView& prev,
+                                                 const CallGraph& graph,
+                                                 const GraphDelta& delta) {
+    const std::size_t nOld = prev.nodeCount_;
+    const std::size_t nNew = graph.size();
+    if (nNew < nOld) {
+        return nullptr;  // Tombstoned graphs never shrink; foreign lineage.
+    }
 
+    // Churn threshold: past this many touched nodes a full rebuild's
+    // contiguous passes beat per-row patching (and the tail would bloat).
+    support::DynamicBitset dirty = delta.dirtyNodes(nNew);
+    const std::size_t dirtyCount = dirty.count();
+    if (dirtyCount + (nNew - nOld) >
+        std::max<std::size_t>(1024, nNew / 8)) {
+        return nullptr;
+    }
+
+    // Per-relation dirty rows (ids < nOld; appended nodes are always
+    // (re)read). removeFunction journals each incident edge, so endpoints of
+    // removed nodes are covered by the edge records.
+    support::DynamicBitset calleeDirty(nOld);
+    support::DynamicBitset callerDirty(nOld);
+    support::DynamicBitset overridesDirty(nOld);
+    support::DynamicBitset overriddenByDirty(nOld);
+    support::DynamicBitset metricDirty(nOld);
+    support::DynamicBitset nameDirty(nOld);
+    auto mark = [nOld](support::DynamicBitset& bits, FunctionId id) {
+        if (id < nOld) {
+            bits.set(id);
+        }
+    };
+    delta.forEachChange([&](DeltaKind kind, FunctionId a, FunctionId b) {
+        switch (kind) {
+            case DeltaKind::CallEdgeAdd:
+            case DeltaKind::CallEdgeRemove:
+                mark(calleeDirty, a);   // a = caller's callee row.
+                mark(callerDirty, b);   // b = callee's caller row.
+                break;
+            case DeltaKind::OverrideAdd:
+            case DeltaKind::OverrideRemove:
+                mark(overridesDirty, b);     // b = derived's overrides row.
+                mark(overriddenByDirty, a);  // a = base's overriddenBy row.
+                break;
+            case DeltaKind::NodeRemove:
+                mark(calleeDirty, a);
+                mark(callerDirty, a);
+                mark(overridesDirty, a);
+                mark(overriddenByDirty, a);
+                mark(metricDirty, a);
+                mark(nameDirty, a);
+                break;
+            case DeltaKind::MetricTouch:
+            case DeltaKind::DescTouch:
+                mark(metricDirty, a);
+                break;
+            case DeltaKind::NodeAdd:     // Appended rows always (re)read.
+            case DeltaKind::EntryChange:  // entry_ recomputed from the graph.
+                break;
+        }
+    });
+
+    auto view = std::shared_ptr<CsrView>(new CsrView());
+    view->generation_ = delta.toGeneration;
+    view->nodeCount_ = nNew;
+    view->entry_ = graph.entryPoint();
+    view->patched_ = true;
+
+    // Patches one relation: untouched relations share the predecessor's Rows
+    // outright; touched ones copy the (start, len) indirection, keep the edge
+    // pool shared, and append only the dirty rows to the tail. Returns false
+    // when the accumulated tail outgrows the pool (chained patches past the
+    // useful point) — the caller then falls back to the full build.
+    auto patchRows = [&](const std::shared_ptr<const Rows>& prevRows,
+                         const support::DynamicBitset& dirtyRows,
+                         auto&& rowOf,
+                         std::shared_ptr<const Rows>& out) -> bool {
+        if (!dirtyRows.any() && nNew == nOld) {
+            out = prevRows;
+            return true;
+        }
+        auto rows = std::make_shared<Rows>();
+        rows->pool = prevRows->pool;
+        rows->tail = prevRows->tail;
+        rows->start = prevRows->start;
+        rows->len = prevRows->len;
+        rows->start.resize(nNew, 0);
+        rows->len.resize(nNew, 0);
+        auto rewrite = [&](FunctionId id) {
+            const auto& row = rowOf(id);
+            rows->len[id] = static_cast<std::uint32_t>(row.size());
+            if (row.empty()) {
+                rows->start[id] = 0;
+                return;
+            }
+            rows->start[id] =
+                kTailBit | static_cast<std::uint32_t>(rows->tail.size());
+            rows->tail.insert(rows->tail.end(), row.begin(), row.end());
+        };
+        dirtyRows.forEach([&](std::size_t id) {
+            rewrite(static_cast<FunctionId>(id));
+        });
+        for (std::size_t id = nOld; id < nNew; ++id) {
+            rewrite(static_cast<FunctionId>(id));
+        }
+        if (rows->tail.size() > rows->pool->size() / 2 + 4096) {
+            return false;
+        }
+        out = rows;
+        return true;
+    };
+
+    bool ok =
+        patchRows(prev.callees_, calleeDirty,
+                  [&](FunctionId id) -> const std::vector<FunctionId>& {
+                      return graph.callees(id);
+                  },
+                  view->callees_) &&
+        patchRows(prev.callers_, callerDirty,
+                  [&](FunctionId id) -> const std::vector<FunctionId>& {
+                      return graph.callers(id);
+                  },
+                  view->callers_) &&
+        patchRows(prev.overrides_, overridesDirty,
+                  [&](FunctionId id) -> const std::vector<FunctionId>& {
+                      return graph.overrides(id);
+                  },
+                  view->overrides_) &&
+        patchRows(prev.overriddenBy_, overriddenByDirty,
+                  [&](FunctionId id) -> const std::vector<FunctionId>& {
+                      return graph.overriddenBy(id);
+                  },
+                  view->overriddenBy_);
+    if (!ok) {
+        return nullptr;
+    }
+    view->callEdgeCount_ = 0;
+    for (std::size_t id = 0; id < nNew; ++id) {
+        view->callEdgeCount_ += view->callees_->len[id];
+    }
+
+    // Names change only through node add/remove (mutateDesc rejects renames).
+    if (!nameDirty.any() && nNew == nOld) {
+        view->names_ = prev.names_;
+    } else {
+        auto names = std::make_shared<NameArena>();
+        names->pool = prev.names_->pool;
+        names->tail = prev.names_->tail;
+        names->start = prev.names_->start;
+        names->len = prev.names_->len;
+        names->start.resize(nNew, 0);
+        names->len.resize(nNew, 0);
+        auto rewriteName = [&](FunctionId id) {
+            const std::string& name = graph.name(id);
+            names->len[id] = static_cast<std::uint32_t>(name.size());
+            if (name.empty()) {
+                names->start[id] = 0;
+                return;
+            }
+            names->start[id] =
+                kTailBit | static_cast<std::uint32_t>(names->tail.size());
+            names->tail += name;
+        };
+        nameDirty.forEach(
+            [&](std::size_t id) { rewriteName(static_cast<FunctionId>(id)); });
+        for (std::size_t id = nOld; id < nNew; ++id) {
+            rewriteName(static_cast<FunctionId>(id));
+        }
+        view->names_ = std::move(names);
+    }
+
+    if (!metricDirty.any() && nNew == nOld) {
+        view->numStatements_ = prev.numStatements_;
+    } else {
+        auto stmts =
+            std::make_shared<std::vector<std::uint32_t>>(*prev.numStatements_);
+        stmts->resize(nNew, 0);
+        metricDirty.forEach([&](std::size_t id) {
+            (*stmts)[id] = graph.desc(static_cast<FunctionId>(id)).metrics.numStatements;
+        });
+        for (std::size_t id = nOld; id < nNew; ++id) {
+            (*stmts)[id] = graph.desc(static_cast<FunctionId>(id)).metrics.numStatements;
+        }
+        view->numStatements_ = std::move(stmts);
+    }
+
+    return view;
+}
+
+// ---------------------------------------------------------------- registry --
+
+namespace {
+
+using ViewFuture = std::shared_future<std::shared_ptr<const CsrView>>;
+
+struct Registry {
+    std::mutex mutex;
+    struct Slot {
+        /// Newest at the back; capped at kMaxViewsPerGraph.
+        std::deque<std::pair<std::uint64_t, ViewFuture>> views;
+    };
+    std::unordered_map<std::uint64_t, Slot> slots;
+};
+
+/// Leaked on purpose (still reachable at exit): statically stored graphs —
+/// bench fixtures, app caches — may be destroyed after any static registry
+/// here, and their ~CallGraph must still be able to call releaseGraph().
+Registry& registry() {
+    static Registry* r = new Registry;
+    return *r;
+}
+
+}  // namespace
+
+std::shared_ptr<const CsrView> CsrView::snapshot(const CallGraph& graph) {
+    Registry& reg = registry();
+    const std::uint64_t graphId = graph.graphId();
     const std::uint64_t generation = graph.generation();
+
     std::promise<std::shared_ptr<const CsrView>> promise;
     ViewFuture future;
+    ViewFuture priorFuture;
     bool builder = false;
     {
-        std::lock_guard<std::mutex> lock(mutex);
-        auto it = cache.find(generation);
-        if (it != cache.end()) {
-            future = it->second;
-        } else {
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        Registry::Slot& slot = reg.slots[graphId];
+        for (const auto& [gen, fut] : slot.views) {
+            if (gen == generation) {
+                counters().sharedHits.fetch_add(1, std::memory_order_relaxed);
+                future = fut;
+                break;
+            }
+        }
+        if (!future.valid()) {
+            if (!slot.views.empty()) {
+                priorFuture = slot.views.back().second;
+            }
             future = promise.get_future().share();
-            cache.emplace(generation, future);
-            order.push_back(generation);
-            while (order.size() > kMaxCachedViews) {
+            slot.views.emplace_back(generation, future);
+            while (slot.views.size() > kMaxViewsPerGraph) {
                 // Evicting a future someone still waits on is fine: their
                 // shared_future copies keep the state alive.
-                cache.erase(order.front());
-                order.pop_front();
+                slot.views.pop_front();
             }
             builder = true;
         }
@@ -174,26 +423,90 @@ std::shared_ptr<const CsrView> CsrView::snapshot(const CallGraph& graph) {
         return future.get();  // Rethrows if the builder failed.
     }
     try {
-        // Large graphs borrow the process-wide pool (0 = "hardware width");
-        // the ctor falls back to the serial reference path below threshold.
-        support::ThreadPool* pool =
-            graph.size() >= kParallelBuildThreshold ? support::Executor::poolFor(0)
-                                                    : nullptr;
-        auto view = std::make_shared<const CsrView>(graph, pool);
+        std::shared_ptr<const CsrView> view;
+        if (priorFuture.valid() && incrementalPatching()) {
+            std::shared_ptr<const CsrView> prior;
+            try {
+                prior = priorFuture.get();
+            } catch (...) {
+                prior = nullptr;  // Predecessor build failed; build full.
+            }
+            if (prior != nullptr) {
+                std::optional<GraphDelta> delta =
+                    graph.deltaSince(prior->generation());
+                if (delta.has_value()) {
+                    view = tryPatch(*prior, graph, *delta);
+                }
+            }
+        }
+        if (view != nullptr) {
+            counters().patchBuilds.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            // Large graphs borrow the process-wide pool (0 = "hardware
+            // width"); the ctor falls back to the serial reference path
+            // below threshold.
+            support::ThreadPool* pool =
+                graph.size() >= kParallelBuildThreshold
+                    ? support::Executor::poolFor(0)
+                    : nullptr;
+            view = std::make_shared<const CsrView>(graph, pool);
+            counters().fullBuilds.fetch_add(1, std::memory_order_relaxed);
+        }
         promise.set_value(view);
         return view;
     } catch (...) {
         // Unblock waiters with the error and drop the entry so the next
         // caller retries instead of inheriting a poisoned future.
         promise.set_exception(std::current_exception());
-        std::lock_guard<std::mutex> lock(mutex);
-        cache.erase(generation);
-        auto pos = std::find(order.begin(), order.end(), generation);
-        if (pos != order.end()) {
-            order.erase(pos);
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        auto it = reg.slots.find(graphId);
+        if (it != reg.slots.end()) {
+            auto& views = it->second.views;
+            views.erase(std::remove_if(views.begin(), views.end(),
+                                       [&](const auto& entry) {
+                                           return entry.first == generation;
+                                       }),
+                        views.end());
         }
         throw;
     }
+}
+
+void CsrView::releaseGraph(std::uint64_t graphId) noexcept {
+    try {
+        Registry& reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        if (reg.slots.erase(graphId) != 0) {
+            counters().graphsReleased.fetch_add(1, std::memory_order_relaxed);
+        }
+    } catch (...) {
+        // Called from a destructor; allocation failure while locking is the
+        // only conceivable throw and dropping the eviction is harmless.
+    }
+}
+
+void CsrView::setIncrementalPatching(bool enabled) noexcept {
+    patchingFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool CsrView::incrementalPatching() noexcept {
+    return patchingFlag().load(std::memory_order_relaxed);
+}
+
+CsrView::RegistryStats CsrView::registryStats() noexcept {
+    RegistryStats stats;
+    stats.fullBuilds = counters().fullBuilds.load(std::memory_order_relaxed);
+    stats.patchBuilds = counters().patchBuilds.load(std::memory_order_relaxed);
+    stats.sharedHits = counters().sharedHits.load(std::memory_order_relaxed);
+    stats.graphsReleased =
+        counters().graphsReleased.load(std::memory_order_relaxed);
+    return stats;
+}
+
+std::size_t CsrView::registrySlotCount() noexcept {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.slots.size();
 }
 
 }  // namespace capi::cg

@@ -1,0 +1,20 @@
+#include "cg/delta.hpp"
+
+namespace capi::cg {
+
+support::DynamicBitset GraphDelta::dirtyNodes(std::size_t universe) const {
+    support::DynamicBitset dirty(universe);
+    forEachChange([&](DeltaKind, FunctionId a, FunctionId b) {
+        // kInvalidFunction (and ids past the caller's universe) fall out of
+        // the bound check.
+        if (a < universe) {
+            dirty.set(a);
+        }
+        if (b < universe) {
+            dirty.set(b);
+        }
+    });
+    return dirty;
+}
+
+}  // namespace capi::cg

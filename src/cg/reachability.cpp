@@ -130,7 +130,7 @@ DynamicBitset reachesTo(const CsrView& csr, const DynamicBitset& targets,
 
 DynamicBitset onCallPath(const CsrView& csr, FunctionId from,
                          const DynamicBitset& targets,
-                         support::ThreadPool* pool) {
+                         support::ThreadPool* pool, DynamicBitset* touched) {
     DynamicBitset result(csr.size());
     if (from == kInvalidFunction) {
         return result;
@@ -139,6 +139,10 @@ DynamicBitset onCallPath(const CsrView& csr, FunctionId from,
     roots.set(from);
     DynamicBitset forward = reachableFrom(csr, roots, pool);
     DynamicBitset backward = reachesTo(csr, targets, pool);
+    if (touched != nullptr) {
+        *touched = forward;
+        *touched |= backward;
+    }
     forward &= backward;
     return forward;
 }

@@ -58,9 +58,14 @@ support::DynamicBitset reachesTo(const CallGraph& graph,
                                  support::ThreadPool* pool = nullptr);
 
 /// Functions lying on a call path from `from` (usually main) to any target.
+/// When `touched` is non-null it receives the union of BOTH traversals'
+/// visited sets (forward from `from`, backward from `targets`) — the read
+/// footprint incremental selection records for this analysis, a superset of
+/// the returned intersection.
 support::DynamicBitset onCallPath(const CsrView& csr, FunctionId from,
                                   const support::DynamicBitset& targets,
-                                  support::ThreadPool* pool = nullptr);
+                                  support::ThreadPool* pool = nullptr,
+                                  support::DynamicBitset* touched = nullptr);
 support::DynamicBitset onCallPath(const CallGraph& graph, FunctionId from,
                                   const support::DynamicBitset& targets,
                                   support::ThreadPool* pool = nullptr);

@@ -22,6 +22,9 @@ struct FunctionMetrics {
     std::uint32_t numCallSites = 0;        ///< Call expressions in the body.
     std::uint32_t numInstructions = 0;     ///< Approximate machine instructions
                                            ///< (XRay threshold pre-filter input).
+    std::uint32_t profiledVisits = 0;      ///< Runtime metric: visit count folded
+                                           ///< in from the last measurement epoch
+                                           ///< (CallGraph::touchMetrics channel).
 };
 
 /// Structural flags recorded by the call-graph construction.

@@ -1,0 +1,87 @@
+#include "dyncapi/graph_sync.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace capi::dyncapi {
+
+DsoGraphBinding::DsoGraphBinding(const cg::CallGraph& graph,
+                                 const std::vector<std::string>& names) {
+    names_.reserve(names.size());
+    for (const std::string& name : names) {
+        if (graph.lookup(name) != cg::kInvalidFunction) {
+            names_.push_back(name);
+        }
+    }
+}
+
+std::size_t DsoGraphBinding::unload(cg::CallGraph& graph) {
+    if (!loaded_) {
+        return 0;
+    }
+    descs_.clear();
+    edges_.clear();
+
+    std::vector<cg::FunctionId> ids;
+    std::unordered_set<cg::FunctionId> member;
+    for (const std::string& name : names_) {
+        cg::FunctionId id = graph.lookup(name);
+        if (id != cg::kInvalidFunction && graph.alive(id)) {
+            ids.push_back(id);
+            member.insert(id);
+        }
+    }
+
+    // Capture descs and incident edges before the tombstones wipe them.
+    // Edges between two members would otherwise be captured twice (once per
+    // endpoint); record each from the member that owns the forward direction
+    // and skip the mirror.
+    for (cg::FunctionId id : ids) {
+        descs_.push_back(graph.desc(id));
+        for (cg::FunctionId callee : graph.callees(id)) {
+            edges_.push_back({graph.name(id), graph.name(callee), false});
+        }
+        for (cg::FunctionId caller : graph.callers(id)) {
+            if (member.count(caller) == 0) {
+                edges_.push_back({graph.name(caller), graph.name(id), false});
+            }
+        }
+        for (cg::FunctionId base : graph.overrides(id)) {
+            edges_.push_back({graph.name(base), graph.name(id), true});
+        }
+        for (cg::FunctionId derived : graph.overriddenBy(id)) {
+            if (member.count(derived) == 0) {
+                edges_.push_back({graph.name(id), graph.name(derived), true});
+            }
+        }
+    }
+
+    graph.removeFunctions(ids);
+    loaded_ = false;
+    return ids.size();
+}
+
+std::size_t DsoGraphBinding::reload(cg::CallGraph& graph) {
+    if (loaded_) {
+        return 0;
+    }
+    for (const cg::FunctionDesc& desc : descs_) {
+        graph.addFunction(desc);
+    }
+    for (const EdgeByName& edge : edges_) {
+        cg::FunctionId from = graph.lookup(edge.from);
+        cg::FunctionId to = graph.lookup(edge.to);
+        if (from == cg::kInvalidFunction || to == cg::kInvalidFunction) {
+            continue;  // The other endpoint disappeared while we were out.
+        }
+        if (edge.isOverride) {
+            graph.addOverride(from, to);
+        } else {
+            graph.addCallEdge(from, to);
+        }
+    }
+    loaded_ = true;
+    return descs_.size();
+}
+
+}  // namespace capi::dyncapi

@@ -58,9 +58,11 @@ RefinementResult refineIc(const select::InstrumentationConfig& ic,
 /// an overlapping spec — the common case: only thresholds near the leaves of
 /// the selector tree change between rounds — answers unchanged stages from
 /// the cache instead of recomputing reachability closures. Runtime graph
-/// updates (a dlopen'd DSO adding nodes) bump the generation stamp and the
-/// stale entries are purged on the next access; no manual invalidation hook
-/// is needed.
+/// updates (a dlopen'd DSO adding or removing nodes, metric refreshes) bump
+/// the generation stamp and reconcile through the mutation journal: entries
+/// whose recorded read footprint the delta cannot have touched survive and
+/// keep answering, the rest re-evaluate. No manual invalidation hook is
+/// needed.
 class RefinementSession {
 public:
     /// `graph` must outlive the session. `threads` as in PipelineOptions:

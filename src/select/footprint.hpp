@@ -1,0 +1,54 @@
+// The read footprint a selector stage leaves behind during evaluation.
+//
+// Incremental re-selection keeps a cached stage result alive across a graph
+// mutation exactly when the mutation cannot have changed what the stage
+// read. Every selector therefore records, per evaluation, WHICH nodes it
+// read and WHAT it read of them, in three kinds:
+//
+//   Desc     — name / flags / source location (FilterSelector predicates)
+//   Metrics  — FunctionMetrics fields (metric filters, statement aggregation)
+//   Edges    — adjacency rows / degrees (reachability, k-hop, coarse, SCC)
+//
+// plus a universe flag for results that depend on the node-count itself
+// (%%, complement). Bounded reads land in one shared node bitset (the
+// "reachable region" of the paper's traversal selectors); whole-graph reads
+// set the corresponding all* flag. The SelectorCache intersects this record
+// with a GraphDelta's dirty sets to decide survive-vs-purge.
+//
+// Soundness contract (property-pinned by the incremental==full sweep):
+// a selector's recorded footprint must cover every node whose recorded
+// kinds it read, and its result must be unreachable from mutations outside
+// the footprint — traversal results satisfy this through the BFS closure
+// property (any path newly reaching an unvisited node must use a new edge
+// whose old-side endpoint was visited, i.e. in the footprint).
+#pragma once
+
+#include <cstddef>
+
+#include "support/bitset.hpp"
+
+namespace capi::select {
+
+struct Footprint {
+    Footprint() = default;
+    explicit Footprint(std::size_t universe) : nodes(universe) {}
+
+    /// Makes a footprint that survives nothing (the conservative default
+    /// for selectors that do not track their reads).
+    static Footprint unbounded() {
+        Footprint fp;
+        fp.allDesc = fp.allMetrics = fp.allEdges = fp.universeDependent = true;
+        return fp;
+    }
+
+    support::DynamicBitset nodes;  ///< Bounded reads, all kinds unioned.
+    bool readsDesc = false;        ///< `nodes` contains desc reads.
+    bool readsMetrics = false;     ///< `nodes` contains metric reads.
+    bool readsEdges = false;       ///< `nodes` contains adjacency reads.
+    bool allDesc = false;          ///< Read descs of every node.
+    bool allMetrics = false;       ///< Read metrics of every node.
+    bool allEdges = false;         ///< Read adjacency of every node.
+    bool universeDependent = false;  ///< Result depends on the node count.
+};
+
+}  // namespace capi::select

@@ -66,21 +66,48 @@ PipelineRun Pipeline::runSerial(const cg::CallGraph& graph,
                                 SelectorCache* cache) const {
     EvalContext ctx(graph);
     ctx.pool = pool;
+    if (cache != nullptr) {
+        // Reconcile the cache with the graph's current revision: entries
+        // whose footprint the journal delta cannot have touched survive.
+        cache->beginRun(graph);
+    }
+    const std::uint64_t generation = graph.generation();
     PipelineRun run;
     run.result = FunctionSet(graph.size());
-    for (const Stage& stage : stages_) {
+    // Dirtiness propagation over the %ref DAG: a cached result is reused
+    // only when the stage's own entry is live AND no dependency re-evaluated
+    // to a different result. A re-evaluation that reproduces the cached bits
+    // exactly does not dirty its dependents.
+    std::vector<char> dirty(stages_.size(), 0);
+    for (std::size_t index = 0; index < stages_.size(); ++index) {
+        const Stage& stage = stages_[index];
         support::Timer timer;
         FunctionSet result;
+        bool depsDirty = false;
+        for (std::size_t dep : stage.deps) {
+            depsDirty = depsDirty || dirty[dep] != 0;
+        }
         auto cached = cache != nullptr
-                          ? cache->lookup(graph.generation(), stage.canonicalHash)
+                          ? cache->lookup(generation, stage.canonicalHash)
                           : nullptr;
-        if (cached != nullptr) {
+        if (cached != nullptr && !depsDirty) {
             result = *cached;
             ++run.cacheHits;
         } else {
+            // Zero-universe when uncached: no point zeroing a graph-sized
+            // bitset that is never stored.
+            Footprint footprint(cache != nullptr ? graph.size() : 0);
+            ctx.footprint = cache != nullptr ? &footprint : nullptr;
             result = stage.selector->evaluate(ctx);
+            ctx.footprint = nullptr;
+            dirty[index] = 1;
             if (cache != nullptr) {
-                cache->store(graph.generation(), stage.canonicalHash, result);
+                // Re-validate against the last stored bits (live or stale):
+                // reproducing them exactly keeps dependents clean.
+                auto previous = cache->previousResult(stage.canonicalHash);
+                dirty[index] = previous == nullptr || !(*previous == result);
+                cache->store(generation, stage.canonicalHash, result,
+                             std::move(footprint));
             }
         }
         run.timingsNs.emplace_back(stage.name, timer.elapsedNs());
@@ -97,12 +124,19 @@ PipelineRun Pipeline::runParallel(const cg::CallGraph& graph,
                                   support::ThreadPool& pool,
                                   SelectorCache* cache) const {
     const std::size_t count = stages_.size();
+    if (cache != nullptr) {
+        cache->beginRun(graph);
+    }
+    const std::uint64_t generation = graph.generation();
 
     struct RunState {
         std::vector<FunctionSet> results;
         std::vector<std::uint64_t> ns;
         std::vector<std::size_t> sizes;
         std::vector<std::exception_ptr> errors;
+        /// Written by a stage before it releases its dependents; the
+        /// pending-counter acq_rel pair orders the read, same as `results`.
+        std::vector<char> dirty;
         std::unique_ptr<std::atomic<std::size_t>[]> pending;
         std::atomic<std::size_t> remaining{0};
         std::atomic<std::size_t> cacheHits{0};
@@ -115,6 +149,7 @@ PipelineRun Pipeline::runParallel(const cg::CallGraph& graph,
     state.ns.resize(count, 0);
     state.sizes.resize(count, 0);
     state.errors.resize(count);
+    state.dirty.resize(count, 0);
     state.pending.reset(new std::atomic<std::size_t>[count]);
     state.remaining.store(count, std::memory_order_relaxed);
     for (std::size_t i = 0; i < count; ++i) {
@@ -130,23 +165,35 @@ PipelineRun Pipeline::runParallel(const cg::CallGraph& graph,
             try {
                 EvalContext ctx(graph);
                 ctx.pool = &pool;
+                bool depsDirty = false;
                 for (std::size_t dep : stage.deps) {
                     ctx.named[stages_[dep].name] = state.results[dep];
+                    depsDirty = depsDirty || state.dirty[dep] != 0;
                 }
                 support::Timer timer;
                 FunctionSet result;
                 auto cached =
                     cache != nullptr
-                        ? cache->lookup(graph.generation(), stage.canonicalHash)
+                        ? cache->lookup(generation, stage.canonicalHash)
                         : nullptr;
-                if (cached != nullptr) {
+                if (cached != nullptr && !depsDirty) {
                     result = *cached;
                     state.cacheHits.fetch_add(1, std::memory_order_relaxed);
                 } else {
+                    Footprint footprint(cache != nullptr ? graph.size() : 0);
+                    ctx.footprint = cache != nullptr ? &footprint : nullptr;
                     result = stage.selector->evaluate(ctx);
+                    ctx.footprint = nullptr;
+                    state.dirty[index] = 1;
                     if (cache != nullptr) {
-                        cache->store(graph.generation(), stage.canonicalHash,
-                                     result);
+                        // Re-validate against the last stored bits (live or
+                        // stale): reproducing them keeps dependents clean.
+                        auto previous =
+                            cache->previousResult(stage.canonicalHash);
+                        state.dirty[index] =
+                            previous == nullptr || !(*previous == result);
+                        cache->store(generation, stage.canonicalHash, result,
+                                     std::move(footprint));
                     }
                 }
                 state.ns[index] = timer.elapsedNs();

@@ -10,8 +10,13 @@
 // point whose result is the raw selection (paper Sec. III-A).
 //
 // An optional SelectorCache memoizes per-definition results keyed by
-// (call-graph generation, canonical selector hash) so repeated refinement
-// rounds against an unchanged graph reuse prior stage results.
+// canonical selector hash and stamped with the call-graph generation, so
+// repeated refinement rounds reuse prior stage results. Runs with a cache
+// are incremental: the cache reconciles with the graph's mutation journal
+// (footprint-disjoint entries survive a delta), and the pipeline propagates
+// dirtiness through the %ref DAG so only transitively-affected stages
+// re-evaluate — a stage that reproduces its previous bits exactly keeps its
+// dependents clean.
 #pragma once
 
 #include <cstdint>

@@ -14,6 +14,7 @@
 
 #include "cg/call_graph.hpp"
 #include "cg/csr_view.hpp"
+#include "select/footprint.hpp"
 #include "select/function_set.hpp"
 
 namespace capi::support {
@@ -33,6 +34,45 @@ struct EvalContext {
     /// hot loops (reachability BFS, word combinators, per-function filters)
     /// over this pool. Results are bit-identical to the serial path.
     support::ThreadPool* pool = nullptr;
+
+    /// Footprint collection target for the stage being evaluated (set by
+    /// Pipeline when a SelectorCache is attached; null otherwise). Selectors
+    /// report their reads through the touch* helpers below; nested child
+    /// evaluations accumulate into the same footprint, so a stage's record
+    /// covers its whole selector tree. All touch calls must happen on the
+    /// stage's own thread (outside sharded loops).
+    Footprint* footprint = nullptr;
+
+    void touchDescSet(const support::DynamicBitset& read) {
+        if (footprint != nullptr && !footprint->allDesc) {
+            footprint->nodes |= read;
+            footprint->readsDesc = true;
+        }
+    }
+    void touchMetricsSet(const support::DynamicBitset& read) {
+        if (footprint != nullptr && !footprint->allMetrics) {
+            footprint->nodes |= read;
+            footprint->readsMetrics = true;
+        }
+    }
+    void touchEdgesSet(const support::DynamicBitset& read) {
+        if (footprint != nullptr && !footprint->allEdges) {
+            footprint->nodes |= read;
+            footprint->readsEdges = true;
+        }
+    }
+    void touchAllDesc() {
+        if (footprint != nullptr) footprint->allDesc = true;
+    }
+    void touchAllMetrics() {
+        if (footprint != nullptr) footprint->allMetrics = true;
+    }
+    void touchAllEdges() {
+        if (footprint != nullptr) footprint->allEdges = true;
+    }
+    void touchUniverse() {
+        if (footprint != nullptr) footprint->universeDependent = true;
+    }
 
     /// The flat CSR snapshot of `graph` at its current generation — the
     /// structure every graph-walking selector traverses. Lazily resolved;
@@ -56,10 +96,32 @@ class Selector {
 public:
     virtual ~Selector() = default;
 
-    virtual FunctionSet evaluate(EvalContext& ctx) const = 0;
+    /// Evaluates the selector and records its read footprint into
+    /// ctx.footprint (when collection is on). Selector types that do not
+    /// declare footprint tracking are recorded as having read everything —
+    /// safe by default: their cached results never survive a graph delta.
+    FunctionSet evaluate(EvalContext& ctx) const {
+        if (ctx.footprint != nullptr && !tracksFootprint()) {
+            ctx.touchAllDesc();
+            ctx.touchAllMetrics();
+            ctx.touchAllEdges();
+            ctx.touchUniverse();
+        }
+        return evaluateImpl(ctx);
+    }
 
     /// One-line description for reports and error messages.
     virtual std::string describe() const = 0;
+
+protected:
+    /// The selector body. Implementations that return true from
+    /// tracksFootprint() MUST report every node whose desc/metrics/edges
+    /// they read via the ctx.touch* helpers (see footprint.hpp for the
+    /// soundness contract); pure combinators qualify trivially because
+    /// their children report through the same context.
+    virtual FunctionSet evaluateImpl(EvalContext& ctx) const = 0;
+
+    virtual bool tracksFootprint() const { return false; }
 };
 
 using SelectorPtr = std::unique_ptr<Selector>;

@@ -17,6 +17,7 @@
 //   cyclomatic(op, n, input)             McCabe complexity compares true
 //   callSites(op, n, input)              call expressions compare true
 //   instructions(op, n, input)           approx. machine instructions
+//   profiledVisits(op, n, input)         last-epoch runtime visit count
 //   join(a, b, ...)                      set union
 //   intersect(a, b, ...)                 set intersection
 //   subtract(a, b)                       set difference
@@ -59,10 +60,16 @@ namespace {
 
 class EverythingSelector final : public Selector {
 public:
-    FunctionSet evaluate(EvalContext& ctx) const override {
+    std::string describe() const override { return "%%"; }
+
+protected:
+    FunctionSet evaluateImpl(EvalContext& ctx) const override {
+        // Reads nothing per node, but the result IS the universe: it grows
+        // with every added node.
+        ctx.touchUniverse();
         return FunctionSet::all(ctx.graph.size());
     }
-    std::string describe() const override { return "%%"; }
+    bool tracksFootprint() const override { return true; }
 };
 
 /// `%name`: looks up a previously evaluated named instance.
@@ -70,31 +77,49 @@ class ReferenceSelector final : public Selector {
 public:
     explicit ReferenceSelector(std::string name) : name_(std::move(name)) {}
 
-    FunctionSet evaluate(EvalContext& ctx) const override {
+    std::string describe() const override { return "%" + name_; }
+
+protected:
+    FunctionSet evaluateImpl(EvalContext& ctx) const override {
         auto it = ctx.named.find(name_);
         if (it == ctx.named.end()) {
             throw support::Error("selector reference '%" + name_ +
                                  "' used before definition");
         }
+        // No graph reads of its own: changes to the referenced stage reach
+        // dependents through the pipeline's %ref dirtiness propagation.
         return it->second;
     }
-    std::string describe() const override { return "%" + name_; }
+    bool tracksFootprint() const override { return true; }
 
 private:
     std::string name_;
 };
+
+/// What a FilterSelector predicate reads of each candidate, for footprint
+/// classification: name/flag predicates survive metric-only touches and
+/// vice versa.
+enum class FilterReads { Desc, Metrics };
 
 /// Filters the input set by a per-function predicate.
 class FilterSelector final : public Selector {
 public:
     using Predicate = std::function<bool(const cg::FunctionDesc&)>;
 
-    FilterSelector(std::string name, SelectorPtr input, Predicate predicate)
+    FilterSelector(std::string name, SelectorPtr input, Predicate predicate,
+                   FilterReads reads)
         : name_(std::move(name)), input_(std::move(input)),
-          predicate_(std::move(predicate)) {}
+          predicate_(std::move(predicate)), reads_(reads) {}
 
-    FunctionSet evaluate(EvalContext& ctx) const override {
+protected:
+    FunctionSet evaluateImpl(EvalContext& ctx) const override {
         FunctionSet in = input_->evaluate(ctx);
+        // The predicate runs on exactly the members of `in`.
+        if (reads_ == FilterReads::Desc) {
+            ctx.touchDescSet(in.bits());
+        } else {
+            ctx.touchMetricsSet(in.bits());
+        }
         FunctionSet out(ctx.graph.size());
         auto filterWords = [&](std::size_t wordBegin, std::size_t wordEnd) {
             // A bit at index i lives in word i/64, so a worker filtering
@@ -112,7 +137,9 @@ public:
         }
         return out;
     }
+    bool tracksFootprint() const override { return true; }
 
+public:
     std::string describe() const override {
         return name_ + "(" + input_->describe() + ")";
     }
@@ -121,6 +148,7 @@ private:
     std::string name_;
     SelectorPtr input_;
     Predicate predicate_;
+    FilterReads reads_;
 };
 
 enum class SetOp { Union, Intersection };
@@ -131,7 +159,12 @@ public:
     CombineSelector(SetOp op, std::vector<SelectorPtr> inputs)
         : op_(op), inputs_(std::move(inputs)) {}
 
-    FunctionSet evaluate(EvalContext& ctx) const override {
+protected:
+    // Pure set algebra over child results; the children report their own
+    // reads into the shared footprint.
+    bool tracksFootprint() const override { return true; }
+
+    FunctionSet evaluateImpl(EvalContext& ctx) const override {
         FunctionSet result = inputs_.front()->evaluate(ctx);
         if (inputs_.size() > 1 && useParallel(ctx, result.universe())) {
             std::vector<FunctionSet> rest;
@@ -167,6 +200,7 @@ public:
         return result;
     }
 
+public:
     std::string describe() const override {
         std::string out = op_ == SetOp::Union ? "join(" : "intersect(";
         for (std::size_t i = 0; i < inputs_.size(); ++i) {
@@ -186,7 +220,10 @@ public:
     SubtractSelector(SelectorPtr left, SelectorPtr right)
         : left_(std::move(left)), right_(std::move(right)) {}
 
-    FunctionSet evaluate(EvalContext& ctx) const override {
+protected:
+    bool tracksFootprint() const override { return true; }
+
+    FunctionSet evaluateImpl(EvalContext& ctx) const override {
         FunctionSet result = left_->evaluate(ctx);
         FunctionSet right = right_->evaluate(ctx);
         if (useParallel(ctx, result.universe())) {
@@ -203,6 +240,7 @@ public:
         return result;
     }
 
+public:
     std::string describe() const override {
         return "subtract(" + left_->describe() + ", " + right_->describe() + ")";
     }
@@ -216,15 +254,20 @@ class ComplementSelector final : public Selector {
 public:
     explicit ComplementSelector(SelectorPtr input) : input_(std::move(input)) {}
 
-    FunctionSet evaluate(EvalContext& ctx) const override {
-        FunctionSet result = input_->evaluate(ctx);
-        result.complement();
-        return result;
-    }
-
     std::string describe() const override {
         return "complement(" + input_->describe() + ")";
     }
+
+protected:
+    FunctionSet evaluateImpl(EvalContext& ctx) const override {
+        FunctionSet result = input_->evaluate(ctx);
+        // The complement of an unchanged set still changes when the
+        // universe grows (a new node joins the complement).
+        ctx.touchUniverse();
+        result.complement();
+        return result;
+    }
+    bool tracksFootprint() const override { return true; }
 
 private:
     SelectorPtr input_;
@@ -238,7 +281,7 @@ SelectorFactory flagFactory(DescPredicate predicate) {
     return [predicate](const spec::Expr& call, SelectorBuilder& b) -> SelectorPtr {
         b.checkArity(call, 1, 1);
         return std::make_unique<FilterSelector>(call.value, b.selectorArg(call, 0),
-                                                predicate);
+                                                predicate, FilterReads::Desc);
     };
 }
 
@@ -253,7 +296,8 @@ SelectorFactory metricFactory(MetricGetter getter) {
             call.value, b.selectorArg(call, 2),
             [getter, op, threshold](const cg::FunctionDesc& desc) {
                 return compareMetric(getter(desc), op, threshold);
-            });
+            },
+            FilterReads::Metrics);
     };
 }
 
@@ -271,7 +315,8 @@ SelectorFactory nameFactory(NameField field) {
                                                ? desc.prettyName
                                                : desc.sourceFile;
                 return support::globMatch(pattern, value);
-            });
+            },
+            FilterReads::Desc);
     };
 }
 
@@ -353,6 +398,12 @@ void registerBasicSelectors(SelectorRegistry& r) {
             return d.metrics.numInstructions;
         }),
         "instructions(op, n, input): approximate machine instruction count");
+    r.registerType(
+        "profiledVisits",
+        metricFactory([](const cg::FunctionDesc& d) -> std::uint64_t {
+            return d.metrics.profiledVisits;
+        }),
+        "profiledVisits(op, n, input): visit count from the last measurement epoch");
 
     r.registerType(
         "join",

@@ -33,16 +33,25 @@ class OnCallPathToSelector final : public Selector {
 public:
     explicit OnCallPathToSelector(SelectorPtr target) : target_(std::move(target)) {}
 
-    FunctionSet evaluate(EvalContext& ctx) const override {
-        FunctionSet targets = target_->evaluate(ctx);
-        const cg::CsrView& csr = ctx.csr();
-        return FunctionSet::fromBits(
-            cg::onCallPath(csr, csr.entryPoint(), targets.bits(), ctx.pool));
-    }
-
     std::string describe() const override {
         return "onCallPathTo(" + target_->describe() + ")";
     }
+
+protected:
+    FunctionSet evaluateImpl(EvalContext& ctx) const override {
+        FunctionSet targets = target_->evaluate(ctx);
+        const cg::CsrView& csr = ctx.csr();
+        DynamicBitset touched(csr.size());
+        DynamicBitset result = cg::onCallPath(csr, csr.entryPoint(),
+                                              targets.bits(), ctx.pool, &touched);
+        // Reads the adjacency of every node either traversal visited; a
+        // path newly reaching outside either closure must use a new edge
+        // whose old endpoint lies inside it (entry-point changes purge the
+        // whole cache, so the entry itself needs no record).
+        ctx.touchEdgesSet(touched);
+        return FunctionSet::fromBits(std::move(result));
+    }
+    bool tracksFootprint() const override { return true; }
 
 private:
     SelectorPtr target_;
@@ -52,15 +61,21 @@ class OnCallPathFromSelector final : public Selector {
 public:
     explicit OnCallPathFromSelector(SelectorPtr source) : source_(std::move(source)) {}
 
-    FunctionSet evaluate(EvalContext& ctx) const override {
-        FunctionSet sources = source_->evaluate(ctx);
-        return FunctionSet::fromBits(
-            cg::reachableFrom(ctx.csr(), sources.bits(), ctx.pool));
-    }
-
     std::string describe() const override {
         return "onCallPathFrom(" + source_->describe() + ")";
     }
+
+protected:
+    FunctionSet evaluateImpl(EvalContext& ctx) const override {
+        FunctionSet sources = source_->evaluate(ctx);
+        FunctionSet result = FunctionSet::fromBits(
+            cg::reachableFrom(ctx.csr(), sources.bits(), ctx.pool));
+        // The closure reads exactly the callee rows of the visited set (==
+        // the result, which includes the sources).
+        ctx.touchEdgesSet(result.bits());
+        return result;
+    }
+    bool tracksFootprint() const override { return true; }
 
 private:
     SelectorPtr source_;
@@ -76,7 +91,8 @@ public:
     NeighborSelector(cg::EdgeDir dir, std::int64_t hops, SelectorPtr input)
         : dir_(dir), hops_(hops), input_(std::move(input)) {}
 
-    FunctionSet evaluate(EvalContext& ctx) const override {
+protected:
+    FunctionSet evaluateImpl(EvalContext& ctx) const override {
         FunctionSet in = input_->evaluate(ctx);
         const cg::CsrView& csr = ctx.csr();
         DynamicBitset acc(csr.size());
@@ -96,9 +112,16 @@ public:
             acc |= next;
             frontier = std::move(next);
         }
+        // Rows of the input set and of every expanded frontier were read;
+        // in ∪ acc covers both (the last frontier's rows are unread, but a
+        // superset footprint is always sound).
+        ctx.touchEdgesSet(in.bits());
+        ctx.touchEdgesSet(acc);
         return FunctionSet::fromBits(std::move(acc));
     }
+    bool tracksFootprint() const override { return true; }
 
+public:
     std::string describe() const override {
         std::string out =
             std::string(dir_ == cg::EdgeDir::Callers ? "callers(" : "callees(") +
@@ -137,12 +160,16 @@ public:
     CoarseSelector(SelectorPtr input, SelectorPtr critical)
         : input_(std::move(input)), critical_(std::move(critical)) {}
 
-    FunctionSet evaluate(EvalContext& ctx) const override {
+protected:
+    FunctionSet evaluateImpl(EvalContext& ctx) const override {
         FunctionSet result = input_->evaluate(ctx);
         FunctionSet critical = critical_ != nullptr
                                    ? critical_->evaluate(ctx)
                                    : FunctionSet(ctx.graph.size());
         const cg::CsrView& csr = ctx.csr();
+        // Reads the caller degree of every input member (recorded before the
+        // in-place filter narrows the set).
+        ctx.touchEdgesSet(result.bits());
 
         auto filterWords = [&](std::size_t wlo, std::size_t whi) {
             result.bits().forEachInWordRange(wlo, whi, [&](std::size_t i) {
@@ -161,7 +188,9 @@ public:
         }
         return result;
     }
+    bool tracksFootprint() const override { return true; }
 
+public:
     std::string describe() const override {
         std::string out = "coarse(" + input_->describe();
         if (critical_ != nullptr) {
@@ -187,7 +216,15 @@ public:
                                  SelectorPtr input)
         : op_(op), threshold_(threshold), input_(std::move(input)) {}
 
-    FunctionSet evaluate(EvalContext& ctx) const override {
+protected:
+    FunctionSet evaluateImpl(EvalContext& ctx) const override {
+        // SCC condensation walks every edge and sums every node's statement
+        // count: inherently whole-graph in both kinds.
+        ctx.touchAllEdges();
+        ctx.touchAllMetrics();
+        if (input_ == nullptr) {
+            ctx.touchUniverse();  // Defaults to %%.
+        }
         const cg::CsrView& csr = ctx.csr();
         SccResult scc = computeScc(csr);
         SccCondensation cond = condenseScc(csr, scc, ctx.pool);
@@ -225,7 +262,9 @@ public:
         }
         return out;
     }
+    bool tracksFootprint() const override { return true; }
 
+public:
     std::string describe() const override {
         return std::string("statementAggregation(") + compareOpName(op_) + ", " +
                std::to_string(threshold_) +

@@ -27,6 +27,15 @@ public:
         for (std::uint64_t& w : words_) w = 0;
     }
 
+    /// Changes the universe size, preserving bits below min(old, new) —
+    /// incremental selection resizes surviving cached sets when a graph
+    /// grows (new bits are zero).
+    void resize(std::size_t newSize) {
+        size_ = newSize;
+        words_.resize((newSize + 63) / 64, 0);
+        trimTail();
+    }
+
     void setAll() {
         for (std::uint64_t& w : words_) w = ~0ULL;
         trimTail();
@@ -108,6 +117,22 @@ public:
                 w &= w - 1;
             }
         }
+    }
+
+    /// True when this set and `other` share any set bit over their common
+    /// word prefix. Sizes may differ (a footprint recorded at an older,
+    /// smaller universe against a dirty set at the current one); bits beyond
+    /// the shorter set count as absent.
+    bool intersects(const DynamicBitset& other) const {
+        const std::size_t words = words_.size() < other.words_.size()
+                                      ? words_.size()
+                                      : other.words_.size();
+        for (std::size_t i = 0; i < words; ++i) {
+            if ((words_[i] & other.words_[i]) != 0) {
+                return true;
+            }
+        }
+        return false;
     }
 
 private:

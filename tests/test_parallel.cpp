@@ -373,15 +373,52 @@ TEST(SelectorCache, ResultsWithCacheMatchResultsWithout) {
     EXPECT_TRUE(pipeline.run(graph, cached).result == bare);
 }
 
-TEST(SelectorCache, SizeCapEvictsOldestEntries) {
+TEST(SelectorCache, SizeCapEvictsOldestEntriesPerShard) {
+    // The cap is distributed over the hash shards; hashes that differ only
+    // above the shard-selection bits land in one shard and compete there.
+    select::SelectorCache cache(/*maxEntries=*/select::SelectorCache::kShardCount);
     cg::CallGraph graph = randomGraph(17, 100);
-    select::SelectorCache cache(/*maxEntries=*/2);
+    select::FunctionSet result(graph.size());
+    const std::uint64_t gen = graph.generation();
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        cache.store(gen, i << 8, result);  // (hash >> 4) % 16 == 0 for all.
+    }
+    EXPECT_EQ(cache.size(), 1u);  // Shard 0 holds maxEntries/kShardCount = 1.
+    EXPECT_EQ(cache.stats().evictions, 4u);
+    // The newest entry won; older same-shard entries were evicted.
+    EXPECT_NE(cache.lookup(gen, 4u << 8), nullptr);
+    EXPECT_EQ(cache.lookup(gen, 0u), nullptr);
+}
+
+TEST(SelectorCache, PerShardStatsSumToTotals) {
+    cg::CallGraph graph = randomGraph(18, 200);
+    select::SelectorCache cache;
     PipelineOptions options;
     options.cache = &cache;
     Pipeline pipeline(spec::parseSpec(kWideSpec));
     pipeline.run(graph, options);
-    EXPECT_LE(cache.size(), 2u);
-    EXPECT_GT(cache.stats().evictions, 0u);
+    pipeline.run(graph, options);
+    select::SelectorCache::Stats stats = cache.stats();
+    ASSERT_EQ(stats.perShard.size(), select::SelectorCache::kShardCount);
+    select::SelectorCache::ShardStats sums;
+    for (const auto& shard : stats.perShard) {
+        sums.hits += shard.hits;
+        sums.misses += shard.misses;
+        sums.insertions += shard.insertions;
+        sums.invalidations += shard.invalidations;
+        sums.survivals += shard.survivals;
+        sums.evictions += shard.evictions;
+        sums.entries += shard.entries;
+    }
+    EXPECT_EQ(sums.hits, stats.hits);
+    EXPECT_EQ(sums.misses, stats.misses);
+    EXPECT_EQ(sums.insertions, stats.insertions);
+    EXPECT_EQ(sums.invalidations, stats.invalidations);
+    EXPECT_EQ(sums.survivals, stats.survivals);
+    EXPECT_EQ(sums.evictions, stats.evictions);
+    EXPECT_EQ(sums.entries, stats.entries);
+    EXPECT_EQ(stats.hits, pipeline.definitionCount());
+    EXPECT_EQ(stats.entries, pipeline.definitionCount());
 }
 
 // ---------------------------------------------------- refinement session ---
@@ -401,14 +438,20 @@ TEST(RefinementSession, ReselectionReusesStageResults) {
     EXPECT_GT(second.pipelineRun.cacheHits, 0u);
     EXPECT_EQ(second.selectedFinal, first.selectedFinal);
 
-    // A graph update invalidates; selection still succeeds and re-fills.
+    // A graph update purges what the delta could have changed (the %% -fed
+    // filter stages see the universe grow) but the traversal stages, whose
+    // recorded footprints cannot contain an edge-less new node, survive the
+    // delta and keep answering from cache.
     cg::FunctionDesc desc;
     desc.name = "plugin_fn";
     desc.flags.hasBody = true;
     graph.addFunction(desc);
     select::SelectionReport third = session.select(kWideSpec, "wide2");
-    EXPECT_EQ(third.pipelineRun.cacheHits, 0u);
+    EXPECT_LT(third.pipelineRun.cacheHits, session.cache().stats().insertions);
     EXPECT_GT(session.cache().stats().invalidations, 0u);
+    EXPECT_GT(session.cache().stats().survivals, 0u);
+    EXPECT_EQ(third.selectedFinal, first.selectedFinal);  // plugin_fn matches nothing.
+    EXPECT_EQ(third.ic.functions, first.ic.functions);
 }
 
 }  // namespace

@@ -19,7 +19,15 @@
 // repatching; see src/adapt/):
 //   capi_tool adapt [--app lulesh|openfoam] [--budget 0.05] [--epochs 5]
 //             [--per-event-cost-ns 200] [--keep NAME]... [--threads N]
-//             [--output ic.json]
+//             [--output ic.json] [--stats]
+//
+// --stats additionally folds each epoch's visit counts into the call graph
+// (journaled metric touches), re-runs a profiledVisits refinement spec
+// through the session every epoch, and prints the incremental-selection
+// counters afterwards: SelectorCache hit/survival/purge totals with the
+// per-shard breakdown, and the CSR snapshot registry's patch-vs-rebuild
+// counts — the knobs to watch when debugging incremental behavior in the
+// field.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,6 +39,7 @@
 #include "apps/openfoam.hpp"
 #include "apps/specs.hpp"
 #include "binsim/execution_engine.hpp"
+#include "cg/csr_view.hpp"
 #include "cg/metacg_builder.hpp"
 #include "cg/metacg_json.hpp"
 #include "scorepsim/cyg_adapter.hpp"
@@ -64,7 +73,7 @@ void usage() {
                  "[--budget <fraction>]\n"
                  "       [--epochs <n>] [--per-event-cost-ns <ns>] "
                  "[--keep <name>]...\n"
-                 "       [--threads <n>] [--output <ic>]\n");
+                 "       [--threads <n>] [--output <ic>] [--stats]\n");
 }
 
 std::string readFile(const std::string& path) {
@@ -87,10 +96,17 @@ std::size_t parseThreads(const std::string& value) {
     return static_cast<std::size_t>(std::stoul(value));
 }
 
+/// The --stats per-epoch refinement spec. One literal on purpose: the warm-up
+/// and per-epoch selects must hash identically or every re-selection would be
+/// a cold run and the printed survival counters meaningless.
+constexpr const char* kVisitsRefineSpec =
+    "hot = profiledVisits(\">=\", 1, defined(%%))\ncoarse(%hot)\n";
+
 int runAdapt(int argc, char** argv) {
     using namespace capi;
     std::string app = "lulesh";
     std::string outputPath;
+    bool printStats = false;
     adapt::ControllerOptions options;
     options.budgetFraction = 0.05;
     options.maxEpochs = 5;
@@ -114,6 +130,7 @@ int runAdapt(int argc, char** argv) {
             else if (arg == "--keep") options.keep.push_back(next());
             else if (arg == "--threads") options.threads = parseThreads(next());
             else if (arg == "--output") outputPath = next();
+            else if (arg == "--stats") printStats = true;
             else {
                 usage();
                 return 2;
@@ -146,6 +163,12 @@ int runAdapt(int argc, char** argv) {
     copts.xrayThreshold.instructionThreshold = 1;
     binsim::Process process(binsim::compile(model, copts));
     dyncapi::DynCapi dyn(process);
+    if (printStats) {
+        // Fold per-epoch visit counts into the graph as journaled metric
+        // touches so the per-epoch refinement re-selection below exercises
+        // the incremental machinery the counters describe.
+        options.foldVisitMetricsInto = &graph;
+    }
     adapt::Controller controller(graph, dyn, options);
 
     select::InstrumentationConfig survey = adapt::surveyOfDefinedFunctions(graph);
@@ -156,6 +179,11 @@ int runAdapt(int argc, char** argv) {
                 app.c_str(), graph.size(), survey.size(),
                 options.budgetFraction * 100.0,
                 static_cast<unsigned long long>(init.pagesTouched));
+    if (printStats) {
+        // Warm the session cache before the first epoch so the per-epoch
+        // re-selections below show the survive-vs-purge split.
+        controller.session().select(kVisitsRefineSpec, "visits-refine");
+    }
 
     while (!controller.done()) {
         scorep::Measurement measurement;
@@ -176,11 +204,55 @@ int runAdapt(int argc, char** argv) {
                     report.addedFunctions,
                     static_cast<unsigned long long>(report.patch.pagesTouched),
                     report.withinBudget ? " [in budget]" : "");
+        if (printStats) {
+            // An incremental re-selection against the just-journaled metric
+            // delta: the profiledVisits stage re-runs, everything else —
+            // including coarse's graph walk once the visit counts settle —
+            // answers from the surviving cache over a patched snapshot.
+            select::SelectionReport refine = controller.session().select(
+                kVisitsRefineSpec, "visits-refine");
+            std::printf("  re-selection: %zu selected, %zu/%zu stages from "
+                        "cache\n",
+                        refine.selectedFinal, refine.pipelineRun.cacheHits,
+                        refine.pipelineRun.sizes.size());
+        }
     }
     std::printf("%s after %zu epochs: IC %zu of %zu functions\n",
                 controller.converged() ? "converged" : "epoch cap reached",
                 controller.epochsRun(), controller.currentIc().size(),
                 survey.size());
+    if (printStats) {
+        select::SelectorCache::Stats cacheStats =
+            controller.session().cache().stats();
+        std::printf("selector cache: %llu hits, %llu misses, %llu survivals, "
+                    "%llu purges, %llu evictions, %zu entries\n",
+                    static_cast<unsigned long long>(cacheStats.hits),
+                    static_cast<unsigned long long>(cacheStats.misses),
+                    static_cast<unsigned long long>(cacheStats.survivals),
+                    static_cast<unsigned long long>(cacheStats.invalidations),
+                    static_cast<unsigned long long>(cacheStats.evictions),
+                    cacheStats.entries);
+        for (std::size_t i = 0; i < cacheStats.perShard.size(); ++i) {
+            const auto& s = cacheStats.perShard[i];
+            if (s.hits + s.misses + s.insertions == 0) {
+                continue;  // Quiet shards stay out of the report.
+            }
+            std::printf("  shard %2zu: %llu hits, %llu misses, %llu "
+                        "survivals, %llu purges, %zu entries\n",
+                        i, static_cast<unsigned long long>(s.hits),
+                        static_cast<unsigned long long>(s.misses),
+                        static_cast<unsigned long long>(s.survivals),
+                        static_cast<unsigned long long>(s.invalidations),
+                        s.entries);
+        }
+        cg::CsrView::RegistryStats csr = cg::CsrView::registryStats();
+        std::printf("csr snapshots: %llu patched, %llu full rebuilds, %llu "
+                    "registry hits, %llu graphs released\n",
+                    static_cast<unsigned long long>(csr.patchBuilds),
+                    static_cast<unsigned long long>(csr.fullBuilds),
+                    static_cast<unsigned long long>(csr.sharedHits),
+                    static_cast<unsigned long long>(csr.graphsReleased));
+    }
     if (!outputPath.empty()) {
         controller.currentIc().writeFile(outputPath);
         std::printf("wrote %s\n", outputPath.c_str());
