@@ -28,7 +28,11 @@ namespace capi::adapt {
 
 struct ModelOptions {
     /// Calibrated wall (or virtual) cost of one probe event; see
-    /// scorep::calibrateProbeCostNs().
+    /// scorep::calibrateProbeCostNs(). Re-run the calibration whenever the
+    /// measurement hot path changes (it is the constant every budget
+    /// decision scales with); frozen estimates survive such a shift because
+    /// cost is recomputed as visits x perEventCostNs at planning time — only
+    /// the EWMA'd visit counts are stored, never a stale cost product.
     double perEventCostNs = 120.0;
     /// Weight of the newest epoch in the moving average (1.0 = no memory).
     double ewmaAlpha = 0.5;

@@ -90,13 +90,15 @@ double MpiWorld::runOp(int rank, double virtualNow, OpKind op, void* payload,
     if (rank < 0 || rank >= worldSize_) {
         throw support::Error("MPI: bad rank");
     }
-    if (op != OpKind::Init && !initialized_[static_cast<std::size_t>(rank)]) {
+    // Locked read: another rank's concurrent Init write would otherwise race
+    // on the shared vector<bool> word.
+    if (op != OpKind::Init && !initialized(rank)) {
         throw support::Error(std::string("MPI: ") + opName(op) +
                              " called before MPI_Init on rank " +
                              std::to_string(rank));
     }
 
-    PmpiInterceptor* interceptor = interceptor_;
+    PmpiInterceptor* interceptor = interceptor_.load(std::memory_order_acquire);
     if (interceptor != nullptr) {
         interceptor->preOp(rank, op, virtualNow);
     }
@@ -128,19 +130,26 @@ double MpiWorld::runOp(int rank, double virtualNow, OpKind op, void* payload,
     }
 
     double mpiNs = completed - virtualNow;
-    mpiTimeNs_[static_cast<std::size_t>(rank)] += mpiNs;
-
-    if (op == OpKind::Init) {
-        initialized_[static_cast<std::size_t>(rank)] = true;
-        if (interceptor != nullptr) {
-            interceptor->onInit(rank);
+    {
+        // collectiveSync released the lock; re-take it for the per-rank state
+        // updates, which race with the locked query accessors (and, for the
+        // vector<bool> flags, with other ranks' writes to the same word).
+        // Interceptor callbacks stay outside: TALP locks its own mutex and
+        // queries back into this world (fixed Talp-then-World lock order).
+        std::lock_guard<std::mutex> lock(mutex_);
+        mpiTimeNs_[static_cast<std::size_t>(rank)] += mpiNs;
+        if (op == OpKind::Init) {
+            initialized_[static_cast<std::size_t>(rank)] = true;
+        }
+        if (op == OpKind::Finalize) {
+            finalized_[static_cast<std::size_t>(rank)] = true;
         }
     }
-    if (op == OpKind::Finalize) {
-        finalized_[static_cast<std::size_t>(rank)] = true;
-        if (interceptor != nullptr) {
-            interceptor->onFinalize(rank);
-        }
+    if (op == OpKind::Init && interceptor != nullptr) {
+        interceptor->onInit(rank);
+    }
+    if (op == OpKind::Finalize && interceptor != nullptr) {
+        interceptor->onFinalize(rank);
     }
     if (interceptor != nullptr) {
         interceptor->postOp(rank, op, completed, mpiNs);

@@ -13,6 +13,7 @@
 // after — that is all TALP needs (paper Sec. III-B).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -67,7 +68,12 @@ public:
     explicit MpiWorld(int worldSize, LatencyModel latency = {});
 
     int worldSize() const { return worldSize_; }
-    void setInterceptor(PmpiInterceptor* interceptor) { interceptor_ = interceptor; }
+    /// Atomic: ranks mid-runOp read it without the lock. Installing is safe
+    /// any time; *uninstalling* requires the ranks to be quiescent (the
+    /// interceptor may already have been loaded by an in-flight op).
+    void setInterceptor(PmpiInterceptor* interceptor) {
+        interceptor_.store(interceptor, std::memory_order_release);
+    }
 
     /// All operations take the rank's current virtual clock and return the
     /// clock after the operation. They throw support::Error after abort().
@@ -118,7 +124,7 @@ private:
 
     int worldSize_;
     LatencyModel latency_;
-    PmpiInterceptor* interceptor_ = nullptr;
+    std::atomic<PmpiInterceptor*> interceptor_{nullptr};
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;

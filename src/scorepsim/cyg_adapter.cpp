@@ -1,28 +1,103 @@
 #include "scorepsim/cyg_adapter.hpp"
 
+#include <utility>
+
+#include "support/hash.hpp"
+
 namespace capi::scorep {
 
+namespace {
+
+constexpr std::size_t kInitialTableCapacity = 1 << 10;  // power of two
+
+inline std::size_t slotFor(std::uint64_t address, std::size_t mask) {
+    return static_cast<std::size_t>(support::hashCombine(0xADD2E55u, address)) & mask;
+}
+
+}  // namespace
+
+CygProfileAdapter::CygProfileAdapter(Measurement& measurement,
+                                     SymbolResolver resolver)
+    : measurement_(&measurement), resolver_(std::move(resolver)) {
+    tables_.push_back(std::make_unique<Table>(kInitialTableCapacity));
+    table_.store(tables_.back().get(), std::memory_order_release);
+}
+
 RegionHandle CygProfileAdapter::handleFor(std::uint64_t address) {
-    {
-        std::shared_lock<std::shared_mutex> lock(mutex_);
-        auto it = byAddress_.find(address);
-        if (it != byAddress_.end()) {
-            return it->second;
+    // Wait-free read path: probe the published snapshot. Entries are
+    // immutable once their key is released, so one acquire load on the key
+    // makes the handle visible; an empty slot means this address has never
+    // been published (possibly into a newer snapshot — the slow path checks
+    // the canonical map).
+    const Table* table = table_.load(std::memory_order_acquire);
+    const std::size_t mask = table->mask;
+    const std::uint64_t key = address + 1;
+    if (key != 0) {  // address == ~0 is unstorable; resolve it via the map.
+        std::size_t slot = slotFor(address, mask);
+        while (true) {
+            std::uint64_t existing =
+                table->slots[slot].key.load(std::memory_order_acquire);
+            if (existing == key) {
+                return table->slots[slot].handle.load(std::memory_order_relaxed);
+            }
+            if (existing == 0) {
+                break;
+            }
+            slot = (slot + 1) & mask;
         }
     }
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    return resolveSlow(address);
+}
+
+RegionHandle CygProfileAdapter::resolveSlow(std::uint64_t address) {
+    std::lock_guard<std::mutex> lock(writeMutex_);
     auto it = byAddress_.find(address);
     if (it != byAddress_.end()) {
-        return it->second;
+        return it->second;  // Raced with another first sighting, or unstorable.
     }
     RegionHandle handle = kNoRegion;
     if (auto name = resolver_.resolve(address)) {
         handle = measurement_->defineRegion(*name);
     } else {
-        ++unresolved_;
+        unresolved_.fetch_add(1, std::memory_order_relaxed);
     }
     byAddress_.emplace(address, handle);
+    if (address + 1 == 0) {
+        return handle;  // Collides with the empty-slot sentinel; map-only.
+    }
+    Table* live = table_.load(std::memory_order_relaxed);
+    // Grow at 0.75 load: build a bigger snapshot offline from the canonical
+    // map, then publish it. The outgrown table stays retired in tables_ for
+    // readers still probing it.
+    if (byAddress_.size() * 4 >= (live->mask + 1) * 3) {
+        auto bigger = std::make_unique<Table>((live->mask + 1) * 2);
+        for (const auto& [addr, h] : byAddress_) {
+            if (addr + 1 != 0) {
+                insertSlot(*bigger, addr, h, /*published=*/false);
+            }
+        }
+        live = bigger.get();
+        tables_.push_back(std::move(bigger));
+        table_.store(live, std::memory_order_release);
+    } else {
+        insertSlot(*live, address, handle, /*published=*/true);
+    }
     return handle;
+}
+
+void CygProfileAdapter::insertSlot(Table& table, std::uint64_t address,
+                                   RegionHandle handle, bool published) {
+    std::size_t slot = slotFor(address, table.mask);
+    while (table.slots[slot].key.load(std::memory_order_relaxed) != 0) {
+        slot = (slot + 1) & table.mask;  // Distinct keys only; no tombstones.
+    }
+    table.slots[slot].handle.store(handle, std::memory_order_relaxed);
+    // Publish-after-write: the key release makes the handle visible to any
+    // reader that observes the key. Unpublished tables are ordered by the
+    // table_ pointer release instead.
+    table.slots[slot].key.store(address + 1, published
+                                                 ? std::memory_order_release
+                                                 : std::memory_order_relaxed);
 }
 
 void CygProfileAdapter::funcEnter(std::uint64_t functionAddress, std::uint64_t) {

@@ -6,11 +6,23 @@
 // resolved through the SymbolResolver; events whose address cannot be
 // resolved (DSO functions, unless symbol injection is active) are dropped
 // and counted.
+//
+// The address -> handle cache is wait-free on the read path: a snapshot-
+// published open-addressing table (same publish-after-write discipline as
+// the measurement's region chunks — value written, then key released, then
+// on growth the whole table pointer released). Readers never lock, never
+// CAS and never retry; only a first sighting takes the exclusive mutex,
+// resolves, and inserts. Published entries are immutable, and outgrown
+// tables are retired (not freed) so a reader mid-probe on an old snapshot
+// stays valid — it misses at worst and falls back to the slow path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <shared_mutex>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "scorepsim/measurement.hpp"
 #include "scorepsim/symbol_resolver.hpp"
@@ -19,8 +31,7 @@ namespace capi::scorep {
 
 class CygProfileAdapter {
 public:
-    CygProfileAdapter(Measurement& measurement, SymbolResolver resolver)
-        : measurement_(&measurement), resolver_(std::move(resolver)) {}
+    CygProfileAdapter(Measurement& measurement, SymbolResolver resolver);
 
     /// __cyg_profile_func_enter(fn, callsite)
     void funcEnter(std::uint64_t functionAddress, std::uint64_t callSite);
@@ -28,7 +39,9 @@ public:
     void funcExit(std::uint64_t functionAddress, std::uint64_t callSite);
 
     /// Distinct addresses that could not be resolved to a name.
-    std::uint64_t unresolvedAddresses() const { return unresolved_; }
+    std::uint64_t unresolvedAddresses() const {
+        return unresolved_.load(std::memory_order_relaxed);
+    }
     /// Events dropped because their address was unresolvable.
     std::uint64_t droppedEvents() const {
         return droppedEvents_.load(std::memory_order_relaxed);
@@ -36,17 +49,33 @@ public:
     const SymbolResolver& resolver() const { return resolver_; }
 
 private:
+    struct Slot {
+        std::atomic<std::uint64_t> key{0};  ///< address + 1; 0 = empty.
+        std::atomic<std::uint32_t> handle{0};
+    };
+    struct Table {
+        explicit Table(std::size_t capacityPow2)
+            : mask(capacityPow2 - 1),
+              slots(std::make_unique<Slot[]>(capacityPow2)) {}
+        std::size_t mask;
+        std::unique_ptr<Slot[]> slots;
+    };
+
     /// Region handle for an address; kNoRegion when unresolvable. The
     /// per-address cache mirrors Score-P's lazy region definition.
     RegionHandle handleFor(std::uint64_t address);
+    RegionHandle resolveSlow(std::uint64_t address);
+    void insertSlot(Table& table, std::uint64_t address, RegionHandle handle,
+                    bool published);
 
     Measurement* measurement_;
     SymbolResolver resolver_;
-    /// Address cache: read-mostly after warm-up, so lookups take a shared
-    /// lock and only first sightings take the exclusive one.
-    mutable std::shared_mutex mutex_;
-    std::unordered_map<std::uint64_t, RegionHandle> byAddress_;
-    std::uint64_t unresolved_ = 0;
+
+    std::atomic<Table*> table_;  ///< Live snapshot read by every probe.
+    mutable std::mutex writeMutex_;
+    std::vector<std::unique_ptr<Table>> tables_;  ///< Live + retired snapshots.
+    std::unordered_map<std::uint64_t, RegionHandle> byAddress_;  ///< Canonical.
+    std::atomic<std::uint64_t> unresolved_{0};
     std::atomic<std::uint64_t> droppedEvents_{0};
 };
 

@@ -4,26 +4,24 @@
 
 #include "scorepsim/tracing.hpp"
 #include "support/error.hpp"
+#include "support/thread_cache.hpp"
 #include "support/timer.hpp"
 
 namespace capi::scorep {
 
 namespace {
-
-/// Per-thread cache mapping measurement instances to their thread state, so
-/// the hot probe path avoids a lock after first touch.
-thread_local std::unordered_map<const Measurement*, void*> t_stateCache;
-
+using StateCache = support::ThreadLocalCache<Measurement>;
 }  // namespace
 
 Measurement::Measurement(MeasurementOptions options)
     : options_(std::move(options)),
+      generation_(support::nextGenerationStamp()),
       chunks_(std::make_unique<std::unique_ptr<RegionDef[]>[]>(kMaxRegionChunks)) {}
 
 Measurement::~Measurement() {
-    // Invalidate this instance's per-thread cache entry for the destroying
-    // thread; other threads must not touch a dead Measurement by contract.
-    t_stateCache.erase(this);
+    // Courtesy: drop the destroying thread's cache entry. Entries on other
+    // threads go stale but are generation-checked, never dereferenced.
+    StateCache::invalidate(this);
 }
 
 RegionHandle Measurement::defineRegion(const std::string& name) {
@@ -62,63 +60,31 @@ std::size_t Measurement::regionCount() const {
     return publishedRegions_.load(std::memory_order_acquire);
 }
 
-Measurement::ThreadState& Measurement::threadState() {
-    auto it = t_stateCache.find(this);
-    if (it != t_stateCache.end()) {
-        return *static_cast<ThreadState*>(it->second);
-    }
+Measurement::ThreadState& Measurement::threadStateSlow() {
     std::lock_guard<std::mutex> lock(threadsMutex_);
     threads_.push_back(std::make_unique<ThreadState>());
     ThreadState* state = threads_.back().get();
-    t_stateCache[this] = state;
+    StateCache::store(this, generation_, state);
     return *state;
 }
 
-void Measurement::enter(RegionHandle handle) {
-    probeEvents_.fetch_add(1, std::memory_order_relaxed);
-    if (handle >= publishedRegions_.load(std::memory_order_acquire)) {
-        throw support::Error("Score-P: enter with bad region handle");
-    }
-    if (regionUnlocked(handle).filtered) {
-        filteredEvents_.fetch_add(1, std::memory_order_relaxed);
-        return;  // Probe cost retained, measurement skipped.
-    }
-    ThreadState& state = threadState();
-    std::size_t parent = state.stack.empty() ? state.tree.root() : state.stack.back().node;
-    std::size_t node = state.tree.childOf(parent, handle);
-    std::uint64_t now = support::nowNs();
-    state.stack.push_back({node, now});
-    if (options_.trace != nullptr) {
-        options_.trace->record(handle, TraceEventType::Enter, now);
-    }
+void Measurement::throwBadHandle() const {
+    throw support::Error("Score-P: probe with bad region handle");
 }
 
-void Measurement::exit(RegionHandle handle) {
-    probeEvents_.fetch_add(1, std::memory_order_relaxed);
-    if (handle >= publishedRegions_.load(std::memory_order_acquire)) {
-        throw support::Error("Score-P: exit with bad region handle");
-    }
-    if (regionUnlocked(handle).filtered) {
-        filteredEvents_.fetch_add(1, std::memory_order_relaxed);
-        return;
-    }
-    ThreadState& state = threadState();
+void Measurement::throwUnbalancedExit(const ThreadState& state,
+                                      RegionHandle handle) const {
     if (state.stack.empty()) {
         throw support::Error("Score-P: region exit with empty call stack");
     }
-    ThreadState::StackEntry top = state.stack.back();
-    if (state.tree.node(top.node).region != handle) {
-        throw support::Error("Score-P: unbalanced region exit for '" +
-                             region(handle).name + "'");
-    }
-    state.stack.pop_back();
-    ProfileNode& node = state.tree.node(top.node);
-    node.visits += 1;
-    std::uint64_t now = support::nowNs();
-    node.inclusiveNs += now - top.enterNs;
-    if (options_.trace != nullptr) {
-        options_.trace->record(handle, TraceEventType::Exit, now);
-    }
+    throw support::Error("Score-P: unbalanced region exit for '" +
+                         region(handle).name + "'");
+}
+
+void Measurement::traceRecord(RegionHandle handle, bool isEnter,
+                              std::uint64_t now) {
+    options_.trace->record(
+        handle, isEnter ? TraceEventType::Enter : TraceEventType::Exit, now);
 }
 
 const ProfileTree& Measurement::threadProfile() { return threadState().tree; }
@@ -130,6 +96,24 @@ ProfileTree Measurement::mergedProfile() const {
         merged.mergeFrom(thread->tree);
     }
     return merged;
+}
+
+std::uint64_t Measurement::probeEvents() const {
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    std::uint64_t total = 0;
+    for (const auto& thread : threads_) {
+        total += thread->probeEvents.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+std::uint64_t Measurement::filteredEvents() const {
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    std::uint64_t total = 0;
+    for (const auto& thread : threads_) {
+        total += thread->filteredEvents.load(std::memory_order_acquire);
+    }
+    return total;
 }
 
 double calibrateProbeCostNs(std::size_t eventPairs) {

@@ -5,6 +5,13 @@
 // regions still fire — the handler is invoked and the filtered flag checked
 // — but nothing is recorded, which is precisely why the paper's
 // selective *patching* beats runtime filtering on overhead.
+//
+// The per-event path is lock-free and share-nothing: thread state resolves
+// through a generation-stamped thread_local cache (one TLS load + two
+// compares after first touch), event counters are per-thread and
+// cache-line padded (aggregated under the thread-list mutex only on read),
+// and the dominant re-enter-same-child descent is served by a last-callee
+// memo on the shadow-stack entry without touching the tree's child index.
 #pragma once
 
 #include <atomic>
@@ -17,6 +24,8 @@
 
 #include "scorepsim/filter_file.hpp"
 #include "scorepsim/profile.hpp"
+#include "support/thread_cache.hpp"
+#include "support/timer.hpp"
 
 namespace capi::scorep {
 
@@ -25,7 +34,9 @@ class TraceBuffer;
 /// Measures the wall-clock cost of one probe event (half an enter/exit pair)
 /// by driving a scratch Measurement through `eventPairs` region round trips.
 /// This is the calibrated per-event cost the adaptive overhead model scales
-/// visit counts with; rerun it on the deployment machine, not once globally.
+/// visit counts with; rerun it on the deployment machine, not once globally
+/// — and re-run it after any change to the measurement hot path, since every
+/// adaptive-budget decision is computed from this constant.
 double calibrateProbeCostNs(std::size_t eventPairs = 1 << 14);
 
 struct MeasurementOptions {
@@ -57,36 +68,133 @@ public:
     std::size_t regionCount() const;
 
     /// Region enter/exit probes. Filtered regions return immediately (the
-    /// probe cost is retained, the measurement is skipped).
-    void enter(RegionHandle handle);
-    void exit(RegionHandle handle);
+    /// probe cost is retained, the measurement is skipped). Fast paths are
+    /// header-inline: at ~50ns/pair every call boundary is measurable, and
+    /// this per-event constant is the paper's whole cost model.
+    void enter(RegionHandle handle) {
+        ThreadState& state = threadState();
+        bumpCounter(state.probeEvents);
+        if (handle >= publishedRegions_.load(std::memory_order_acquire)) {
+            throwBadHandle();
+        }
+        if (regionUnlocked(handle).filtered) {
+            bumpCounterRelease(state.filteredEvents);
+            return;  // Probe cost retained, measurement skipped.
+        }
+        std::uint32_t node;
+        if (state.stack.empty()) {
+            if (state.rootCalleeRegion == handle) {
+                node = state.rootCalleeNode;
+            } else {
+                node = static_cast<std::uint32_t>(
+                    state.tree.childOf(state.tree.root(), handle));
+                state.rootCalleeRegion = handle;
+                state.rootCalleeNode = node;
+            }
+        } else {
+            ThreadState::StackEntry& top = state.stack.back();
+            if (top.lastCalleeRegion == handle) {
+                node = top.lastCalleeNode;
+            } else {
+                node = static_cast<std::uint32_t>(
+                    state.tree.childOf(top.node, handle));
+                top.lastCalleeRegion = handle;
+                top.lastCalleeNode = node;
+            }
+        }
+        std::uint64_t now = support::probeNowNs();
+        state.stack.push_back({node, kNoRegion, 0, now});
+        if (options_.trace != nullptr) {
+            traceRecord(handle, /*isEnter=*/true, now);
+        }
+    }
+
+    void exit(RegionHandle handle) {
+        ThreadState& state = threadState();
+        bumpCounter(state.probeEvents);
+        if (handle >= publishedRegions_.load(std::memory_order_acquire)) {
+            throwBadHandle();
+        }
+        if (regionUnlocked(handle).filtered) {
+            bumpCounterRelease(state.filteredEvents);
+            return;
+        }
+        if (state.stack.empty() ||
+            state.tree.regionOf(state.stack.back().node) != handle) {
+            throwUnbalancedExit(state, handle);
+        }
+        ThreadState::StackEntry top = state.stack.back();
+        state.stack.pop_back();
+        std::uint64_t now = support::probeNowNs();
+        // Clamp the rare cross-core TSC skew instead of underflowing.
+        state.tree.recordVisit(top.node, now > top.enterNs ? now - top.enterNs : 0);
+        if (options_.trace != nullptr) {
+            traceRecord(handle, /*isEnter=*/false, now);
+        }
+    }
 
     /// Profile of the calling thread (creating it if needed).
     const ProfileTree& threadProfile();
 
-    /// Merged profile over every thread that recorded events.
+    /// Merged profile over every thread that recorded events. Callers must
+    /// quiesce event threads first; the per-thread trees are unsynchronized.
     ProfileTree mergedProfile() const;
 
-    /// Total events that hit the probes (including filtered ones).
-    std::uint64_t probeEvents() const {
-        return probeEvents_.load(std::memory_order_relaxed);
-    }
+    /// Total events that hit the probes (including filtered ones). Safe to
+    /// call while events are in flight: sums the per-thread counters. For a
+    /// consistent filtered <= probe view mid-run, read filteredEvents()
+    /// first (its acquire pairs with the writer's release).
+    std::uint64_t probeEvents() const;
     /// Events dropped by runtime filtering.
-    std::uint64_t filteredEvents() const {
-        return filteredEvents_.load(std::memory_order_relaxed);
-    }
+    std::uint64_t filteredEvents() const;
 
 private:
     struct ThreadState {
         ProfileTree tree;
         struct StackEntry {
-            std::size_t node;
+            std::uint32_t node;
+            /// Last-callee memo: the child node entered from this frame most
+            /// recently. The dominant re-enter-same-child case resolves with
+            /// one predictable load instead of a hash probe.
+            RegionHandle lastCalleeRegion;
+            std::uint32_t lastCalleeNode;
             std::uint64_t enterNs;
         };
         std::vector<StackEntry> stack;
+        /// Memo twin for the empty-stack (root-parent) case.
+        RegionHandle rootCalleeRegion = kNoRegion;
+        std::uint32_t rootCalleeNode = 0;
+        /// Per-thread event counters, each on its own cacheline so threads
+        /// never write-share. Single writer (the owning thread); relaxed
+        /// atomics so aggregation can read them mid-run.
+        alignas(64) std::atomic<std::uint64_t> probeEvents{0};
+        alignas(64) std::atomic<std::uint64_t> filteredEvents{0};
     };
 
-    ThreadState& threadState();
+    ThreadState& threadState() {
+        if (void* cached =
+                support::ThreadLocalCache<Measurement>::lookup(this, generation_)) {
+            return *static_cast<ThreadState*>(cached);
+        }
+        return threadStateSlow();
+    }
+    ThreadState& threadStateSlow();
+
+    static void bumpCounter(std::atomic<std::uint64_t>& counter) {
+        support::singleWriterAdd<std::uint64_t>(counter, 1);
+    }
+    /// The filtered counter is bumped after the probe counter; released so a
+    /// reader that acquires filtered first observes filtered <= probe even
+    /// on weakly-ordered machines (see support::singleWriterAdd).
+    static void bumpCounterRelease(std::atomic<std::uint64_t>& counter) {
+        support::singleWriterAdd<std::uint64_t>(counter, 1,
+                                                std::memory_order_release);
+    }
+
+    [[noreturn]] void throwBadHandle() const;
+    [[noreturn]] void throwUnbalancedExit(const ThreadState& state,
+                                          RegionHandle handle) const;
+    void traceRecord(RegionHandle handle, bool isEnter, std::uint64_t now);
 
     /// Region storage with a lock-free read path: definitions are appended
     /// under the mutex into fixed-size chunks (stable addresses) and then
@@ -102,6 +210,10 @@ private:
 
     MeasurementOptions options_;
 
+    /// Process-unique generation: neutralizes thread-local cache entries of
+    /// a destroyed Measurement that this instance's address may be reusing.
+    const std::uint64_t generation_;
+
     mutable std::mutex regionMutex_;
     std::unique_ptr<std::unique_ptr<RegionDef[]>[]> chunks_;
     std::atomic<std::uint32_t> publishedRegions_{0};
@@ -109,9 +221,6 @@ private:
 
     mutable std::mutex threadsMutex_;
     std::vector<std::unique_ptr<ThreadState>> threads_;
-
-    std::atomic<std::uint64_t> probeEvents_{0};
-    std::atomic<std::uint64_t> filteredEvents_{0};
 };
 
 }  // namespace capi::scorep

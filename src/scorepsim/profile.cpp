@@ -1,60 +1,156 @@
 #include "scorepsim/profile.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
 
 namespace capi::scorep {
 
-std::size_t ProfileTree::childOf(std::size_t parent, RegionHandle region) {
-    auto it = nodes_[parent].children.find(region);
-    if (it != nodes_[parent].children.end()) {
-        return it->second;
+namespace {
+
+constexpr std::size_t kInitialSlots = 16;  // power of two
+
+inline std::uint64_t childKey(std::size_t parent, RegionHandle region) {
+    return (static_cast<std::uint64_t>(parent) << 32) | region;
+}
+
+inline std::size_t slotFor(std::uint64_t key, std::size_t mask) {
+    return static_cast<std::size_t>(support::hashCombine(0x5CA1AB1Eu, key)) & mask;
+}
+
+}  // namespace
+
+ProfileTree::ProfileTree() {
+    region_.push_back(kNoRegion);  // node 0 = root
+    parent_.push_back(kInvalidNode);
+    firstChild_.push_back(kInvalidNode);
+    nextSibling_.push_back(kInvalidNode);
+    visits_.push_back(0);
+    inclusiveNs_.push_back(0);
+}
+
+std::uint32_t ProfileTree::addNode(RegionHandle region, std::uint32_t parent) {
+    if (region_.size() >= kInvalidNode) {
+        throw support::Error("Score-P: profile tree node space exhausted");
     }
-    std::size_t index = nodes_.size();
-    nodes_[parent].children.emplace(region, index);
-    ProfileNode child;
-    child.region = region;
-    nodes_.push_back(child);
+    std::uint32_t index = static_cast<std::uint32_t>(region_.size());
+    region_.push_back(region);
+    parent_.push_back(parent);
+    firstChild_.push_back(kInvalidNode);
+    nextSibling_.push_back(firstChild_[parent]);  // newest-first sibling chain
+    visits_.push_back(0);
+    inclusiveNs_.push_back(0);
+    firstChild_[parent] = index;
     return index;
 }
 
-void ProfileTree::mergeNode(std::size_t dst, const ProfileTree& other,
-                            std::size_t src) {
-    nodes_[dst].visits += other.nodes_[src].visits;
-    nodes_[dst].inclusiveNs += other.nodes_[src].inclusiveNs;
-    for (const auto& [region, srcChild] : other.nodes_[src].children) {
-        std::size_t dstChild = childOf(dst, region);
-        mergeNode(dstChild, other, srcChild);
+void ProfileTree::growIndex() {
+    std::size_t capacity = slotKeys_.empty() ? kInitialSlots : slotKeys_.size() * 2;
+    std::vector<std::uint64_t> keys(capacity, kEmptySlot);
+    std::vector<std::uint32_t> nodes(capacity, 0);
+    std::size_t mask = capacity - 1;
+    for (std::size_t i = 0; i < slotKeys_.size(); ++i) {
+        if (slotKeys_[i] == kEmptySlot) {
+            continue;
+        }
+        std::size_t slot = slotFor(slotKeys_[i], mask);
+        while (keys[slot] != kEmptySlot) {
+            slot = (slot + 1) & mask;
+        }
+        keys[slot] = slotKeys_[i];
+        nodes[slot] = slotNodes_[i];
     }
+    slotKeys_ = std::move(keys);
+    slotNodes_ = std::move(nodes);
+}
+
+std::size_t ProfileTree::childOf(std::size_t parent, RegionHandle region) {
+    if (slotKeys_.empty()) {
+        growIndex();
+    }
+    const std::uint64_t key = childKey(parent, region);
+    std::size_t mask = slotKeys_.size() - 1;
+    std::size_t slot = slotFor(key, mask);
+    while (true) {
+        std::uint64_t existing = slotKeys_[slot];
+        if (existing == key) {
+            return slotNodes_[slot];
+        }
+        if (existing == kEmptySlot) {
+            break;
+        }
+        slot = (slot + 1) & mask;
+    }
+    std::uint32_t index = addNode(region, static_cast<std::uint32_t>(parent));
+    slotKeys_[slot] = key;
+    slotNodes_[slot] = index;
+    // Keep the load factor at or below 0.7.
+    if (++slotsUsed_ * 10 >= slotKeys_.size() * 7) {
+        growIndex();
+    }
+    return index;
 }
 
 void ProfileTree::mergeFrom(const ProfileTree& other) {
-    mergeNode(root(), other, other.root());
+    // Iterative pairwise walk: (dst node, src node) with matching call paths.
+    std::vector<std::pair<std::size_t, std::uint32_t>> stack;
+    stack.emplace_back(root(), static_cast<std::uint32_t>(other.root()));
+    while (!stack.empty()) {
+        auto [dst, src] = stack.back();
+        stack.pop_back();
+        visits_[dst] += other.visits_[src];
+        inclusiveNs_[dst] += other.inclusiveNs_[src];
+        for (std::uint32_t child = other.firstChild_[src]; child != kInvalidNode;
+             child = other.nextSibling_[child]) {
+            stack.emplace_back(childOf(dst, other.region_[child]), child);
+        }
+    }
 }
 
 std::uint64_t ProfileTree::exclusiveNs(std::size_t index) const {
     std::uint64_t childNs = 0;
-    for (const auto& [region, child] : nodes_[index].children) {
-        childNs += nodes_[child].inclusiveNs;
+    for (std::uint32_t child = firstChild_[index]; child != kInvalidNode;
+         child = nextSibling_[child]) {
+        childNs += inclusiveNs_[child];
     }
-    const std::uint64_t inclusive = nodes_[index].inclusiveNs;
+    const std::uint64_t inclusive = inclusiveNs_[index];
     return childNs > inclusive ? 0 : inclusive - childNs;
+}
+
+std::vector<std::uint64_t> ProfileTree::exclusiveAll() const {
+    // One pass over the parent links: children always have a larger index
+    // than their parent (nodes are appended on first descent), so a single
+    // forward sweep accumulates every node's child sum.
+    const std::size_t count = region_.size();
+    std::vector<std::uint64_t> childNs(count, 0);
+    for (std::size_t i = 1; i < count; ++i) {
+        childNs[parent_[i]] += inclusiveNs_[i];
+    }
+    std::vector<std::uint64_t> exclusive(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        exclusive[i] = childNs[i] > inclusiveNs_[i] ? 0 : inclusiveNs_[i] - childNs[i];
+    }
+    return exclusive;
 }
 
 std::uint64_t ProfileTree::totalVisits(RegionHandle region) const {
     std::uint64_t total = 0;
-    for (const ProfileNode& node : nodes_) {
-        if (node.region == region) {
-            total += node.visits;
+    for (std::size_t i = 0; i < region_.size(); ++i) {
+        if (region_[i] == region) {
+            total += visits_[i];
         }
     }
     return total;
 }
 
 std::uint64_t ProfileTree::totalExclusiveNs(RegionHandle region) const {
+    std::vector<std::uint64_t> exclusive = exclusiveAll();
     std::uint64_t total = 0;
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        if (nodes_[i].region == region) {
-            total += exclusiveNs(i);
+    for (std::size_t i = 0; i < region_.size(); ++i) {
+        if (region_[i] == region) {
+            total += exclusive[i];
         }
     }
     return total;
@@ -62,29 +158,27 @@ std::uint64_t ProfileTree::totalExclusiveNs(RegionHandle region) const {
 
 std::unordered_map<RegionHandle, ProfileTree::RegionTotals>
 ProfileTree::regionTotals() const {
+    std::vector<std::uint64_t> exclusive = exclusiveAll();
     std::unordered_map<RegionHandle, RegionTotals> totals;
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        if (nodes_[i].region == kNoRegion) {
+    for (std::size_t i = 0; i < region_.size(); ++i) {
+        if (region_[i] == kNoRegion) {
             continue;
         }
-        RegionTotals& entry = totals[nodes_[i].region];
-        entry.visits += nodes_[i].visits;
-        entry.exclusiveNs += exclusiveNs(i);
+        RegionTotals& entry = totals[region_[i]];
+        entry.visits += visits_[i];
+        entry.exclusiveNs += exclusive[i];
     }
     return totals;
 }
 
 std::size_t ProfileTree::depth() const {
-    // Iterative DFS carrying depth.
+    // One pass, again relying on parent index < child index.
+    const std::size_t count = region_.size();
+    std::vector<std::uint32_t> depth(count, 0);
     std::size_t maxDepth = 0;
-    std::vector<std::pair<std::size_t, std::size_t>> stack{{root(), 0}};
-    while (!stack.empty()) {
-        auto [index, depth] = stack.back();
-        stack.pop_back();
-        maxDepth = std::max(maxDepth, depth);
-        for (const auto& [region, child] : nodes_[index].children) {
-            stack.push_back({child, depth + 1});
-        }
+    for (std::size_t i = 1; i < count; ++i) {
+        depth[i] = depth[parent_[i]] + 1;
+        maxDepth = std::max<std::size_t>(maxDepth, depth[i]);
     }
     return maxDepth;
 }

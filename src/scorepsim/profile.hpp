@@ -5,11 +5,18 @@
 // ascends and accumulates inclusive time. Trees from all threads merge by
 // call path for reporting. Exclusive time is derived: inclusive minus the
 // inclusive time of all children.
+//
+// Layout: the tree is a flat calling-context tree. The hot counters live in
+// structure-of-arrays form (region / visits / inclusiveNs as parallel
+// vectors, so the exit-path accumulation touches two adjacent-by-index
+// cachelines instead of a pointer-chased node), tree shape is intrusive
+// first-child/next-sibling links, and child lookup goes through an
+// open-addressed (parent, region) -> node index instead of a per-node
+// red-black tree. The tree is single-threaded by construction (each
+// measurement thread owns one), so none of this needs synchronization.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -18,30 +25,62 @@ namespace capi::scorep {
 using RegionHandle = std::uint32_t;
 inline constexpr RegionHandle kNoRegion = 0xFFFFFFFFu;
 
+/// Read-side value snapshot of one call-path node.
 struct ProfileNode {
     RegionHandle region = kNoRegion;
     std::uint64_t visits = 0;
     std::uint64_t inclusiveNs = 0;
-    std::map<RegionHandle, std::size_t> children;  ///< region -> node index.
+};
+
+/// Mutable proxy over one node's hot counters in the SoA arrays.
+struct ProfileNodeRef {
+    RegionHandle region;
+    std::uint64_t& visits;
+    std::uint64_t& inclusiveNs;
 };
 
 class ProfileTree {
 public:
-    ProfileTree() { nodes_.push_back(ProfileNode{}); }  // node 0 = root
+    /// Sibling-chain terminator for firstChild()/nextSibling().
+    static constexpr std::uint32_t kInvalidNode = 0xFFFFFFFFu;
+
+    ProfileTree();
 
     std::size_t root() const { return 0; }
-    const ProfileNode& node(std::size_t index) const { return nodes_[index]; }
-    ProfileNode& node(std::size_t index) { return nodes_[index]; }
-    std::size_t nodeCount() const { return nodes_.size(); }
+    ProfileNode node(std::size_t index) const {
+        return ProfileNode{region_[index], visits_[index], inclusiveNs_[index]};
+    }
+    ProfileNodeRef node(std::size_t index) {
+        return ProfileNodeRef{region_[index], visits_[index], inclusiveNs_[index]};
+    }
+    std::size_t nodeCount() const { return region_.size(); }
+
+    RegionHandle regionOf(std::size_t index) const { return region_[index]; }
+    std::uint32_t parentOf(std::size_t index) const { return parent_[index]; }
+    /// Children are chained newest-first: firstChild then nextSibling until
+    /// kInvalidNode.
+    std::uint32_t firstChild(std::size_t index) const { return firstChild_[index]; }
+    std::uint32_t nextSibling(std::size_t index) const { return nextSibling_[index]; }
 
     /// Child of `parent` for `region`, created on demand.
     std::size_t childOf(std::size_t parent, RegionHandle region);
+
+    /// Hot-path accumulation on region exit.
+    void recordVisit(std::size_t index, std::uint64_t deltaNs) {
+        visits_[index] += 1;
+        inclusiveNs_[index] += deltaNs;
+    }
 
     /// Accumulates another tree into this one, matching by call path.
     void mergeFrom(const ProfileTree& other);
 
     /// Exclusive time of a node: inclusive minus children's inclusive.
     std::uint64_t exclusiveNs(std::size_t index) const;
+
+    /// Exclusive time of every node, computed in one pass over the parent
+    /// links (report renderers index this instead of re-walking each node's
+    /// child list per query).
+    std::vector<std::uint64_t> exclusiveAll() const;
 
     /// Sum of visits across all nodes of a region.
     std::uint64_t totalVisits(RegionHandle region) const;
@@ -56,13 +95,28 @@ public:
     };
     std::unordered_map<RegionHandle, RegionTotals> regionTotals() const;
 
-    /// Maximum call-path depth with visits.
+    /// Maximum call-path depth.
     std::size_t depth() const;
 
 private:
-    void mergeNode(std::size_t dst, const ProfileTree& other, std::size_t src);
+    static constexpr std::uint64_t kEmptySlot = ~0ull;
 
-    std::vector<ProfileNode> nodes_;
+    std::uint32_t addNode(RegionHandle region, std::uint32_t parent);
+    void growIndex();
+
+    // Structure-of-arrays node storage; index 0 is the root.
+    std::vector<RegionHandle> region_;
+    std::vector<std::uint32_t> parent_;
+    std::vector<std::uint32_t> firstChild_;
+    std::vector<std::uint32_t> nextSibling_;
+    std::vector<std::uint64_t> visits_;
+    std::vector<std::uint64_t> inclusiveNs_;
+
+    // Open-addressed (parent << 32 | region) -> node index, linear probing,
+    // power-of-two capacity.
+    std::vector<std::uint64_t> slotKeys_;
+    std::vector<std::uint32_t> slotNodes_;
+    std::size_t slotsUsed_ = 0;
 };
 
 }  // namespace capi::scorep

@@ -1,7 +1,6 @@
 #include "scorepsim/profile_report.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "support/strings.hpp"
 
@@ -9,10 +8,13 @@ namespace capi::scorep {
 
 namespace {
 
+/// `exclusive` is the whole tree's one-pass exclusiveAll() — computed once
+/// per report instead of per rendered node.
 void renderNode(std::string& out, const ProfileTree& tree,
+                const std::vector<std::uint64_t>& exclusive,
                 const Measurement& measurement, std::size_t index,
                 std::size_t depth, const ReportOptions& options) {
-    const ProfileNode& node = tree.node(index);
+    const ProfileNode node = tree.node(index);
     if (node.region != kNoRegion) {
         out += std::string(depth * 2, ' ');
         out += measurement.region(node.region).name;
@@ -21,8 +23,7 @@ void renderNode(std::string& out, const ProfileTree& tree,
                                static_cast<double>(node.inclusiveNs) / 1e6, 3) + "ms";
         if (options.showExclusive) {
             out += "  excl=" +
-                   support::fixed(static_cast<double>(tree.exclusiveNs(index)) / 1e6,
-                                  3) +
+                   support::fixed(static_cast<double>(exclusive[index]) / 1e6, 3) +
                    "ms";
         }
         out += "\n";
@@ -32,7 +33,8 @@ void renderNode(std::string& out, const ProfileTree& tree,
     }
     // Children sorted by inclusive time, largest first.
     std::vector<std::size_t> children;
-    for (const auto& [region, child] : node.children) {
+    for (std::uint32_t child = tree.firstChild(index);
+         child != ProfileTree::kInvalidNode; child = tree.nextSibling(child)) {
         children.push_back(child);
     }
     std::sort(children.begin(), children.end(), [&](std::size_t a, std::size_t b) {
@@ -43,7 +45,7 @@ void renderNode(std::string& out, const ProfileTree& tree,
     std::size_t restCount = 0;
     for (std::size_t child : children) {
         if (shown < options.maxChildrenPerNode) {
-            renderNode(out, tree, measurement, child,
+            renderNode(out, tree, exclusive, measurement, child,
                        node.region == kNoRegion ? depth : depth + 1, options);
             ++shown;
         } else {
@@ -63,7 +65,8 @@ void renderNode(std::string& out, const ProfileTree& tree,
 std::string renderCallTree(const ProfileTree& tree, const Measurement& measurement,
                            const ReportOptions& options) {
     std::string out = "=== Score-P call-path profile ===\n";
-    renderNode(out, tree, measurement, tree.root(), 0, options);
+    const std::vector<std::uint64_t> exclusive = tree.exclusiveAll();
+    renderNode(out, tree, exclusive, measurement, tree.root(), 0, options);
     return out;
 }
 
@@ -74,24 +77,17 @@ std::string renderFlatProfile(const ProfileTree& tree, const Measurement& measur
         std::uint64_t visits = 0;
         std::uint64_t exclusiveNs = 0;
     };
-    std::map<RegionHandle, Row> rows;
-    for (std::size_t i = 0; i < tree.nodeCount(); ++i) {
-        const ProfileNode& node = tree.node(i);
-        if (node.region == kNoRegion) {
-            continue;
-        }
-        Row& row = rows[node.region];
-        row.region = node.region;
-        row.visits += node.visits;
-        row.exclusiveNs += tree.exclusiveNs(i);
-    }
+    // One regionTotals() pass instead of an exclusiveNs() walk per node.
     std::vector<Row> sorted;
-    sorted.reserve(rows.size());
-    for (const auto& [region, row] : rows) {
-        sorted.push_back(row);
+    for (const auto& [region, totals] : tree.regionTotals()) {
+        sorted.push_back(Row{region, totals.visits, totals.exclusiveNs});
     }
-    std::sort(sorted.begin(), sorted.end(),
-              [](const Row& a, const Row& b) { return a.exclusiveNs > b.exclusiveNs; });
+    std::sort(sorted.begin(), sorted.end(), [](const Row& a, const Row& b) {
+        if (a.exclusiveNs != b.exclusiveNs) {
+            return a.exclusiveNs > b.exclusiveNs;
+        }
+        return a.region < b.region;  // Deterministic tie order.
+    });
 
     std::string out = "=== Flat profile (top " + std::to_string(topN) + ") ===\n";
     out += support::padRight("region", 48) + support::padLeft("visits", 12) +

@@ -1,7 +1,6 @@
 #include "scorepsim/scorep_score.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "support/strings.hpp"
 
@@ -9,20 +8,8 @@ namespace capi::scorep {
 
 ScoreResult scoreProfile(const ProfileTree& profile, const Measurement& measurement,
                          const ScoreOptions& options) {
-    struct Accum {
-        std::uint64_t visits = 0;
-        std::uint64_t exclusiveNs = 0;
-    };
-    std::map<RegionHandle, Accum> byRegion;
-    for (std::size_t i = 0; i < profile.nodeCount(); ++i) {
-        const ProfileNode& node = profile.node(i);
-        if (node.region == kNoRegion) {
-            continue;
-        }
-        Accum& accum = byRegion[node.region];
-        accum.visits += node.visits;
-        accum.exclusiveNs += profile.exclusiveNs(i);
-    }
+    // One regionTotals() pass instead of an exclusiveNs() walk per node.
+    const auto byRegion = profile.regionTotals();
 
     ScoreResult result;
     for (const auto& [region, accum] : byRegion) {
@@ -51,7 +38,10 @@ ScoreResult scoreProfile(const ProfileTree& profile, const Measurement& measurem
 
     std::sort(result.regions.begin(), result.regions.end(),
               [](const ScoredRegion& a, const ScoredRegion& b) {
-                  return a.estimatedOverheadNs > b.estimatedOverheadNs;
+                  if (a.estimatedOverheadNs != b.estimatedOverheadNs) {
+                      return a.estimatedOverheadNs > b.estimatedOverheadNs;
+                  }
+                  return a.name < b.name;  // Deterministic tie order.
               });
     for (const ScoredRegion& region : result.regions) {
         if (region.excluded) {

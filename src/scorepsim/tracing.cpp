@@ -1,33 +1,31 @@
 #include "scorepsim/tracing.hpp"
 
-#include <unordered_map>
-
 #include "scorepsim/measurement.hpp"
 #include "support/strings.hpp"
+#include "support/thread_cache.hpp"
 
 namespace capi::scorep {
 
 namespace {
-thread_local std::unordered_map<const TraceBuffer*, void*> t_traceCache;
+using TraceCache = support::ThreadLocalCache<TraceBuffer>;
 }  // namespace
 
 TraceBuffer::~TraceBuffer() {
-    // Drop the destroying thread's cache entry so a later TraceBuffer at the
-    // same address cannot alias it; other threads must not touch a dead
-    // buffer by contract.
-    t_traceCache.erase(this);
+    // Courtesy: drop the destroying thread's cache entry. Entries on other
+    // threads go stale but are generation-checked, never dereferenced — a
+    // later TraceBuffer at the same address cannot alias them.
+    TraceCache::invalidate(this);
 }
 
 TraceBuffer::ThreadTrace& TraceBuffer::threadTrace() {
-    auto it = t_traceCache.find(this);
-    if (it != t_traceCache.end()) {
-        return *static_cast<ThreadTrace*>(it->second);
+    if (void* cached = TraceCache::lookup(this, generation_)) {
+        return *static_cast<ThreadTrace*>(cached);
     }
     std::lock_guard<std::mutex> lock(mutex_);
     threads_.push_back(std::make_unique<ThreadTrace>());
     ThreadTrace* trace = threads_.back().get();
     trace->events.reserve(std::min<std::size_t>(capacity_, 4096));
-    t_traceCache[this] = trace;
+    TraceCache::store(this, generation_, trace);
     return *trace;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "scorepsim/profile.hpp"
+#include "support/thread_cache.hpp"
 
 namespace capi::scorep {
 
@@ -40,7 +41,8 @@ class TraceBuffer {
 public:
     /// `capacityPerThread` bounds each thread's event count.
     explicit TraceBuffer(std::size_t capacityPerThread = 1 << 20)
-        : capacity_(capacityPerThread) {}
+        : capacity_(capacityPerThread),
+          generation_(support::nextGenerationStamp()) {}
     ~TraceBuffer();
 
     TraceBuffer(const TraceBuffer&) = delete;
@@ -67,6 +69,9 @@ private:
     ThreadTrace& threadTrace();
 
     std::size_t capacity_;
+    /// Process-unique generation: neutralizes thread-local cache entries of
+    /// a destroyed TraceBuffer whose address this instance may be reusing.
+    std::uint64_t generation_;
     mutable std::mutex mutex_;
     std::vector<std::unique_ptr<ThreadTrace>> threads_;
 };

@@ -1,0 +1,98 @@
+// Generation-stamped per-thread instance caches.
+//
+// Measurement-style runtimes look up per-thread state by owner address on
+// every probe event. A plain address-keyed thread_local map has an ABA bug:
+// destroying an owner on thread A leaves threads B..N holding cache entries
+// for its address, and a new owner allocated at the same address would alias
+// them (the owner's destructor can only erase the destroying thread's
+// entry). Entries are therefore stamped with the owner's process-unique
+// generation — a stale entry fails the stamp compare and is simply
+// overwritten, never dereferenced. A single-entry fast path keeps the common
+// lookup at one TLS load plus two compares.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+
+namespace capi::support {
+
+/// Process-unique, never-reused stamp for an object whose address may be
+/// recycled by the allocator. Grab one per instance at construction.
+inline std::uint64_t nextGenerationStamp() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Single-writer accumulator bump: load-relaxed + store, cheaper than a
+/// fetch_add/CAS, and a data-race-free read target for concurrent
+/// aggregating readers. Only the owning thread may write. Pass
+/// memory_order_release for the *last* counter of a group the writer
+/// updates — a reader that acquires it (reading that counter first) then
+/// sees every earlier relaxed store of the group (e.g. Score-P's
+/// filtered<=probe invariant, TALP's visits-last totals).
+template <typename T>
+inline void singleWriterAdd(std::atomic<T>& counter, T delta,
+                            std::memory_order order = std::memory_order_relaxed) {
+    counter.store(counter.load(std::memory_order_relaxed) + delta, order);
+}
+
+/// Per-thread (owner address, generation) -> state-pointer cache. Template
+/// over the owner type so every cached runtime gets its own thread_local
+/// storage. All methods touch only the calling thread's entries.
+template <typename Owner>
+class ThreadLocalCache {
+public:
+    /// The cached state for (owner, stamp), or nullptr when this thread has
+    /// no entry (or only a stale one from a prior owner at the same address).
+    static void* lookup(const Owner* owner, std::uint64_t stamp) {
+        Last& last = lastEntry();
+        if (last.owner == owner && last.stamp == stamp) {
+            return last.state;
+        }
+        auto& map = mapEntries();
+        auto it = map.find(owner);
+        if (it != map.end() && it->second.stamp == stamp) {
+            last = Last{owner, stamp, it->second.state};
+            return it->second.state;
+        }
+        return nullptr;
+    }
+
+    static void store(const Owner* owner, std::uint64_t stamp, void* state) {
+        mapEntries()[owner] = Entry{stamp, state};
+        lastEntry() = Last{owner, stamp, state};
+    }
+
+    /// Drops the calling thread's entry (destructor courtesy; stale entries
+    /// on other threads are neutralized by the stamp check instead).
+    static void invalidate(const Owner* owner) {
+        mapEntries().erase(owner);
+        Last& last = lastEntry();
+        if (last.owner == owner) {
+            last = Last{};
+        }
+    }
+
+private:
+    struct Last {
+        const Owner* owner = nullptr;
+        std::uint64_t stamp = 0;
+        void* state = nullptr;
+    };
+    struct Entry {
+        std::uint64_t stamp = 0;
+        void* state = nullptr;
+    };
+
+    static Last& lastEntry() {
+        thread_local Last last{};
+        return last;
+    }
+    static std::unordered_map<const Owner*, Entry>& mapEntries() {
+        thread_local std::unordered_map<const Owner*, Entry> map;
+        return map;
+    }
+};
+
+}  // namespace capi::support

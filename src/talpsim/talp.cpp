@@ -2,17 +2,52 @@
 
 #include <algorithm>
 
+#include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/thread_cache.hpp"
 
 namespace capi::talp {
 
 TalpRuntime::TalpRuntime(mpi::MpiWorld& world) : world_(&world) {
     ranks_.resize(static_cast<std::size_t>(world.worldSize()));
+    for (RankData& rank : ranks_) {
+        rank.chunks = std::make_unique<std::atomic<RankRegionState*>[]>(
+            kMaxRegionChunks);
+        for (std::size_t i = 0; i < kMaxRegionChunks; ++i) {
+            rank.chunks[i].store(nullptr, std::memory_order_relaxed);
+        }
+    }
     world_->setInterceptor(this);
 }
 
 TalpRuntime::~TalpRuntime() {
     world_->setInterceptor(nullptr);
+    for (RankData& rank : ranks_) {
+        for (std::size_t i = 0; i < kMaxRegionChunks; ++i) {
+            delete[] rank.chunks[i].load(std::memory_order_relaxed);
+        }
+    }
+}
+
+TalpRuntime::RankRegionState& TalpRuntime::rankRegionState(
+    RankData& data, std::uint32_t regionId) {
+    std::size_t chunk = regionId >> kRegionChunkBits;
+    RankRegionState* base = data.chunks[chunk].load(std::memory_order_acquire);
+    if (base == nullptr) {
+        // Only the owning rank's thread allocates its chunks, so a plain
+        // release publish suffices (no CAS race to lose).
+        base = new RankRegionState[kRegionChunkSize];
+        data.chunks[chunk].store(base, std::memory_order_release);
+    }
+    return base[regionId & (kRegionChunkSize - 1)];
+}
+
+const TalpRuntime::RankRegionState* TalpRuntime::rankRegionStateIfAny(
+    const RankData& data, std::uint32_t regionId) {
+    std::size_t chunk = regionId >> kRegionChunkBits;
+    const RankRegionState* base =
+        data.chunks[chunk].load(std::memory_order_acquire);
+    return base == nullptr ? nullptr : &base[regionId & (kRegionChunkSize - 1)];
 }
 
 MonitorHandle TalpRuntime::registerLocked(const std::string& name) {
@@ -21,11 +56,14 @@ MonitorHandle TalpRuntime::registerLocked(const std::string& name) {
         return MonitorHandle{it->second};
     }
     std::uint32_t id = static_cast<std::uint32_t>(regionNames_.size());
+    if (id >= kMaxRegionChunks * kRegionChunkSize) {
+        throw support::Error("TALP: monitoring region space exhausted");
+    }
     regionNames_.push_back(name);
     regionByName_.emplace(name, id);
-    for (RankData& rank : ranks_) {
-        rank.regions.resize(regionNames_.size());
-    }
+    // Publish after the name is fully stored; per-event validation only ever
+    // reads this count.
+    publishedRegions_.store(id + 1, std::memory_order_release);
     return MonitorHandle{id};
 }
 
@@ -34,21 +72,21 @@ MonitorHandle TalpRuntime::regionRegister(const std::string& name, int rank) {
     // TALP requires MPI to be initialized before regions can be registered
     // (paper Sec. VI-B): regions entered before MPI_Init are not recorded.
     if (!world_->initialized(rank)) {
-        ++failedRegistrations_;
+        failedRegistrations_.fetch_add(1, std::memory_order_relaxed);
         return MonitorHandle::invalid();
     }
     return registerLocked(name);
 }
 
 bool TalpRuntime::regionStart(MonitorHandle handle, int rank, double virtualNow) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!handle.valid() || handle.id >= regionNames_.size() || rank < 0 ||
-        static_cast<std::size_t>(rank) >= ranks_.size()) {
-        ++failedStarts_;
+    if (!handle.valid() ||
+        handle.id >= publishedRegions_.load(std::memory_order_acquire) ||
+        rank < 0 || static_cast<std::size_t>(rank) >= ranks_.size()) {
+        failedStarts_.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
     RankData& data = ranks_[static_cast<std::size_t>(rank)];
-    RankRegionState& state = data.regions[handle.id];
+    RankRegionState& state = rankRegionState(data, handle.id);
     if (++state.depth == 1) {
         state.startVirtualNs = virtualNow;
         state.mpiInsideNs = 0.0;
@@ -58,29 +96,33 @@ bool TalpRuntime::regionStart(MonitorHandle handle, int rank, double virtualNow)
 }
 
 bool TalpRuntime::regionStop(MonitorHandle handle, int rank, double virtualNow) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!handle.valid() || handle.id >= regionNames_.size() || rank < 0 ||
-        static_cast<std::size_t>(rank) >= ranks_.size()) {
-        ++failedStops_;
+    if (!handle.valid() ||
+        handle.id >= publishedRegions_.load(std::memory_order_acquire) ||
+        rank < 0 || static_cast<std::size_t>(rank) >= ranks_.size()) {
+        failedStops_.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
     RankData& data = ranks_[static_cast<std::size_t>(rank)];
-    RankRegionState& state = data.regions[handle.id];
+    RankRegionState& state = rankRegionState(data, handle.id);
     if (state.depth == 0) {
-        ++failedStops_;  // Stop without a matching start.
-        return false;
+        failedStops_.fetch_add(1, std::memory_order_relaxed);
+        return false;  // Stop without a matching start.
     }
     if (--state.depth == 0) {
         double elapsed = virtualNow - state.startVirtualNs;
         if (elapsed < 0) {
             elapsed = 0;
         }
-        state.elapsedNs += elapsed;
-        state.mpiNs += state.mpiInsideNs;
+        support::singleWriterAdd(state.elapsedNs, elapsed);
+        support::singleWriterAdd(state.mpiNs, state.mpiInsideNs);
         double useful = elapsed - state.mpiInsideNs;
-        state.usefulNs += useful > 0 ? useful : 0;
-        state.visits += 1;
-        auto it = std::find(data.openStack.rbegin(), data.openStack.rend(), handle.id);
+        support::singleWriterAdd(state.usefulNs, useful > 0 ? useful : 0.0);
+        // Released last so a reader that acquires the visit count also sees
+        // the accumulators above.
+        support::singleWriterAdd<std::uint64_t>(state.visits, 1,
+                                                std::memory_order_release);
+        auto it = std::find(data.openStack.rbegin(), data.openStack.rend(),
+                            handle.id);
         if (it != data.openStack.rend()) {
             data.openStack.erase(std::next(it).base());
         }
@@ -116,14 +158,14 @@ void TalpRuntime::postOp(int rank, mpi::OpKind op, double virtualNowAfter,
     }
     // Attribute this operation's MPI time to every region currently open on
     // the rank. This walk is what makes TALP's per-MPI-op cost scale with
-    // the number of open monitoring regions.
-    std::lock_guard<std::mutex> lock(mutex_);
+    // the number of open monitoring regions. It runs on the rank's own
+    // thread over rank-private state: no lock.
     if (rank < 0 || static_cast<std::size_t>(rank) >= ranks_.size()) {
         return;
     }
     RankData& data = ranks_[static_cast<std::size_t>(rank)];
     for (std::uint32_t regionId : data.openStack) {
-        data.regions[regionId].mpiInsideNs += mpiNs;
+        rankRegionState(data, regionId).mpiInsideNs += mpiNs;
     }
 }
 
@@ -132,16 +174,22 @@ PopMetrics TalpRuntime::aggregate(std::uint32_t regionId) const {
     metrics.name = regionNames_[regionId];
     double usefulSum = 0.0;
     for (const RankData& rank : ranks_) {
-        const RankRegionState& state = rank.regions[regionId];
-        if (state.visits == 0) {
+        const RankRegionState* state = rankRegionStateIfAny(rank, regionId);
+        if (state == nullptr) {
+            continue;
+        }
+        std::uint64_t visits = state->visits.load(std::memory_order_acquire);
+        if (visits == 0) {
             continue;
         }
         ++metrics.ranks;
-        metrics.visits += state.visits;
-        metrics.elapsedNs = std::max(metrics.elapsedNs, state.elapsedNs);
-        metrics.usefulMaxNs = std::max(metrics.usefulMaxNs, state.usefulNs);
-        usefulSum += state.usefulNs;
-        metrics.mpiAvgNs += state.mpiNs;
+        metrics.visits += visits;
+        double elapsed = state->elapsedNs.load(std::memory_order_relaxed);
+        double useful = state->usefulNs.load(std::memory_order_relaxed);
+        metrics.elapsedNs = std::max(metrics.elapsedNs, elapsed);
+        metrics.usefulMaxNs = std::max(metrics.usefulMaxNs, useful);
+        usefulSum += useful;
+        metrics.mpiAvgNs += state->mpiNs.load(std::memory_order_relaxed);
     }
     if (metrics.ranks == 0) {
         return metrics;
@@ -181,8 +229,7 @@ std::vector<PopMetrics> TalpRuntime::collectAll() const {
 }
 
 std::size_t TalpRuntime::regionCount() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return regionNames_.size();
+    return publishedRegions_.load(std::memory_order_acquire);
 }
 
 std::string TalpRuntime::report() const {

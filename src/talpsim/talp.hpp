@@ -15,9 +15,22 @@
 //  * an end-of-run text summary plus a runtime query API.
 //
 // An implicit "MPI Execution" region spans MPI_Init..MPI_Finalize, as in DLB.
+//
+// Threading: the per-event path (regionStart/regionStop/postOp attribution)
+// is lock-free. As in MPI, each rank's calls must be serial (one driving
+// thread per rank — MpiWorld's model); different ranks run concurrently
+// without sharing cachelines. Per-rank region state lives in chunked
+// stable-address arrays whose chunk pointers are published with release
+// stores by the owning rank and read with acquire by aggregation; completed-
+// visit accumulators are single-writer atomics, so metrics()/collectAll()
+// may run concurrently with events. Only registration (rare, name-keyed)
+// takes the exclusive mutex — the same first-sighting-only discipline as the
+// cyg-profile address table.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -81,42 +94,67 @@ public:
     std::size_t regionCount() const;
 
     // --- failure accounting (paper Sec. VI-B) ----------------------------
-    std::uint64_t failedRegistrations() const { return failedRegistrations_; }
-    std::uint64_t failedStarts() const { return failedStarts_; }
-    std::uint64_t failedStops() const { return failedStops_; }
+    std::uint64_t failedRegistrations() const {
+        return failedRegistrations_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t failedStarts() const {
+        return failedStarts_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t failedStops() const {
+        return failedStops_.load(std::memory_order_relaxed);
+    }
 
     static constexpr const char* kGlobalRegionName = "MPI Execution";
 
 private:
     struct RankRegionState {
+        // Open-visit bookkeeping: touched only by the owning rank's thread.
         int depth = 0;             ///< Nesting depth; outermost pair accounts.
         double startVirtualNs = 0.0;
         double mpiInsideNs = 0.0;
-        // Accumulated over completed visits:
-        double elapsedNs = 0.0;
-        double usefulNs = 0.0;
-        double mpiNs = 0.0;
-        std::uint64_t visits = 0;
+        // Accumulated over completed visits: single-writer atomics so
+        // aggregation can read mid-run. `visits` is stored last with
+        // release, so visits >= 1 under an acquire read implies the matching
+        // accumulator values are visible.
+        std::atomic<double> elapsedNs{0.0};
+        std::atomic<double> usefulNs{0.0};
+        std::atomic<double> mpiNs{0.0};
+        std::atomic<std::uint64_t> visits{0};
     };
+
+    /// Chunked stable-address per-rank region state (atomics pin addresses;
+    /// registration never reallocates behind a running rank).
+    static constexpr std::size_t kRegionChunkBits = 8;  // 256 per chunk
+    static constexpr std::size_t kRegionChunkSize = 1u << kRegionChunkBits;
+    static constexpr std::size_t kMaxRegionChunks = 1u << 8;  // 65536 regions
+
     struct RankData {
-        std::vector<RankRegionState> regions;
-        std::vector<std::uint32_t> openStack;  ///< Regions open on this rank.
+        /// Chunk pointers: release-published by the owning rank's thread on
+        /// first touch, acquire-read by aggregation. nullptr = all zeroes.
+        std::unique_ptr<std::atomic<RankRegionState*>[]> chunks;
+        std::vector<std::uint32_t> openStack;  ///< Owning rank's thread only.
     };
 
     MonitorHandle registerLocked(const std::string& name);
     PopMetrics aggregate(std::uint32_t regionId) const;
+    RankRegionState& rankRegionState(RankData& data, std::uint32_t regionId);
+    static const RankRegionState* rankRegionStateIfAny(const RankData& data,
+                                                       std::uint32_t regionId);
 
     mpi::MpiWorld* world_;
 
-    mutable std::mutex mutex_;
+    mutable std::mutex mutex_;  ///< Registration + name table only.
     std::vector<std::string> regionNames_;
     std::unordered_map<std::string, std::uint32_t> regionByName_;
+    /// Count released after the name is stored; per-event handle validation
+    /// reads this instead of touching the name table.
+    std::atomic<std::uint32_t> publishedRegions_{0};
     std::vector<RankData> ranks_;
     MonitorHandle globalRegion_ = MonitorHandle::invalid();
 
-    std::uint64_t failedRegistrations_ = 0;
-    std::uint64_t failedStarts_ = 0;
-    std::uint64_t failedStops_ = 0;
+    std::atomic<std::uint64_t> failedRegistrations_{0};
+    std::atomic<std::uint64_t> failedStarts_{0};
+    std::atomic<std::uint64_t> failedStops_{0};
 };
 
 }  // namespace capi::talp

@@ -3,6 +3,10 @@
 // symbol injection), the cyg-profile adapter and scorep-score.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <random>
+#include <set>
+
 #include "binsim/compiler.hpp"
 #include "binsim/process.hpp"
 #include "scorepsim/cyg_adapter.hpp"
@@ -315,6 +319,203 @@ TEST(ScorepScore, ExcludesSmallFrequentFunctions) {
 }
 
 // ----------------------------------------------------------------- reports --
+
+// ------------------------------------------- flat CCT == map-tree property --
+
+/// Reference implementation: the seed's map-per-node profile tree. The flat
+/// SoA ProfileTree must be observationally identical to this for every
+/// operation sequence (childOf, counter mutation, merge) and every derived
+/// query (exclusive, totals, depth).
+struct MapTree {
+    struct Node {
+        RegionHandle region = kNoRegion;
+        std::uint64_t visits = 0;
+        std::uint64_t inclusiveNs = 0;
+        std::map<RegionHandle, std::size_t> children;
+    };
+    std::vector<Node> nodes{Node{}};
+
+    std::size_t childOf(std::size_t parent, RegionHandle region) {
+        auto it = nodes[parent].children.find(region);
+        if (it != nodes[parent].children.end()) {
+            return it->second;
+        }
+        std::size_t index = nodes.size();
+        nodes[parent].children.emplace(region, index);
+        Node child;
+        child.region = region;
+        nodes.push_back(child);
+        return index;
+    }
+
+    void mergeFrom(const MapTree& other) { mergeNode(0, other, 0); }
+    void mergeNode(std::size_t dst, const MapTree& other, std::size_t src) {
+        nodes[dst].visits += other.nodes[src].visits;
+        nodes[dst].inclusiveNs += other.nodes[src].inclusiveNs;
+        for (const auto& [region, srcChild] : other.nodes[src].children) {
+            mergeNode(childOf(dst, region), other, srcChild);
+        }
+    }
+
+    std::uint64_t exclusiveNs(std::size_t index) const {
+        std::uint64_t childNs = 0;
+        for (const auto& [region, child] : nodes[index].children) {
+            childNs += nodes[child].inclusiveNs;
+        }
+        std::uint64_t inclusive = nodes[index].inclusiveNs;
+        return childNs > inclusive ? 0 : inclusive - childNs;
+    }
+
+    std::size_t depth() const {
+        std::size_t maxDepth = 0;
+        std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 0}};
+        while (!stack.empty()) {
+            auto [index, d] = stack.back();
+            stack.pop_back();
+            maxDepth = std::max(maxDepth, d);
+            for (const auto& [region, child] : nodes[index].children) {
+                stack.push_back({child, d + 1});
+            }
+        }
+        return maxDepth;
+    }
+
+    std::map<RegionHandle, std::pair<std::uint64_t, std::uint64_t>> totals() const {
+        std::map<RegionHandle, std::pair<std::uint64_t, std::uint64_t>> out;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (nodes[i].region == kNoRegion) {
+                continue;
+            }
+            auto& entry = out[nodes[i].region];
+            entry.first += nodes[i].visits;
+            entry.second += exclusiveNs(i);
+        }
+        return out;
+    }
+};
+
+/// Builds an identically-shaped random tree pair via random walks.
+void buildRandomPair(std::mt19937& rng, ProfileTree& flat, MapTree& ref,
+                     int operations) {
+    std::uniform_int_distribution<int> opDist(0, 9);
+    std::uniform_int_distribution<RegionHandle> regionDist(1, 8);
+    std::uniform_int_distribution<std::uint64_t> nsDist(0, 1000);
+    std::vector<std::pair<std::size_t, std::size_t>> path;  // (flat, ref)
+    for (int op = 0; op < operations; ++op) {
+        int kind = opDist(rng);
+        if (kind < 5) {  // descend (creating on demand)
+            RegionHandle region = regionDist(rng);
+            std::size_t flatParent = path.empty() ? flat.root() : path.back().first;
+            std::size_t refParent = path.empty() ? 0 : path.back().second;
+            path.emplace_back(flat.childOf(flatParent, region),
+                              ref.childOf(refParent, region));
+        } else if (kind < 8 && !path.empty()) {  // record a visit and ascend
+            std::uint64_t ns = nsDist(rng);
+            auto [flatNode, refNode] = path.back();
+            flat.node(flatNode).visits += 1;
+            flat.node(flatNode).inclusiveNs += ns;
+            ref.nodes[refNode].visits += 1;
+            ref.nodes[refNode].inclusiveNs += ns;
+            path.pop_back();
+        } else if (!path.empty()) {  // ascend without recording
+            path.pop_back();
+        }
+    }
+}
+
+void expectTreesEquivalent(ProfileTree& flat, const MapTree& ref) {
+    ASSERT_EQ(flat.nodeCount(), ref.nodes.size());
+    EXPECT_EQ(flat.depth(), ref.depth());
+
+    // Same shape: resolving every reference call path in the flat tree finds
+    // an existing node with identical counters (nodeCount is re-checked
+    // afterwards to prove childOf created nothing).
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{0, flat.root()}};
+    while (!stack.empty()) {
+        auto [refNode, flatNode] = stack.back();
+        stack.pop_back();
+        EXPECT_EQ(flat.node(flatNode).visits, ref.nodes[refNode].visits);
+        EXPECT_EQ(flat.node(flatNode).inclusiveNs, ref.nodes[refNode].inclusiveNs);
+        EXPECT_EQ(flat.exclusiveNs(flatNode), ref.exclusiveNs(refNode));
+        for (const auto& [region, refChild] : ref.nodes[refNode].children) {
+            stack.push_back({refChild, flat.childOf(flatNode, region)});
+        }
+    }
+    ASSERT_EQ(flat.nodeCount(), ref.nodes.size());
+
+    // Derived queries agree, and the one-pass exclusive matches per-node.
+    auto flatTotals = flat.regionTotals();
+    auto refTotals = ref.totals();
+    ASSERT_EQ(flatTotals.size(), refTotals.size());
+    for (const auto& [region, expected] : refTotals) {
+        ASSERT_TRUE(flatTotals.count(region));
+        EXPECT_EQ(flatTotals[region].visits, expected.first);
+        EXPECT_EQ(flatTotals[region].exclusiveNs, expected.second);
+        EXPECT_EQ(flat.totalVisits(region), expected.first);
+        EXPECT_EQ(flat.totalExclusiveNs(region), expected.second);
+    }
+    std::vector<std::uint64_t> exclusive = flat.exclusiveAll();
+    for (std::size_t i = 0; i < flat.nodeCount(); ++i) {
+        EXPECT_EQ(exclusive[i], flat.exclusiveNs(i));
+    }
+}
+
+TEST(FlatTreeProperty, RandomSequencesMatchMapReference) {
+    std::mt19937 rng(0xC0FFEE);
+    for (int round = 0; round < 30; ++round) {
+        ProfileTree flat;
+        MapTree ref;
+        buildRandomPair(rng, flat, ref, 400);
+        expectTreesEquivalent(flat, ref);
+    }
+}
+
+TEST(FlatTreeProperty, MergeMatchesMapReference) {
+    std::mt19937 rng(0xBEEF);
+    for (int round = 0; round < 15; ++round) {
+        ProfileTree flatMerged;
+        MapTree refMerged;
+        for (int tree = 0; tree < 4; ++tree) {
+            ProfileTree flat;
+            MapTree ref;
+            buildRandomPair(rng, flat, ref, 250);
+            flatMerged.mergeFrom(flat);
+            refMerged.mergeFrom(ref);
+        }
+        expectTreesEquivalent(flatMerged, refMerged);
+    }
+}
+
+TEST(FlatTree, SiblingChainCoversAllChildren) {
+    ProfileTree tree;
+    std::size_t a = tree.childOf(tree.root(), 1);
+    std::size_t b = tree.childOf(tree.root(), 2);
+    std::size_t c = tree.childOf(tree.root(), 3);
+    tree.childOf(a, 4);
+    std::set<std::size_t> seen;
+    for (std::uint32_t child = tree.firstChild(tree.root());
+         child != ProfileTree::kInvalidNode; child = tree.nextSibling(child)) {
+        seen.insert(child);
+    }
+    EXPECT_EQ(seen, (std::set<std::size_t>{a, b, c}));
+    EXPECT_EQ(tree.firstChild(b), ProfileTree::kInvalidNode);
+    EXPECT_EQ(tree.parentOf(c), tree.root());
+    EXPECT_EQ(tree.regionOf(a), 1u);
+}
+
+TEST(FlatTree, ManyChildrenForceIndexGrowth) {
+    // Push one parent past several rehash thresholds and make sure lookups
+    // still dedup.
+    ProfileTree tree;
+    std::vector<std::size_t> nodes;
+    for (RegionHandle r = 1; r <= 500; ++r) {
+        nodes.push_back(tree.childOf(tree.root(), r));
+    }
+    for (RegionHandle r = 1; r <= 500; ++r) {
+        EXPECT_EQ(tree.childOf(tree.root(), r), nodes[r - 1]);
+    }
+    EXPECT_EQ(tree.nodeCount(), 501u);
+}
 
 TEST(Reports, CallTreeAndFlatRender) {
     Measurement m;
