@@ -1,0 +1,121 @@
+// Micro-benchmarks of the Sampled tier's per-region measurement gates: the
+// amortized cost of an enter/exit pair under 1-in-N decimation, the cost of
+// the pure suppressed path (counter decrement, no TSC read, no profile
+// record), and the accuracy the decimated profile buys that cost with —
+// reported as a profile_error_pct counter against a Full twin measurement
+// of the same physical work. These are the numbers behind the README's
+// accuracy-vs-overhead table: Full pays the ~40 ns/pair probe everywhere,
+// Sampled pays it on 1-in-N visits and the ~10x cheaper gate on the rest.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "adapt/overhead_model.hpp"
+#include "scorepsim/measurement.hpp"
+
+namespace {
+
+using namespace capi;
+
+/// Fixed deterministic work standing in for the instrumented function body
+/// of the profile-error benches (the probes of both twins wrap one spin).
+std::uint64_t spinWork(std::uint64_t iterations) {
+    volatile std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        acc = acc + i;
+    }
+    return acc;
+}
+
+/// Amortized enter/exit pair under a 1-in-N sampling gate. everyN=1 is the
+/// ungated Full path — the per-pair baseline the gated variants must beat:
+/// per pair the gate pays the full probe on 1/N visits and only a counter
+/// decrement on the other (N-1)/N.
+void BM_SampledEnterExit(benchmark::State& state) {
+    const auto everyN = static_cast<std::uint32_t>(state.range(0));
+    scorep::Measurement measurement;
+    scorep::RegionHandle region = measurement.defineRegion("kernel");
+    measurement.setRegionSampling(region, everyN);
+    for (auto _ : state) {
+        measurement.enter(region);
+        measurement.exit(region);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SampledEnterExit)->Arg(1)->Arg(8)->Arg(64)->ArgNames({"everyN"});
+
+/// The pure suppressed path: an everyN too large to re-admit, so after the
+/// first visit every pair is two gate hits — the floor the amortized cost
+/// converges to as N grows, and the calibrateGateCostNs() quantity.
+void BM_GateSuppressedPair(benchmark::State& state) {
+    scorep::Measurement measurement;
+    scorep::RegionHandle region = measurement.defineRegion("kernel");
+    measurement.setRegionSampling(region, 1u << 30);
+    measurement.enter(region);  // Admit the first visit off the clock.
+    measurement.exit(region);
+    for (auto _ : state) {
+        measurement.enter(region);
+        measurement.exit(region);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_GateSuppressedPair);
+
+/// One controlled decimation-accuracy experiment: a Full and a 1-in-N
+/// Sampled measurement wrap the same spins (the sampled run's admitted
+/// visits are a subset of the exact population the full run timed), scored
+/// with adapt::profileErrorPercent. Visit counts extrapolate exactly; the
+/// residual is the deviation of the sample-mean exclusive time.
+double profileErrorExperiment(std::uint32_t everyN, std::uint32_t visits) {
+    scorep::Measurement full;
+    scorep::Measurement sampled;
+    scorep::RegionHandle fullRegion = full.defineRegion("kernel");
+    scorep::RegionHandle sampledRegion = sampled.defineRegion("kernel");
+    sampled.setRegionSampling(sampledRegion, everyN);
+    for (std::uint32_t i = 0; i < visits; ++i) {
+        full.enter(fullRegion);
+        sampled.enter(sampledRegion);
+        spinWork(2000);
+        sampled.exit(sampledRegion);
+        full.exit(fullRegion);
+    }
+    return adapt::profileErrorPercent(sampled, full);
+}
+
+/// Decimation accuracy at 1-in-N, reported as the profile_error_pct
+/// counter. The counter is the median of five independent experiments: a
+/// preempted spin landing among the admitted visits gets multiplied by N in
+/// the extrapolation, so single-run errors are heavy-tailed in exactly the
+/// way a median is robust to (and a systematic extrapolation bug is not).
+/// The timed loop measures the paired full+gated probe cost around one spin.
+void BM_SampledProfileError(benchmark::State& state) {
+    const auto everyN = static_cast<std::uint32_t>(state.range(0));
+    spinWork(1'000'000);  // warm up before the clocked visits
+    std::array<double, 5> errors;
+    for (double& error : errors) {
+        error = profileErrorExperiment(everyN, 512 * everyN);
+    }
+    std::sort(errors.begin(), errors.end());
+    state.counters["profile_error_pct"] = errors[errors.size() / 2];
+
+    scorep::Measurement full;
+    scorep::Measurement sampled;
+    scorep::RegionHandle fullRegion = full.defineRegion("kernel");
+    scorep::RegionHandle sampledRegion = sampled.defineRegion("kernel");
+    sampled.setRegionSampling(sampledRegion, everyN);
+    for (auto _ : state) {
+        full.enter(fullRegion);
+        sampled.enter(sampledRegion);
+        spinWork(2000);
+        sampled.exit(sampledRegion);
+        full.exit(fullRegion);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SampledProfileError)->Arg(8)->Arg(64)->ArgNames({"everyN"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -4,9 +4,11 @@
 // probe events from tiny hot helpers. Instead of hand-tuning exclusion
 // thresholds, the adapt::Controller runs measurement epochs: each epoch
 // feeds the merged profile into the overhead model, the budget planner
-// picks the exclusion set that keeps predicted probe time under 5% of
-// application runtime, and DynCaPI applies only the IC *delta* — a handful
-// of code pages instead of a full re-patch. No recompilation anywhere.
+// picks the tiered policy that keeps predicted probe time under 5% of
+// application runtime — demoting too-hot regions to the Sampled tier
+// (1-in-64 decimation with extrapolated counts) before evicting them —
+// and DynCaPI applies only the policy *delta*: a handful of code pages,
+// and zero pages for pure tier transitions. No recompilation anywhere.
 #include <cstdio>
 
 #include "adapt/controller.hpp"
@@ -32,11 +34,14 @@ int main() {
     binsim::Process process(binsim::compile(model, copts));
     dyncapi::DynCapi dyn(process);
 
-    adapt::ControllerOptions options;
-    options.budgetFraction = 0.05;
-    options.maxEpochs = 5;
-    options.model.perEventCostNs = 200.0;  // virtual ns per probe event
-    adapt::Controller controller(graph, dyn, options);
+    adapt::Config config;
+    config.budgetFraction = 0.05;
+    config.maxEpochs = 5;
+    config.perEventCostNs = 200.0;  // virtual ns per probe event
+    config.gateCostNs = 20.0;       // virtual ns per suppressed event
+    config.enableSampledTier = true;
+    config.sampledEveryN = 64;
+    adapt::Controller controller(graph, dyn, config);
 
     // Survey: instrument everything with a body.
     select::InstrumentationConfig survey = adapt::surveyOfDefinedFunctions(graph);
@@ -45,8 +50,8 @@ int main() {
                 "%llu pages\n\n",
                 graph.size(), survey.size(),
                 static_cast<unsigned long long>(init.pagesTouched));
-    std::printf("%-6s %10s %9s %8s %7s %7s %10s\n", "epoch", "overhead", "IC",
-                "removed", "added", "pages", "status");
+    std::printf("%-6s %10s %9s %8s %7s %8s %7s %10s\n", "epoch", "overhead",
+                "IC", "removed", "added", "sampled", "pages", "status");
 
     while (!controller.done()) {
         scorep::Measurement measurement;
@@ -60,17 +65,22 @@ int main() {
         adapt::EpochReport report = controller.epoch(
             measurement.mergedProfile(), measurement,
             adapt::virtualEpochRuntimeNs(stats, measurement,
-                                         options.model.perEventCostNs));
-        std::printf("%-6zu %9.2f%% %9zu %8zu %7zu %7llu %10s\n", report.epoch,
-                    report.measuredOverheadRatio * 100.0, report.icSize,
-                    report.removedFunctions, report.addedFunctions,
+                                         config.perEventCostNs,
+                                         config.gateCostNs));
+        std::printf("%-6zu %9.2f%% %9zu %8zu %7zu %8zu %7llu %10s\n",
+                    report.epoch, report.measuredOverheadRatio * 100.0,
+                    report.icSize, report.removedFunctions,
+                    report.addedFunctions, report.sampledRegions,
                     static_cast<unsigned long long>(report.patch.pagesTouched),
                     report.withinBudget ? "in budget" : "over");
     }
 
     std::printf("\nconverged: %s after %zu epochs; final IC %zu of %zu "
-                "survey functions, every adjustment a delta re-patch\n",
+                "survey functions (%zu full, %zu sampled), every adjustment "
+                "a delta re-patch\n",
                 controller.converged() ? "yes" : "no", controller.epochsRun(),
-                controller.currentIc().size(), survey.size());
+                controller.currentIc().size(), survey.size(),
+                controller.currentPolicy().countOf(select::Tier::Full),
+                controller.currentPolicy().countOf(select::Tier::Sampled));
     return controller.converged() ? 0 : 1;
 }

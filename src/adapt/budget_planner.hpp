@@ -33,6 +33,9 @@ class ThreadPool;
 
 namespace capi::adapt {
 
+/// DEPRECATED thin shim: prefer adapt::Config, which adds the sampled-tier
+/// knobs. Plans made through this struct run with the sampled tier disabled
+/// (the binary Full|Off planner, unchanged).
 struct PlannerOptions {
     /// Probe-time budget as a fraction of *application* runtime (probe cost
     /// excluded), so the realized overhead ratio stays below the fraction
@@ -48,13 +51,18 @@ struct PlannerOptions {
 };
 
 struct PlanResult {
-    select::InstrumentationConfig ic;     ///< The trimmed configuration.
+    select::InstrumentationConfig ic;     ///< The trimmed patch set (the
+                                          ///< policy's Full + Sampled regions).
+    select::InstrumentationPolicy policy; ///< The tiered plan itself.
     std::vector<std::string> excluded;    ///< Dropped candidates, sorted.
     double budgetNs = 0.0;                ///< Absolute budget this plan used.
-    double plannedProbeCostNs = 0.0;      ///< Predicted cost of `ic`.
+    double plannedProbeCostNs = 0.0;      ///< Predicted cost of `policy`.
     double retainedValueNs = 0.0;         ///< Exclusive ns kept visible.
     std::size_t groupsConsidered = 0;
-    std::size_t groupsRetained = 0;
+    std::size_t groupsRetained = 0;       ///< Full + Sampled groups.
+    std::size_t groupsSampled = 0;        ///< Groups demoted, not evicted.
+    std::size_t fullRegions = 0;
+    std::size_t sampledRegions = 0;
 };
 
 class BudgetPlanner {
@@ -73,6 +81,17 @@ public:
     /// exclude on. Candidates unknown to both graph and model cost nothing
     /// and are kept — cold paths stay covered, exactly like refineIc's
     /// unmeasured rule.
+    ///
+    /// With config.enableSampledTier the greedy sweep gains a middle rung:
+    /// a group whose Full cost overflows the remaining budget is retried at
+    /// its Sampled cost (Full/everyN plus the gate toll on the suppressed
+    /// visits) and demoted rather than evicted when that fits — SCC-group-
+    /// atomically, so a recursion group is never half-sampled. keep-listed
+    /// groups are pinned at Full.
+    PlanResult plan(const select::InstrumentationConfig& candidate,
+                    const OverheadModel& model, const Config& config) const;
+
+    /// DEPRECATED binary overload: forwards with the sampled tier disabled.
     PlanResult plan(const select::InstrumentationConfig& candidate,
                     const OverheadModel& model,
                     const PlannerOptions& options = {}) const;

@@ -1,0 +1,78 @@
+// The one configuration surface of the adaptive layer.
+//
+// ModelOptions, PlannerOptions and ControllerOptions grew overlapping knobs
+// (probe cost, budget fraction, EWMA alpha each appeared in more than one
+// struct, silently divergeable). Config consolidates every knob in one
+// struct owned by the Controller and passed down to the model and planner;
+// the old structs remain as thin deprecated shims for one release (see
+// their headers) and convert into a Config with the sampled tier disabled,
+// which reproduces the binary Full|Off behaviour bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace capi::support {
+class ThreadPool;
+}
+namespace capi::cg {
+class CallGraph;
+}
+
+namespace capi::adapt {
+
+struct Config {
+    // --- measurement model -------------------------------------------------
+    /// Calibrated wall (or virtual) cost of one probe event; see
+    /// scorep::calibrateProbeCostNs(). Frozen estimates survive recalibration
+    /// because cost is recomputed as visits x perEventCostNs at planning
+    /// time — only EWMA'd visit counts are stored, never a stale product.
+    double perEventCostNs = 120.0;
+    /// Calibrated cost of one *suppressed* event at a Sampled region — the
+    /// gate's countdown/TSC check without timestamping or CCT accounting;
+    /// see scorep::calibrateGateCostNs(). This is what a demoted region
+    /// still costs per skipped visit.
+    double gateCostNs = 10.0;
+    /// Weight of the newest epoch in the moving average (1.0 = no memory).
+    double ewmaAlpha = 0.5;
+
+    // --- budget & tiers ----------------------------------------------------
+    /// Probe-time budget as a fraction of *application* runtime (probe cost
+    /// excluded), so the realized overhead ratio stays below the fraction
+    /// even after trimming shrinks the total runtime.
+    double budgetFraction = 0.05;
+    /// Regions never excluded (and never demoted): their SCC group is
+    /// admitted at Full before the budget sweep and may alone exceed the
+    /// budget (the user's call).
+    std::vector<std::string> keep;
+    /// Enables the middle knapsack rung: a group too expensive to keep at
+    /// Full is demoted to Sampled (1-in-sampledEveryN decimation) before it
+    /// is evicted. Off reproduces the binary Full|Off planner exactly.
+    bool enableSampledTier = false;
+    /// Decimation factor for demoted regions: one visit in N is timed, the
+    /// other N-1 pay only gateCostNs each and are counted for extrapolation.
+    std::uint32_t sampledEveryN = 64;
+    /// Optional rate cap for demoted regions (0 = none): admitted samples
+    /// are additionally spaced at least this many ns apart.
+    std::uint64_t sampledMinIntervalNs = 0;
+
+    // --- controller --------------------------------------------------------
+    /// Epoch cap for run() convenience loops (the controller itself keeps
+    /// accepting epochs beyond it).
+    std::size_t maxEpochs = 10;
+    /// Selection/planning parallelism, as in PipelineOptions: 1 = serial
+    /// reference, anything else borrows the process-wide Executor pool
+    /// unless `pool` injects one.
+    std::size_t threads = 1;
+    support::ThreadPool* pool = nullptr;
+    /// When set (to the SAME graph the controller was constructed over),
+    /// every epoch folds measured per-region visit counts into
+    /// FunctionMetrics::profiledVisits through CallGraph::touchMetrics —
+    /// metric-only journal records, so re-selections patch their CSR
+    /// snapshot instead of rebuilding.
+    cg::CallGraph* foldVisitMetricsInto = nullptr;
+};
+
+}  // namespace capi::adapt

@@ -7,13 +7,17 @@
 namespace capi::adapt {
 
 Controller::Controller(const cg::CallGraph& graph, dyncapi::DynCapi& dyn,
-                       ControllerOptions options)
+                       Config config)
     : dyn_(&dyn),
-      options_(std::move(options)),
+      config_(std::move(config)),
       session_(std::make_unique<dyncapi::RefinementSession>(graph,
-                                                            options_.threads)),
-      model_(options_.model),
+                                                            config_.threads)),
+      model_(config_),
       planner_(graph) {}
+
+Controller::Controller(const cg::CallGraph& graph, dyncapi::DynCapi& dyn,
+                       ControllerOptions options)
+    : Controller(graph, dyn, options.toConfig()) {}
 
 Controller::~Controller() = default;
 
@@ -28,8 +32,11 @@ select::SelectionReport Controller::startFromSpec(const std::string& specText,
 dyncapi::InitStats Controller::start(select::InstrumentationConfig surveyIc) {
     surveyIc_ = std::move(surveyIc);
     currentIc_ = surveyIc_;
+    // The survey epoch always measures at Full: the model needs unsampled
+    // ground truth before the planner can demote anything.
+    currentPolicy_ = select::InstrumentationPolicy::fullOf(currentIc_);
     lastReport_ = EpochReport{};
-    return dyn_->applyIc(currentIc_);
+    return dyn_->applyPolicy(currentPolicy_);
 }
 
 EpochReport Controller::epoch(const scorep::ProfileTree& profile,
@@ -39,7 +46,7 @@ EpochReport Controller::epoch(const scorep::ProfileTree& profile,
     const auto regionTotals = profile.regionTotals();
     model_.observeEpoch(regionTotals, measurement, runtimeNs, &currentIc_);
 
-    if (options_.foldVisitMetricsInto != nullptr) {
+    if (config_.foldVisitMetricsInto != nullptr) {
         // Route the epoch's observed visit counts into the graph as
         // metric-only journal touches: only the regions whose count actually
         // changed are dirtied, so a following re-selection patches its CSR
@@ -50,7 +57,7 @@ EpochReport Controller::epoch(const scorep::ProfileTree& profile,
         for (const auto& [region, totals] : regionTotals) {
             visitsByName[measurement.region(region).name] += totals.visits;
         }
-        cg::CallGraph& graph = *options_.foldVisitMetricsInto;
+        cg::CallGraph& graph = *config_.foldVisitMetricsInto;
         for (const auto& [name, totalVisits] : visitsByName) {
             cg::FunctionId id = graph.lookup(name);
             if (id == cg::kInvalidFunction || !graph.alive(id)) {
@@ -71,25 +78,28 @@ EpochReport Controller::epoch(const scorep::ProfileTree& profile,
     report.runtimeNs = runtimeNs;
     report.measuredProbeCostNs = model_.lastEpochProbeCostNs();
     report.measuredOverheadRatio = model_.lastEpochOverheadRatio();
-    report.withinBudget = report.measuredOverheadRatio <= options_.budgetFraction;
+    report.withinBudget = report.measuredOverheadRatio <= config_.budgetFraction;
 
     // Re-plan over the survey candidates, not the shrunken current IC:
     // the model's frozen estimates let the planner re-admit regions whose
-    // smoothed cost no longer blocks the budget.
-    PlannerOptions plannerOptions;
-    plannerOptions.budgetFraction = options_.budgetFraction;
-    plannerOptions.keep = options_.keep;
-    plannerOptions.threads = options_.threads;
-    PlanResult plan = planner_.plan(surveyIc_, model_, plannerOptions);
+    // smoothed cost no longer blocks the budget (and re-promote regions it
+    // demoted to Sampled).
+    PlanResult plan = planner_.plan(surveyIc_, model_, config_);
     report.budgetNs = plan.budgetNs;
     report.plannedProbeCostNs = plan.plannedProbeCostNs;
     report.icSize = plan.ic.size();
+    report.fullRegions = plan.fullRegions;
+    report.sampledRegions = plan.sampledRegions;
 
-    select::IcDelta delta = select::icDiff(currentIc_, plan.ic);
+    select::PolicyDelta delta = select::policyDiff(currentPolicy_, plan.policy);
     report.addedFunctions = delta.added.size();
     report.removedFunctions = delta.removed.size();
-    report.patch = dyn_->applyIcDelta(plan.ic);
+    report.promotedFunctions = delta.promoted.size();
+    report.demotedFunctions = delta.demoted.size();
+    report.patch = dyn_->applyPolicyDelta(plan.policy);
+    currentPolicy_ = std::move(plan.policy);
     currentIc_ = std::move(plan.ic);
+    report.policyFingerprint = currentPolicy_.fingerprint();
 
     lastReport_ = report;
     return report;
@@ -103,9 +113,13 @@ EpochReport Controller::epochAllRanks(mpi::MpiWorld& world, int rank,
     struct Slot {
         const scorep::ProfileTree* local;
         double runtimeNs;
+        std::uint64_t policyFingerprint;
         EpochReport report;
     };
-    Slot slot{&localProfile, runtimeNs, {}};
+    // Each rank deposits the fingerprint of the tiered policy it believes is
+    // live, so the reducing rank can detect pre-epoch divergence across the
+    // world (a rank that missed a repatch, say) and surface it in the report.
+    Slot slot{&localProfile, runtimeNs, currentPolicy_.fingerprint(), {}};
     // The last-arriving rank reduces every deposited tree, runs the epoch
     // once and broadcasts the report back through the slots — one plan, one
     // delta repatch, one IC for the whole world. Runtimes are SUMMED across
@@ -117,12 +131,20 @@ EpochReport Controller::epochAllRanks(mpi::MpiWorld& world, int rank,
         rank, virtualNow, &slot, [&](const std::vector<void*>& all) {
             scorep::ProfileTree merged;
             double worldRuntimeNs = 0.0;
+            const std::uint64_t reducerFingerprint =
+                currentPolicy_.fingerprint();
+            std::size_t divergent = 0;
             for (void* entry : all) {
                 auto* other = static_cast<Slot*>(entry);
                 merged.mergeFrom(*other->local);
                 worldRuntimeNs += other->runtimeNs;
+                if (other->policyFingerprint != reducerFingerprint) {
+                    ++divergent;
+                }
             }
             EpochReport report = epoch(merged, measurement, worldRuntimeNs);
+            report.divergentRanks = divergent;
+            lastReport_.divergentRanks = divergent;
             for (void* entry : all) {
                 static_cast<Slot*>(entry)->report = report;
             }
@@ -145,8 +167,19 @@ select::InstrumentationConfig surveyOfDefinedFunctions(
 double virtualEpochRuntimeNs(const binsim::RunStats& stats,
                              const scorep::Measurement& measurement,
                              double perEventCostNs) {
-    return stats.virtualNs +
-           static_cast<double>(measurement.probeEvents()) * perEventCostNs;
+    return virtualEpochRuntimeNs(stats, measurement, perEventCostNs,
+                                 perEventCostNs);
+}
+
+double virtualEpochRuntimeNs(const binsim::RunStats& stats,
+                             const scorep::Measurement& measurement,
+                             double perEventCostNs, double gateCostNs) {
+    const double suppressed =
+        static_cast<double>(measurement.suppressedEvents());
+    const double recorded =
+        static_cast<double>(measurement.probeEvents()) - suppressed;
+    return stats.virtualNs + recorded * perEventCostNs +
+           suppressed * gateCostNs;
 }
 
 }  // namespace capi::adapt

@@ -31,6 +31,11 @@
 
 namespace capi::adapt {
 
+/// DEPRECATED thin shim: prefer adapt::Config, which merges these knobs
+/// with the model's and planner's (they had grown overlapping copies of
+/// probe cost and budget fraction) and adds the sampled-tier controls.
+/// Controllers built from this struct run with the sampled tier disabled —
+/// the binary Full|Off loop, unchanged.
 struct ControllerOptions {
     /// Probe-time budget as a fraction of application runtime.
     double budgetFraction = 0.05;
@@ -50,6 +55,20 @@ struct ControllerOptions {
     /// metrics while structural stages stay cache-warm and the CsrView is
     /// patched, not rebuilt.
     cg::CallGraph* foldVisitMetricsInto = nullptr;
+
+    /// The consolidated equivalent (sampled tier disabled).
+    Config toConfig() const {
+        Config config;
+        config.perEventCostNs = model.perEventCostNs;
+        config.ewmaAlpha = model.ewmaAlpha;
+        config.budgetFraction = budgetFraction;
+        config.keep = keep;
+        config.enableSampledTier = false;
+        config.maxEpochs = maxEpochs;
+        config.threads = threads;
+        config.foldVisitMetricsInto = foldVisitMetricsInto;
+        return config;
+    }
 };
 
 /// What one epoch measured and what the controller did about it.
@@ -65,6 +84,16 @@ struct EpochReport {
     std::size_t addedFunctions = 0;       ///< Re-admitted vs previous IC.
     std::size_t removedFunctions = 0;     ///< Excluded vs previous IC.
     dyncapi::DeltaStats patch;            ///< The delta repatch that applied it.
+    // --- tiered policy (zero on the binary Full|Off path) ------------------
+    std::size_t fullRegions = 0;          ///< Regions at Full in the new policy.
+    std::size_t sampledRegions = 0;       ///< Regions demoted to Sampled.
+    std::size_t promotedFunctions = 0;    ///< Sampled -> Full this epoch.
+    std::size_t demotedFunctions = 0;     ///< Full -> Sampled this epoch.
+    std::uint64_t policyFingerprint = 0;  ///< Fingerprint of the new policy.
+    /// epochAllRanks only: ranks whose pre-epoch policy fingerprint differed
+    /// from the reducing rank's — nonzero means the world had diverged going
+    /// into this epoch (it leaves converged on one policy either way).
+    std::size_t divergentRanks = 0;
 };
 
 class Controller {
@@ -72,6 +101,10 @@ public:
     /// `graph` and `dyn` must outlive the controller. Owns a
     /// dyncapi::RefinementSession so spec-driven survey selection shares
     /// stage results across epochs and borrows the process-wide pool.
+    Controller(const cg::CallGraph& graph, dyncapi::DynCapi& dyn,
+               Config config);
+    /// DEPRECATED shim constructor: converts to Config with the sampled
+    /// tier disabled (identical to the pre-tier controller).
     Controller(const cg::CallGraph& graph, dyncapi::DynCapi& dyn,
                ControllerOptions options = {});
     ~Controller();
@@ -114,24 +147,30 @@ public:
     bool converged() const { return lastReport_.epoch > 0 && lastReport_.withinBudget; }
     /// Converged, or the maxEpochs cap is exhausted.
     bool done() const {
-        return converged() || lastReport_.epoch >= options_.maxEpochs;
+        return converged() || lastReport_.epoch >= config_.maxEpochs;
     }
 
     std::size_t epochsRun() const { return lastReport_.epoch; }
     const EpochReport& lastReport() const { return lastReport_; }
     const select::InstrumentationConfig& currentIc() const { return currentIc_; }
+    /// The tiered policy currently applied (currentIc() is its patch set).
+    const select::InstrumentationPolicy& currentPolicy() const {
+        return currentPolicy_;
+    }
     const select::InstrumentationConfig& surveyIc() const { return surveyIc_; }
     const OverheadModel& model() const { return model_; }
+    const Config& config() const { return config_; }
     dyncapi::RefinementSession& session() { return *session_; }
 
 private:
     dyncapi::DynCapi* dyn_;
-    ControllerOptions options_;
+    Config config_;
     std::unique_ptr<dyncapi::RefinementSession> session_;
     OverheadModel model_;
     BudgetPlanner planner_;
     select::InstrumentationConfig surveyIc_;
     select::InstrumentationConfig currentIc_;
+    select::InstrumentationPolicy currentPolicy_;
     EpochReport lastReport_;
 };
 
@@ -142,8 +181,18 @@ select::InstrumentationConfig surveyOfDefinedFunctions(const cg::CallGraph& grap
 /// Epoch runtime for virtual-clock embedders: the engine's virtual time
 /// excludes probe cost, so add the modelled cost back to get the total a
 /// wall clock would have seen (wall-clock embedders pass elapsed time).
+/// This overload charges every probe event at the full rate — correct for
+/// binary (Full/Off) instrumentation, pessimistic under sampling gates.
 double virtualEpochRuntimeNs(const binsim::RunStats& stats,
                              const scorep::Measurement& measurement,
                              double perEventCostNs);
+
+/// Gate-aware variant for tiered policies: events whose visit the sampling
+/// gate suppressed cost a counter decrement, not a full probe, so they are
+/// charged at gateCostNs. Without this split the virtual clock would hide
+/// exactly the savings the Sampled tier exists to buy.
+double virtualEpochRuntimeNs(const binsim::RunStats& stats,
+                             const scorep::Measurement& measurement,
+                             double perEventCostNs, double gateCostNs);
 
 }  // namespace capi::adapt

@@ -1,5 +1,7 @@
 #include "adapt/overhead_model.hpp"
 
+#include <cmath>
+
 namespace capi::adapt {
 
 namespace {
@@ -27,6 +29,7 @@ void OverheadModel::observeEpoch(
     struct Observed {
         double visits = 0.0;
         double exclusiveNs = 0.0;
+        double suppressed = 0.0;  ///< Gate-suppressed visits (Sampled tier).
     };
     std::unordered_map<std::string, Observed> observed;
     for (const auto& [region, totals] : regionTotals) {
@@ -35,14 +38,53 @@ void OverheadModel::observeEpoch(
         entry.exclusiveNs += static_cast<double>(totals.exclusiveNs);
     }
 
+    // Sampled regions report their skipped visits through the gate's
+    // per-thread suppression counters — cumulative, so fold the per-epoch
+    // delta. A fresh Measurement restarts the baselines: its cumulative
+    // counters are the epoch's delta, and a deterministic workload can make
+    // them numerically identical to last epoch's, so the values alone
+    // cannot signal the restart. A region whose samples were all suppressed
+    // still lands in `observed` with zero recorded visits.
+    if (measurement.instanceId() != lastMeasurementId_) {
+        lastSuppressed_.clear();
+        lastMeasurementId_ = measurement.instanceId();
+    }
+    for (const auto& [region, count] : measurement.suppressedVisits()) {
+        if (count == 0) {
+            continue;
+        }
+        const std::string& name = measurement.region(region).name;
+        std::uint64_t& last = lastSuppressed_[name];
+        std::uint64_t delta = count >= last ? count - last : count;
+        last = count;
+        if (delta > 0) {
+            observed[name].suppressed += static_cast<double>(delta);
+        }
+    }
+
     double epochCostNs = 0.0;
     for (const auto& [name, obs] : observed) {
-        epochCostNs += obs.visits * 2.0 * options_.perEventCostNs;
+        // Recorded events pay the full probe; suppressed ones only the gate.
+        epochCostNs += obs.visits * 2.0 * options_.perEventCostNs +
+                       obs.suppressed * 2.0 * gateCostNs_;
+        // Extrapolate to what a Full epoch would have measured: the visit
+        // count is exact (every suppression was counted); the exclusive time
+        // scales the recorded sample by the decimation factor. An epoch with
+        // suppressions but no recorded sample carries no time information —
+        // visits update, exclusiveNs stays frozen at the last estimate.
+        const double trueVisits = obs.visits + obs.suppressed;
+        const double factor = obs.visits > 0.0 ? trueVisits / obs.visits : 1.0;
         RegionEstimate& estimate = estimates_[name];
         bool first = estimate.epochsObserved == 0;
-        estimate.visits = ewma(estimate.visits, obs.visits, options_.ewmaAlpha, first);
-        estimate.exclusiveNs =
-            ewma(estimate.exclusiveNs, obs.exclusiveNs, options_.ewmaAlpha, first);
+        estimate.visits =
+            ewma(estimate.visits, trueVisits, options_.ewmaAlpha, first);
+        if (obs.visits > 0.0 || obs.suppressed == 0.0) {
+            estimate.exclusiveNs = ewma(estimate.exclusiveNs,
+                                        obs.exclusiveNs * factor,
+                                        options_.ewmaAlpha, first);
+        }
+        estimate.samplingFactor =
+            ewma(estimate.samplingFactor, factor, options_.ewmaAlpha, first);
         ++estimate.epochsObserved;
     }
 
@@ -61,6 +103,9 @@ void OverheadModel::observeEpoch(
             estimate.visits = ewma(estimate.visits, 0.0, options_.ewmaAlpha, false);
             estimate.exclusiveNs =
                 ewma(estimate.exclusiveNs, 0.0, options_.ewmaAlpha, false);
+            // A region that did not run carries no extrapolation noise.
+            estimate.samplingFactor =
+                ewma(estimate.samplingFactor, 1.0, options_.ewmaAlpha, false);
             ++estimate.epochsObserved;
         }
     }
@@ -76,6 +121,55 @@ void OverheadModel::observeEpoch(
 const RegionEstimate* OverheadModel::estimate(const std::string& name) const {
     auto it = estimates_.find(name);
     return it == estimates_.end() ? nullptr : &it->second;
+}
+
+double profileErrorPercent(const scorep::Measurement& estimated,
+                           const scorep::Measurement& truth) {
+    struct Totals {
+        double visits = 0.0;
+        double exclusiveNs = 0.0;
+        double suppressed = 0.0;
+    };
+    auto foldByName = [](const scorep::Measurement& m) {
+        std::unordered_map<std::string, Totals> byName;
+        for (const auto& [region, totals] : m.mergedProfile().regionTotals()) {
+            Totals& entry = byName[m.region(region).name];
+            entry.visits += static_cast<double>(totals.visits);
+            entry.exclusiveNs += static_cast<double>(totals.exclusiveNs);
+        }
+        for (const auto& [region, count] : m.suppressedVisits()) {
+            byName[m.region(region).name].suppressed +=
+                static_cast<double>(count);
+        }
+        return byName;
+    };
+
+    const auto est = foldByName(estimated);
+    const auto ref = foldByName(truth);
+    double errorSum = 0.0;
+    std::size_t regions = 0;
+    for (const auto& [name, truthTotals] : ref) {
+        const double trueVisits = truthTotals.visits + truthTotals.suppressed;
+        if (trueVisits <= 0.0) {
+            continue;
+        }
+        Totals estTotals;
+        if (auto it = est.find(name); it != est.end()) {
+            estTotals = it->second;
+        }
+        const double estVisits = estTotals.visits + estTotals.suppressed;
+        const double factor =
+            estTotals.visits > 0.0 ? estVisits / estTotals.visits : 0.0;
+        const double estExclusive = estTotals.exclusiveNs * factor;
+        double error = std::abs(estVisits - trueVisits) / trueVisits;
+        if (truthTotals.exclusiveNs > 0.0) {
+            error = 0.5 * (error + std::abs(estExclusive - truthTotals.exclusiveNs) /
+                                       truthTotals.exclusiveNs);
+        }
+        errorSum += error;
+        ++regions;
+    }
+    return regions == 0 ? 0.0 : 100.0 * errorSum / static_cast<double>(regions);
 }
 
 }  // namespace capi::adapt

@@ -20,12 +20,16 @@
 #include <string>
 #include <unordered_map>
 
+#include "adapt/config.hpp"
 #include "scorepsim/measurement.hpp"
 #include "scorepsim/profile.hpp"
 #include "select/ic.hpp"
 
 namespace capi::adapt {
 
+/// DEPRECATED thin shim: prefer adapt::Config, which carries these knobs
+/// (and the gate cost the tiered model needs). Kept for one release so the
+/// binary Full|Off call sites keep compiling unchanged.
 struct ModelOptions {
     /// Calibrated wall (or virtual) cost of one probe event; see
     /// scorep::calibrateProbeCostNs(). Re-run the calibration whenever the
@@ -40,14 +44,30 @@ struct ModelOptions {
 
 /// Smoothed per-epoch behaviour of one region.
 struct RegionEstimate {
-    double visits = 0.0;        ///< Visits per epoch (EWMA).
-    double exclusiveNs = 0.0;   ///< Exclusive time per epoch (EWMA).
+    double visits = 0.0;        ///< *True* visits per epoch (EWMA): recorded
+                                ///< plus gate-suppressed, so a Sampled epoch
+                                ///< estimates the same count a Full epoch
+                                ///< would have measured.
+    double exclusiveNs = 0.0;   ///< Exclusive time per epoch (EWMA). At a
+                                ///< Sampled region this is the recorded time
+                                ///< extrapolated by trueVisits/recorded.
     std::size_t epochsObserved = 0;
+    /// EWMA of trueVisits / recordedVisits for the region: 1.0 while fully
+    /// measured, everyN-ish while decimated, decaying back toward 1.0 over
+    /// Full epochs. A high factor flags estimates carrying extrapolation
+    /// noise; an epoch whose samples were ALL suppressed (no time recorded)
+    /// updates visits exactly but leaves exclusiveNs frozen.
+    double samplingFactor = 1.0;
 };
 
 class OverheadModel {
 public:
     explicit OverheadModel(ModelOptions options = {}) : options_(options) {}
+    /// Config-driven construction: takes perEventCostNs/ewmaAlpha plus the
+    /// gate cost the tiered accounting charges per suppressed event.
+    explicit OverheadModel(const Config& config)
+        : options_{config.perEventCostNs, config.ewmaAlpha},
+          gateCostNs_(config.gateCostNs) {}
 
     /// Folds one epoch's merged profile into the estimates. `activeIc`
     /// names the regions that were instrumented during the epoch (see the
@@ -68,6 +88,7 @@ public:
 
     std::size_t epochCount() const { return epochs_; }
     const ModelOptions& options() const { return options_; }
+    double gateCostNs() const { return gateCostNs_; }
 
     const RegionEstimate* estimate(const std::string& name) const;
     const std::unordered_map<std::string, RegionEstimate>& estimates() const {
@@ -101,12 +122,31 @@ public:
 
 private:
     ModelOptions options_;
+    double gateCostNs_ = 10.0;
     std::unordered_map<std::string, RegionEstimate> estimates_;
+    /// Cumulative per-name suppressed-visit counters at the last observed
+    /// epoch, so each epoch folds only its own delta. Keyed to a Measurement
+    /// instance: when observeEpoch sees a different instanceId() the
+    /// baselines reset, because a fresh Measurement's cumulative counters
+    /// ARE the epoch's delta — even when a deterministic workload makes
+    /// them numerically identical to the previous epoch's.
+    std::unordered_map<std::string, std::uint64_t> lastSuppressed_;
+    std::uint64_t lastMeasurementId_ = 0;
     std::size_t epochs_ = 0;
     double runtimeNs_ = 0.0;
     double incurredCostNs_ = 0.0;
     double lastEpochCostNs_ = 0.0;
     double lastEpochRuntimeNs_ = 0.0;
 };
+
+/// Estimated-vs-true profile error, in percent: for every region the `truth`
+/// measurement recorded, compare the `estimated` measurement's extrapolated
+/// totals (recorded + suppressed visits; exclusive time scaled by
+/// trueVisits/recordedVisits) against the fully measured ones, and average
+/// the per-region relative errors of visit count and exclusive time. This is
+/// the accuracy a Sampled tier trades for its overhead reduction; both
+/// measurements must be quiescent. Returns 0 when `truth` saw nothing.
+double profileErrorPercent(const scorep::Measurement& estimated,
+                           const scorep::Measurement& truth);
 
 }  // namespace capi::adapt

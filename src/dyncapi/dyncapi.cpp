@@ -198,30 +198,48 @@ std::uint64_t DynCapi::addressOf(xray::PackedId id) const {
     return addressByObject_[objectId][fid];
 }
 
-InitStats DynCapi::applyIc(const select::InstrumentationConfig& ic) {
+InitStats DynCapi::applyPolicy(const select::InstrumentationPolicy& policy) {
     InitStats stats;
     stats.symbolResolutionSeconds = resolutionSeconds_;
     stats.objectsScanned = objectsScanned_;
     stats.sleddedFunctions = sledded_;
     stats.unresolvableFunctions = unresolvable_;
-    stats.requestedFunctions = ic.functions.size();
+    stats.requestedFunctions = policy.functions.size();
 
     support::Timer timer;
     xray::XRayRuntime& xr = process_->xray();
     const std::uint64_t pagesBefore = process_->memory().pagesMadeWritable();
     xr.unpatchAll();
-    for (const std::string& name : ic.functions) {
-        std::optional<xray::PackedId> pid = resolveIcEntry(ic, name);
+    // Reference path: per-function patching, exactly the unpatch-everything-
+    // then-patch discipline applyIc always had. Sampled tags ride behind in
+    // one zero-page retier pass.
+    std::vector<xray::XRayRuntime::TieredFlip> retier;
+    for (std::size_t i = 0; i < policy.functions.size(); ++i) {
+        const std::string& name = policy.functions[i];
+        std::optional<xray::PackedId> pid = resolvePolicyEntry(policy, name);
         if (pid.has_value() && xr.patchFunction(*pid)) {
             ++stats.patchedFunctions;
+            if (policy.regions[i].tier == select::Tier::Sampled) {
+                ++stats.sampledFunctions;
+                retier.push_back({*pid, xray::XRayRuntime::kSampledTier});
+            }
         } else {
             ++stats.requestedUnavailable;
         }
     }
+    if (!retier.empty()) {
+        xr.patchDeltaTiered({}, {}, retier);
+    }
     stats.pagesTouched = process_->memory().pagesMadeWritable() - pagesBefore;
     stats.patchSeconds = timer.elapsedSec();
     stats.totalSeconds = stats.symbolResolutionSeconds + stats.patchSeconds;
+    currentPolicy_ = policy;
+    syncGates(currentPolicy_);
     return stats;
+}
+
+InitStats DynCapi::applyIc(const select::InstrumentationConfig& ic) {
+    return applyPolicy(select::InstrumentationPolicy::fullOf(ic));
 }
 
 std::optional<xray::PackedId> DynCapi::resolveIcEntry(
@@ -233,51 +251,108 @@ std::optional<xray::PackedId> DynCapi::resolveIcEntry(
     return resolveName(name);
 }
 
-DeltaStats DynCapi::applyIcDelta(const select::InstrumentationConfig& ic) {
+std::optional<xray::PackedId> DynCapi::resolvePolicyEntry(
+    const select::InstrumentationPolicy& policy, const std::string& name) const {
+    auto staticIt = policy.staticIds.find(name);
+    if (staticIt != policy.staticIds.end()) {
+        return staticIt->second;
+    }
+    return resolveName(name);
+}
+
+DeltaStats DynCapi::applyPolicyDelta(const select::InstrumentationPolicy& policy) {
     DeltaStats stats;
-    stats.requestedFunctions = ic.functions.size();
+    stats.requestedFunctions = policy.functions.size();
 
     support::Timer timer;
     xray::XRayRuntime& xr = process_->xray();
 
-    // Requested set, resolved to live packed ids. An entry that resolves but
-    // has no live sled (its object was dlclosed) counts as unavailable here,
-    // matching applyIc's failed patchFunction.
-    std::unordered_set<xray::PackedId> target;
-    target.reserve(ic.functions.size());
-    for (const std::string& name : ic.functions) {
-        std::optional<xray::PackedId> pid = resolveIcEntry(ic, name);
+    // Requested (function, tier) set, resolved to live packed ids. An entry
+    // that resolves but has no live sled (its object was dlclosed) counts as
+    // unavailable here, matching applyPolicy's failed patchFunction.
+    std::unordered_map<xray::PackedId, std::uint8_t> target;
+    target.reserve(policy.functions.size());
+    for (std::size_t i = 0; i < policy.functions.size(); ++i) {
+        std::optional<xray::PackedId> pid =
+            resolvePolicyEntry(policy, policy.functions[i]);
         if (pid.has_value() && xr.functionAddress(*pid) != 0) {
-            target.insert(*pid);
+            target[*pid] = policy.regions[i].tier == select::Tier::Sampled
+                               ? xray::XRayRuntime::kSampledTier
+                               : xray::XRayRuntime::kFullTier;
         } else {
             ++stats.requestedUnavailable;
         }
     }
 
-    // The currently-patched set is read from the sleds themselves, so state
-    // the previous IC never saw — a re-registered DSO whose sleds reset to
-    // NOP, or sleds another caller flipped — diffs correctly.
+    // The currently-patched set and its tiers are read from the runtime
+    // itself, so state the previous policy never saw — a re-registered DSO
+    // whose sleds reset to NOP, or sleds another caller flipped — diffs
+    // correctly. Same-set tier changes become zero-page retier requests.
     std::vector<xray::PackedId> toUnpatch;
-    for (xray::PackedId pid : xr.patchedFunctions()) {
-        if (target.erase(pid) != 0) {
-            ++stats.functionsUnchanged;
-        } else {
+    std::vector<xray::XRayRuntime::TieredFlip> toRetier;
+    for (const auto& [pid, liveTag] : xr.patchedFunctionTiers()) {
+        auto it = target.find(pid);
+        if (it == target.end()) {
             toUnpatch.push_back(pid);
+            continue;
         }
+        if (it->second != liveTag) {
+            toRetier.push_back({pid, it->second});
+            if (it->second == xray::XRayRuntime::kFullTier) {
+                ++stats.functionsPromoted;
+            } else {
+                ++stats.functionsDemoted;
+            }
+        } else {
+            ++stats.functionsUnchanged;
+        }
+        target.erase(it);
     }
-    std::vector<xray::PackedId> toPatch(target.begin(), target.end());
+    std::vector<xray::XRayRuntime::TieredFlip> toPatch;
+    toPatch.reserve(target.size());
+    for (const auto& [pid, tag] : target) {
+        toPatch.push_back({pid, tag});
+    }
 
-    xray::XRayRuntime::DeltaPatchStats patch = xr.patchDelta(toPatch, toUnpatch);
+    xray::XRayRuntime::DeltaPatchStats patch =
+        xr.patchDeltaTiered(toPatch, toUnpatch, toRetier);
     // Per-list unavailability: a toPatch entry that went stale between the
     // pre-check above and patchDelta (dlclose raced us) is a failed request,
-    // like applyIc's failed patchFunction; a stale toUnpatch entry is simply
-    // already effectively unpatched and not an IC request at all.
+    // like applyPolicy's failed patchFunction; a stale toUnpatch entry is
+    // simply already effectively unpatched and not a policy request at all.
     stats.functionsPatched = toPatch.size() - patch.unavailablePatch;
     stats.functionsUnpatched = toUnpatch.size() - patch.unavailableUnpatch;
     stats.requestedUnavailable += patch.unavailablePatch;
     stats.pagesTouched = patch.pagesMadeWritable;
     stats.patchSeconds = timer.elapsedSec();
+    currentPolicy_ = policy;
+    syncGates(currentPolicy_);
     return stats;
+}
+
+DeltaStats DynCapi::applyIcDelta(const select::InstrumentationConfig& ic) {
+    return applyPolicyDelta(select::InstrumentationPolicy::fullOf(ic));
+}
+
+void DynCapi::syncGates(const select::InstrumentationPolicy& policy) {
+    if (cygBackend_ == nullptr || cygBackend_->adapter == nullptr) {
+        return;
+    }
+    scorep::Measurement& measurement = cygBackend_->adapter->measurement();
+    measurement.clearAllSampling();
+    for (std::size_t i = 0; i < policy.functions.size(); ++i) {
+        const select::RegionPolicy& region = policy.regions[i];
+        if (region.tier != select::Tier::Sampled) {
+            continue;
+        }
+        // Defining by name yields the same handle the adapter's resolver
+        // produces for events of this function, so the gate and the events
+        // meet at one region.
+        scorep::RegionHandle handle =
+            measurement.defineRegion(policy.functions[i]);
+        measurement.setRegionSampling(handle, region.sampling.everyN,
+                                      region.sampling.minIntervalNs);
+    }
 }
 
 InitStats DynCapi::patchAll() {
@@ -304,6 +379,10 @@ void DynCapi::attachCygHandler(scorep::CygProfileAdapter& adapter) {
     cygBackend_->owner = this;
     cygBackend_->adapter = &adapter;
     process_->xray().setHandler(&CygBackend::handle, cygBackend_.get());
+    // A freshly attached measurement starts with empty gates; re-sync them
+    // from the live policy so Sampled regions stay sampled across per-epoch
+    // Measurement swaps.
+    syncGates(currentPolicy_);
 }
 
 void DynCapi::attachTalpHandler(talp::TalpRuntime& talp) {

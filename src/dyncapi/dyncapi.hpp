@@ -49,9 +49,10 @@ struct InitStats {
     std::size_t requestedUnavailable = 0;    ///< In IC but no patchable sled
                                              ///< (inlined away or filtered).
     std::uint64_t pagesTouched = 0;          ///< Code pages made writable.
+    std::size_t sampledFunctions = 0;        ///< Patched at the Sampled tier.
 };
 
-/// Result of an incremental IC swap (applyIcDelta).
+/// Result of an incremental IC/policy swap (applyIcDelta/applyPolicyDelta).
 struct DeltaStats {
     double patchSeconds = 0.0;
     std::size_t requestedFunctions = 0;   ///< IC entries.
@@ -60,6 +61,8 @@ struct DeltaStats {
     std::size_t functionsUnpatched = 0;   ///< Dropped from the IC.
     std::size_t functionsUnchanged = 0;   ///< Already in the requested state.
     std::uint64_t pagesTouched = 0;       ///< Code pages made writable.
+    std::size_t functionsPromoted = 0;    ///< Sampled -> Full, sleds untouched.
+    std::size_t functionsDemoted = 0;     ///< Full -> Sampled, sleds untouched.
 };
 
 class DynCapi {
@@ -73,20 +76,37 @@ public:
     DynCapi& operator=(const DynCapi&) = delete;
 
     // --- patching ---------------------------------------------------------
-    /// Applies an IC: unpatches everything, then patches the selected
-    /// functions. Safe to call repeatedly at quiescent points (the
-    /// runtime-adaptable workflow). Uses staticIds entries when present,
-    /// names otherwise.
+    /// THE configuration entry point: applies a tiered policy by unpatching
+    /// everything, patching every Full and Sampled region (the tier rides
+    /// the patch request), and syncing the sampling gates of the attached
+    /// measurement backend. Safe to call repeatedly at quiescent points
+    /// (the runtime-adaptable workflow). Uses staticIds entries when
+    /// present, names otherwise.
+    InitStats applyPolicy(const select::InstrumentationPolicy& policy);
+
+    /// Applies a policy incrementally: diffs the requested (function, tier)
+    /// set against the runtime's *actual* sled + tier state and flips only
+    /// the difference, leaving the process in exactly the state
+    /// applyPolicy(policy) would. Tier-only transitions (Full <-> Sampled)
+    /// update the runtime tag and the measurement gate without touching any
+    /// code page. Sound across dlopen/dlclose because the current set is
+    /// read from the sleds, not from a cached previous policy. This is what
+    /// makes the adaptive controller's epoch loop cheap (see src/adapt/).
+    DeltaStats applyPolicyDelta(const select::InstrumentationPolicy& policy);
+
+    /// Binary-set overload: the Full|Off degenerate case, forwarded through
+    /// applyPolicy.
     InitStats applyIc(const select::InstrumentationConfig& ic);
 
-    /// Applies an IC incrementally: diffs the requested set against the
-    /// runtime's *actual* sled state and flips only the difference, leaving
-    /// the process in exactly the state applyIc(ic) would — but touching
-    /// only the code pages of changed functions instead of every sled page
-    /// twice. Sound across dlopen/dlclose because the current set is read
-    /// from the sleds, not from a cached previous IC. This is what makes
-    /// the adaptive controller's epoch loop cheap (see src/adapt/).
+    /// Binary-set overload of applyPolicyDelta.
     DeltaStats applyIcDelta(const select::InstrumentationConfig& ic);
+
+    /// The policy most recently applied (gate specs are re-synced from it
+    /// when a measurement backend attaches). Patch state itself is always
+    /// read back from the sleds, never from this cache.
+    const select::InstrumentationPolicy& currentPolicy() const {
+        return currentPolicy_;
+    }
 
     /// Patches every sled (the `xray full` configuration).
     InitStats patchAll();
@@ -128,6 +148,12 @@ private:
     void resolveAllObjects();
     std::optional<xray::PackedId> resolveIcEntry(
         const select::InstrumentationConfig& ic, const std::string& name) const;
+    std::optional<xray::PackedId> resolvePolicyEntry(
+        const select::InstrumentationPolicy& policy, const std::string& name) const;
+    /// Rewrites the attached measurement's sampling gates to match
+    /// `policy` (no-op without a cyg/Score-P backend; TALP regions carry no
+    /// gate, their Sampled tier measures like Full).
+    void syncGates(const select::InstrumentationPolicy& policy);
 
     binsim::Process* process_;
     /// addressByObject_[objectId][localFid] = runtime entry address (0 = none).
@@ -142,6 +168,8 @@ private:
 
     std::unique_ptr<CygBackend> cygBackend_;
     std::unique_ptr<TalpBackend> talpBackend_;
+
+    select::InstrumentationPolicy currentPolicy_;
 };
 
 }  // namespace capi::dyncapi

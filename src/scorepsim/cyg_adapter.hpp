@@ -47,6 +47,9 @@ public:
         return droppedEvents_.load(std::memory_order_relaxed);
     }
     const SymbolResolver& resolver() const { return resolver_; }
+    /// The measurement events are forwarded into. DynCapi uses this to keep
+    /// the per-region sampling gates of the active tiered policy in sync.
+    Measurement& measurement() { return *measurement_; }
 
 private:
     struct Slot {

@@ -16,12 +16,22 @@ using StateCache = support::ThreadLocalCache<Measurement>;
 Measurement::Measurement(MeasurementOptions options)
     : options_(std::move(options)),
       generation_(support::nextGenerationStamp()),
-      chunks_(std::make_unique<std::unique_ptr<RegionDef[]>[]>(kMaxRegionChunks)) {}
+      chunks_(std::make_unique<std::unique_ptr<RegionDef[]>[]>(kMaxRegionChunks)),
+      samplingChunks_(
+          std::make_unique<std::atomic<std::atomic<std::uint64_t>*>[]>(
+              kMaxRegionChunks)) {
+    for (std::size_t i = 0; i < kMaxRegionChunks; ++i) {
+        samplingChunks_[i].store(nullptr, std::memory_order_relaxed);
+    }
+}
 
 Measurement::~Measurement() {
     // Courtesy: drop the destroying thread's cache entry. Entries on other
     // threads go stale but are generation-checked, never dereferenced.
     StateCache::invalidate(this);
+    for (std::size_t i = 0; i < kMaxRegionChunks; ++i) {
+        delete[] samplingChunks_[i].load(std::memory_order_relaxed);
+    }
 }
 
 RegionHandle Measurement::defineRegion(const std::string& name) {
@@ -116,6 +126,102 @@ std::uint64_t Measurement::filteredEvents() const {
     return total;
 }
 
+std::uint64_t Measurement::suppressedEvents() const {
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    std::uint64_t total = 0;
+    for (const auto& thread : threads_) {
+        total += thread->suppressedEvents.load(std::memory_order_acquire);
+    }
+    return total;
+}
+
+void Measurement::growGates(ThreadState& state, RegionHandle handle) {
+    state.gates.resize(static_cast<std::size_t>(handle) + 1);
+}
+
+void Measurement::setRegionSampling(RegionHandle handle, std::uint32_t everyN,
+                                    std::uint64_t minIntervalNs) {
+    std::lock_guard<std::mutex> lock(regionMutex_);
+    if (handle >= publishedRegions_.load(std::memory_order_relaxed)) {
+        throw support::Error("Score-P: sampling spec for bad region handle");
+    }
+    if (everyN == 0) {
+        everyN = 1;
+    }
+    if (minIntervalNs > UINT32_MAX) {
+        minIntervalNs = UINT32_MAX;  // The spec word carries 32 interval bits.
+    }
+    std::uint64_t word = (everyN <= 1 && minIntervalNs == 0)
+                             ? 0
+                             : (minIntervalNs << 32) | everyN;
+    std::size_t chunk = handle >> kRegionChunkBits;
+    std::atomic<std::uint64_t>* cells =
+        samplingChunks_[chunk].load(std::memory_order_relaxed);
+    if (cells == nullptr) {
+        if (word == 0) {
+            return;  // Clearing a never-sampled chunk: nothing to publish.
+        }
+        cells = new std::atomic<std::uint64_t>[kRegionChunkSize]();
+        samplingChunks_[chunk].store(cells, std::memory_order_release);
+    }
+    std::atomic<std::uint64_t>& cell = cells[handle & (kRegionChunkSize - 1)];
+    std::uint64_t previous = cell.load(std::memory_order_relaxed);
+    cell.store(word, std::memory_order_relaxed);
+    if (previous == 0 && word != 0) {
+        samplingRegions_.fetch_add(1, std::memory_order_release);
+    } else if (previous != 0 && word == 0) {
+        samplingRegions_.fetch_sub(1, std::memory_order_release);
+    }
+}
+
+void Measurement::clearAllSampling() {
+    std::lock_guard<std::mutex> lock(regionMutex_);
+    for (std::size_t chunk = 0; chunk < kMaxRegionChunks; ++chunk) {
+        std::atomic<std::uint64_t>* cells =
+            samplingChunks_[chunk].load(std::memory_order_relaxed);
+        if (cells == nullptr) {
+            continue;
+        }
+        for (std::size_t i = 0; i < kRegionChunkSize; ++i) {
+            cells[i].store(0, std::memory_order_relaxed);
+        }
+    }
+    samplingRegions_.store(0, std::memory_order_release);
+}
+
+std::pair<std::uint32_t, std::uint64_t> Measurement::regionSampling(
+    RegionHandle handle) const {
+    if (handle >= publishedRegions_.load(std::memory_order_acquire)) {
+        throw support::Error("Score-P: bad region handle");
+    }
+    const std::atomic<std::uint64_t>* cells =
+        samplingChunks_[handle >> kRegionChunkBits].load(
+            std::memory_order_acquire);
+    std::uint64_t word =
+        cells == nullptr ? 0
+                         : cells[handle & (kRegionChunkSize - 1)].load(
+                               std::memory_order_relaxed);
+    if (word == 0) {
+        return {1, 0};
+    }
+    return {static_cast<std::uint32_t>(word), word >> 32};
+}
+
+std::unordered_map<RegionHandle, std::uint64_t> Measurement::suppressedVisits()
+    const {
+    std::unordered_map<RegionHandle, std::uint64_t> totals;
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    for (const auto& thread : threads_) {
+        for (std::size_t handle = 0; handle < thread->gates.size(); ++handle) {
+            std::uint64_t suppressed = thread->gates[handle].suppressedVisits;
+            if (suppressed != 0) {
+                totals[static_cast<RegionHandle>(handle)] += suppressed;
+            }
+        }
+    }
+    return totals;
+}
+
 double calibrateProbeCostNs(std::size_t eventPairs) {
     if (eventPairs == 0) {
         eventPairs = 1;  // A zero-sized calibration would divide by zero.
@@ -123,6 +229,26 @@ double calibrateProbeCostNs(std::size_t eventPairs) {
     Measurement scratch;
     RegionHandle region = scratch.defineRegion("__capi_probe_calibration");
     // Warm the thread state and region chunk before timing.
+    scratch.enter(region);
+    scratch.exit(region);
+    support::Timer timer;
+    for (std::size_t i = 0; i < eventPairs; ++i) {
+        scratch.enter(region);
+        scratch.exit(region);
+    }
+    double ns = static_cast<double>(timer.elapsedNs());
+    return ns / static_cast<double>(eventPairs * 2);
+}
+
+double calibrateGateCostNs(std::size_t eventPairs) {
+    if (eventPairs == 0) {
+        eventPairs = 1;
+    }
+    Measurement scratch;
+    RegionHandle region = scratch.defineRegion("__capi_gate_calibration");
+    // A countdown longer than the loop keeps every timed visit on the
+    // suppressed path once the first visit has been admitted.
+    scratch.setRegionSampling(region, UINT32_MAX, 0);
     scratch.enter(region);
     scratch.exit(region);
     support::Timer timer;

@@ -12,6 +12,20 @@
 // cache-line padded (aggregated under the thread-list mutex only on read),
 // and the dominant re-enter-same-child descent is served by a last-callee
 // memo on the shadow-stack entry without touching the tree's child index.
+//
+// Regions can additionally carry a per-region *sampling gate* (the Sampled
+// tier of select::InstrumentationPolicy): a counter admits 1-in-everyN
+// visits and a calibrated-TSC interval check drops admissions closer than
+// minIntervalNs to the previous recorded one. Suppressed visits skip both
+// timestamps and the profile record — they cost a counter decrement, not
+// two TSC reads — but still push a shadow-stack frame, so the call-path
+// structure (and every child's attribution) is exactly that of a Full run.
+// Gate state is per-thread (share-nothing, like the profile trees); the
+// gate *spec* lives in atomically published chunks parallel to the region
+// definitions, and the same-callee re-entry memo caches the spec word so
+// the dominant path never chases the chunk pointer. Spec changes must
+// happen at quiescent points (the mergedProfile discipline): stack memos
+// die when stacks empty, so a quiesced thread re-reads specs on re-entry.
 #pragma once
 
 #include <atomic>
@@ -20,6 +34,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "scorepsim/filter_file.hpp"
@@ -38,6 +53,12 @@ class TraceBuffer;
 /// — and re-run it after any change to the measurement hot path, since every
 /// adaptive-budget decision is computed from this constant.
 double calibrateProbeCostNs(std::size_t eventPairs = 1 << 14);
+
+/// Companion calibration for the *suppressed* path: the cost of one probe
+/// event whose visit the sampling gate drops (counter decrement, no TSC
+/// read, no profile record). The adaptive planner charges Sampled regions
+/// (N-1)/N of their visits at this rate and 1/N at the full probe rate.
+double calibrateGateCostNs(std::size_t eventPairs = 1 << 14);
 
 struct MeasurementOptions {
     bool runtimeFiltering = false;
@@ -82,6 +103,7 @@ public:
             return;  // Probe cost retained, measurement skipped.
         }
         std::uint32_t node;
+        std::uint64_t gateWord;
         if (state.stack.empty()) {
             if (state.rootCalleeRegion == handle) {
                 node = state.rootCalleeNode;
@@ -91,19 +113,39 @@ public:
                 state.rootCalleeRegion = handle;
                 state.rootCalleeNode = node;
             }
+            // Root-level enters re-read the gate spec every time: the root
+            // memo survives quiescent points, so caching the spec word here
+            // would let a pre-quiesce spec leak past a reconfiguration.
+            gateWord = samplingWordOf(handle);
         } else {
             ThreadState::StackEntry& top = state.stack.back();
             if (top.lastCalleeRegion == handle) {
                 node = top.lastCalleeNode;
+                gateWord = top.lastCalleeWord;
             } else {
                 node = static_cast<std::uint32_t>(
                     state.tree.childOf(top.node, handle));
+                gateWord = samplingWordOf(handle);
                 top.lastCalleeRegion = handle;
                 top.lastCalleeNode = node;
+                top.lastCalleeWord = gateWord;
             }
         }
-        std::uint64_t now = support::probeNowNs();
-        state.stack.push_back({node, kNoRegion, 0, now});
+        std::uint64_t now;
+        if (gateWord == 0) {
+            now = support::probeNowNs();
+        } else {
+            now = gateAdmit(state, handle, gateWord);
+            if (now == kSuppressedEnterNs) {
+                bumpCounterRelease(state.suppressedEvents);
+                // Suppressed frame: keeps the call-path structure (children
+                // attribute under this region's node) but records nothing.
+                state.stack.push_back(
+                    {node, handle, kNoRegion, 0, 0, kSuppressedEnterNs});
+                return;
+            }
+        }
+        state.stack.push_back({node, handle, kNoRegion, 0, 0, now});
         if (options_.trace != nullptr) {
             traceRecord(handle, /*isEnter=*/true, now);
         }
@@ -119,12 +161,15 @@ public:
             bumpCounterRelease(state.filteredEvents);
             return;
         }
-        if (state.stack.empty() ||
-            state.tree.regionOf(state.stack.back().node) != handle) {
+        if (state.stack.empty() || state.stack.back().region != handle) {
             throwUnbalancedExit(state, handle);
         }
         ThreadState::StackEntry top = state.stack.back();
         state.stack.pop_back();
+        if (top.enterNs == kSuppressedEnterNs) {
+            bumpCounterRelease(state.suppressedEvents);
+            return;  // Suppressed visit: no timestamp, no record, no trace.
+        }
         std::uint64_t now = support::probeNowNs();
         // Clamp the rare cross-core TSC skew instead of underflowing.
         state.tree.recordVisit(top.node, now > top.enterNs ? now - top.enterNs : 0);
@@ -147,28 +192,82 @@ public:
     std::uint64_t probeEvents() const;
     /// Events dropped by runtime filtering.
     std::uint64_t filteredEvents() const;
+    /// Events whose visit the sampling gate suppressed (each suppressed
+    /// visit contributes its enter and its exit). Mid-run safe, like
+    /// probeEvents().
+    std::uint64_t suppressedEvents() const;
+
+    // --- sampling gates (the Sampled tier) ----------------------------------
+
+    /// Installs (or, with everyN<=1 and minIntervalNs==0, clears) the
+    /// sampling gate of a region: record 1 in everyN visits, and drop
+    /// admissions closer than minIntervalNs to the previous recorded one
+    /// (capped at ~4.3s — the spec packs into one published word).
+    /// Thread-safe, but gate *semantics* change at quiescent points only:
+    /// running threads keep their memo'd spec until their stacks empty.
+    void setRegionSampling(RegionHandle handle, std::uint32_t everyN,
+                           std::uint64_t minIntervalNs = 0);
+    void clearRegionSampling(RegionHandle handle) {
+        setRegionSampling(handle, 1, 0);
+    }
+    void clearAllSampling();
+
+    /// The live gate spec of a region (everyN, minIntervalNs); (1, 0) when
+    /// unsampled.
+    std::pair<std::uint32_t, std::uint64_t> regionSampling(RegionHandle handle) const;
+
+    /// Per-region suppressed visit counts, summed over threads. Quiesce
+    /// event threads first (like mergedProfile): per-thread gate state is
+    /// unsynchronized. recorded + suppressed visits = true visits, which is
+    /// what makes the overhead model's extrapolation exact for counts.
+    std::unordered_map<RegionHandle, std::uint64_t> suppressedVisits() const;
+
+    /// Process-unique instance stamp. Consumers of the cumulative counters
+    /// above (the overhead model's per-epoch deltas) use this to detect a
+    /// fresh Measurement: a count can repeat exactly across epochs, so the
+    /// values alone cannot distinguish "no new suppressions" from "new
+    /// instance, identical workload".
+    std::uint64_t instanceId() const { return generation_; }
 
 private:
+    struct Gate {
+        std::uint32_t countdown = 0;       ///< Visits until the next sample.
+        std::uint64_t lastSampleNs = 0;    ///< Timestamp of the last admit.
+        std::uint64_t suppressedVisits = 0;
+    };
+
     struct ThreadState {
         ProfileTree tree;
         struct StackEntry {
             std::uint32_t node;
+            /// Region entered by this frame: pairs the exit without a tree
+            /// lookup and distinguishes suppressed frames on pop.
+            RegionHandle region;
             /// Last-callee memo: the child node entered from this frame most
             /// recently. The dominant re-enter-same-child case resolves with
-            /// one predictable load instead of a hash probe.
+            /// one predictable load instead of a hash probe. The memo also
+            /// caches the callee's sampling-gate spec word, so re-entries
+            /// skip the gate chunk chase entirely.
             RegionHandle lastCalleeRegion;
             std::uint32_t lastCalleeNode;
+            std::uint64_t lastCalleeWord;
             std::uint64_t enterNs;
         };
         std::vector<StackEntry> stack;
-        /// Memo twin for the empty-stack (root-parent) case.
+        /// Memo twin for the empty-stack (root-parent) case. Deliberately
+        /// carries no gate word: it survives quiescent points, so it must
+        /// not pin a pre-quiesce sampling spec (see enter()).
         RegionHandle rootCalleeRegion = kNoRegion;
         std::uint32_t rootCalleeNode = 0;
+        /// Per-region sampling gates, indexed by handle; grown lazily on
+        /// the owning thread only (share-nothing, like the tree).
+        std::vector<Gate> gates;
         /// Per-thread event counters, each on its own cacheline so threads
         /// never write-share. Single writer (the owning thread); relaxed
         /// atomics so aggregation can read them mid-run.
         alignas(64) std::atomic<std::uint64_t> probeEvents{0};
         alignas(64) std::atomic<std::uint64_t> filteredEvents{0};
+        alignas(64) std::atomic<std::uint64_t> suppressedEvents{0};
     };
 
     ThreadState& threadState() {
@@ -179,6 +278,54 @@ private:
         return threadStateSlow();
     }
     ThreadState& threadStateSlow();
+
+    /// enterNs sentinel of a shadow-stack frame whose visit the sampling
+    /// gate dropped (probeNowNs never returns this).
+    static constexpr std::uint64_t kSuppressedEnterNs = UINT64_MAX;
+
+    /// The published gate-spec word of a region: everyN in the low 32 bits,
+    /// minIntervalNs in the high 32. 0 = unsampled. One predictable shared
+    /// load when no region in the process is sampled.
+    std::uint64_t samplingWordOf(RegionHandle handle) const {
+        if (samplingRegions_.load(std::memory_order_relaxed) == 0) {
+            return 0;
+        }
+        const std::atomic<std::uint64_t>* cells =
+            samplingChunks_[handle >> kRegionChunkBits].load(
+                std::memory_order_acquire);
+        return cells == nullptr
+                   ? 0
+                   : cells[handle & (kRegionChunkSize - 1)].load(
+                         std::memory_order_relaxed);
+    }
+
+    /// Runs the two-stage gate for one visit. Returns the enter timestamp
+    /// when the visit is admitted (the TSC is read at most once and reused
+    /// as the enter time), kSuppressedEnterNs when it is dropped. The
+    /// countdown stage suppresses without reading the TSC at all — that is
+    /// the (N-1)/N fast path the planner's gate-cost rate prices.
+    std::uint64_t gateAdmit(ThreadState& state, RegionHandle handle,
+                            std::uint64_t word) {
+        if (state.gates.size() <= handle) {
+            growGates(state, handle);
+        }
+        Gate& gate = state.gates[handle];
+        if (gate.countdown > 0) {
+            --gate.countdown;
+            ++gate.suppressedVisits;
+            return kSuppressedEnterNs;
+        }
+        std::uint64_t now = support::probeNowNs();
+        std::uint64_t minIntervalNs = word >> 32;
+        if (minIntervalNs != 0 && now - gate.lastSampleNs < minIntervalNs) {
+            ++gate.suppressedVisits;
+            return kSuppressedEnterNs;
+        }
+        gate.countdown = static_cast<std::uint32_t>(word) - 1;
+        gate.lastSampleNs = now;
+        return now;
+    }
+    void growGates(ThreadState& state, RegionHandle handle);
 
     static void bumpCounter(std::atomic<std::uint64_t>& counter) {
         support::singleWriterAdd<std::uint64_t>(counter, 1);
@@ -218,6 +365,15 @@ private:
     std::unique_ptr<std::unique_ptr<RegionDef[]>[]> chunks_;
     std::atomic<std::uint32_t> publishedRegions_{0};
     std::unordered_map<std::string, RegionHandle> regionByName_;
+
+    /// Gate-spec words, chunked parallel to the region chunks. Chunks are
+    /// value-initialized under regionMutex_ and release-published, so the
+    /// lock-free probe path reads only zeros or complete spec words; freed
+    /// in the destructor.
+    std::unique_ptr<std::atomic<std::atomic<std::uint64_t>*>[]> samplingChunks_;
+    /// Count of regions with a live gate spec: the probe path's one-branch
+    /// "is anything sampled at all" filter.
+    std::atomic<std::uint32_t> samplingRegions_{0};
 
     mutable std::mutex threadsMutex_;
     std::vector<std::unique_ptr<ThreadState>> threads_;

@@ -64,4 +64,114 @@ struct IcDelta {
 
 IcDelta icDiff(const InstrumentationConfig& from, const InstrumentationConfig& to);
 
+// --------------------------------------------------------------------------
+// Tiered instrumentation policy.
+//
+// The binary IC above answers "is this region instrumented?". The policy
+// refines that into three tiers per region:
+//   Full    — every visit is measured (the classic patched state);
+//   Sampled — the sleds stay patched but the measurement gate admits only
+//             1-in-everyN visits, no closer together than minIntervalNs
+//             (Mertz & Nunes' adaptive sampling; Arafa et al.'s redundancy
+//             suppression), so a hot region keeps *some* visibility instead
+//             of being evicted outright;
+//   Off     — unpatched, exactly the old "not in the IC" state.
+// The binary API remains the Full|Off degenerate case: fullOf() lifts an IC
+// into an all-Full policy and patchSet() projects a policy back down.
+
+enum class Tier : std::uint8_t { Off = 0, Sampled = 1, Full = 2 };
+
+const char* tierName(Tier tier);
+
+/// How a Sampled region's measurement gate decimates visits. Both checks
+/// must pass for a visit to be recorded: the counter admits every Nth
+/// visit, and the (calibrated-TSC) interval check drops admissions closer
+/// than minIntervalNs to the previous recorded one.
+struct SamplingSpec {
+    std::uint32_t everyN = 1;       ///< Record 1 in N visits (1 = all).
+    std::uint64_t minIntervalNs = 0;  ///< 0 = no interval gate.
+
+    /// A spec that admits everything is no spec at all.
+    bool unsampled() const { return everyN <= 1 && minIntervalNs == 0; }
+
+    friend bool operator==(const SamplingSpec& a, const SamplingSpec& b) {
+        return a.everyN == b.everyN && a.minIntervalNs == b.minIntervalNs;
+    }
+    friend bool operator!=(const SamplingSpec& a, const SamplingSpec& b) {
+        return !(a == b);
+    }
+};
+
+struct RegionPolicy {
+    Tier tier = Tier::Off;
+    SamplingSpec sampling;  ///< Meaningful when tier == Sampled.
+
+    friend bool operator==(const RegionPolicy& a, const RegionPolicy& b) {
+        return a.tier == b.tier &&
+               (a.tier != Tier::Sampled || a.sampling == b.sampling);
+    }
+    friend bool operator!=(const RegionPolicy& a, const RegionPolicy& b) {
+        return !(a == b);
+    }
+};
+
+/// The tiered successor of InstrumentationConfig: a sorted function list
+/// with a parallel per-function RegionPolicy. Regions absent from the list
+/// are Off; setRegion(name, {Tier::Off, ...}) removes the entry, so the
+/// list only ever names instrumented (Full or Sampled) regions and the
+/// patchable projection is simply every listed function.
+struct InstrumentationPolicy {
+    /// Mangled names, sorted and unique — Full and Sampled regions only.
+    std::vector<std::string> functions;
+    /// Parallel to `functions`.
+    std::vector<RegionPolicy> regions;
+
+    /// Optional packed XRay IDs keyed by function name (as in the IC).
+    std::map<std::string, std::uint32_t> staticIds;
+
+    std::string specName;
+    std::string application;
+
+    std::size_t size() const { return functions.size(); }
+    bool contains(const std::string& name) const;
+    Tier tierOf(const std::string& name) const;
+    /// nullptr when the region is Off (absent).
+    const RegionPolicy* policyOf(const std::string& name) const;
+    void setRegion(const std::string& name, RegionPolicy policy);
+    std::size_t countOf(Tier tier) const;
+
+    /// Lifts a binary IC into the degenerate all-Full policy.
+    static InstrumentationPolicy fullOf(const InstrumentationConfig& ic);
+    /// Projects down to the set of patched functions (Full + Sampled —
+    /// Sampled regions keep their sleds; only the measurement gate differs).
+    InstrumentationConfig patchSet() const;
+
+    /// Order-independent digest of (name, tier, sampling) triples plus the
+    /// static-ID map; ranks compare these to detect policy divergence
+    /// without shipping whole policies around.
+    std::uint64_t fingerprint() const;
+
+    support::Json toJson() const;
+    static InstrumentationPolicy fromJson(const support::Json& doc);
+};
+
+/// Tier-transition diff between two policies. `added`/`removed` mirror
+/// IcDelta (Off -> instrumented and back); the three new lists are the
+/// transitions a binary diff cannot express.
+struct PolicyDelta {
+    std::vector<std::string> added;     ///< Off -> Full/Sampled.
+    std::vector<std::string> removed;   ///< Full/Sampled -> Off.
+    std::vector<std::string> promoted;  ///< Sampled -> Full.
+    std::vector<std::string> demoted;   ///< Full -> Sampled.
+    std::vector<std::string> regated;   ///< Sampled -> Sampled, spec changed.
+
+    bool empty() const {
+        return added.empty() && removed.empty() && promoted.empty() &&
+               demoted.empty() && regated.empty();
+    }
+};
+
+PolicyDelta policyDiff(const InstrumentationPolicy& from,
+                       const InstrumentationPolicy& to);
+
 }  // namespace capi::select

@@ -36,6 +36,7 @@ XRayRuntime::ObjectRecord XRayRuntime::makeRecord(
     for (std::uint32_t i = 0; i < record.sleds.sleds.size(); ++i) {
         record.sledsOfFunction[record.sleds.sleds[i].function].push_back(i);
     }
+    record.tierOfFunction.assign(record.sleds.functionCount(), kFullTier);
     return record;
 }
 
@@ -156,6 +157,9 @@ PatchStats XRayRuntime::applyToObject(ObjectRecord& obj, ObjectId id, bool patch
     if (obj.sleds.empty()) {
         return stats;
     }
+    // The binary whole-object paths know nothing of tiers: everything they
+    // patch is Full, everything they unpatch resets its tag.
+    std::fill(obj.tierOfFunction.begin(), obj.tierOfFunction.end(), kFullTier);
     support::Timer timer;
 
     // Like the real runtime: compute the page span containing all sleds and
@@ -278,6 +282,7 @@ bool XRayRuntime::patchFunction(PackedId function) {
         writeSled(*obj, objId, obj->sleds.sleds[sledIndex], /*patch=*/true);
     }
     patcher.seal(addresses);
+    objects_[objId].tierOfFunction[fnId] = kFullTier;
     return true;
 }
 
@@ -302,11 +307,23 @@ bool XRayRuntime::unpatchFunction(PackedId function) {
         writeSled(*obj, objId, obj->sleds.sleds[sledIndex], /*patch=*/false);
     }
     patcher.seal(addresses);
+    objects_[objId].tierOfFunction[fnId] = kFullTier;
     return true;
 }
 
 XRayRuntime::DeltaPatchStats XRayRuntime::patchDelta(
     const std::vector<PackedId>& toPatch, const std::vector<PackedId>& toUnpatch) {
+    std::vector<TieredFlip> tiered;
+    tiered.reserve(toPatch.size());
+    for (PackedId pid : toPatch) {
+        tiered.push_back({pid, kFullTier});
+    }
+    return patchDeltaTiered(tiered, toUnpatch, {});
+}
+
+XRayRuntime::DeltaPatchStats XRayRuntime::patchDeltaTiered(
+    const std::vector<TieredFlip>& toPatch, const std::vector<PackedId>& toUnpatch,
+    const std::vector<TieredFlip>& toRetier) {
     std::lock_guard<std::mutex> lock(mutex_);
     DeltaPatchStats stats;
     support::Timer timer;
@@ -317,31 +334,50 @@ XRayRuntime::DeltaPatchStats XRayRuntime::patchDelta(
     struct Flip {
         FunctionId function;
         bool patch;
+        std::uint8_t tierTag;
     };
     std::vector<std::vector<Flip>> flipsOfObject(kMaxObjectId + 1);
-    auto classify = [&](const std::vector<PackedId>& ids, bool patch,
+    auto classify = [&](PackedId pid, bool patch, std::uint8_t tierTag,
                         std::size_t& unavailable) {
-        for (PackedId pid : ids) {
-            ObjectId objId = objectIdOf(pid);
-            FunctionId fnId = functionIdOf(pid);
-            const ObjectRecord* obj = findObject(objId);
-            if (obj == nullptr || fnId >= obj->sledsOfFunction.size() ||
-                obj->sledsOfFunction[fnId].empty()) {
-                ++unavailable;
-                continue;
-            }
-            flipsOfObject[objId].push_back({fnId, patch});
+        ObjectId objId = objectIdOf(pid);
+        FunctionId fnId = functionIdOf(pid);
+        const ObjectRecord* obj = findObject(objId);
+        if (obj == nullptr || fnId >= obj->sledsOfFunction.size() ||
+            obj->sledsOfFunction[fnId].empty()) {
+            ++unavailable;
+            return;
         }
+        flipsOfObject[objId].push_back({fnId, patch, tierTag});
     };
-    classify(toPatch, /*patch=*/true, stats.unavailablePatch);
-    classify(toUnpatch, /*patch=*/false, stats.unavailableUnpatch);
+    for (const TieredFlip& flip : toPatch) {
+        classify(flip.function, /*patch=*/true, flip.tierTag,
+                 stats.unavailablePatch);
+    }
+    for (PackedId pid : toUnpatch) {
+        classify(pid, /*patch=*/false, kFullTier, stats.unavailableUnpatch);
+    }
+
+    // Tier-only transitions: tag updates under the runtime lock, zero page
+    // work — a Full<->Sampled re-plan costs exactly nothing here.
+    for (const TieredFlip& retier : toRetier) {
+        ObjectId objId = objectIdOf(retier.function);
+        FunctionId fnId = functionIdOf(retier.function);
+        const ObjectRecord* obj = findObject(objId);
+        if (obj == nullptr || fnId >= obj->sledsOfFunction.size() ||
+            obj->sledsOfFunction[fnId].empty()) {
+            ++stats.unavailableRetier;
+            continue;
+        }
+        objects_[objId].tierOfFunction[fnId] = retier.tierTag;
+        ++stats.functionsRetiered;
+    }
 
     const std::uint64_t writableBefore = memory_->pagesMadeWritable();
     for (ObjectId objId = 0; objId <= kMaxObjectId; ++objId) {
         if (flipsOfObject[objId].empty()) {
             continue;
         }
-        const ObjectRecord& obj = objects_[objId];
+        ObjectRecord& obj = objects_[objId];
 
         // Coalesce the affected sleds' byte spans into contiguous page runs,
         // so a dense cluster of changed functions costs one protection flip
@@ -379,6 +415,7 @@ XRayRuntime::DeltaPatchStats XRayRuntime::patchDelta(
                     ++stats.sledsUnpatched;
                 }
             }
+            obj.tierOfFunction[flip.function] = flip.patch ? flip.tierTag : kFullTier;
         }
         for (const auto& [first, last] : runs) {
             memory_->mprotect(first * kPageSize, (last - first + 1) * kPageSize,
@@ -409,6 +446,39 @@ std::vector<PackedId> XRayRuntime::patchedFunctions() const {
             if (memory_->read(runtimeAddress(obj, sled.address)).instr !=
                 Instr::NopSled) {
                 patched.push_back(packId(objId, fnId));
+            }
+        }
+    }
+    return patched;
+}
+
+std::uint8_t XRayRuntime::functionTierTag(PackedId function) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const ObjectRecord* obj = findObject(objectIdOf(function));
+    FunctionId fnId = functionIdOf(function);
+    if (obj == nullptr || fnId >= obj->tierOfFunction.size()) {
+        return kFullTier;
+    }
+    return obj->tierOfFunction[fnId];
+}
+
+std::vector<std::pair<PackedId, std::uint8_t>> XRayRuntime::patchedFunctionTiers()
+    const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<PackedId, std::uint8_t>> patched;
+    for (ObjectId objId = 0; objId <= kMaxObjectId; ++objId) {
+        const ObjectRecord& obj = objects_[objId];
+        if (!obj.inUse) {
+            continue;
+        }
+        for (FunctionId fnId = 0; fnId < obj.sledsOfFunction.size(); ++fnId) {
+            if (obj.sledsOfFunction[fnId].empty()) {
+                continue;
+            }
+            const SledEntry& sled = obj.sleds.sleds[obj.sledsOfFunction[fnId][0]];
+            if (memory_->read(runtimeAddress(obj, sled.address)).instr !=
+                Instr::NopSled) {
+                patched.emplace_back(packId(objId, fnId), obj.tierOfFunction[fnId]);
             }
         }
     }

@@ -21,6 +21,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "xraysim/code_memory.hpp"
@@ -95,9 +96,37 @@ public:
     struct DeltaPatchStats : PatchStats {
         std::size_t unavailablePatch = 0;    ///< Skipped toPatch entries.
         std::size_t unavailableUnpatch = 0;  ///< Skipped toUnpatch entries.
+        std::size_t functionsRetiered = 0;   ///< Tier-tag-only transitions.
+        std::size_t unavailableRetier = 0;   ///< Skipped toRetier entries.
     };
     DeltaPatchStats patchDelta(const std::vector<PackedId>& toPatch,
                                const std::vector<PackedId>& toUnpatch);
+
+    /// A patch request carrying the measurement tier of the function
+    /// (kFullTier or kSampledTier). The tier is runtime bookkeeping riding
+    /// along with the sled state — the sled bytes are identical for both
+    /// instrumented tiers; only the measurement gate differs — so a
+    /// tier-only transition (`toRetier`) updates the tag without touching
+    /// any code page, which is what keeps Full<->Sampled re-planning as
+    /// cheap as a no-op repatch.
+    struct TieredFlip {
+        PackedId function = 0;
+        std::uint8_t tierTag = 0;
+    };
+    static constexpr std::uint8_t kFullTier = 0;
+    static constexpr std::uint8_t kSampledTier = 1;
+
+    DeltaPatchStats patchDeltaTiered(const std::vector<TieredFlip>& toPatch,
+                                     const std::vector<PackedId>& toUnpatch,
+                                     const std::vector<TieredFlip>& toRetier);
+
+    /// The tier tag recorded with the function's last patch; kFullTier when
+    /// unpatched or unknown (tags reset on unpatch and on dlclose).
+    std::uint8_t functionTierTag(PackedId function) const;
+
+    /// patchedFunctions() plus each function's tier tag — the ground truth
+    /// a tiered delta is computed against.
+    std::vector<std::pair<PackedId, std::uint8_t>> patchedFunctionTiers() const;
 
     /// Packed ids of every function whose sleds are currently patched, over
     /// all registered objects (the ground truth a delta is computed against).
@@ -133,6 +162,11 @@ private:
         SledTable sleds;
         /// Sled indices grouped per local function id.
         std::vector<std::vector<std::uint32_t>> sledsOfFunction;
+        /// Per-function tier tag (kFullTier/kSampledTier), meaningful while
+        /// the function is patched; reset to kFullTier on unpatch. Rebuilt
+        /// zeroed on (re-)registration, so a recycled object id never
+        /// inherits a predecessor's tiers.
+        std::vector<std::uint8_t> tierOfFunction;
     };
 
     std::uint64_t runtimeAddress(const ObjectRecord& obj, std::uint64_t linkAddr) const {

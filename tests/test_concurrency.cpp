@@ -106,6 +106,86 @@ TEST(Concurrency, EnterExitContendedAcrossThreads) {
     EXPECT_EQ(merged.depth(), 2u);
 }
 
+TEST(Concurrency, SamplingGateContendedAcrossThreads) {
+    // The gate fast path under contention: the sampling spec word is read
+    // through an atomically published chunk on every enter while each
+    // thread's countdown/lastSample state stays thread-private. 8 threads
+    // hammer one Sampled region plus one Full region; the per-thread gates
+    // must decimate independently (each thread times exactly iters/N visits)
+    // and the suppressed-visit accounting must balance to the total.
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kIters = 16000;
+    constexpr std::uint32_t kEveryN = 8;
+    Measurement m;
+    RegionHandle sampled = m.defineRegion("sampled");
+    RegionHandle full = m.defineRegion("full");
+    m.setRegionSampling(sampled, kEveryN);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kIters; ++i) {
+                m.enter(full);
+                m.enter(sampled);
+                m.exit(sampled);
+                m.exit(full);
+            }
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+
+    EXPECT_EQ(m.probeEvents(), kThreads * kIters * 4);
+    ProfileTree merged = m.mergedProfile();
+    EXPECT_EQ(merged.totalVisits(full), kThreads * kIters);
+    EXPECT_EQ(merged.totalVisits(sampled), kThreads * (kIters / kEveryN));
+    auto suppressed = m.suppressedVisits();
+    EXPECT_EQ(suppressed[sampled],
+              kThreads * (kIters - kIters / kEveryN));
+    EXPECT_EQ(m.suppressedEvents(), 2 * suppressed[sampled]);
+    // Recorded + suppressed covers every visit: extrapolation loses none.
+    EXPECT_EQ(merged.totalVisits(sampled) + suppressed[sampled],
+              kThreads * kIters);
+}
+
+TEST(Concurrency, SamplingSpecSwapDuringEvents) {
+    // One thread flips a region's gate spec (Full <-> Sampled at varying N)
+    // while workers stream events through it — the applyPolicyDelta-at-a-
+    // quiescent-point pattern stretched to a torture shape. Counts cannot be
+    // asserted exactly (the swap races the countdowns); the invariant is
+    // recorded + suppressed == total visits, with no torn spec reads.
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kIters = 8000;
+    Measurement m;
+    RegionHandle region = m.defineRegion("swapped");
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kIters; ++i) {
+                m.enter(region);
+                m.exit(region);
+            }
+        });
+    }
+    for (int flip = 0; flip < 200; ++flip) {
+        m.setRegionSampling(region, flip % 2 == 0 ? 4 : 1);
+    }
+    for (std::thread& t : workers) {
+        t.join();
+    }
+    m.clearAllSampling();
+
+    ProfileTree merged = m.mergedProfile();
+    std::uint64_t suppressed = 0;
+    for (const auto& [handle, count] : m.suppressedVisits()) {
+        ASSERT_EQ(handle, region);
+        suppressed = count;
+    }
+    EXPECT_EQ(merged.totalVisits(region) + suppressed, kThreads * kIters);
+}
+
 TEST(Concurrency, CountersReadableMidRun) {
     MeasurementOptions options;
     options.runtimeFiltering = true;

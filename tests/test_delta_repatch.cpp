@@ -123,6 +123,118 @@ TEST_P(DeltaRepatchProperty, SequenceMatchesFullRepatchBitForBit) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DeltaRepatchProperty,
                          ::testing::Values(1u, 42u, 20230320u, 99991u));
 
+class TieredDeltaRepatchProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+/// The tiered generalization: random Full/Sampled/Off policies, including
+/// pure tier transitions on an unchanged patch set and a mid-sequence DSO
+/// lifecycle. Delta must match the full reference in sled state AND in the
+/// runtime's per-function tier tags.
+TEST_P(TieredDeltaRepatchProperty, SequenceMatchesFullRepatchWithTiers) {
+    constexpr std::uint32_t kPerObject = 40;
+    constexpr std::size_t kRounds = 30;
+    AppModel model = patchModel(kPerObject);
+    CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    CompiledProgram compiled = compile(model, copts);
+
+    Process deltaProcess(compiled);
+    Process fullProcess(compiled);
+    dyncapi::DynCapi deltaDyn(deltaProcess);
+    dyncapi::DynCapi fullDyn(fullProcess);
+
+    std::vector<std::string> names;
+    for (const AppFunction& fn : model.functions) {
+        names.push_back(fn.name);
+    }
+
+    support::SplitMix64 rng(GetParam());
+    for (std::size_t round = 0; round < kRounds; ++round) {
+        if (round == 10) {
+            ASSERT_TRUE(deltaProcess.dlcloseDso(0));
+            ASSERT_TRUE(fullProcess.dlcloseDso(0));
+        }
+        if (round == 20) {
+            ASSERT_TRUE(deltaProcess.dlopenDso(0));
+            ASSERT_TRUE(fullProcess.dlopenDso(0));
+        }
+
+        select::InstrumentationPolicy policy;
+        policy.specName = "round" + std::to_string(round);
+        for (const std::string& name : names) {
+            // ~30% Off, ~35% Full, ~35% Sampled with a varying spec, so
+            // consecutive rounds exercise every tier-transition edge
+            // (including Sampled->Sampled regate with a different everyN).
+            if (rng.nextBool(0.3)) {
+                continue;
+            }
+            select::RegionPolicy region;
+            if (rng.nextBool(0.5)) {
+                region.tier = select::Tier::Full;
+            } else {
+                region.tier = select::Tier::Sampled;
+                region.sampling.everyN = rng.nextBool(0.5) ? 8 : 64;
+                region.sampling.minIntervalNs = rng.nextBool(0.2) ? 1000 : 0;
+            }
+            policy.setRegion(name, region);
+        }
+
+        dyncapi::DeltaStats delta = deltaDyn.applyPolicyDelta(policy);
+        dyncapi::InitStats full = fullDyn.applyPolicy(policy);
+        ASSERT_NO_FATAL_FAILURE(expectSameSledState(deltaProcess, fullProcess))
+            << "round " << round;
+        ASSERT_EQ(deltaProcess.xray().patchedFunctionTiers(),
+                  fullProcess.xray().patchedFunctionTiers())
+            << "round " << round;
+        ASSERT_EQ(delta.requestedUnavailable, full.requestedUnavailable)
+            << "round " << round;
+
+        // Re-applying the same policy must be a complete no-op: no sled
+        // flips, no tier retags, no pages.
+        dyncapi::DeltaStats again = deltaDyn.applyPolicyDelta(policy);
+        EXPECT_EQ(again.functionsPatched, 0u);
+        EXPECT_EQ(again.functionsUnpatched, 0u);
+        EXPECT_EQ(again.functionsPromoted, 0u);
+        EXPECT_EQ(again.functionsDemoted, 0u);
+        EXPECT_EQ(again.pagesTouched, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TieredDeltaRepatchProperty,
+                         ::testing::Values(7u, 1234u, 87654321u));
+
+TEST(DeltaRepatch, TierOnlyTransitionTouchesNoPages) {
+    AppModel model = patchModel(50);
+    CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    Process process(compile(model, copts));
+    dyncapi::DynCapi dyn(process);
+
+    select::InstrumentationPolicy allFull;
+    for (const AppFunction& fn : model.functions) {
+        allFull.setRegion(fn.name, {select::Tier::Full, {}});
+    }
+    dyncapi::InitStats init = dyn.applyPolicy(allFull);
+    ASSERT_GT(init.patchedFunctions, 0u);
+
+    // Demote every region: same patch set, different tier — the delta is
+    // pure bookkeeping and must not open a single code page.
+    select::InstrumentationPolicy allSampled;
+    for (const AppFunction& fn : model.functions) {
+        allSampled.setRegion(fn.name, {select::Tier::Sampled, {64, 0}});
+    }
+    dyncapi::DeltaStats demote = dyn.applyPolicyDelta(allSampled);
+    EXPECT_EQ(demote.functionsPatched, 0u);
+    EXPECT_EQ(demote.functionsUnpatched, 0u);
+    EXPECT_EQ(demote.pagesTouched, 0u);
+    EXPECT_EQ(demote.functionsDemoted, init.patchedFunctions);
+    EXPECT_EQ(demote.functionsPromoted, 0u);
+
+    dyncapi::DeltaStats promote = dyn.applyPolicyDelta(allFull);
+    EXPECT_EQ(promote.pagesTouched, 0u);
+    EXPECT_EQ(promote.functionsPromoted, init.patchedFunctions);
+}
+
 TEST(DeltaRepatch, TouchesOnlyChangedPages) {
     AppModel model = patchModel(200);
     CompileOptions copts;

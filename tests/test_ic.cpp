@@ -98,4 +98,113 @@ TEST(Ic, ReadMissingFileThrows) {
     EXPECT_THROW(InstrumentationConfig::readFile("/nonexistent/path/x.json"), Error);
 }
 
+// --- tiered policy ----------------------------------------------------------
+
+using capi::select::InstrumentationPolicy;
+using capi::select::PolicyDelta;
+using capi::select::RegionPolicy;
+using capi::select::SamplingSpec;
+using capi::select::Tier;
+
+InstrumentationPolicy samplePolicy() {
+    InstrumentationPolicy policy;
+    policy.specName = "kernels";
+    policy.application = "lulesh";
+    policy.setRegion("Amul", {Tier::Full, {}});
+    policy.setRegion("CalcHourglassControlForElems", {Tier::Sampled, {64, 500}});
+    policy.setRegion("Foam::fvMatrix::solve", {Tier::Full, {}});
+    return policy;
+}
+
+TEST(Policy, TierLookupAndCounts) {
+    InstrumentationPolicy policy = samplePolicy();
+    EXPECT_EQ(policy.size(), 3u);
+    EXPECT_EQ(policy.tierOf("Amul"), Tier::Full);
+    EXPECT_EQ(policy.tierOf("CalcHourglassControlForElems"), Tier::Sampled);
+    EXPECT_EQ(policy.tierOf("unknown"), Tier::Off);
+    EXPECT_EQ(policy.countOf(Tier::Full), 2u);
+    EXPECT_EQ(policy.countOf(Tier::Sampled), 1u);
+    const RegionPolicy* sampled = policy.policyOf("CalcHourglassControlForElems");
+    ASSERT_NE(sampled, nullptr);
+    EXPECT_EQ(sampled->sampling.everyN, 64u);
+    EXPECT_EQ(sampled->sampling.minIntervalNs, 500u);
+}
+
+TEST(Policy, SetRegionOffRemovesAndFullClearsSpec) {
+    InstrumentationPolicy policy = samplePolicy();
+    policy.setRegion("Amul", {Tier::Off, {}});
+    EXPECT_EQ(policy.size(), 2u);
+    EXPECT_FALSE(policy.contains("Amul"));
+
+    policy.setRegion("CalcHourglassControlForElems", {Tier::Full, {8, 9}});
+    const RegionPolicy* region = policy.policyOf("CalcHourglassControlForElems");
+    ASSERT_NE(region, nullptr);
+    EXPECT_EQ(region->tier, Tier::Full);
+    EXPECT_TRUE(region->sampling.unsampled());
+}
+
+TEST(Policy, FullOfIsTheBinaryDegenerateCase) {
+    InstrumentationConfig ic = sampleIc();
+    ic.staticIds["Amul"] = 0x01000005u;
+    InstrumentationPolicy policy = InstrumentationPolicy::fullOf(ic);
+    EXPECT_EQ(policy.size(), ic.size());
+    for (const std::string& name : ic.functions) {
+        EXPECT_EQ(policy.tierOf(name), Tier::Full);
+    }
+    // Projecting back yields the identical binary IC.
+    InstrumentationConfig round = policy.patchSet();
+    EXPECT_EQ(round.functions, ic.functions);
+    EXPECT_EQ(round.staticIds, ic.staticIds);
+}
+
+TEST(Policy, JsonRoundTripPreservesTiersAndSpecs) {
+    InstrumentationPolicy policy = samplePolicy();
+    policy.staticIds["Amul"] = 0x01000005u;
+    InstrumentationPolicy round = InstrumentationPolicy::fromJson(policy.toJson());
+    EXPECT_EQ(round.functions, policy.functions);
+    EXPECT_EQ(round.regions, policy.regions);
+    EXPECT_EQ(round.specName, "kernels");
+    EXPECT_EQ(round.staticIds.at("Amul"), 0x01000005u);
+    EXPECT_EQ(round.fingerprint(), policy.fingerprint());
+}
+
+TEST(Policy, DiffClassifiesEveryTransition) {
+    InstrumentationPolicy from;
+    from.setRegion("a", {Tier::Full, {}});         // stays
+    from.setRegion("b", {Tier::Full, {}});         // demoted
+    from.setRegion("c", {Tier::Sampled, {64, 0}}); // promoted
+    from.setRegion("d", {Tier::Sampled, {64, 0}}); // regated
+    from.setRegion("e", {Tier::Full, {}});         // removed
+
+    InstrumentationPolicy to;
+    to.setRegion("a", {Tier::Full, {}});
+    to.setRegion("b", {Tier::Sampled, {8, 0}});
+    to.setRegion("c", {Tier::Full, {}});
+    to.setRegion("d", {Tier::Sampled, {8, 0}});
+    to.setRegion("f", {Tier::Sampled, {64, 0}});   // added
+
+    PolicyDelta delta = capi::select::policyDiff(from, to);
+    EXPECT_EQ(delta.added, std::vector<std::string>{"f"});
+    EXPECT_EQ(delta.removed, std::vector<std::string>{"e"});
+    EXPECT_EQ(delta.promoted, std::vector<std::string>{"c"});
+    EXPECT_EQ(delta.demoted, std::vector<std::string>{"b"});
+    EXPECT_EQ(delta.regated, std::vector<std::string>{"d"});
+    EXPECT_FALSE(delta.empty());
+    EXPECT_TRUE(capi::select::policyDiff(to, to).empty());
+}
+
+TEST(Policy, FingerprintTracksTierAndSpecChanges) {
+    InstrumentationPolicy policy = samplePolicy();
+    const std::uint64_t base = policy.fingerprint();
+    EXPECT_EQ(samplePolicy().fingerprint(), base);
+
+    InstrumentationPolicy retiered = samplePolicy();
+    retiered.setRegion("Amul", {Tier::Sampled, {64, 0}});
+    EXPECT_NE(retiered.fingerprint(), base);
+
+    InstrumentationPolicy regated = samplePolicy();
+    regated.setRegion("CalcHourglassControlForElems", {Tier::Sampled, {8, 500}});
+    EXPECT_NE(regated.fingerprint(), base);
+}
+
 }  // namespace

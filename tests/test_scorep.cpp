@@ -152,6 +152,108 @@ TEST(Measurement, RuntimeFilteringRetainsProbeCost) {
     EXPECT_EQ(profile.totalVisits(keep), 1u);
 }
 
+// ---------------------------------------------------------- sampling gates --
+
+TEST(SamplingGate, CountdownDecimatesOneInN) {
+    Measurement m;
+    RegionHandle hot = m.defineRegion("hot");
+    m.setRegionSampling(hot, 8);
+    EXPECT_EQ(m.regionSampling(hot).first, 8u);
+    for (int i = 0; i < 64; ++i) {
+        m.enter(hot);
+        m.exit(hot);
+    }
+    ProfileTree profile = m.mergedProfile();
+    // Visit 1 admitted, then every 8th: 64 visits -> 8 timed, 56 suppressed.
+    EXPECT_EQ(profile.totalVisits(hot), 8u);
+    auto suppressed = m.suppressedVisits();
+    EXPECT_EQ(suppressed[hot], 56u);
+    EXPECT_EQ(m.suppressedEvents(), 112u);  // enter + exit per skipped visit
+}
+
+TEST(SamplingGate, MinIntervalSuppressesBackToBackVisits) {
+    Measurement m;
+    RegionHandle hot = m.defineRegion("hot");
+    // An interval no benchmark loop can satisfy: after the first admitted
+    // visit, every later one lands inside the window and is suppressed.
+    m.setRegionSampling(hot, 1, 60'000'000'000ull);
+    for (int i = 0; i < 50; ++i) {
+        m.enter(hot);
+        m.exit(hot);
+    }
+    ProfileTree profile = m.mergedProfile();
+    EXPECT_EQ(profile.totalVisits(hot), 1u);
+    EXPECT_EQ(m.suppressedVisits()[hot], 49u);
+}
+
+TEST(SamplingGate, SuppressedFramesKeepCallPathStructure) {
+    Measurement m;
+    RegionHandle parent = m.defineRegion("parent");
+    RegionHandle child = m.defineRegion("child");
+    m.setRegionSampling(parent, 1, 60'000'000'000ull);
+    for (int i = 0; i < 10; ++i) {
+        m.enter(parent);  // suppressed after the first visit...
+        m.enter(child);   // ...but the child still records on the real path
+        m.exit(child);
+        m.exit(parent);
+    }
+    ProfileTree profile = m.mergedProfile();
+    EXPECT_EQ(profile.totalVisits(parent), 1u);
+    EXPECT_EQ(profile.totalVisits(child), 10u);
+    // All 10 child visits sit on the parent's call path, not the root's:
+    // a suppressed enter still pushes its real CCT node.
+    std::size_t parentNode = profile.childOf(profile.root(), parent);
+    std::size_t childNode = profile.childOf(parentNode, child);
+    EXPECT_EQ(profile.node(childNode).visits, 10u);
+}
+
+TEST(SamplingGate, ClearRestoresFullMeasurement) {
+    Measurement m;
+    RegionHandle hot = m.defineRegion("hot");
+    m.setRegionSampling(hot, 1000);
+    m.enter(hot);
+    m.exit(hot);  // admitted (first visit), countdown armed
+    m.enter(hot);
+    m.exit(hot);  // suppressed
+    m.clearRegionSampling(hot);
+    EXPECT_EQ(m.regionSampling(hot).first, 1u);
+    for (int i = 0; i < 5; ++i) {
+        m.enter(hot);
+        m.exit(hot);
+    }
+    ProfileTree profile = m.mergedProfile();
+    EXPECT_EQ(profile.totalVisits(hot), 6u);  // 1 sampled + 5 full
+    EXPECT_EQ(m.suppressedVisits()[hot], 1u);
+
+    m.setRegionSampling(hot, 4);
+    m.clearAllSampling();
+    m.enter(hot);
+    m.exit(hot);
+    EXPECT_EQ(m.mergedProfile().totalVisits(hot), 7u);
+}
+
+TEST(SamplingGate, UnsampledRegionsUnaffectedBySampledNeighbor) {
+    Measurement m;
+    RegionHandle hot = m.defineRegion("hot");
+    RegionHandle cold = m.defineRegion("cold");
+    m.setRegionSampling(hot, 4);
+    for (int i = 0; i < 16; ++i) {
+        m.enter(cold);
+        m.exit(cold);
+        m.enter(hot);
+        m.exit(hot);
+    }
+    ProfileTree profile = m.mergedProfile();
+    EXPECT_EQ(profile.totalVisits(cold), 16u);
+    EXPECT_EQ(profile.totalVisits(hot), 4u);
+}
+
+TEST(SamplingGate, GateCostCalibrationIsPositiveAndFinite) {
+    double costNs = calibrateGateCostNs(1 << 10);
+    EXPECT_GT(costNs, 0.0);
+    EXPECT_LT(costNs, 1e7);
+}
+
 // -------------------------------------------------------------- FilterFile --
 
 TEST(FilterFile, LastMatchWins) {

@@ -28,6 +28,7 @@
 // per-shard breakdown, and the CSR snapshot registry's patch-vs-rebuild
 // counts — the knobs to watch when debugging incremental behavior in the
 // field.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +36,8 @@
 #include <string>
 
 #include "adapt/controller.hpp"
+#include "dyncapi/mpi_port.hpp"
+#include "mpisim/mpi_world.hpp"
 #include "apps/lulesh.hpp"
 #include "apps/openfoam.hpp"
 #include "apps/specs.hpp"
@@ -73,6 +76,8 @@ void usage() {
                  "[--budget <fraction>]\n"
                  "       [--epochs <n>] [--per-event-cost-ns <ns>] "
                  "[--keep <name>]...\n"
+                 "       [--sampled-n <N>] [--gate-cost-ns <ns>] "
+                 "[--ranks <n>]\n"
                  "       [--threads <n>] [--output <ic>] [--stats]\n");
 }
 
@@ -107,10 +112,11 @@ int runAdapt(int argc, char** argv) {
     std::string app = "lulesh";
     std::string outputPath;
     bool printStats = false;
-    adapt::ControllerOptions options;
-    options.budgetFraction = 0.05;
-    options.maxEpochs = 5;
-    options.model.perEventCostNs = 200.0;
+    std::size_t ranks = 1;
+    adapt::Config config;
+    config.budgetFraction = 0.05;
+    config.maxEpochs = 5;
+    config.perEventCostNs = 200.0;
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -123,12 +129,20 @@ int runAdapt(int argc, char** argv) {
         };
         try {
             if (arg == "--app") app = next();
-            else if (arg == "--budget") options.budgetFraction = std::stod(next());
-            else if (arg == "--epochs") options.maxEpochs = parseThreads(next());
+            else if (arg == "--budget") config.budgetFraction = std::stod(next());
+            else if (arg == "--epochs") config.maxEpochs = parseThreads(next());
             else if (arg == "--per-event-cost-ns")
-                options.model.perEventCostNs = std::stod(next());
-            else if (arg == "--keep") options.keep.push_back(next());
-            else if (arg == "--threads") options.threads = parseThreads(next());
+                config.perEventCostNs = std::stod(next());
+            else if (arg == "--gate-cost-ns")
+                config.gateCostNs = std::stod(next());
+            else if (arg == "--sampled-n") {
+                config.enableSampledTier = true;
+                config.sampledEveryN =
+                    static_cast<std::uint32_t>(parseThreads(next()));
+            }
+            else if (arg == "--ranks") ranks = std::max<std::size_t>(1, parseThreads(next()));
+            else if (arg == "--keep") config.keep.push_back(next());
+            else if (arg == "--threads") config.threads = parseThreads(next());
             else if (arg == "--output") outputPath = next();
             else if (arg == "--stats") printStats = true;
             else {
@@ -167,17 +181,18 @@ int runAdapt(int argc, char** argv) {
         // Fold per-epoch visit counts into the graph as journaled metric
         // touches so the per-epoch refinement re-selection below exercises
         // the incremental machinery the counters describe.
-        options.foldVisitMetricsInto = &graph;
+        config.foldVisitMetricsInto = &graph;
     }
-    adapt::Controller controller(graph, dyn, options);
+    adapt::Controller controller(graph, dyn, config);
 
     select::InstrumentationConfig survey = adapt::surveyOfDefinedFunctions(graph);
     survey.application = app;
     dyncapi::InitStats init = controller.start(survey);
-    std::printf("%s: %zu CG nodes, survey IC %zu, budget %.1f%%, full patch "
+    std::printf("%s: %zu CG nodes, survey IC %zu, budget %.1f%%%s, full patch "
                 "touched %llu pages\n",
                 app.c_str(), graph.size(), survey.size(),
-                options.budgetFraction * 100.0,
+                config.budgetFraction * 100.0,
+                config.enableSampledTier ? " (sampled tier on)" : "",
                 static_cast<unsigned long long>(init.pagesTouched));
     if (printStats) {
         // Warm the session cache before the first epoch so the per-epoch
@@ -190,13 +205,35 @@ int runAdapt(int argc, char** argv) {
         scorep::CygProfileAdapter adapter(
             measurement, scorep::SymbolResolver::withSymbolInjection(process));
         dyn.attachCygHandler(adapter);
-        binsim::ExecutionEngine engine(process);
-        binsim::RunStats stats = engine.run();
-        dyn.detachHandler();
-        adapt::EpochReport report = controller.epoch(
-            measurement.mergedProfile(), measurement,
-            adapt::virtualEpochRuntimeNs(stats, measurement,
-                                         options.model.perEventCostNs));
+        adapt::EpochReport report;
+        if (ranks == 1) {
+            binsim::ExecutionEngine engine(process);
+            binsim::RunStats stats = engine.run();
+            dyn.detachHandler();
+            report = controller.epoch(
+                measurement.mergedProfile(), measurement,
+                adapt::virtualEpochRuntimeNs(stats, measurement,
+                                             config.perEventCostNs,
+                                             config.gateCostNs));
+        } else {
+            // MPI shape: every rank measures locally; epochAllRanks merges
+            // the trees, plans once and reports per-rank policy divergence.
+            mpi::MpiWorld world(static_cast<int>(ranks));
+            dyncapi::WorldMpiPort port(world);
+            mpi::runRanks(world, [&](int rank) {
+                binsim::ExecutionEngine engine(process);
+                engine.setMpiPort(&port);
+                binsim::RunStats stats =
+                    engine.run(rank, static_cast<int>(ranks));
+                report = controller.epochAllRanks(
+                    world, rank, stats.virtualNs, measurement.threadProfile(),
+                    measurement,
+                    adapt::virtualEpochRuntimeNs(stats, measurement,
+                                                 config.perEventCostNs,
+                                                 config.gateCostNs));
+            });
+            dyn.detachHandler();
+        }
         std::printf("epoch %zu: overhead %.2f%%, IC %zu (-%zu/+%zu), delta "
                     "touched %llu pages%s\n",
                     report.epoch, report.measuredOverheadRatio * 100.0,
@@ -204,6 +241,18 @@ int runAdapt(int argc, char** argv) {
                     report.addedFunctions,
                     static_cast<unsigned long long>(report.patch.pagesTouched),
                     report.withinBudget ? " [in budget]" : "");
+        if (printStats) {
+            // Per-tier distribution of the freshly planned policy, the
+            // tier-only transitions the delta carried, and — on multi-rank
+            // epochs — whether any rank entered the epoch on a diverged
+            // policy (always 0 unless a rank missed a repatch).
+            std::printf("  tiers: %zu full, %zu sampled (%zu promoted, %zu "
+                        "demoted); policy %016llx; divergent ranks %zu/%zu\n",
+                        report.fullRegions, report.sampledRegions,
+                        report.promotedFunctions, report.demotedFunctions,
+                        static_cast<unsigned long long>(report.policyFingerprint),
+                        report.divergentRanks, ranks);
+        }
         if (printStats) {
             // An incremental re-selection against the just-journaled metric
             // delta: the profiledVisits stage re-runs, everything else —
@@ -217,10 +266,13 @@ int runAdapt(int argc, char** argv) {
                         refine.pipelineRun.sizes.size());
         }
     }
-    std::printf("%s after %zu epochs: IC %zu of %zu functions\n",
+    std::printf("%s after %zu epochs: IC %zu of %zu functions (%zu full, "
+                "%zu sampled)\n",
                 controller.converged() ? "converged" : "epoch cap reached",
                 controller.epochsRun(), controller.currentIc().size(),
-                survey.size());
+                survey.size(),
+                controller.currentPolicy().countOf(select::Tier::Full),
+                controller.currentPolicy().countOf(select::Tier::Sampled));
     if (printStats) {
         select::SelectorCache::Stats cacheStats =
             controller.session().cache().stats();
