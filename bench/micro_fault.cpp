@@ -1,0 +1,185 @@
+// Micro-benchmarks of the fault-injection plumbing's cost contract.
+//
+// The injection sites are compiled into the shipping hot paths (CodeMemory
+// writes, the measurement exit probe, MpiWorld's op dispatch), so their
+// disarmed cost is the one that matters: it must be noise-level against the
+// bare enter/exit pair (micro_dispatch's BM_ScorePEnterExit, the ~41.7 ns
+// baseline in ROADMAP.md) — the acceptance bar is <=2% on that path. The
+// armed variants and the transaction benches quantify what a fault-injection
+// run itself costs: the registry slow path per armed-mode probe, a failed
+// patch transaction's rollback (vs the same-size committed transaction), in
+// ns per rolled-back sled.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "binsim/compiler.hpp"
+#include "binsim/process.hpp"
+#include "dyncapi/dyncapi.hpp"
+#include "scorepsim/measurement.hpp"
+#include "support/fault.hpp"
+#include "xraysim/xray_runtime.hpp"
+
+namespace {
+
+using namespace capi;
+namespace fault = capi::support::fault;
+
+/// The disarmed fast path in isolation: one relaxed atomic load and a
+/// predicted branch. This is what every site check costs in production.
+void BM_DisarmedSiteCheck(benchmark::State& state) {
+    fault::disarmAll();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fault::shouldFail(fault::sites::kXraySledWrite));
+    }
+}
+BENCHMARK(BM_DisarmedSiteCheck);
+
+/// The armed-mode slow path without a fire: mutex + hash lookup + Bernoulli
+/// draw per check. Only fault-injection runs pay this.
+void BM_ArmedSiteCheckNoFire(benchmark::State& state) {
+    fault::FaultSpec spec;
+    spec.probability = 0.0;  // hit the slow path, never fire
+    fault::arm(fault::sites::kXraySledWrite, spec, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fault::shouldFail(fault::sites::kXraySledWrite));
+    }
+    fault::disarmAll();
+}
+BENCHMARK(BM_ArmedSiteCheckNoFire);
+
+/// The measurement enter/exit pair with the fault plumbing in its shipped
+/// state (compiled in, nothing armed). Compare against micro_dispatch's
+/// BM_ScorePEnterExit: the delta is the disarmed-site overhead on the hot
+/// path and must stay within noise (<=2%).
+void BM_EnterExitDisarmed(benchmark::State& state) {
+    fault::disarmAll();
+    scorep::Measurement measurement;
+    scorep::RegionHandle region = measurement.defineRegion("kernel");
+    for (auto _ : state) {
+        measurement.enter(region);
+        measurement.exit(region);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EnterExitDisarmed);
+
+/// The same pair while an UNRELATED site is armed: every exit now takes the
+/// registry slow path (a miss on scorep.probe_inflate). The price of
+/// running an entire epoch with fault injection switched on.
+void BM_EnterExitUnrelatedSiteArmed(benchmark::State& state) {
+    fault::FaultSpec spec;
+    spec.probability = 0.0;
+    fault::arm(fault::sites::kMpiStraggler, spec, 1);
+    scorep::Measurement measurement;
+    scorep::RegionHandle region = measurement.defineRegion("kernel");
+    for (auto _ : state) {
+        measurement.enter(region);
+        measurement.exit(region);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+    fault::disarmAll();
+}
+BENCHMARK(BM_EnterExitUnrelatedSiteArmed);
+
+/// Executable + two DSOs, `perObject` sledded functions each — one code-page
+/// run per object, so a full-IC flip is 3 page runs.
+binsim::AppModel patchModel(std::uint32_t perObject) {
+    binsim::AppModel model;
+    model.name = "faultbench";
+    model.dsos.push_back({"liba.so"});
+    model.dsos.push_back({"libb.so"});
+    for (int dso = -1; dso < 2; ++dso) {
+        std::string prefix = dso < 0 ? "exe_" : (dso == 0 ? "a_" : "b_");
+        for (std::uint32_t i = 0; i < perObject; ++i) {
+            binsim::AppFunction fn;
+            fn.name = prefix + "fn" + std::to_string(i);
+            fn.unit = prefix + "unit.cpp";
+            fn.dso = dso;
+            fn.metrics.numInstructions = 100;
+            fn.flags.hasBody = true;
+            model.functions.push_back(fn);
+        }
+    }
+    model.entry = 0;
+    return model;
+}
+
+select::InstrumentationPolicy fullPolicy(const binsim::AppModel& model) {
+    select::InstrumentationPolicy policy;
+    policy.specName = "bench-full";
+    for (const binsim::AppFunction& fn : model.functions) {
+        select::RegionPolicy region;
+        region.tier = select::Tier::Full;
+        policy.setRegion(fn.name, region);
+    }
+    return policy;
+}
+
+/// A committed patch transaction of the reference size: flip every sled on,
+/// then off, per iteration (two transactions, 3 page runs each). The
+/// baseline the rollback bench is compared against.
+void BM_TransactionCommit(benchmark::State& state) {
+    fault::disarmAll();
+    binsim::AppModel model = patchModel(40);
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    binsim::Process process(binsim::compile(model, copts));
+    dyncapi::DynCapi dyn(process);
+    select::InstrumentationPolicy full = fullPolicy(model);
+    select::InstrumentationPolicy none;
+    none.specName = "bench-none";
+    std::uint64_t sleds = 0;
+    for (auto _ : state) {
+        dyncapi::DeltaStats on = dyn.applyPolicyDelta(full);
+        dyncapi::DeltaStats off = dyn.applyPolicyDelta(none);
+        sleds += (on.functionsPatched + off.functionsUnpatched) * 2;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(sleds));
+    state.counters["sleds_per_txn"] =
+        benchmark::Counter(static_cast<double>(sleds) /
+                           (2.0 * static_cast<double>(state.iterations())));
+}
+BENCHMARK(BM_TransactionCommit);
+
+/// A failed transaction: a one-shot injected sled-write fault aborts the
+/// flip after `afterHits` staged writes and the transaction rolls everything
+/// back (reopen page runs, restore cells, restore tiers, reseal). Items =
+/// sleds rolled back, so ns/op is the cost per rolled-back sled; the
+/// distance to BM_TransactionCommit's ns/op is the rollback premium.
+void BM_RollbackFailedTransaction(benchmark::State& state) {
+    binsim::AppModel model = patchModel(40);
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    binsim::Process process(binsim::compile(model, copts));
+    dyncapi::DynCapi dyn(process);
+    select::InstrumentationPolicy full = fullPolicy(model);
+    // Fail late: most of the 240 sled writes are staged before the abort,
+    // so the measured rollback spans all three page runs.
+    fault::FaultSpec spec;
+    spec.afterHits = 200;
+    spec.maxFires = 1;
+    std::uint64_t rolledBack = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        fault::arm(fault::sites::kXraySledWrite, spec, 1);
+        state.ResumeTiming();
+        try {
+            dyn.applyPolicyDelta(full);
+            state.SkipWithError("injected fault did not fire");
+            break;
+        } catch (const xray::PatchError& error) {
+            rolledBack += error.sledsRolledBack();
+        }
+    }
+    fault::disarmAll();
+    state.SetItemsProcessed(static_cast<std::int64_t>(rolledBack));
+    state.counters["sleds_per_rollback"] = benchmark::Counter(
+        static_cast<double>(rolledBack) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_RollbackFailedTransaction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "support/backoff.hpp"
+
 namespace capi::support {
 class ThreadPool;
 }
@@ -73,6 +75,23 @@ struct Config {
     /// metric-only journal records, so re-selections patch their CSR
     /// snapshot instead of rebuilding.
     cg::CallGraph* foldVisitMetricsInto = nullptr;
+
+    // --- self-healing ------------------------------------------------------
+    /// Attempts to re-apply a failed policy patch within one epoch before
+    /// reverting to the last known-good policy. Each retry waits one
+    /// retryBackoff delay (deterministic under retrySeed).
+    std::size_t patchRetries = 3;
+    support::BackoffOptions retryBackoff{};
+    std::uint64_t retrySeed = 0;
+    /// Overhead kill-switch: when the measured overhead ratio exceeds
+    /// budgetFraction * killSwitchFactor for killSwitchEpochs consecutive
+    /// epochs, the controller trips into SafeMode (minimal keep-only
+    /// instrumentation). killSwitchRearmEpochs consecutive in-budget epochs
+    /// in SafeMode re-arm the planner (hysteresis, so a borderline workload
+    /// does not flap between tripped and armed).
+    double killSwitchFactor = 3.0;
+    std::size_t killSwitchEpochs = 3;
+    std::size_t killSwitchRearmEpochs = 2;
 };
 
 }  // namespace capi::adapt

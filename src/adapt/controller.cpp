@@ -1,10 +1,24 @@
 #include "adapt/controller.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
+#include "support/backoff.hpp"
+#include "xraysim/xray_runtime.hpp"
+
 namespace capi::adapt {
+
+const char* healthName(EpochHealth health) {
+    switch (health) {
+        case EpochHealth::Healthy: return "healthy";
+        case EpochHealth::Degraded: return "degraded";
+        case EpochHealth::SafeMode: return "safe-mode";
+    }
+    return "<unknown>";
+}
 
 Controller::Controller(const cg::CallGraph& graph, dyncapi::DynCapi& dyn,
                        Config config)
@@ -80,29 +94,148 @@ EpochReport Controller::epoch(const scorep::ProfileTree& profile,
     report.measuredOverheadRatio = model_.lastEpochOverheadRatio();
     report.withinBudget = report.measuredOverheadRatio <= config_.budgetFraction;
 
-    // Re-plan over the survey candidates, not the shrunken current IC:
-    // the model's frozen estimates let the planner re-admit regions whose
-    // smoothed cost no longer blocks the budget (and re-promote regions it
-    // demoted to Sampled).
-    PlanResult plan = planner_.plan(surveyIc_, model_, config_);
-    report.budgetNs = plan.budgetNs;
-    report.plannedProbeCostNs = plan.plannedProbeCostNs;
-    report.icSize = plan.ic.size();
-    report.fullRegions = plan.fullRegions;
-    report.sampledRegions = plan.sampledRegions;
+    updateKillSwitch(report);
 
-    select::PolicyDelta delta = select::policyDiff(currentPolicy_, plan.policy);
+    // Pick the target policy: the planner's, or — with the kill-switch
+    // tripped — the keep-list-only fallback, whose cost does not depend on
+    // the planner's (apparently miscalibrated) model at all.
+    select::InstrumentationPolicy target;
+    select::InstrumentationConfig targetIc;
+    if (health_ == EpochHealth::SafeMode) {
+        target = safeModePolicy();
+        targetIc = target.patchSet();
+        report.budgetNs = config_.budgetFraction * runtimeNs;
+        report.plannedProbeCostNs = 0.0;
+        report.icSize = targetIc.size();
+        report.fullRegions = target.countOf(select::Tier::Full);
+        report.sampledRegions = 0;
+    } else {
+        // Re-plan over the survey candidates, not the shrunken current IC:
+        // the model's frozen estimates let the planner re-admit regions whose
+        // smoothed cost no longer blocks the budget (and re-promote regions
+        // it demoted to Sampled).
+        PlanResult plan = planner_.plan(surveyIc_, model_, config_);
+        report.budgetNs = plan.budgetNs;
+        report.plannedProbeCostNs = plan.plannedProbeCostNs;
+        report.icSize = plan.ic.size();
+        report.fullRegions = plan.fullRegions;
+        report.sampledRegions = plan.sampledRegions;
+        target = std::move(plan.policy);
+        targetIc = std::move(plan.ic);
+    }
+
+    select::PolicyDelta delta = select::policyDiff(currentPolicy_, target);
     report.addedFunctions = delta.added.size();
     report.removedFunctions = delta.removed.size();
     report.promotedFunctions = delta.promoted.size();
     report.demotedFunctions = delta.demoted.size();
-    report.patch = dyn_->applyPolicyDelta(plan.policy);
-    currentPolicy_ = std::move(plan.policy);
-    currentIc_ = std::move(plan.ic);
+
+    if (applyWithRetry(target, report)) {
+        currentPolicy_ = std::move(target);
+        currentIc_ = std::move(targetIc);
+        if (report.retriesThisEpoch > 0) {
+            if (health_ == EpochHealth::Healthy) {
+                health_ = EpochHealth::Degraded;
+            }
+        } else if (health_ == EpochHealth::Degraded && !report.killSwitchRearmed) {
+            // A clean epoch heals — but the rearm epoch itself stays
+            // Degraded: the planner must prove a full epoch clean first.
+            health_ = EpochHealth::Healthy;
+        }
+    } else {
+        // Retries exhausted. The transaction rolled every attempt back, so
+        // the live sled/tier state still IS currentPolicy_ — the last
+        // known-good. Re-apply it as a consistency pass (normally a no-op
+        // delta) and stay on the old IC.
+        report.revertedToLastGood = true;
+        ++healthStats_.reversions;
+        if (health_ != EpochHealth::SafeMode) {
+            health_ = EpochHealth::Degraded;
+        }
+        try {
+            report.patch = dyn_->applyPolicyDelta(currentPolicy_);
+        } catch (const xray::PatchError&) {
+            // Even the no-op revert failed: wedge into SafeMode and make a
+            // best-effort attempt to shed down to the minimal policy.
+            ++healthStats_.patchFailures;
+            health_ = EpochHealth::SafeMode;
+            try {
+                select::InstrumentationPolicy safe = safeModePolicy();
+                report.patch = dyn_->applyPolicyDelta(safe);
+                currentIc_ = safe.patchSet();
+                currentPolicy_ = std::move(safe);
+            } catch (const xray::PatchError&) {
+                ++healthStats_.patchFailures;  // Keep last-good; next epoch retries.
+            }
+        }
+    }
     report.policyFingerprint = currentPolicy_.fingerprint();
+    report.health = health_;
 
     lastReport_ = report;
     return report;
+}
+
+select::InstrumentationPolicy Controller::safeModePolicy() const {
+    select::InstrumentationConfig keepIc;
+    keepIc.specName = "safe-mode";
+    for (const std::string& name : config_.keep) {
+        keepIc.addFunction(name);
+    }
+    return select::InstrumentationPolicy::fullOf(keepIc);
+}
+
+bool Controller::applyWithRetry(const select::InstrumentationPolicy& target,
+                                EpochReport& report) {
+    support::Backoff backoff(config_.retryBackoff, config_.retrySeed);
+    for (std::size_t attempt = 0; attempt <= config_.patchRetries; ++attempt) {
+        try {
+            report.patch = dyn_->applyPolicyDelta(target);
+            return true;
+        } catch (const xray::PatchError&) {
+            ++healthStats_.patchFailures;
+            if (attempt == config_.patchRetries) {
+                return false;
+            }
+            ++healthStats_.patchRetries;
+            ++report.retriesThisEpoch;
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(backoff.nextDelayNs()));
+        }
+    }
+    return false;
+}
+
+void Controller::updateKillSwitch(EpochReport& report) {
+    const double tripRatio = config_.budgetFraction * config_.killSwitchFactor;
+    if (report.measuredOverheadRatio > tripRatio) {
+        ++overBudgetStreak_;
+        inBudgetStreak_ = 0;
+    } else if (report.withinBudget) {
+        ++inBudgetStreak_;
+        overBudgetStreak_ = 0;
+    } else {
+        // The grey zone between budget and trip ratio: breaks both streaks,
+        // which is the hysteresis that keeps a borderline workload from
+        // flapping between tripped and re-armed.
+        overBudgetStreak_ = 0;
+        inBudgetStreak_ = 0;
+    }
+    if (health_ != EpochHealth::SafeMode &&
+        overBudgetStreak_ >= config_.killSwitchEpochs) {
+        health_ = EpochHealth::SafeMode;
+        ++healthStats_.killSwitchTrips;
+        report.killSwitchTripped = true;
+        overBudgetStreak_ = 0;
+    } else if (health_ == EpochHealth::SafeMode &&
+               inBudgetStreak_ >= config_.killSwitchRearmEpochs) {
+        // Re-arm into Degraded, not Healthy: the next planned epoch must
+        // prove itself clean before the controller reports full health.
+        health_ = EpochHealth::Degraded;
+        ++healthStats_.killSwitchRearms;
+        report.killSwitchRearmed = true;
+        inBudgetStreak_ = 0;
+    }
 }
 
 EpochReport Controller::epochAllRanks(mpi::MpiWorld& world, int rank,
@@ -115,18 +248,28 @@ EpochReport Controller::epochAllRanks(mpi::MpiWorld& world, int rank,
         double runtimeNs;
         std::uint64_t policyFingerprint;
         EpochReport report;
+        /// The policy the reduction converged on, copied into every slot
+        /// under the world lock so divergent ranks can re-apply it after
+        /// they wake (satisfying the fingerprint-equality postcondition).
+        select::InstrumentationPolicy convergedPolicy;
+        /// True on the slot of the rank whose controller ran the reduction
+        /// (that controller is already up to date; every other one must
+        /// check its fingerprint).
+        bool reducedByMe = false;
     };
     // Each rank deposits the fingerprint of the tiered policy it believes is
     // live, so the reducing rank can detect pre-epoch divergence across the
     // world (a rank that missed a repatch, say) and surface it in the report.
-    Slot slot{&localProfile, runtimeNs, currentPolicy_.fingerprint(), {}};
+    Slot slot{&localProfile, runtimeNs, currentPolicy_.fingerprint(), {}, {},
+              false};
     // The last-arriving rank reduces every deposited tree, runs the epoch
     // once and broadcasts the report back through the slots — one plan, one
     // delta repatch, one IC for the whole world. Runtimes are SUMMED across
     // ranks to match the merged profile's summed visit counts: the world's
     // probe cost over the world's aggregate compute time is the average
     // per-rank overhead, so the ratio (and the budget derived from it) does
-    // not scale with world size.
+    // not scale with world size. Dropped ranks contribute no slot; the
+    // collective completes over the survivors (see MpiWorld's quorum policy).
     world.allreduceData(
         rank, virtualNow, &slot, [&](const std::vector<void*>& all) {
             scorep::ProfileTree merged;
@@ -146,9 +289,45 @@ EpochReport Controller::epochAllRanks(mpi::MpiWorld& world, int rank,
             report.divergentRanks = divergent;
             lastReport_.divergentRanks = divergent;
             for (void* entry : all) {
-                static_cast<Slot*>(entry)->report = report;
+                auto* other = static_cast<Slot*>(entry);
+                other->report = report;
+                other->convergedPolicy = currentPolicy_;
+                other->reducedByMe = (other == &slot);
             }
         });
+    // Visible to every rank in its own returned report; lastReport_ is only
+    // written below on controllers that this rank exclusively owns.
+    slot.report.droppedRanks =
+        static_cast<std::size_t>(world.worldSize() - world.liveRankCount());
+    // Reconciliation: a rank driving its own controller (one per process,
+    // the real-MPI shape) wakes here with a stale currentPolicy_ — the
+    // reduction patched only the reducing rank's. Re-apply the converged
+    // policy so every rank's fingerprint equals the report's before this
+    // collective returns. When all ranks share one controller the
+    // fingerprints already match and nothing is written (no data race: the
+    // reducer's writes happened-before the wake-up).
+    if (!slot.reducedByMe &&
+        currentPolicy_.fingerprint() != slot.report.policyFingerprint) {
+        EpochReport applied = slot.report;
+        applied.retriesThisEpoch = 0;
+        if (applyWithRetry(slot.convergedPolicy, applied)) {
+            currentPolicy_ = std::move(slot.convergedPolicy);
+            currentIc_ = currentPolicy_.patchSet();
+            slot.report.patch = applied.patch;
+        }
+        // On exhausted retries this rank stays on its last-good policy —
+        // Degraded, to be reconciled again next epoch.
+        if (applied.retriesThisEpoch > 0 || currentPolicy_.fingerprint() !=
+                                                slot.report.policyFingerprint) {
+            health_ = EpochHealth::Degraded;
+            slot.report.health = health_;
+        }
+        lastReport_ = slot.report;
+    } else if (!slot.reducedByMe && lastReport_.epoch != slot.report.epoch) {
+        // Same fingerprint but a controller that did not see the reduction
+        // (per-rank controllers already converged): adopt the world report.
+        lastReport_ = slot.report;
+    }
     return slot.report;
 }
 

@@ -71,6 +71,28 @@ struct ControllerOptions {
     }
 };
 
+/// The controller's self-healing state machine.
+///
+///   Healthy --patch failed / kill-switch armed--> Degraded/SafeMode
+///   Degraded: the last epoch needed retries or reverted to the last
+///             known-good policy; a clean epoch heals back to Healthy.
+///   SafeMode: the overhead kill-switch tripped (or reversion itself
+///             failed): only the keep-list stays instrumented until
+///             killSwitchRearmEpochs consecutive in-budget epochs re-arm
+///             the planner.
+enum class EpochHealth : std::uint8_t { Healthy = 0, Degraded = 1, SafeMode = 2 };
+
+const char* healthName(EpochHealth health);
+
+/// Cumulative self-healing counters over the controller's lifetime.
+struct HealthStats {
+    std::uint64_t patchFailures = 0;   ///< PatchErrors caught (retries included).
+    std::uint64_t patchRetries = 0;    ///< Re-apply attempts after a failure.
+    std::uint64_t reversions = 0;      ///< Epochs that fell back to last-good.
+    std::uint64_t killSwitchTrips = 0;
+    std::uint64_t killSwitchRearms = 0;
+};
+
 /// What one epoch measured and what the controller did about it.
 struct EpochReport {
     std::size_t epoch = 0;                ///< 1-based.
@@ -92,8 +114,18 @@ struct EpochReport {
     std::uint64_t policyFingerprint = 0;  ///< Fingerprint of the new policy.
     /// epochAllRanks only: ranks whose pre-epoch policy fingerprint differed
     /// from the reducing rank's — nonzero means the world had diverged going
-    /// into this epoch (it leaves converged on one policy either way).
+    /// into this epoch. Divergent ranks re-apply the converged policy on
+    /// their own controller before epochAllRanks returns, so the world
+    /// leaves every epoch converged on one policy.
     std::size_t divergentRanks = 0;
+    /// epochAllRanks only: ranks dropped from the world as of this epoch.
+    std::size_t droppedRanks = 0;
+    // --- self-healing ------------------------------------------------------
+    EpochHealth health = EpochHealth::Healthy;  ///< State after this epoch.
+    std::size_t retriesThisEpoch = 0;  ///< Patch re-applies this epoch.
+    bool revertedToLastGood = false;   ///< Retries exhausted; kept old policy.
+    bool killSwitchTripped = false;    ///< Entered SafeMode this epoch.
+    bool killSwitchRearmed = false;    ///< Left SafeMode this epoch.
 };
 
 class Controller {
@@ -152,6 +184,8 @@ public:
 
     std::size_t epochsRun() const { return lastReport_.epoch; }
     const EpochReport& lastReport() const { return lastReport_; }
+    EpochHealth health() const { return health_; }
+    const HealthStats& healthStats() const { return healthStats_; }
     const select::InstrumentationConfig& currentIc() const { return currentIc_; }
     /// The tiered policy currently applied (currentIc() is its patch set).
     const select::InstrumentationPolicy& currentPolicy() const {
@@ -163,6 +197,21 @@ public:
     dyncapi::RefinementSession& session() { return *session_; }
 
 private:
+    /// The keep-list-only fallback policy SafeMode runs under (empty keep
+    /// list = fully uninstrumented): the minimal state whose overhead is by
+    /// construction as low as this controller can go.
+    select::InstrumentationPolicy safeModePolicy() const;
+
+    /// Applies `target` with up to config_.patchRetries backoff-spaced
+    /// re-applies on PatchError. Returns true and fills report.patch on
+    /// success; false once the attempts are exhausted.
+    bool applyWithRetry(const select::InstrumentationPolicy& target,
+                        EpochReport& report);
+
+    /// Advances the kill-switch streaks for one epoch's measured ratio and
+    /// performs the SafeMode trip / re-arm transitions.
+    void updateKillSwitch(EpochReport& report);
+
     dyncapi::DynCapi* dyn_;
     Config config_;
     std::unique_ptr<dyncapi::RefinementSession> session_;
@@ -172,6 +221,11 @@ private:
     select::InstrumentationConfig currentIc_;
     select::InstrumentationPolicy currentPolicy_;
     EpochReport lastReport_;
+
+    EpochHealth health_ = EpochHealth::Healthy;
+    HealthStats healthStats_;
+    std::size_t overBudgetStreak_ = 0;  ///< Consecutive epochs past the trip ratio.
+    std::size_t inBudgetStreak_ = 0;    ///< Consecutive epochs within budget.
 };
 
 /// The "instrument everything with a body" survey IC — the broadest useful

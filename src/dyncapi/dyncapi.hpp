@@ -92,6 +92,14 @@ public:
     /// code page. Sound across dlopen/dlclose because the current set is
     /// read from the sleds, not from a cached previous policy. This is what
     /// makes the adaptive controller's epoch loop cheap (see src/adapt/).
+    ///
+    /// Failure contract: the underlying patch transaction is all-or-nothing
+    /// (see XRayRuntime::patchDeltaTiered). If it fails, the rolled-back
+    /// xray::PatchError propagates out of this call *before* currentPolicy_
+    /// or the measurement gates are updated — a failed apply commits
+    /// nothing, and currentPolicy() still names the live (last successfully
+    /// applied) policy. The adaptive controller relies on exactly this to
+    /// retry or revert (see adapt::Controller).
     DeltaStats applyPolicyDelta(const select::InstrumentationPolicy& policy);
 
     /// Binary-set overload: the Full|Off degenerate case, forwarded through

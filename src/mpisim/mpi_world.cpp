@@ -1,7 +1,11 @@
 #include "mpisim/mpi_world.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 #include <thread>
+
+#include "support/fault.hpp"
 
 namespace capi::mpi {
 
@@ -40,6 +44,108 @@ MpiWorld::MpiWorld(int worldSize, LatencyModel latency)
     initialized_.assign(static_cast<std::size_t>(worldSize), false);
     finalized_.assign(static_cast<std::size_t>(worldSize), false);
     mpiTimeNs_.assign(static_cast<std::size_t>(worldSize), 0.0);
+    dropped_.assign(static_cast<std::size_t>(worldSize), 0);
+    arrivedFlag_.assign(static_cast<std::size_t>(worldSize), 0);
+}
+
+bool MpiWorld::generationCompleteLocked() const {
+    if (arrived_ == 0) {
+        return false;  // Nothing pending; dropRank must not spin the counter.
+    }
+    for (int r = 0; r < worldSize_; ++r) {
+        if (!arrivedFlag_[static_cast<std::size_t>(r)] &&
+            !dropped_[static_cast<std::size_t>(r)]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void MpiWorld::completeGenerationLocked() {
+    if (pendingCombine_) {
+        // Reduce over the arrived payloads only, in rank order: dropped
+        // ranks contributed nothing, exactly like a shrunk communicator.
+        std::vector<void*> arrivedPayloads;
+        arrivedPayloads.reserve(static_cast<std::size_t>(arrived_));
+        for (int r = 0; r < worldSize_; ++r) {
+            if (arrivedFlag_[static_cast<std::size_t>(r)] &&
+                payloads_[static_cast<std::size_t>(r)] != nullptr) {
+                arrivedPayloads.push_back(payloads_[static_cast<std::size_t>(r)]);
+            }
+        }
+        try {
+            pendingCombine_(arrivedPayloads);
+        } catch (...) {
+            abort_ = true;
+            cv_.notify_all();
+            throw;
+        }
+    }
+    // Missing ranks must not pull the completion clocks around: mask their
+    // stale deposits to -infinity, which both completion functions (global
+    // max, neighbour max) ignore by construction.
+    std::vector<double> masked = clocks_;
+    for (int r = 0; r < worldSize_; ++r) {
+        if (!arrivedFlag_[static_cast<std::size_t>(r)]) {
+            masked[static_cast<std::size_t>(r)] =
+                -std::numeric_limits<double>::infinity();
+        }
+    }
+    for (int r = 0; r < worldSize_; ++r) {
+        if (arrivedFlag_[static_cast<std::size_t>(r)]) {
+            completions_[static_cast<std::size_t>(r)] =
+                pendingCompletionFn_(masked, r);
+        }
+    }
+    arrived_ = 0;
+    arrivedFlag_.assign(static_cast<std::size_t>(worldSize_), 0);
+    pendingCompletionFn_ = {};
+    pendingCombine_ = {};
+    ++generation_;
+    cv_.notify_all();
+}
+
+void MpiWorld::waitWithTimeoutLocked(std::unique_lock<std::mutex>& lock,
+                                     std::uint64_t myGeneration) {
+    support::Backoff backoff(policy_.backoff, policy_.backoffSeed);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::nanoseconds(policy_.timeoutNs);
+    auto released = [&] { return generation_ != myGeneration || abort_; };
+    while (!released()) {
+        cv_.wait_for(lock, std::chrono::nanoseconds(backoff.nextDelayNs()),
+                     released);
+        if (released()) {
+            return;
+        }
+        if (std::chrono::steady_clock::now() < deadline) {
+            continue;
+        }
+        // Deadline expired with the generation still hung. Count who made
+        // it: with a quorum present the stragglers are evicted and the
+        // collective completes over the survivors; below quorum the world
+        // cannot meaningfully continue and aborts.
+        int arrivedCount = 0;
+        for (int r = 0; r < worldSize_; ++r) {
+            arrivedCount += arrivedFlag_[static_cast<std::size_t>(r)] ? 1 : 0;
+        }
+        int quorum = policy_.quorum > 0 ? policy_.quorum : worldSize_;
+        if (arrivedCount < quorum) {
+            abort_ = true;
+            cv_.notify_all();
+            throw support::Error(
+                "MPI: collective timed out with " + std::to_string(arrivedCount) +
+                " of " + std::to_string(worldSize_) +
+                " ranks arrived, below quorum " + std::to_string(quorum));
+        }
+        for (int r = 0; r < worldSize_; ++r) {
+            if (!arrivedFlag_[static_cast<std::size_t>(r)] &&
+                !dropped_[static_cast<std::size_t>(r)]) {
+                dropped_[static_cast<std::size_t>(r)] = 1;
+            }
+        }
+        completeGenerationLocked();
+        return;
+    }
 }
 
 double MpiWorld::collectiveSync(
@@ -50,36 +156,37 @@ double MpiWorld::collectiveSync(
     if (abort_) {
         throw support::Error("MPI aborted");
     }
+    if (dropped_[static_cast<std::size_t>(rank)]) {
+        // An evicted straggler (or explicitly dropped rank) showing up late:
+        // the world has moved on without it.
+        throw RankDroppedError(rank);
+    }
     clocks_[static_cast<std::size_t>(rank)] = virtualNow;
     payloads_[static_cast<std::size_t>(rank)] = payload;
+    arrivedFlag_[static_cast<std::size_t>(rank)] = 1;
+    ++arrived_;
+    // Keep copies of this generation's functions: every rank passes
+    // equivalent ones by contract, and completion may be triggered by
+    // dropRank or a timed-out waiter rather than by the final arrival.
+    pendingCompletionFn_ = completionFn;
+    if (combine != nullptr && *combine) {
+        pendingCombine_ = *combine;
+    }
     std::uint64_t myGeneration = generation_;
-    if (++arrived_ == worldSize_) {
-        // Last arrival reduces any deposited data (every rank passed an
-        // equivalent combine by contract, so running the last one is
-        // running "the" reduction), computes every rank's completion clock
-        // and releases the generation. A throwing combine aborts the world
-        // — the generation can never complete, so the blocked peers must be
-        // woken with an error, exactly as when a rank thread dies.
-        if (combine != nullptr && *combine) {
-            try {
-                (*combine)(payloads_);
-            } catch (...) {
-                abort_ = true;
-                cv_.notify_all();
-                throw;
-            }
-        }
-        for (int r = 0; r < worldSize_; ++r) {
-            completions_[static_cast<std::size_t>(r)] = completionFn(clocks_, r);
-        }
-        arrived_ = 0;
-        ++generation_;
-        cv_.notify_all();
-    } else {
+    if (generationCompleteLocked()) {
+        // Last live arrival reduces the deposited data, computes the
+        // completion clocks and releases the generation. A throwing combine
+        // aborts the world — the generation can never complete, so the
+        // blocked peers must be woken with an error, exactly as when a rank
+        // thread dies.
+        completeGenerationLocked();
+    } else if (policy_.timeoutNs == 0) {
         cv_.wait(lock, [&] { return generation_ != myGeneration || abort_; });
-        if (abort_) {
-            throw support::Error("MPI aborted");
-        }
+    } else {
+        waitWithTimeoutLocked(lock, myGeneration);
+    }
+    if (abort_) {
+        throw support::Error("MPI aborted");
     }
     (void)op;
     return completions_[static_cast<std::size_t>(rank)];
@@ -96,6 +203,26 @@ double MpiWorld::runOp(int rank, double virtualNow, OpKind op, void* payload,
         throw support::Error(std::string("MPI: ") + opName(op) +
                              " called before MPI_Init on rank " +
                              std::to_string(rank));
+    }
+
+    if (support::fault::anyArmed()) {
+        // Injection site: this rank dies at the MPI boundary (node failure,
+        // OOM kill). It drops itself — completing any generation the world
+        // was holding for it — and unwinds before the interceptor sees the
+        // op, like a process that never reached the call.
+        if (support::fault::shouldFail(support::fault::sites::kMpiRankDropout)) {
+            dropRank(rank);
+            throw RankDroppedError(rank);
+        }
+        // Injection site: this rank straggles — a real wall-clock stall
+        // (magnitude = nanoseconds) before it joins the collective, which is
+        // what the timeout/eviction path in waitWithTimeoutLocked is for.
+        double stallNs = support::fault::inflationFactor(
+            support::fault::sites::kMpiStraggler);
+        if (stallNs > 1.0) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(static_cast<std::int64_t>(stallNs)));
+        }
     }
 
     PmpiInterceptor* interceptor = interceptor_.load(std::memory_order_acquire);
@@ -207,6 +334,57 @@ bool MpiWorld::finalized(int rank) const {
     return finalized_[static_cast<std::size_t>(rank)];
 }
 
+void MpiWorld::setCollectivePolicy(CollectivePolicy policy) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    policy_ = policy;
+}
+
+CollectivePolicy MpiWorld::collectivePolicy() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return policy_;
+}
+
+void MpiWorld::dropRank(int rank) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rank < 0 || rank >= worldSize_ ||
+        dropped_[static_cast<std::size_t>(rank)]) {
+        return;
+    }
+    dropped_[static_cast<std::size_t>(rank)] = 1;
+    // If a collective was blocked on exactly this rank, it can complete now.
+    if (generationCompleteLocked()) {
+        completeGenerationLocked();
+    }
+}
+
+bool MpiWorld::rankDropped(int rank) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rank < 0 || rank >= worldSize_) {
+        return false;
+    }
+    return dropped_[static_cast<std::size_t>(rank)] != 0;
+}
+
+std::vector<int> MpiWorld::droppedRanks() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<int> ranks;
+    for (int r = 0; r < worldSize_; ++r) {
+        if (dropped_[static_cast<std::size_t>(r)]) {
+            ranks.push_back(r);
+        }
+    }
+    return ranks;
+}
+
+int MpiWorld::liveRankCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    int live = 0;
+    for (int r = 0; r < worldSize_; ++r) {
+        live += dropped_[static_cast<std::size_t>(r)] ? 0 : 1;
+    }
+    return live;
+}
+
 void MpiWorld::abort() {
     std::lock_guard<std::mutex> lock(mutex_);
     abort_ = true;
@@ -232,6 +410,10 @@ void runRanks(MpiWorld& world, const std::function<void(int)>& body) {
         threads.emplace_back([&, rank] {
             try {
                 body(rank);
+            } catch (const RankDroppedError&) {
+                // A dropped rank dying is the tolerated outcome, not a
+                // failure: the surviving quorum completes without it, so the
+                // world must NOT be aborted on its behalf.
             } catch (...) {
                 errors[static_cast<std::size_t>(rank)] = std::current_exception();
                 world.abort();

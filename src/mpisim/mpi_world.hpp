@@ -20,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "support/backoff.hpp"
 #include "support/error.hpp"
 
 namespace capi::mpi {
@@ -45,6 +46,39 @@ struct LatencyModel {
     double finalizeNs = 10000;
 
     double latencyOf(OpKind op) const;
+};
+
+/// How collectives behave when ranks die or straggle. Default: classic MPI —
+/// wait forever, any missing rank hangs the world.
+struct CollectivePolicy {
+    /// Wall-clock budget a blocked rank grants the rest of the world before
+    /// it starts evicting stragglers. 0 = wait forever (no eviction).
+    std::uint64_t timeoutNs = 0;
+    /// Minimum number of arrived ranks required to evict the stragglers and
+    /// complete the collective without them. 0 = the full world (strict), so
+    /// a timeout below full attendance aborts instead of evicting.
+    int quorum = 0;
+    /// Poll schedule while blocked: each wait slice grows by this backoff,
+    /// so a near-on-time world costs fine-grained checks and a hung one
+    /// converges to long sleeps.
+    support::BackoffOptions backoff{};
+    std::uint64_t backoffSeed = 0;
+};
+
+/// Thrown on a rank that has been dropped from the world (self-inflicted
+/// fault injection, explicit dropRank, or straggler eviction by a quorum).
+/// runRanks treats it as a tolerated death, not a failure: the rank thread
+/// winds down quietly while the survivors keep collectively syncing.
+class RankDroppedError : public support::Error {
+public:
+    explicit RankDroppedError(int rank)
+        : Error("MPI: rank " + std::to_string(rank) +
+                " was dropped from the world"),
+          rank_(rank) {}
+    int rank() const noexcept { return rank_; }
+
+private:
+    int rank_;
 };
 
 /// PMPI-style interceptor: called around every MPI operation.
@@ -102,6 +136,19 @@ public:
     bool initialized(int rank) const;
     bool finalized(int rank) const;
 
+    /// Installs the fault-tolerance policy for subsequent collectives. Call
+    /// while the ranks are quiescent (like setInterceptor's uninstall rule).
+    void setCollectivePolicy(CollectivePolicy policy);
+    CollectivePolicy collectivePolicy() const;
+
+    /// Removes a rank from the world. The rank's next collective throws
+    /// RankDroppedError; a collective currently blocked on this rank
+    /// completes over the remaining arrived-or-dropped set. Idempotent.
+    void dropRank(int rank);
+    bool rankDropped(int rank) const;
+    std::vector<int> droppedRanks() const;
+    int liveRankCount() const;
+
     /// Wakes every blocked rank with an error; used when a rank thread dies.
     void abort();
     bool aborted() const;
@@ -122,6 +169,23 @@ private:
     double runOp(int rank, double virtualNow, OpKind op, void* payload = nullptr,
                  const CombineFn* combine = nullptr);
 
+    /// True when a generation is pending and every rank has either deposited
+    /// its clock or been dropped — the completion condition that lets the
+    /// world make progress without its dead ranks.
+    bool generationCompleteLocked() const;
+
+    /// Runs the pending generation's combine over the *arrived* payloads,
+    /// computes completion clocks from the arrived ranks' clocks (missing
+    /// ranks masked to -infinity, which both max-based completion functions
+    /// ignore), and releases the generation.
+    void completeGenerationLocked();
+
+    /// The timeout-armed wait path: sleeps in backoff-sized slices; when the
+    /// deadline passes with the generation still hung, evicts the live
+    /// not-arrived ranks if a quorum is present, else aborts the world.
+    void waitWithTimeoutLocked(std::unique_lock<std::mutex>& lock,
+                               std::uint64_t myGeneration);
+
     int worldSize_;
     LatencyModel latency_;
     std::atomic<PmpiInterceptor*> interceptor_{nullptr};
@@ -134,6 +198,15 @@ private:
     std::vector<double> completions_;
     std::vector<void*> payloads_;
     bool abort_ = false;
+
+    CollectivePolicy policy_;
+    std::vector<char> dropped_;      ///< Rank removed from the world.
+    std::vector<char> arrivedFlag_;  ///< Deposited into the pending generation.
+    /// The pending generation's completion/combine functions, copied from
+    /// the arriving ranks (equivalent by contract) so completion triggered
+    /// from dropRank or straggler eviction can run them without an arrival.
+    std::function<double(const std::vector<double>&, int)> pendingCompletionFn_;
+    CombineFn pendingCombine_;
 
     std::vector<bool> initialized_;
     std::vector<bool> finalized_;

@@ -1,5 +1,6 @@
 #include "scorepsim/measurement.hpp"
 
+#include <chrono>
 #include <thread>
 
 #include "scorepsim/tracing.hpp"
@@ -54,9 +55,29 @@ RegionHandle Measurement::defineRegion(const std::string& name) {
         def.filtered = !options_.runtimeFilter.isIncluded(name);
     }
     regionByName_.emplace(name, handle);
+    // Injection site: the publication stalls between writing the definition
+    // and bumping the published count (magnitude = microseconds). Readers
+    // must keep treating the region as undefined for the whole window —
+    // exactly the invariant the release-publish protocol guarantees.
+    if (support::fault::anyArmed()) {
+        double stallUs = support::fault::inflationFactor(
+            support::fault::sites::kScorepPublishStall);
+        if (stallUs > 1.0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(static_cast<std::int64_t>(stallUs)));
+        }
+    }
     // Publish after the definition is fully written.
     publishedRegions_.store(handle + 1, std::memory_order_release);
     return handle;
+}
+
+void Measurement::inflateRecordedVisit(ThreadState& state, std::uint32_t node) {
+    double factor = support::fault::inflationFactor(
+        support::fault::sites::kScorepProbeInflate);
+    for (double extra = factor; extra > 1.0; extra -= 1.0) {
+        state.tree.recordVisit(node, 0);
+    }
 }
 
 const RegionDef& Measurement::region(RegionHandle handle) const {

@@ -39,6 +39,7 @@
 
 #include "scorepsim/filter_file.hpp"
 #include "scorepsim/profile.hpp"
+#include "support/fault.hpp"
 #include "support/thread_cache.hpp"
 #include "support/timer.hpp"
 
@@ -173,6 +174,12 @@ public:
         std::uint64_t now = support::probeNowNs();
         // Clamp the rare cross-core TSC skew instead of underflowing.
         state.tree.recordVisit(top.node, now > top.enterNs ? now - top.enterNs : 0);
+        // Injection site (probe-cost inflation): out of line behind the
+        // disarmed one-load guard, so the hot path pays a single predictable
+        // branch when no faults are armed.
+        if (support::fault::anyArmed()) {
+            inflateRecordedVisit(state, top.node);
+        }
         if (options_.trace != nullptr) {
             traceRecord(handle, /*isEnter=*/false, now);
         }
@@ -342,6 +349,13 @@ private:
     [[noreturn]] void throwUnbalancedExit(const ThreadState& state,
                                           RegionHandle handle) const;
     void traceRecord(RegionHandle handle, bool isEnter, std::uint64_t now);
+
+    /// Slow path of the scorep.probe_inflate injection site: when the site
+    /// fires with magnitude M > 1, records M-1 extra zero-duration visits on
+    /// the node, multiplying the region's observed visit count the way a
+    /// pathologically hot probe would — the overhead model then reports an
+    /// inflated ratio, which is what trips the controller's kill-switch.
+    void inflateRecordedVisit(ThreadState& state, std::uint32_t node);
 
     /// Region storage with a lock-free read path: definitions are appended
     /// under the mutex into fixed-size chunks (stable addresses) and then

@@ -1,0 +1,72 @@
+// Bounded, jittered exponential backoff with a deterministic schedule.
+//
+// Used wherever the self-healing paths wait-and-retry: the adaptive
+// controller's patch retries and MpiWorld's collective-timeout polling.
+// Jitter is drawn from SplitMix64, so the whole delay schedule is a pure
+// function of (options, seed) — tests pin it, and fault-injection runs
+// replay identically from the same seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace capi::support {
+
+struct BackoffOptions {
+    std::uint64_t baseNs = 1'000;       ///< First delay before jitter.
+    std::uint64_t maxNs = 1'000'000;    ///< Hard cap, applied after jitter.
+    double multiplier = 2.0;            ///< Growth per attempt.
+    /// Each delay is scaled by a uniform factor in [1-j, 1+j]: desynchronizes
+    /// retry storms without losing determinism (the factor comes from the
+    /// seeded stream).
+    double jitterFraction = 0.1;
+};
+
+class Backoff {
+public:
+    explicit Backoff(BackoffOptions options = {}, std::uint64_t seed = 0)
+        : options_(options), seed_(seed), rng_(seed) {}
+
+    /// The next delay in the schedule: min(base * multiplier^attempt, max),
+    /// jittered, never below 1ns (a zero delay would turn a retry loop into
+    /// a spin).
+    std::uint64_t nextDelayNs() {
+        double raw = static_cast<double>(options_.baseNs);
+        for (std::uint64_t i = 0; i < attempts_; ++i) {
+            raw *= options_.multiplier;
+            if (raw >= static_cast<double>(options_.maxNs)) {
+                raw = static_cast<double>(options_.maxNs);
+                break;
+            }
+        }
+        ++attempts_;
+        if (options_.jitterFraction > 0.0) {
+            double factor = 1.0 + options_.jitterFraction *
+                                      (2.0 * rng_.nextDouble() - 1.0);
+            raw *= factor;
+        }
+        double capped =
+            std::min(raw, static_cast<double>(options_.maxNs));
+        return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(capped));
+    }
+
+    /// Restarts the schedule (including the jitter stream) as if freshly
+    /// constructed — the success path of a retry loop.
+    void reset() {
+        attempts_ = 0;
+        rng_ = SplitMix64(seed_);
+    }
+
+    std::uint64_t attempts() const { return attempts_; }
+    const BackoffOptions& options() const { return options_; }
+
+private:
+    BackoffOptions options_;
+    std::uint64_t seed_;
+    SplitMix64 rng_;
+    std::uint64_t attempts_ = 0;
+};
+
+}  // namespace capi::support

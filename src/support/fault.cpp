@@ -1,0 +1,115 @@
+#include "support/fault.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+
+namespace capi::support::fault {
+
+namespace {
+
+struct Site {
+    FaultSpec spec;
+    SplitMix64 rng{0};
+    bool armed = false;
+    SiteStats counters;
+};
+
+struct Registry {
+    std::mutex mutex;
+    std::unordered_map<std::string, Site> sites;
+};
+
+Registry& registry() {
+    static Registry instance;
+    return instance;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::optional<double> hitSlow(const char* site) {
+    if (t_suppressDepth > 0) {
+        return std::nullopt;  // Rollback in progress: nothing may fail.
+    }
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto it = reg.sites.find(site);
+    if (it == reg.sites.end() || !it->second.armed) {
+        return std::nullopt;
+    }
+    Site& s = it->second;
+    ++s.counters.hits;
+    if (s.counters.hits <= s.spec.afterHits) {
+        return std::nullopt;  // Still in the skip window.
+    }
+    if (s.counters.fires >= s.spec.maxFires) {
+        return std::nullopt;  // One-shot (or capped) site is spent.
+    }
+    if (s.spec.probability < 1.0 && !s.rng.nextBool(s.spec.probability)) {
+        return std::nullopt;
+    }
+    ++s.counters.fires;
+    return s.spec.magnitude;
+}
+
+}  // namespace detail
+
+void arm(const std::string& site, FaultSpec spec, std::uint64_t seed) {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    Site& s = reg.sites[site];
+    if (!s.armed) {
+        detail::g_armedSites.fetch_add(1, std::memory_order_relaxed);
+    }
+    s.spec = spec;
+    // Per-site stream: the schedule depends only on (seed, site name) and
+    // the site's own hit sequence, never on arming order or other sites.
+    s.rng = SplitMix64(hashCombine(seed, fnv1a(site)));
+    s.armed = true;
+    s.counters = SiteStats{};
+}
+
+void disarm(const std::string& site) {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto it = reg.sites.find(site);
+    if (it == reg.sites.end() || !it->second.armed) {
+        return;
+    }
+    it->second.armed = false;
+    detail::g_armedSites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarmAll() {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto& [name, site] : reg.sites) {
+        if (site.armed) {
+            site.armed = false;
+            detail::g_armedSites.fetch_sub(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+SiteStats stats(const std::string& site) {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto it = reg.sites.find(site);
+    return it == reg.sites.end() ? SiteStats{} : it->second.counters;
+}
+
+std::uint64_t totalFires() {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::uint64_t total = 0;
+    for (const auto& [name, site] : reg.sites) {
+        total += site.counters.fires;
+    }
+    return total;
+}
+
+}  // namespace capi::support::fault

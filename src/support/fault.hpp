@@ -1,0 +1,178 @@
+// Deterministic, seed-driven fault injection.
+//
+// A process-wide registry of named injection *sites* ("xray.mprotect",
+// "mpi.rank_dropout", ...). Production code asks `shouldFail(site)` at the
+// point where a real deployment could fail; tests arm a site with a
+// FaultSpec (probability / skip-count / one-shot triggers drawn from a
+// per-site SplitMix64 stream) through a ScopedFaultInjection guard and the
+// site starts firing deterministically for that seed.
+//
+// Cost contract: a DISARMED site is one relaxed atomic load and one
+// predicted branch — nothing else. The whole slow path (mutex, hash lookup,
+// RNG draw) is reached only while at least one site is armed, so shipping
+// the checks compiled-in does not move the measurement hot path
+// (bench/micro_fault.cpp pins this against the enter/exit baseline).
+//
+// Determinism: each site draws from its own SplitMix64 stream seeded from
+// (guard seed, fnv1a(site name)), so a site's fire schedule depends only on
+// its own hit sequence — never on arming order or on other sites' traffic.
+//
+// Rollback paths MUST NOT fault: code that undoes a partially applied
+// mutation (XRayRuntime's patch-transaction rollback) wraps itself in a
+// SuppressFaults guard, under which every site reports "no fault" without
+// consuming a trigger — the simulated analogue of "the undo uses the same
+// syscalls that just succeeded".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace capi::support::fault {
+
+/// When an armed site fires, given a hit (a call to shouldFail /
+/// inflationFactor at that site).
+struct FaultSpec {
+    /// Bernoulli trigger: chance of firing per eligible hit (1.0 = always).
+    double probability = 1.0;
+    /// Count trigger: the first `afterHits` hits never fire (0 = eligible
+    /// immediately). Combine with maxFires=1 for "fail exactly the Nth op".
+    std::uint64_t afterHits = 0;
+    /// Fires are capped at this many; 1 makes the site one-shot.
+    std::uint64_t maxFires = UINT64_MAX;
+    /// Site-defined payload delivered on fire — e.g. the probe-cost
+    /// inflation factor for scorep.probe_inflate, or a stall/straggler
+    /// duration for the delay sites (units per site: see sites:: comments).
+    double magnitude = 0.0;
+};
+
+/// Per-site counters, for "every failure reported exactly once" assertions.
+struct SiteStats {
+    std::uint64_t hits = 0;   ///< Checks while armed (suppressed ones excluded).
+    std::uint64_t fires = 0;  ///< Hits that actually failed.
+};
+
+namespace detail {
+
+/// Number of currently armed sites. Inline zero-initialized atomic: the
+/// disarmed fast path is exactly one relaxed load of this counter.
+inline std::atomic<std::uint32_t> g_armedSites{0};
+
+/// Re-entrancy depth of SuppressFaults on this thread.
+inline thread_local int t_suppressDepth = 0;
+
+/// Slow path: records a hit at `site` and returns the spec's magnitude when
+/// the site fires, std::nullopt otherwise. Only called while something is
+/// armed; takes the registry mutex.
+std::optional<double> hitSlow(const char* site);
+
+}  // namespace detail
+
+/// True while any site is armed anywhere in the process. The one-load guard
+/// hot paths use before doing anything fault-related.
+inline bool anyArmed() {
+    return detail::g_armedSites.load(std::memory_order_relaxed) != 0;
+}
+
+/// The injection check. Place at the point of potential failure:
+///   if (support::fault::shouldFail(sites::kXrayMprotect))
+///       throw MachineFault("injected: mprotect failed");
+inline bool shouldFail(const char* site) {
+    if (!anyArmed()) {
+        return false;
+    }
+    return detail::hitSlow(site).has_value();
+}
+
+/// Magnitude-carrying variant for inflation sites: returns the armed spec's
+/// magnitude when the site fires this hit, 1.0 otherwise (and always 1.0
+/// when nothing is armed).
+inline double inflationFactor(const char* site) {
+    if (!anyArmed()) {
+        return 1.0;
+    }
+    std::optional<double> fired = detail::hitSlow(site);
+    return fired.has_value() && *fired > 0.0 ? *fired : 1.0;
+}
+
+/// Arms `site` with `spec`; the site's trigger RNG stream is derived from
+/// (seed, site name). Re-arming an armed site replaces its spec and resets
+/// its counters and stream.
+void arm(const std::string& site, FaultSpec spec, std::uint64_t seed);
+
+/// Disarms one site (no-op when not armed). Counters for the site are
+/// retained until it is re-armed, so tests can read fire counts after the
+/// schedule ended.
+void disarm(const std::string& site);
+
+/// Disarms everything (test teardown safety net).
+void disarmAll();
+
+/// Counters of a site (zeros when never armed).
+SiteStats stats(const std::string& site);
+
+/// Sum of fires over all sites since the last disarmAll/re-arm.
+std::uint64_t totalFires();
+
+/// RAII arming guard for tests: arms sites against one seed, disarms them
+/// (and only them) on destruction.
+class ScopedFaultInjection {
+public:
+    explicit ScopedFaultInjection(std::uint64_t seed) : seed_(seed) {}
+    ~ScopedFaultInjection() {
+        for (const std::string& site : armed_) {
+            disarm(site);
+        }
+    }
+
+    ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+    ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+    void arm(const std::string& site, FaultSpec spec) {
+        fault::arm(site, spec, seed_);
+        armed_.push_back(site);
+    }
+
+    std::uint64_t seed() const { return seed_; }
+
+private:
+    std::uint64_t seed_;
+    std::vector<std::string> armed_;
+};
+
+/// RAII suppression for rollback/undo paths: while alive on this thread,
+/// every site reports "no fault" without consuming a trigger.
+class SuppressFaults {
+public:
+    SuppressFaults() { ++detail::t_suppressDepth; }
+    ~SuppressFaults() { --detail::t_suppressDepth; }
+
+    SuppressFaults(const SuppressFaults&) = delete;
+    SuppressFaults& operator=(const SuppressFaults&) = delete;
+};
+
+/// The injection sites this codebase defines, one constant per site so call
+/// sites and tests cannot drift apart on spelling.
+namespace sites {
+/// CodeMemory::mprotect fails (page-run protection flip mid-transaction).
+inline constexpr const char* kXrayMprotect = "xray.mprotect";
+/// CodeMemory::write fails (sled flip mid-page-run).
+inline constexpr const char* kXraySledWrite = "xray.sled_write";
+/// A rank dies on entry to a collective (marked dropped, throws
+/// RankDroppedError; peers complete on the survivor quorum).
+inline constexpr const char* kMpiRankDropout = "mpi.rank_dropout";
+/// A rank stalls for `magnitude` wall-clock nanoseconds before joining a
+/// collective (evicted by peers when the collective timeout expires first).
+inline constexpr const char* kMpiStraggler = "mpi.straggler";
+/// Each recorded visit counts as `magnitude` visits — the measured probe
+/// cost the overhead model sees inflates by that factor (the kill-switch
+/// scenario).
+inline constexpr const char* kScorepProbeInflate = "scorep.probe_inflate";
+/// defineRegion stalls `magnitude` microseconds between appending the
+/// definition and publishing it (a slow counter-publication window).
+inline constexpr const char* kScorepPublishStall = "scorep.publish_stall";
+}  // namespace sites
+
+}  // namespace capi::support::fault

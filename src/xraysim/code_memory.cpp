@@ -1,5 +1,6 @@
 #include "xraysim/code_memory.hpp"
 
+#include "support/fault.hpp"
 #include "xraysim/sled.hpp"
 
 namespace capi::xray {
@@ -33,6 +34,13 @@ void CodeMemory::mprotect(std::uint64_t address, std::uint64_t length, bool writ
                                     std::to_string(address) + " length " +
                                     std::to_string(length));
     }
+    // Injection site: a real mprotect can fail mid-transaction (vma limit,
+    // memory pressure). Modeled as the syscall failing before any page of
+    // this call changes protection.
+    if (support::fault::shouldFail(support::fault::sites::kXrayMprotect)) {
+        throw support::MachineFault("injected fault: mprotect failed at address " +
+                                    std::to_string(address));
+    }
     ++mprotectCalls_;
     for (std::uint64_t page = firstPage; page <= lastPage; ++page) {
         if (writable && !writable_[page]) {
@@ -60,6 +68,13 @@ void CodeMemory::write(std::uint64_t address, CodeCell cell) {
         throw support::MachineFault(
             "write to execute-only code page at address " + std::to_string(address) +
             " (missing mprotect before patching)");
+    }
+    // Injection site: a sled flip dies mid-page-run (the COW copy faulted,
+    // the page went away under memory pressure). Fails before the cell is
+    // touched, so the aborted write leaves the old bytes intact.
+    if (support::fault::shouldFail(support::fault::sites::kXraySledWrite)) {
+        throw support::MachineFault("injected fault: sled write failed at address " +
+                                    std::to_string(address));
     }
     cells_[index] = cell;
     ++cellWrites_;

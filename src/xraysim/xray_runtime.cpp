@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/fault.hpp"
 #include "support/timer.hpp"
 
 namespace capi::xray {
@@ -357,8 +358,27 @@ XRayRuntime::DeltaPatchStats XRayRuntime::patchDeltaTiered(
         classify(pid, /*patch=*/false, kFullTier, stats.unavailableUnpatch);
     }
 
+    // Transaction journal: every cell and tier tag is recorded before it is
+    // mutated, and every page run is recorded once opened, so a mid-flight
+    // MachineFault (mprotect or sled write dying — the CodeMemory injection
+    // sites model both) unwinds to the exact pre-transaction state.
+    struct CellUndo {
+        std::uint64_t address;
+        CodeCell previous;
+    };
+    struct TierUndo {
+        ObjectId object;
+        FunctionId function;
+        std::uint8_t previous;
+    };
+    std::vector<CellUndo> cellUndo;
+    std::vector<TierUndo> tierUndo;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> touchedRuns;
+
     // Tier-only transitions: tag updates under the runtime lock, zero page
-    // work — a Full<->Sampled re-plan costs exactly nothing here.
+    // work — a Full<->Sampled re-plan costs exactly nothing here. Journaled
+    // all the same: a later page-phase failure must take the retier pass
+    // down with it, or tier tags and sleds would tear apart.
     for (const TieredFlip& retier : toRetier) {
         ObjectId objId = objectIdOf(retier.function);
         FunctionId fnId = functionIdOf(retier.function);
@@ -368,59 +388,96 @@ XRayRuntime::DeltaPatchStats XRayRuntime::patchDeltaTiered(
             ++stats.unavailableRetier;
             continue;
         }
+        tierUndo.push_back({objId, fnId, objects_[objId].tierOfFunction[fnId]});
         objects_[objId].tierOfFunction[fnId] = retier.tierTag;
         ++stats.functionsRetiered;
     }
 
     const std::uint64_t writableBefore = memory_->pagesMadeWritable();
-    for (ObjectId objId = 0; objId <= kMaxObjectId; ++objId) {
-        if (flipsOfObject[objId].empty()) {
-            continue;
-        }
-        ObjectRecord& obj = objects_[objId];
+    try {
+        for (ObjectId objId = 0; objId <= kMaxObjectId; ++objId) {
+            if (flipsOfObject[objId].empty()) {
+                continue;
+            }
+            ObjectRecord& obj = objects_[objId];
 
-        // Coalesce the affected sleds' byte spans into contiguous page runs,
-        // so a dense cluster of changed functions costs one protection flip
-        // while distant stragglers do not drag whole untouched ranges along
-        // (which is exactly what applyToObject's single lo..hi span does).
-        std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
-        for (const Flip& flip : flipsOfObject[objId]) {
-            for (std::uint32_t sledIndex : obj.sledsOfFunction[flip.function]) {
-                std::uint64_t addr =
-                    runtimeAddress(obj, obj.sleds.sleds[sledIndex].address);
-                spans.emplace_back(addr / kPageSize,
-                                   (addr + kSledBytes - 1) / kPageSize);
+            // Coalesce the affected sleds' byte spans into contiguous page
+            // runs, so a dense cluster of changed functions costs one
+            // protection flip while distant stragglers do not drag whole
+            // untouched ranges along (which is exactly what applyToObject's
+            // single lo..hi span does).
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+            for (const Flip& flip : flipsOfObject[objId]) {
+                for (std::uint32_t sledIndex : obj.sledsOfFunction[flip.function]) {
+                    std::uint64_t addr =
+                        runtimeAddress(obj, obj.sleds.sleds[sledIndex].address);
+                    spans.emplace_back(addr / kPageSize,
+                                       (addr + kSledBytes - 1) / kPageSize);
+                }
+            }
+            std::sort(spans.begin(), spans.end());
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> runs;
+            for (const auto& [first, last] : spans) {
+                if (!runs.empty() && first <= runs.back().second + 1) {
+                    runs.back().second = std::max(runs.back().second, last);
+                } else {
+                    runs.emplace_back(first, last);
+                }
+            }
+
+            for (const auto& [first, last] : runs) {
+                memory_->mprotect(first * kPageSize, (last - first + 1) * kPageSize,
+                                  /*writable=*/true);
+                // A failed mprotect changes nothing, so only successfully
+                // opened runs need re-sealing on rollback.
+                touchedRuns.emplace_back(first, last);
+            }
+            for (const Flip& flip : flipsOfObject[objId]) {
+                for (std::uint32_t sledIndex : obj.sledsOfFunction[flip.function]) {
+                    const SledEntry& sled = obj.sleds.sleds[sledIndex];
+                    std::uint64_t addr = runtimeAddress(obj, sled.address);
+                    cellUndo.push_back({addr, memory_->read(addr)});
+                    writeSled(obj, objId, sled, flip.patch);
+                    if (flip.patch) {
+                        ++stats.sledsPatched;
+                    } else {
+                        ++stats.sledsUnpatched;
+                    }
+                }
+                tierUndo.push_back(
+                    {objId, flip.function, obj.tierOfFunction[flip.function]});
+                obj.tierOfFunction[flip.function] =
+                    flip.patch ? flip.tierTag : kFullTier;
+            }
+            for (const auto& [first, last] : runs) {
+                memory_->mprotect(first * kPageSize, (last - first + 1) * kPageSize,
+                                  /*writable=*/false);
             }
         }
-        std::sort(spans.begin(), spans.end());
-        std::vector<std::pair<std::uint64_t, std::uint64_t>> runs;
-        for (const auto& [first, last] : spans) {
-            if (!runs.empty() && first <= runs.back().second + 1) {
-                runs.back().second = std::max(runs.back().second, last);
-            } else {
-                runs.emplace_back(first, last);
-            }
-        }
-
-        for (const auto& [first, last] : runs) {
+    } catch (const support::MachineFault& fault) {
+        // Roll back in reverse: reopen everything the transaction touched,
+        // restore cells and tier tags newest-first, seal again. The undo
+        // path replays operations that just succeeded, so fault injection is
+        // suppressed for its duration — otherwise no rollback could ever be
+        // guaranteed to terminate in the pre-state.
+        support::fault::SuppressFaults suppress;
+        for (const auto& [first, last] : touchedRuns) {
             memory_->mprotect(first * kPageSize, (last - first + 1) * kPageSize,
                               /*writable=*/true);
         }
-        for (const Flip& flip : flipsOfObject[objId]) {
-            for (std::uint32_t sledIndex : obj.sledsOfFunction[flip.function]) {
-                writeSled(obj, objId, obj.sleds.sleds[sledIndex], flip.patch);
-                if (flip.patch) {
-                    ++stats.sledsPatched;
-                } else {
-                    ++stats.sledsUnpatched;
-                }
-            }
-            obj.tierOfFunction[flip.function] = flip.patch ? flip.tierTag : kFullTier;
+        for (auto it = cellUndo.rbegin(); it != cellUndo.rend(); ++it) {
+            memory_->write(it->address, it->previous);
         }
-        for (const auto& [first, last] : runs) {
+        for (auto it = tierUndo.rbegin(); it != tierUndo.rend(); ++it) {
+            objects_[it->object].tierOfFunction[it->function] = it->previous;
+        }
+        for (const auto& [first, last] : touchedRuns) {
             memory_->mprotect(first * kPageSize, (last - first + 1) * kPageSize,
                               /*writable=*/false);
         }
+        throw PatchError(std::string("XRay: delta patch rolled back: ") +
+                             fault.what(),
+                         cellUndo.size(), tierUndo.size());
     }
     stats.pagesMadeWritable = memory_->pagesMadeWritable() - writableBefore;
     stats.nanoseconds = timer.elapsedNs();

@@ -50,6 +50,28 @@ struct PatchStats {
     std::uint64_t nanoseconds = 0;
 };
 
+/// A delta patch transaction failed and was rolled back: every sled and
+/// tier tag the transaction had already flipped was restored, so the
+/// process is bit-identical to its pre-transaction state. Carries what the
+/// rollback undid, for diagnostics and for the controller's retry policy.
+class PatchError : public support::Error {
+public:
+    PatchError(const std::string& what, std::size_t sledsRolledBack,
+               std::size_t tiersRolledBack)
+        : Error(what),
+          sledsRolledBack_(sledsRolledBack),
+          tiersRolledBack_(tiersRolledBack) {}
+
+    /// Sled cells restored to their pre-transaction bytes.
+    std::size_t sledsRolledBack() const noexcept { return sledsRolledBack_; }
+    /// Tier tags restored (retier pass included).
+    std::size_t tiersRolledBack() const noexcept { return tiersRolledBack_; }
+
+private:
+    std::size_t sledsRolledBack_;
+    std::size_t tiersRolledBack_;
+};
+
 class XRayRuntime {
 public:
     /// The runtime patches the process's code memory; it does not own it.
@@ -93,6 +115,15 @@ public:
     /// skipped and counted per list. Final state is identical to calling
     /// patchFunction/unpatchFunction per entry; the page-touch count is
     /// what the adaptive controller's delta repatching optimizes.
+    ///
+    /// Both delta entry points are TRANSACTIONAL: every cell and tier tag is
+    /// staged with an undo record before it is written, and a failure
+    /// anywhere mid-transaction (an mprotect or sled write throwing
+    /// MachineFault — see the injection sites in CodeMemory) rolls back all
+    /// already-applied flips, re-seals the touched page runs, and rethrows
+    /// as PatchError. Sled and tier state is therefore never torn: after
+    /// the call the process is bit-identical to either its pre-transaction
+    /// or its post-transaction state, nothing in between.
     struct DeltaPatchStats : PatchStats {
         std::size_t unavailablePatch = 0;    ///< Skipped toPatch entries.
         std::size_t unavailableUnpatch = 0;  ///< Skipped toUnpatch entries.

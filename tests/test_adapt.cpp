@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -707,6 +708,107 @@ TEST(Controller, EpochAllRanksConvergesWorldOnOneIc) {
     EXPECT_NE(reports[0].policyFingerprint, 0u);
     EXPECT_EQ(reports[0].divergentRanks, 0u);
     EXPECT_EQ(reports[1].divergentRanks, 0u);
+}
+
+TEST(Controller, EpochAllRanksRepatchesDivergentRanksToConvergedPolicy) {
+    // Two ranks with their OWN controller/process each (the multi-process
+    // deployment shape), deliberately skewed onto different policies before
+    // the collective epoch. epochAllRanks must leave every rank *patched*
+    // to the converged policy — fingerprint agreement alone is not enough.
+    binsim::AppModel model;
+    model.name = "diverge";
+    auto add = [&](const char* name, std::uint32_t instr, double virtualNs) {
+        binsim::AppFunction fn;
+        fn.name = name;
+        fn.unit = "a.cpp";
+        fn.metrics.numInstructions = instr;
+        fn.flags.hasBody = true;
+        fn.workVirtualNs = virtualNs;
+        model.functions.push_back(fn);
+        return static_cast<std::uint32_t>(model.functions.size() - 1);
+    };
+    std::uint32_t mainFn = add("main", 100, 100.0);
+    std::uint32_t kernel = add("kernel", 300, 1'000'000.0);
+    std::uint32_t noisy = add("noisy", 50, 10.0);
+    model.entry = mainFn;
+    model.functions[mainFn].calls.push_back({kernel, 4});
+    model.functions[kernel].calls.push_back({noisy, 20000});
+
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    binsim::CompiledProgram compiled = binsim::compile(model, copts);
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+
+    adapt::Config config;
+    config.budgetFraction = 0.05;
+    config.perEventCostNs = 100.0;
+    config.maxEpochs = 10;
+
+    constexpr int kRanks = 2;
+    std::vector<std::unique_ptr<binsim::Process>> procs;
+    std::vector<std::unique_ptr<dyncapi::DynCapi>> dyns;
+    std::vector<std::unique_ptr<adapt::Controller>> ctls;
+    for (int rank = 0; rank < kRanks; ++rank) {
+        procs.push_back(std::make_unique<binsim::Process>(compiled));
+        dyns.push_back(std::make_unique<dyncapi::DynCapi>(*procs.back()));
+        ctls.push_back(
+            std::make_unique<adapt::Controller>(graph, *dyns.back(), config));
+        ctls.back()->start(adapt::surveyOfDefinedFunctions(graph));
+    }
+
+    // Skew: rank 1 runs a private epoch whose profile blows the budget, so
+    // its controller evicts noisy while rank 0 still carries the survey.
+    {
+        scorep::Measurement m;
+        FlatProfile profile(m);
+        profile.add("main", 1, 1000);
+        profile.add("kernel", 4, 4'000'000);
+        profile.add("noisy", 20000, 200'000);
+        ctls[1]->epoch(profile.tree, m, 1e7);
+    }
+    ASSERT_NE(ctls[0]->currentPolicy().fingerprint(),
+              ctls[1]->currentPolicy().fingerprint());
+
+    mpi::MpiWorld world(kRanks);
+    std::vector<adapt::EpochReport> reports(kRanks);
+    mpi::runRanks(world, [&](int rank) {
+        world.init(rank, 0.0);
+        // Identical region-definition order on every rank, so the deposited
+        // trees' handles line up for the cross-rank merge.
+        scorep::Measurement m;
+        FlatProfile profile(m);
+        profile.add("main", 1, 1000);
+        profile.add("kernel", 4, 4'000'000);
+        profile.add("noisy", 20000, 200'000);
+        reports[static_cast<std::size_t>(rank)] =
+            ctls[static_cast<std::size_t>(rank)]->epochAllRanks(
+                world, rank, 0.0, profile.tree, m, 1e7);
+    });
+
+    // The reducer saw exactly one rank whose pre-epoch policy differed.
+    EXPECT_EQ(reports[0].divergentRanks, 1u);
+    EXPECT_EQ(reports[0].policyFingerprint, reports[1].policyFingerprint);
+    EXPECT_EQ(reports[0].droppedRanks, 0u);
+    for (int rank = 0; rank < kRanks; ++rank) {
+        auto r = static_cast<std::size_t>(rank);
+        // Every rank's controller adopted the converged policy...
+        EXPECT_EQ(ctls[r]->currentPolicy().fingerprint(),
+                  reports[r].policyFingerprint)
+            << "rank " << rank;
+        EXPECT_FALSE(ctls[r]->currentIc().contains("noisy")) << "rank " << rank;
+        // ...and actually re-applied it: the cached policy matches the live
+        // sled state exactly (a re-apply is a complete no-op).
+        dyncapi::DeltaStats noop =
+            dyns[r]->applyPolicyDelta(ctls[r]->currentPolicy());
+        EXPECT_EQ(noop.pagesTouched, 0u) << "rank " << rank;
+        EXPECT_EQ(noop.functionsPatched, 0u) << "rank " << rank;
+        EXPECT_EQ(noop.functionsUnpatched, 0u) << "rank " << rank;
+    }
+    // Both processes left the epoch patched identically, tier tags included.
+    EXPECT_EQ(procs[0]->xray().patchedFunctionTiers(),
+              procs[1]->xray().patchedFunctionTiers());
+    (void)noisy;
 }
 
 }  // namespace

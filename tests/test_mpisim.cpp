@@ -1,12 +1,16 @@
 // Tests for the MPI simulation: virtual-time collectives, halo exchange,
-// PMPI interception, init/finalize rules, abort propagation.
+// PMPI interception, init/finalize rules, abort propagation, and the
+// fault-tolerance policy (rank dropout, straggler eviction, quorum).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "mpisim/mpi_world.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace {
 
@@ -208,6 +212,133 @@ TEST(MpiWorld, ThrowingCombineAbortsWorldInsteadOfDeadlocking) {
                               });
                       }),
         support::Error);
+    EXPECT_TRUE(world.aborted());
+}
+
+// ------------------------------------------------------- fault tolerance --
+
+TEST(MpiWorldFaults, DroppedRankThrowsAndSurvivorsCompleteTheCollective) {
+    mpi::LatencyModel latency;
+    latency.initNs = 0;
+    latency.allreduceNs = 50;
+    MpiWorld world(4, latency);
+    std::vector<int> values(4, 0);
+    std::vector<double> after(4, -1.0);
+    mpi::runRanks(world, [&](int rank) {
+        double clock = world.init(rank, 0.0);
+        if (rank == 2) {
+            // This rank dies before depositing anything; every later MPI
+            // call it makes must keep throwing.
+            world.dropRank(2);
+            EXPECT_THROW(world.allreduce(2, clock), mpi::RankDroppedError);
+            EXPECT_THROW(world.barrier(2, clock), mpi::RankDroppedError);
+            throw mpi::RankDroppedError(2);  // tolerated by runRanks
+        }
+        values[static_cast<std::size_t>(rank)] = rank + 1;
+        after[static_cast<std::size_t>(rank)] = world.allreduceData(
+            rank, clock, &values[static_cast<std::size_t>(rank)],
+            [&](const std::vector<void*>& arrived) {
+                int sum = 0;
+                for (void* entry : arrived) {
+                    sum += *static_cast<int*>(entry);
+                }
+                for (void* entry : arrived) {
+                    *static_cast<int*>(entry) = sum;
+                }
+            });
+    });
+    // No timeout policy needed: a *known-dead* rank never blocks the world.
+    // The reduction ran over the three survivors only: 1 + 2 + 4.
+    for (int rank : {0, 1, 3}) {
+        EXPECT_EQ(values[static_cast<std::size_t>(rank)], 7);
+        EXPECT_DOUBLE_EQ(after[static_cast<std::size_t>(rank)], 50.0);
+    }
+    EXPECT_FALSE(world.aborted());
+    EXPECT_TRUE(world.rankDropped(2));
+    EXPECT_EQ(world.liveRankCount(), 3);
+    EXPECT_EQ(world.droppedRanks(), std::vector<int>{2});
+}
+
+TEST(MpiWorldFaults, InjectedDropoutKillsExactlyOneRankAndTheRestConverge) {
+    mpi::LatencyModel latency;
+    latency.initNs = 0;
+    MpiWorld world(4, latency);
+    // Skip the four init hits, then the first rank to reach a collective
+    // dies (which rank that is depends on thread scheduling — the
+    // assertions below are rank-agnostic on purpose).
+    support::fault::FaultSpec spec;
+    spec.afterHits = 4;
+    spec.maxFires = 1;
+    support::fault::ScopedFaultInjection scoped(99);
+    scoped.arm(support::fault::sites::kMpiRankDropout, spec);
+    std::atomic<int> completed{0};
+    mpi::runRanks(world, [&](int rank) {
+        double clock = world.init(rank, 0.0);
+        clock = world.allreduce(rank, clock);
+        clock = world.barrier(rank, clock);
+        ++completed;
+    });
+    EXPECT_EQ(support::fault::stats(support::fault::sites::kMpiRankDropout).fires,
+              1u);
+    EXPECT_FALSE(world.aborted());
+    EXPECT_EQ(completed.load(), 3);
+    EXPECT_EQ(world.liveRankCount(), 3);
+    EXPECT_EQ(world.droppedRanks().size(), 1u);
+}
+
+TEST(MpiWorldFaults, StragglerIsEvictedOnTimeoutWhenQuorumHolds) {
+    mpi::LatencyModel latency;
+    latency.initNs = 0;
+    MpiWorld world(4, latency);
+    mpi::CollectivePolicy policy;
+    policy.timeoutNs = 5'000'000;  // 5ms of wall-clock patience
+    policy.quorum = 3;
+    world.setCollectivePolicy(policy);
+    // One rank stalls 100ms at its first post-init op — far past the
+    // timeout, so the other three evict it and complete without it.
+    support::fault::FaultSpec spec;
+    spec.afterHits = 4;  // let the init hits through
+    spec.maxFires = 1;
+    spec.magnitude = 100'000'000.0;  // ns
+    support::fault::ScopedFaultInjection scoped(7);
+    scoped.arm(support::fault::sites::kMpiStraggler, spec);
+    std::atomic<int> completed{0};
+    std::atomic<int> evicted{0};
+    mpi::runRanks(world, [&](int rank) {
+        double clock = world.init(rank, 0.0);
+        try {
+            world.allreduce(rank, clock);
+            ++completed;
+        } catch (const mpi::RankDroppedError&) {
+            ++evicted;  // the straggler, arriving after its eviction
+            throw;
+        }
+    });
+    EXPECT_FALSE(world.aborted());
+    EXPECT_EQ(completed.load(), 3);
+    EXPECT_EQ(evicted.load(), 1);
+    EXPECT_EQ(world.liveRankCount(), 3);
+}
+
+TEST(MpiWorldFaults, TimeoutBelowQuorumAbortsInsteadOfEvicting) {
+    mpi::LatencyModel latency;
+    latency.initNs = 0;
+    MpiWorld world(3, latency);
+    mpi::CollectivePolicy policy;
+    policy.timeoutNs = 5'000'000;
+    policy.quorum = 0;  // strict: the full world or nothing
+    world.setCollectivePolicy(policy);
+    // Rank 2 silently leaves; with a strict quorum the blocked survivors
+    // must abort the world rather than complete a 2-of-3 "all"reduce.
+    EXPECT_THROW(mpi::runRanks(world,
+                               [&](int rank) {
+                                   double clock = world.init(rank, 0.0);
+                                   if (rank == 2) {
+                                       return;
+                                   }
+                                   world.allreduce(rank, clock);
+                               }),
+                 support::Error);
     EXPECT_TRUE(world.aborted());
 }
 

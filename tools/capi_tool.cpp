@@ -252,6 +252,22 @@ int runAdapt(int argc, char** argv) {
                         report.promotedFunctions, report.demotedFunctions,
                         static_cast<unsigned long long>(report.policyFingerprint),
                         report.divergentRanks, ranks);
+            // The self-healing loop's epoch verdict: state machine position,
+            // what it took to get the patch in, and any kill-switch motion.
+            const adapt::HealthStats& health = controller.healthStats();
+            std::printf("  health: %s (%zu retries this epoch%s%s%s); "
+                        "lifetime %llu patch failures, %llu retries, "
+                        "%llu reversions, %llu kill-switch trips\n",
+                        adapt::healthName(report.health),
+                        report.retriesThisEpoch,
+                        report.revertedToLastGood ? ", reverted to last-good"
+                                                  : "",
+                        report.killSwitchTripped ? ", KILL-SWITCH TRIPPED" : "",
+                        report.killSwitchRearmed ? ", kill-switch re-armed" : "",
+                        static_cast<unsigned long long>(health.patchFailures),
+                        static_cast<unsigned long long>(health.patchRetries),
+                        static_cast<unsigned long long>(health.reversions),
+                        static_cast<unsigned long long>(health.killSwitchTrips));
         }
         if (printStats) {
             // An incremental re-selection against the just-journaled metric
