@@ -39,6 +39,13 @@ struct Config {
     double gateCostNs = 10.0;
     /// Weight of the newest epoch in the moving average (1.0 = no memory).
     double ewmaAlpha = 0.5;
+    /// Calibrated cost of one self-observability trace event (see
+    /// obs::calibrateObsCostNs). When nonzero, each epoch charges
+    /// (events recorded since the last epoch) x this into the overhead
+    /// model, so the budget covers observation of the observer. 0 (the
+    /// default) keeps self-cost accounting off — matching a disabled
+    /// recorder, whose record path cost is one load and a branch.
+    double obsCostNs = 0.0;
 
     // --- budget & tiers ----------------------------------------------------
     /// Probe-time budget as a fraction of *application* runtime (probe cost

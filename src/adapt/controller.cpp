@@ -1,15 +1,48 @@
 #include "adapt/controller.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/backoff.hpp"
+#include "support/timer.hpp"
 #include "xraysim/xray_runtime.hpp"
 
 namespace capi::adapt {
+
+namespace {
+
+/// Interned span names for the controller phases, resolved once.
+struct ControllerSpanNames {
+    std::uint32_t epoch;
+    std::uint32_t model;
+    std::uint32_t plan;
+    std::uint32_t patch;
+    std::uint32_t revert;
+    std::uint32_t killSwitchTrip;
+    std::uint32_t killSwitchRearm;
+};
+
+const ControllerSpanNames& controllerSpanNames() {
+    static const ControllerSpanNames names = [] {
+        obs::TraceRecorder& r = obs::TraceRecorder::global();
+        return ControllerSpanNames{r.internName("adapt.epoch"),
+                                   r.internName("adapt.model"),
+                                   r.internName("adapt.plan"),
+                                   r.internName("adapt.patch"),
+                                   r.internName("adapt.revert"),
+                                   r.internName("adapt.kill_switch_trip"),
+                                   r.internName("adapt.kill_switch_rearm")};
+    }();
+    return names;
+}
+
+}  // namespace
 
 const char* healthName(EpochHealth health) {
     switch (health) {
@@ -27,13 +60,61 @@ Controller::Controller(const cg::CallGraph& graph, dyncapi::DynCapi& dyn,
       session_(std::make_unique<dyncapi::RefinementSession>(graph,
                                                             config_.threads)),
       model_(config_),
-      planner_(graph) {}
+      planner_(graph),
+      obsEventsAtLastEpoch_(obs::TraceRecorder::global().recordedEvents()) {
+    // Lifetime HealthStats and the latest epoch's headline numbers, exported
+    // from end-of-epoch snapshot copies so the collector never races the
+    // controller's working state.
+    static std::atomic<std::uint64_t> nextSeq{0};
+    const std::uint64_t seq = nextSeq.fetch_add(1, std::memory_order_relaxed);
+    metricsCollectorId_ = obs::MetricsRegistry::global().addCollector(
+        [this, seq](std::vector<obs::Sample>& out) {
+            HealthStats health;
+            EpochReport report;
+            {
+                std::lock_guard<std::mutex> lock(obsMutex_);
+                health = obsHealth_;
+                report = obsReport_;
+            }
+            const std::string base = "{ctl=\"" + std::to_string(seq) + "\"}";
+            auto counter = [&out, &base](const char* name,
+                                         std::uint64_t value) {
+                obs::Sample s;
+                s.name = std::string(name) + base;
+                s.kind = obs::MetricKind::Counter;
+                s.value = static_cast<double>(value);
+                out.push_back(std::move(s));
+            };
+            auto gauge = [&out, &base](const char* name, double value) {
+                obs::Sample s;
+                s.name = std::string(name) + base;
+                s.kind = obs::MetricKind::Gauge;
+                s.value = value;
+                out.push_back(std::move(s));
+            };
+            counter("capi_adapt_patch_failures_total", health.patchFailures);
+            counter("capi_adapt_patch_retries_total", health.patchRetries);
+            counter("capi_adapt_reversions_total", health.reversions);
+            counter("capi_adapt_kill_switch_trips_total",
+                    health.killSwitchTrips);
+            counter("capi_adapt_kill_switch_rearms_total",
+                    health.killSwitchRearms);
+            gauge("capi_adapt_epoch", static_cast<double>(report.epoch));
+            gauge("capi_adapt_overhead_ratio", report.measuredOverheadRatio);
+            gauge("capi_adapt_ic_size", static_cast<double>(report.icSize));
+            gauge("capi_adapt_health",
+                  static_cast<double>(static_cast<int>(report.health)));
+            gauge("capi_adapt_self_obs_cost_ns", report.selfObsCostNs);
+        });
+}
 
 Controller::Controller(const cg::CallGraph& graph, dyncapi::DynCapi& dyn,
                        ControllerOptions options)
     : Controller(graph, dyn, options.toConfig()) {}
 
-Controller::~Controller() = default;
+Controller::~Controller() {
+    obs::MetricsRegistry::global().removeCollector(metricsCollectorId_);
+}
 
 select::SelectionReport Controller::startFromSpec(const std::string& specText,
                                                   const std::string& specName,
@@ -56,6 +137,19 @@ dyncapi::InitStats Controller::start(select::InstrumentationConfig surveyIc) {
 EpochReport Controller::epoch(const scorep::ProfileTree& profile,
                               const scorep::Measurement& measurement,
                               double runtimeNs) {
+    const ControllerSpanNames& spans = controllerSpanNames();
+    obs::ScopedSpan epochSpan(spans.epoch, obs::SpanCategory::Epoch);
+    epochSpan.setArg(lastReport_.epoch + 1);
+
+    // Everything the recorder accepted since the last epoch — the measured
+    // run's collective/fault/patch events — is this epoch's observation
+    // bill, charged into the model below at the calibrated per-event cost.
+    const std::uint64_t obsEventsNow =
+        obs::TraceRecorder::global().recordedEvents();
+    const std::uint64_t obsEventsDelta = obsEventsNow - obsEventsAtLastEpoch_;
+    obsEventsAtLastEpoch_ = obsEventsNow;
+
+    obs::ScopedSpan modelSpan(spans.model, obs::SpanCategory::Model);
     // One profile walk per epoch, shared by the model and the metric fold.
     const auto regionTotals = profile.regionTotals();
     model_.observeEpoch(regionTotals, measurement, runtimeNs, &currentIc_);
@@ -90,6 +184,13 @@ EpochReport Controller::epoch(const scorep::ProfileTree& profile,
     EpochReport report;
     report.epoch = lastReport_.epoch + 1;
     report.runtimeNs = runtimeNs;
+    report.obsEventsObserved = obsEventsDelta;
+    report.selfObsCostNs =
+        static_cast<double>(obsEventsDelta) * config_.obsCostNs;
+    // Charged before the headline numbers are read, so the convergence check
+    // and the kill-switch both see probe cost PLUS observation cost.
+    model_.chargeSelfCost(report.selfObsCostNs);
+    modelSpan.end();
     report.measuredProbeCostNs = model_.lastEpochProbeCostNs();
     report.measuredOverheadRatio = model_.lastEpochOverheadRatio();
     report.withinBudget = report.measuredOverheadRatio <= config_.budgetFraction;
@@ -99,6 +200,7 @@ EpochReport Controller::epoch(const scorep::ProfileTree& profile,
     // Pick the target policy: the planner's, or — with the kill-switch
     // tripped — the keep-list-only fallback, whose cost does not depend on
     // the planner's (apparently miscalibrated) model at all.
+    obs::ScopedSpan planSpan(spans.plan, obs::SpanCategory::Plan);
     select::InstrumentationPolicy target;
     select::InstrumentationConfig targetIc;
     if (health_ == EpochHealth::SafeMode) {
@@ -129,7 +231,10 @@ EpochReport Controller::epoch(const scorep::ProfileTree& profile,
     report.removedFunctions = delta.removed.size();
     report.promotedFunctions = delta.promoted.size();
     report.demotedFunctions = delta.demoted.size();
+    planSpan.setArg(report.icSize);
+    planSpan.end();
 
+    obs::ScopedSpan patchSpan(spans.patch, obs::SpanCategory::Patch);
     if (applyWithRetry(target, report)) {
         currentPolicy_ = std::move(target);
         currentIc_ = std::move(targetIc);
@@ -149,6 +254,14 @@ EpochReport Controller::epoch(const scorep::ProfileTree& profile,
         // delta) and stay on the old IC.
         report.revertedToLastGood = true;
         ++healthStats_.reversions;
+        {
+            obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+            if (recorder.enabled()) {
+                recorder.recordInstant(spans.revert, obs::SpanCategory::Epoch,
+                                       support::probeNowNs(),
+                                       report.retriesThisEpoch);
+            }
+        }
         if (health_ != EpochHealth::SafeMode) {
             health_ = EpochHealth::Degraded;
         }
@@ -169,10 +282,19 @@ EpochReport Controller::epoch(const scorep::ProfileTree& profile,
             }
         }
     }
+    patchSpan.setArg(report.patch.functionsPatched +
+                     report.patch.functionsUnpatched);
+    patchSpan.end();
     report.policyFingerprint = currentPolicy_.fingerprint();
     report.health = health_;
 
     lastReport_ = report;
+    {
+        // Publish the epoch's results for the metrics collector.
+        std::lock_guard<std::mutex> lock(obsMutex_);
+        obsHealth_ = healthStats_;
+        obsReport_ = report;
+    }
     return report;
 }
 
@@ -221,12 +343,18 @@ void Controller::updateKillSwitch(EpochReport& report) {
         overBudgetStreak_ = 0;
         inBudgetStreak_ = 0;
     }
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
     if (health_ != EpochHealth::SafeMode &&
         overBudgetStreak_ >= config_.killSwitchEpochs) {
         health_ = EpochHealth::SafeMode;
         ++healthStats_.killSwitchTrips;
         report.killSwitchTripped = true;
         overBudgetStreak_ = 0;
+        if (recorder.enabled()) {
+            recorder.recordInstant(controllerSpanNames().killSwitchTrip,
+                                   obs::SpanCategory::Epoch,
+                                   support::probeNowNs(), report.epoch);
+        }
     } else if (health_ == EpochHealth::SafeMode &&
                inBudgetStreak_ >= config_.killSwitchRearmEpochs) {
         // Re-arm into Degraded, not Healthy: the next planned epoch must
@@ -235,6 +363,11 @@ void Controller::updateKillSwitch(EpochReport& report) {
         ++healthStats_.killSwitchRearms;
         report.killSwitchRearmed = true;
         inBudgetStreak_ = 0;
+        if (recorder.enabled()) {
+            recorder.recordInstant(controllerSpanNames().killSwitchRearm,
+                                   obs::SpanCategory::Epoch,
+                                   support::probeNowNs(), report.epoch);
+        }
     }
 }
 

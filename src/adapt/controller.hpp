@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -126,6 +127,12 @@ struct EpochReport {
     bool revertedToLastGood = false;   ///< Retries exhausted; kept old policy.
     bool killSwitchTripped = false;    ///< Entered SafeMode this epoch.
     bool killSwitchRearmed = false;    ///< Left SafeMode this epoch.
+    // --- self-observability ------------------------------------------------
+    /// Trace events the global recorder accepted since the previous epoch.
+    std::uint64_t obsEventsObserved = 0;
+    /// Those events charged at Config::obsCostNs and folded into the model —
+    /// already included in measuredProbeCostNs/measuredOverheadRatio.
+    double selfObsCostNs = 0.0;
 };
 
 class Controller {
@@ -226,6 +233,19 @@ private:
     HealthStats healthStats_;
     std::size_t overBudgetStreak_ = 0;  ///< Consecutive epochs past the trip ratio.
     std::size_t inBudgetStreak_ = 0;    ///< Consecutive epochs within budget.
+
+    /// Global-recorder recordedEvents() baseline for the self-cost delta.
+    /// Captured at construction (the counter is process-monotonic: a zero
+    /// start would bill this controller for every event any earlier run
+    /// recorded).
+    std::uint64_t obsEventsAtLastEpoch_ = 0;
+    /// obs::MetricsRegistry collector handle (label ctl="<instance seq>").
+    std::uint64_t metricsCollectorId_ = 0;
+    /// Guards the snapshot copies the metrics collector reads; the live
+    /// HealthStats/EpochReport stay single-threaded controller state.
+    mutable std::mutex obsMutex_;
+    HealthStats obsHealth_;
+    EpochReport obsReport_;
 };
 
 /// The "instrument everything with a body" survey IC — the broadest useful

@@ -118,6 +118,18 @@ void OverheadModel::observeEpoch(
     ++epochs_;
 }
 
+void OverheadModel::chargeSelfCost(double selfCostNs) {
+    if (selfCostNs <= 0.0 || epochs_ == 0) {
+        return;
+    }
+    lastEpochCostNs_ += selfCostNs;
+    // observeEpoch already folded this epoch's probe cost; add the same
+    // epoch's self cost with the identical weight (epochs_ was incremented,
+    // so "first" is now epochs_ == 1).
+    incurredCostNs_ +=
+        epochs_ == 1 ? selfCostNs : options_.ewmaAlpha * selfCostNs;
+}
+
 const RegionEstimate* OverheadModel::estimate(const std::string& name) const {
     auto it = estimates_.find(name);
     return it == estimates_.end() ? nullptr : &it->second;

@@ -112,6 +112,15 @@ public:
         return app > 0.0 ? app : 0.0;
     }
 
+    /// Charges additional measurement-infrastructure cost (the trace
+    /// recorder's own events, obs::calibrateObsCostNs x events) against the
+    /// CURRENT epoch — call directly after observeEpoch. The charge lands in
+    /// both the un-smoothed epoch cost (so the convergence check and the
+    /// kill-switch see it) and the EWMA'd incurred cost (so the planner's
+    /// budget base shrinks by it), with the same first/alpha fold
+    /// observeEpoch applied to this epoch's probe cost.
+    void chargeSelfCost(double selfCostNs);
+
     /// The latest epoch alone, un-smoothed: this is the "measured probe
     /// overhead" the controller checks for convergence.
     double lastEpochProbeCostNs() const { return lastEpochCostNs_; }

@@ -4,7 +4,10 @@
 #include <atomic>
 
 #include "cg/csr_view.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
+#include "support/timer.hpp"
 
 namespace capi::cg {
 
@@ -328,6 +331,90 @@ void CallGraph::removeFunctions(const std::vector<FunctionId>& ids) {
     for (FunctionId id : ids) {
         removeFunction(id);
     }
+}
+
+CallGraph::CompactionResult CallGraph::compact() {
+    CompactionResult result;
+    result.remap.resize(nodes_.size(), kInvalidFunction);
+    if (aliveCount_ == nodes_.size()) {
+        // Nothing to reclaim: identity remap, content untouched, stamp kept
+        // (downstream caches stay valid).
+        for (FunctionId id = 0; id < nodes_.size(); ++id) {
+            result.remap[id] = id;
+        }
+        return result;
+    }
+
+    const std::uint64_t beginNs = support::probeNowNs();
+    FunctionId next = 0;
+    for (FunctionId id = 0; id < nodes_.size(); ++id) {
+        if (nodes_[id].alive) {
+            result.remap[id] = next++;
+        }
+    }
+    result.removed = nodes_.size() - aliveCount_;
+
+    std::vector<Node> compacted;
+    compacted.reserve(aliveCount_);
+    for (FunctionId id = 0; id < nodes_.size(); ++id) {
+        if (!nodes_[id].alive) {
+            continue;
+        }
+        Node node = std::move(nodes_[id]);
+        // Tombstones have no incident edges (removeFunction cleaned both
+        // directions), so every endpoint here survives. The remap is
+        // monotonic over alive ids, so sorted rows stay sorted.
+        for (FunctionId& callee : node.callees) {
+            callee = result.remap[callee];
+        }
+        for (FunctionId& caller : node.callers) {
+            caller = result.remap[caller];
+        }
+        for (FunctionId& base : node.overrides) {
+            base = result.remap[base];
+        }
+        for (FunctionId& derived : node.overriddenBy) {
+            derived = result.remap[derived];
+        }
+        compacted.push_back(std::move(node));
+    }
+    nodes_ = std::move(compacted);
+    for (auto& [name, id] : byName_) {
+        id = result.remap[id];
+    }
+    if (entry_.has_value()) {
+        // An explicit entry pointing at a tombstone cannot happen
+        // (removeFunction resets entry_), so this always maps to a live id.
+        entry_ = result.remap[*entry_];
+    }
+
+    // Renumbering invalidates every id-keyed consumer: registered CsrView
+    // snapshots hold OLD ids and must never serve as patch predecessors for
+    // the new numbering, and no journal suffix can express "all ids moved".
+    CsrView::releaseGraph(graphId_);
+    generation_ = nextGenerationStamp();
+    journal_.clear();
+    journalFloor_ = generation_;
+    // drainMark_ keeps its pre-compaction stamp, now below the floor: the
+    // next drainDelta() answers the full "everything changed" report instead
+    // of an empty delta — a drain consumer's mirror still holds OLD ids.
+
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+    static obs::Counter& compactions =
+        metrics.counter("capi_cg_compactions_total");
+    static obs::Counter& reclaimed =
+        metrics.counter("capi_cg_tombstones_reclaimed_total");
+    compactions.add(1);
+    reclaimed.add(result.removed);
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled()) {
+        static const std::uint32_t kCompactSpan =
+            obs::TraceRecorder::global().internName("cg.compact");
+        recorder.recordComplete(kCompactSpan, obs::SpanCategory::Compaction,
+                                beginNs, support::probeNowNs() - beginNs,
+                                result.removed);
+    }
+    return result;
 }
 
 bool CallGraph::hasEdge(FunctionId caller, FunctionId callee) const {

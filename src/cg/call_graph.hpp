@@ -76,6 +76,28 @@ public:
     /// dlclose-style bulk removal: removeFunction over each id.
     void removeFunctions(const std::vector<FunctionId>& ids);
 
+    /// Result of compact(): the old-id -> new-id mapping callers need to
+    /// migrate FunctionSets, cached selections, and any other id-keyed state
+    /// across the renumbering.
+    struct CompactionResult {
+        /// Indexed by pre-compaction id; kInvalidFunction for tombstones.
+        /// Alive ids map in order, so relative id order is preserved.
+        std::vector<FunctionId> remap;
+        std::size_t removed = 0;  ///< Tombstone slots reclaimed.
+    };
+
+    /// Reclaims tombstone slots: alive nodes are renumbered densely (order
+    /// preserved), dead slots disappear, and size() shrinks to aliveCount().
+    /// This is the one operation that breaks id stability, so it returns the
+    /// remap and invalidates ALL history: the journal is cleared and the
+    /// floor raised to the new stamp, making deltaSince() for any earlier
+    /// revision answer nullopt — downstream consumers (CsrView, selector
+    /// caches) treat the graph as wholly changed and rebuild, never patching
+    /// old-id snapshots onto new-id content. Registered CsrView snapshots of
+    /// this graph are eagerly evicted for the same reason. No-op (identity
+    /// remap, no stamp bump) when there are no tombstones.
+    CompactionResult compact();
+
     bool alive(FunctionId id) const { return nodes_[id].alive; }
     std::size_t aliveCount() const noexcept { return aliveCount_; }
 

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "cg/call_graph.hpp"
+#include "obs/metrics.hpp"
 #include "support/bitset.hpp"
 #include "support/executor.hpp"
 #include "support/thread_pool.hpp"
@@ -37,6 +38,23 @@ struct RegistryCounters {
 
 RegistryCounters& counters() {
     static RegistryCounters c;
+    // Static process-wide counters fold straight into the metrics registry;
+    // both singletons live until process exit.
+    static const std::uint64_t collectorId =
+        obs::MetricsRegistry::global().addCollector(
+            [](std::vector<obs::Sample>& out) {
+                auto counter = [&out](const char* name,
+                                      const std::atomic<std::uint64_t>& v) {
+                    out.push_back({name, obs::MetricKind::Counter,
+                                   static_cast<double>(
+                                       v.load(std::memory_order_relaxed))});
+                };
+                counter("capi_csr_full_builds_total", c.fullBuilds);
+                counter("capi_csr_patch_builds_total", c.patchBuilds);
+                counter("capi_csr_shared_hits_total", c.sharedHits);
+                counter("capi_csr_graphs_released_total", c.graphsReleased);
+            });
+    (void)collectorId;
     return c;
 }
 

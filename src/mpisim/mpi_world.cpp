@@ -1,13 +1,36 @@
 #include "mpisim/mpi_world.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <limits>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/fault.hpp"
+#include "support/timer.hpp"
 
 namespace capi::mpi {
+
+namespace {
+
+/// Interned trace names for the collective ops, resolved once.
+std::uint32_t collectiveNameId(OpKind op) {
+    static const std::array<std::uint32_t, 6> ids = [] {
+        obs::TraceRecorder& r = obs::TraceRecorder::global();
+        return std::array<std::uint32_t, 6>{
+            r.internName(opName(OpKind::Init)),
+            r.internName(opName(OpKind::Finalize)),
+            r.internName(opName(OpKind::Barrier)),
+            r.internName(opName(OpKind::Allreduce)),
+            r.internName(opName(OpKind::Bcast)),
+            r.internName(opName(OpKind::HaloExchange))};
+    }();
+    return ids[static_cast<std::size_t>(op)];
+}
+
+}  // namespace
 
 const char* opName(OpKind op) {
     switch (op) {
@@ -129,9 +152,21 @@ void MpiWorld::waitWithTimeoutLocked(std::unique_lock<std::mutex>& lock,
             arrivedCount += arrivedFlag_[static_cast<std::size_t>(r)] ? 1 : 0;
         }
         int quorum = policy_.quorum > 0 ? policy_.quorum : worldSize_;
+        obs::TraceRecorder& recorder = obs::TraceRecorder::global();
         if (arrivedCount < quorum) {
             abort_ = true;
             cv_.notify_all();
+            obs::MetricsRegistry::global()
+                .counter("capi_mpi_quorum_aborts_total")
+                .add(1);
+            if (recorder.enabled()) {
+                static const std::uint32_t kQuorumAbort =
+                    recorder.internName("mpi.quorum_abort");
+                recorder.recordInstant(
+                    kQuorumAbort, obs::SpanCategory::Collective,
+                    support::probeNowNs(),
+                    static_cast<std::uint64_t>(arrivedCount));
+            }
             throw support::Error(
                 "MPI: collective timed out with " + std::to_string(arrivedCount) +
                 " of " + std::to_string(worldSize_) +
@@ -141,6 +176,17 @@ void MpiWorld::waitWithTimeoutLocked(std::unique_lock<std::mutex>& lock,
             if (!arrivedFlag_[static_cast<std::size_t>(r)] &&
                 !dropped_[static_cast<std::size_t>(r)]) {
                 dropped_[static_cast<std::size_t>(r)] = 1;
+                obs::MetricsRegistry::global()
+                    .counter("capi_mpi_straggler_evictions_total")
+                    .add(1);
+                if (recorder.enabled()) {
+                    static const std::uint32_t kEvict =
+                        recorder.internName("mpi.evict_straggler");
+                    recorder.recordInstant(kEvict,
+                                           obs::SpanCategory::Collective,
+                                           support::probeNowNs(),
+                                           static_cast<std::uint64_t>(r));
+                }
             }
         }
         completeGenerationLocked();
@@ -232,28 +278,36 @@ double MpiWorld::runOp(int rank, double virtualNow, OpKind op, void* payload,
 
     double latency = latency_.latencyOf(op);
     double completed;
-    if (op == OpKind::HaloExchange) {
-        // Neighbour exchange on a ring: a rank can proceed once both
-        // neighbours have posted their halves.
-        completed = collectiveSync(
-            rank, virtualNow, op,
-            [this, latency](const std::vector<double>& clocks, int r) {
-                int left = (r + worldSize_ - 1) % worldSize_;
-                int right = (r + 1) % worldSize_;
-                double ready = std::max(
-                    {clocks[static_cast<std::size_t>(r)],
-                     clocks[static_cast<std::size_t>(left)],
-                     clocks[static_cast<std::size_t>(right)]});
-                return ready + latency;
-            });
-    } else {
-        // Fully synchronizing collective: completes at the global maximum.
-        completed = collectiveSync(
-            rank, virtualNow, op,
-            [latency](const std::vector<double>& clocks, int) {
-                return *std::max_element(clocks.begin(), clocks.end()) + latency;
-            },
-            payload, combine);
+    {
+        // The span covers arrival through release (including any timeout
+        // wait and eviction), one slice per rank on that rank's own ring.
+        obs::ScopedSpan collectiveSpan(collectiveNameId(op),
+                                       obs::SpanCategory::Collective);
+        collectiveSpan.setArg(static_cast<std::uint64_t>(rank));
+        if (op == OpKind::HaloExchange) {
+            // Neighbour exchange on a ring: a rank can proceed once both
+            // neighbours have posted their halves.
+            completed = collectiveSync(
+                rank, virtualNow, op,
+                [this, latency](const std::vector<double>& clocks, int r) {
+                    int left = (r + worldSize_ - 1) % worldSize_;
+                    int right = (r + 1) % worldSize_;
+                    double ready = std::max(
+                        {clocks[static_cast<std::size_t>(r)],
+                         clocks[static_cast<std::size_t>(left)],
+                         clocks[static_cast<std::size_t>(right)]});
+                    return ready + latency;
+                });
+        } else {
+            // Fully synchronizing collective: completes at the global maximum.
+            completed = collectiveSync(
+                rank, virtualNow, op,
+                [latency](const std::vector<double>& clocks, int) {
+                    return *std::max_element(clocks.begin(), clocks.end()) +
+                           latency;
+                },
+                payload, combine);
+        }
     }
 
     double mpiNs = completed - virtualNow;
@@ -351,6 +405,14 @@ void MpiWorld::dropRank(int rank) {
         return;
     }
     dropped_[static_cast<std::size_t>(rank)] = 1;
+    obs::MetricsRegistry::global().counter("capi_mpi_ranks_dropped_total").add(1);
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled()) {
+        static const std::uint32_t kDrop = recorder.internName("mpi.rank_drop");
+        recorder.recordInstant(kDrop, obs::SpanCategory::Collective,
+                               support::probeNowNs(),
+                               static_cast<std::uint64_t>(rank));
+    }
     // If a collective was blocked on exactly this rank, it can complete now.
     if (generationCompleteLocked()) {
         completeGenerationLocked();

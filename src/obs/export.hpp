@@ -1,0 +1,50 @@
+// Exporters: the self-observability data rendered in standard formats.
+//
+//  * Chrome trace-event JSON (load in Perfetto / chrome://tracing): drained
+//    TraceEvents become "X" complete slices and "i" instant marks.
+//  * Prometheus text exposition: a MetricsRegistry snapshot as scrapable
+//    `# TYPE` + sample lines; log2 histograms become _bucket/_sum/_count.
+//  * Collapsed stacks (Brendan Gregg flamegraph.pl input): a ProfileTree as
+//    one "root;a;b value" line per call path, value = exclusive ns.
+//
+// All three are pure string renderers over already-extracted data — no
+// locking, no recorder/registry access — so tests can feed synthetic inputs
+// and golden-file the bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace capi::scorep {
+class ProfileTree;
+}
+
+namespace capi::obs {
+
+/// Renders drained events as a Chrome trace-event JSON document
+/// (`{"displayTimeUnit":"ns","traceEvents":[...]}`). `nameOf` resolves
+/// TraceEvent::nameId — pass `recorder.nameOf` bound, or a test stub.
+/// Timestamps are emitted in microseconds (the format's unit) at nanosecond
+/// resolution via fractional values.
+std::string toChromeTraceJson(
+    const std::vector<TraceEvent>& events,
+    const std::function<std::string(std::uint32_t)>& nameOf);
+
+/// Renders a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4). Samples whose names embed `{label="v"}` pairs are
+/// grouped into one family by the name before the brace.
+std::string toPrometheusText(const std::vector<Sample>& samples);
+
+/// Renders a merged ProfileTree as collapsed stacks: semicolon-joined region
+/// names root-first, one line per call path with nonzero exclusive time.
+/// `regionName` maps a RegionHandle to its display name.
+std::string toCollapsedStacks(
+    const scorep::ProfileTree& tree,
+    const std::function<std::string(std::uint32_t)>& regionName);
+
+}  // namespace capi::obs

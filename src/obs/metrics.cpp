@@ -1,0 +1,124 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace capi::obs {
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entryFor(const std::string& name,
+                                                  MetricKind kind) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::lower_bound(
+        byName_.begin(), byName_.end(), name,
+        [](const auto& pair, const std::string& key) { return pair.first < key; });
+    if (it != byName_.end() && it->first == name) {
+        Entry& existing = entries_[it->second];
+        if (existing.kind != kind) {
+            throw support::Error("metric '" + name +
+                                 "' already registered with a different kind");
+        }
+        return existing;
+    }
+    entries_.emplace_back();
+    Entry& entry = entries_.back();
+    entry.name = name;
+    entry.kind = kind;
+    if (kind == MetricKind::Histogram) {
+        entry.histogram = std::make_unique<Histogram>();
+    }
+    byName_.insert(it, {name, entries_.size() - 1});
+    return entry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    return entryFor(name, MetricKind::Counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    return entryFor(name, MetricKind::Gauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+    return *entryFor(name, MetricKind::Histogram).histogram;
+}
+
+std::uint64_t MetricsRegistry::addCollector(
+    std::function<void(std::vector<Sample>&)> fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t id = nextCollectorId_++;
+    collectors_.emplace_back(id, std::move(fn));
+    return id;
+}
+
+void MetricsRegistry::removeCollector(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::erase_if(collectors_, [id](const auto& pair) { return pair.first == id; });
+}
+
+std::vector<Sample> MetricsRegistry::snapshot() const {
+    std::vector<Sample> samples;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        samples.reserve(entries_.size());
+        for (const Entry& entry : entries_) {
+            Sample s;
+            s.name = entry.name;
+            s.kind = entry.kind;
+            switch (entry.kind) {
+            case MetricKind::Counter:
+                s.value = static_cast<double>(entry.counter.value());
+                break;
+            case MetricKind::Gauge:
+                s.value = entry.gauge.value();
+                break;
+            case MetricKind::Histogram: {
+                const Histogram& h = *entry.histogram;
+                std::uint64_t cumulative = 0;
+                for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+                    std::uint64_t n = h.bucketCount(b);
+                    if (n == 0) {
+                        continue;
+                    }
+                    cumulative += n;
+                    // Bucket b holds values of bit-width b: upper bound 2^b-1.
+                    double bound = b >= 64
+                                       ? std::numeric_limits<double>::infinity()
+                                       : std::ldexp(1.0, static_cast<int>(b)) - 1.0;
+                    s.buckets.emplace_back(bound, cumulative);
+                }
+                s.count = cumulative;
+                s.value = static_cast<double>(h.sum());
+                break;
+            }
+            }
+            samples.push_back(std::move(s));
+        }
+        for (const auto& [id, fn] : collectors_) {
+            (void)id;
+            fn(samples);
+        }
+    }
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample& a, const Sample& b) { return a.name < b.name; });
+    return samples;
+}
+
+std::size_t MetricsRegistry::metricCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::size_t MetricsRegistry::collectorCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return collectors_.size();
+}
+
+}  // namespace capi::obs

@@ -1,0 +1,195 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace capi::obs {
+
+namespace {
+using RingCache = support::ThreadLocalCache<TraceRecorder>;
+}  // namespace
+
+const char* spanCategoryName(SpanCategory cat) {
+    switch (cat) {
+    case SpanCategory::Epoch:
+        return "epoch";
+    case SpanCategory::Model:
+        return "model";
+    case SpanCategory::Plan:
+        return "plan";
+    case SpanCategory::Patch:
+        return "patch";
+    case SpanCategory::Collective:
+        return "collective";
+    case SpanCategory::Fault:
+        return "fault";
+    case SpanCategory::Compaction:
+        return "compaction";
+    case SpanCategory::Tool:
+        return "tool";
+    }
+    return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t ringCapacity)
+    : capacity_(std::bit_ceil(std::max<std::size_t>(ringCapacity, 2))),
+      generation_(support::nextGenerationStamp()) {}
+
+TraceRecorder::~TraceRecorder() {
+    // Stale ThreadLocalCache entries on other threads are neutralized by the
+    // generation stamp; only this thread's entry can be dropped eagerly.
+    RingCache::invalidate(this);
+}
+
+TraceRecorder& TraceRecorder::global() {
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+std::uint32_t TraceRecorder::internName(std::string_view name) {
+    std::lock_guard<std::mutex> lock(namesMutex_);
+    auto it = nameIds_.find(std::string(name));
+    if (it != nameIds_.end()) {
+        return it->second;
+    }
+    auto id = static_cast<std::uint32_t>(names_.size());
+    names_.emplace_back(name);
+    nameIds_.emplace(names_.back(), id);
+    return id;
+}
+
+std::string TraceRecorder::nameOf(std::uint32_t id) const {
+    std::lock_guard<std::mutex> lock(namesMutex_);
+    if (id >= names_.size()) {
+        return "?";
+    }
+    return names_[id];
+}
+
+TraceRecorder::Ring& TraceRecorder::ringForThisThread() {
+    if (void* cached = RingCache::lookup(this, generation_)) {
+        return *static_cast<Ring*>(cached);
+    }
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    threads_.push_back(std::make_unique<Ring>(capacity_));
+    Ring* ring = threads_.back().get();
+    ring->tid = static_cast<std::uint32_t>(threads_.size() - 1);
+    RingCache::store(this, generation_, ring);
+    return *ring;
+}
+
+void TraceRecorder::push(Ring& ring, const TraceEvent& event) {
+    std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+    std::uint64_t tail = ring.tail.load(std::memory_order_acquire);
+    if (head - tail == capacity_) {
+        support::singleWriterAdd<std::uint64_t>(ring.dropped, 1);
+        return;
+    }
+    ring.slots[head & (capacity_ - 1)] = event;
+    ring.head.store(head + 1, std::memory_order_release);
+    support::singleWriterAdd<std::uint64_t>(ring.recorded, 1);
+}
+
+void TraceRecorder::recordComplete(std::uint32_t nameId, SpanCategory cat,
+                                   std::uint64_t beginNs, std::uint64_t durNs,
+                                   std::uint64_t arg) {
+    if (!enabled()) {
+        return;
+    }
+    Ring& ring = ringForThisThread();
+    TraceEvent event;
+    event.tsNs = beginNs;
+    event.durNs = durNs;
+    event.arg = arg;
+    event.nameId = nameId;
+    event.tid = ring.tid;
+    event.category = cat;
+    event.instant = false;
+    push(ring, event);
+}
+
+void TraceRecorder::recordInstant(std::uint32_t nameId, SpanCategory cat,
+                                  std::uint64_t tsNs, std::uint64_t arg) {
+    if (!enabled()) {
+        return;
+    }
+    Ring& ring = ringForThisThread();
+    TraceEvent event;
+    event.tsNs = tsNs;
+    event.arg = arg;
+    event.nameId = nameId;
+    event.tid = ring.tid;
+    event.category = cat;
+    event.instant = true;
+    push(ring, event);
+}
+
+std::vector<TraceEvent> TraceRecorder::drain() {
+    // drainMutex_ serializes consumers (each ring is strictly SPSC);
+    // threadsMutex_ pins the ring list while we walk it.
+    std::lock_guard<std::mutex> drainLock(drainMutex_);
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        for (const auto& ringPtr : threads_) {
+            Ring& ring = *ringPtr;
+            std::uint64_t tail = ring.tail.load(std::memory_order_relaxed);
+            std::uint64_t head = ring.head.load(std::memory_order_acquire);
+            for (std::uint64_t i = tail; i != head; ++i) {
+                events.push_back(ring.slots[i & (capacity_ - 1)]);
+            }
+            ring.tail.store(head, std::memory_order_release);
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.tsNs < b.tsNs;
+                     });
+    return events;
+}
+
+std::uint64_t TraceRecorder::recordedEvents() const {
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    std::uint64_t total = 0;
+    for (const auto& ring : threads_) {
+        total += ring->recorded.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+std::uint64_t TraceRecorder::droppedEvents() const {
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    std::uint64_t total = 0;
+    for (const auto& ring : threads_) {
+        total += ring->dropped.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+std::size_t TraceRecorder::threadsSeen() const {
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    return threads_.size();
+}
+
+double calibrateObsCostNs(std::size_t events) {
+    events = std::max<std::size_t>(events, 1024);
+    // A private recorder large enough that calibration measures the accept
+    // path, not the (cheaper) overflow path.
+    TraceRecorder recorder(std::bit_ceil(events));
+    recorder.setEnabled(true);
+    const std::uint32_t name = recorder.internName("obs.calibrate");
+    // Warm the thread ring and the icache before timing.
+    for (std::size_t i = 0; i < 64; ++i) {
+        recorder.recordComplete(name, SpanCategory::Tool, i, 1, i);
+    }
+    (void)recorder.drain();
+    const std::uint64_t begin = support::probeNowNs();
+    for (std::size_t i = 0; i < events; ++i) {
+        recorder.recordComplete(name, SpanCategory::Tool,
+                                support::probeNowNs(), 1, i);
+    }
+    const std::uint64_t end = support::probeNowNs();
+    return static_cast<double>(end - begin) / static_cast<double>(events);
+}
+
+}  // namespace capi::obs

@@ -1,0 +1,201 @@
+// Low-overhead internal trace recorder for the control plane.
+//
+// Records spans (epochs, model/plan/patch phases, patch transactions,
+// collectives) and instant events (rollbacks, evictions, fault fires,
+// compactions) into per-thread SPSC ring buffers. The design borrows the two
+// load-bearing tricks from the measurement hot path (PR 5):
+//
+//  * Per-thread ring lookup goes through the generation-stamped
+//    support::ThreadLocalCache, so a thread touches shared state (the
+//    recorder's thread list mutex) exactly once, on its first event.
+//  * Each ring is single-producer (the owning thread) / single-consumer
+//    (drain()): the writer publishes with one release store of `head`,
+//    bookkeeping counters use singleWriterAdd — no RMWs on the record path.
+//
+// Overflow NEVER blocks and never overwrites unread slots: when a ring is
+// full the event is counted in `dropped` and discarded, keeping the recorder
+// safe to leave enabled inside patch transactions and collectives. When the
+// recorder is disabled the record path is one relaxed load and a predicted
+// branch (same contract as a disarmed fault site), so ScopedSpan can ship
+// compiled-in everywhere.
+//
+// Timestamps come from support::probeNowNs() (calibrated TSC) so trace spans
+// and the overhead model share one clock; calibrateObsCostNs() measures the
+// enabled record cost so the controller can charge observation of the
+// observer into the epoch budget.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/thread_cache.hpp"
+#include "support/timer.hpp"
+
+namespace capi::obs {
+
+/// Coarse event taxonomy; exporters map these to Chrome trace categories.
+enum class SpanCategory : std::uint8_t {
+    Epoch,        ///< Controller adaptive epochs.
+    Model,        ///< Overhead-model observe phase.
+    Plan,         ///< Budget planning / policy diff.
+    Patch,        ///< XRay patch transactions (and their rollbacks).
+    Collective,   ///< MpiWorld collectives incl. timeout/eviction.
+    Fault,        ///< Fault-site fires.
+    Compaction,   ///< CallGraph tombstone compaction.
+    Tool,         ///< Driver / tool-level phases.
+};
+
+const char* spanCategoryName(SpanCategory cat);
+
+/// One ring slot. `durNs == 0` together with `instant` distinguishes a point
+/// event from a zero-length span; `arg` is a free event-defined payload
+/// (sleds flipped, undo depth, evicted rank, ...).
+struct TraceEvent {
+    std::uint64_t tsNs = 0;
+    std::uint64_t durNs = 0;
+    std::uint64_t arg = 0;
+    std::uint32_t nameId = 0;
+    std::uint32_t tid = 0;
+    SpanCategory category = SpanCategory::Tool;
+    bool instant = false;
+};
+
+class TraceRecorder {
+public:
+    /// `ringCapacity` is rounded up to a power of two; every thread that
+    /// records gets its own ring of that many slots.
+    explicit TraceRecorder(std::size_t ringCapacity = 1u << 14);
+    ~TraceRecorder();
+
+    TraceRecorder(const TraceRecorder&) = delete;
+    TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+    /// THE process-wide recorder that instrumented subsystems write to.
+    /// Starts disabled; tools/tests flip it on around the run of interest.
+    static TraceRecorder& global();
+
+    void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /// Interns `name` and returns its stable id (same string -> same id).
+    /// Call sites cache the id in a function-local static so the steady
+    /// state never touches the intern table.
+    std::uint32_t internName(std::string_view name);
+    /// The interned string for `id` ("?" when unknown).
+    std::string nameOf(std::uint32_t id) const;
+
+    /// Records a completed span with explicit timestamps (probeNowNs clock).
+    /// No-op while disabled. Exposed raw — rather than only via ScopedSpan —
+    /// so tests and exporters can produce deterministic timelines.
+    void recordComplete(std::uint32_t nameId, SpanCategory cat,
+                        std::uint64_t beginNs, std::uint64_t durNs,
+                        std::uint64_t arg = 0);
+    /// Records a point event. No-op while disabled.
+    void recordInstant(std::uint32_t nameId, SpanCategory cat,
+                       std::uint64_t tsNs, std::uint64_t arg = 0);
+
+    /// Copies out every undrained event from every thread's ring (oldest
+    /// first per ring, then merged by timestamp) and frees the slots for
+    /// reuse. Safe to call mid-run: writers keep recording into the space
+    /// behind the consumed tail; events recorded during the drain may land
+    /// in this batch or the next, never lost silently.
+    std::vector<TraceEvent> drain();
+
+    /// Events accepted into rings since construction (monotonic, survives
+    /// drain()). The self-overhead accounting differences this per epoch.
+    std::uint64_t recordedEvents() const;
+    /// Events discarded because a ring was full.
+    std::uint64_t droppedEvents() const;
+
+    std::size_t ringCapacity() const { return capacity_; }
+    std::size_t threadsSeen() const;
+
+private:
+    struct Ring {
+        explicit Ring(std::size_t capacity) : slots(capacity) {}
+
+        std::vector<TraceEvent> slots;
+        std::uint32_t tid = 0;
+        /// Writer-owned publish cursor (release on store).
+        alignas(64) std::atomic<std::uint64_t> head{0};
+        /// Drainer-owned consume cursor (release on store).
+        alignas(64) std::atomic<std::uint64_t> tail{0};
+        /// Writer-owned (singleWriterAdd), read by aggregators.
+        alignas(64) std::atomic<std::uint64_t> recorded{0};
+        std::atomic<std::uint64_t> dropped{0};
+    };
+
+    Ring& ringForThisThread();
+    void push(Ring& ring, const TraceEvent& event);
+
+    const std::size_t capacity_;
+    const std::uint64_t generation_;
+    std::atomic<bool> enabled_{false};
+
+    mutable std::mutex threadsMutex_;
+    std::vector<std::unique_ptr<Ring>> threads_;
+
+    mutable std::mutex namesMutex_;
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, std::uint32_t> nameIds_;
+
+    std::mutex drainMutex_;
+};
+
+/// RAII span against the global recorder. Captures the enabled flag once at
+/// construction — one relaxed load; a disabled recorder costs nothing else.
+class ScopedSpan {
+public:
+    ScopedSpan(std::uint32_t nameId, SpanCategory cat)
+        : ScopedSpan(TraceRecorder::global(), nameId, cat) {}
+
+    ScopedSpan(TraceRecorder& recorder, std::uint32_t nameId, SpanCategory cat)
+        : recorder_(recorder.enabled() ? &recorder : nullptr),
+          nameId_(nameId),
+          category_(cat) {
+        if (recorder_) {
+            beginNs_ = support::probeNowNs();
+        }
+    }
+
+    ~ScopedSpan() { end(); }
+
+    /// Closes the span now instead of at scope exit (idempotent) — for
+    /// phases that end mid-function without an extra nesting level.
+    void end() {
+        if (recorder_) {
+            recorder_->recordComplete(nameId_, category_, beginNs_,
+                                      support::probeNowNs() - beginNs_, arg_);
+            recorder_ = nullptr;
+        }
+    }
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    /// Attaches the event payload (read back from TraceEvent::arg).
+    void setArg(std::uint64_t arg) { arg_ = arg; }
+    /// True when this span will actually be recorded.
+    bool active() const { return recorder_ != nullptr; }
+
+private:
+    TraceRecorder* recorder_;
+    std::uint64_t beginNs_ = 0;
+    std::uint64_t arg_ = 0;
+    std::uint32_t nameId_;
+    SpanCategory category_;
+};
+
+/// Measures the per-event cost of the ENABLED record path on this machine
+/// (a private recorder; the global one is untouched) in nanoseconds.
+/// Feed the result into adapt::Config::obsCostNs so the overhead model
+/// charges tracing against the same budget as the probes it observes.
+double calibrateObsCostNs(std::size_t events = 1u << 14);
+
+}  // namespace capi::obs

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "scorepsim/tracing.hpp"
 #include "support/error.hpp"
 #include "support/thread_cache.hpp"
@@ -24,9 +25,34 @@ Measurement::Measurement(MeasurementOptions options)
     for (std::size_t i = 0; i < kMaxRegionChunks; ++i) {
         samplingChunks_[i].store(nullptr, std::memory_order_relaxed);
     }
+    // Live per-instance view in the metrics registry; the hot path is
+    // untouched — the collector aggregates the existing per-thread counters
+    // at snapshot time only.
+    metricsCollectorId_ = obs::MetricsRegistry::global().addCollector(
+        [this](std::vector<obs::Sample>& out) {
+            const std::string base = "{m=\"" + std::to_string(instanceId()) +
+                                     "\"}";
+            out.push_back({"capi_scorep_probe_events" + base,
+                           obs::MetricKind::Counter,
+                           static_cast<double>(probeEvents())});
+            out.push_back({"capi_scorep_filtered_events" + base,
+                           obs::MetricKind::Counter,
+                           static_cast<double>(filteredEvents())});
+            out.push_back({"capi_scorep_suppressed_events" + base,
+                           obs::MetricKind::Counter,
+                           static_cast<double>(suppressedEvents())});
+        });
 }
 
 Measurement::~Measurement() {
+    // Retire this instance's live view and fold its final totals into the
+    // process-lifetime counters so instance churn never loses events.
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    registry.removeCollector(metricsCollectorId_);
+    registry.counter("capi_scorep_probe_events_total").add(probeEvents());
+    registry.counter("capi_scorep_filtered_events_total").add(filteredEvents());
+    registry.counter("capi_scorep_suppressed_events_total")
+        .add(suppressedEvents());
     // Courtesy: drop the destroying thread's cache entry. Entries on other
     // threads go stale but are generation-checked, never dereferenced.
     StateCache::invalidate(this);

@@ -391,6 +391,9 @@ private:
 
     mutable std::mutex threadsMutex_;
     std::vector<std::unique_ptr<ThreadState>> threads_;
+
+    /// obs::MetricsRegistry collector handle (label m="<instanceId>").
+    std::uint64_t metricsCollectorId_ = 0;
 };
 
 }  // namespace capi::scorep

@@ -1,10 +1,12 @@
 #include "select/selector_cache.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
 
 #include "cg/call_graph.hpp"
 #include "cg/delta.hpp"
+#include "obs/metrics.hpp"
 
 namespace capi::select {
 
@@ -105,7 +107,54 @@ bool entrySurvives(const Footprint& fp, const DirtyInfo& dirty) {
 SelectorCache::SelectorCache(std::size_t maxEntries)
     : maxEntriesPerShard_(maxEntries == 0
                               ? 0
-                              : std::max<std::size_t>(1, maxEntries / kShardCount)) {}
+                              : std::max<std::size_t>(1, maxEntries / kShardCount)) {
+    // Export totals and the per-shard breakdown through the process metrics
+    // registry, labeled by a process-unique instance sequence so concurrent
+    // caches stay distinguishable.
+    static std::atomic<std::uint64_t> nextSeq{0};
+    const std::uint64_t seq = nextSeq.fetch_add(1, std::memory_order_relaxed);
+    metricsCollectorId_ = obs::MetricsRegistry::global().addCollector(
+        [this, seq](std::vector<obs::Sample>& out) {
+            const Stats totals = stats();
+            const std::string base = "{cache=\"" + std::to_string(seq) + "\"}";
+            auto counter = [&out](std::string name, std::uint64_t value) {
+                out.push_back({std::move(name), obs::MetricKind::Counter,
+                               static_cast<double>(value)});
+            };
+            counter("capi_select_cache_hits_total" + base, totals.hits);
+            counter("capi_select_cache_misses_total" + base, totals.misses);
+            counter("capi_select_cache_insertions_total" + base,
+                    totals.insertions);
+            counter("capi_select_cache_invalidations_total" + base,
+                    totals.invalidations);
+            counter("capi_select_cache_survivals_total" + base,
+                    totals.survivals);
+            counter("capi_select_cache_evictions_total" + base,
+                    totals.evictions);
+            out.push_back({"capi_select_cache_entries" + base,
+                           obs::MetricKind::Gauge,
+                           static_cast<double>(totals.entries)});
+            for (std::size_t i = 0; i < totals.perShard.size(); ++i) {
+                const ShardStats& shard = totals.perShard[i];
+                const std::string labels = "{cache=\"" + std::to_string(seq) +
+                                           "\",shard=\"" + std::to_string(i) +
+                                           "\"}";
+                counter("capi_select_cache_shard_hits_total" + labels,
+                        shard.hits);
+                counter("capi_select_cache_shard_survivals_total" + labels,
+                        shard.survivals);
+                counter("capi_select_cache_shard_invalidations_total" + labels,
+                        shard.invalidations);
+                out.push_back({"capi_select_cache_shard_entries" + labels,
+                               obs::MetricKind::Gauge,
+                               static_cast<double>(shard.entries)});
+            }
+        });
+}
+
+SelectorCache::~SelectorCache() {
+    obs::MetricsRegistry::global().removeCollector(metricsCollectorId_);
+}
 
 void SelectorCache::beginRun(const cg::CallGraph& graph) {
     const std::uint64_t generation = graph.generation();

@@ -58,6 +58,7 @@ public:
     };
 
     explicit SelectorCache(std::size_t maxEntries = 4096);
+    ~SelectorCache();
 
     /// Reconciles every shard with `graph`'s current revision BEFORE a
     /// pipeline run. Entries stamped with an older revision survive when the
@@ -118,6 +119,8 @@ private:
 
     std::size_t maxEntriesPerShard_;
     std::array<Shard, kShardCount> shards_;
+    /// obs::MetricsRegistry collector handle (label cache="<instance seq>").
+    std::uint64_t metricsCollectorId_ = 0;
 };
 
 }  // namespace capi::select

@@ -3,8 +3,11 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/hash.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 
 namespace capi::support::fault {
 
@@ -24,6 +27,25 @@ struct Registry {
 
 Registry& registry() {
     static Registry instance;
+    // Fold per-site hit/fire counters into the process metrics registry so
+    // fault-injection runs are inspectable without bespoke accessors. Both
+    // singletons live until process exit, so no unregistration.
+    static const std::uint64_t collectorId =
+        obs::MetricsRegistry::global().addCollector(
+            [](std::vector<obs::Sample>& out) {
+                std::lock_guard<std::mutex> lock(instance.mutex);
+                for (const auto& [name, site] : instance.sites) {
+                    out.push_back({"capi_fault_hits_total{site=\"" + name +
+                                       "\"}",
+                                   obs::MetricKind::Counter,
+                                   static_cast<double>(site.counters.hits)});
+                    out.push_back({"capi_fault_fires_total{site=\"" + name +
+                                       "\"}",
+                                   obs::MetricKind::Counter,
+                                   static_cast<double>(site.counters.fires)});
+                }
+            });
+    (void)collectorId;
     return instance;
 }
 
@@ -53,6 +75,12 @@ std::optional<double> hitSlow(const char* site) {
         return std::nullopt;
     }
     ++s.counters.fires;
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled()) {
+        recorder.recordInstant(
+            recorder.internName(std::string("fault.fire:") + site),
+            obs::SpanCategory::Fault, probeNowNs(), s.counters.fires);
+    }
     return s.spec.magnitude;
 }
 

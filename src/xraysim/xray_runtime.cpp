@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/fault.hpp"
 #include "support/timer.hpp"
 
@@ -329,6 +331,13 @@ XRayRuntime::DeltaPatchStats XRayRuntime::patchDeltaTiered(
     DeltaPatchStats stats;
     support::Timer timer;
 
+    // The span covers the whole transaction and is recorded even when the
+    // catch block below unwinds through it — rollbacks are part of the
+    // patch-phase timeline, not a gap in it.
+    static const std::uint32_t kPatchSpan =
+        obs::TraceRecorder::global().internName("xray.patch_delta");
+    obs::ScopedSpan patchSpan(kPatchSpan, obs::SpanCategory::Patch);
+
     // Group the requested flips per object; a function whose object vanished
     // since the delta was computed (dlclose raced the planner) is not an
     // error, it is simply no longer patchable.
@@ -475,12 +484,38 @@ XRayRuntime::DeltaPatchStats XRayRuntime::patchDeltaTiered(
             memory_->mprotect(first * kPageSize, (last - first + 1) * kPageSize,
                               /*writable=*/false);
         }
+        obs::MetricsRegistry::global()
+            .counter("capi_xray_rollbacks_total")
+            .add(1);
+        obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+        if (recorder.enabled()) {
+            static const std::uint32_t kRollback =
+                recorder.internName("xray.rollback");
+            recorder.recordInstant(kRollback, obs::SpanCategory::Patch,
+                                   support::probeNowNs(), cellUndo.size());
+        }
         throw PatchError(std::string("XRay: delta patch rolled back: ") +
                              fault.what(),
                          cellUndo.size(), tierUndo.size());
     }
     stats.pagesMadeWritable = memory_->pagesMadeWritable() - writableBefore;
     stats.nanoseconds = timer.elapsedNs();
+    patchSpan.setArg(stats.sledsPatched + stats.sledsUnpatched);
+    {
+        obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+        static obs::Counter& transactions =
+            registry.counter("capi_xray_patch_transactions_total");
+        static obs::Counter& sledsPatched =
+            registry.counter("capi_xray_sleds_patched_total");
+        static obs::Counter& sledsUnpatched =
+            registry.counter("capi_xray_sleds_unpatched_total");
+        static obs::Counter& pagesTouched =
+            registry.counter("capi_xray_pages_made_writable_total");
+        transactions.add(1);
+        sledsPatched.add(stats.sledsPatched);
+        sledsUnpatched.add(stats.sledsUnpatched);
+        pagesTouched.add(stats.pagesMadeWritable);
+    }
     return stats;
 }
 

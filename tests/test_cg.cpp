@@ -332,4 +332,113 @@ TEST(Validation, IdempotentOnSecondRun) {
     EXPECT_EQ(second.alreadyPresent, 1u);
 }
 
+// ---------------------------------------------------------- compaction -----
+
+TEST(Compaction, NoTombstonesIsIdentityNoOp) {
+    cg::CallGraph g = makeGraph({{"main"}, {"a"}, {"b"}},
+                                {{"main", "a"}, {"a", "b"}});
+    const std::uint64_t before = g.generation();
+    cg::CallGraph::CompactionResult result = g.compact();
+    EXPECT_EQ(result.removed, 0u);
+    ASSERT_EQ(result.remap.size(), 3u);
+    for (cg::FunctionId id = 0; id < 3; ++id) {
+        EXPECT_EQ(result.remap[id], id);
+    }
+    // Content untouched: downstream caches keyed on the stamp stay valid.
+    EXPECT_EQ(g.generation(), before);
+    EXPECT_EQ(g.size(), 3u);
+}
+
+TEST(Compaction, ReclaimsTombstonesAndRemapsEdges) {
+    cg::CallGraph g = makeGraph(
+        {{"main"}, {"dead1"}, {"a"}, {"dead2"}, {"b"}},
+        {{"main", "a"}, {"a", "b"}, {"main", "dead1"}, {"dead1", "dead2"}});
+    g.removeFunction(g.lookup("dead1"));
+    g.removeFunction(g.lookup("dead2"));
+    ASSERT_EQ(g.size(), 5u);
+    ASSERT_EQ(g.aliveCount(), 3u);
+
+    cg::CallGraph::CompactionResult result = g.compact();
+    EXPECT_EQ(result.removed, 2u);
+    ASSERT_EQ(result.remap.size(), 5u);
+    EXPECT_EQ(result.remap[0], 0u);                    // main
+    EXPECT_EQ(result.remap[1], cg::kInvalidFunction);  // dead1
+    EXPECT_EQ(result.remap[2], 1u);                    // a
+    EXPECT_EQ(result.remap[3], cg::kInvalidFunction);  // dead2
+    EXPECT_EQ(result.remap[4], 2u);                    // b
+
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_EQ(g.aliveCount(), 3u);
+    EXPECT_EQ(g.lookup("main"), 0u);
+    EXPECT_EQ(g.lookup("a"), 1u);
+    EXPECT_EQ(g.lookup("b"), 2u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 2));
+    EXPECT_EQ(g.edgeCount(), 2u);
+    // Mirror arrays remapped too.
+    ASSERT_EQ(g.callers(2).size(), 1u);
+    EXPECT_EQ(g.callers(2)[0], 1u);
+    EXPECT_EQ(g.entryPoint(), 0u);
+}
+
+TEST(Compaction, RemapsOverridesAndExplicitEntry) {
+    cg::CallGraph g = makeGraph({{"dead"}, {"Base::f"}, {"Derived::f"}}, {});
+    g.addOverride(g.lookup("Base::f"), g.lookup("Derived::f"));
+    g.setEntryPoint(g.lookup("Base::f"));
+    g.removeFunction(g.lookup("dead"));
+
+    cg::CallGraph::CompactionResult result = g.compact();
+    EXPECT_EQ(result.removed, 1u);
+    cg::FunctionId base = g.lookup("Base::f");
+    cg::FunctionId derived = g.lookup("Derived::f");
+    ASSERT_EQ(g.overrides(derived).size(), 1u);
+    EXPECT_EQ(g.overrides(derived)[0], base);
+    ASSERT_EQ(g.overriddenBy(base).size(), 1u);
+    EXPECT_EQ(g.overriddenBy(base)[0], derived);
+    EXPECT_EQ(g.entryPoint(), base);
+}
+
+TEST(Compaction, InvalidatesAllDeltaHistory) {
+    cg::CallGraph g = makeGraph({{"main"}, {"dead"}, {"a"}}, {{"main", "a"}});
+    const std::uint64_t preRemoval = g.generation();
+    g.removeFunction(g.lookup("dead"));
+    ASSERT_TRUE(g.deltaSince(preRemoval).has_value());
+
+    g.compact();
+    // Ids were renumbered: no journal suffix can express that, so every
+    // pre-compaction stamp answers "history gone" (full invalidation).
+    EXPECT_FALSE(g.deltaSince(preRemoval).has_value());
+    EXPECT_EQ(g.journalSize(), 0u);
+    // The new stamp itself answers the empty delta.
+    std::optional<cg::GraphDelta> now = g.deltaSince(g.generation());
+    ASSERT_TRUE(now.has_value());
+    EXPECT_TRUE(now->addedNodes.empty());
+
+    // drainDelta falls back to the full "everything changed" report with
+    // post-compaction ids only.
+    cg::CallGraph g2 = makeGraph({{"main"}, {"dead"}, {"a"}}, {{"main", "a"}});
+    g2.drainDelta();
+    g2.removeFunction(g2.lookup("dead"));
+    g2.compact();
+    cg::GraphDelta full = g2.drainDelta();
+    EXPECT_TRUE(full.entryChanged);
+    ASSERT_EQ(full.addedNodes.size(), 2u);
+    EXPECT_EQ(full.addedNodes[0], 0u);
+    EXPECT_EQ(full.addedNodes[1], 1u);
+}
+
+TEST(Compaction, MutationAfterCompactUsesNewIds) {
+    cg::CallGraph g = makeGraph({{"dead"}, {"main"}, {"a"}}, {{"main", "a"}});
+    g.removeFunction(g.lookup("dead"));
+    g.compact();
+
+    cg::FunctionDesc d;
+    d.name = "fresh";
+    cg::FunctionId fresh = g.addFunction(d);
+    EXPECT_EQ(fresh, 2u);  // Densely appended after the compacted nodes.
+    g.addCallEdge(g.lookup("a"), fresh);
+    EXPECT_TRUE(g.hasEdge(g.lookup("a"), fresh));
+    EXPECT_EQ(g.aliveCount(), 3u);
+}
+
 }  // namespace

@@ -1,0 +1,700 @@
+// Tests for src/obs/: metrics registry semantics (registration-once, kind
+// conflicts, collectors, snapshot ordering), the SPSC trace recorder (exact
+// overflow drop accounting, mid-run drains, multi-thread contention — run
+// under TSan in CI), golden-file exporter bytes, and the adaptive-loop
+// integration: epoch spans match EpochReports, self-overhead is charged into
+// the overhead model, fault fires surface as instants and counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "apps/model_builder.hpp"
+#include "binsim/compiler.hpp"
+#include "binsim/execution_engine.hpp"
+#include "cg/metacg_builder.hpp"
+#include "dyncapi/dyncapi.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "scorepsim/cyg_adapter.hpp"
+#include "scorepsim/profile.hpp"
+#include "scorepsim/symbol_resolver.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace capi;
+
+// -------------------------------------------------------- MetricsRegistry --
+
+TEST(MetricsRegistry, RegistrationOnceSharesCell) {
+    obs::MetricsRegistry reg;
+    obs::Counter& a = reg.counter("capi_test_total");
+    obs::Counter& b = reg.counter("capi_test_total");
+    EXPECT_EQ(&a, &b);
+    a.add(2);
+    b.add(3);
+    EXPECT_EQ(a.value(), 5u);
+    EXPECT_EQ(reg.metricCount(), 1u);
+}
+
+TEST(MetricsRegistry, KindConflictThrows) {
+    obs::MetricsRegistry reg;
+    reg.counter("capi_test_total");
+    EXPECT_THROW(reg.gauge("capi_test_total"), support::Error);
+    EXPECT_THROW(reg.histogram("capi_test_total"), support::Error);
+}
+
+TEST(MetricsRegistry, SnapshotSortedByNameAcrossKinds) {
+    obs::MetricsRegistry reg;
+    reg.counter("capi_zz_total").add(1);
+    reg.gauge("capi_aa").set(2.5);
+    reg.counter("capi_mm_total").add(3);
+    std::vector<obs::Sample> samples = reg.snapshot();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].name, "capi_aa");
+    EXPECT_EQ(samples[0].kind, obs::MetricKind::Gauge);
+    EXPECT_DOUBLE_EQ(samples[0].value, 2.5);
+    EXPECT_EQ(samples[1].name, "capi_mm_total");
+    EXPECT_EQ(samples[2].name, "capi_zz_total");
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreCumulative) {
+    obs::MetricsRegistry reg;
+    obs::Histogram& h = reg.histogram("capi_lat_ns");
+    h.observe(0);     // bit_width 0
+    h.observe(1);     // bit_width 1
+    h.observe(3);     // bit_width 2 (bound 3)
+    h.observe(1024);  // bit_width 11 (bound 2047)
+    std::vector<obs::Sample> samples = reg.snapshot();
+    ASSERT_EQ(samples.size(), 1u);
+    const obs::Sample& s = samples[0];
+    EXPECT_EQ(s.kind, obs::MetricKind::Histogram);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.value, 1028.0);  // sum
+    // Sparse rendering: only touched buckets appear, cumulative counts.
+    ASSERT_EQ(s.buckets.size(), 4u);
+    EXPECT_DOUBLE_EQ(s.buckets[0].first, 0.0);
+    EXPECT_EQ(s.buckets[0].second, 1u);  // the 0 observation
+    EXPECT_DOUBLE_EQ(s.buckets[1].first, 1.0);
+    EXPECT_EQ(s.buckets[1].second, 2u);
+    EXPECT_DOUBLE_EQ(s.buckets[2].first, 3.0);
+    EXPECT_EQ(s.buckets[2].second, 3u);
+    EXPECT_DOUBLE_EQ(s.buckets[3].first, 2047.0);  // 1024: bit_width 11
+    EXPECT_EQ(s.buckets[3].second, 4u);
+}
+
+TEST(MetricsRegistry, CollectorsAppendAndUnregister) {
+    obs::MetricsRegistry reg;
+    std::uint64_t id = reg.addCollector([](std::vector<obs::Sample>& out) {
+        obs::Sample s;
+        s.name = "capi_collected_total";
+        s.kind = obs::MetricKind::Counter;
+        s.value = 7.0;
+        out.push_back(s);
+    });
+    EXPECT_EQ(reg.collectorCount(), 1u);
+    std::vector<obs::Sample> samples = reg.snapshot();
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_EQ(samples[0].name, "capi_collected_total");
+    EXPECT_DOUBLE_EQ(samples[0].value, 7.0);
+    reg.removeCollector(id);
+    EXPECT_EQ(reg.collectorCount(), 0u);
+    EXPECT_TRUE(reg.snapshot().empty());
+}
+
+// ---------------------------------------------------------- TraceRecorder --
+
+TEST(TraceRecorder, DisabledRecordIsNoOp) {
+    obs::TraceRecorder rec(16);
+    const std::uint32_t name = rec.internName("x");
+    rec.recordComplete(name, obs::SpanCategory::Tool, 1, 2);
+    rec.recordInstant(name, obs::SpanCategory::Tool, 3);
+    EXPECT_EQ(rec.recordedEvents(), 0u);
+    EXPECT_EQ(rec.droppedEvents(), 0u);
+    EXPECT_TRUE(rec.drain().empty());
+}
+
+TEST(TraceRecorder, InternNameIsStableAndResolvable) {
+    obs::TraceRecorder rec(16);
+    const std::uint32_t a = rec.internName("alpha");
+    const std::uint32_t b = rec.internName("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(rec.internName("alpha"), a);
+    EXPECT_EQ(rec.nameOf(a), "alpha");
+    EXPECT_EQ(rec.nameOf(b), "beta");
+    EXPECT_EQ(rec.nameOf(999), "?");
+}
+
+TEST(TraceRecorder, DrainReturnsTimestampSortedEvents) {
+    obs::TraceRecorder rec(16);
+    rec.setEnabled(true);
+    const std::uint32_t name = rec.internName("e");
+    rec.recordComplete(name, obs::SpanCategory::Epoch, 300, 10, 1);
+    rec.recordInstant(name, obs::SpanCategory::Fault, 100, 2);
+    rec.recordComplete(name, obs::SpanCategory::Plan, 200, 5, 3);
+    std::vector<obs::TraceEvent> events = rec.drain();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].tsNs, 100u);
+    EXPECT_TRUE(events[0].instant);
+    EXPECT_EQ(events[1].tsNs, 200u);
+    EXPECT_EQ(events[2].tsNs, 300u);
+    EXPECT_EQ(events[2].arg, 1u);
+    EXPECT_EQ(events[2].durNs, 10u);
+}
+
+TEST(TraceRecorder, ExactOverflowDropCounts) {
+    obs::TraceRecorder rec(8);  // power of two already: 8 slots per ring
+    ASSERT_EQ(rec.ringCapacity(), 8u);
+    rec.setEnabled(true);
+    const std::uint32_t name = rec.internName("x");
+    for (std::uint64_t i = 0; i < 13; ++i) {
+        rec.recordInstant(name, obs::SpanCategory::Tool, i);
+    }
+    EXPECT_EQ(rec.recordedEvents(), 8u);
+    EXPECT_EQ(rec.droppedEvents(), 5u);
+    std::vector<obs::TraceEvent> events = rec.drain();
+    ASSERT_EQ(events.size(), 8u);
+    // The accepted prefix survives; overflow never overwrites unread slots.
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(events[i].tsNs, i);
+    }
+    // Drain freed the slots: the ring accepts again, counters stay monotonic.
+    rec.recordInstant(name, obs::SpanCategory::Tool, 99);
+    EXPECT_EQ(rec.recordedEvents(), 9u);
+    EXPECT_EQ(rec.droppedEvents(), 5u);
+    EXPECT_EQ(rec.drain().size(), 1u);
+}
+
+TEST(TraceRecorder, MidRunDrainLosesNothing) {
+    obs::TraceRecorder rec(8);
+    rec.setEnabled(true);
+    const std::uint32_t name = rec.internName("x");
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        rec.recordInstant(name, obs::SpanCategory::Tool, i);
+    }
+    EXPECT_EQ(rec.drain().size(), 6u);
+    for (std::uint64_t i = 6; i < 16; ++i) {
+        rec.recordInstant(name, obs::SpanCategory::Tool, i);
+    }
+    // 10 more events into 8 free slots: 8 accepted, 2 dropped — totals add up.
+    EXPECT_EQ(rec.drain().size(), 8u);
+    EXPECT_EQ(rec.recordedEvents(), 14u);
+    EXPECT_EQ(rec.droppedEvents(), 2u);
+}
+
+TEST(ScopedSpan, RecordsExactlyOnceAndCapturesArg) {
+    obs::TraceRecorder rec(16);
+    rec.setEnabled(true);
+    const std::uint32_t name = rec.internName("span");
+    {
+        obs::ScopedSpan span(rec, name, obs::SpanCategory::Model);
+        EXPECT_TRUE(span.active());
+        span.setArg(42);
+        span.end();
+        span.end();  // idempotent
+        EXPECT_FALSE(span.active());
+    }  // destructor must not double-record
+    std::vector<obs::TraceEvent> events = rec.drain();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].arg, 42u);
+    EXPECT_EQ(events[0].category, obs::SpanCategory::Model);
+    EXPECT_FALSE(events[0].instant);
+}
+
+TEST(ScopedSpan, DisabledRecorderMakesSpanInert) {
+    obs::TraceRecorder rec(16);
+    const std::uint32_t name = rec.internName("span");
+    {
+        obs::ScopedSpan span(rec, name, obs::SpanCategory::Model);
+        EXPECT_FALSE(span.active());
+    }
+    EXPECT_EQ(rec.recordedEvents(), 0u);
+}
+
+TEST(TraceRecorder, CalibrationMeasuresEnabledPath) {
+    double costNs = obs::calibrateObsCostNs(4096);
+    EXPECT_GT(costNs, 0.0);
+    EXPECT_LT(costNs, 100000.0);  // sanity: well under 100 us/event
+}
+
+// ------------------------------------------------------------ concurrency --
+
+TEST(TraceRecorderConcurrency, ContendedWritersWithMidRunDrains) {
+    obs::TraceRecorder rec(1u << 12);
+    rec.setEnabled(true);
+    const std::uint32_t name = rec.internName("contended");
+    constexpr std::size_t kThreads = 4;
+    constexpr std::uint64_t kPerThread = 20000;
+
+    std::atomic<bool> stopDraining{false};
+    std::size_t drained = 0;
+    std::thread drainer([&] {
+        while (!stopDraining.load(std::memory_order_relaxed)) {
+            drained += rec.drain().size();
+        }
+    });
+    std::vector<std::thread> writers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&, t] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                if (i % 3 == 0) {
+                    obs::ScopedSpan span(rec, name, obs::SpanCategory::Patch);
+                    span.setArg(t);
+                } else {
+                    rec.recordInstant(name, obs::SpanCategory::Tool, i, t);
+                }
+            }
+        });
+    }
+    for (std::thread& w : writers) {
+        w.join();
+    }
+    stopDraining.store(true, std::memory_order_relaxed);
+    drainer.join();
+    drained += rec.drain().size();
+
+    // Every event is either accepted (and eventually drained exactly once)
+    // or counted dropped — nothing lost, nothing duplicated.
+    EXPECT_EQ(rec.recordedEvents() + rec.droppedEvents(), kThreads * kPerThread);
+    EXPECT_EQ(drained, rec.recordedEvents());
+    EXPECT_EQ(rec.threadsSeen(), kThreads);
+}
+
+TEST(MetricsRegistryConcurrency, CountersAndInternsUnderContention) {
+    obs::MetricsRegistry reg;
+    obs::TraceRecorder rec(16);
+    constexpr std::size_t kThreads = 4;
+    constexpr std::uint64_t kAdds = 50000;
+    std::vector<std::thread> threads;
+    std::vector<std::uint32_t> ids(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            obs::Counter& c = reg.counter("capi_contended_total");
+            for (std::uint64_t i = 0; i < kAdds; ++i) {
+                c.add(1);
+            }
+            reg.histogram("capi_contended_ns").observe(t + 1);
+            ids[t] = rec.internName("shared-name");
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(reg.counter("capi_contended_total").value(), kThreads * kAdds);
+    for (std::size_t t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(ids[t], ids[0]);
+    }
+}
+
+// -------------------------------------------------------------- exporters --
+
+TEST(Exporters, ChromeTraceJsonGoldenBytes) {
+    std::vector<obs::TraceEvent> events(2);
+    events[0].tsNs = 1500;
+    events[0].durNs = 250;
+    events[0].arg = 7;
+    events[0].nameId = 0;
+    events[0].tid = 0;
+    events[0].category = obs::SpanCategory::Epoch;
+    events[0].instant = false;
+    events[1].tsNs = 2000;
+    events[1].nameId = 1;
+    events[1].tid = 3;
+    events[1].category = obs::SpanCategory::Fault;
+    events[1].instant = true;
+    auto nameOf = [](std::uint32_t id) {
+        return std::string(id == 0 ? "adapt.epoch" : "fault.fire");
+    };
+    const std::string expected =
+        "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+        "{\"name\":\"adapt.epoch\",\"cat\":\"epoch\",\"ph\":\"X\","
+        "\"ts\":1.500,\"dur\":0.250,\"pid\":0,\"tid\":0,"
+        "\"args\":{\"arg\":7}},\n"
+        "{\"name\":\"fault.fire\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\","
+        "\"ts\":2.000,\"pid\":0,\"tid\":3,\"args\":{\"arg\":0}}\n"
+        "]}\n";
+    EXPECT_EQ(obs::toChromeTraceJson(events, nameOf), expected);
+}
+
+TEST(Exporters, ChromeTraceJsonParsesAsJson) {
+    obs::TraceRecorder rec(16);
+    rec.setEnabled(true);
+    const std::uint32_t name = rec.internName("quoted\"name");
+    rec.recordComplete(name, obs::SpanCategory::Collective, 123456789, 42, 9);
+    rec.recordInstant(name, obs::SpanCategory::Compaction, 223456789);
+    std::string text = obs::toChromeTraceJson(
+        rec.drain(), [&](std::uint32_t id) { return rec.nameOf(id); });
+    support::Json doc = support::Json::parse(text);
+    ASSERT_TRUE(doc["traceEvents"].isArray());
+    const auto& arr = doc["traceEvents"].asArray();
+    ASSERT_EQ(arr.size(), 2u);
+    EXPECT_EQ(arr[0].asObject().find("name")->asString(), "quoted\"name");
+    EXPECT_DOUBLE_EQ(arr[0].asObject().find("ts")->asDouble(), 123456.789);
+    EXPECT_DOUBLE_EQ(arr[0].asObject().find("dur")->asDouble(), 0.042);
+    EXPECT_EQ(arr[1].asObject().find("ph")->asString(), "i");
+}
+
+TEST(Exporters, PrometheusTextGoldenBytes) {
+    std::vector<obs::Sample> samples;
+    obs::Sample c1;
+    c1.name = "capi_fault_fires_total{site=\"a\"}";
+    c1.kind = obs::MetricKind::Counter;
+    c1.value = 3.0;
+    samples.push_back(c1);
+    obs::Sample c2 = c1;
+    c2.name = "capi_fault_fires_total{site=\"b\"}";
+    c2.value = 0.0;
+    samples.push_back(c2);
+    obs::Sample g;
+    g.name = "capi_overhead_ratio";
+    g.kind = obs::MetricKind::Gauge;
+    g.value = 0.5;
+    samples.push_back(g);
+    obs::Sample h;
+    h.name = "capi_lat_ns";
+    h.kind = obs::MetricKind::Histogram;
+    h.value = 42.0;  // sum
+    h.count = 6;
+    h.buckets = {{1.0, 2}, {3.0, 5},
+                 {std::numeric_limits<double>::infinity(), 6}};
+    samples.push_back(h);
+    const std::string expected =
+        "# TYPE capi_fault_fires_total counter\n"
+        "capi_fault_fires_total{site=\"a\"} 3\n"
+        "capi_fault_fires_total{site=\"b\"} 0\n"
+        "# TYPE capi_overhead_ratio gauge\n"
+        "capi_overhead_ratio 0.5\n"
+        "# TYPE capi_lat_ns histogram\n"
+        "capi_lat_ns_bucket{le=\"1\"} 2\n"
+        "capi_lat_ns_bucket{le=\"3\"} 5\n"
+        "capi_lat_ns_bucket{le=\"+Inf\"} 6\n"
+        "capi_lat_ns_sum 42\n"
+        "capi_lat_ns_count 6\n";
+    EXPECT_EQ(obs::toPrometheusText(samples), expected);
+}
+
+TEST(Exporters, PrometheusRoundTripsRegistrySnapshot) {
+    obs::MetricsRegistry reg;
+    reg.counter("capi_rt_total").add(41);
+    reg.gauge("capi_rt_gauge").set(2.25);
+    reg.histogram("capi_rt_ns").observe(5);
+    std::string text = obs::toPrometheusText(reg.snapshot());
+
+    // Parse the exposition back: every non-comment line is `name value`.
+    std::size_t seen = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        std::string name = line.substr(0, space);
+        double value = std::stod(line.substr(space + 1));
+        if (name == "capi_rt_total") {
+            EXPECT_DOUBLE_EQ(value, 41.0);
+            ++seen;
+        } else if (name == "capi_rt_gauge") {
+            EXPECT_DOUBLE_EQ(value, 2.25);
+            ++seen;
+        } else if (name == "capi_rt_ns_sum") {
+            EXPECT_DOUBLE_EQ(value, 5.0);
+            ++seen;
+        } else if (name == "capi_rt_ns_count") {
+            EXPECT_DOUBLE_EQ(value, 1.0);
+            ++seen;
+        } else if (name == "capi_rt_ns_bucket{le=\"+Inf\"}") {
+            EXPECT_DOUBLE_EQ(value, 1.0);
+            ++seen;
+        }
+    }
+    EXPECT_EQ(seen, 5u);
+}
+
+TEST(Exporters, CollapsedStacksGoldenBytes) {
+    scorep::ProfileTree tree;
+    std::size_t a = tree.childOf(tree.root(), 1);
+    tree.node(a).inclusiveNs += 150;
+    tree.node(a).visits += 1;
+    std::size_t b = tree.childOf(a, 2);
+    tree.node(b).inclusiveNs += 50;
+    tree.node(b).visits += 1;
+    std::size_t c = tree.childOf(tree.root(), 3);
+    tree.node(c).inclusiveNs += 30;
+    auto name = [](std::uint32_t region) {
+        switch (region) {
+        case 1: return std::string("main");
+        case 2: return std::string("kernel");
+        default: return std::string("aux");
+        }
+    };
+    // Sorted lines; exclusive(main) = 150 - 50 = 100; root has none.
+    const std::string expected =
+        "root;aux 30\n"
+        "root;main 100\n"
+        "root;main;kernel 50\n";
+    EXPECT_EQ(obs::toCollapsedStacks(tree, name), expected);
+}
+
+// -------------------------------------------------- adaptive integration --
+
+binsim::AppModel syntheticApp() {
+    binsim::AppModel model;
+    model.name = "obs";
+    auto add = [&](const char* name, std::uint32_t instr, double virtualNs) {
+        binsim::AppFunction fn;
+        fn.name = name;
+        fn.unit = "a.cpp";
+        fn.metrics.numInstructions = instr;
+        fn.flags.hasBody = true;
+        fn.workVirtualNs = virtualNs;
+        model.functions.push_back(fn);
+        return static_cast<std::uint32_t>(model.functions.size() - 1);
+    };
+    std::uint32_t mainFn = add("main", 100, 100.0);
+    std::uint32_t kernel = add("kernel", 300, 1'000'000.0);
+    std::uint32_t noisy = add("noisy", 50, 10.0);
+    model.entry = mainFn;
+    model.functions[mainFn].calls.push_back({kernel, 4});
+    model.functions[kernel].calls.push_back({noisy, 20000});
+    return model;
+}
+
+struct EpochRun {
+    scorep::Measurement measurement;
+    scorep::ProfileTree profile;
+    double runtimeNs = 0.0;
+};
+
+std::unique_ptr<EpochRun> runEpoch(binsim::Process& process,
+                                   dyncapi::DynCapi& dyn,
+                                   double perEventCostNs) {
+    auto run = std::make_unique<EpochRun>();
+    scorep::CygProfileAdapter adapter(
+        run->measurement, scorep::SymbolResolver::withSymbolInjection(process));
+    dyn.attachCygHandler(adapter);
+    binsim::ExecutionEngine engine(process);
+    binsim::RunStats stats = engine.run();
+    dyn.detachHandler();
+    run->profile = run->measurement.mergedProfile();
+    run->runtimeNs = adapt::virtualEpochRuntimeNs(
+        stats, run->measurement, perEventCostNs, perEventCostNs);
+    return run;
+}
+
+/// Enables the GLOBAL recorder for one test and restores the drained,
+/// disabled state afterwards so tests stay order-independent.
+struct GlobalRecorderScope {
+    GlobalRecorderScope() {
+        obs::TraceRecorder::global().drain();  // discard other tests' residue
+        obs::TraceRecorder::global().setEnabled(true);
+    }
+    ~GlobalRecorderScope() {
+        obs::TraceRecorder::global().setEnabled(false);
+        obs::TraceRecorder::global().drain();
+    }
+};
+
+TEST(ObsIntegration, EpochSpansMatchEpochReportsExactly) {
+    GlobalRecorderScope scope;
+    binsim::AppModel model = syntheticApp();
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    binsim::Process process(binsim::compile(model, copts));
+    dyncapi::DynCapi dyn(process);
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+
+    adapt::Config config;
+    config.budgetFraction = 0.05;
+    config.maxEpochs = 4;
+    config.perEventCostNs = 100.0;
+    adapt::Controller controller(graph, dyn, config);
+    controller.start(adapt::surveyOfDefinedFunctions(graph));
+    while (!controller.done()) {
+        auto epoch = runEpoch(process, dyn, config.perEventCostNs);
+        controller.epoch(epoch->profile, epoch->measurement, epoch->runtimeNs);
+    }
+
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    std::vector<obs::TraceEvent> events = rec.drain();
+    std::size_t epochSpans = 0;
+    std::size_t modelSpans = 0;
+    std::size_t planSpans = 0;
+    std::size_t patchSpans = 0;
+    std::uint64_t lastEpochArg = 0;
+    for (const obs::TraceEvent& e : events) {
+        const std::string name = rec.nameOf(e.nameId);
+        if (name == "adapt.epoch") {
+            ++epochSpans;
+            EXPECT_EQ(e.category, obs::SpanCategory::Epoch);
+            EXPECT_FALSE(e.instant);
+            lastEpochArg = e.arg;
+        } else if (name == "adapt.model") {
+            ++modelSpans;
+        } else if (name == "adapt.plan") {
+            ++planSpans;
+        } else if (name == "adapt.patch") {
+            ++patchSpans;
+        }
+    }
+    EXPECT_GT(controller.epochsRun(), 0u);
+    EXPECT_EQ(epochSpans, controller.epochsRun());
+    EXPECT_EQ(modelSpans, controller.epochsRun());
+    EXPECT_EQ(planSpans, controller.epochsRun());
+    EXPECT_EQ(patchSpans, controller.epochsRun());
+    // The span arg carries the 1-based epoch ordinal of the last report.
+    EXPECT_EQ(lastEpochArg, controller.lastReport().epoch);
+}
+
+TEST(ObsIntegration, SelfObsCostChargedIntoOverheadModel) {
+    GlobalRecorderScope scope;
+    binsim::AppModel model = syntheticApp();
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    binsim::Process process(binsim::compile(model, copts));
+    dyncapi::DynCapi dyn(process);
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+
+    adapt::Config config;
+    config.budgetFraction = 0.05;
+    config.maxEpochs = 2;
+    config.perEventCostNs = 100.0;
+    config.obsCostNs = 25.0;  // charge each recorder event at a known rate
+    adapt::Controller controller(graph, dyn, config);
+    controller.start(adapt::surveyOfDefinedFunctions(graph));
+    // The observation bill is a trailing delta: epoch N's report charges the
+    // events recorded since epoch N-1's charge point, so the first epoch's
+    // own spans land in the SECOND report. Run both epochs and check there.
+    auto first = runEpoch(process, dyn, config.perEventCostNs);
+    adapt::EpochReport report1 =
+        controller.epoch(first->profile, first->measurement, first->runtimeNs);
+    EXPECT_DOUBLE_EQ(report1.selfObsCostNs,
+                     25.0 * static_cast<double>(report1.obsEventsObserved));
+    auto second = runEpoch(process, dyn, config.perEventCostNs);
+    adapt::EpochReport report2 = controller.epoch(
+        second->profile, second->measurement, second->runtimeNs);
+    // Epoch 1 recorded at least epoch/model/plan/patch spans.
+    EXPECT_GE(report2.obsEventsObserved, 4u);
+    EXPECT_DOUBLE_EQ(report2.selfObsCostNs,
+                     25.0 * static_cast<double>(report2.obsEventsObserved));
+    EXPECT_GT(report2.measuredOverheadRatio, 0.0);
+}
+
+TEST(ObsIntegration, DisabledRecorderChargesNoSelfCost) {
+    // Recorder stays DISABLED: no events recorded, no self-cost charged even
+    // though obsCostNs is configured.
+    binsim::AppModel model = syntheticApp();
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    binsim::Process process(binsim::compile(model, copts));
+    dyncapi::DynCapi dyn(process);
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+
+    adapt::Config config;
+    config.budgetFraction = 0.05;
+    config.maxEpochs = 2;
+    config.perEventCostNs = 100.0;
+    config.obsCostNs = 25.0;
+    adapt::Controller controller(graph, dyn, config);
+    controller.start(adapt::surveyOfDefinedFunctions(graph));
+    auto epoch = runEpoch(process, dyn, config.perEventCostNs);
+    adapt::EpochReport report =
+        controller.epoch(epoch->profile, epoch->measurement, epoch->runtimeNs);
+    EXPECT_EQ(report.obsEventsObserved, 0u);
+    EXPECT_DOUBLE_EQ(report.selfObsCostNs, 0.0);
+}
+
+TEST(ObsIntegration, FaultFireRecordsInstantAndCounter) {
+    GlobalRecorderScope scope;
+    support::fault::FaultSpec spec;
+    spec.maxFires = 1;
+    support::fault::arm(support::fault::sites::kXraySledWrite, spec, 7);
+    ASSERT_TRUE(support::fault::shouldFail(support::fault::sites::kXraySledWrite));
+    support::fault::disarm(support::fault::sites::kXraySledWrite);
+
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    std::vector<obs::TraceEvent> events = rec.drain();
+    bool sawFire = false;
+    for (const obs::TraceEvent& e : events) {
+        if (rec.nameOf(e.nameId) ==
+            std::string("fault.fire:") + support::fault::sites::kXraySledWrite) {
+            EXPECT_TRUE(e.instant);
+            EXPECT_EQ(e.category, obs::SpanCategory::Fault);
+            sawFire = true;
+        }
+    }
+    EXPECT_TRUE(sawFire);
+
+    // And the registry carries the per-site fire counter.
+    bool sawMetric = false;
+    for (const obs::Sample& s : obs::MetricsRegistry::global().snapshot()) {
+        if (s.name == std::string("capi_fault_fires_total{site=\"") +
+                          support::fault::sites::kXraySledWrite + "\"}") {
+            EXPECT_GE(s.value, 1.0);
+            sawMetric = true;
+        }
+    }
+    EXPECT_TRUE(sawMetric);
+}
+
+TEST(ObsIntegration, CompactionEmitsSpanAndCounter) {
+    GlobalRecorderScope scope;
+    cg::CallGraph g;
+    cg::FunctionDesc d;
+    d.name = "main";
+    g.addFunction(d);
+    d.name = "dead";
+    cg::FunctionId dead = g.addFunction(d);
+    g.removeFunction(dead);
+
+    const double before =
+        [] {
+            for (const obs::Sample& s :
+                 obs::MetricsRegistry::global().snapshot()) {
+                if (s.name == "capi_cg_compactions_total") {
+                    return s.value;
+                }
+            }
+            return 0.0;
+        }();
+    cg::CallGraph::CompactionResult result = g.compact();
+    EXPECT_EQ(result.removed, 1u);
+
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    bool sawSpan = false;
+    for (const obs::TraceEvent& e : rec.drain()) {
+        if (rec.nameOf(e.nameId) == "cg.compact") {
+            EXPECT_EQ(e.category, obs::SpanCategory::Compaction);
+            EXPECT_EQ(e.arg, 1u);  // tombstones reclaimed
+            sawSpan = true;
+        }
+    }
+    EXPECT_TRUE(sawSpan);
+
+    double after = 0.0;
+    for (const obs::Sample& s : obs::MetricsRegistry::global().snapshot()) {
+        if (s.name == "capi_cg_compactions_total") {
+            after = s.value;
+        }
+    }
+    EXPECT_DOUBLE_EQ(after, before + 1.0);
+}
+
+}  // namespace

@@ -23,11 +23,20 @@
 //
 // --stats additionally folds each epoch's visit counts into the call graph
 // (journaled metric touches), re-runs a profiledVisits refinement spec
-// through the session every epoch, and prints the incremental-selection
-// counters afterwards: SelectorCache hit/survival/purge totals with the
-// per-shard breakdown, and the CSR snapshot registry's patch-vs-rebuild
-// counts — the knobs to watch when debugging incremental behavior in the
-// field.
+// through the session every epoch, and afterwards dumps the process-wide
+// obs::MetricsRegistry snapshot — selector-cache hit/survival/purge totals
+// with the per-shard breakdown, CSR patch-vs-rebuild counts, XRay patch
+// transactions, controller health — every counter any subsystem registered,
+// with no per-subsystem accessor plumbing in this tool.
+//
+// The `trace` and `metrics` subcommands run the same adaptive loop with the
+// self-observability recorder enabled and export the result:
+//   capi_tool trace   [adapt flags] [--output trace.json] [--flame flame.txt]
+//   capi_tool metrics [adapt flags] [--output metrics.prom]
+// `trace` writes Chrome trace-event JSON (load in Perfetto / chrome://
+// tracing) plus, with --flame, the last epoch's profile as collapsed stacks
+// for flamegraph.pl; `metrics` writes the registry snapshot in Prometheus
+// text exposition format.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -42,9 +51,9 @@
 #include "apps/openfoam.hpp"
 #include "apps/specs.hpp"
 #include "binsim/execution_engine.hpp"
-#include "cg/csr_view.hpp"
 #include "cg/metacg_builder.hpp"
 #include "cg/metacg_json.hpp"
+#include "obs/export.hpp"
 #include "scorepsim/cyg_adapter.hpp"
 #include "scorepsim/symbol_resolver.hpp"
 #include "select/selection_driver.hpp"
@@ -78,7 +87,11 @@ void usage() {
                  "[--keep <name>]...\n"
                  "       [--sampled-n <N>] [--gate-cost-ns <ns>] "
                  "[--ranks <n>]\n"
-                 "       [--threads <n>] [--output <ic>] [--stats]\n");
+                 "       [--threads <n>] [--output <ic>] [--stats]\n"
+                 "   or: capi_tool trace [adapt flags] "
+                 "[--output <trace.json>] [--flame <out.txt>]\n"
+                 "   or: capi_tool metrics [adapt flags] "
+                 "[--output <metrics.prom>]\n");
 }
 
 std::string readFile(const std::string& path) {
@@ -107,10 +120,27 @@ std::size_t parseThreads(const std::string& value) {
 constexpr const char* kVisitsRefineSpec =
     "hot = profiledVisits(\">=\", 1, defined(%%))\ncoarse(%hot)\n";
 
-int runAdapt(int argc, char** argv) {
+void writeTextFile(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        throw capi::support::Error("cannot write " + path);
+    }
+    out << text;
+}
+
+/// `adapt` plus its two exporting variants: `trace` enables the global
+/// recorder around the run and writes the drained timeline; `metrics`
+/// writes the registry snapshot after the run.
+enum class AdaptMode { Adapt, Trace, Metrics };
+
+int runAdapt(int argc, char** argv, AdaptMode mode) {
     using namespace capi;
+    const char* modeName = mode == AdaptMode::Adapt ? "adapt"
+                           : mode == AdaptMode::Trace ? "trace"
+                                                      : "metrics";
     std::string app = "lulesh";
     std::string outputPath;
+    std::string flamePath;
     bool printStats = false;
     std::size_t ranks = 1;
     adapt::Config config;
@@ -144,15 +174,32 @@ int runAdapt(int argc, char** argv) {
             else if (arg == "--keep") config.keep.push_back(next());
             else if (arg == "--threads") config.threads = parseThreads(next());
             else if (arg == "--output") outputPath = next();
+            else if (arg == "--flame" && mode == AdaptMode::Trace)
+                flamePath = next();
             else if (arg == "--stats") printStats = true;
             else {
                 usage();
                 return 2;
             }
         } catch (const std::exception& e) {
-            std::fprintf(stderr, "capi_tool adapt: bad value for %s: %s\n",
-                         arg.c_str(), e.what());
+            std::fprintf(stderr, "capi_tool %s: bad value for %s: %s\n",
+                         modeName, arg.c_str(), e.what());
             return 2;
+        }
+    }
+
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (mode == AdaptMode::Trace) {
+        if (outputPath.empty()) {
+            outputPath = "trace.json";
+        }
+        // Charge the recorder's own per-event cost into the overhead model:
+        // the observer observes itself on the same budget as the probes.
+        config.obsCostNs = obs::calibrateObsCostNs();
+        recorder.setEnabled(true);
+    } else if (mode == AdaptMode::Metrics) {
+        if (outputPath.empty()) {
+            outputPath = "metrics.prom";
         }
     }
 
@@ -167,7 +214,8 @@ int runAdapt(int argc, char** argv) {
         params.iterations = 5;
         model = apps::makeOpenFoam(params);
     } else {
-        std::fprintf(stderr, "capi_tool adapt: unknown --app '%s'\n", app.c_str());
+        std::fprintf(stderr, "capi_tool %s: unknown --app '%s'\n", modeName,
+                     app.c_str());
         return 2;
     }
 
@@ -200,6 +248,7 @@ int runAdapt(int argc, char** argv) {
         controller.session().select(kVisitsRefineSpec, "visits-refine");
     }
 
+    std::string flameText;
     while (!controller.done()) {
         scorep::Measurement measurement;
         scorep::CygProfileAdapter adapter(
@@ -233,6 +282,15 @@ int runAdapt(int argc, char** argv) {
                                                  config.gateCostNs));
             });
             dyn.detachHandler();
+        }
+        if (mode == AdaptMode::Trace && !flamePath.empty()) {
+            // Re-rendered every epoch so the export reflects the LAST one
+            // (the converged instrumentation set), while the Measurement is
+            // still alive to resolve region names.
+            flameText = obs::toCollapsedStacks(
+                measurement.mergedProfile(), [&](std::uint32_t region) {
+                    return measurement.region(region).name;
+                });
         }
         std::printf("epoch %zu: overhead %.2f%%, IC %zu (-%zu/+%zu), delta "
                     "touched %llu pages%s\n",
@@ -290,38 +348,51 @@ int runAdapt(int argc, char** argv) {
                 controller.currentPolicy().countOf(select::Tier::Full),
                 controller.currentPolicy().countOf(select::Tier::Sampled));
     if (printStats) {
-        select::SelectorCache::Stats cacheStats =
-            controller.session().cache().stats();
-        std::printf("selector cache: %llu hits, %llu misses, %llu survivals, "
-                    "%llu purges, %llu evictions, %zu entries\n",
-                    static_cast<unsigned long long>(cacheStats.hits),
-                    static_cast<unsigned long long>(cacheStats.misses),
-                    static_cast<unsigned long long>(cacheStats.survivals),
-                    static_cast<unsigned long long>(cacheStats.invalidations),
-                    static_cast<unsigned long long>(cacheStats.evictions),
-                    cacheStats.entries);
-        for (std::size_t i = 0; i < cacheStats.perShard.size(); ++i) {
-            const auto& s = cacheStats.perShard[i];
-            if (s.hits + s.misses + s.insertions == 0) {
-                continue;  // Quiet shards stay out of the report.
+        // One snapshot covers every subsystem that registered: selector
+        // cache (totals + per-shard), CSR registry, XRay transactions,
+        // measurement probe counters, controller health. Zero-valued
+        // samples stay out so quiet shards/sites do not flood the report.
+        std::vector<obs::Sample> samples = obs::MetricsRegistry::global().snapshot();
+        std::size_t printed = 0;
+        for (const obs::Sample& s : samples) {
+            if (s.value == 0.0 && s.count == 0) {
+                continue;
             }
-            std::printf("  shard %2zu: %llu hits, %llu misses, %llu "
-                        "survivals, %llu purges, %zu entries\n",
-                        i, static_cast<unsigned long long>(s.hits),
-                        static_cast<unsigned long long>(s.misses),
-                        static_cast<unsigned long long>(s.survivals),
-                        static_cast<unsigned long long>(s.invalidations),
-                        s.entries);
+            if (s.kind == obs::MetricKind::Histogram) {
+                std::printf("  %s: count %llu sum %.0f\n", s.name.c_str(),
+                            static_cast<unsigned long long>(s.count), s.value);
+            } else {
+                std::printf("  %s: %.6g\n", s.name.c_str(), s.value);
+            }
+            ++printed;
         }
-        cg::CsrView::RegistryStats csr = cg::CsrView::registryStats();
-        std::printf("csr snapshots: %llu patched, %llu full rebuilds, %llu "
-                    "registry hits, %llu graphs released\n",
-                    static_cast<unsigned long long>(csr.patchBuilds),
-                    static_cast<unsigned long long>(csr.fullBuilds),
-                    static_cast<unsigned long long>(csr.sharedHits),
-                    static_cast<unsigned long long>(csr.graphsReleased));
+        std::printf("metrics registry: %zu samples (%zu nonzero shown)\n",
+                    samples.size(), printed);
     }
-    if (!outputPath.empty()) {
+    if (mode == AdaptMode::Trace) {
+        recorder.setEnabled(false);
+        std::vector<obs::TraceEvent> events = recorder.drain();
+        writeTextFile(outputPath,
+                      obs::toChromeTraceJson(events, [&](std::uint32_t id) {
+                          return recorder.nameOf(id);
+                      }));
+        std::printf("trace: %zu events (%llu recorded, %llu dropped, "
+                    "self-cost %.1f ns/event) -> %s\n",
+                    events.size(),
+                    static_cast<unsigned long long>(recorder.recordedEvents()),
+                    static_cast<unsigned long long>(recorder.droppedEvents()),
+                    config.obsCostNs, outputPath.c_str());
+        if (!flamePath.empty()) {
+            writeTextFile(flamePath, flameText);
+            std::printf("flame: last epoch collapsed stacks -> %s\n",
+                        flamePath.c_str());
+        }
+    } else if (mode == AdaptMode::Metrics) {
+        std::vector<obs::Sample> samples = obs::MetricsRegistry::global().snapshot();
+        writeTextFile(outputPath, obs::toPrometheusText(samples));
+        std::printf("metrics: %zu samples -> %s\n", samples.size(),
+                    outputPath.c_str());
+    } else if (!outputPath.empty()) {
         controller.currentIc().writeFile(outputPath);
         std::printf("wrote %s\n", outputPath.c_str());
     }
@@ -331,11 +402,17 @@ int runAdapt(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc > 1 && std::strcmp(argv[1], "adapt") == 0) {
+    if (argc > 1 && (std::strcmp(argv[1], "adapt") == 0 ||
+                     std::strcmp(argv[1], "trace") == 0 ||
+                     std::strcmp(argv[1], "metrics") == 0)) {
+        AdaptMode mode = std::strcmp(argv[1], "adapt") == 0 ? AdaptMode::Adapt
+                         : std::strcmp(argv[1], "trace") == 0
+                             ? AdaptMode::Trace
+                             : AdaptMode::Metrics;
         try {
-            return runAdapt(argc, argv);
+            return runAdapt(argc, argv, mode);
         } catch (const std::exception& e) {
-            std::fprintf(stderr, "capi_tool adapt: %s\n", e.what());
+            std::fprintf(stderr, "capi_tool %s: %s\n", argv[1], e.what());
             return 1;
         }
     }
