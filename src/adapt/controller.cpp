@@ -429,39 +429,56 @@ EpochReport Controller::epochAllRanks(mpi::MpiWorld& world, int rank,
             }
         });
     // Visible to every rank in its own returned report; lastReport_ is only
-    // written below on controllers that this rank exclusively owns.
+    // written by adoptPolicy on controllers that this rank exclusively owns.
     slot.report.droppedRanks =
         static_cast<std::size_t>(world.worldSize() - world.liveRankCount());
     // Reconciliation: a rank driving its own controller (one per process,
     // the real-MPI shape) wakes here with a stale currentPolicy_ — the
-    // reduction patched only the reducing rank's. Re-apply the converged
+    // reduction patched only the reducing rank's. Adopt the converged
     // policy so every rank's fingerprint equals the report's before this
     // collective returns. When all ranks share one controller the
     // fingerprints already match and nothing is written (no data race: the
     // reducer's writes happened-before the wake-up).
-    if (!slot.reducedByMe &&
-        currentPolicy_.fingerprint() != slot.report.policyFingerprint) {
-        EpochReport applied = slot.report;
-        applied.retriesThisEpoch = 0;
-        if (applyWithRetry(slot.convergedPolicy, applied)) {
-            currentPolicy_ = std::move(slot.convergedPolicy);
-            currentIc_ = currentPolicy_.patchSet();
-            slot.report.patch = applied.patch;
-        }
-        // On exhausted retries this rank stays on its last-good policy —
-        // Degraded, to be reconciled again next epoch.
-        if (applied.retriesThisEpoch > 0 || currentPolicy_.fingerprint() !=
-                                                slot.report.policyFingerprint) {
-            health_ = EpochHealth::Degraded;
-            slot.report.health = health_;
-        }
-        lastReport_ = slot.report;
-    } else if (!slot.reducedByMe && lastReport_.epoch != slot.report.epoch) {
-        // Same fingerprint but a controller that did not see the reduction
-        // (per-rank controllers already converged): adopt the world report.
-        lastReport_ = slot.report;
+    if (!slot.reducedByMe) {
+        slot.report = adoptPolicy(slot.convergedPolicy, slot.report);
     }
     return slot.report;
+}
+
+EpochReport Controller::adoptPolicy(
+    const select::InstrumentationPolicy& converged,
+    const EpochReport& worldReport) {
+    EpochReport report = worldReport;
+    if (currentPolicy_.fingerprint() != report.policyFingerprint) {
+        EpochReport applied = report;
+        applied.retriesThisEpoch = 0;
+        if (applyWithRetry(converged, applied)) {
+            currentPolicy_ = converged;
+            currentIc_ = currentPolicy_.patchSet();
+            report.patch = applied.patch;
+        }
+        // On exhausted retries this controller stays on its last-good policy
+        // — Degraded, to be reconciled again next epoch.
+        if (applied.retriesThisEpoch > 0 ||
+            currentPolicy_.fingerprint() != report.policyFingerprint) {
+            health_ = EpochHealth::Degraded;
+            report.health = health_;
+        }
+        lastReport_ = report;
+    } else if (lastReport_.epoch != report.epoch) {
+        // Same fingerprint but a controller that did not run the reduction
+        // itself (already converged): adopt the world report.
+        lastReport_ = report;
+    } else {
+        return report;
+    }
+    {
+        // Publish for the metrics collector, as epoch() does.
+        std::lock_guard<std::mutex> lock(obsMutex_);
+        obsHealth_ = healthStats_;
+        obsReport_ = lastReport_;
+    }
+    return report;
 }
 
 select::InstrumentationConfig surveyOfDefinedFunctions(

@@ -182,6 +182,18 @@ public:
                               const scorep::Measurement& measurement,
                               double runtimeNs);
 
+    /// Adopts a policy converged OFF this controller — by another rank's
+    /// reduction (epochAllRanks calls this after the collective) or by the
+    /// fleet aggregator (fleet::FleetClient drives a controller from
+    /// streamed policy deltas through here). When the live fingerprint
+    /// already matches `worldReport`'s, only the report is adopted;
+    /// otherwise `converged` is applied with the usual retry machinery and
+    /// a failure degrades health (kept last-good, reconciled next epoch).
+    /// Returns the report as this controller experienced it (patch stats
+    /// and health filled in).
+    EpochReport adoptPolicy(const select::InstrumentationPolicy& converged,
+                            const EpochReport& worldReport);
+
     /// The last epoch's measured overhead met the budget.
     bool converged() const { return lastReport_.epoch > 0 && lastReport_.withinBudget; }
     /// Converged, or the maxEpochs cap is exhausted.

@@ -26,16 +26,18 @@ void OverheadModel::observeEpoch(
     const select::InstrumentationConfig* activeIc) {
     // Aggregate the epoch per region name (several handles can share a name
     // when measurements are recreated across epochs, so fold by name).
-    struct Observed {
-        double visits = 0.0;
-        double exclusiveNs = 0.0;
-        double suppressed = 0.0;  ///< Gate-suppressed visits (Sampled tier).
+    // Integer accumulation first, double conversion once per name: the sums
+    // stay exact regardless of the unordered source map's iteration order.
+    struct RawTotals {
+        std::uint64_t visits = 0;
+        std::uint64_t exclusiveNs = 0;
+        std::uint64_t suppressed = 0;  ///< Gate-suppressed visits (Sampled).
     };
-    std::unordered_map<std::string, Observed> observed;
+    std::map<std::string, RawTotals> raw;
     for (const auto& [region, totals] : regionTotals) {
-        Observed& entry = observed[measurement.region(region).name];
-        entry.visits += static_cast<double>(totals.visits);
-        entry.exclusiveNs += static_cast<double>(totals.exclusiveNs);
+        RawTotals& entry = raw[measurement.region(region).name];
+        entry.visits += totals.visits;
+        entry.exclusiveNs += totals.exclusiveNs;
     }
 
     // Sampled regions report their skipped visits through the gate's
@@ -44,7 +46,7 @@ void OverheadModel::observeEpoch(
     // counters are the epoch's delta, and a deterministic workload can make
     // them numerically identical to last epoch's, so the values alone
     // cannot signal the restart. A region whose samples were all suppressed
-    // still lands in `observed` with zero recorded visits.
+    // still lands in the fold with zero recorded visits.
     if (measurement.instanceId() != lastMeasurementId_) {
         lastSuppressed_.clear();
         lastMeasurementId_ = measurement.instanceId();
@@ -58,10 +60,24 @@ void OverheadModel::observeEpoch(
         std::uint64_t delta = count >= last ? count - last : count;
         last = count;
         if (delta > 0) {
-            observed[name].suppressed += static_cast<double>(delta);
+            raw[name].suppressed += delta;
         }
     }
 
+    std::map<std::string, RegionObservation> byName;
+    for (const auto& [name, totals] : raw) {
+        byName[name] = RegionObservation{
+            static_cast<double>(totals.visits),
+            static_cast<double>(totals.exclusiveNs),
+            static_cast<double>(totals.suppressed)};
+    }
+    observeEpoch(byName, epochRuntimeNs, activeIc);
+}
+
+void OverheadModel::observeEpoch(
+    const std::map<std::string, RegionObservation>& byName,
+    double epochRuntimeNs, const select::InstrumentationConfig* activeIc) {
+    const auto& observed = byName;
     double epochCostNs = 0.0;
     for (const auto& [name, obs] : observed) {
         // Recorded events pay the full probe; suppressed ones only the gate.

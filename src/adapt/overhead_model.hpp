@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 
@@ -85,6 +86,27 @@ public:
                                  scorep::ProfileTree::RegionTotals>& regionTotals,
         const scorep::Measurement& measurement, double epochRuntimeNs,
         const select::InstrumentationConfig* activeIc = nullptr);
+
+    /// One region-name's worth of epoch observation, for callers that
+    /// aggregate regions themselves. `suppressed` is the epoch's
+    /// gate-suppressed visit DELTA (already differenced — the by-handle
+    /// overloads derive it from the Measurement's cumulative counters).
+    struct RegionObservation {
+        double visits = 0.0;
+        double exclusiveNs = 0.0;
+        double suppressed = 0.0;
+    };
+
+    /// Same fold over name-keyed observations with no Measurement in sight —
+    /// the fleet aggregator's entry point, where region identity arrives as
+    /// wire-interned names and suppression counters arrive pre-differenced.
+    /// The ordered map pins the floating-point fold order, so a fleet
+    /// aggregation and an in-process reference run accumulate epoch cost in
+    /// the identical sequence (every by-handle overload funnels through this
+    /// one) — bit-identical budgets, bit-identical plans.
+    void observeEpoch(const std::map<std::string, RegionObservation>& byName,
+                      double epochRuntimeNs,
+                      const select::InstrumentationConfig* activeIc = nullptr);
 
     std::size_t epochCount() const { return epochs_; }
     const ModelOptions& options() const { return options_; }

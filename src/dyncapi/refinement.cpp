@@ -20,6 +20,7 @@ select::SelectionReport RefinementSession::select(
     base.specText = specText;
     base.specName = specName;
     base.cache = &cache_;
+    base.inlineCache = &inlineCache_;
     // Parallel sessions borrow the process-wide Executor pool: refinement
     // rounds are exactly the repeated-selection workload pool reuse targets.
     // A pool the caller injected through `base` wins — that is the width

@@ -94,12 +94,17 @@ public:
     }
 
     select::SelectorCache& cache() const { return cache_; }
+    select::InlineCompensationCache& inlineCache() const { return inlineCache_; }
     const cg::CallGraph& graph() const { return *graph_; }
 
 private:
     const cg::CallGraph* graph_;
     std::size_t threads_;
     mutable select::SelectorCache cache_;
+    /// Journal-validated memo for the compensation caller walk: rounds whose
+    /// graph delta is metric-only (the steady state between measurement
+    /// epochs) replay it instead of re-walking the caller relation.
+    mutable select::InlineCompensationCache inlineCache_;
 };
 
 }  // namespace capi::dyncapi

@@ -1,0 +1,553 @@
+#include "fleet/aggregator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "cg/call_graph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/timer.hpp"
+
+namespace capi::fleet {
+
+namespace {
+
+struct FleetSpanNames {
+    std::uint32_t epoch;
+    std::uint32_t merge;
+    std::uint32_t plan;
+    std::uint32_t broadcast;
+};
+
+const FleetSpanNames& fleetSpanNames() {
+    static const FleetSpanNames names = [] {
+        obs::TraceRecorder& r = obs::TraceRecorder::global();
+        return FleetSpanNames{r.internName("fleet.epoch"),
+                              r.internName("fleet.merge"),
+                              r.internName("fleet.plan"),
+                              r.internName("fleet.broadcast")};
+    }();
+    return names;
+}
+
+}  // namespace
+
+Aggregator::Aggregator(const cg::CallGraph& graph,
+                       select::InstrumentationConfig surveyIc,
+                       AggregatorOptions options)
+    : graph_(&graph),
+      options_(std::move(options)),
+      data_(options_.dataQueueCapacity),
+      model_(options_.config),
+      planner_(graph),
+      surveyIc_(std::move(surveyIc)),
+      obsEventsAtLastEpoch_(obs::TraceRecorder::global().recordedEvents()) {
+    // The fleet converges from the same starting point every client's
+    // controller starts from: the survey policy, fully instrumented.
+    currentIc_ = surveyIc_;
+    currentPolicy_ = select::InstrumentationPolicy::fullOf(currentIc_);
+
+    static std::atomic<std::uint64_t> nextSeq{0};
+    const std::uint64_t seq = nextSeq.fetch_add(1, std::memory_order_relaxed);
+    metricsCollectorId_ = obs::MetricsRegistry::global().addCollector(
+        [this, seq](std::vector<obs::Sample>& out) {
+            AggregatorStats snapshot;
+            std::size_t clients = 0;
+            std::uint64_t epochs = 0;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                snapshot = stats_;
+                clients = clients_.size();
+                epochs = epochsCompleted_;
+            }
+            const ChannelStats queue = data_.stats();
+            const std::string base = "{agg=\"" + std::to_string(seq) + "\"}";
+            auto counter = [&out, &base](const char* name,
+                                         std::uint64_t value) {
+                obs::Sample s;
+                s.name = std::string(name) + base;
+                s.kind = obs::MetricKind::Counter;
+                s.value = static_cast<double>(value);
+                out.push_back(std::move(s));
+            };
+            auto gauge = [&out, &base](const char* name, double value) {
+                obs::Sample s;
+                s.name = std::string(name) + base;
+                s.kind = obs::MetricKind::Gauge;
+                s.value = value;
+                out.push_back(std::move(s));
+            };
+            counter("capi_fleet_frames_merged_total", snapshot.framesMerged);
+            counter("capi_fleet_bytes_in_total", snapshot.bytesIn);
+            counter("capi_fleet_bytes_out_total", snapshot.bytesOut);
+            counter("capi_fleet_epochs_total", epochs);
+            counter("capi_fleet_decode_errors_total", snapshot.decodeErrors);
+            counter("capi_fleet_resyncs_total", snapshot.resyncs);
+            counter("capi_fleet_backpressure_stalls_total", queue.stalls);
+            counter("capi_fleet_dropped_deltas_total", queue.rejected);
+            gauge("capi_fleet_queue_depth", static_cast<double>(queue.depth));
+            gauge("capi_fleet_clients", static_cast<double>(clients));
+        });
+}
+
+Aggregator::~Aggregator() {
+    obs::MetricsRegistry::global().removeCollector(metricsCollectorId_);
+    stop();
+}
+
+Aggregator::Session Aggregator::connect() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ClientState state;
+    state.id = nextClientId_++;
+    state.policyChannel = std::make_unique<Channel>(options_.policyQueueCapacity);
+    state.idMap.push_back(static_cast<std::uint32_t>(fleetTree_.root()));
+    state.needsBaseline = true;
+    auto [it, inserted] = clients_.emplace(state.id, std::move(state));
+    ++stats_.clientsConnected;
+    // Late-joiner catch-up, half one: a full-policy baseline so the client
+    // converges onto the fleet's current policy before its first epoch.
+    PolicyFrame base;
+    base.epoch = epochsCompleted_;
+    base.fingerprint = currentPolicy_.fingerprint();
+    base.measuredOverheadRatio = lastRatio_;
+    base.budgetNs = lastBudgetNs_;
+    base.withinBudget = lastWithinBudget_;
+    sendPolicyTo(it->second, base);
+    return Session{it->first, it->second.policyChannel.get()};
+}
+
+void Aggregator::disconnect(std::uint64_t clientId) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = clients_.find(clientId);
+    if (it == clients_.end()) {
+        return;
+    }
+    it->second.policyChannel->close();
+    // The channel must outlive a client still blocked in receive(); park it
+    // until destruction rather than freeing under a reader.
+    parkedChannels_.push_back(std::move(it->second.policyChannel));
+    clients_.erase(it);
+    ++stats_.clientsDisconnected;
+}
+
+scorep::RegionHandle Aggregator::fleetHandleFor(ClientState& client,
+                                                std::uint32_t clientHandle) {
+    if (clientHandle >= client.regionMap.size()) {
+        return scorep::kNoRegion;
+    }
+    return client.regionMap[clientHandle];
+}
+
+void Aggregator::handleFrame(const std::vector<std::uint8_t>& bytes) {
+    FrameType type;
+    try {
+        type = frameTypeOf(bytes);
+    } catch (const WireError&) {
+        ++stats_.decodeErrors;
+        return;
+    }
+    try {
+        switch (type) {
+            case FrameType::Delta: {
+                DeltaFrame frame = decodeDeltaFrame(bytes);
+                auto it = clients_.find(frame.clientId);
+                if (it == clients_.end()) {
+                    ++stats_.decodeErrors;  // frame from a departed client
+                    return;
+                }
+                ClientState& client = it->second;
+                // Register first-use region defs before validating the CCT
+                // against them.
+                for (const RegionDef& def : frame.newRegions) {
+                    auto [nameIt, inserted] = regionIds_.try_emplace(
+                        def.name,
+                        static_cast<scorep::RegionHandle>(regionNames_.size()));
+                    if (inserted) {
+                        regionNames_.push_back(def.name);
+                    }
+                    if (def.handle >= client.regionMap.size()) {
+                        client.regionMap.resize(def.handle + 1,
+                                                scorep::kNoRegion);
+                    }
+                    client.regionMap[def.handle] = nameIt->second;
+                }
+                // Cross-frame validation: every referenced handle must have
+                // been defined by now, and the node stream must continue at
+                // this client's id map. A violation is a torn stream, not a
+                // torn frame — drop it and let the client's next frame (or a
+                // resync) recover.
+                if (frame.cct.baseNodeCount > client.idMap.size()) {
+                    ++stats_.decodeErrors;
+                    return;
+                }
+                for (const scorep::CctNewNode& node : frame.cct.newNodes) {
+                    if (fleetHandleFor(client, node.region) ==
+                        scorep::kNoRegion) {
+                        ++stats_.decodeErrors;
+                        return;
+                    }
+                }
+                for (const SuppressedDelta& entry : frame.suppressed) {
+                    if (fleetHandleFor(client, entry.region) ==
+                        scorep::kNoRegion) {
+                        ++stats_.decodeErrors;
+                        return;
+                    }
+                }
+                stats_.bytesIn += bytes.size();
+                client.pending.push_back(std::move(frame));
+                return;
+            }
+            case FrameType::Resync: {
+                const std::uint64_t clientId =
+                    decodeControlFrame(bytes, FrameType::Resync);
+                auto it = clients_.find(clientId);
+                if (it == clients_.end()) {
+                    return;
+                }
+                ++stats_.resyncs;
+                it->second.needsBaseline = true;
+                // Answer immediately — the client is blocked waiting for a
+                // baseline, not for the next epoch.
+                PolicyFrame base;
+                base.epoch = epochsCompleted_;
+                base.fingerprint = currentPolicy_.fingerprint();
+                base.measuredOverheadRatio = lastRatio_;
+                base.budgetNs = lastBudgetNs_;
+                base.withinBudget = lastWithinBudget_;
+                sendPolicyTo(it->second, base);
+                return;
+            }
+            case FrameType::Bye: {
+                const std::uint64_t clientId =
+                    decodeControlFrame(bytes, FrameType::Bye);
+                auto it = clients_.find(clientId);
+                if (it != clients_.end()) {
+                    it->second.policyChannel->close();
+                    parkedChannels_.push_back(
+                        std::move(it->second.policyChannel));
+                    clients_.erase(it);
+                    ++stats_.clientsDisconnected;
+                }
+                return;
+            }
+            default:
+                ++stats_.decodeErrors;  // policy frames never flow inbound
+                return;
+        }
+    } catch (const WireError&) {
+        ++stats_.decodeErrors;
+    }
+}
+
+bool Aggregator::epochReady() const {
+    if (clients_.empty()) {
+        return false;
+    }
+    for (const auto& [id, client] : clients_) {
+        if (client.pending.empty()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void Aggregator::closeEpoch() {
+    const FleetSpanNames& spans = fleetSpanNames();
+    obs::ScopedSpan epochSpan(spans.epoch, obs::SpanCategory::Fleet);
+    epochSpan.setArg(epochsCompleted_ + 1);
+
+    // 1. Merge one frame per client, in ascending client-id order — the
+    // runtime sum mirrors epochAllRanks' rank-order sum bit for bit.
+    obs::ScopedSpan mergeSpan(spans.merge, obs::SpanCategory::Fleet);
+    double worldRuntimeNs = 0.0;
+    std::size_t divergent = 0;
+    std::map<std::string, std::uint64_t> suppressedByName;
+    const std::uint64_t reducerFingerprint = currentPolicy_.fingerprint();
+    std::size_t framesMerged = 0;
+    for (auto& [id, client] : clients_) {
+        DeltaFrame frame = std::move(client.pending.front());
+        client.pending.pop_front();
+        scorep::CctDelta remapped = std::move(frame.cct);
+        for (scorep::CctNewNode& node : remapped.newNodes) {
+            node.region = fleetHandleFor(client, node.region);
+        }
+        scorep::applyCctDelta(remapped, fleetTree_, client.idMap);
+        worldRuntimeNs += frame.runtimeNs;
+        if (frame.policyFingerprint != reducerFingerprint) {
+            ++divergent;
+        }
+        for (const SuppressedDelta& entry : frame.suppressed) {
+            suppressedByName[regionNames_[fleetHandleFor(client,
+                                                         entry.region)]] +=
+                entry.visits;
+        }
+        ++framesMerged;
+    }
+    stats_.framesMerged += framesMerged;
+    stats_.divergentClients += divergent;
+    mergeSpan.setArg(framesMerged);
+    mergeSpan.end();
+
+    // 2. The epoch's observation: cumulative per-name totals differenced
+    // against the last epoch's snapshot. Matches the per-epoch merged tree
+    // an epochAllRanks reference reduces, region for region.
+    auto totalsNow = totalsByNameLocked();
+    std::map<std::string, adapt::OverheadModel::RegionObservation> byName;
+    for (const auto& [name, totals] : totalsNow) {
+        scorep::ProfileTree::RegionTotals last;
+        if (auto it = lastTotals_.find(name); it != lastTotals_.end()) {
+            last = it->second;
+        }
+        const std::uint64_t dVisits =
+            totals.visits >= last.visits ? totals.visits - last.visits : 0;
+        const std::uint64_t dExclusive =
+            totals.exclusiveNs >= last.exclusiveNs
+                ? totals.exclusiveNs - last.exclusiveNs
+                : 0;
+        const std::uint64_t suppressed = [&] {
+            auto it = suppressedByName.find(name);
+            return it == suppressedByName.end() ? std::uint64_t{0} : it->second;
+        }();
+        // Untouched regions stay out of the fold: the model's activeIc decay
+        // (regions instrumented but silent this epoch) and freeze semantics
+        // (regions not instrumented at all) both key off absence.
+        if (dVisits == 0 && dExclusive == 0 && suppressed == 0) {
+            continue;
+        }
+        byName[name] = adapt::OverheadModel::RegionObservation{
+            static_cast<double>(dVisits), static_cast<double>(dExclusive),
+            static_cast<double>(suppressed)};
+    }
+    lastTotals_ = std::move(totalsNow);
+
+    model_.observeEpoch(byName, worldRuntimeNs, &currentIc_);
+    // Self-observability billing, as Controller::epoch charges it.
+    const std::uint64_t obsEventsNow =
+        obs::TraceRecorder::global().recordedEvents();
+    model_.chargeSelfCost(static_cast<double>(obsEventsNow -
+                                              obsEventsAtLastEpoch_) *
+                          options_.config.obsCostNs);
+    obsEventsAtLastEpoch_ = obsEventsNow;
+
+    // Mirror of Controller's foldVisitMetricsInto: route per-epoch visit
+    // counts into the graph as metric-only journal touches.
+    if (options_.config.foldVisitMetricsInto != nullptr) {
+        cg::CallGraph& graph = *options_.config.foldVisitMetricsInto;
+        for (const auto& [name, obs] : byName) {
+            cg::FunctionId id = graph.lookup(name);
+            if (id == cg::kInvalidFunction || !graph.alive(id)) {
+                continue;
+            }
+            const auto visits = static_cast<std::uint32_t>(std::min<double>(
+                obs.visits, static_cast<double>(UINT32_MAX)));
+            if (graph.desc(id).metrics.profiledVisits != visits) {
+                graph.touchMetrics(id, [visits](cg::FunctionMetrics& metrics) {
+                    metrics.profiledVisits = visits;
+                });
+            }
+        }
+    }
+
+    const double ratio = model_.lastEpochOverheadRatio();
+    const bool within = ratio <= options_.config.budgetFraction;
+    mirrorKillSwitch(ratio, within);
+
+    // 3. Replan over the survey candidates (or shed to keep-only in safe
+    // mode) — the identical decision the in-process controller would make.
+    obs::ScopedSpan planSpan(spans.plan, obs::SpanCategory::Fleet);
+    double budgetNs = 0.0;
+    if (safeMode_) {
+        select::InstrumentationConfig keepIc;
+        keepIc.specName = "safe-mode";
+        for (const std::string& name : options_.config.keep) {
+            keepIc.addFunction(name);
+        }
+        budgetNs = options_.config.budgetFraction * worldRuntimeNs;
+        currentPolicy_ = select::InstrumentationPolicy::fullOf(keepIc);
+        currentIc_ = currentPolicy_.patchSet();
+    } else {
+        adapt::PlanResult plan =
+            planner_.plan(surveyIc_, model_, options_.config);
+        budgetNs = plan.budgetNs;
+        currentPolicy_ = std::move(plan.policy);
+        currentIc_ = std::move(plan.ic);
+    }
+    planSpan.setArg(currentIc_.size());
+    planSpan.end();
+
+    ++epochsCompleted_;
+    ++stats_.epochsCompleted;
+    lastRatio_ = ratio;
+    lastBudgetNs_ = budgetNs;
+    lastWithinBudget_ = within;
+
+    // 4. Broadcast the converged policy: per-client deltas against what each
+    // client last received, baselines for fresh or resyncing clients.
+    obs::ScopedSpan broadcastSpan(spans.broadcast, obs::SpanCategory::Fleet);
+    PolicyFrame base;
+    base.epoch = epochsCompleted_;
+    base.fingerprint = currentPolicy_.fingerprint();
+    base.measuredOverheadRatio = ratio;
+    base.budgetNs = budgetNs;
+    base.withinBudget = within;
+    std::size_t framesOut = 0;
+    for (auto& [id, client] : clients_) {
+        sendPolicyTo(client, base);
+        ++framesOut;
+    }
+    broadcastSpan.setArg(framesOut);
+}
+
+void Aggregator::sendPolicyTo(ClientState& client, const PolicyFrame& base) {
+    PolicyFrame frame = base;
+    if (client.needsBaseline) {
+        frame.baseline = true;
+        frame.prevFingerprint = 0;
+        for (std::size_t i = 0; i < currentPolicy_.functions.size(); ++i) {
+            frame.upserts.push_back(PolicyFrameEntry{
+                currentPolicy_.functions[i], currentPolicy_.regions[i]});
+        }
+    } else {
+        frame.baseline = false;
+        frame.prevFingerprint = client.lastSentPolicy.fingerprint();
+        for (std::size_t i = 0; i < currentPolicy_.functions.size(); ++i) {
+            const std::string& name = currentPolicy_.functions[i];
+            const select::RegionPolicy* before =
+                client.lastSentPolicy.policyOf(name);
+            if (before == nullptr || *before != currentPolicy_.regions[i]) {
+                frame.upserts.push_back(
+                    PolicyFrameEntry{name, currentPolicy_.regions[i]});
+            }
+        }
+        for (const std::string& name : client.lastSentPolicy.functions) {
+            if (!currentPolicy_.contains(name)) {
+                frame.removed.push_back(name);
+            }
+        }
+    }
+    std::vector<std::uint8_t> bytes = encodePolicyFrame(frame);
+    stats_.bytesOut += bytes.size();
+    ++stats_.policyFramesSent;
+    client.lastSentPolicy = currentPolicy_;
+    client.needsBaseline = false;
+    client.policyChannel->send(std::move(bytes));
+}
+
+void Aggregator::mirrorKillSwitch(double measuredRatio, bool withinBudget) {
+    // Controller::updateKillSwitch, minus the patching side: the aggregator
+    // trips to a keep-only policy on sustained overshoot and re-arms after
+    // the same hysteresis, so fleet and reference runs take the same branch
+    // on every epoch.
+    const adapt::Config& config = options_.config;
+    const double tripRatio = config.budgetFraction * config.killSwitchFactor;
+    if (measuredRatio > tripRatio) {
+        ++overBudgetStreak_;
+        inBudgetStreak_ = 0;
+    } else if (withinBudget) {
+        ++inBudgetStreak_;
+        overBudgetStreak_ = 0;
+    } else {
+        overBudgetStreak_ = 0;
+        inBudgetStreak_ = 0;
+    }
+    if (!safeMode_ && overBudgetStreak_ >= config.killSwitchEpochs) {
+        safeMode_ = true;
+        overBudgetStreak_ = 0;
+    } else if (safeMode_ && inBudgetStreak_ >= config.killSwitchRearmEpochs) {
+        safeMode_ = false;
+        inBudgetStreak_ = 0;
+    }
+}
+
+bool Aggregator::pump() {
+    bool progressed = false;
+    while (auto frame = data_.tryReceive()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        handleFrame(*frame);
+        progressed = true;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (epochReady()) {
+        closeEpoch();
+        progressed = true;
+    }
+    return progressed;
+}
+
+void Aggregator::serve() {
+    while (true) {
+        auto frame = data_.receive();
+        if (!frame.has_value()) {
+            return;  // channel closed and drained
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        handleFrame(*frame);
+        while (epochReady()) {
+            closeEpoch();
+        }
+    }
+}
+
+void Aggregator::stop() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopped_ = true;
+        for (auto& [id, client] : clients_) {
+            client.policyChannel->close();
+        }
+    }
+    data_.close();
+}
+
+std::uint64_t Aggregator::epochsCompleted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return epochsCompleted_;
+}
+
+std::uint64_t Aggregator::convergedFingerprint() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return currentPolicy_.fingerprint();
+}
+
+select::InstrumentationPolicy Aggregator::convergedPolicy() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return currentPolicy_;
+}
+
+scorep::ProfileTree Aggregator::fleetProfile() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    scorep::ProfileTree copy;
+    copy.mergeFrom(fleetTree_);
+    return copy;
+}
+
+std::map<std::string, scorep::ProfileTree::RegionTotals>
+Aggregator::totalsByName() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totalsByNameLocked();
+}
+
+std::map<std::string, scorep::ProfileTree::RegionTotals>
+Aggregator::totalsByNameLocked() const {
+    std::map<std::string, scorep::ProfileTree::RegionTotals> byName;
+    for (const auto& [handle, totals] : fleetTree_.regionTotals()) {
+        scorep::ProfileTree::RegionTotals& entry = byName[regionNames_[handle]];
+        entry.visits += totals.visits;
+        entry.exclusiveNs += totals.exclusiveNs;
+    }
+    return byName;
+}
+
+AggregatorStats Aggregator::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t Aggregator::clientCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return clients_.size();
+}
+
+}  // namespace capi::fleet

@@ -1,0 +1,196 @@
+// The fleet aggregation server: one controller, thousands of producers.
+//
+// Clients stream per-epoch CCT deltas (fleet/wire.hpp) into a bounded MPSC
+// data channel; the aggregator merges them into a fleet-wide ProfileTree
+// under epochal snapshots, runs the SAME OverheadModel/BudgetPlanner the
+// in-process controller runs, and pushes one converged policy back out to
+// every client as a policy delta on its private channel.
+//
+// Epoch discipline: fleet epoch E closes when every connected client has an
+// unconsumed delta frame; frames beyond the first stay queued for E+1, so a
+// fast producer never outruns the epoch structure. Closing an epoch:
+//   1. folds each client's oldest frame into the fleet tree in ascending
+//      client-id order (the floating-point runtime sum must match the
+//      rank-order sum of an epochAllRanks reference run bit for bit),
+//   2. observes the per-epoch region totals (the cumulative fleet totals
+//      differenced against the last epoch's snapshot) into the model by
+//      NAME — see OverheadModel::observeEpoch(byName),
+//   3. replans over the survey candidates and diffs against the previous
+//      converged policy,
+//   4. broadcasts: clients that saw the previous policy get upserts +
+//      removals; fresh or resyncing clients get a full baseline. A client
+//      whose fingerprint chain breaks asks for a resync instead of running
+//      diverged (fleet/client.hpp).
+//
+// Determinism: given the same per-client epoch streams, the converged
+// policy fingerprints are bit-identical to a Controller::epochAllRanks
+// reference run over the same profiles — the property the tests pin. That
+// is why merge order, model fold order, and runtime summation order are all
+// fixed here rather than left to arrival order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adapt/budget_planner.hpp"
+#include "adapt/config.hpp"
+#include "adapt/overhead_model.hpp"
+#include "fleet/channel.hpp"
+#include "fleet/wire.hpp"
+#include "scorepsim/profile.hpp"
+#include "scorepsim/profile_delta.hpp"
+#include "select/ic.hpp"
+
+namespace capi::fleet {
+
+struct AggregatorOptions {
+    /// Bounded MPSC queue all clients send delta frames into. Memory is
+    /// capped at capacity x frame size; producers feel backpressure here.
+    std::size_t dataQueueCapacity = 256;
+    /// Per-client policy queue (aggregator -> client).
+    std::size_t policyQueueCapacity = 8;
+    /// Model/planner/kill-switch knobs — the same Config an in-process
+    /// Controller takes, so reference runs and fleet runs share every
+    /// constant.
+    adapt::Config config;
+};
+
+/// Cumulative counters; snapshot under the aggregator lock.
+struct AggregatorStats {
+    std::uint64_t framesMerged = 0;
+    std::uint64_t bytesIn = 0;
+    std::uint64_t bytesOut = 0;     ///< Policy frames, encoded size.
+    std::uint64_t policyFramesSent = 0;
+    std::uint64_t epochsCompleted = 0;
+    std::uint64_t decodeErrors = 0;  ///< WireError frames dropped at the door.
+    std::uint64_t resyncs = 0;
+    std::uint64_t divergentClients = 0;  ///< Summed over epochs (cf.
+                                         ///< EpochReport::divergentRanks).
+    std::uint64_t clientsConnected = 0;
+    std::uint64_t clientsDisconnected = 0;
+};
+
+class Aggregator {
+public:
+    /// What connect() hands a client: its id and the channel its policy
+    /// frames arrive on (owned by the aggregator, valid until disconnect).
+    struct Session {
+        std::uint64_t clientId = 0;
+        Channel* policyChannel = nullptr;
+    };
+
+    /// `graph` must outlive the aggregator (the planner's SCC grouping).
+    /// `surveyIc` is the candidate set every epoch replans over — the same
+    /// survey the clients' controllers started from.
+    Aggregator(const cg::CallGraph& graph, select::InstrumentationConfig surveyIc,
+               AggregatorOptions options = {});
+    ~Aggregator();
+
+    Aggregator(const Aggregator&) = delete;
+    Aggregator& operator=(const Aggregator&) = delete;
+
+    /// Registers a client and immediately queues its catch-up baseline (the
+    /// current converged policy) on the returned policy channel — the
+    /// late-joiner protocol's first half. Thread-safe.
+    Session connect();
+    /// Deregisters; pending frames from this client are discarded and the
+    /// epoch completion rule stops waiting for it. Unknown ids are ignored
+    /// (a Bye frame may race a direct disconnect).
+    void disconnect(std::uint64_t clientId);
+
+    /// The shared ingress every client sends delta/control frames into.
+    Channel& dataChannel() { return data_; }
+
+    /// Drains every frame currently queued and closes the fleet epoch if
+    /// complete. Non-blocking; returns true when any frame was processed or
+    /// an epoch closed. For tests that single-step the server.
+    bool pump();
+    /// Blocking serve loop for a dedicated thread: receives until stop()
+    /// (or dataChannel().close()) and processes epochs as they complete.
+    void serve();
+    void stop();
+
+    std::uint64_t epochsCompleted() const;
+    /// Fingerprint of the latest converged policy.
+    std::uint64_t convergedFingerprint() const;
+    select::InstrumentationPolicy convergedPolicy() const;
+    /// Fleet-wide cumulative profile, merged across all clients and epochs.
+    scorep::ProfileTree fleetProfile() const;
+    /// Cumulative per-region-name totals of the fleet profile.
+    std::map<std::string, scorep::ProfileTree::RegionTotals> totalsByName() const;
+    AggregatorStats stats() const;
+    std::size_t clientCount() const;
+
+private:
+    struct ClientState {
+        std::uint64_t id = 0;
+        std::unique_ptr<Channel> policyChannel;
+        /// Client node id -> fleet node id (grows as the client's tree does).
+        std::vector<std::uint32_t> idMap;
+        /// Client region handle -> fleet region handle.
+        std::vector<scorep::RegionHandle> regionMap;
+        std::deque<DeltaFrame> pending;
+        /// The policy this client last received, the diff base for the next
+        /// policy frame. A broken chain (resync) falls back to a baseline.
+        select::InstrumentationPolicy lastSentPolicy;
+        bool needsBaseline = false;
+    };
+
+    void handleFrame(const std::vector<std::uint8_t>& bytes);
+    bool epochReady() const;
+    void closeEpoch();
+    void sendPolicyTo(ClientState& client, const PolicyFrame& base);
+    scorep::RegionHandle fleetHandleFor(ClientState& client,
+                                        std::uint32_t clientHandle);
+    void mirrorKillSwitch(double measuredRatio, bool withinBudget);
+    std::map<std::string, scorep::ProfileTree::RegionTotals>
+    totalsByNameLocked() const;
+
+    const cg::CallGraph* graph_;
+    AggregatorOptions options_;
+    Channel data_;
+
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, ClientState> clients_;  // ordered: merge order.
+    /// Channels of departed clients, kept alive until destruction so a
+    /// receiver still blocked on one wakes on close() instead of reading
+    /// freed memory.
+    std::vector<std::unique_ptr<Channel>> parkedChannels_;
+    std::uint64_t nextClientId_ = 0;
+    bool stopped_ = false;
+
+    // --- the fleet-wide profile ------------------------------------------
+    scorep::ProfileTree fleetTree_;
+    /// Fleet-side region interning: name <-> dense handle.
+    std::vector<std::string> regionNames_;
+    std::map<std::string, scorep::RegionHandle> regionIds_;
+    /// Cumulative per-name totals at the last closed epoch; the difference
+    /// against the current totals is the epoch's observation.
+    std::map<std::string, scorep::ProfileTree::RegionTotals> lastTotals_;
+
+    // --- the mirrored controller decision state ---------------------------
+    adapt::OverheadModel model_;
+    adapt::BudgetPlanner planner_;
+    select::InstrumentationConfig surveyIc_;
+    select::InstrumentationConfig currentIc_;
+    select::InstrumentationPolicy currentPolicy_;
+    std::uint64_t epochsCompleted_ = 0;
+    bool safeMode_ = false;
+    std::size_t overBudgetStreak_ = 0;
+    std::size_t inBudgetStreak_ = 0;
+    /// Last epoch's headline numbers, repeated on catch-up/resync frames.
+    double lastRatio_ = 0.0;
+    double lastBudgetNs_ = 0.0;
+    bool lastWithinBudget_ = true;
+    std::uint64_t obsEventsAtLastEpoch_ = 0;
+
+    AggregatorStats stats_;
+    std::uint64_t metricsCollectorId_ = 0;
+};
+
+}  // namespace capi::fleet

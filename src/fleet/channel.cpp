@@ -1,0 +1,93 @@
+#include "fleet/channel.hpp"
+
+#include <algorithm>
+
+namespace capi::fleet {
+
+SendResult Channel::send(std::vector<std::uint8_t> frame) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.size() >= capacity_ && !closed_) {
+        ++stats_.stalls;
+        spaceCv_.wait(lock,
+                      [this] { return queue_.size() < capacity_ || closed_; });
+    }
+    if (closed_) {
+        return SendResult::Closed;
+    }
+    stats_.bytesEnqueued += frame.size();
+    ++stats_.enqueued;
+    queue_.push_back(std::move(frame));
+    stats_.depth = queue_.size();
+    stats_.maxDepth = std::max(stats_.maxDepth, stats_.depth);
+    frameCv_.notify_one();
+    return SendResult::Ok;
+}
+
+SendResult Channel::trySend(std::vector<std::uint8_t> frame) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+        return SendResult::Closed;
+    }
+    if (queue_.size() >= capacity_) {
+        ++stats_.rejected;
+        return SendResult::Backpressure;
+    }
+    stats_.bytesEnqueued += frame.size();
+    ++stats_.enqueued;
+    queue_.push_back(std::move(frame));
+    stats_.depth = queue_.size();
+    stats_.maxDepth = std::max(stats_.maxDepth, stats_.depth);
+    frameCv_.notify_one();
+    return SendResult::Ok;
+}
+
+std::optional<std::vector<std::uint8_t>> Channel::receive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    frameCv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) {
+        return std::nullopt;  // closed and drained
+    }
+    std::vector<std::uint8_t> frame = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.dequeued;
+    stats_.depth = queue_.size();
+    spaceCv_.notify_one();
+    return frame;
+}
+
+std::optional<std::vector<std::uint8_t>> Channel::tryReceive() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) {
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> frame = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.dequeued;
+    stats_.depth = queue_.size();
+    spaceCv_.notify_one();
+    return frame;
+}
+
+void Channel::close() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    spaceCv_.notify_all();
+    frameCv_.notify_all();
+}
+
+bool Channel::closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+ChannelStats Channel::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ChannelStats out = stats_;
+    out.depth = queue_.size();
+    out.capacity = capacity_;
+    return out;
+}
+
+}  // namespace capi::fleet

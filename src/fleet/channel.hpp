@@ -1,0 +1,81 @@
+// Bounded in-process message channels for the fleet layer.
+//
+// The aggregator and its clients exchange wire frames (fleet/wire.hpp)
+// through bounded MPSC queues. Like mpisim's MpiWorld, this is the
+// simulation stand-in for a real transport: the API is shaped so a socket
+// transport can slot in behind it later (byte frames in, byte frames out,
+// explicit backpressure), while tests get deterministic, in-memory delivery.
+//
+// Backpressure contract:
+//  * send() blocks until the queue has room (or the channel closes) and
+//    counts every wait in `stalls` — the producer-slowdown path.
+//  * trySend() never blocks: a full queue returns SendResult::Backpressure
+//    and counts the frame in `rejected` — the drop-and-coalesce path, where
+//    a producer keeps its watermark unadvanced and ships a bigger delta
+//    next epoch.
+// Either way the queue never exceeds its capacity: memory is bounded by
+// capacity x frame size no matter how far producers outrun the consumer.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace capi::fleet {
+
+enum class SendResult : std::uint8_t {
+    Ok = 0,
+    Backpressure = 1,  ///< trySend only: queue full, frame NOT enqueued.
+    Closed = 2,        ///< Channel closed, frame NOT enqueued.
+};
+
+/// Counters are cumulative since construction; depth/maxDepth describe the
+/// queue itself. Snapshot under the channel lock — internally consistent.
+struct ChannelStats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dequeued = 0;
+    std::uint64_t rejected = 0;       ///< trySend frames refused on full.
+    std::uint64_t stalls = 0;         ///< send() calls that had to wait.
+    std::uint64_t bytesEnqueued = 0;
+    std::size_t depth = 0;
+    std::size_t maxDepth = 0;
+    std::size_t capacity = 0;
+};
+
+class Channel {
+public:
+    explicit Channel(std::size_t capacity) : capacity_(capacity) {}
+
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    /// Blocks while full. Fails only on a closed channel.
+    SendResult send(std::vector<std::uint8_t> frame);
+    /// Never blocks; a full queue is reported, not waited out.
+    SendResult trySend(std::vector<std::uint8_t> frame);
+
+    /// Blocks until a frame or close. Empty optional = closed and drained.
+    std::optional<std::vector<std::uint8_t>> receive();
+    std::optional<std::vector<std::uint8_t>> tryReceive();
+
+    /// Wakes every blocked sender/receiver; queued frames stay receivable.
+    void close();
+    bool closed() const;
+
+    ChannelStats stats() const;
+    std::size_t capacity() const { return capacity_; }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable spaceCv_;
+    std::condition_variable frameCv_;
+    std::deque<std::vector<std::uint8_t>> queue_;
+    ChannelStats stats_;
+    bool closed_ = false;
+};
+
+}  // namespace capi::fleet

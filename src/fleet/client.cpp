@@ -1,0 +1,271 @@
+#include "fleet/client.hpp"
+
+#include <unordered_set>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace capi::fleet {
+
+namespace {
+
+struct ClientSpanNames {
+    std::uint32_t encode;
+    std::uint32_t send;
+    std::uint32_t adopt;
+};
+
+const ClientSpanNames& clientSpanNames() {
+    static const ClientSpanNames names = [] {
+        obs::TraceRecorder& r = obs::TraceRecorder::global();
+        return ClientSpanNames{r.internName("fleet.encode"),
+                               r.internName("fleet.send"),
+                               r.internName("fleet.adopt")};
+    }();
+    return names;
+}
+
+}  // namespace
+
+FleetClient::FleetClient(Aggregator& aggregator, adapt::Controller& controller,
+                         FleetClientOptions options)
+    : FleetClient(aggregator, &controller, options) {}
+
+FleetClient::FleetClient(Aggregator& aggregator, FleetClientOptions options)
+    : FleetClient(aggregator, static_cast<adapt::Controller*>(nullptr),
+                  options) {}
+
+FleetClient::FleetClient(Aggregator& aggregator, adapt::Controller* controller,
+                         FleetClientOptions options)
+    : aggregator_(&aggregator), controller_(controller), options_(options) {
+    session_ = aggregator_->connect();
+    advanceWatermark(watermark_, cumulative_);
+    // Late-joiner catch-up, client half: the baseline connect() queued is
+    // adopted before the constructor returns, so the first epoch already
+    // measures under the fleet's converged policy.
+    lastReport_ = awaitPolicy();
+}
+
+FleetClient::~FleetClient() {
+    // Best-effort Bye (exercises the wire path when a serve loop is
+    // running), then the authoritative deregistration. Whichever lands
+    // first wins; the loser is ignored.
+    (void)aggregator_->dataChannel().trySend(
+        encodeControlFrame(FrameType::Bye, session_.clientId));
+    aggregator_->disconnect(session_.clientId);
+}
+
+adapt::EpochReport FleetClient::epoch(const scorep::ProfileTree& profile,
+                                      const scorep::Measurement& measurement,
+                                      double runtimeNs) {
+    const SendResult sent = sendEpoch(profile, measurement, runtimeNs);
+    if (sent != SendResult::Ok) {
+        // Dropped (or the aggregator is gone): no fleet epoch closes on our
+        // account, so there is no policy frame to wait for. The next
+        // successful send coalesces this epoch.
+        return lastReport_;
+    }
+    return awaitPolicy();
+}
+
+SendResult FleetClient::sendEpoch(const scorep::ProfileTree& profile,
+                                  const scorep::Measurement& measurement,
+                                  double runtimeNs) {
+    const ClientSpanNames& spans = clientSpanNames();
+    cumulative_.mergeFrom(profile);
+
+    DeltaFrame frame;
+    frame.clientId = session_.clientId;
+    frame.epoch = ++localEpoch_;
+    frame.coveredEpochs = pendingEpochs_ + 1;
+    frame.runtimeNs = pendingRuntimeNs_ + runtimeNs;
+    frame.policyFingerprint = fingerprint_;
+
+    obs::ScopedSpan encodeSpan(spans.encode, obs::SpanCategory::Fleet);
+    frame.cct = scorep::extractCctDelta(cumulative_, watermark_);
+
+    // First-use region defs: handles the aggregator has not acked yet, in
+    // first-appearance order. A dropped frame's defs re-collect here next
+    // time because sentRegions_ only advances on ack.
+    std::unordered_set<scorep::RegionHandle> inFrame;
+    auto maybeDefineRegion = [&](scorep::RegionHandle handle) {
+        const bool acked =
+            handle < sentRegions_.size() && sentRegions_[handle];
+        if (acked || !inFrame.insert(handle).second) {
+            return;
+        }
+        frame.newRegions.push_back(
+            RegionDef{handle, measurement.region(handle).name});
+    };
+    for (const scorep::CctNewNode& node : frame.cct.newNodes) {
+        maybeDefineRegion(node.region);
+    }
+
+    // Suppressed-visit deltas: cumulative gate counters differenced against
+    // the last ACKED baseline, plus whatever dropped frames accumulated. A
+    // fresh Measurement instance restarts the counters, so its values are
+    // already deltas.
+    const std::uint64_t instanceId = measurement.instanceId();
+    auto suppressedNow = measurement.suppressedVisits();
+    std::map<scorep::RegionHandle, std::uint64_t> deltas = pendingSuppressed_;
+    for (const auto& [handle, count] : suppressedNow) {
+        std::uint64_t base = 0;
+        if (instanceId == measurementId_) {
+            auto it = suppressedBase_.find(handle);
+            base = it == suppressedBase_.end() ? 0 : it->second;
+        }
+        const std::uint64_t delta = count >= base ? count - base : count;
+        if (delta > 0) {
+            deltas[handle] += delta;
+        }
+    }
+    for (const auto& [handle, delta] : deltas) {
+        maybeDefineRegion(handle);
+        frame.suppressed.push_back(SuppressedDelta{handle, delta});
+    }
+
+    std::vector<std::uint8_t> bytes = encodeDeltaFrame(frame);
+    const std::size_t byteCount = bytes.size();
+    encodeSpan.setArg(byteCount);
+    encodeSpan.end();
+
+    SendResult result;
+    {
+        obs::ScopedSpan sendSpan(spans.send, obs::SpanCategory::Fleet);
+        sendSpan.setArg(byteCount);
+        Channel& data = aggregator_->dataChannel();
+        result = options_.blockingSend ? data.send(std::move(bytes))
+                                       : data.trySend(std::move(bytes));
+    }
+
+    // Either way the baseline moves up to the counters just read; what
+    // distinguishes ack from drop is whether the read deltas are consumed
+    // or carried.
+    suppressedBase_.clear();
+    for (const auto& [handle, count] : suppressedNow) {
+        suppressedBase_[handle] = count;
+    }
+    measurementId_ = instanceId;
+
+    if (result == SendResult::Ok) {
+        scorep::advanceWatermark(watermark_, cumulative_);
+        for (const RegionDef& def : frame.newRegions) {
+            if (def.handle >= sentRegions_.size()) {
+                sentRegions_.resize(def.handle + 1, false);
+            }
+            sentRegions_[def.handle] = true;
+        }
+        pendingSuppressed_.clear();
+        stats_.coalescedEpochs += pendingEpochs_;
+        pendingEpochs_ = 0;
+        pendingRuntimeNs_ = 0.0;
+        ++stats_.framesSent;
+        stats_.bytesSent += byteCount;
+    } else {
+        if (result == SendResult::Backpressure) {
+            ++stats_.droppedDeltas;
+        }
+        // Coalesce: watermark and region acks stay put; the runtime and
+        // suppressed deltas ride the next frame.
+        pendingSuppressed_ = std::move(deltas);
+        ++pendingEpochs_;
+        pendingRuntimeNs_ += runtimeNs;
+    }
+    return result;
+}
+
+adapt::EpochReport FleetClient::awaitPolicy() {
+    const ClientSpanNames& spans = clientSpanNames();
+    while (true) {
+        auto bytes = session_.policyChannel->receive();
+        if (!bytes.has_value()) {
+            return lastReport_;  // aggregator shut down
+        }
+        PolicyFrame frame;
+        try {
+            const FrameType type = frameTypeOf(*bytes);
+            if (type != FrameType::PolicyBaseline &&
+                type != FrameType::PolicyUpdate) {
+                continue;  // stray frame on a policy channel; ignore
+            }
+            frame = decodePolicyFrame(*bytes);
+        } catch (const WireError&) {
+            continue;  // defensive: in-process channels should never corrupt
+        }
+        ++stats_.policyFramesReceived;
+        if (awaitingBaseline_ && !frame.baseline) {
+            // Updates queued before our resync was handled: their diff base
+            // is gone. The baseline is on its way.
+            continue;
+        }
+        if (!frame.baseline && frame.prevFingerprint != fingerprint_) {
+            requestResync();
+            continue;
+        }
+        obs::ScopedSpan adoptSpan(spans.adopt, obs::SpanCategory::Fleet);
+        adoptFrame(frame);
+        if (policy_.fingerprint() != frame.fingerprint) {
+            if (frame.baseline) {
+                // A baseline that does not reconstruct is not recoverable
+                // by another resync (static IDs, say, are not carried on
+                // the wire) — fail loudly rather than run diverged.
+                throw WireError("baseline did not reconstruct the "
+                                "advertised policy fingerprint");
+            }
+            requestResync();
+            continue;
+        }
+        fingerprint_ = frame.fingerprint;
+        awaitingBaseline_ = false;
+        adoptSpan.setArg(policy_.size());
+        adoptSpan.end();
+
+        adapt::EpochReport report = reportOf(frame);
+        if (controller_ != nullptr) {
+            report = controller_->adoptPolicy(policy_, report);
+        }
+        lastReport_ = report;
+        return report;
+    }
+}
+
+void FleetClient::adoptFrame(const PolicyFrame& frame) {
+    if (frame.baseline) {
+        select::InstrumentationPolicy fresh;
+        fresh.specName = "fleet";
+        for (const PolicyFrameEntry& entry : frame.upserts) {
+            fresh.setRegion(entry.name, entry.policy);
+        }
+        policy_ = std::move(fresh);
+        ++stats_.baselinesReceived;
+        return;
+    }
+    for (const PolicyFrameEntry& entry : frame.upserts) {
+        policy_.setRegion(entry.name, entry.policy);
+    }
+    for (const std::string& name : frame.removed) {
+        policy_.setRegion(name, select::RegionPolicy{});
+    }
+}
+
+void FleetClient::requestResync() {
+    ++stats_.resyncs;
+    awaitingBaseline_ = true;
+    (void)aggregator_->dataChannel().send(
+        encodeControlFrame(FrameType::Resync, session_.clientId));
+}
+
+adapt::EpochReport FleetClient::reportOf(const PolicyFrame& frame) const {
+    adapt::EpochReport report;
+    report.epoch = frame.epoch;
+    report.measuredOverheadRatio = frame.measuredOverheadRatio;
+    report.withinBudget = frame.withinBudget;
+    report.budgetNs = frame.budgetNs;
+    report.policyFingerprint = frame.fingerprint;
+    report.icSize = policy_.size();
+    report.fullRegions = policy_.countOf(select::Tier::Full);
+    report.sampledRegions = policy_.countOf(select::Tier::Sampled);
+    return report;
+}
+
+}  // namespace capi::fleet

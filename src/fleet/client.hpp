@@ -1,0 +1,157 @@
+// The producer side of fleet aggregation.
+//
+// A FleetClient wraps one process's adaptive loop: instead of joining an
+// epochAllRanks collective, it encodes the epoch's CCT delta against the
+// last acknowledged watermark, ships it to the Aggregator over the shared
+// data channel, and adopts the converged policy the aggregator pushes back
+// on this client's private policy channel (Controller::adoptPolicy — the
+// same reconciliation path divergent MPI ranks take).
+//
+// Late-joiner protocol, client half: construction connects, then blocks on
+// the policy channel for the full-policy baseline the aggregator queues at
+// connect() — so a client that joins mid-fleet is converged before its
+// first epoch. After the baseline, policy frames are deltas chained by
+// fingerprint; a broken chain triggers a Resync request and the client
+// discards updates until the fresh baseline arrives.
+//
+// Backpressure, client half: with `blockingSend` (default) the client
+// stalls in the channel until the aggregator drains — epochs stay lossless.
+// Without it, a full queue DROPS the frame and the client keeps its
+// watermark, suppressed-counter baselines and runtime accumulator
+// unadvanced: the next frame coalesces the missed epochs (coveredEpochs >
+// 1), so the fleet profile stays exact either way.
+//
+// Handle-stability contract: the cumulative tree, the acked-region-def
+// bookkeeping and the suppressed baselines are all indexed by this
+// client's region HANDLES, and a def is shipped exactly once per handle —
+// so the (handle -> name) mapping must stay stable for the client's
+// lifetime. Either keep one Measurement per client, or, when every epoch
+// uses a fresh Measurement instance, define the full region-name universe
+// in a fixed order before events fire so repatching can never renumber
+// handles by changing first-sighting order. A renumbered handle would
+// silently alias another region's history on the aggregator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "fleet/aggregator.hpp"
+#include "fleet/channel.hpp"
+#include "fleet/wire.hpp"
+#include "scorepsim/measurement.hpp"
+#include "scorepsim/profile.hpp"
+#include "scorepsim/profile_delta.hpp"
+#include "select/ic.hpp"
+
+namespace capi::fleet {
+
+struct FleetClientOptions {
+    /// true: send() and stall under backpressure (lossless). false:
+    /// trySend() and drop-and-coalesce (bounded producer latency).
+    bool blockingSend = true;
+};
+
+/// Cumulative client-side counters.
+struct FleetClientStats {
+    std::uint64_t framesSent = 0;
+    std::uint64_t bytesSent = 0;
+    std::uint64_t droppedDeltas = 0;    ///< trySend frames refused on full.
+    std::uint64_t coalescedEpochs = 0;  ///< Epochs riding a later frame.
+    std::uint64_t policyFramesReceived = 0;
+    std::uint64_t baselinesReceived = 0;
+    std::uint64_t resyncs = 0;
+};
+
+class FleetClient {
+public:
+    /// Controller-attached: `controller` must have start()ed (its survey
+    /// policy applied) — the constructor connects and immediately adopts
+    /// the aggregator's baseline through Controller::adoptPolicy, which is
+    /// a no-op for a fresh fleet and a catch-up repatch for a late joiner.
+    /// Both references must outlive the client.
+    FleetClient(Aggregator& aggregator, adapt::Controller& controller,
+                FleetClientOptions options = {});
+    /// Headless: tracks the converged policy internally without driving a
+    /// Controller/DynCapi — the shape soak tests run thousands of.
+    explicit FleetClient(Aggregator& aggregator,
+                         FleetClientOptions options = {});
+    ~FleetClient();
+
+    FleetClient(const FleetClient&) = delete;
+    FleetClient& operator=(const FleetClient&) = delete;
+
+    /// One fleet epoch: sendEpoch + awaitPolicy. With blocking sends this
+    /// is the drop-in replacement for Controller::epochAllRanks.
+    adapt::EpochReport epoch(const scorep::ProfileTree& profile,
+                             const scorep::Measurement& measurement,
+                             double runtimeNs);
+
+    /// First half: folds `profile` (this epoch's tree, as passed to
+    /// Controller::epoch) into the cumulative tree, extracts the delta
+    /// since the last ack and ships it. Ok advances the watermark;
+    /// Backpressure (non-blocking mode only) leaves everything unadvanced
+    /// to coalesce. `measurement` supplies region names and suppressed
+    /// counters and must be this client's own (fleet clients never share
+    /// one — cumulative counters would multiply-count across frames).
+    SendResult sendEpoch(const scorep::ProfileTree& profile,
+                         const scorep::Measurement& measurement,
+                         double runtimeNs);
+
+    /// Second half: blocks for the aggregator's policy frame, applies the
+    /// delta (or baseline), verifies the fingerprint chain (Resync on
+    /// mismatch), and adopts the result into the controller if attached.
+    /// Returns the epoch report as this client experienced it. A closed
+    /// policy channel (aggregator shut down) returns the last report.
+    adapt::EpochReport awaitPolicy();
+
+    std::uint64_t clientId() const { return session_.clientId; }
+    /// Fingerprint of the policy this client currently runs.
+    std::uint64_t policyFingerprint() const { return fingerprint_; }
+    const select::InstrumentationPolicy& policy() const { return policy_; }
+    const adapt::EpochReport& lastReport() const { return lastReport_; }
+    const FleetClientStats& stats() const { return stats_; }
+
+private:
+    FleetClient(Aggregator& aggregator, adapt::Controller* controller,
+                FleetClientOptions options);
+
+    void adoptFrame(const PolicyFrame& frame);
+    void requestResync();
+    adapt::EpochReport reportOf(const PolicyFrame& frame) const;
+
+    Aggregator* aggregator_;
+    adapt::Controller* controller_;  ///< nullptr in headless mode.
+    FleetClientOptions options_;
+    Aggregator::Session session_;
+
+    /// The client's whole history: per-epoch profiles merge in here, deltas
+    /// extract against watermark_.
+    scorep::ProfileTree cumulative_;
+    scorep::CctWatermark watermark_;
+    /// Region handles whose (handle -> name) def was acked by the
+    /// aggregator; indexed by handle.
+    std::vector<bool> sentRegions_;
+    /// Cumulative suppressed-visit counters at the last acked frame, keyed
+    /// by region handle (reset when the Measurement instance changes).
+    std::unordered_map<scorep::RegionHandle, std::uint64_t> suppressedBase_;
+    /// Suppressed deltas from dropped frames, carried until the next ack
+    /// (ordered so re-encoded frames stay byte-deterministic).
+    std::map<scorep::RegionHandle, std::uint64_t> pendingSuppressed_;
+    std::uint64_t measurementId_ = 0;
+
+    std::uint64_t localEpoch_ = 0;
+    /// Drop-and-coalesce accumulators: epochs/runtime not yet acked.
+    std::uint64_t pendingEpochs_ = 0;
+    double pendingRuntimeNs_ = 0.0;
+
+    select::InstrumentationPolicy policy_;
+    std::uint64_t fingerprint_ = 0;
+    bool awaitingBaseline_ = true;
+    adapt::EpochReport lastReport_;
+    FleetClientStats stats_;
+};
+
+}  // namespace capi::fleet

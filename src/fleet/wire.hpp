@@ -1,0 +1,121 @@
+// Binary wire format for fleet-scale profile streaming.
+//
+// Producers ship per-epoch deltas of their flat CCT (scorepsim/
+// profile_delta.hpp) to the aggregator and receive converged policy deltas
+// back. The format is byte-deterministic — the same frame struct always
+// encodes to the same bytes — so golden-byte tests can pin it and the
+// aggregator can deduplicate retransmissions by content.
+//
+// Frame layout (little-endian):
+//
+//   u32    magic "CFW1"
+//   u8     frame type
+//   varint payload length
+//   ...    payload (type-specific, see the structs below)
+//   u64    FNV-1a of the payload bytes
+//
+// Varints are LEB128 (7 bits per byte, high bit = continue) and carry only
+// non-negative quantities: counts, ids, and counter deltas — which are
+// non-negative by the CCT's monotonicity. Full-entropy words (policy
+// fingerprints, double bit patterns) are fixed 8-byte fields; varint would
+// inflate them.
+//
+// Decoding is defensive end to end: every read is bounds-checked, counts are
+// validated against the bytes that remain, tier/handle values are range
+// checked, and the checksum must match — any violation throws WireError
+// (never UB, never a silent mis-merge). A frame that decodes cleanly is
+// structurally sound; cross-frame consistency (id maps, fingerprint chains)
+// is the aggregator's job.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scorepsim/profile_delta.hpp"
+#include "select/ic.hpp"
+#include "support/error.hpp"
+
+namespace capi::fleet {
+
+/// Raised on any malformed, truncated, or corrupted frame.
+class WireError : public support::Error {
+public:
+    explicit WireError(const std::string& what)
+        : support::Error("fleet wire: " + what) {}
+};
+
+inline constexpr std::uint32_t kWireMagic = 0x31574643u;  // "CFW1"
+
+enum class FrameType : std::uint8_t {
+    Delta = 1,           ///< client -> aggregator: one epoch's CCT delta.
+    PolicyBaseline = 2,  ///< aggregator -> client: full converged policy.
+    PolicyUpdate = 3,    ///< aggregator -> client: policy diff vs last sent.
+    Resync = 4,          ///< client -> aggregator: fingerprint chain broken.
+    Bye = 5,             ///< client -> aggregator: clean disconnect.
+};
+
+/// First-use region definition: producers intern (handle -> name) once per
+/// stream; later frames carry bare handles.
+struct RegionDef {
+    std::uint32_t handle = 0;
+    std::string name;
+};
+
+/// Per-region gate-suppressed visit delta (Sampled tier bookkeeping).
+struct SuppressedDelta {
+    std::uint32_t region = 0;
+    std::uint64_t visits = 0;
+};
+
+/// client -> aggregator: everything one epoch accumulated. Node ids and
+/// region handles are producer-side; the aggregator remaps both.
+struct DeltaFrame {
+    std::uint64_t clientId = 0;
+    std::uint64_t epoch = 0;          ///< Client-local epoch of the last covered epoch.
+    std::uint64_t coveredEpochs = 1;  ///< >1 when a dropped delta coalesced.
+    double runtimeNs = 0.0;           ///< Summed over covered epochs.
+    std::uint64_t policyFingerprint = 0;  ///< Policy applied while measuring.
+    std::vector<RegionDef> newRegions;
+    scorep::CctDelta cct;
+    std::vector<SuppressedDelta> suppressed;
+};
+
+/// aggregator -> client: the converged policy for one fleet epoch, either as
+/// a full baseline (late-joiner catch-up, resync) or as upserts/removals
+/// against the last policy this client was sent. `fingerprint` is the full
+/// policy's fingerprint after applying — the client verifies it and requests
+/// a resync on mismatch instead of running diverged.
+struct PolicyFrameEntry {
+    std::string name;
+    select::RegionPolicy policy;
+};
+
+struct PolicyFrame {
+    std::uint64_t epoch = 0;
+    bool baseline = false;
+    std::uint64_t prevFingerprint = 0;  ///< Update only: expected base.
+    std::uint64_t fingerprint = 0;
+    std::vector<PolicyFrameEntry> upserts;
+    std::vector<std::string> removed;   ///< Update only.
+    // Headline epoch telemetry so clients can fill their EpochReport.
+    double measuredOverheadRatio = 0.0;
+    double budgetNs = 0.0;
+    bool withinBudget = false;
+};
+
+std::vector<std::uint8_t> encodeDeltaFrame(const DeltaFrame& frame);
+std::vector<std::uint8_t> encodePolicyFrame(const PolicyFrame& frame);
+/// Resync / Bye: payload is just the client id.
+std::vector<std::uint8_t> encodeControlFrame(FrameType type,
+                                             std::uint64_t clientId);
+
+/// Validates header + checksum and returns the frame type.
+FrameType frameTypeOf(const std::vector<std::uint8_t>& bytes);
+
+DeltaFrame decodeDeltaFrame(const std::vector<std::uint8_t>& bytes);
+PolicyFrame decodePolicyFrame(const std::vector<std::uint8_t>& bytes);
+std::uint64_t decodeControlFrame(const std::vector<std::uint8_t>& bytes,
+                                 FrameType expected);
+
+}  // namespace capi::fleet

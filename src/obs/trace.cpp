@@ -27,6 +27,8 @@ const char* spanCategoryName(SpanCategory cat) {
         return "compaction";
     case SpanCategory::Tool:
         return "tool";
+    case SpanCategory::Fleet:
+        return "fleet";
     }
     return "?";
 }

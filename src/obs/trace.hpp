@@ -49,6 +49,7 @@ enum class SpanCategory : std::uint8_t {
     Fault,        ///< Fault-site fires.
     Compaction,   ///< CallGraph tombstone compaction.
     Tool,         ///< Driver / tool-level phases.
+    Fleet,        ///< Fleet aggregation: encode/send/merge/broadcast.
 };
 
 const char* spanCategoryName(SpanCategory cat);

@@ -1,0 +1,80 @@
+#include "scorepsim/profile_delta.hpp"
+
+#include "support/error.hpp"
+
+namespace capi::scorep {
+
+CctDelta extractCctDelta(const ProfileTree& tree,
+                         const CctWatermark& watermark) {
+    CctDelta delta;
+    // The root (id 0, no parent, no region) exists in every tree from
+    // construction and never accumulates counters, so it is implicitly
+    // covered even by a fresh watermark — receivers seed their id maps with
+    // their own root for the same reason.
+    const std::size_t base = watermark.nodeCount > 0 ? watermark.nodeCount : 1;
+    delta.baseNodeCount = base;
+    const std::size_t count = tree.nodeCount();
+
+    // Old nodes: two parallel-array compares per node; most epochs most
+    // nodes are untouched, so this sweep is the whole cost of a delta.
+    for (std::size_t i = 0; i < watermark.nodeCount && i < count; ++i) {
+        const ProfileNode node = tree.node(i);
+        const std::uint64_t dVisits = node.visits - watermark.visits[i];
+        const std::uint64_t dNs = node.inclusiveNs - watermark.inclusiveNs[i];
+        if (dVisits != 0 || dNs != 0) {
+            delta.changed.push_back(
+                CctNodeChange{static_cast<std::uint32_t>(i), dVisits, dNs});
+        }
+    }
+
+    // New nodes, in id (= creation) order. Their counters ride in `changed`
+    // as deltas from zero so the receiver has one application path.
+    for (std::size_t i = base; i < count; ++i) {
+        delta.newNodes.push_back(
+            CctNewNode{tree.parentOf(i), tree.regionOf(i)});
+        const ProfileNode node = tree.node(i);
+        if (node.visits != 0 || node.inclusiveNs != 0) {
+            delta.changed.push_back(CctNodeChange{
+                static_cast<std::uint32_t>(i), node.visits, node.inclusiveNs});
+        }
+    }
+    return delta;
+}
+
+void advanceWatermark(CctWatermark& watermark, const ProfileTree& tree) {
+    const std::size_t count = tree.nodeCount();
+    watermark.visits.resize(count);
+    watermark.inclusiveNs.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const ProfileNode node = tree.node(i);
+        watermark.visits[i] = node.visits;
+        watermark.inclusiveNs[i] = node.inclusiveNs;
+    }
+    watermark.nodeCount = count;
+}
+
+void applyCctDelta(const CctDelta& delta, ProfileTree& target,
+                   std::vector<std::uint32_t>& idMap) {
+    if (idMap.size() < delta.baseNodeCount) {
+        throw support::Error("cct delta: id map shorter than base node count");
+    }
+    // New nodes first: parents always have smaller ids, so by the time a new
+    // node is applied its parent is mapped — whether old or created just now.
+    for (const CctNewNode& node : delta.newNodes) {
+        if (node.parent >= idMap.size()) {
+            throw support::Error("cct delta: new node parent out of range");
+        }
+        const std::size_t mapped = target.childOf(idMap[node.parent], node.region);
+        idMap.push_back(static_cast<std::uint32_t>(mapped));
+    }
+    for (const CctNodeChange& change : delta.changed) {
+        if (change.node >= idMap.size()) {
+            throw support::Error("cct delta: changed node out of range");
+        }
+        ProfileNodeRef node = target.node(idMap[change.node]);
+        node.visits += change.visitsDelta;
+        node.inclusiveNs += change.inclusiveNsDelta;
+    }
+}
+
+}  // namespace capi::scorep

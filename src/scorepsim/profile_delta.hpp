@@ -1,0 +1,86 @@
+// Epoch deltas of the flat calling-context tree.
+//
+// The fleet aggregation path (src/fleet/) replaces the allreduce of whole
+// profile trees with streaming *deltas*: per epoch, a producer ships only the
+// nodes its tree grew and the counters that moved since the last acked
+// epoch. The SoA layout makes extraction a pair of linear array sweeps — no
+// tree walk, no hashing — against a watermark that snapshots the hot counter
+// arrays at the last ack.
+//
+// Two structural facts of ProfileTree make the delta form lossless and
+// cheap:
+//  * Nodes are append-only and their ids are stable; a watermark is just
+//    "the first `nodeCount` nodes existed already", and every new node's
+//    parent has a smaller id than the node itself.
+//  * The hot counters (visits / inclusiveNs) are monotonically
+//    non-decreasing, so a delta is always non-negative and varint-friendly.
+//
+// Because a dropped (backpressured) delta simply leaves the watermark
+// unadvanced, the next extraction covers both epochs — deltas coalesce for
+// free, which is the fleet channel's drop-and-coalesce contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scorepsim/profile.hpp"
+
+namespace capi::scorep {
+
+/// Snapshot of a tree's counter state at the last acknowledged epoch.
+/// Starts empty ("nothing sent yet"), so the first delta against it is the
+/// full tree — which is exactly the late-joiner baseline. The root node is
+/// implicitly covered always (it exists from construction and its counters
+/// stay zero), so a first delta's baseNodeCount is 1, never 0.
+struct CctWatermark {
+    std::size_t nodeCount = 0;
+    std::vector<std::uint64_t> visits;       ///< Per node, first nodeCount ids.
+    std::vector<std::uint64_t> inclusiveNs;  ///< Parallel to `visits`.
+};
+
+/// A node the tree grew since the watermark. Its id is implicit:
+/// `baseNodeCount + index` in CctDelta::newNodes (ids are append-ordered).
+/// The parent id is always smaller, so a receiver can apply in order.
+struct CctNewNode {
+    std::uint32_t parent = 0;
+    RegionHandle region = kNoRegion;
+};
+
+/// One node whose counters moved since the watermark (new nodes included —
+/// their "delta" is the full counter value). Ids ascend within a delta.
+struct CctNodeChange {
+    std::uint32_t node = 0;
+    std::uint64_t visitsDelta = 0;
+    std::uint64_t inclusiveNsDelta = 0;
+};
+
+struct CctDelta {
+    /// The watermark's node count: new node ids start here.
+    std::uint64_t baseNodeCount = 0;
+    std::vector<CctNewNode> newNodes;
+    std::vector<CctNodeChange> changed;
+
+    bool empty() const { return newNodes.empty() && changed.empty(); }
+};
+
+/// Extracts everything `tree` accumulated since `watermark`. The watermark
+/// must describe an earlier state of the SAME tree (node ids are meaningful
+/// only within one tree's lifetime).
+CctDelta extractCctDelta(const ProfileTree& tree, const CctWatermark& watermark);
+
+/// Re-snapshots `watermark` at the tree's current state (call after the
+/// extracted delta was accepted downstream; skip it to coalesce).
+void advanceWatermark(CctWatermark& watermark, const ProfileTree& tree);
+
+/// Applies a delta to `target`, translating source node ids through `idMap`
+/// (source id -> target id). `idMap` must already map every id below
+/// `delta.baseNodeCount` (seed it with {target.root()} for a fresh stream);
+/// it grows by one entry per new node. Region handles in the delta must
+/// already be target-side handles — the wire layer remaps per producer.
+/// Throws support::Error on a structurally inconsistent delta (parent id or
+/// changed id out of range), leaving `target` counters possibly partially
+/// updated — callers treat that as a torn stream and resync.
+void applyCctDelta(const CctDelta& delta, ProfileTree& target,
+                   std::vector<std::uint32_t>& idMap);
+
+}  // namespace capi::scorep

@@ -10,10 +10,19 @@
 //   Edges    — adjacency rows / degrees (reachability, k-hop, coarse, SCC)
 //
 // plus a universe flag for results that depend on the node-count itself
-// (%%, complement). Bounded reads land in one shared node bitset (the
-// "reachable region" of the paper's traversal selectors); whole-graph reads
-// set the corresponding all* flag. The SelectorCache intersects this record
-// with a GraphDelta's dirty sets to decide survive-vs-purge.
+// (%%, complement). Bounded reads land in a PER-KIND node bitset (lazily
+// allocated; the edge set is the "reachable region" of the paper's
+// traversal selectors); whole-graph reads set the corresponding all* flag.
+// The SelectorCache intersects each kind's record with the matching dirty
+// set of a GraphDelta to decide survive-vs-purge.
+//
+// The per-kind split is what keeps the cache warm under the controller's
+// metric folding: a stage that combines a metric filter over candidate set
+// B with a traversal over region A records A in edgeNodes only, so the
+// epoch's metric-only journal touches inside A (profiledVisits updates)
+// no longer purge it — only metric touches inside B, or edge changes
+// inside A, do. With the old single unioned bitset every per-epoch visit
+// fold invalidated every traversal that had ever visited a profiled node.
 //
 // Soundness contract (property-pinned by the incremental==full sweep):
 // a selector's recorded footprint must cover every node whose recorded
@@ -31,7 +40,6 @@ namespace capi::select {
 
 struct Footprint {
     Footprint() = default;
-    explicit Footprint(std::size_t universe) : nodes(universe) {}
 
     /// Makes a footprint that survives nothing (the conservative default
     /// for selectors that do not track their reads).
@@ -41,14 +49,26 @@ struct Footprint {
         return fp;
     }
 
-    support::DynamicBitset nodes;  ///< Bounded reads, all kinds unioned.
-    bool readsDesc = false;        ///< `nodes` contains desc reads.
-    bool readsMetrics = false;     ///< `nodes` contains metric reads.
-    bool readsEdges = false;       ///< `nodes` contains adjacency reads.
+    /// Bounded reads, one lazily-sized set per kind: a kind never read
+    /// costs no allocation at all (most stages touch one or two kinds).
+    support::DynamicBitset descNodes;    ///< Nodes whose desc was read.
+    support::DynamicBitset metricNodes;  ///< Nodes whose metrics were read.
+    support::DynamicBitset edgeNodes;    ///< Nodes whose adjacency was read.
+    bool readsDesc = false;        ///< `descNodes` is meaningful.
+    bool readsMetrics = false;     ///< `metricNodes` is meaningful.
+    bool readsEdges = false;       ///< `edgeNodes` is meaningful.
     bool allDesc = false;          ///< Read descs of every node.
     bool allMetrics = false;       ///< Read metrics of every node.
     bool allEdges = false;         ///< Read adjacency of every node.
     bool universeDependent = false;  ///< Result depends on the node count.
+
+    /// Widens every populated per-kind set to `universe` (cache survivors
+    /// across a node-adding delta; untouched kinds stay unallocated).
+    void resizeNodes(std::size_t universe) {
+        if (descNodes.size() != 0) descNodes.resize(universe);
+        if (metricNodes.size() != 0) metricNodes.resize(universe);
+        if (edgeNodes.size() != 0) edgeNodes.resize(universe);
+    }
 };
 
 }  // namespace capi::select

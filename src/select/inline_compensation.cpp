@@ -2,17 +2,57 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "cg/csr_view.hpp"
+#include "cg/delta.hpp"
 #include "support/bitset.hpp"
 
 namespace capi::select {
 
+namespace {
+
+/// True when the journal proves the caller relation is unchanged since
+/// `fromGeneration`: the delta is known and contains no node, call-edge or
+/// override record. Metric/desc touches are structurally irrelevant here
+/// (names are pinned, and compensation reads nothing else of a desc), and
+/// an entry-point change does not alter the caller relation.
+bool callerRelationUnchanged(const cg::CallGraph& graph,
+                             std::uint64_t fromGeneration) {
+    std::optional<cg::GraphDelta> delta = graph.deltaSince(fromGeneration);
+    if (!delta.has_value()) {
+        return false;  // History trimmed: cannot prove anything.
+    }
+    return delta->addedNodes.empty() && delta->removedNodes.empty() &&
+           delta->addedCallEdges.empty() && delta->removedCallEdges.empty() &&
+           delta->addedOverrides.empty() && delta->removedOverrides.empty();
+}
+
+}  // namespace
+
 InlineCompensationStats compensateInlining(const cg::CallGraph& graph,
                                            FunctionSet& selection,
-                                           const SymbolOracle& oracle) {
+                                           const SymbolOracle& oracle,
+                                           InlineCompensationCache* cache) {
+    if (cache != nullptr && cache->valid_ && cache->oracle_ == &oracle &&
+        cache->input_ == selection &&
+        callerRelationUnchanged(graph, cache->generation_)) {
+        // Same input, same caller relation, same oracle: replay. The stamp
+        // advances so the next probe diffs against the shortest journal
+        // suffix instead of re-scanning metric churn back to the recompute.
+        cache->generation_ = graph.generation();
+        ++cache->reuses_;
+        selection = cache->output_;
+        InlineCompensationStats stats = cache->stats_;
+        stats.reused = true;
+        return stats;
+    }
     InlineCompensationStats stats;
+    FunctionSet beforeCompensation;
+    if (cache != nullptr) {
+        beforeCompensation = selection;  // Memo key; `selection` mutates below.
+    }
     // The caller walk below is pure graph traversal: run it over the flat
     // CSR rows. Oracle probes keep using graph.name() (a std::string the
     // oracle interface wants) — they are memoized per id, so the traversal
@@ -92,6 +132,15 @@ InlineCompensationStats compensateInlining(const cg::CallGraph& graph,
 
     afterRemoval |= additions;
     selection = std::move(afterRemoval);
+    if (cache != nullptr) {
+        cache->valid_ = true;
+        cache->generation_ = graph.generation();
+        cache->oracle_ = &oracle;
+        cache->input_ = std::move(beforeCompensation);
+        cache->output_ = selection;
+        cache->stats_ = stats;
+        ++cache->recomputes_;
+    }
     return stats;
 }
 

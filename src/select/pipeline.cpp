@@ -94,9 +94,9 @@ PipelineRun Pipeline::runSerial(const cg::CallGraph& graph,
             result = *cached;
             ++run.cacheHits;
         } else {
-            // Zero-universe when uncached: no point zeroing a graph-sized
-            // bitset that is never stored.
-            Footprint footprint(cache != nullptr ? graph.size() : 0);
+            // Kind-sets allocate lazily on first touch, so an uncached run
+            // (footprint never stored) costs nothing either way.
+            Footprint footprint;
             ctx.footprint = cache != nullptr ? &footprint : nullptr;
             result = stage.selector->evaluate(ctx);
             ctx.footprint = nullptr;
@@ -180,7 +180,7 @@ PipelineRun Pipeline::runParallel(const cg::CallGraph& graph,
                     result = *cached;
                     state.cacheHits.fetch_add(1, std::memory_order_relaxed);
                 } else {
-                    Footprint footprint(cache != nullptr ? graph.size() : 0);
+                    Footprint footprint;
                     ctx.footprint = cache != nullptr ? &footprint : nullptr;
                     result = stage.selector->evaluate(ctx);
                     ctx.footprint = nullptr;

@@ -35,9 +35,10 @@ SelectionReport runSelection(const cg::CallGraph& graph,
     report.selectedPre = selection.count();
 
     if (options.applyInlineCompensation && options.symbolOracle != nullptr) {
-        InlineCompensationStats stats =
-            compensateInlining(graph, selection, *options.symbolOracle);
+        InlineCompensationStats stats = compensateInlining(
+            graph, selection, *options.symbolOracle, options.inlineCache);
         report.added = stats.callersAdded;
+        report.inlineCompensationReused = stats.reused;
     }
     report.selectedFinal = selection.count();
 

@@ -32,6 +32,9 @@ struct SelectionOptions {
     std::size_t threads = 1;
     support::ThreadPool* pool = nullptr;
     SelectorCache* cache = nullptr;
+    /// Optional journal-validated memo for the compensation step: refinement
+    /// epochs whose graph delta is metric-only replay the previous walk.
+    InlineCompensationCache* inlineCache = nullptr;
 };
 
 struct SelectionReport {
@@ -41,6 +44,7 @@ struct SelectionReport {
     std::size_t selectedPre = 0;    ///< Table I "#selected pre".
     std::size_t selectedFinal = 0;  ///< Table I "#selected".
     std::size_t added = 0;          ///< Table I "#added".
+    bool inlineCompensationReused = false;  ///< Cache replayed the caller walk.
     PipelineRun pipelineRun;        ///< Per-stage diagnostics.
 
     double selectedPrePercent() const {

@@ -45,19 +45,19 @@ struct EvalContext {
 
     void touchDescSet(const support::DynamicBitset& read) {
         if (footprint != nullptr && !footprint->allDesc) {
-            footprint->nodes |= read;
+            accumulate(footprint->descNodes, read);
             footprint->readsDesc = true;
         }
     }
     void touchMetricsSet(const support::DynamicBitset& read) {
         if (footprint != nullptr && !footprint->allMetrics) {
-            footprint->nodes |= read;
+            accumulate(footprint->metricNodes, read);
             footprint->readsMetrics = true;
         }
     }
     void touchEdgesSet(const support::DynamicBitset& read) {
         if (footprint != nullptr && !footprint->allEdges) {
-            footprint->nodes |= read;
+            accumulate(footprint->edgeNodes, read);
             footprint->readsEdges = true;
         }
     }
@@ -89,6 +89,23 @@ struct EvalContext {
     std::vector<std::pair<std::string, std::uint64_t>> timings;
 
 private:
+    /// Footprint kind-sets are lazily sized: widen to the read's universe
+    /// first, then union over the common word prefix (operator|= assumes
+    /// equal sizes; reads within one evaluation share one universe, but the
+    /// helper stays safe if they ever do not).
+    static void accumulate(support::DynamicBitset& into,
+                           const support::DynamicBitset& read) {
+        if (into.size() < read.size()) {
+            into.resize(read.size());
+        }
+        const std::size_t words = read.wordCount() < into.wordCount()
+                                      ? read.wordCount()
+                                      : into.wordCount();
+        for (std::size_t wi = 0; wi < words; ++wi) {
+            into.setWord(wi, into.word(wi) | read.word(wi));
+        }
+    }
+
     mutable std::shared_ptr<const cg::CsrView> csr_;
 };
 

@@ -90,13 +90,16 @@ bool entrySurvives(const Footprint& fp, const DirtyInfo& dirty) {
         (fp.allEdges && dirty.edgesAny)) {
         return false;
     }
-    if (fp.readsDesc && fp.nodes.intersects(dirty.desc)) {
+    // Per-kind intersection: each kind's bounded node set is checked only
+    // against that kind's dirty set, so (say) a metric-only touch inside a
+    // traversal's reachable region no longer purges the traversal.
+    if (fp.readsDesc && fp.descNodes.intersects(dirty.desc)) {
         return false;
     }
-    if (fp.readsMetrics && fp.nodes.intersects(dirty.metrics)) {
+    if (fp.readsMetrics && fp.metricNodes.intersects(dirty.metrics)) {
         return false;
     }
-    if (fp.readsEdges && fp.nodes.intersects(dirty.edges)) {
+    if (fp.readsEdges && fp.edgeNodes.intersects(dirty.edges)) {
         return false;
     }
     return true;
@@ -204,7 +207,7 @@ void SelectorCache::beginRun(const cg::CallGraph& graph) {
             // Survivors provably cannot contain any added node, so the
             // widened zeros are exact; the footprint widens with them.
             widenResult(entry);
-            entry.footprint.nodes.resize(universe);
+            entry.footprint.resizeNodes(universe);
             ++shard.stats.survivals;
         }
     }

@@ -1,0 +1,1196 @@
+// Tests for src/fleet/: wire-format golden bytes, encode determinism and
+// typed rejection of corrupted frames; bounded-channel backpressure
+// semantics (blocking stalls, trySend drop counting, close); CCT delta
+// extract/apply round trips; and the aggregation server's headline
+// property — the fleet path converges on policies and overhead numbers
+// bit-identical to a Controller::epochAllRanks reference run over the same
+// per-rank event streams, including a mid-fleet late joiner — plus a
+// 1000-client drop-and-coalesce soak with exact drop accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "binsim/compiler.hpp"
+#include "binsim/execution_engine.hpp"
+#include "binsim/process.hpp"
+#include "cg/metacg_builder.hpp"
+#include "dyncapi/dyncapi.hpp"
+#include "fleet/aggregator.hpp"
+#include "fleet/channel.hpp"
+#include "fleet/client.hpp"
+#include "fleet/wire.hpp"
+#include "mpisim/mpi_world.hpp"
+#include "scorepsim/cyg_adapter.hpp"
+#include "scorepsim/measurement.hpp"
+#include "scorepsim/profile.hpp"
+#include "scorepsim/profile_delta.hpp"
+#include "scorepsim/symbol_resolver.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace capi;
+
+// ------------------------------------------------- independent wire codec --
+// A from-scratch reimplementation of the frame layout documented in
+// fleet/wire.hpp. The golden tests build expected byte streams with THESE
+// helpers, so any drift in the production Writer (field order, varint
+// shape, checksum constants) fails here instead of silently re-pinning.
+
+void appendVarint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+    while (value >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+        value >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void appendFixed64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+}
+
+void appendString(std::vector<std::uint8_t>& out, const std::string& text) {
+    appendVarint(out, text.size());
+    out.insert(out.end(), text.begin(), text.end());
+}
+
+std::uint64_t goldenFnv(const std::vector<std::uint8_t>& payload) {
+    std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+    for (std::uint8_t byte : payload) {
+        h ^= byte;
+        h *= 1099511628211ull;  // FNV-1a prime
+    }
+    return h;
+}
+
+std::vector<std::uint8_t> goldenSeal(std::uint8_t type,
+                                     const std::vector<std::uint8_t>& payload) {
+    // magic "CFW1" little-endian, type, varint length, payload, fnv1a.
+    std::vector<std::uint8_t> frame = {0x43, 0x46, 0x57, 0x31, type};
+    appendVarint(frame, payload.size());
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    appendFixed64(frame, goldenFnv(payload));
+    return frame;
+}
+
+fleet::DeltaFrame richDelta() {
+    fleet::DeltaFrame frame;
+    frame.clientId = 42;
+    frame.epoch = 7;
+    frame.coveredEpochs = 2;
+    frame.runtimeNs = 3.25e9;
+    frame.policyFingerprint = 0xDEADBEEFCAFEF00Dull;
+    frame.newRegions = {{0, "main"}, {1, "kernel"}, {3, "noisy"}};
+    frame.cct.baseNodeCount = 2;
+    frame.cct.newNodes = {{0, 1}, {2, 3}};
+    frame.cct.changed = {{1, 3, 1500}, {2, 4, 9000}, {3, 1, 77}};
+    frame.suppressed = {{1, 128}, {3, 6}};
+    return frame;
+}
+
+fleet::PolicyFrame richPolicy(bool baseline) {
+    fleet::PolicyFrame frame;
+    frame.epoch = 9;
+    frame.baseline = baseline;
+    frame.prevFingerprint = baseline ? 0 : 0x1111222233334444ull;
+    frame.fingerprint = 0x5555666677778888ull;
+    frame.measuredOverheadRatio = 0.07;
+    frame.budgetNs = 5.5e8;
+    frame.withinBudget = false;
+    frame.upserts = {{"kernel", {select::Tier::Full, {1, 0}}},
+                     {"noisy", {select::Tier::Sampled, {64, 1000}}}};
+    if (!baseline) {
+        frame.removed = {"main"};
+    }
+    return frame;
+}
+
+// -------------------------------------------------------------- wire tests --
+
+TEST(WireFormat, GoldenControlFrameBytes) {
+    const std::vector<std::uint8_t> bytes =
+        fleet::encodeControlFrame(fleet::FrameType::Resync, 5);
+    // Header computable by hand: magic, type 4, payload length 1, payload 5.
+    const std::vector<std::uint8_t> expectedPrefix = {0x43, 0x46, 0x57, 0x31,
+                                                      0x04, 0x01, 0x05};
+    ASSERT_EQ(bytes.size(), expectedPrefix.size() + 8);
+    EXPECT_TRUE(std::equal(expectedPrefix.begin(), expectedPrefix.end(),
+                           bytes.begin()));
+    std::vector<std::uint8_t> checksum;
+    appendFixed64(checksum, goldenFnv({0x05}));
+    EXPECT_TRUE(std::equal(checksum.begin(), checksum.end(),
+                           bytes.begin() + expectedPrefix.size()));
+    EXPECT_EQ(fleet::decodeControlFrame(bytes, fleet::FrameType::Resync), 5u);
+}
+
+TEST(WireFormat, GoldenDeltaFrameBytes) {
+    fleet::DeltaFrame frame;
+    frame.clientId = 7;
+    frame.epoch = 300;  // forces a two-byte varint: 0xAC 0x02
+    frame.coveredEpochs = 1;
+    frame.runtimeNs = 1.5;
+    frame.policyFingerprint = 0x1122334455667788ull;
+    frame.newRegions = {{2, "kernel"}};
+    frame.cct.baseNodeCount = 1;
+    frame.cct.newNodes = {{0, 2}};
+    frame.cct.changed = {{1, 4, 1000}};
+    frame.suppressed = {{2, 9}};
+
+    std::vector<std::uint8_t> payload;
+    appendVarint(payload, 7);    // clientId
+    appendVarint(payload, 300);  // epoch
+    appendVarint(payload, 1);    // coveredEpochs
+    appendFixed64(payload, std::bit_cast<std::uint64_t>(1.5));
+    appendFixed64(payload, 0x1122334455667788ull);
+    appendVarint(payload, 1);  // region def count
+    appendVarint(payload, 2);  // handle
+    appendString(payload, "kernel");
+    appendVarint(payload, 1);  // baseNodeCount
+    appendVarint(payload, 1);  // new node count
+    appendVarint(payload, 0);  // parent
+    appendVarint(payload, 2);  // region
+    appendVarint(payload, 1);  // changed count
+    appendVarint(payload, 1);  // id gap from 0
+    appendVarint(payload, 4);  // visits delta
+    appendVarint(payload, 1000);  // inclusiveNs delta
+    appendVarint(payload, 1);  // suppressed count
+    appendVarint(payload, 2);  // region
+    appendVarint(payload, 9);  // visits
+
+    EXPECT_EQ(fleet::encodeDeltaFrame(frame), goldenSeal(1, payload));
+}
+
+TEST(WireFormat, EncodeIsDeterministicAndRoundTrips) {
+    const fleet::DeltaFrame delta = richDelta();
+    const std::vector<std::uint8_t> a = fleet::encodeDeltaFrame(delta);
+    EXPECT_EQ(a, fleet::encodeDeltaFrame(delta));
+    EXPECT_EQ(fleet::frameTypeOf(a), fleet::FrameType::Delta);
+
+    const fleet::DeltaFrame back = fleet::decodeDeltaFrame(a);
+    EXPECT_EQ(back.clientId, delta.clientId);
+    EXPECT_EQ(back.epoch, delta.epoch);
+    EXPECT_EQ(back.coveredEpochs, delta.coveredEpochs);
+    EXPECT_EQ(back.runtimeNs, delta.runtimeNs);
+    EXPECT_EQ(back.policyFingerprint, delta.policyFingerprint);
+    ASSERT_EQ(back.newRegions.size(), delta.newRegions.size());
+    for (std::size_t i = 0; i < delta.newRegions.size(); ++i) {
+        EXPECT_EQ(back.newRegions[i].handle, delta.newRegions[i].handle);
+        EXPECT_EQ(back.newRegions[i].name, delta.newRegions[i].name);
+    }
+    EXPECT_EQ(back.cct.baseNodeCount, delta.cct.baseNodeCount);
+    ASSERT_EQ(back.cct.newNodes.size(), delta.cct.newNodes.size());
+    for (std::size_t i = 0; i < delta.cct.newNodes.size(); ++i) {
+        EXPECT_EQ(back.cct.newNodes[i].parent, delta.cct.newNodes[i].parent);
+        EXPECT_EQ(back.cct.newNodes[i].region, delta.cct.newNodes[i].region);
+    }
+    ASSERT_EQ(back.cct.changed.size(), delta.cct.changed.size());
+    for (std::size_t i = 0; i < delta.cct.changed.size(); ++i) {
+        EXPECT_EQ(back.cct.changed[i].node, delta.cct.changed[i].node);
+        EXPECT_EQ(back.cct.changed[i].visitsDelta,
+                  delta.cct.changed[i].visitsDelta);
+        EXPECT_EQ(back.cct.changed[i].inclusiveNsDelta,
+                  delta.cct.changed[i].inclusiveNsDelta);
+    }
+    ASSERT_EQ(back.suppressed.size(), delta.suppressed.size());
+    for (std::size_t i = 0; i < delta.suppressed.size(); ++i) {
+        EXPECT_EQ(back.suppressed[i].region, delta.suppressed[i].region);
+        EXPECT_EQ(back.suppressed[i].visits, delta.suppressed[i].visits);
+    }
+
+    for (bool baseline : {true, false}) {
+        const fleet::PolicyFrame policy = richPolicy(baseline);
+        const std::vector<std::uint8_t> p = fleet::encodePolicyFrame(policy);
+        EXPECT_EQ(p, fleet::encodePolicyFrame(policy));
+        EXPECT_EQ(fleet::frameTypeOf(p), baseline
+                                             ? fleet::FrameType::PolicyBaseline
+                                             : fleet::FrameType::PolicyUpdate);
+        const fleet::PolicyFrame pb = fleet::decodePolicyFrame(p);
+        EXPECT_EQ(pb.epoch, policy.epoch);
+        EXPECT_EQ(pb.baseline, policy.baseline);
+        EXPECT_EQ(pb.prevFingerprint, policy.prevFingerprint);
+        EXPECT_EQ(pb.fingerprint, policy.fingerprint);
+        EXPECT_EQ(pb.measuredOverheadRatio, policy.measuredOverheadRatio);
+        EXPECT_EQ(pb.budgetNs, policy.budgetNs);
+        EXPECT_EQ(pb.withinBudget, policy.withinBudget);
+        ASSERT_EQ(pb.upserts.size(), policy.upserts.size());
+        for (std::size_t i = 0; i < policy.upserts.size(); ++i) {
+            EXPECT_EQ(pb.upserts[i].name, policy.upserts[i].name);
+            EXPECT_EQ(pb.upserts[i].policy, policy.upserts[i].policy);
+        }
+        EXPECT_EQ(pb.removed, policy.removed);
+    }
+}
+
+TEST(WireFormat, RejectsStructuralViolationsTyped) {
+    // Frame-envelope violations on an otherwise valid control frame.
+    const std::vector<std::uint8_t> good =
+        fleet::encodeControlFrame(fleet::FrameType::Bye, 5);
+    {
+        std::vector<std::uint8_t> bytes = good;
+        bytes[0] ^= 0xFF;  // bad magic
+        EXPECT_THROW(fleet::frameTypeOf(bytes), fleet::WireError);
+    }
+    {
+        std::vector<std::uint8_t> bytes = good;
+        bytes[4] = 9;  // unknown frame type
+        EXPECT_THROW(fleet::frameTypeOf(bytes), fleet::WireError);
+    }
+    {
+        std::vector<std::uint8_t> bytes = good;
+        bytes.resize(bytes.size() - 4);  // truncated checksum/payload
+        EXPECT_THROW(fleet::frameTypeOf(bytes), fleet::WireError);
+    }
+    {
+        std::vector<std::uint8_t> bytes = good;
+        bytes.back() ^= 0x01;  // checksum mismatch
+        EXPECT_THROW(fleet::frameTypeOf(bytes), fleet::WireError);
+    }
+
+    // Payload violations, sealed with a VALID envelope so only the payload
+    // validator can reject them.
+    auto expectDeltaRejected = [](const std::vector<std::uint8_t>& payload) {
+        EXPECT_THROW(fleet::decodeDeltaFrame(goldenSeal(1, payload)),
+                     fleet::WireError);
+    };
+    {
+        std::vector<std::uint8_t> p;  // coveredEpochs == 0
+        appendVarint(p, 1);
+        appendVarint(p, 1);
+        appendVarint(p, 0);
+        expectDeltaRejected(p);
+    }
+    {
+        // Region-def count far larger than the remaining bytes.
+        std::vector<std::uint8_t> p;
+        appendVarint(p, 1);
+        appendVarint(p, 1);
+        appendVarint(p, 1);
+        appendFixed64(p, 0);
+        appendFixed64(p, 0);
+        appendVarint(p, 200);
+        expectDeltaRejected(p);
+    }
+    auto deltaPrefix = [](std::uint64_t baseNodeCount) {
+        std::vector<std::uint8_t> p;
+        appendVarint(p, 1);  // clientId
+        appendVarint(p, 1);  // epoch
+        appendVarint(p, 1);  // coveredEpochs
+        appendFixed64(p, 0);  // runtimeNs
+        appendFixed64(p, 0);  // fingerprint
+        appendVarint(p, 0);  // no region defs
+        appendVarint(p, baseNodeCount);
+        return p;
+    };
+    {
+        // New node whose parent does not precede it.
+        std::vector<std::uint8_t> p = deltaPrefix(1);
+        appendVarint(p, 1);  // one new node
+        appendVarint(p, 1);  // parent == its own id
+        appendVarint(p, 0);  // region
+        expectDeltaRejected(p);
+    }
+    {
+        // Changed id out of range (only the root exists).
+        std::vector<std::uint8_t> p = deltaPrefix(1);
+        appendVarint(p, 0);  // no new nodes
+        appendVarint(p, 1);  // one changed entry
+        appendVarint(p, 1);  // id gap -> id 1 >= maxId 1
+        appendVarint(p, 0);
+        appendVarint(p, 0);
+        expectDeltaRejected(p);
+    }
+    {
+        // Non-ascending changed ids (gap of zero after the first entry).
+        std::vector<std::uint8_t> p = deltaPrefix(1);
+        appendVarint(p, 1);  // one new node
+        appendVarint(p, 0);
+        appendVarint(p, 0);
+        appendVarint(p, 2);  // two changed entries
+        appendVarint(p, 1);
+        appendVarint(p, 0);
+        appendVarint(p, 0);
+        appendVarint(p, 0);  // zero gap: id repeats
+        appendVarint(p, 0);
+        appendVarint(p, 0);
+        expectDeltaRejected(p);
+    }
+    {
+        // Trailing bytes after a complete control payload.
+        std::vector<std::uint8_t> p = {0x05, 0x00};
+        EXPECT_THROW(
+            fleet::decodeControlFrame(goldenSeal(5, p), fleet::FrameType::Bye),
+            fleet::WireError);
+    }
+    {
+        // Overlong varint: ten continuation bytes never terminate.
+        std::vector<std::uint8_t> p(10, 0x80);
+        EXPECT_THROW(
+            fleet::decodeControlFrame(goldenSeal(5, p), fleet::FrameType::Bye),
+            fleet::WireError);
+    }
+    {
+        // Non-canonical varint: final byte shifts set bits past bit 63.
+        std::vector<std::uint8_t> p(9, 0x80);
+        p.push_back(0x02);
+        EXPECT_THROW(
+            fleet::decodeControlFrame(goldenSeal(5, p), fleet::FrameType::Bye),
+            fleet::WireError);
+    }
+
+    auto policyPrefix = [](std::uint8_t baselineFlag) {
+        std::vector<std::uint8_t> p;
+        appendVarint(p, 1);       // epoch
+        p.push_back(baselineFlag);
+        appendFixed64(p, 0);      // prevFingerprint
+        appendFixed64(p, 0);      // fingerprint
+        appendFixed64(p, 0);      // ratio
+        appendFixed64(p, 0);      // budgetNs
+        p.push_back(1);           // withinBudget
+        return p;
+    };
+    {
+        // Baseline flag disagreeing with the frame type.
+        std::vector<std::uint8_t> p = policyPrefix(1);
+        appendVarint(p, 0);  // upserts
+        appendVarint(p, 0);  // removed
+        EXPECT_THROW(fleet::decodePolicyFrame(goldenSeal(3, p)),
+                     fleet::WireError);
+    }
+    {
+        // Upsert carrying the Off tier (that is a removal, not an upsert).
+        std::vector<std::uint8_t> p = policyPrefix(0);
+        appendVarint(p, 1);
+        appendString(p, "a");
+        p.push_back(0);      // Tier::Off
+        appendVarint(p, 1);  // everyN
+        appendVarint(p, 0);  // minIntervalNs
+        appendVarint(p, 0);  // removed
+        EXPECT_THROW(fleet::decodePolicyFrame(goldenSeal(3, p)),
+                     fleet::WireError);
+    }
+    {
+        // Tier value out of range.
+        std::vector<std::uint8_t> p = policyPrefix(0);
+        appendVarint(p, 1);
+        appendString(p, "a");
+        p.push_back(3);
+        appendVarint(p, 1);
+        appendVarint(p, 0);
+        appendVarint(p, 0);
+        EXPECT_THROW(fleet::decodePolicyFrame(goldenSeal(3, p)),
+                     fleet::WireError);
+    }
+    {
+        // Baseline frames must not carry removals.
+        std::vector<std::uint8_t> p = policyPrefix(1);
+        appendVarint(p, 0);  // upserts
+        appendVarint(p, 1);  // removed
+        appendString(p, "a");
+        EXPECT_THROW(fleet::decodePolicyFrame(goldenSeal(2, p)),
+                     fleet::WireError);
+    }
+}
+
+TEST(WireFormat, CorruptionSweepFailsTypedNeverCrashes) {
+    const std::vector<std::vector<std::uint8_t>> seeds = {
+        fleet::encodeDeltaFrame(richDelta()),
+        fleet::encodePolicyFrame(richPolicy(false)),
+        fleet::encodePolicyFrame(richPolicy(true)),
+        fleet::encodeControlFrame(fleet::FrameType::Resync, 77)};
+    support::SplitMix64 rng(0xF1EE7);
+    int rejected = 0;
+    int survived = 0;
+    for (int i = 0; i < 4000; ++i) {
+        std::vector<std::uint8_t> bytes = seeds[i % seeds.size()];
+        switch (rng.nextBelow(4)) {
+            case 0:
+                bytes.resize(rng.nextBelow(bytes.size()));
+                break;
+            case 1:
+                bytes[rng.nextBelow(bytes.size())] ^=
+                    static_cast<std::uint8_t>(1u << rng.nextBelow(8));
+                break;
+            case 2:
+                bytes[rng.nextBelow(bytes.size())] =
+                    static_cast<std::uint8_t>(rng.next());
+                break;
+            default:
+                bytes.push_back(static_cast<std::uint8_t>(rng.next()));
+                break;
+        }
+        // Any outcome but a clean decode or a WireError — another exception
+        // type, memory corruption (ASan job), a crash — fails the test.
+        try {
+            switch (fleet::frameTypeOf(bytes)) {
+                case fleet::FrameType::Delta:
+                    fleet::decodeDeltaFrame(bytes);
+                    break;
+                case fleet::FrameType::PolicyBaseline:
+                case fleet::FrameType::PolicyUpdate:
+                    fleet::decodePolicyFrame(bytes);
+                    break;
+                case fleet::FrameType::Resync:
+                    fleet::decodeControlFrame(bytes, fleet::FrameType::Resync);
+                    break;
+                case fleet::FrameType::Bye:
+                    fleet::decodeControlFrame(bytes, fleet::FrameType::Bye);
+                    break;
+            }
+            ++survived;
+        } catch (const fleet::WireError&) {
+            ++rejected;
+        }
+    }
+    EXPECT_EQ(rejected + survived, 4000);
+    EXPECT_GT(rejected, 0);
+}
+
+// ------------------------------------------------------------- delta tests --
+
+using TotalsByHandle =
+    std::unordered_map<scorep::RegionHandle, scorep::ProfileTree::RegionTotals>;
+
+void expectSameTotals(const TotalsByHandle& a, const TotalsByHandle& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto& [handle, totals] : a) {
+        auto it = b.find(handle);
+        ASSERT_NE(it, b.end()) << "missing region handle " << handle;
+        EXPECT_EQ(totals.visits, it->second.visits) << "handle " << handle;
+        EXPECT_EQ(totals.exclusiveNs, it->second.exclusiveNs)
+            << "handle " << handle;
+    }
+}
+
+TEST(CctDelta, ExtractApplyRoundTripsAndCoalesces) {
+    scorep::ProfileTree source;
+    const std::size_t a = source.childOf(source.root(), 0);
+    const std::size_t b = source.childOf(a, 1);
+    source.node(a).visits += 3;
+    source.node(a).inclusiveNs += 500;
+    source.node(b).visits += 1;
+    source.node(b).inclusiveNs += 200;
+
+    scorep::CctWatermark watermark;
+    const scorep::CctDelta first = scorep::extractCctDelta(source, watermark);
+    EXPECT_EQ(first.baseNodeCount, 1u);  // the root is implicitly covered
+    EXPECT_EQ(first.newNodes.size(), 2u);
+
+    scorep::ProfileTree mirror;
+    std::vector<std::uint32_t> idMap{
+        static_cast<std::uint32_t>(mirror.root())};
+    scorep::applyCctDelta(first, mirror, idMap);
+    expectSameTotals(source.regionTotals(), mirror.regionTotals());
+
+    scorep::advanceWatermark(watermark, source);
+    EXPECT_TRUE(scorep::extractCctDelta(source, watermark).empty());
+
+    // Two more epochs of growth WITHOUT advancing in between: the second
+    // extraction must coalesce both (the drop-and-coalesce contract).
+    source.node(b).visits += 5;
+    source.node(b).inclusiveNs += 900;
+    const std::size_t c = source.childOf(b, 2);
+    source.node(c).visits += 2;
+    source.node(c).inclusiveNs += 40;
+
+    const scorep::CctDelta second = scorep::extractCctDelta(source, watermark);
+    EXPECT_EQ(second.baseNodeCount, 3u);
+    EXPECT_EQ(second.newNodes.size(), 1u);
+    scorep::applyCctDelta(second, mirror, idMap);
+    expectSameTotals(source.regionTotals(), mirror.regionTotals());
+}
+
+// ----------------------------------------------------------- channel tests --
+
+TEST(Channel, TrySendCountsRejectionsExactly) {
+    fleet::Channel channel(4);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(channel.trySend({static_cast<std::uint8_t>(i)}),
+                  fleet::SendResult::Ok);
+    }
+    EXPECT_EQ(channel.trySend({9}), fleet::SendResult::Backpressure);
+    EXPECT_EQ(channel.trySend({9}), fleet::SendResult::Backpressure);
+
+    fleet::ChannelStats stats = channel.stats();
+    EXPECT_EQ(stats.enqueued, 4u);
+    EXPECT_EQ(stats.rejected, 2u);
+    EXPECT_EQ(stats.depth, 4u);
+    EXPECT_EQ(stats.maxDepth, 4u);
+    EXPECT_EQ(stats.capacity, 4u);
+
+    for (int i = 0; i < 4; ++i) {
+        auto frame = channel.tryReceive();
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ((*frame)[0], static_cast<std::uint8_t>(i));
+    }
+    EXPECT_FALSE(channel.tryReceive().has_value());
+    EXPECT_EQ(channel.stats().dequeued, 4u);
+}
+
+TEST(Channel, BlockingSendStallsUntilDrained) {
+    fleet::Channel channel(1);
+    ASSERT_EQ(channel.send({1}), fleet::SendResult::Ok);
+
+    std::atomic<bool> delivered{false};
+    std::thread sender([&] {
+        EXPECT_EQ(channel.send({2}), fleet::SendResult::Ok);
+        delivered.store(true);
+    });
+    while (channel.stats().stalls == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_FALSE(delivered.load());  // still parked: no space yet
+
+    auto first = channel.receive();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ((*first)[0], 1);
+    sender.join();
+    EXPECT_TRUE(delivered.load());
+
+    auto second = channel.receive();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ((*second)[0], 2);
+
+    fleet::ChannelStats stats = channel.stats();
+    EXPECT_GE(stats.stalls, 1u);
+    EXPECT_EQ(stats.enqueued, 2u);
+    EXPECT_EQ(stats.maxDepth, 1u);  // the bound held throughout
+}
+
+TEST(Channel, CloseWakesBlockedSenderAndKeepsQueuedFrames) {
+    fleet::Channel channel(1);
+    ASSERT_EQ(channel.send({7}), fleet::SendResult::Ok);
+
+    std::atomic<int> result{-1};
+    std::thread sender(
+        [&] { result.store(static_cast<int>(channel.send({8}))); });
+    while (channel.stats().stalls == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    channel.close();
+    sender.join();
+    EXPECT_EQ(result.load(), static_cast<int>(fleet::SendResult::Closed));
+    EXPECT_EQ(channel.trySend({9}), fleet::SendResult::Closed);
+
+    auto frame = channel.receive();  // queued frames survive close
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ((*frame)[0], 7);
+    EXPECT_FALSE(channel.receive().has_value());  // closed and drained
+}
+
+// ------------------------------------------------------- aggregation tests --
+
+/// main -> kernel -> noisy, shaped so the survey blows the 5% budget and
+/// the planner must evict: real policy churn for the delta protocol.
+binsim::AppModel syntheticModel() {
+    binsim::AppModel model;
+    model.name = "fleet";
+    auto add = [&](const char* name, std::uint32_t instr, double virtualNs) {
+        binsim::AppFunction fn;
+        fn.name = name;
+        fn.unit = "a.cpp";
+        fn.metrics.numInstructions = instr;
+        fn.flags.hasBody = true;
+        fn.workVirtualNs = virtualNs;
+        model.functions.push_back(fn);
+        return static_cast<std::uint32_t>(model.functions.size() - 1);
+    };
+    const std::uint32_t mainFn = add("main", 100, 100.0);
+    const std::uint32_t kernel = add("kernel", 300, 1'000'000.0);
+    const std::uint32_t noisy = add("noisy", 50, 10.0);
+    model.entry = mainFn;
+    model.functions[mainFn].calls.push_back({kernel, 4});
+    model.functions[kernel].calls.push_back({noisy, 20000});
+    return model;
+}
+
+std::vector<std::string> sortedRegionUniverse(const cg::CallGraph& graph) {
+    std::vector<std::string> names;
+    for (cg::FunctionId id = 0; id < graph.size(); ++id) {
+        names.push_back(graph.name(id));
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+/// One fleet producer: its own process image, dynamic-instrumentation
+/// session and controller, joined to the aggregator through a FleetClient.
+struct FleetRank {
+    binsim::Process process;
+    dyncapi::DynCapi dyn;
+    adapt::Controller controller;
+    std::unique_ptr<fleet::FleetClient> client;
+
+    FleetRank(const binsim::CompiledProgram& compiled,
+              const cg::CallGraph& graph, const adapt::Config& config,
+              const select::InstrumentationConfig& survey,
+              fleet::Aggregator& aggregator)
+        : process(compiled), dyn(process), controller(graph, dyn, config) {
+        controller.start(survey);
+        client = std::make_unique<fleet::FleetClient>(aggregator, controller);
+    }
+};
+
+struct MeasuredEpoch {
+    scorep::Measurement measurement;
+    scorep::ProfileTree profile;
+    double virtualNs = 0.0;
+};
+
+/// Runs one epoch on a fleet rank's own process. The region universe is
+/// pre-defined in sorted order on the fresh Measurement so the client's
+/// handle space is identical every epoch regardless of the live patch set
+/// (the handle-stability contract in fleet/client.hpp).
+std::unique_ptr<MeasuredEpoch> runFleetEpoch(
+    FleetRank& rank, const std::vector<std::string>& universe) {
+    auto out = std::make_unique<MeasuredEpoch>();
+    for (const std::string& name : universe) {
+        out->measurement.defineRegion(name);
+    }
+    scorep::CygProfileAdapter adapter(
+        out->measurement,
+        scorep::SymbolResolver::withSymbolInjection(rank.process));
+    rank.dyn.attachCygHandler(adapter);
+    binsim::ExecutionEngine engine(rank.process);
+    binsim::RunStats stats = engine.run();
+    rank.dyn.detachHandler();
+    out->profile = out->measurement.mergedProfile();
+    out->virtualNs = stats.virtualNs;
+    return out;
+}
+
+using TotalsByName = std::map<std::string, scorep::ProfileTree::RegionTotals>;
+
+void expectSameTotalsByName(const TotalsByName& expected,
+                            const TotalsByName& actual) {
+    ASSERT_EQ(expected.size(), actual.size());
+    for (const auto& [name, totals] : expected) {
+        auto it = actual.find(name);
+        ASSERT_NE(it, actual.end()) << "missing region " << name;
+        EXPECT_EQ(totals.visits, it->second.visits) << name;
+        EXPECT_EQ(totals.exclusiveNs, it->second.exclusiveNs) << name;
+    }
+}
+
+/// Region timings come from probeNowNs (wall clock), so two separate
+/// executions of the same workload agree on event COUNTS but not on
+/// exclusive times; engine-driven comparisons pin the former. Full totals
+/// bit-identity is pinned by the synthetic-stream test, where both paths
+/// consume byte-identical profiles.
+void expectSameVisitsByName(const TotalsByName& expected,
+                            const TotalsByName& actual) {
+    ASSERT_EQ(expected.size(), actual.size());
+    for (const auto& [name, totals] : expected) {
+        auto it = actual.find(name);
+        ASSERT_NE(it, actual.end()) << "missing region " << name;
+        EXPECT_EQ(totals.visits, it->second.visits) << name;
+    }
+}
+
+// The acceptance property: the same per-rank event streams driven once
+// through Controller::epochAllRanks (one shared controller, MPI-style
+// collectives) and once through the fleet path (one aggregator, per-process
+// controllers, wire deltas) converge on bit-identical policies, overhead
+// numbers and profiles every epoch — including a rank that joins the fleet
+// mid-run and catches up through the baseline protocol.
+TEST(FleetAggregation, MatchesEpochAllRanksBitForBit) {
+    const binsim::AppModel model = syntheticModel();
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    const binsim::CompiledProgram compiled = binsim::compile(model, copts);
+    cg::MetaCgBuilder builder;
+    const cg::CallGraph graph = builder.build(model.toSourceModel());
+
+    adapt::Config config;
+    config.budgetFraction = 0.05;
+    config.maxEpochs = 10;
+    config.perEventCostNs = 100.0;
+    const select::InstrumentationConfig survey =
+        adapt::surveyOfDefinedFunctions(graph);
+
+    constexpr int kRanks = 3;
+    constexpr int kJoinEpoch = 3;  // the last rank starts producing here
+    constexpr int kEpochs = 4;
+
+    // --- reference: one shared controller, epochAllRanks collectives ------
+    binsim::Process refProcess(compiled);
+    dyncapi::DynCapi refDyn(refProcess);
+    adapt::Controller reference(graph, refDyn, config);
+    reference.start(survey);
+
+    std::vector<adapt::EpochReport> refReports;
+    TotalsByName refTotals;
+    for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+        // A fresh world per epoch: the synthetic app makes no MPI calls of
+        // its own, so each rank inits explicitly before the collective.
+        mpi::MpiWorld world(kRanks);
+        scorep::Measurement measurement;
+        scorep::CygProfileAdapter adapter(
+            measurement,
+            scorep::SymbolResolver::withSymbolInjection(refProcess));
+        refDyn.attachCygHandler(adapter);
+        scorep::ProfileTree idleTree;
+        std::vector<adapt::EpochReport> reports(kRanks);
+        mpi::runRanks(world, [&](int rank) {
+            world.init(rank, 0.0);
+            if (rank == kRanks - 1 && epoch < kJoinEpoch) {
+                // The not-yet-joined producer: participates in the
+                // collective with an empty profile and zero runtime, the
+                // reference-side stand-in for "absent from the fleet".
+                reports[rank] = reference.epochAllRanks(
+                    world, rank, 0.0, idleTree, measurement, 0.0);
+                return;
+            }
+            binsim::ExecutionEngine engine(refProcess);
+            binsim::RunStats stats = engine.run();
+            const scorep::ProfileTree& local = measurement.threadProfile();
+            // Deterministic embedder-supplied runtime, distinct per rank so
+            // the summation order matters to the bit-identity claim.
+            reports[rank] = reference.epochAllRanks(
+                world, rank, stats.virtualNs, local, measurement,
+                stats.virtualNs * (1.0 + rank));
+        });
+        refDyn.detachHandler();
+        for (int rank = 1; rank < kRanks; ++rank) {
+            ASSERT_EQ(reports[rank].policyFingerprint,
+                      reports[0].policyFingerprint);
+        }
+        refReports.push_back(reports[0]);
+        const scorep::ProfileTree merged = measurement.mergedProfile();
+        for (const auto& [handle, totals] : merged.regionTotals()) {
+            auto& t = refTotals[measurement.region(handle).name];
+            t.visits += totals.visits;
+            t.exclusiveNs += totals.exclusiveNs;
+        }
+    }
+
+    // --- fleet: one aggregator, per-process controllers and clients -------
+    fleet::AggregatorOptions aggOptions;
+    aggOptions.config = config;
+    fleet::Aggregator aggregator(graph, survey, aggOptions);
+    const std::vector<std::string> universe = sortedRegionUniverse(graph);
+
+    std::vector<std::unique_ptr<FleetRank>> ranks;
+    for (int r = 0; r < kRanks - 1; ++r) {
+        ranks.push_back(std::make_unique<FleetRank>(compiled, graph, config,
+                                                    survey, aggregator));
+    }
+
+    for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+        if (epoch == kJoinEpoch) {
+            // Mid-fleet late joiner: the constructor adopts the converged
+            // baseline, so it is patched identically to everyone else
+            // BEFORE its first measured epoch.
+            ranks.push_back(std::make_unique<FleetRank>(
+                compiled, graph, config, survey, aggregator));
+            EXPECT_EQ(ranks.back()->client->policyFingerprint(),
+                      refReports[static_cast<std::size_t>(kJoinEpoch) - 2]
+                          .policyFingerprint);
+            EXPECT_EQ(ranks.back()->client->stats().baselinesReceived, 1u);
+        }
+        for (std::size_t r = 0; r < ranks.size(); ++r) {
+            auto run = runFleetEpoch(*ranks[r], universe);
+            ASSERT_EQ(ranks[r]->client->sendEpoch(
+                          run->profile, run->measurement,
+                          run->virtualNs * (1.0 + static_cast<double>(r))),
+                      fleet::SendResult::Ok);
+        }
+        while (aggregator.epochsCompleted() <
+               static_cast<std::uint64_t>(epoch)) {
+            ASSERT_TRUE(aggregator.pump()) << "fleet epoch " << epoch
+                                           << " stalled";
+        }
+        const adapt::EpochReport& expected =
+            refReports[static_cast<std::size_t>(epoch) - 1];
+        for (std::size_t r = 0; r < ranks.size(); ++r) {
+            const adapt::EpochReport report = ranks[r]->client->awaitPolicy();
+            EXPECT_EQ(report.policyFingerprint, expected.policyFingerprint)
+                << "epoch " << epoch << " rank " << r;
+            EXPECT_EQ(report.measuredOverheadRatio,
+                      expected.measuredOverheadRatio)
+                << "epoch " << epoch << " rank " << r;
+            EXPECT_EQ(report.budgetNs, expected.budgetNs)
+                << "epoch " << epoch << " rank " << r;
+            EXPECT_EQ(report.withinBudget, expected.withinBudget)
+                << "epoch " << epoch << " rank " << r;
+            EXPECT_EQ(ranks[r]->controller.currentPolicy().fingerprint(),
+                      expected.policyFingerprint)
+                << "epoch " << epoch << " rank " << r;
+        }
+    }
+
+    EXPECT_EQ(aggregator.epochsCompleted(),
+              static_cast<std::uint64_t>(kEpochs));
+    EXPECT_EQ(aggregator.convergedFingerprint(),
+              refReports.back().policyFingerprint);
+    expectSameVisitsByName(refTotals, aggregator.totalsByName());
+    EXPECT_EQ(aggregator.stats().divergentClients, 0u);
+    EXPECT_EQ(aggregator.stats().decodeErrors, 0u);
+}
+
+/// Deterministic per-rank profile stream: a pure function of (rank, epoch),
+/// with a non-trivial CCT that keeps GROWING mid-stream (a second call path
+/// appears from epoch 2), so later deltas carry new nodes and not just
+/// counter movement.
+scorep::ProfileTree syntheticRankProfile(scorep::Measurement& measurement,
+                                         int rank, int epoch) {
+    scorep::ProfileTree tree;
+    const scorep::RegionHandle hMain = measurement.defineRegion("main");
+    const scorep::RegionHandle hKernel = measurement.defineRegion("kernel");
+    const scorep::RegionHandle hNoisy = measurement.defineRegion("noisy");
+    const std::size_t nMain = tree.childOf(tree.root(), hMain);
+    const std::size_t nKernel = tree.childOf(nMain, hKernel);
+    const std::size_t nNoisy = tree.childOf(nKernel, hNoisy);
+    support::SplitMix64 rng(0xC0FFEEull ^
+                            (static_cast<std::uint64_t>(rank) << 32) ^
+                            static_cast<std::uint64_t>(epoch));
+    tree.node(nMain).visits += 1;
+    tree.node(nMain).inclusiveNs += 1'000'000 + rng.nextBelow(1000);
+    tree.node(nKernel).visits += 4 + rng.nextBelow(4);
+    tree.node(nKernel).inclusiveNs += 800'000 + rng.nextBelow(10'000);
+    tree.node(nNoisy).visits += 10'000 + rng.nextBelow(5'000);
+    tree.node(nNoisy).inclusiveNs += 500'000 + rng.nextBelow(10'000);
+    if (epoch >= 2) {
+        const std::size_t nLate = tree.childOf(nMain, hNoisy);
+        tree.node(nLate).visits += 100 + rng.nextBelow(50);
+        tree.node(nLate).inclusiveNs += 10'000 + rng.nextBelow(100);
+    }
+    return tree;
+}
+
+// The same property over byte-identical inputs: when both paths consume the
+// SAME deterministic per-rank profile streams and runtimes, everything is
+// bit-identical — per-epoch fingerprints, overhead ratios, budgets, AND the
+// aggregated profile down to the last exclusive nanosecond, late joiner
+// included.
+TEST(FleetAggregation, SyntheticStreamsAggregateBitIdentically) {
+    const binsim::AppModel model = syntheticModel();
+    binsim::CompileOptions copts;
+    copts.xrayThreshold.instructionThreshold = 1;
+    const binsim::CompiledProgram compiled = binsim::compile(model, copts);
+    cg::MetaCgBuilder builder;
+    const cg::CallGraph graph = builder.build(model.toSourceModel());
+
+    adapt::Config config;
+    config.budgetFraction = 0.05;
+    config.maxEpochs = 10;
+    config.perEventCostNs = 100.0;
+    const select::InstrumentationConfig survey =
+        adapt::surveyOfDefinedFunctions(graph);
+
+    constexpr int kRanks = 3;
+    constexpr int kJoinEpoch = 3;
+    constexpr int kEpochs = 5;
+    auto runtimeOf = [](int rank, int epoch) {
+        return 1e9 * (1.0 + rank) + 1e7 * epoch;
+    };
+
+    // --- reference ---------------------------------------------------------
+    binsim::Process refProcess(compiled);
+    dyncapi::DynCapi refDyn(refProcess);
+    adapt::Controller reference(graph, refDyn, config);
+    reference.start(survey);
+    scorep::Measurement refMeasurement;
+    std::vector<adapt::EpochReport> refReports;
+    TotalsByName refTotals;
+    for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+        mpi::MpiWorld world(kRanks);
+        std::vector<scorep::ProfileTree> profiles(kRanks);
+        for (int r = 0; r < kRanks; ++r) {
+            if (r == kRanks - 1 && epoch < kJoinEpoch) {
+                continue;  // absent from the fleet: empty profile
+            }
+            profiles[r] = syntheticRankProfile(refMeasurement, r, epoch);
+            for (const auto& [handle, totals] : profiles[r].regionTotals()) {
+                auto& t = refTotals[refMeasurement.region(handle).name];
+                t.visits += totals.visits;
+                t.exclusiveNs += totals.exclusiveNs;
+            }
+        }
+        std::vector<adapt::EpochReport> reports(kRanks);
+        mpi::runRanks(world, [&](int rank) {
+            world.init(rank, 0.0);
+            const bool idle = rank == kRanks - 1 && epoch < kJoinEpoch;
+            reports[rank] = reference.epochAllRanks(
+                world, rank, 0.0, profiles[rank], refMeasurement,
+                idle ? 0.0 : runtimeOf(rank, epoch));
+        });
+        for (int rank = 1; rank < kRanks; ++rank) {
+            ASSERT_EQ(reports[rank].policyFingerprint,
+                      reports[0].policyFingerprint);
+        }
+        refReports.push_back(reports[0]);
+    }
+
+    // --- fleet: headless clients over the same streams ---------------------
+    fleet::AggregatorOptions aggOptions;
+    aggOptions.config = config;
+    fleet::Aggregator aggregator(graph, survey, aggOptions);
+    std::vector<std::unique_ptr<scorep::Measurement>> measurements(kRanks);
+    std::vector<std::unique_ptr<fleet::FleetClient>> clients(kRanks);
+    for (int r = 0; r < kRanks - 1; ++r) {
+        measurements[r] = std::make_unique<scorep::Measurement>();
+        clients[r] = std::make_unique<fleet::FleetClient>(aggregator);
+    }
+
+    for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+        if (epoch == kJoinEpoch) {
+            const int r = kRanks - 1;
+            measurements[r] = std::make_unique<scorep::Measurement>();
+            clients[r] = std::make_unique<fleet::FleetClient>(aggregator);
+            EXPECT_EQ(clients[r]->policyFingerprint(),
+                      refReports[static_cast<std::size_t>(kJoinEpoch) - 2]
+                          .policyFingerprint);
+        }
+        for (int r = 0; r < kRanks; ++r) {
+            if (clients[r] == nullptr) {
+                continue;
+            }
+            ASSERT_EQ(clients[r]->sendEpoch(
+                          syntheticRankProfile(*measurements[r], r, epoch),
+                          *measurements[r], runtimeOf(r, epoch)),
+                      fleet::SendResult::Ok);
+        }
+        while (aggregator.epochsCompleted() <
+               static_cast<std::uint64_t>(epoch)) {
+            ASSERT_TRUE(aggregator.pump()) << "fleet epoch " << epoch
+                                           << " stalled";
+        }
+        const adapt::EpochReport& expected =
+            refReports[static_cast<std::size_t>(epoch) - 1];
+        for (int r = 0; r < kRanks; ++r) {
+            if (clients[r] == nullptr) {
+                continue;
+            }
+            const adapt::EpochReport report = clients[r]->awaitPolicy();
+            EXPECT_EQ(report.policyFingerprint, expected.policyFingerprint)
+                << "epoch " << epoch << " rank " << r;
+            EXPECT_EQ(report.measuredOverheadRatio,
+                      expected.measuredOverheadRatio)
+                << "epoch " << epoch << " rank " << r;
+            EXPECT_EQ(report.budgetNs, expected.budgetNs)
+                << "epoch " << epoch << " rank " << r;
+            EXPECT_EQ(report.withinBudget, expected.withinBudget)
+                << "epoch " << epoch << " rank " << r;
+        }
+    }
+
+    EXPECT_EQ(aggregator.convergedFingerprint(),
+              refReports.back().policyFingerprint);
+    expectSameTotalsByName(refTotals, aggregator.totalsByName());
+    EXPECT_EQ(aggregator.stats().divergentClients, 0u);
+}
+
+/// Headless-client fixtures for the protocol and soak tests.
+cg::CallGraph tinyGraph() {
+    cg::CallGraph graph;
+    auto add = [&](const char* name) {
+        cg::FunctionDesc desc;
+        desc.name = name;
+        desc.prettyName = name;
+        desc.flags.hasBody = true;
+        return graph.addFunction(desc);
+    };
+    const cg::FunctionId mainFn = add("main");
+    graph.addCallEdge(mainFn, add("kernel"));
+    graph.addCallEdge(mainFn, add("noisy"));
+    return graph;
+}
+
+scorep::ProfileTree flatProfile(scorep::Measurement& measurement,
+                                std::uint64_t salt) {
+    scorep::ProfileTree tree;
+    auto touch = [&](const char* name, std::uint64_t visits,
+                     std::uint64_t ns) {
+        const std::size_t node =
+            tree.childOf(tree.root(), measurement.defineRegion(name));
+        tree.node(node).visits += visits;
+        tree.node(node).inclusiveNs += ns;
+    };
+    touch("main", 1, 1000 + salt % 7);
+    touch("kernel", 10 + salt % 3, 1'000'000 + salt % 11);
+    touch("noisy", 1000, 2000);
+    return tree;
+}
+
+TEST(FleetAggregation, ResyncControlFrameForcesFreshBaseline) {
+    const cg::CallGraph graph = tinyGraph();
+    fleet::AggregatorOptions options;
+    options.config.perEventCostNs = 100.0;
+    fleet::Aggregator aggregator(graph, adapt::surveyOfDefinedFunctions(graph),
+                                 options);
+    scorep::Measurement measurement;
+    fleet::FleetClient client(aggregator);
+    EXPECT_EQ(client.stats().baselinesReceived, 1u);
+
+    ASSERT_EQ(client.sendEpoch(flatProfile(measurement, 1), measurement, 1e9),
+              fleet::SendResult::Ok);
+    while (aggregator.epochsCompleted() < 1) {
+        ASSERT_TRUE(aggregator.pump());
+    }
+    client.awaitPolicy();
+
+    // Break the chain on the client's behalf: the aggregator must answer
+    // the next epoch with a full baseline instead of a diff.
+    ASSERT_EQ(aggregator.dataChannel().send(fleet::encodeControlFrame(
+                  fleet::FrameType::Resync, client.clientId())),
+              fleet::SendResult::Ok);
+    ASSERT_EQ(client.sendEpoch(flatProfile(measurement, 2), measurement, 1e9),
+              fleet::SendResult::Ok);
+    while (aggregator.epochsCompleted() < 2) {
+        ASSERT_TRUE(aggregator.pump());
+    }
+    const adapt::EpochReport report = client.awaitPolicy();
+    EXPECT_EQ(aggregator.stats().resyncs, 1u);
+    EXPECT_EQ(client.stats().baselinesReceived, 2u);
+    EXPECT_EQ(report.policyFingerprint, aggregator.convergedFingerprint());
+    EXPECT_EQ(client.policyFingerprint(), aggregator.convergedFingerprint());
+}
+
+TEST(FleetAggregation, MalformedFramesDropTypedWithoutDisruption) {
+    const cg::CallGraph graph = tinyGraph();
+    fleet::AggregatorOptions options;
+    options.config.perEventCostNs = 100.0;
+    fleet::Aggregator aggregator(graph, adapt::surveyOfDefinedFunctions(graph),
+                                 options);
+    scorep::Measurement measurement;
+    fleet::FleetClient client(aggregator);
+
+    // Raw garbage and a checksum-corrupted frame land ahead of real work.
+    ASSERT_EQ(aggregator.dataChannel().send({0xDE, 0xAD, 0xBE, 0xEF}),
+              fleet::SendResult::Ok);
+    std::vector<std::uint8_t> corrupted =
+        fleet::encodeDeltaFrame(richDelta());
+    corrupted[corrupted.size() / 2] ^= 0xFF;
+    ASSERT_EQ(aggregator.dataChannel().send(corrupted), fleet::SendResult::Ok);
+
+    ASSERT_EQ(client.sendEpoch(flatProfile(measurement, 3), measurement, 1e9),
+              fleet::SendResult::Ok);
+    while (aggregator.epochsCompleted() < 1) {
+        ASSERT_TRUE(aggregator.pump());
+    }
+    const adapt::EpochReport report = client.awaitPolicy();
+    EXPECT_EQ(aggregator.stats().decodeErrors, 2u);
+    EXPECT_EQ(aggregator.stats().framesMerged, 1u);
+    EXPECT_EQ(report.policyFingerprint, aggregator.convergedFingerprint());
+}
+
+// The scale property: 1000 non-blocking producers against a 64-slot ingress
+// queue. Backpressure must engage (the queue never grows past capacity),
+// every drop must be counted exactly once on both sides of the channel,
+// dropped epochs must coalesce losslessly into later frames, and the whole
+// fleet must still converge on a single policy fingerprint.
+TEST(FleetAggregation, ThousandClientSoakDropsAndCoalescesExactly) {
+    const cg::CallGraph graph = tinyGraph();
+    fleet::AggregatorOptions options;
+    options.dataQueueCapacity = 64;
+    options.config.perEventCostNs = 100.0;
+    fleet::Aggregator aggregator(graph, adapt::surveyOfDefinedFunctions(graph),
+                                 options);
+
+    constexpr std::size_t kClients = 1000;
+    constexpr int kRounds = 3;
+    fleet::FleetClientOptions clientOptions;
+    clientOptions.blockingSend = false;
+
+    std::vector<std::unique_ptr<scorep::Measurement>> measurements;
+    std::vector<std::unique_ptr<fleet::FleetClient>> clients;
+    measurements.reserve(kClients);
+    clients.reserve(kClients);
+    for (std::size_t i = 0; i < kClients; ++i) {
+        measurements.push_back(std::make_unique<scorep::Measurement>());
+        clients.push_back(
+            std::make_unique<fleet::FleetClient>(aggregator, clientOptions));
+    }
+    ASSERT_EQ(aggregator.clientCount(), kClients);
+
+    TotalsByName expectedTotals;
+    std::uint64_t observedDrops = 0;
+    for (int round = 1; round <= kRounds; ++round) {
+        std::vector<std::size_t> retry;
+        for (std::size_t i = 0; i < kClients; ++i) {
+            const std::uint64_t salt = i * 31 + static_cast<std::uint64_t>(round);
+            scorep::ProfileTree profile = flatProfile(*measurements[i], salt);
+            for (const auto& [handle, totals] : profile.regionTotals()) {
+                auto& t = expectedTotals[measurements[i]->region(handle).name];
+                t.visits += totals.visits;
+                t.exclusiveNs += totals.exclusiveNs;
+            }
+            const fleet::SendResult sent =
+                clients[i]->sendEpoch(profile, *measurements[i], 1e9);
+            if (sent == fleet::SendResult::Backpressure) {
+                retry.push_back(i);
+                ++observedDrops;
+            } else {
+                ASSERT_EQ(sent, fleet::SendResult::Ok);
+            }
+        }
+        ASSERT_FALSE(retry.empty()) << "backpressure never engaged";
+
+        // Drain-and-retry until the fleet epoch closes. A dropped epoch is
+        // retried with an EMPTY profile and zero runtime: the unadvanced
+        // watermark and the pending accumulators re-ship the missed data
+        // (coveredEpochs == 2), so nothing may be double-counted.
+        const scorep::ProfileTree empty;
+        while (aggregator.epochsCompleted() <
+               static_cast<std::uint64_t>(round)) {
+            const bool progressed = aggregator.pump();
+            std::vector<std::size_t> still;
+            for (std::size_t i : retry) {
+                const fleet::SendResult sent =
+                    clients[i]->sendEpoch(empty, *measurements[i], 0.0);
+                if (sent == fleet::SendResult::Backpressure) {
+                    still.push_back(i);
+                    ++observedDrops;
+                } else {
+                    ASSERT_EQ(sent, fleet::SendResult::Ok);
+                }
+            }
+            ASSERT_TRUE(progressed || !retry.empty()) << "soak stalled";
+            retry.swap(still);
+        }
+        ASSERT_TRUE(retry.empty());
+
+        const std::uint64_t fingerprint = aggregator.convergedFingerprint();
+        for (std::size_t i = 0; i < kClients; ++i) {
+            clients[i]->awaitPolicy();
+            ASSERT_EQ(clients[i]->policyFingerprint(), fingerprint)
+                << "round " << round << " client " << i;
+        }
+    }
+
+    // Exact drop accounting on both sides of the channel, and the bound.
+    const fleet::ChannelStats channel = aggregator.dataChannel().stats();
+    EXPECT_EQ(channel.rejected, observedDrops);
+    EXPECT_LE(channel.maxDepth, options.dataQueueCapacity);
+    std::uint64_t clientDrops = 0;
+    std::uint64_t coalesced = 0;
+    for (const auto& client : clients) {
+        clientDrops += client->stats().droppedDeltas;
+        coalesced += client->stats().coalescedEpochs;
+    }
+    EXPECT_EQ(clientDrops, observedDrops);
+    EXPECT_EQ(coalesced, observedDrops);  // every drop rode a later frame
+
+    const fleet::AggregatorStats stats = aggregator.stats();
+    EXPECT_EQ(stats.framesMerged, kClients * kRounds);
+    EXPECT_EQ(stats.decodeErrors, 0u);
+    EXPECT_EQ(aggregator.epochsCompleted(),
+              static_cast<std::uint64_t>(kRounds));
+    // ...and the coalesced stream lost nothing: the fleet profile equals
+    // the sum of every per-round synthetic profile, drops included.
+    expectSameTotalsByName(expectedTotals, aggregator.totalsByName());
+}
+
+}  // namespace

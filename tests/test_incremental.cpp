@@ -503,6 +503,94 @@ TEST(FootprintSurvival, EntryPointChangePurgesEverything) {
     EXPECT_GT(cache.stats().invalidations, 0u);
 }
 
+TEST(FootprintSurvival, MetricTouchInsideTraversalRegionOnlyPurgesMetricReads) {
+    // One stage combining a metric filter over a bounded candidate set with
+    // a caller traversal: metricNodes = {b}, edgeNodes = the visited region
+    // {main, a, b}. A per-epoch-style metric touch on a traversed-but-not-
+    // metric-read node must keep the stage cached — with a single unioned
+    // footprint, every visit fold inside the reachable region purged the
+    // whole traversal.
+    cg::CallGraph graph = testutil::makeGraph(
+        {
+            {.name = "main"},
+            {.name = "a"},
+            {.name = "b", .flops = 20},
+        },
+        {{"main", "a"}, {"a", "b"}});
+    Pipeline pipeline(
+        spec::parseSpec("onCallPathTo(flops(\">=\", 10, byName(\"b\", %%)))"));
+    select::SelectorCache cache;
+    PipelineOptions options;
+    options.cache = &cache;
+    FunctionSet cold = pipeline.run(graph, options).result;
+    ASSERT_TRUE(cold.contains(graph.lookup("a")));
+
+    graph.touchMetrics(graph.lookup("a"),
+                       [](cg::FunctionMetrics& m) { m.profiledVisits = 7; });
+    select::PipelineRun warm = pipeline.run(graph, options);
+    EXPECT_EQ(warm.cacheHits, 1u);
+    EXPECT_EQ(cache.stats().survivals, 1u);
+    EXPECT_TRUE(warm.result == cold);
+
+    // A touch on the metric-read node itself still purges (and the
+    // re-evaluation reproduces the same selection).
+    graph.touchMetrics(graph.lookup("b"),
+                       [](cg::FunctionMetrics& m) { m.profiledVisits = 9; });
+    select::PipelineRun purged = pipeline.run(graph, options);
+    EXPECT_EQ(purged.cacheHits, 0u);
+    EXPECT_TRUE(purged.result == cold);
+}
+
+TEST(InlineCompensationCache, MetricOnlyDeltaReplaysTheCallerWalk) {
+    // main -> caller -> leaf; the oracle knows everything but the leaf, so
+    // compensation swaps leaf for caller.
+    cg::CallGraph graph = testutil::makeGraph(
+        {{.name = "main"}, {.name = "caller"}, {.name = "leaf"}},
+        {{"main", "caller"}, {"caller", "leaf"}});
+    select::SetSymbolOracle oracle({"main", "caller"});
+    select::InlineCompensationCache cache;
+
+    FunctionSet selection(graph.size());
+    selection.add(graph.lookup("leaf"));
+
+    FunctionSet first = selection;
+    select::InlineCompensationStats stats =
+        select::compensateInlining(graph, first, oracle, &cache);
+    EXPECT_FALSE(stats.reused);
+    EXPECT_EQ(stats.callersAdded, 1u);
+    EXPECT_TRUE(first.contains(graph.lookup("caller")));
+    EXPECT_FALSE(first.contains(graph.lookup("leaf")));
+
+    // Metric-only churn (the controller's per-epoch visit folding) proves
+    // through the journal that the caller relation is unchanged: replay.
+    graph.touchMetrics(graph.lookup("caller"),
+                       [](cg::FunctionMetrics& m) { m.profiledVisits = 5; });
+    FunctionSet second = selection;
+    select::InlineCompensationStats replay =
+        select::compensateInlining(graph, second, oracle, &cache);
+    EXPECT_TRUE(replay.reused);
+    EXPECT_EQ(replay.callersAdded, 1u);
+    EXPECT_EQ(cache.reuses(), 1u);
+    EXPECT_TRUE(second == first);
+
+    // A caller-relation change invalidates: a second route into the leaf
+    // adds another compensation caller.
+    graph.addCallEdge(graph.lookup("main"), graph.lookup("leaf"));
+    FunctionSet third = selection;
+    select::InlineCompensationStats recompute =
+        select::compensateInlining(graph, third, oracle, &cache);
+    EXPECT_FALSE(recompute.reused);
+    EXPECT_TRUE(third.contains(graph.lookup("main")));
+    EXPECT_EQ(cache.recomputes(), 2u);
+
+    // And the refreshed memo serves again across the next metric touch.
+    graph.touchMetrics(graph.lookup("main"),
+                       [](cg::FunctionMetrics& m) { m.profiledVisits = 6; });
+    FunctionSet fourth = selection;
+    EXPECT_TRUE(select::compensateInlining(graph, fourth, oracle, &cache).reused);
+    EXPECT_TRUE(fourth == third);
+}
+
 // --------------------------------------- incremental == full property sweep --
 
 /// Names of the alive, defined functions a pipeline result selects — the

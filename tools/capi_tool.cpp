@@ -37,12 +37,25 @@
 // tracing) plus, with --flame, the last epoch's profile as collapsed stacks
 // for flamegraph.pl; `metrics` writes the registry snapshot in Prometheus
 // text exposition format.
+//
+// The `fleet` subcommand demos the streaming aggregation path (src/fleet/):
+// N headless clients ship per-epoch CCT deltas over the bounded channel to
+// one Aggregator, which converges them on a single policy and reports wire
+// and backpressure statistics:
+//   capi_tool fleet [--app lulesh|openfoam] [--clients N] [--epochs E]
+//             [--budget 0.05] [--per-event-cost-ns 200]
+//             [--queue-capacity N] [--lossy]
+// --lossy switches clients to drop-and-coalesce sends (a full queue drops
+// the frame; the next one covers both epochs), the mode the stats make
+// visible: drops and coalesced epochs must balance exactly.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "adapt/controller.hpp"
 #include "dyncapi/mpi_port.hpp"
@@ -53,7 +66,10 @@
 #include "binsim/execution_engine.hpp"
 #include "cg/metacg_builder.hpp"
 #include "cg/metacg_json.hpp"
+#include "fleet/aggregator.hpp"
+#include "fleet/client.hpp"
 #include "obs/export.hpp"
+#include "scorepsim/measurement.hpp"
 #include "scorepsim/cyg_adapter.hpp"
 #include "scorepsim/symbol_resolver.hpp"
 #include "select/selection_driver.hpp"
@@ -91,7 +107,11 @@ void usage() {
                  "   or: capi_tool trace [adapt flags] "
                  "[--output <trace.json>] [--flame <out.txt>]\n"
                  "   or: capi_tool metrics [adapt flags] "
-                 "[--output <metrics.prom>]\n");
+                 "[--output <metrics.prom>]\n"
+                 "   or: capi_tool fleet [--app lulesh|openfoam] "
+                 "[--clients <n>] [--epochs <n>]\n"
+                 "       [--budget <fraction>] [--per-event-cost-ns <ns>]\n"
+                 "       [--queue-capacity <n>] [--lossy]\n");
 }
 
 std::string readFile(const std::string& path) {
@@ -399,6 +419,203 @@ int runAdapt(int argc, char** argv, AdaptMode mode) {
     return controller.converged() ? 0 : 1;
 }
 
+/// The `fleet` subcommand: a synthetic fleet of headless clients streaming
+/// epoch deltas into one Aggregator. Profiles are deterministic functions of
+/// (client, epoch, region), so two runs with the same flags converge on the
+/// same policy fingerprint — what matters here is the wire/backpressure
+/// telemetry the stats lines surface.
+int runFleet(int argc, char** argv) {
+    using namespace capi;
+    std::string app = "lulesh";
+    std::size_t clientCount = 64;
+    std::size_t epochs = 5;
+    std::size_t queueCapacity = 0;  // 0: derived below.
+    bool lossy = false;
+    adapt::Config config;
+    config.budgetFraction = 0.05;
+    config.perEventCostNs = 200.0;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        try {
+            if (arg == "--app") app = next();
+            else if (arg == "--clients")
+                clientCount = std::max<std::size_t>(1, parseThreads(next()));
+            else if (arg == "--epochs")
+                epochs = std::max<std::size_t>(1, parseThreads(next()));
+            else if (arg == "--budget") config.budgetFraction = std::stod(next());
+            else if (arg == "--per-event-cost-ns")
+                config.perEventCostNs = std::stod(next());
+            else if (arg == "--queue-capacity")
+                queueCapacity = parseThreads(next());
+            else if (arg == "--lossy") lossy = true;
+            else {
+                usage();
+                return 2;
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "capi_tool fleet: bad value for %s: %s\n",
+                         arg.c_str(), e.what());
+            return 2;
+        }
+    }
+    config.maxEpochs = epochs;
+
+    binsim::AppModel model;
+    if (app == "lulesh") {
+        model = apps::makeLulesh(apps::LuleshParams{});
+    } else if (app == "openfoam") {
+        model = apps::makeOpenFoam(apps::OpenFoamParams::executionScale());
+    } else {
+        std::fprintf(stderr, "capi_tool fleet: unknown --app '%s'\n",
+                     app.c_str());
+        return 2;
+    }
+    cg::MetaCgBuilder builder;
+    cg::CallGraph graph = builder.build(model.toSourceModel());
+
+    fleet::AggregatorOptions options;
+    options.config = config;
+    // Lossless mode needs headroom for one frame per client (the tool pumps
+    // single-threaded); lossy mode keeps the queue tight on purpose so
+    // backpressure actually engages.
+    options.dataQueueCapacity =
+        queueCapacity != 0 ? queueCapacity
+                           : (lossy ? std::max<std::size_t>(8, clientCount / 8)
+                                    : clientCount + 8);
+    fleet::Aggregator aggregator(graph, adapt::surveyOfDefinedFunctions(graph),
+                                 options);
+
+    std::vector<std::string> regions;
+    for (cg::FunctionId id = 0; id < graph.size(); ++id) {
+        regions.push_back(graph.name(id));
+    }
+    std::sort(regions.begin(), regions.end());
+
+    fleet::FleetClientOptions clientOptions;
+    clientOptions.blockingSend = !lossy;
+    std::vector<std::unique_ptr<scorep::Measurement>> measurements;
+    std::vector<std::unique_ptr<fleet::FleetClient>> clients;
+    for (std::size_t i = 0; i < clientCount; ++i) {
+        measurements.push_back(std::make_unique<scorep::Measurement>());
+        clients.push_back(
+            std::make_unique<fleet::FleetClient>(aggregator, clientOptions));
+    }
+    std::printf("fleet: %s, %zu clients, %zu regions, queue capacity %zu "
+                "(%s sends), budget %.1f%%\n",
+                app.c_str(), clientCount, regions.size(),
+                options.dataQueueCapacity,
+                lossy ? "drop-and-coalesce" : "blocking",
+                config.budgetFraction * 100.0);
+
+    for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
+        std::vector<std::size_t> retry;
+        for (std::size_t i = 0; i < clientCount; ++i) {
+            scorep::Measurement& measurement = *measurements[i];
+            scorep::ProfileTree profile;
+            for (std::size_t r = 0; r < regions.size(); ++r) {
+                const std::size_t node = profile.childOf(
+                    profile.root(), measurement.defineRegion(regions[r]));
+                const std::uint64_t mix = i * 31 + epoch * 7 + r * 13;
+                profile.node(node).visits += 1 + mix % 97;
+                profile.node(node).inclusiveNs += 10'000 + (mix * 991) % 100'000;
+            }
+            if (clients[i]->sendEpoch(profile, measurement,
+                                      1e9 + 1e6 * static_cast<double>(i)) ==
+                fleet::SendResult::Backpressure) {
+                retry.push_back(i);
+            }
+            if (!lossy) {
+                // Single-threaded: drain as we go so a blocking send never
+                // waits on a pump that cannot happen. Lossy mode skips this
+                // on purpose — the queue must fill for drops to engage.
+                aggregator.pump();
+            }
+        }
+        // Drain until the epoch closes; dropped senders retry with an empty
+        // profile — their unadvanced watermark re-ships the missed epoch.
+        while (aggregator.epochsCompleted() < epoch) {
+            const bool progressed = aggregator.pump();
+            std::vector<std::size_t> still;
+            for (std::size_t i : retry) {
+                if (clients[i]->sendEpoch(scorep::ProfileTree{},
+                                          *measurements[i], 0.0) ==
+                    fleet::SendResult::Backpressure) {
+                    still.push_back(i);
+                }
+            }
+            if (!progressed && still.size() == retry.size() && !still.empty()) {
+                std::fprintf(stderr, "fleet: stuck at epoch %zu\n", epoch);
+                return 1;
+            }
+            retry.swap(still);
+        }
+        adapt::EpochReport report;
+        for (auto& client : clients) {
+            report = client->awaitPolicy();
+        }
+        std::printf("epoch %zu: policy %016llx, overhead %.2f%%, budget %.0f "
+                    "ns%s\n",
+                    epoch,
+                    static_cast<unsigned long long>(report.policyFingerprint),
+                    report.measuredOverheadRatio * 100.0, report.budgetNs,
+                    report.withinBudget ? " [in budget]" : "");
+    }
+
+    bool converged = true;
+    std::uint64_t drops = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t bytesSent = 0;
+    for (const auto& client : clients) {
+        converged &= client->policyFingerprint() ==
+                     aggregator.convergedFingerprint();
+        drops += client->stats().droppedDeltas;
+        coalesced += client->stats().coalescedEpochs;
+        bytesSent += client->stats().bytesSent;
+    }
+    const fleet::AggregatorStats stats = aggregator.stats();
+    const fleet::ChannelStats channel = aggregator.dataChannel().stats();
+    std::printf("%s: %zu clients on policy %016llx after %llu fleet epochs\n",
+                converged ? "converged" : "DIVERGED", clientCount,
+                static_cast<unsigned long long>(
+                    aggregator.convergedFingerprint()),
+                static_cast<unsigned long long>(stats.epochsCompleted));
+    std::printf("wire: %llu frames merged, %.1f bytes/frame in, %llu bytes "
+                "out across %llu policy frames, %llu decode errors\n",
+                static_cast<unsigned long long>(stats.framesMerged),
+                stats.framesMerged == 0
+                    ? 0.0
+                    : static_cast<double>(stats.bytesIn) /
+                          static_cast<double>(stats.framesMerged),
+                static_cast<unsigned long long>(stats.bytesOut),
+                static_cast<unsigned long long>(stats.policyFramesSent),
+                static_cast<unsigned long long>(stats.decodeErrors));
+    std::printf("backpressure: queue depth max %zu/%zu, %llu stalls, %llu "
+                "drops = %llu coalesced epochs (client bytes sent %llu)\n",
+                channel.maxDepth, channel.capacity,
+                static_cast<unsigned long long>(channel.stalls),
+                static_cast<unsigned long long>(drops),
+                static_cast<unsigned long long>(coalesced),
+                static_cast<unsigned long long>(bytesSent));
+    if (drops != channel.rejected || drops != coalesced) {
+        std::fprintf(stderr,
+                     "fleet: drop accounting broken (%llu drops, %llu "
+                     "rejected, %llu coalesced)\n",
+                     static_cast<unsigned long long>(drops),
+                     static_cast<unsigned long long>(channel.rejected),
+                     static_cast<unsigned long long>(coalesced));
+        return 1;
+    }
+    return converged ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -413,6 +630,14 @@ int main(int argc, char** argv) {
             return runAdapt(argc, argv, mode);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "capi_tool %s: %s\n", argv[1], e.what());
+            return 1;
+        }
+    }
+    if (argc > 1 && std::strcmp(argv[1], "fleet") == 0) {
+        try {
+            return runFleet(argc, argv);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "capi_tool fleet: %s\n", e.what());
             return 1;
         }
     }
