@@ -450,6 +450,9 @@ EpochReport Controller::adoptPolicy(
     const EpochReport& worldReport) {
     EpochReport report = worldReport;
     if (currentPolicy_.fingerprint() != report.policyFingerprint) {
+        // Diagnose, not just count: the region-level diff between what this
+        // controller was running and what the world converged on.
+        report.divergence = select::policyDiff(currentPolicy_, converged);
         EpochReport applied = report;
         applied.retriesThisEpoch = 0;
         if (applyWithRetry(converged, applied)) {

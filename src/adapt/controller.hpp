@@ -119,6 +119,12 @@ struct EpochReport {
     /// their own controller before epochAllRanks returns, so the world
     /// leaves every epoch converged on one policy.
     std::size_t divergentRanks = 0;
+    /// Divergence *diagnosis*: when this controller's live policy disagreed
+    /// with the converged one (adoptPolicy on a divergent rank / fleet
+    /// client), the actual region-level diff live -> converged — which
+    /// regions diverged and in which direction, not just that a fingerprint
+    /// mismatched. Empty while converged.
+    select::PolicyDelta divergence;
     /// epochAllRanks only: ranks dropped from the world as of this epoch.
     std::size_t droppedRanks = 0;
     // --- self-healing ------------------------------------------------------

@@ -1,5 +1,6 @@
 #include "adapt/overhead_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace capi::adapt {
@@ -149,6 +150,37 @@ void OverheadModel::chargeSelfCost(double selfCostNs) {
 const RegionEstimate* OverheadModel::estimate(const std::string& name) const {
     auto it = estimates_.find(name);
     return it == estimates_.end() ? nullptr : &it->second;
+}
+
+ModelState OverheadModel::saveState() const {
+    ModelState state;
+    state.epochs = epochs_;
+    state.runtimeNs = runtimeNs_;
+    state.incurredCostNs = incurredCostNs_;
+    state.lastEpochCostNs = lastEpochCostNs_;
+    state.lastEpochRuntimeNs = lastEpochRuntimeNs_;
+    state.lastMeasurementId = lastMeasurementId_;
+    state.estimates.assign(estimates_.begin(), estimates_.end());
+    std::sort(state.estimates.begin(), state.estimates.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    state.lastSuppressed.assign(lastSuppressed_.begin(), lastSuppressed_.end());
+    std::sort(state.lastSuppressed.begin(), state.lastSuppressed.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return state;
+}
+
+void OverheadModel::restoreState(const ModelState& state) {
+    epochs_ = state.epochs;
+    runtimeNs_ = state.runtimeNs;
+    incurredCostNs_ = state.incurredCostNs;
+    lastEpochCostNs_ = state.lastEpochCostNs;
+    lastEpochRuntimeNs_ = state.lastEpochRuntimeNs;
+    lastMeasurementId_ = state.lastMeasurementId;
+    estimates_.clear();
+    estimates_.insert(state.estimates.begin(), state.estimates.end());
+    lastSuppressed_.clear();
+    lastSuppressed_.insert(state.lastSuppressed.begin(),
+                           state.lastSuppressed.end());
 }
 
 double profileErrorPercent(const scorep::Measurement& estimated,

@@ -20,6 +20,8 @@
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "adapt/config.hpp"
 #include "scorepsim/measurement.hpp"
@@ -59,6 +61,22 @@ struct RegionEstimate {
     /// noise; an epoch whose samples were ALL suppressed (no time recorded)
     /// updates visits exactly but leaves exclusiveNs frozen.
     double samplingFactor = 1.0;
+};
+
+/// The model's complete mutable state, exported for checkpointing (the
+/// fleet aggregator's snapshot frame). Map-backed members are flattened to
+/// name-sorted vectors so two saves of the same model are byte-identical
+/// once encoded, and doubles are carried verbatim — restoreState followed by
+/// the same observations continues bit-identically.
+struct ModelState {
+    std::size_t epochs = 0;
+    double runtimeNs = 0.0;
+    double incurredCostNs = 0.0;
+    double lastEpochCostNs = 0.0;
+    double lastEpochRuntimeNs = 0.0;
+    std::uint64_t lastMeasurementId = 0;
+    std::vector<std::pair<std::string, RegionEstimate>> estimates;
+    std::vector<std::pair<std::string, std::uint64_t>> lastSuppressed;
 };
 
 class OverheadModel {
@@ -142,6 +160,14 @@ public:
     /// budget base shrinks by it), with the same first/alpha fold
     /// observeEpoch applied to this epoch's probe cost.
     void chargeSelfCost(double selfCostNs);
+
+    /// Exports the EWMA state (sorted, deterministic) for checkpointing.
+    /// Knobs (perEventCostNs/ewmaAlpha/gateCostNs) are NOT part of the
+    /// state — a restored model takes them from its own construction, the
+    /// same way a fleet reference run does.
+    ModelState saveState() const;
+    /// Replaces the model's state wholesale with a previously saved one.
+    void restoreState(const ModelState& state);
 
     /// The latest epoch alone, un-smoothed: this is the "measured probe
     /// overhead" the controller checks for convergence.

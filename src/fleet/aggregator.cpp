@@ -7,6 +7,8 @@
 #include "cg/call_graph.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "support/fault.hpp"
+#include "support/log.hpp"
 #include "support/timer.hpp"
 
 namespace capi::fleet {
@@ -18,6 +20,10 @@ struct FleetSpanNames {
     std::uint32_t merge;
     std::uint32_t plan;
     std::uint32_t broadcast;
+    std::uint32_t evict;
+    std::uint32_t resume;
+    std::uint32_t checkpoint;
+    std::uint32_t restore;
 };
 
 const FleetSpanNames& fleetSpanNames() {
@@ -26,7 +32,11 @@ const FleetSpanNames& fleetSpanNames() {
         return FleetSpanNames{r.internName("fleet.epoch"),
                               r.internName("fleet.merge"),
                               r.internName("fleet.plan"),
-                              r.internName("fleet.broadcast")};
+                              r.internName("fleet.broadcast"),
+                              r.internName("fleet.evict"),
+                              r.internName("fleet.resume"),
+                              r.internName("fleet.checkpoint"),
+                              r.internName("fleet.restore")};
     }();
     return names;
 }
@@ -86,9 +96,114 @@ Aggregator::Aggregator(const cg::CallGraph& graph,
             counter("capi_fleet_resyncs_total", snapshot.resyncs);
             counter("capi_fleet_backpressure_stalls_total", queue.stalls);
             counter("capi_fleet_dropped_deltas_total", queue.rejected);
+            counter("capi_fleet_timeout_epochs_total", snapshot.timeoutEpochs);
+            counter("capi_fleet_evictions_total", snapshot.evictions);
+            counter("capi_fleet_resumes_total",
+                    snapshot.resumes + snapshot.sessionResumes);
+            counter("capi_fleet_checkpoints_total", snapshot.checkpoints);
+            counter("capi_fleet_checkpoint_bytes_total",
+                    snapshot.checkpointBytes);
             gauge("capi_fleet_queue_depth", static_cast<double>(queue.depth));
             gauge("capi_fleet_clients", static_cast<double>(clients));
         });
+}
+
+Aggregator::Aggregator(const cg::CallGraph& graph,
+                       select::InstrumentationConfig surveyIc,
+                       const std::vector<std::uint8_t>& snapshot,
+                       AggregatorOptions options)
+    : Aggregator(graph, std::move(surveyIc), std::move(options)) {
+    obs::ScopedSpan restoreSpan(fleetSpanNames().restore,
+                                obs::SpanCategory::Fleet);
+    restoreSpan.setArg(snapshot.size());
+    restoreFromSnapshot(decodeSnapshotFrame(snapshot));
+}
+
+void Aggregator::restoreFromSnapshot(const SnapshotFrame& snap) {
+    // Construction is single-threaded; no lock needed.
+    const std::uint64_t expectedSurvey =
+        select::InstrumentationPolicy::fullOf(surveyIc_).fingerprint();
+    if (snap.surveyFingerprint != expectedSurvey) {
+        throw WireError("snapshot was taken against a different survey");
+    }
+
+    incarnation_ = snap.incarnation + 1;
+    epochsCompleted_ = snap.epochsCompleted;
+    nextClientId_ = snap.nextClientId;
+    safeMode_ = snap.safeMode;
+    overBudgetStreak_ = static_cast<std::size_t>(snap.overBudgetStreak);
+    inBudgetStreak_ = static_cast<std::size_t>(snap.inBudgetStreak);
+    lastRatio_ = snap.lastRatio;
+    lastBudgetNs_ = snap.lastBudgetNs;
+    lastWithinBudget_ = snap.lastWithinBudget;
+    currentPolicy_ = snap.currentPolicy;
+    currentIc_ = currentPolicy_.patchSet();
+
+    regionNames_ = snap.regionNames;
+    for (std::size_t i = 0; i < regionNames_.size(); ++i) {
+        auto [it, inserted] = regionIds_.try_emplace(
+            regionNames_[i], static_cast<scorep::RegionHandle>(i));
+        if (!inserted) {
+            throw WireError("snapshot has duplicate region name");
+        }
+    }
+
+    // Replay the tree shape in node-id order: childOf assigns ids
+    // sequentially, so each created node must land exactly where the
+    // snapshot says it was — a duplicate (parent, region) pair or any other
+    // shape inconsistency shows up as an id mismatch, rejected typed.
+    for (std::size_t i = 0; i < snap.nodes.size(); ++i) {
+        const SnapshotNode& node = snap.nodes[i];
+        const std::size_t id = fleetTree_.childOf(node.parent, node.region);
+        if (id != i + 1) {
+            throw WireError("snapshot tree shape is inconsistent");
+        }
+        scorep::ProfileNodeRef ref = fleetTree_.node(id);
+        ref.visits = node.visits;
+        ref.inclusiveNs = node.inclusiveNs;
+    }
+
+    lastTotals_.clear();
+    for (const auto& [name, totals] : snap.lastTotals) {
+        lastTotals_.emplace(name, totals);
+    }
+    model_.restoreState(snap.model);
+
+    for (const SnapshotClient& sc : snap.clients) {
+        ClientState state;
+        state.id = sc.id;
+        state.policyChannel =
+            std::make_unique<Channel>(options_.policyQueueCapacity);
+        state.idMap = sc.idMap;
+        state.regionMap = sc.regionMap;
+        state.acked = sc.watermark;
+        for (const auto& [handle, count] : sc.suppressedAcked) {
+            state.suppressedAcked.emplace(handle, count);
+        }
+        state.runtimeAckedNs = sc.runtimeAckedNs;
+        state.epochsAcked = sc.epochsAcked;
+        state.lastSentPolicy = sc.lastSentPolicy;
+        state.needsBaseline = sc.needsBaseline;
+        state.evicted = sc.evicted;
+        state.missedEpochs = sc.missedEpochs;
+        for (const std::vector<std::uint8_t>& bytes : sc.pending) {
+            state.pending.push_back(decodeDeltaFrame(bytes));
+        }
+        clients_.emplace(state.id, std::move(state));
+    }
+
+    bool anyPending = false;
+    for (const auto& [id, client] : clients_) {
+        if (!client.evicted && !client.pending.empty()) {
+            anyPending = true;
+        }
+    }
+    epochOpenedAtNs_ = anyPending ? support::nowNs() : 0;
+
+    // Self-cost billing restarts from the recorder's current position: the
+    // events of the dead incarnation died with it.
+    obsEventsAtLastEpoch_ = obs::TraceRecorder::global().recordedEvents();
+    stats_.restores = 1;
 }
 
 Aggregator::~Aggregator() {
@@ -117,6 +232,50 @@ Aggregator::Session Aggregator::connect() {
     return Session{it->first, it->second.policyChannel.get()};
 }
 
+Aggregator::Session Aggregator::resume(std::uint64_t clientId) {
+    // The handshake itself can be lost in transit — same site as a client's
+    // dropped data frame; the client retries under backoff.
+    if (support::fault::shouldFail(support::fault::sites::kFleetFrameDrop)) {
+        throw WireError("injected: resume handshake dropped");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = clients_.find(clientId);
+    if (it == clients_.end()) {
+        throw WireError("resume for unknown session");
+    }
+    ClientState& client = it->second;
+    // Fresh policy channel: whatever was queued (or lost) on the old one is
+    // summarized by lastPolicyFingerprint — the client resyncs if its own
+    // policy does not match.
+    client.policyChannel->close();
+    parkedChannels_.push_back(std::move(client.policyChannel));
+    client.policyChannel =
+        std::make_unique<Channel>(options_.policyQueueCapacity);
+    client.evicted = false;
+    client.missedEpochs = 0;
+    ++stats_.sessionResumes;
+    obs::TraceRecorder::global().recordInstant(fleetSpanNames().resume,
+                                               obs::SpanCategory::Fleet,
+                                               support::nowNs(), clientId);
+
+    Session session;
+    session.clientId = clientId;
+    session.policyChannel = client.policyChannel.get();
+    session.resumed = true;
+    session.resume.watermark = client.acked;
+    for (scorep::RegionHandle handle : client.regionMap) {
+        session.resume.ackedRegions.push_back(handle != scorep::kNoRegion);
+    }
+    for (const auto& [handle, count] : client.suppressedAcked) {
+        session.resume.suppressed.emplace_back(handle, count);
+    }
+    session.resume.runtimeNs = client.runtimeAckedNs;
+    session.resume.coveredEpochs = client.epochsAcked;
+    session.resume.lastPolicyFingerprint = client.lastSentPolicy.fingerprint();
+    session.resume.incarnation = incarnation_;
+    return session;
+}
+
 void Aggregator::disconnect(std::uint64_t clientId) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = clients_.find(clientId);
@@ -129,6 +288,63 @@ void Aggregator::disconnect(std::uint64_t clientId) {
     parkedChannels_.push_back(std::move(it->second.policyChannel));
     clients_.erase(it);
     ++stats_.clientsDisconnected;
+}
+
+std::vector<std::uint8_t> Aggregator::checkpoint() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return checkpointLocked();
+}
+
+std::vector<std::uint8_t> Aggregator::checkpointLocked() {
+    obs::ScopedSpan span(fleetSpanNames().checkpoint, obs::SpanCategory::Fleet);
+    SnapshotFrame snap;
+    snap.incarnation = incarnation_;
+    snap.epochsCompleted = epochsCompleted_;
+    snap.nextClientId = nextClientId_;
+    snap.safeMode = safeMode_;
+    snap.overBudgetStreak = overBudgetStreak_;
+    snap.inBudgetStreak = inBudgetStreak_;
+    snap.lastRatio = lastRatio_;
+    snap.lastBudgetNs = lastBudgetNs_;
+    snap.lastWithinBudget = lastWithinBudget_;
+    snap.surveyFingerprint =
+        select::InstrumentationPolicy::fullOf(surveyIc_).fingerprint();
+    snap.currentPolicy = currentPolicy_;
+    snap.regionNames = regionNames_;
+    const scorep::ProfileTree& tree = fleetTree_;
+    for (std::size_t i = 1; i < tree.nodeCount(); ++i) {
+        const scorep::ProfileNode node = tree.node(i);
+        snap.nodes.push_back(SnapshotNode{tree.parentOf(i), node.region,
+                                          node.visits, node.inclusiveNs});
+    }
+    snap.lastTotals.assign(lastTotals_.begin(), lastTotals_.end());
+    snap.model = model_.saveState();
+    for (const auto& [id, client] : clients_) {
+        SnapshotClient sc;
+        sc.id = id;
+        sc.evicted = client.evicted;
+        sc.missedEpochs = client.missedEpochs;
+        sc.needsBaseline = client.needsBaseline;
+        sc.idMap = client.idMap;
+        sc.regionMap = client.regionMap;
+        sc.watermark = client.acked;
+        sc.suppressedAcked.assign(client.suppressedAcked.begin(),
+                                  client.suppressedAcked.end());
+        sc.runtimeAckedNs = client.runtimeAckedNs;
+        sc.epochsAcked = client.epochsAcked;
+        sc.lastSentPolicy = client.lastSentPolicy;
+        // Pending frames re-encode to their exact original bytes: the codec
+        // is canonical, so decode-then-encode is the identity.
+        for (const DeltaFrame& frame : client.pending) {
+            sc.pending.push_back(encodeDeltaFrame(frame));
+        }
+        snap.clients.push_back(std::move(sc));
+    }
+    std::vector<std::uint8_t> bytes = encodeSnapshotFrame(snap);
+    ++stats_.checkpoints;
+    stats_.checkpointBytes += bytes.size();
+    span.setArg(bytes.size());
+    return bytes;
 }
 
 scorep::RegionHandle Aggregator::fleetHandleFor(ClientState& client,
@@ -173,11 +389,15 @@ void Aggregator::handleFrame(const std::vector<std::uint8_t>& bytes) {
                     client.regionMap[def.handle] = nameIt->second;
                 }
                 // Cross-frame validation: every referenced handle must have
-                // been defined by now, and the node stream must continue at
-                // this client's id map. A violation is a torn stream, not a
-                // torn frame — drop it and let the client's next frame (or a
+                // been defined by now, and the node stream must continue
+                // exactly at this client's acked watermark (NOT the id map,
+                // which only advances at merge — pending frames may stack
+                // ahead of it). A violation is a torn stream, not a torn
+                // frame — drop it and let the client's next frame (or a
                 // resync) recover.
-                if (frame.cct.baseNodeCount > client.idMap.size()) {
+                const std::size_t expectedBase =
+                    client.acked.nodeCount > 0 ? client.acked.nodeCount : 1;
+                if (frame.cct.baseNodeCount != expectedBase) {
                     ++stats_.decodeErrors;
                     return;
                 }
@@ -196,7 +416,46 @@ void Aggregator::handleFrame(const std::vector<std::uint8_t>& bytes) {
                     }
                 }
                 stats_.bytesIn += bytes.size();
+                // A delta from an evicted client IS its resume: the frame
+                // base-checks against the acked watermark, so everything the
+                // client accumulated while evicted arrives coalesced in it —
+                // no catch-up handshake needed.
+                if (client.evicted) {
+                    client.evicted = false;
+                    ++stats_.resumes;
+                    obs::TraceRecorder::global().recordInstant(
+                        fleetSpanNames().resume, obs::SpanCategory::Fleet,
+                        support::nowNs(), client.id);
+                }
+                client.missedEpochs = 0;
+                // Advance the acked mirror at ingest (the client advanced
+                // its watermark when the send succeeded): checkpoints that
+                // carry the pending queue stay self-consistent, and resume()
+                // rewinds the client to exactly what arrived.
+                if (client.acked.nodeCount == 0) {
+                    client.acked.nodeCount = 1;
+                    client.acked.visits.push_back(0);
+                    client.acked.inclusiveNs.push_back(0);
+                }
+                for (std::size_t i = 0; i < frame.cct.newNodes.size(); ++i) {
+                    client.acked.visits.push_back(0);
+                    client.acked.inclusiveNs.push_back(0);
+                }
+                client.acked.nodeCount += frame.cct.newNodes.size();
+                for (const scorep::CctNodeChange& change : frame.cct.changed) {
+                    client.acked.visits[change.node] += change.visitsDelta;
+                    client.acked.inclusiveNs[change.node] +=
+                        change.inclusiveNsDelta;
+                }
+                for (const SuppressedDelta& entry : frame.suppressed) {
+                    client.suppressedAcked[entry.region] += entry.visits;
+                }
+                client.runtimeAckedNs += frame.runtimeNs;
+                client.epochsAcked += frame.coveredEpochs;
                 client.pending.push_back(std::move(frame));
+                if (epochOpenedAtNs_ == 0) {
+                    epochOpenedAtNs_ = support::nowNs();
+                }
                 return;
             }
             case FrameType::Resync: {
@@ -242,31 +501,87 @@ void Aggregator::handleFrame(const std::vector<std::uint8_t>& bytes) {
 }
 
 bool Aggregator::epochReady() const {
-    if (clients_.empty()) {
-        return false;
-    }
+    std::size_t active = 0;
     for (const auto& [id, client] : clients_) {
+        if (client.evicted) {
+            continue;
+        }
         if (client.pending.empty()) {
             return false;
         }
+        ++active;
     }
-    return true;
+    return active > 0;
 }
 
-void Aggregator::closeEpoch() {
+bool Aggregator::timeoutClosable(std::uint64_t nowNs) const {
+    const EpochPolicy& policy = options_.epochPolicy;
+    if (policy.timeoutNs == 0 || policy.quorum == 0) {
+        return false;  // strict mode: epochs never close on time
+    }
+    if (epochOpenedAtNs_ == 0 || nowNs - epochOpenedAtNs_ < policy.timeoutNs) {
+        return false;
+    }
+    std::size_t ready = 0;
+    for (const auto& [id, client] : clients_) {
+        if (!client.evicted && !client.pending.empty()) {
+            ++ready;
+        }
+    }
+    return ready >= policy.quorum;
+}
+
+void Aggregator::closeEpoch(bool timedOut) {
+    // The injected crash fires before ANY epoch state mutates: the crashed
+    // incarnation's last checkpoint describes a clean epoch boundary, which
+    // is what restore resumes from.
+    if (support::fault::shouldFail(
+            support::fault::sites::kFleetAggregatorCrash)) {
+        ++stats_.crashes;
+        throw AggregatorCrashError("injected crash at epoch close");
+    }
     const FleetSpanNames& spans = fleetSpanNames();
     obs::ScopedSpan epochSpan(spans.epoch, obs::SpanCategory::Fleet);
     epochSpan.setArg(epochsCompleted_ + 1);
 
-    // 1. Merge one frame per client, in ascending client-id order — the
-    // runtime sum mirrors epochAllRanks' rank-order sum bit for bit.
+    // 0. Liveness accounting on a timeout close: every active client that
+    // contributed nothing is Lagging; graceEpochs consecutive misses evict
+    // it from the completion rule (its session state stays — see resume()).
+    std::vector<std::uint64_t> missedIds;
+    if (timedOut) {
+        ++stats_.timeoutEpochs;
+        for (auto& [id, client] : clients_) {
+            if (client.evicted || !client.pending.empty()) {
+                continue;
+            }
+            ++client.missedEpochs;
+            ++stats_.missedFrames;
+            missedIds.push_back(id);
+            if (options_.epochPolicy.graceEpochs > 0 &&
+                client.missedEpochs >= options_.epochPolicy.graceEpochs) {
+                client.evicted = true;
+                ++stats_.evictions;
+                obs::TraceRecorder::global().recordInstant(
+                    spans.evict, obs::SpanCategory::Fleet, support::nowNs(),
+                    id);
+            }
+        }
+    }
+
+    // 1. Merge one frame per contributing client, in ascending client-id
+    // order — the runtime sum mirrors epochAllRanks' rank-order sum bit for
+    // bit.
     obs::ScopedSpan mergeSpan(spans.merge, obs::SpanCategory::Fleet);
     double worldRuntimeNs = 0.0;
     std::size_t divergent = 0;
+    select::PolicyDelta divergenceDiag;
     std::map<std::string, std::uint64_t> suppressedByName;
     const std::uint64_t reducerFingerprint = currentPolicy_.fingerprint();
     std::size_t framesMerged = 0;
     for (auto& [id, client] : clients_) {
+        if (client.pending.empty()) {
+            continue;  // lagging or evicted: merged by a later epoch
+        }
         DeltaFrame frame = std::move(client.pending.front());
         client.pending.pop_front();
         scorep::CctDelta remapped = std::move(frame.cct);
@@ -277,6 +592,14 @@ void Aggregator::closeEpoch() {
         worldRuntimeNs += frame.runtimeNs;
         if (frame.policyFingerprint != reducerFingerprint) {
             ++divergent;
+            // Diagnosis, not just a count: when the client measured under
+            // exactly the policy we last managed to deliver to it (the
+            // lagging case), the region-level gap is reconstructible.
+            if (frame.policyFingerprint ==
+                client.lastSentPolicy.fingerprint()) {
+                divergenceDiag =
+                    select::policyDiff(client.lastSentPolicy, currentPolicy_);
+            }
         }
         for (const SuppressedDelta& entry : frame.suppressed) {
             suppressedByName[regionNames_[fleetHandleFor(client,
@@ -287,6 +610,7 @@ void Aggregator::closeEpoch() {
     }
     stats_.framesMerged += framesMerged;
     stats_.divergentClients += divergent;
+    lastDivergence_ = std::move(divergenceDiag);
     mergeSpan.setArg(framesMerged);
     mergeSpan.end();
 
@@ -385,6 +709,10 @@ void Aggregator::closeEpoch() {
 
     // 4. Broadcast the converged policy: per-client deltas against what each
     // client last received, baselines for fresh or resyncing clients.
+    // Evicted clients are skipped (their frozen lastSentPolicy keeps the
+    // diff chain anchored at what they actually have); Lagging clients get a
+    // best-effort trySend — a stalled client's full queue must never block
+    // the epoch pipeline for everyone else.
     obs::ScopedSpan broadcastSpan(spans.broadcast, obs::SpanCategory::Fleet);
     PolicyFrame base;
     base.epoch = epochsCompleted_;
@@ -394,14 +722,31 @@ void Aggregator::closeEpoch() {
     base.withinBudget = within;
     std::size_t framesOut = 0;
     for (auto& [id, client] : clients_) {
-        sendPolicyTo(client, base);
+        if (client.evicted) {
+            continue;
+        }
+        const bool lagging =
+            std::binary_search(missedIds.begin(), missedIds.end(), id);
+        sendPolicyTo(client, base, /*blocking=*/!lagging);
         ++framesOut;
     }
     broadcastSpan.setArg(framesOut);
+
+    // A stacked frame means the next epoch is already open; its timeout
+    // clock starts now, not at that frame's (past) arrival.
+    bool anyPending = false;
+    for (const auto& [id, client] : clients_) {
+        if (!client.evicted && !client.pending.empty()) {
+            anyPending = true;
+        }
+    }
+    epochOpenedAtNs_ = anyPending ? support::nowNs() : 0;
 }
 
-void Aggregator::sendPolicyTo(ClientState& client, const PolicyFrame& base) {
+void Aggregator::sendPolicyTo(ClientState& client, const PolicyFrame& base,
+                              bool blocking) {
     PolicyFrame frame = base;
+    frame.incarnation = incarnation_;
     if (client.needsBaseline) {
         frame.baseline = true;
         frame.prevFingerprint = 0;
@@ -428,11 +773,22 @@ void Aggregator::sendPolicyTo(ClientState& client, const PolicyFrame& base) {
         }
     }
     std::vector<std::uint8_t> bytes = encodePolicyFrame(frame);
-    stats_.bytesOut += bytes.size();
-    ++stats_.policyFramesSent;
-    client.lastSentPolicy = currentPolicy_;
-    client.needsBaseline = false;
-    client.policyChannel->send(std::move(bytes));
+    const std::size_t byteCount = bytes.size();
+    const SendResult result = blocking
+                                  ? client.policyChannel->send(std::move(bytes))
+                                  : client.policyChannel->trySend(
+                                        std::move(bytes));
+    if (result == SendResult::Ok) {
+        stats_.bytesOut += byteCount;
+        ++stats_.policyFramesSent;
+        // The diff base only advances when the frame actually landed — a
+        // refused frame leaves the chain anchored at what the client has,
+        // so the NEXT delivered update still chains cleanly (no resync).
+        client.lastSentPolicy = currentPolicy_;
+        client.needsBaseline = false;
+    } else if (result == SendResult::Backpressure) {
+        ++stats_.laggingPolicyDrops;
+    }
 }
 
 void Aggregator::mirrorKillSwitch(double measuredRatio, bool withinBudget) {
@@ -470,24 +826,81 @@ bool Aggregator::pump() {
     }
     std::lock_guard<std::mutex> lock(mutex_);
     while (epochReady()) {
-        closeEpoch();
+        closeEpoch(false);
+        progressed = true;
+    }
+    if (timeoutClosable(support::nowNs())) {
+        closeEpoch(true);
         progressed = true;
     }
     return progressed;
 }
 
 void Aggregator::serve() {
+    const EpochPolicy policy = options_.epochPolicy;
+    const bool timed = policy.timeoutNs > 0 && policy.quorum > 0;
     while (true) {
-        auto frame = data_.receive();
+        std::optional<std::vector<std::uint8_t>> frame;
+        if (timed) {
+            // Bounded wait sized to the open epoch's remaining budget, so a
+            // dead client can delay the close by at most timeoutNs.
+            std::uint64_t waitNs = policy.timeoutNs;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (epochOpenedAtNs_ != 0) {
+                    const std::uint64_t elapsed =
+                        support::nowNs() - epochOpenedAtNs_;
+                    waitNs = elapsed >= policy.timeoutNs
+                                 ? 1
+                                 : policy.timeoutNs - elapsed;
+                }
+            }
+            frame = data_.receiveFor(waitNs);
+        } else {
+            frame = data_.receive();
+        }
         if (!frame.has_value()) {
-            return;  // channel closed and drained
+            if (data_.closed()) {
+                break;  // closed and drained
+            }
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (timeoutClosable(support::nowNs())) {
+                closeEpoch(true);
+            }
+            continue;
         }
         std::lock_guard<std::mutex> lock(mutex_);
         handleFrame(*frame);
         while (epochReady()) {
-            closeEpoch();
+            closeEpoch(false);
+        }
+        if (timed && timeoutClosable(support::nowNs())) {
+            closeEpoch(true);
         }
     }
+    // Exit accounting: a serve loop that returns while clients are still
+    // registered used to do so silently — every such client is now named
+    // (it may be blocked in awaitPolicy forever if its driver forgot to
+    // stop it), and the final stats line always prints.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, client] : clients_) {
+        ++stats_.abandonedClients;
+        support::logWarn() << "fleet aggregator: serve() exiting with client "
+                           << id << " still registered (pending="
+                           << client.pending.size()
+                           << ", missedEpochs=" << client.missedEpochs
+                           << (client.evicted ? ", evicted" : "") << ")";
+    }
+    support::logInfo() << "fleet aggregator: serve() exit: epochs="
+                       << stats_.epochsCompleted
+                       << " framesMerged=" << stats_.framesMerged
+                       << " connected=" << stats_.clientsConnected
+                       << " disconnected=" << stats_.clientsDisconnected
+                       << " abandoned=" << stats_.abandonedClients
+                       << " evictions=" << stats_.evictions
+                       << " resumes=" << stats_.resumes + stats_.sessionResumes
+                       << " timeoutEpochs=" << stats_.timeoutEpochs
+                       << " decodeErrors=" << stats_.decodeErrors;
 }
 
 void Aggregator::stop() {
@@ -504,6 +917,16 @@ void Aggregator::stop() {
 std::uint64_t Aggregator::epochsCompleted() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return epochsCompleted_;
+}
+
+std::uint64_t Aggregator::incarnation() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return incarnation_;
+}
+
+select::PolicyDelta Aggregator::lastDivergence() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lastDivergence_;
 }
 
 std::uint64_t Aggregator::convergedFingerprint() const {

@@ -48,6 +48,37 @@
 
 namespace capi::fleet {
 
+/// Raised by the fleet.aggregator_crash fault site at the top of an epoch
+/// close, before any state mutates — the simulation stand-in for the server
+/// process dying. Tests catch it, discard the aggregator, and restore a twin
+/// from the last checkpoint.
+class AggregatorCrashError : public support::Error {
+public:
+    explicit AggregatorCrashError(const std::string& what)
+        : support::Error("fleet aggregator: " + what) {}
+};
+
+/// Epoch liveness policy, mirroring MpiWorld::CollectivePolicy: with both
+/// knobs set, a fleet epoch no longer waits forever for every client — it
+/// closes once `timeoutNs` has elapsed since the epoch's first delta arrived
+/// and at least `quorum` clients have one pending. Clients that miss a
+/// timeout close are Lagging; `graceEpochs` consecutive misses evict them
+/// from the epoch completion rule (their session state is RETAINED, so a
+/// returning client resumes with one coalesced delta instead of a full
+/// resync). Defaults keep the strict rule: every connected client blocks the
+/// epoch, no timeouts, no eviction.
+struct EpochPolicy {
+    /// 0 = strict (never close on time). Measured from the first delta
+    /// queued into an open epoch.
+    std::uint64_t timeoutNs = 0;
+    /// Minimum clients with a pending frame before a timeout may close the
+    /// epoch. 0 = strict; a timeout close never merges zero frames.
+    std::size_t quorum = 0;
+    /// Consecutive missed epochs before a Lagging client is evicted
+    /// (0 = lag forever, never evict).
+    std::size_t graceEpochs = 2;
+};
+
 struct AggregatorOptions {
     /// Bounded MPSC queue all clients send delta frames into. Memory is
     /// capped at capacity x frame size; producers feel backpressure here.
@@ -58,9 +89,14 @@ struct AggregatorOptions {
     /// Controller takes, so reference runs and fleet runs share every
     /// constant.
     adapt::Config config;
+    /// Liveness rule for epoch completion (strict by default).
+    EpochPolicy epochPolicy;
 };
 
-/// Cumulative counters; snapshot under the aggregator lock.
+/// Cumulative counters; snapshot under the aggregator lock. Counters are
+/// per-incarnation: a restored aggregator starts them fresh (except
+/// `restores`), because the property tests compare fleet state — totals and
+/// fingerprints — not operational history.
 struct AggregatorStats {
     std::uint64_t framesMerged = 0;
     std::uint64_t bytesIn = 0;
@@ -73,21 +109,68 @@ struct AggregatorStats {
                                          ///< EpochReport::divergentRanks).
     std::uint64_t clientsConnected = 0;
     std::uint64_t clientsDisconnected = 0;
+    // --- liveness / fault-tolerance accounting ---------------------------
+    std::uint64_t timeoutEpochs = 0;   ///< Epochs closed by the liveness rule.
+    std::uint64_t missedFrames = 0;    ///< Client-epochs merged without a frame.
+    std::uint64_t evictions = 0;       ///< Clients dropped after graceEpochs.
+    std::uint64_t resumes = 0;         ///< Evicted clients whose next delta
+                                       ///< re-admitted them (auto-resume).
+    std::uint64_t sessionResumes = 0;  ///< resume() handshakes served.
+    std::uint64_t laggingPolicyDrops = 0;  ///< Broadcasts a lagging client's
+                                           ///< full queue refused (trySend).
+    std::uint64_t abandonedClients = 0;    ///< Still registered at serve() exit.
+    std::uint64_t checkpoints = 0;
+    std::uint64_t checkpointBytes = 0;
+    std::uint64_t crashes = 0;   ///< Injected aggregator_crash fires.
+    std::uint64_t restores = 0;  ///< 1 on an aggregator built from a snapshot.
 };
 
 class Aggregator {
 public:
+    /// Everything a returning client needs to continue its session instead
+    /// of resyncing from scratch: the watermark/region/suppressed state the
+    /// aggregator last ACKED, so the client rewinds its own bookkeeping to
+    /// that point and its next delta coalesces everything since.
+    struct ResumeState {
+        /// The acked watermark, in CLIENT node ids — the client adopts it
+        /// verbatim (its tree is append-only, so ids still line up).
+        scorep::CctWatermark watermark;
+        /// Region handles whose defs the aggregator holds; indexed by the
+        /// client's handle.
+        std::vector<bool> ackedRegions;
+        /// Cumulative acked suppressed visits per client handle, sorted.
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> suppressed;
+        double runtimeNs = 0.0;         ///< Cumulative acked runtime.
+        std::uint64_t coveredEpochs = 0;  ///< Cumulative acked epoch count.
+        /// Fingerprint of the policy this client was last sent — the diff
+        /// base the next policy frame will chain from.
+        std::uint64_t lastPolicyFingerprint = 0;
+        std::uint64_t incarnation = 1;
+    };
+
     /// What connect() hands a client: its id and the channel its policy
     /// frames arrive on (owned by the aggregator, valid until disconnect).
+    /// resume() additionally fills `resume` and sets `resumed`.
     struct Session {
         std::uint64_t clientId = 0;
         Channel* policyChannel = nullptr;
+        bool resumed = false;
+        ResumeState resume;
     };
 
     /// `graph` must outlive the aggregator (the planner's SCC grouping).
     /// `surveyIc` is the candidate set every epoch replans over — the same
     /// survey the clients' controllers started from.
     Aggregator(const cg::CallGraph& graph, select::InstrumentationConfig surveyIc,
+               AggregatorOptions options = {});
+    /// Restores from a checkpoint() snapshot: the rebuilt aggregator
+    /// continues bit-identically to an uninterrupted twin fed the same
+    /// subsequent frames, under the next incarnation. `surveyIc` must be the
+    /// survey the snapshot was accumulated against (fingerprint-checked).
+    /// Throws WireError on a corrupt/mismatched snapshot — callers fall back
+    /// to a fresh aggregator and a fleet-wide resync.
+    Aggregator(const cg::CallGraph& graph, select::InstrumentationConfig surveyIc,
+               const std::vector<std::uint8_t>& snapshot,
                AggregatorOptions options = {});
     ~Aggregator();
 
@@ -98,10 +181,22 @@ public:
     /// current converged policy) on the returned policy channel — the
     /// late-joiner protocol's first half. Thread-safe.
     Session connect();
+    /// Re-admits a known client after a disconnect-less failure (client
+    /// crash, aggregator restart): hands back a fresh policy channel plus
+    /// the ResumeState the client rewinds to. Clears any eviction. Throws
+    /// WireError when the session is unknown (the client must connect()
+    /// fresh and resync) or when the fleet.frame_drop site eats the
+    /// handshake (the client retries under backoff). Thread-safe.
+    Session resume(std::uint64_t clientId);
     /// Deregisters; pending frames from this client are discarded and the
     /// epoch completion rule stops waiting for it. Unknown ids are ignored
     /// (a Bye frame may race a direct disconnect).
     void disconnect(std::uint64_t clientId);
+
+    /// Byte-deterministic snapshot of the aggregator's complete state —
+    /// same state, same bytes — sealed like every other wire frame. Restore
+    /// with the snapshot constructor.
+    std::vector<std::uint8_t> checkpoint();
 
     /// The shared ingress every client sends delta/control frames into.
     Channel& dataChannel() { return data_; }
@@ -116,6 +211,13 @@ public:
     void stop();
 
     std::uint64_t epochsCompleted() const;
+    /// 1 for a fresh aggregator; previous + 1 after every snapshot restore.
+    std::uint64_t incarnation() const;
+    /// Divergence *diagnosis* from the last closed epoch: the region-level
+    /// diff between the policy a divergent client reported measuring under
+    /// and the reducer's converged policy — names, not just a fingerprint
+    /// mismatch count. Empty when the last epoch had no divergent client.
+    select::PolicyDelta lastDivergence() const;
     /// Fingerprint of the latest converged policy.
     std::uint64_t convergedFingerprint() const;
     select::InstrumentationPolicy convergedPolicy() const;
@@ -139,12 +241,34 @@ private:
         /// policy frame. A broken chain (resync) falls back to a baseline.
         select::InstrumentationPolicy lastSentPolicy;
         bool needsBaseline = false;
+        // --- acked session state, updated at INGEST (not merge) so a
+        // checkpoint that also carries the pending queue is self-consistent,
+        // and a resume() rewinds the client to exactly what was received.
+        /// Mirror of the client's watermark after its last acked frame
+        /// (client-side node ids; counters are exact — monotone integers).
+        scorep::CctWatermark acked;
+        /// Cumulative acked suppressed visits, by client handle.
+        std::map<std::uint32_t, std::uint64_t> suppressedAcked;
+        double runtimeAckedNs = 0.0;
+        std::uint64_t epochsAcked = 0;
+        // --- liveness ----------------------------------------------------
+        bool evicted = false;
+        std::uint64_t missedEpochs = 0;  ///< Consecutive timeout-close misses.
     };
 
+    void restoreFromSnapshot(const SnapshotFrame& snap);
+    std::vector<std::uint8_t> checkpointLocked();
     void handleFrame(const std::vector<std::uint8_t>& bytes);
     bool epochReady() const;
-    void closeEpoch();
-    void sendPolicyTo(ClientState& client, const PolicyFrame& base);
+    /// True when the liveness policy is armed, an epoch is open past its
+    /// timeout, and quorum is met.
+    bool timeoutClosable(std::uint64_t nowNs) const;
+    void closeEpoch(bool timedOut);
+    /// blocking=false is the Lagging-client path: trySend, and on refusal
+    /// leave the diff chain anchored (never block the epoch pipeline on a
+    /// stalled client's full queue).
+    void sendPolicyTo(ClientState& client, const PolicyFrame& base,
+                      bool blocking = true);
     scorep::RegionHandle fleetHandleFor(ClientState& client,
                                         std::uint32_t clientHandle);
     void mirrorKillSwitch(double measuredRatio, bool withinBudget);
@@ -180,6 +304,12 @@ private:
     select::InstrumentationConfig currentIc_;
     select::InstrumentationPolicy currentPolicy_;
     std::uint64_t epochsCompleted_ = 0;
+    std::uint64_t incarnation_ = 1;
+    /// nowNs() when the open epoch's first delta was ingested; 0 = no epoch
+    /// open. The liveness timeout measures from here.
+    std::uint64_t epochOpenedAtNs_ = 0;
+    /// Diagnosis from the last epoch's divergent client (see lastDivergence).
+    select::PolicyDelta lastDivergence_;
     bool safeMode_ = false;
     std::size_t overBudgetStreak_ = 0;
     std::size_t inBudgetStreak_ = 0;

@@ -1,6 +1,7 @@
 #include "fleet/channel.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace capi::fleet {
 
@@ -46,6 +47,22 @@ std::optional<std::vector<std::uint8_t>> Channel::receive() {
     frameCv_.wait(lock, [this] { return !queue_.empty() || closed_; });
     if (queue_.empty()) {
         return std::nullopt;  // closed and drained
+    }
+    std::vector<std::uint8_t> frame = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.dequeued;
+    stats_.depth = queue_.size();
+    spaceCv_.notify_one();
+    return frame;
+}
+
+std::optional<std::vector<std::uint8_t>> Channel::receiveFor(
+    std::uint64_t timeoutNs) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    frameCv_.wait_for(lock, std::chrono::nanoseconds(timeoutNs),
+                      [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) {
+        return std::nullopt;  // timed out, or closed and drained
     }
     std::vector<std::uint8_t> frame = std::move(queue_.front());
     queue_.pop_front();

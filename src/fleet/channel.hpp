@@ -59,6 +59,12 @@ public:
 
     /// Blocks until a frame or close. Empty optional = closed and drained.
     std::optional<std::vector<std::uint8_t>> receive();
+    /// Bounded wait: like receive() but gives up after `timeoutNs`. An empty
+    /// optional means timeout OR closed-and-drained — callers that need to
+    /// tell them apart check closed(). This is what lets a serve loop with an
+    /// epoch-liveness timeout wake up and close a quorum epoch even when the
+    /// missing client will never send again.
+    std::optional<std::vector<std::uint8_t>> receiveFor(std::uint64_t timeoutNs);
     std::optional<std::vector<std::uint8_t>> tryReceive();
 
     /// Wakes every blocked sender/receiver; queued frames stay receivable.

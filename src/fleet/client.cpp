@@ -1,9 +1,12 @@
 #include "fleet/client.hpp"
 
+#include <chrono>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "support/fault.hpp"
 
 namespace capi::fleet {
 
@@ -71,6 +74,12 @@ adapt::EpochReport FleetClient::epoch(const scorep::ProfileTree& profile,
 SendResult FleetClient::sendEpoch(const scorep::ProfileTree& profile,
                                   const scorep::Measurement& measurement,
                                   double runtimeNs) {
+    // Injected death fires BEFORE the profile merges: the epoch leaves no
+    // trace in the cumulative tree, so re-driving it after reconnect()
+    // counts it exactly once.
+    if (support::fault::shouldFail(support::fault::sites::kFleetClientDeath)) {
+        throw ClientDeadError("injected client death before epoch send");
+    }
     const ClientSpanNames& spans = clientSpanNames();
     cumulative_.mergeFrom(profile);
 
@@ -129,8 +138,24 @@ SendResult FleetClient::sendEpoch(const scorep::ProfileTree& profile,
     encodeSpan.setArg(byteCount);
     encodeSpan.end();
 
+    // A stall (client wedged past the epoch) and a frame drop (transport
+    // ate the frame) are indistinguishable to the protocol: the frame never
+    // arrives, nothing is acked, and the next successful send coalesces —
+    // the exact Backpressure path, so both reuse it.
+    const bool stallInjected =
+        support::fault::shouldFail(support::fault::sites::kFleetClientStall);
+    const bool dropInjected =
+        !stallInjected &&
+        support::fault::shouldFail(support::fault::sites::kFleetFrameDrop);
     SendResult result;
-    {
+    if (stallInjected || dropInjected) {
+        if (stallInjected) {
+            ++stats_.stallsInjected;
+        } else {
+            ++stats_.dropsInjected;
+        }
+        result = SendResult::Backpressure;
+    } else {
         obs::ScopedSpan sendSpan(spans.send, obs::SpanCategory::Fleet);
         sendSpan.setArg(byteCount);
         Channel& data = aggregator_->dataChannel();
@@ -155,6 +180,11 @@ SendResult FleetClient::sendEpoch(const scorep::ProfileTree& profile,
             }
             sentRegions_[def.handle] = true;
         }
+        runtimeShippedNs_ += frame.runtimeNs;
+        epochsShipped_ += frame.coveredEpochs;
+        for (const SuppressedDelta& entry : frame.suppressed) {
+            suppressedShipped_[entry.region] += entry.visits;
+        }
         pendingSuppressed_.clear();
         stats_.coalescedEpochs += pendingEpochs_;
         pendingEpochs_ = 0;
@@ -162,7 +192,8 @@ SendResult FleetClient::sendEpoch(const scorep::ProfileTree& profile,
         ++stats_.framesSent;
         stats_.bytesSent += byteCount;
     } else {
-        if (result == SendResult::Backpressure) {
+        if (result == SendResult::Backpressure && !stallInjected &&
+            !dropInjected) {
             ++stats_.droppedDeltas;
         }
         // Coalesce: watermark and region acks stay put; the runtime and
@@ -217,6 +248,12 @@ adapt::EpochReport FleetClient::awaitPolicy() {
         }
         fingerprint_ = frame.fingerprint;
         awaitingBaseline_ = false;
+        // Restart detection: the incarnation moving means a different
+        // aggregator process now holds (a restored copy of) our session.
+        if (incarnation_ != 0 && frame.incarnation != incarnation_) {
+            ++stats_.restartsDetected;
+        }
+        incarnation_ = frame.incarnation;
         adoptSpan.setArg(policy_.size());
         adoptSpan.end();
 
@@ -253,6 +290,101 @@ void FleetClient::requestResync() {
     awaitingBaseline_ = true;
     (void)aggregator_->dataChannel().send(
         encodeControlFrame(FrameType::Resync, session_.clientId));
+}
+
+bool FleetClient::reconnect(Aggregator& aggregator) {
+    aggregator_ = &aggregator;
+    support::Backoff backoff(options_.reconnectBackoff,
+                             options_.reconnectSeed ^ session_.clientId);
+    for (std::size_t attempt = 0; attempt < options_.maxResumeAttempts;
+         ++attempt) {
+        try {
+            Aggregator::Session session =
+                aggregator_->resume(session_.clientId);
+            adoptResume(session);
+            ++stats_.reconnects;
+            ++stats_.sessionResumes;
+            return true;
+        } catch (const WireError&) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(backoff.nextDelayNs()));
+        }
+    }
+    fullResync();
+    ++stats_.reconnects;
+    ++stats_.fullResyncs;
+    return false;
+}
+
+void FleetClient::adoptResume(const Aggregator::Session& session) {
+    const Aggregator::ResumeState& rs = session.resume;
+    session_ = session;
+
+    // Rewind to the acked state. Everything between the acked totals and
+    // the local totals becomes pending, to coalesce onto the next delta.
+    // The subtractions are exact: shipped and acked accumulate the same
+    // per-frame values in the same order, so their partial sums are
+    // bit-identical doubles.
+    watermark_ = rs.watermark;
+    pendingRuntimeNs_ = (runtimeShippedNs_ + pendingRuntimeNs_) - rs.runtimeNs;
+    runtimeShippedNs_ = rs.runtimeNs;
+    pendingEpochs_ = localEpoch_ - rs.coveredEpochs;
+    epochsShipped_ = rs.coveredEpochs;
+
+    std::map<scorep::RegionHandle, std::uint64_t> ackedSuppressed;
+    for (const auto& [handle, count] : rs.suppressed) {
+        ackedSuppressed[handle] = count;
+    }
+    std::map<scorep::RegionHandle, std::uint64_t> totals = pendingSuppressed_;
+    for (const auto& [handle, count] : suppressedShipped_) {
+        totals[handle] += count;
+    }
+    pendingSuppressed_.clear();
+    for (const auto& [handle, total] : totals) {
+        auto it = ackedSuppressed.find(handle);
+        const std::uint64_t acked =
+            it == ackedSuppressed.end() ? 0 : it->second;
+        if (total > acked) {
+            pendingSuppressed_[handle] = total - acked;
+        }
+    }
+    suppressedShipped_ = std::move(ackedSuppressed);
+
+    sentRegions_.assign(rs.ackedRegions.begin(), rs.ackedRegions.end());
+
+    if (incarnation_ != 0 && rs.incarnation != incarnation_) {
+        ++stats_.restartsDetected;
+    }
+    incarnation_ = rs.incarnation;
+
+    // The policy chain continues from what the aggregator last sent us. If
+    // we are behind (a broadcast refused while we were down), ask for a
+    // baseline now; the reply rides the next epoch's policy frame.
+    if (fingerprint_ != rs.lastPolicyFingerprint) {
+        requestResync();
+    }
+}
+
+void FleetClient::fullResync() {
+    // Register as a brand-new client and replay the entire history in the
+    // first delta. Only exact when the aggregator holds none of this
+    // client's prior contributions (a fresh server after a failed restore);
+    // against a server that kept our data this double-counts — which is why
+    // it is strictly the last resort.
+    session_ = aggregator_->connect();
+    watermark_ = scorep::CctWatermark{};
+    sentRegions_.clear();
+    suppressedBase_.clear();
+    for (const auto& [handle, count] : suppressedShipped_) {
+        pendingSuppressed_[handle] += count;
+    }
+    suppressedShipped_.clear();
+    pendingEpochs_ = localEpoch_;
+    pendingRuntimeNs_ = runtimeShippedNs_ + pendingRuntimeNs_;
+    runtimeShippedNs_ = 0.0;
+    epochsShipped_ = 0;
+    awaitingBaseline_ = true;
+    lastReport_ = awaitPolicy();  // connect() queued a baseline
 }
 
 adapt::EpochReport FleetClient::reportOf(const PolicyFrame& frame) const {

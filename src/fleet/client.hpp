@@ -45,13 +45,31 @@
 #include "scorepsim/profile.hpp"
 #include "scorepsim/profile_delta.hpp"
 #include "select/ic.hpp"
+#include "support/backoff.hpp"
 
 namespace capi::fleet {
+
+/// Raised by the fleet.client_death fault site at the top of sendEpoch,
+/// BEFORE the epoch's profile merges into the cumulative tree — so a caller
+/// that reconnect()s can re-drive the same epoch without double counting.
+class ClientDeadError : public support::Error {
+public:
+    explicit ClientDeadError(const std::string& what)
+        : support::Error("fleet client: " + what) {}
+};
 
 struct FleetClientOptions {
     /// true: send() and stall under backpressure (lossless). false:
     /// trySend() and drop-and-coalesce (bounded producer latency).
     bool blockingSend = true;
+    /// Retry schedule for reconnect(): each failed resume handshake waits
+    /// one backoff step before the next attempt.
+    support::BackoffOptions reconnectBackoff;
+    /// Seed for the backoff jitter stream (XORed with the client id so a
+    /// fleet of reconnecting clients desynchronizes deterministically).
+    std::uint64_t reconnectSeed = 0;
+    /// Resume attempts before reconnect() falls back to a full resync.
+    std::size_t maxResumeAttempts = 5;
 };
 
 /// Cumulative client-side counters.
@@ -63,6 +81,14 @@ struct FleetClientStats {
     std::uint64_t policyFramesReceived = 0;
     std::uint64_t baselinesReceived = 0;
     std::uint64_t resyncs = 0;
+    // --- fault-tolerance accounting --------------------------------------
+    std::uint64_t stallsInjected = 0;  ///< fleet.client_stall fires (coalesced).
+    std::uint64_t dropsInjected = 0;   ///< fleet.frame_drop fires (coalesced).
+    std::uint64_t reconnects = 0;      ///< reconnect() calls that recovered.
+    std::uint64_t sessionResumes = 0;  ///< ... via the resume protocol.
+    std::uint64_t fullResyncs = 0;     ///< ... via the register-fresh fallback.
+    std::uint64_t restartsDetected = 0;  ///< Policy frames whose incarnation
+                                         ///< moved (aggregator restarted).
 };
 
 class FleetClient {
@@ -107,7 +133,24 @@ public:
     /// policy channel (aggregator shut down) returns the last report.
     adapt::EpochReport awaitPolicy();
 
+    /// Recovers the session after a failure (injected client death, or an
+    /// aggregator crash + restore): retries Aggregator::resume() under the
+    /// configured backoff, rewinding the local watermark/region/suppressed/
+    /// runtime bookkeeping to the returned acked state so the next delta
+    /// coalesces everything unacknowledged — by construction it sums to
+    /// exactly what an uninterrupted run would have shipped. After
+    /// maxResumeAttempts failures it falls back to registering as a brand
+    /// new client whose first delta replays the FULL cumulative history;
+    /// that fallback is only exact against an aggregator holding none of
+    /// this client's data (the fresh-server-after-failed-restore case).
+    /// Returns true on a session resume, false on the fallback. `aggregator`
+    /// may be a different (restored) instance than the one connected to.
+    bool reconnect(Aggregator& aggregator);
+
     std::uint64_t clientId() const { return session_.clientId; }
+    /// Last aggregator incarnation observed on a policy frame (0 until the
+    /// first frame arrives).
+    std::uint64_t aggregatorIncarnation() const { return incarnation_; }
     /// Fingerprint of the policy this client currently runs.
     std::uint64_t policyFingerprint() const { return fingerprint_; }
     const select::InstrumentationPolicy& policy() const { return policy_; }
@@ -121,6 +164,10 @@ private:
     void adoptFrame(const PolicyFrame& frame);
     void requestResync();
     adapt::EpochReport reportOf(const PolicyFrame& frame) const;
+    /// Rewinds local bookkeeping to a resume()'s acked state.
+    void adoptResume(const Aggregator::Session& session);
+    /// The register-fresh fallback: new session, full-history first delta.
+    void fullResync();
 
     Aggregator* aggregator_;
     adapt::Controller* controller_;  ///< nullptr in headless mode.
@@ -146,9 +193,16 @@ private:
     /// Drop-and-coalesce accumulators: epochs/runtime not yet acked.
     std::uint64_t pendingEpochs_ = 0;
     double pendingRuntimeNs_ = 0.0;
+    /// Shipped (Ok-sent) totals, accumulated in frame order — the same
+    /// order the aggregator accumulates its acked mirror, so the rewind
+    /// arithmetic in adoptResume() reproduces identical partial sums.
+    double runtimeShippedNs_ = 0.0;
+    std::uint64_t epochsShipped_ = 0;
+    std::map<scorep::RegionHandle, std::uint64_t> suppressedShipped_;
 
     select::InstrumentationPolicy policy_;
     std::uint64_t fingerprint_ = 0;
+    std::uint64_t incarnation_ = 0;  ///< 0 = no policy frame seen yet.
     bool awaitingBaseline_ = true;
     adapt::EpochReport lastReport_;
     FleetClientStats stats_;

@@ -170,7 +170,7 @@ FrameType openFrame(const std::vector<std::uint8_t>& bytes, Reader& payload) {
     }
     const std::uint8_t rawType = header.u8();
     if (rawType < static_cast<std::uint8_t>(FrameType::Delta) ||
-        rawType > static_cast<std::uint8_t>(FrameType::Bye)) {
+        rawType > static_cast<std::uint8_t>(FrameType::Snapshot)) {
         throw WireError("unknown frame type");
     }
     const std::uint64_t len = header.varint();
@@ -326,6 +326,7 @@ DeltaFrame decodeDeltaFrame(const std::vector<std::uint8_t>& bytes) {
 std::vector<std::uint8_t> encodePolicyFrame(const PolicyFrame& frame) {
     Writer out;
     out.varint(frame.epoch);
+    out.varint(frame.incarnation);
     out.u8(frame.baseline ? 1 : 0);
     out.fixed64(frame.prevFingerprint);
     out.fixed64(frame.fingerprint);
@@ -355,6 +356,10 @@ PolicyFrame decodePolicyFrame(const std::vector<std::uint8_t>& bytes) {
 
     PolicyFrame frame;
     frame.epoch = in.varint();
+    frame.incarnation = in.varint();
+    if (frame.incarnation == 0) {
+        throw WireError("zero incarnation");
+    }
     frame.baseline = in.u8() != 0;
     if (frame.baseline != (type == FrameType::PolicyBaseline)) {
         throw WireError("baseline flag disagrees with frame type");
@@ -392,6 +397,336 @@ std::vector<std::uint8_t> encodeControlFrame(FrameType type,
     Writer out;
     out.varint(clientId);
     return seal(type, out.take());
+}
+
+namespace {
+
+constexpr std::uint64_t kSnapshotVersion = 1;
+
+/// Full-policy codec used only inside snapshots (policy frames on the wire
+/// stay diff-shaped). Carries everything fingerprint() hashes — entries AND
+/// static IDs — so a restored lastSentPolicy reproduces the client's chain.
+void encodeFullPolicy(Writer& out, const select::InstrumentationPolicy& p) {
+    out.varint(p.functions.size());
+    for (std::size_t i = 0; i < p.functions.size(); ++i) {
+        out.str(p.functions[i]);
+        encodeRegionPolicy(out, p.regions[i]);
+    }
+    out.varint(p.staticIds.size());
+    for (const auto& [name, id] : p.staticIds) {
+        out.str(name);
+        out.varint(id);
+    }
+    out.str(p.specName);
+    out.str(p.application);
+}
+
+select::InstrumentationPolicy decodeFullPolicy(Reader& in) {
+    select::InstrumentationPolicy p;
+    const std::size_t entries = in.listCount(4, "policy entry");
+    std::string lastName;
+    for (std::size_t i = 0; i < entries; ++i) {
+        std::string name = in.str();
+        if (i > 0 && name <= lastName) {
+            throw WireError("policy entries not strictly sorted");
+        }
+        select::RegionPolicy policy = decodeRegionPolicy(in);
+        if (policy.tier == select::Tier::Off) {
+            throw WireError("policy entry with Off tier");
+        }
+        lastName = name;
+        p.functions.push_back(std::move(name));
+        p.regions.push_back(policy);
+    }
+    const std::size_t ids = in.listCount(2, "static id");
+    for (std::size_t i = 0; i < ids; ++i) {
+        std::string name = in.str();
+        const std::uint32_t id = in.varint32("static id");
+        if (!p.staticIds.emplace(std::move(name), id).second) {
+            throw WireError("duplicate static id");
+        }
+    }
+    p.specName = in.str();
+    p.application = in.str();
+    return p;
+}
+
+void encodeWatermark(Writer& out, const scorep::CctWatermark& mark) {
+    out.varint(mark.nodeCount);
+    for (std::size_t i = 0; i < mark.nodeCount; ++i) {
+        out.varint(mark.visits[i]);
+        out.varint(mark.inclusiveNs[i]);
+    }
+}
+
+scorep::CctWatermark decodeWatermark(Reader& in) {
+    scorep::CctWatermark mark;
+    mark.nodeCount = in.listCount(2, "watermark node");
+    mark.visits.reserve(mark.nodeCount);
+    mark.inclusiveNs.reserve(mark.nodeCount);
+    for (std::size_t i = 0; i < mark.nodeCount; ++i) {
+        mark.visits.push_back(in.varint());
+        mark.inclusiveNs.push_back(in.varint());
+    }
+    return mark;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encodeSnapshotFrame(const SnapshotFrame& frame) {
+    Writer out;
+    out.varint(kSnapshotVersion);
+    out.varint(frame.incarnation);
+    out.varint(frame.epochsCompleted);
+    out.varint(frame.nextClientId);
+    out.u8(frame.safeMode ? 1 : 0);
+    out.varint(frame.overBudgetStreak);
+    out.varint(frame.inBudgetStreak);
+    out.f64(frame.lastRatio);
+    out.f64(frame.lastBudgetNs);
+    out.u8(frame.lastWithinBudget ? 1 : 0);
+    out.fixed64(frame.surveyFingerprint);
+    encodeFullPolicy(out, frame.currentPolicy);
+
+    out.varint(frame.regionNames.size());
+    for (const std::string& name : frame.regionNames) {
+        out.str(name);
+    }
+
+    out.varint(frame.nodes.size());
+    for (const SnapshotNode& node : frame.nodes) {
+        out.varint(node.parent);
+        out.varint(node.region);
+        out.varint(node.visits);
+        out.varint(node.inclusiveNs);
+    }
+
+    out.varint(frame.lastTotals.size());
+    for (const auto& [name, totals] : frame.lastTotals) {
+        out.str(name);
+        out.varint(totals.visits);
+        out.varint(totals.exclusiveNs);
+    }
+
+    out.varint(frame.model.epochs);
+    out.f64(frame.model.runtimeNs);
+    out.f64(frame.model.incurredCostNs);
+    out.f64(frame.model.lastEpochCostNs);
+    out.f64(frame.model.lastEpochRuntimeNs);
+    out.varint(frame.model.lastMeasurementId);
+    out.varint(frame.model.estimates.size());
+    for (const auto& [name, estimate] : frame.model.estimates) {
+        out.str(name);
+        out.f64(estimate.visits);
+        out.f64(estimate.exclusiveNs);
+        out.varint(estimate.epochsObserved);
+        out.f64(estimate.samplingFactor);
+    }
+    out.varint(frame.model.lastSuppressed.size());
+    for (const auto& [name, count] : frame.model.lastSuppressed) {
+        out.str(name);
+        out.varint(count);
+    }
+
+    out.varint(frame.clients.size());
+    for (const SnapshotClient& client : frame.clients) {
+        out.varint(client.id);
+        out.u8(client.evicted ? 1 : 0);
+        out.varint(client.missedEpochs);
+        out.u8(client.needsBaseline ? 1 : 0);
+        out.varint(client.idMap.size());
+        for (std::uint32_t fleetId : client.idMap) {
+            out.varint(fleetId);
+        }
+        out.varint(client.regionMap.size());
+        for (std::uint32_t handle : client.regionMap) {
+            out.varint(handle);
+        }
+        encodeWatermark(out, client.watermark);
+        out.varint(client.suppressedAcked.size());
+        for (const auto& [handle, count] : client.suppressedAcked) {
+            out.varint(handle);
+            out.varint(count);
+        }
+        out.f64(client.runtimeAckedNs);
+        out.varint(client.epochsAcked);
+        encodeFullPolicy(out, client.lastSentPolicy);
+        out.varint(client.pending.size());
+        for (const std::vector<std::uint8_t>& pending : client.pending) {
+            out.varint(pending.size());
+            for (std::uint8_t byte : pending) {
+                out.u8(byte);
+            }
+        }
+    }
+    return seal(FrameType::Snapshot, out.take());
+}
+
+SnapshotFrame decodeSnapshotFrame(const std::vector<std::uint8_t>& bytes) {
+    Reader in(nullptr, 0);
+    expectType(openFrame(bytes, in), FrameType::Snapshot);
+
+    const std::uint64_t version = in.varint();
+    if (version != kSnapshotVersion) {
+        throw WireError("unsupported snapshot version");
+    }
+    SnapshotFrame frame;
+    frame.incarnation = in.varint();
+    if (frame.incarnation == 0) {
+        throw WireError("zero incarnation");
+    }
+    frame.epochsCompleted = in.varint();
+    frame.nextClientId = in.varint();
+    frame.safeMode = in.u8() != 0;
+    frame.overBudgetStreak = in.varint();
+    frame.inBudgetStreak = in.varint();
+    frame.lastRatio = in.f64();
+    frame.lastBudgetNs = in.f64();
+    frame.lastWithinBudget = in.u8() != 0;
+    frame.surveyFingerprint = in.fixed64();
+    frame.currentPolicy = decodeFullPolicy(in);
+
+    const std::size_t regionCount = in.listCount(1, "region name");
+    for (std::size_t i = 0; i < regionCount; ++i) {
+        frame.regionNames.push_back(in.str());
+    }
+
+    const std::size_t nodeCount = in.listCount(4, "snapshot node");
+    for (std::size_t i = 0; i < nodeCount; ++i) {
+        SnapshotNode node;
+        node.parent = in.varint32("node parent");
+        node.region = in.varint32("node region");
+        // Node i in the list has id i + 1; its parent must precede it.
+        if (node.parent > i) {
+            throw WireError("snapshot node parent not before node");
+        }
+        if (node.region >= frame.regionNames.size()) {
+            throw WireError("snapshot node region out of range");
+        }
+        node.visits = in.varint();
+        node.inclusiveNs = in.varint();
+        frame.nodes.push_back(node);
+    }
+
+    const std::size_t totalCount = in.listCount(3, "last total");
+    std::string lastName;
+    for (std::size_t i = 0; i < totalCount; ++i) {
+        std::string name = in.str();
+        if (i > 0 && name <= lastName) {
+            throw WireError("last totals not strictly sorted");
+        }
+        scorep::ProfileTree::RegionTotals totals;
+        totals.visits = in.varint();
+        totals.exclusiveNs = in.varint();
+        lastName = name;
+        frame.lastTotals.emplace_back(std::move(name), totals);
+    }
+
+    frame.model.epochs = static_cast<std::size_t>(in.varint());
+    frame.model.runtimeNs = in.f64();
+    frame.model.incurredCostNs = in.f64();
+    frame.model.lastEpochCostNs = in.f64();
+    frame.model.lastEpochRuntimeNs = in.f64();
+    frame.model.lastMeasurementId = in.varint();
+    const std::size_t estimateCount = in.listCount(27, "model estimate");
+    lastName.clear();
+    for (std::size_t i = 0; i < estimateCount; ++i) {
+        std::string name = in.str();
+        if (i > 0 && name <= lastName) {
+            throw WireError("model estimates not strictly sorted");
+        }
+        adapt::RegionEstimate estimate;
+        estimate.visits = in.f64();
+        estimate.exclusiveNs = in.f64();
+        estimate.epochsObserved = static_cast<std::size_t>(in.varint());
+        estimate.samplingFactor = in.f64();
+        lastName = name;
+        frame.model.estimates.emplace_back(std::move(name), estimate);
+    }
+    const std::size_t suppressedCount = in.listCount(2, "model suppressed");
+    lastName.clear();
+    for (std::size_t i = 0; i < suppressedCount; ++i) {
+        std::string name = in.str();
+        if (i > 0 && name <= lastName) {
+            throw WireError("model suppressed not strictly sorted");
+        }
+        const std::uint64_t count = in.varint();
+        lastName = name;
+        frame.model.lastSuppressed.emplace_back(std::move(name), count);
+    }
+
+    const std::size_t clientCount = in.listCount(8, "snapshot client");
+    std::uint64_t lastClientId = 0;
+    for (std::size_t c = 0; c < clientCount; ++c) {
+        SnapshotClient client;
+        client.id = in.varint();
+        if (c > 0 && client.id <= lastClientId) {
+            throw WireError("snapshot clients not strictly sorted");
+        }
+        lastClientId = client.id;
+        if (client.id >= frame.nextClientId) {
+            throw WireError("snapshot client id beyond next id");
+        }
+        client.evicted = in.u8() != 0;
+        client.missedEpochs = in.varint();
+        client.needsBaseline = in.u8() != 0;
+        const std::size_t idMapSize = in.listCount(1, "id map entry");
+        for (std::size_t i = 0; i < idMapSize; ++i) {
+            const std::uint32_t fleetId = in.varint32("id map entry");
+            // Fleet node ids: root plus the snapshot's node list.
+            if (fleetId > frame.nodes.size()) {
+                throw WireError("id map entry out of range");
+            }
+            client.idMap.push_back(fleetId);
+        }
+        const std::size_t regionMapSize = in.listCount(1, "region map entry");
+        for (std::size_t i = 0; i < regionMapSize; ++i) {
+            const std::uint32_t handle = in.varint32("region map entry");
+            if (handle != scorep::kNoRegion &&
+                handle >= frame.regionNames.size()) {
+                throw WireError("region map entry out of range");
+            }
+            client.regionMap.push_back(handle);
+        }
+        client.watermark = decodeWatermark(in);
+        if (client.watermark.nodeCount != client.idMap.size()) {
+            throw WireError("watermark disagrees with id map");
+        }
+        const std::size_t ackedCount = in.listCount(2, "suppressed acked");
+        std::uint64_t lastHandle = 0;
+        for (std::size_t i = 0; i < ackedCount; ++i) {
+            const std::uint32_t handle = in.varint32("suppressed handle");
+            if (i > 0 && handle <= lastHandle) {
+                throw WireError("suppressed acked not strictly sorted");
+            }
+            lastHandle = handle;
+            client.suppressedAcked.emplace_back(handle, in.varint());
+        }
+        client.runtimeAckedNs = in.f64();
+        client.epochsAcked = in.varint();
+        client.lastSentPolicy = decodeFullPolicy(in);
+        const std::size_t pendingCount = in.listCount(1, "pending frame");
+        for (std::size_t i = 0; i < pendingCount; ++i) {
+            const std::uint64_t size = in.varint();
+            std::vector<std::uint8_t> pending;
+            pending.reserve(static_cast<std::size_t>(size));
+            for (std::uint64_t b = 0; b < size; ++b) {
+                pending.push_back(in.u8());
+            }
+            // Each pending frame must itself be a sound delta frame from
+            // this client — decode it now so restore never replays garbage.
+            DeltaFrame delta = decodeDeltaFrame(pending);
+            if (delta.clientId != client.id) {
+                throw WireError("pending frame from wrong client");
+            }
+            client.pending.push_back(std::move(pending));
+        }
+        frame.clients.push_back(std::move(client));
+    }
+    if (!in.done()) {
+        throw WireError("trailing bytes after snapshot payload");
+    }
+    return frame;
 }
 
 FrameType frameTypeOf(const std::vector<std::uint8_t>& bytes) {

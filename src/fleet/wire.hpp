@@ -30,8 +30,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "adapt/overhead_model.hpp"
+#include "scorepsim/profile.hpp"
 #include "scorepsim/profile_delta.hpp"
 #include "select/ic.hpp"
 #include "support/error.hpp"
@@ -53,6 +56,7 @@ enum class FrameType : std::uint8_t {
     PolicyUpdate = 3,    ///< aggregator -> client: policy diff vs last sent.
     Resync = 4,          ///< client -> aggregator: fingerprint chain broken.
     Bye = 5,             ///< client -> aggregator: clean disconnect.
+    Snapshot = 6,        ///< aggregator state checkpoint (never on channels).
 };
 
 /// First-use region definition: producers intern (handle -> name) once per
@@ -93,6 +97,12 @@ struct PolicyFrameEntry {
 
 struct PolicyFrame {
     std::uint64_t epoch = 0;
+    /// The sending aggregator's incarnation (1 for a fresh aggregator,
+    /// previous + 1 after every checkpoint restore). A client that sees the
+    /// incarnation move knows the server restarted and its session state now
+    /// lives on the restored twin — the restart-detection half of the
+    /// checkpoint/resume protocol.
+    std::uint64_t incarnation = 1;
     bool baseline = false;
     std::uint64_t prevFingerprint = 0;  ///< Update only: expected base.
     std::uint64_t fingerprint = 0;
@@ -104,8 +114,71 @@ struct PolicyFrame {
     bool withinBudget = false;
 };
 
+/// One fleet-tree node in a snapshot, in node-id order (ids 1..n-1; the
+/// root is implicit with zero counters, as in CctWatermark). Parents always
+/// precede children, so a restore can rebuild the tree in one pass.
+struct SnapshotNode {
+    std::uint32_t parent = 0;
+    std::uint32_t region = 0;
+    std::uint64_t visits = 0;
+    std::uint64_t inclusiveNs = 0;
+};
+
+/// Per-client session state in a snapshot: everything the aggregator must
+/// remember for a client to resume after a restart without a full resync —
+/// its id maps, the acked watermark the client rewinds to, the fingerprint
+/// chain base (lastSentPolicy), and any ingested-but-unmerged frames.
+struct SnapshotClient {
+    std::uint64_t id = 0;
+    bool evicted = false;
+    std::uint64_t missedEpochs = 0;
+    bool needsBaseline = false;
+    /// Client node id -> fleet node id.
+    std::vector<std::uint32_t> idMap;
+    /// Client region handle -> fleet region handle (kNoRegion = undefined).
+    std::vector<std::uint32_t> regionMap;
+    /// Mirror of the client's watermark at its last acked frame (client-side
+    /// node ids) — what ResumeState hands back after a restore.
+    scorep::CctWatermark watermark;
+    /// Cumulative suppressed visits acked per client handle, sorted.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> suppressedAcked;
+    double runtimeAckedNs = 0.0;
+    std::uint64_t epochsAcked = 0;
+    select::InstrumentationPolicy lastSentPolicy;
+    /// Ingested but unmerged delta frames, verbatim (each carries its own
+    /// seal, so snapshot corruption inside one is still caught typed).
+    std::vector<std::vector<std::uint8_t>> pending;
+};
+
+/// The aggregator's complete persistent state: a byte-deterministic,
+/// versioned payload under the same CFW seal every other frame uses.
+/// Aggregator::checkpoint() emits one; the restoring constructor replays it
+/// so the restored aggregator continues bit-identically to an uninterrupted
+/// twin. The survey fingerprint guards against restoring under a different
+/// candidate set than the one the state was accumulated against.
+struct SnapshotFrame {
+    std::uint64_t incarnation = 1;
+    std::uint64_t epochsCompleted = 0;
+    std::uint64_t nextClientId = 0;
+    bool safeMode = false;
+    std::uint64_t overBudgetStreak = 0;
+    std::uint64_t inBudgetStreak = 0;
+    double lastRatio = 0.0;
+    double lastBudgetNs = 0.0;
+    bool lastWithinBudget = true;
+    std::uint64_t surveyFingerprint = 0;
+    select::InstrumentationPolicy currentPolicy;
+    std::vector<std::string> regionNames;
+    std::vector<SnapshotNode> nodes;
+    std::vector<std::pair<std::string, scorep::ProfileTree::RegionTotals>>
+        lastTotals;
+    adapt::ModelState model;
+    std::vector<SnapshotClient> clients;  ///< Ascending client id.
+};
+
 std::vector<std::uint8_t> encodeDeltaFrame(const DeltaFrame& frame);
 std::vector<std::uint8_t> encodePolicyFrame(const PolicyFrame& frame);
+std::vector<std::uint8_t> encodeSnapshotFrame(const SnapshotFrame& frame);
 /// Resync / Bye: payload is just the client id.
 std::vector<std::uint8_t> encodeControlFrame(FrameType type,
                                              std::uint64_t clientId);
@@ -115,6 +188,9 @@ FrameType frameTypeOf(const std::vector<std::uint8_t>& bytes);
 
 DeltaFrame decodeDeltaFrame(const std::vector<std::uint8_t>& bytes);
 PolicyFrame decodePolicyFrame(const std::vector<std::uint8_t>& bytes);
+/// Throws WireError on anything but a structurally sound v1 snapshot —
+/// truncation, bit flips, bad version, inconsistent per-client state.
+SnapshotFrame decodeSnapshotFrame(const std::vector<std::uint8_t>& bytes);
 std::uint64_t decodeControlFrame(const std::vector<std::uint8_t>& bytes,
                                  FrameType expected);
 

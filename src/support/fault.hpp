@@ -173,6 +173,20 @@ inline constexpr const char* kScorepProbeInflate = "scorep.probe_inflate";
 /// defineRegion stalls `magnitude` microseconds between appending the
 /// definition and publishing it (a slow counter-publication window).
 inline constexpr const char* kScorepPublishStall = "scorep.publish_stall";
+/// A fleet client skips its epoch send entirely (a stalled producer). The
+/// skipped epoch coalesces into the next frame, and the aggregator's epoch
+/// liveness policy sees the client as Lagging.
+inline constexpr const char* kFleetClientStall = "fleet.client_stall";
+/// A fleet client dies on entry to sendEpoch (throws ClientDeadError); the
+/// aggregator evicts it after graceEpochs missed epochs.
+inline constexpr const char* kFleetClientDeath = "fleet.client_death";
+/// A fleet frame is lost in transit: a delta frame drops on the client send
+/// path (recovered by drop-and-coalesce) or a resume handshake is refused
+/// (recovered by FleetClient's backoff-retried reconnect).
+inline constexpr const char* kFleetFrameDrop = "fleet.frame_drop";
+/// The aggregator crashes at an epoch boundary (throws AggregatorCrashError
+/// from the close path); recovery is checkpoint/restore + client resume.
+inline constexpr const char* kFleetAggregatorCrash = "fleet.aggregator_crash";
 }  // namespace sites
 
 }  // namespace capi::support::fault

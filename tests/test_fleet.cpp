@@ -13,6 +13,7 @@
 #include <bit>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -35,11 +36,21 @@
 #include "scorepsim/profile.hpp"
 #include "scorepsim/profile_delta.hpp"
 #include "scorepsim/symbol_resolver.hpp"
+#include "support/fault.hpp"
 #include "support/rng.hpp"
 
 namespace {
 
 using namespace capi;
+namespace fault = capi::support::fault;
+
+/// CI fault matrix hook: CAPI_FAULT_SEED is XOR-mixed into every injection
+/// seed below, so each matrix leg replays a different deterministic fault
+/// schedule.
+std::uint64_t envFaultSeed() {
+    const char* env = std::getenv("CAPI_FAULT_SEED");
+    return env == nullptr ? 0 : std::strtoull(env, nullptr, 10);
+}
 
 // ------------------------------------------------- independent wire codec --
 // A from-scratch reimplementation of the frame layout documented in
@@ -103,6 +114,7 @@ fleet::DeltaFrame richDelta() {
 fleet::PolicyFrame richPolicy(bool baseline) {
     fleet::PolicyFrame frame;
     frame.epoch = 9;
+    frame.incarnation = 3;
     frame.baseline = baseline;
     frame.prevFingerprint = baseline ? 0 : 0x1111222233334444ull;
     frame.fingerprint = 0x5555666677778888ull;
@@ -218,6 +230,7 @@ TEST(WireFormat, EncodeIsDeterministicAndRoundTrips) {
                                              : fleet::FrameType::PolicyUpdate);
         const fleet::PolicyFrame pb = fleet::decodePolicyFrame(p);
         EXPECT_EQ(pb.epoch, policy.epoch);
+        EXPECT_EQ(pb.incarnation, policy.incarnation);
         EXPECT_EQ(pb.baseline, policy.baseline);
         EXPECT_EQ(pb.prevFingerprint, policy.prevFingerprint);
         EXPECT_EQ(pb.fingerprint, policy.fingerprint);
@@ -352,6 +365,7 @@ TEST(WireFormat, RejectsStructuralViolationsTyped) {
     auto policyPrefix = [](std::uint8_t baselineFlag) {
         std::vector<std::uint8_t> p;
         appendVarint(p, 1);       // epoch
+        appendVarint(p, 1);       // incarnation
         p.push_back(baselineFlag);
         appendFixed64(p, 0);      // prevFingerprint
         appendFixed64(p, 0);      // fingerprint
@@ -401,6 +415,23 @@ TEST(WireFormat, RejectsStructuralViolationsTyped) {
         EXPECT_THROW(fleet::decodePolicyFrame(goldenSeal(2, p)),
                      fleet::WireError);
     }
+    {
+        // Incarnation 0 is reserved for "no frame seen yet" on the client —
+        // an aggregator may never stamp it.
+        std::vector<std::uint8_t> p;
+        appendVarint(p, 1);   // epoch
+        appendVarint(p, 0);   // incarnation: reserved
+        p.push_back(1);       // baseline flag
+        appendFixed64(p, 0);  // prevFingerprint
+        appendFixed64(p, 0);  // fingerprint
+        appendFixed64(p, 0);  // ratio
+        appendFixed64(p, 0);  // budgetNs
+        p.push_back(1);       // withinBudget
+        appendVarint(p, 0);   // upserts
+        appendVarint(p, 0);   // removed
+        EXPECT_THROW(fleet::decodePolicyFrame(goldenSeal(2, p)),
+                     fleet::WireError);
+    }
 }
 
 TEST(WireFormat, CorruptionSweepFailsTypedNeverCrashes) {
@@ -446,6 +477,12 @@ TEST(WireFormat, CorruptionSweepFailsTypedNeverCrashes) {
                     break;
                 case fleet::FrameType::Bye:
                     fleet::decodeControlFrame(bytes, fleet::FrameType::Bye);
+                    break;
+                case fleet::FrameType::Snapshot:
+                    // A type byte flipped to Snapshot keeps the seal valid
+                    // (the checksum covers the payload only) — the snapshot
+                    // validator must still reject typed.
+                    fleet::decodeSnapshotFrame(bytes);
                     break;
             }
             ++survived;
@@ -1191,6 +1228,696 @@ TEST(FleetAggregation, ThousandClientSoakDropsAndCoalescesExactly) {
     // ...and the coalesced stream lost nothing: the fleet profile equals
     // the sum of every per-round synthetic profile, drops included.
     expectSameTotalsByName(expectedTotals, aggregator.totalsByName());
+}
+
+// --------------------------------------------- checkpoint/restore tests --
+
+TEST(FleetCheckpoint, SnapshotIsByteDeterministicAndRoundTrips) {
+    const cg::CallGraph graph = tinyGraph();
+    fleet::AggregatorOptions options;
+    options.config.perEventCostNs = 100.0;
+    fleet::Aggregator aggregator(graph, adapt::surveyOfDefinedFunctions(graph),
+                                 options);
+    scorep::Measurement m0;
+    scorep::Measurement m1;
+    fleet::FleetClient c0(aggregator);
+    fleet::FleetClient c1(aggregator);
+    ASSERT_EQ(c0.sendEpoch(flatProfile(m0, 1), m0, 1e9), fleet::SendResult::Ok);
+    ASSERT_EQ(c1.sendEpoch(flatProfile(m1, 2), m1, 2e9), fleet::SendResult::Ok);
+    while (aggregator.epochsCompleted() < 1) {
+        ASSERT_TRUE(aggregator.pump());
+    }
+    c0.awaitPolicy();
+    c1.awaitPolicy();
+
+    // Same state -> same bytes, and decode/encode is the identity.
+    const std::vector<std::uint8_t> bytes = aggregator.checkpoint();
+    EXPECT_EQ(bytes, aggregator.checkpoint());
+    EXPECT_EQ(fleet::frameTypeOf(bytes), fleet::FrameType::Snapshot);
+    const fleet::SnapshotFrame snap = fleet::decodeSnapshotFrame(bytes);
+    EXPECT_EQ(fleet::encodeSnapshotFrame(snap), bytes);
+
+    EXPECT_EQ(snap.incarnation, 1u);
+    EXPECT_EQ(snap.epochsCompleted, 1u);
+    ASSERT_EQ(snap.clients.size(), 2u);
+    EXPECT_EQ(snap.currentPolicy.fingerprint(),
+              aggregator.convergedFingerprint());
+    const fleet::AggregatorStats stats = aggregator.stats();
+    EXPECT_EQ(stats.checkpoints, 2u);
+    EXPECT_EQ(stats.checkpointBytes, 2 * bytes.size());
+}
+
+TEST(FleetCheckpoint, SnapshotCorruptionSweepFailsTypedNeverCrashes) {
+    const cg::CallGraph graph = tinyGraph();
+    fleet::AggregatorOptions options;
+    options.config.perEventCostNs = 100.0;
+    fleet::Aggregator aggregator(graph, adapt::surveyOfDefinedFunctions(graph),
+                                 options);
+    scorep::Measurement measurement;
+    fleet::FleetClient client(aggregator);
+    ASSERT_EQ(client.sendEpoch(flatProfile(measurement, 1), measurement, 1e9),
+              fleet::SendResult::Ok);
+    while (aggregator.epochsCompleted() < 1) {
+        ASSERT_TRUE(aggregator.pump());
+    }
+    client.awaitPolicy();
+    const std::vector<std::uint8_t> seed = aggregator.checkpoint();
+
+    // Same mutation schedule as the wire-frame sweep, against a REAL
+    // checkpoint: truncation, bit flips, byte rewrites, appended garbage.
+    support::SplitMix64 rng(0x5EED5 ^ envFaultSeed());
+    int rejected = 0;
+    int survived = 0;
+    for (int i = 0; i < 4000; ++i) {
+        std::vector<std::uint8_t> bytes = seed;
+        switch (rng.nextBelow(4)) {
+            case 0:
+                bytes.resize(rng.nextBelow(bytes.size()));
+                break;
+            case 1:
+                bytes[rng.nextBelow(bytes.size())] ^=
+                    static_cast<std::uint8_t>(1u << rng.nextBelow(8));
+                break;
+            case 2:
+                bytes[rng.nextBelow(bytes.size())] =
+                    static_cast<std::uint8_t>(rng.next());
+                break;
+            default:
+                bytes.push_back(static_cast<std::uint8_t>(rng.next()));
+                break;
+        }
+        try {
+            switch (fleet::frameTypeOf(bytes)) {
+                case fleet::FrameType::Delta:
+                    fleet::decodeDeltaFrame(bytes);
+                    break;
+                case fleet::FrameType::PolicyBaseline:
+                case fleet::FrameType::PolicyUpdate:
+                    fleet::decodePolicyFrame(bytes);
+                    break;
+                case fleet::FrameType::Resync:
+                    fleet::decodeControlFrame(bytes, fleet::FrameType::Resync);
+                    break;
+                case fleet::FrameType::Bye:
+                    fleet::decodeControlFrame(bytes, fleet::FrameType::Bye);
+                    break;
+                case fleet::FrameType::Snapshot:
+                    fleet::decodeSnapshotFrame(bytes);
+                    break;
+            }
+            ++survived;
+        } catch (const fleet::WireError&) {
+            ++rejected;
+        }
+    }
+    EXPECT_EQ(rejected + survived, 4000);
+    EXPECT_GT(rejected, 0);
+}
+
+TEST(FleetCheckpoint, CorruptOrForeignSnapshotRestoreRejectsTyped) {
+    const cg::CallGraph graph = tinyGraph();
+    const select::InstrumentationConfig survey =
+        adapt::surveyOfDefinedFunctions(graph);
+    fleet::AggregatorOptions options;
+    options.config.perEventCostNs = 100.0;
+    fleet::Aggregator aggregator(graph, survey, options);
+    scorep::Measurement measurement;
+    fleet::FleetClient client(aggregator);
+    ASSERT_EQ(client.sendEpoch(flatProfile(measurement, 1), measurement, 1e9),
+              fleet::SendResult::Ok);
+    while (aggregator.epochsCompleted() < 1) {
+        ASSERT_TRUE(aggregator.pump());
+    }
+    client.awaitPolicy();
+    const std::vector<std::uint8_t> good = aggregator.checkpoint();
+
+    {
+        std::vector<std::uint8_t> corrupt = good;  // flipped payload bit
+        corrupt[corrupt.size() / 2] ^= 0x10;
+        EXPECT_THROW(fleet::Aggregator(graph, survey, corrupt, options),
+                     fleet::WireError);
+    }
+    {
+        std::vector<std::uint8_t> truncated = good;
+        truncated.resize(truncated.size() / 2);
+        EXPECT_THROW(fleet::Aggregator(graph, survey, truncated, options),
+                     fleet::WireError);
+    }
+    {
+        const std::vector<std::uint8_t> missing;  // empty snapshot file
+        EXPECT_THROW(fleet::Aggregator(graph, survey, missing, options),
+                     fleet::WireError);
+    }
+    {
+        // A structurally valid snapshot taken against a DIFFERENT survey
+        // (extra function in the graph) must be refused, not half-adopted.
+        cg::CallGraph other = tinyGraph();
+        cg::FunctionDesc desc;
+        desc.name = "extra";
+        desc.prettyName = "extra";
+        desc.flags.hasBody = true;
+        other.addFunction(desc);
+        EXPECT_THROW(fleet::Aggregator(
+                         other, adapt::surveyOfDefinedFunctions(other), good,
+                         options),
+                     fleet::WireError);
+    }
+}
+
+// The restore property: an aggregator killed at an epoch boundary and
+// rebuilt from its checkpoint continues BIT-IDENTICALLY to an uninterrupted
+// twin — same per-epoch fingerprints/budgets, same fleet totals, and a
+// byte-equal end-of-run snapshot once the incarnation stamp is normalized.
+TEST(FleetCheckpoint, RestoreContinuesBitIdenticallyToUninterruptedTwin) {
+    const cg::CallGraph graph = tinyGraph();
+    const select::InstrumentationConfig survey =
+        adapt::surveyOfDefinedFunctions(graph);
+    fleet::AggregatorOptions options;
+    options.config.perEventCostNs = 100.0;
+    constexpr std::size_t kClients = 3;
+    constexpr int kEpochs = 6;
+    constexpr int kRestoreAfter = 3;
+    auto saltOf = [](std::size_t i, int epoch) {
+        return i * 977 + static_cast<std::uint64_t>(epoch) * 131;
+    };
+    auto runtimeOf = [](std::size_t i, int epoch) {
+        return 1e9 * static_cast<double>(i + 1) + 1e6 * epoch;
+    };
+
+    fleet::Aggregator twin(graph, survey, options);
+    auto restored = std::make_unique<fleet::Aggregator>(graph, survey, options);
+    std::vector<std::unique_ptr<scorep::Measurement>> twinMs;
+    std::vector<std::unique_ptr<scorep::Measurement>> restMs;
+    std::vector<std::unique_ptr<fleet::FleetClient>> twinClients;
+    std::vector<std::unique_ptr<fleet::FleetClient>> restClients;
+    for (std::size_t i = 0; i < kClients; ++i) {
+        twinMs.push_back(std::make_unique<scorep::Measurement>());
+        restMs.push_back(std::make_unique<scorep::Measurement>());
+        twinClients.push_back(std::make_unique<fleet::FleetClient>(twin));
+        restClients.push_back(std::make_unique<fleet::FleetClient>(*restored));
+    }
+
+    for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+        for (std::size_t i = 0; i < kClients; ++i) {
+            ASSERT_EQ(twinClients[i]->sendEpoch(
+                          flatProfile(*twinMs[i], saltOf(i, epoch)),
+                          *twinMs[i], runtimeOf(i, epoch)),
+                      fleet::SendResult::Ok);
+            ASSERT_EQ(restClients[i]->sendEpoch(
+                          flatProfile(*restMs[i], saltOf(i, epoch)),
+                          *restMs[i], runtimeOf(i, epoch)),
+                      fleet::SendResult::Ok);
+        }
+        while (twin.epochsCompleted() < static_cast<std::uint64_t>(epoch)) {
+            ASSERT_TRUE(twin.pump());
+        }
+        while (restored->epochsCompleted() <
+               static_cast<std::uint64_t>(epoch)) {
+            ASSERT_TRUE(restored->pump());
+        }
+        for (std::size_t i = 0; i < kClients; ++i) {
+            const adapt::EpochReport a = twinClients[i]->awaitPolicy();
+            const adapt::EpochReport b = restClients[i]->awaitPolicy();
+            EXPECT_EQ(a.policyFingerprint, b.policyFingerprint)
+                << "epoch " << epoch << " client " << i;
+            EXPECT_EQ(a.measuredOverheadRatio, b.measuredOverheadRatio);
+            EXPECT_EQ(a.budgetNs, b.budgetNs);
+            EXPECT_EQ(a.withinBudget, b.withinBudget);
+        }
+        if (epoch == kRestoreAfter) {
+            // Kill-and-restore: the old instance is discarded wholesale;
+            // the new one must pick up mid-run from the snapshot alone.
+            const std::vector<std::uint8_t> snapshot = restored->checkpoint();
+            restored = std::make_unique<fleet::Aggregator>(graph, survey,
+                                                           snapshot, options);
+            EXPECT_EQ(restored->incarnation(), 2u);
+            EXPECT_EQ(restored->stats().restores, 1u);
+            for (auto& client : restClients) {
+                EXPECT_TRUE(client->reconnect(*restored));
+            }
+            for (const auto& client : restClients) {
+                EXPECT_EQ(client->stats().sessionResumes, 1u);
+                EXPECT_EQ(client->stats().restartsDetected, 1u);
+                EXPECT_EQ(client->aggregatorIncarnation(), 2u);
+            }
+        }
+    }
+
+    EXPECT_EQ(twin.convergedFingerprint(), restored->convergedFingerprint());
+    expectSameTotalsByName(twin.totalsByName(), restored->totalsByName());
+
+    // Full-state equality, modulo the incarnation stamp the restart bumped.
+    const fleet::SnapshotFrame sa = fleet::decodeSnapshotFrame(twin.checkpoint());
+    fleet::SnapshotFrame sb = fleet::decodeSnapshotFrame(restored->checkpoint());
+    EXPECT_EQ(sb.incarnation, 2u);
+    sb.incarnation = sa.incarnation;
+    EXPECT_EQ(fleet::encodeSnapshotFrame(sa), fleet::encodeSnapshotFrame(sb));
+
+    // Restore-of-restore: rebuilding from the twin's final snapshot yields
+    // the same normalized state again (restores compose).
+    fleet::Aggregator again(graph, survey, fleet::encodeSnapshotFrame(sa),
+                            options);
+    fleet::SnapshotFrame sc = fleet::decodeSnapshotFrame(again.checkpoint());
+    sc.incarnation = sa.incarnation;
+    EXPECT_EQ(fleet::encodeSnapshotFrame(sc), fleet::encodeSnapshotFrame(sa));
+}
+
+// ----------------------------------------------------- liveness tests --
+
+// The liveness property: a dead client delays each epoch by at most the
+// policy timeout, is marked Lagging, is evicted after graceEpochs misses
+// (with exact accounting), and re-admits itself with ONE coalesced delta —
+// no resync, no baseline replay, no lost or double-counted epochs.
+TEST(FleetLiveness, TimeoutClosesEvictsAndResumesExactly) {
+    const cg::CallGraph graph = tinyGraph();
+    fleet::AggregatorOptions options;
+    options.config.perEventCostNs = 100.0;
+    options.epochPolicy.timeoutNs = 2'000'000;  // 2ms
+    options.epochPolicy.quorum = 1;
+    options.epochPolicy.graceEpochs = 2;
+    fleet::Aggregator aggregator(graph, adapt::surveyOfDefinedFunctions(graph),
+                                 options);
+
+    constexpr std::size_t kClients = 3;
+    std::vector<std::unique_ptr<scorep::Measurement>> measurements;
+    std::vector<std::unique_ptr<fleet::FleetClient>> clients;
+    for (std::size_t i = 0; i < kClients; ++i) {
+        measurements.push_back(std::make_unique<scorep::Measurement>());
+        clients.push_back(std::make_unique<fleet::FleetClient>(aggregator));
+    }
+
+    TotalsByName expectedTotals;
+    auto submit = [&](std::size_t i, std::uint64_t salt) {
+        scorep::ProfileTree profile = flatProfile(*measurements[i], salt);
+        for (const auto& [handle, totals] : profile.regionTotals()) {
+            auto& t = expectedTotals[measurements[i]->region(handle).name];
+            t.visits += totals.visits;
+            t.exclusiveNs += totals.exclusiveNs;
+        }
+        ASSERT_EQ(clients[i]->sendEpoch(profile, *measurements[i], 1e9),
+                  fleet::SendResult::Ok);
+    };
+    auto pumpUntil = [&](std::uint64_t epoch) {
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (aggregator.epochsCompleted() < epoch) {
+            aggregator.pump();
+            ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+                << "epoch " << epoch << " never closed";
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    };
+
+    // Epochs 1-3: client 2 is silent. 1 and 2 close on timeout (client 2
+    // missed -> Lagging -> evicted at the grace limit); 3 closes strictly
+    // because the evicted client no longer gates completeness.
+    for (int epoch = 1; epoch <= 3; ++epoch) {
+        submit(0, static_cast<std::uint64_t>(epoch));
+        submit(1, 100 + static_cast<std::uint64_t>(epoch));
+        pumpUntil(static_cast<std::uint64_t>(epoch));
+        clients[0]->awaitPolicy();
+        clients[1]->awaitPolicy();
+    }
+    {
+        const fleet::AggregatorStats stats = aggregator.stats();
+        EXPECT_EQ(stats.timeoutEpochs, 2u);
+        EXPECT_EQ(stats.missedFrames, 2u);
+        EXPECT_EQ(stats.evictions, 1u);
+        EXPECT_EQ(stats.resumes, 0u);
+        EXPECT_EQ(stats.laggingPolicyDrops, 0u);
+    }
+
+    // The returning client's next delta re-admits it: the aggregator kept
+    // its watermark, so the frame coalesces epochs 1-4 in one send and
+    // epoch 4 closes strictly with all three clients.
+    submit(2, 7);
+    submit(0, 4);
+    submit(1, 104);
+    while (aggregator.epochsCompleted() < 4) {
+        ASSERT_TRUE(aggregator.pump());
+    }
+    {
+        const fleet::AggregatorStats stats = aggregator.stats();
+        EXPECT_EQ(stats.resumes, 1u);
+        EXPECT_EQ(stats.evictions, 1u);  // unchanged: no second eviction
+        EXPECT_EQ(stats.timeoutEpochs, 2u);
+        EXPECT_EQ(stats.resyncs, 0u);
+        EXPECT_EQ(stats.decodeErrors, 0u);
+    }
+    clients[0]->awaitPolicy();
+    clients[1]->awaitPolicy();
+    // Client 2 drains the policy frames queued while it was away (epochs 1
+    // and 2 rode its queue as Lagging broadcasts; 3 was skipped while
+    // evicted) and lands converged on the epoch-4 policy.
+    int drained = 0;
+    while (clients[2]->policyFingerprint() != aggregator.convergedFingerprint()) {
+        ASSERT_LT(drained++, 8) << "client 2 never caught up";
+        clients[2]->awaitPolicy();
+    }
+    expectSameTotalsByName(expectedTotals, aggregator.totalsByName());
+}
+
+TEST(FleetAggregation, ServeExitAccountsForAbandonedClients) {
+    const cg::CallGraph graph = tinyGraph();
+    fleet::AggregatorOptions options;
+    options.config.perEventCostNs = 100.0;
+    fleet::Aggregator aggregator(graph, adapt::surveyOfDefinedFunctions(graph),
+                                 options);
+    std::thread server([&aggregator] { aggregator.serve(); });
+    scorep::Measurement measurement;
+    fleet::FleetClient client(aggregator);
+    ASSERT_EQ(client.sendEpoch(flatProfile(measurement, 1), measurement, 1e9),
+              fleet::SendResult::Ok);
+    client.awaitPolicy();
+    aggregator.stop();
+    server.join();
+    // The client never said Bye: serve()'s exit accounting must charge it
+    // as abandoned instead of exiting silently.
+    EXPECT_EQ(aggregator.stats().abandonedClients, 1u);
+    EXPECT_EQ(aggregator.epochsCompleted(), 1u);
+}
+
+// ----------------------------------------------- fault-injection tests --
+
+class FleetFaultTest : public ::testing::Test {
+protected:
+    void TearDown() override { fault::disarmAll(); }
+};
+
+// An injected death fires BEFORE the epoch merges into the cumulative tree,
+// so reconnect + re-drive lands the epoch exactly once.
+TEST_F(FleetFaultTest, ClientDeathReconnectCountsEpochExactlyOnce) {
+    const cg::CallGraph graph = tinyGraph();
+    fleet::AggregatorOptions options;
+    options.config.perEventCostNs = 100.0;
+    fleet::Aggregator aggregator(graph, adapt::surveyOfDefinedFunctions(graph),
+                                 options);
+    scorep::Measurement measurement;
+    fleet::FleetClient client(aggregator);
+
+    TotalsByName expectedTotals;
+    auto record = [&](const scorep::ProfileTree& profile) {
+        for (const auto& [handle, totals] : profile.regionTotals()) {
+            auto& t = expectedTotals[measurement.region(handle).name];
+            t.visits += totals.visits;
+            t.exclusiveNs += totals.exclusiveNs;
+        }
+    };
+
+    scorep::ProfileTree first = flatProfile(measurement, 1);
+    record(first);
+    ASSERT_EQ(client.sendEpoch(first, measurement, 1e9), fleet::SendResult::Ok);
+    while (aggregator.epochsCompleted() < 1) {
+        ASSERT_TRUE(aggregator.pump());
+    }
+    client.awaitPolicy();
+
+    {
+        fault::ScopedFaultInjection inject(0xD0A7 ^ envFaultSeed());
+        inject.arm(fault::sites::kFleetClientDeath,
+                   {.probability = 1.0, .maxFires = 1});
+        scorep::ProfileTree second = flatProfile(measurement, 2);
+        record(second);
+        EXPECT_THROW(client.sendEpoch(second, measurement, 1e9),
+                     fleet::ClientDeadError);
+        EXPECT_TRUE(client.reconnect(aggregator));
+        ASSERT_EQ(client.sendEpoch(second, measurement, 1e9),
+                  fleet::SendResult::Ok);
+    }
+    while (aggregator.epochsCompleted() < 2) {
+        ASSERT_TRUE(aggregator.pump());
+    }
+    client.awaitPolicy();
+
+    EXPECT_EQ(client.stats().reconnects, 1u);
+    EXPECT_EQ(client.stats().sessionResumes, 1u);
+    EXPECT_EQ(client.stats().fullResyncs, 0u);
+    EXPECT_EQ(aggregator.stats().sessionResumes, 1u);
+    EXPECT_EQ(fault::stats(fault::sites::kFleetClientDeath).fires, 1u);
+    expectSameTotalsByName(expectedTotals, aggregator.totalsByName());
+}
+
+// A dropped resume handshake is retried under backoff until it lands; the
+// resumed stream stays exact.
+TEST_F(FleetFaultTest, ResumeHandshakeDropRetriesUnderBackoff) {
+    const cg::CallGraph graph = tinyGraph();
+    fleet::AggregatorOptions options;
+    options.config.perEventCostNs = 100.0;
+    fleet::Aggregator aggregator(graph, adapt::surveyOfDefinedFunctions(graph),
+                                 options);
+    scorep::Measurement measurement;
+    fleet::FleetClient client(aggregator);
+    ASSERT_EQ(client.sendEpoch(flatProfile(measurement, 1), measurement, 1e9),
+              fleet::SendResult::Ok);
+    while (aggregator.epochsCompleted() < 1) {
+        ASSERT_TRUE(aggregator.pump());
+    }
+    client.awaitPolicy();
+
+    {
+        fault::ScopedFaultInjection inject(0xBACC ^ envFaultSeed());
+        inject.arm(fault::sites::kFleetFrameDrop,
+                   {.probability = 1.0, .maxFires = 2});
+        EXPECT_TRUE(client.reconnect(aggregator));  // third attempt lands
+    }
+    EXPECT_EQ(fault::stats(fault::sites::kFleetFrameDrop).fires, 2u);
+    EXPECT_EQ(client.stats().sessionResumes, 1u);
+    EXPECT_EQ(client.stats().fullResyncs, 0u);
+
+    ASSERT_EQ(client.sendEpoch(flatProfile(measurement, 2), measurement, 1e9),
+              fleet::SendResult::Ok);
+    while (aggregator.epochsCompleted() < 2) {
+        ASSERT_TRUE(aggregator.pump());
+    }
+    client.awaitPolicy();
+    EXPECT_EQ(client.policyFingerprint(), aggregator.convergedFingerprint());
+    EXPECT_EQ(aggregator.stats().framesMerged, 2u);
+}
+
+// When every resume attempt fails (the replacement aggregator holds none of
+// this client's state), reconnect falls back to registering fresh and the
+// first delta replays the client's FULL history — totals stay exact.
+TEST_F(FleetFaultTest, FullResyncFallbackReplaysWholeHistoryExactly) {
+    const cg::CallGraph graph = tinyGraph();
+    const select::InstrumentationConfig survey =
+        adapt::surveyOfDefinedFunctions(graph);
+    fleet::AggregatorOptions options;
+    options.config.perEventCostNs = 100.0;
+    scorep::Measurement measurement;
+    TotalsByName expectedTotals;
+    auto record = [&](const scorep::ProfileTree& profile) {
+        for (const auto& [handle, totals] : profile.regionTotals()) {
+            auto& t = expectedTotals[measurement.region(handle).name];
+            t.visits += totals.visits;
+            t.exclusiveNs += totals.exclusiveNs;
+        }
+    };
+
+    // Declared before the client so it outlives the client's Bye/disconnect.
+    fleet::Aggregator fresh(graph, survey, options);
+    auto lost = std::make_unique<fleet::Aggregator>(graph, survey, options);
+    fleet::FleetClient client(*lost);
+    for (int epoch = 1; epoch <= 2; ++epoch) {
+        scorep::ProfileTree profile =
+            flatProfile(measurement, static_cast<std::uint64_t>(epoch));
+        record(profile);
+        ASSERT_EQ(client.sendEpoch(profile, measurement, 1e9),
+                  fleet::SendResult::Ok);
+        while (lost->epochsCompleted() < static_cast<std::uint64_t>(epoch)) {
+            ASSERT_TRUE(lost->pump());
+        }
+        client.awaitPolicy();
+    }
+
+    // The aggregator is replaced by the FRESH instance (its snapshot was
+    // lost); the session is unknown there, so every resume attempt fails.
+    lost.reset();
+    EXPECT_FALSE(client.reconnect(fresh));
+    EXPECT_EQ(client.stats().fullResyncs, 1u);
+    EXPECT_EQ(client.stats().sessionResumes, 0u);
+
+    scorep::ProfileTree profile = flatProfile(measurement, 3);
+    record(profile);
+    ASSERT_EQ(client.sendEpoch(profile, measurement, 1e9),
+              fleet::SendResult::Ok);
+    while (fresh.epochsCompleted() < 1) {
+        ASSERT_TRUE(fresh.pump());
+    }
+    client.awaitPolicy();
+    EXPECT_EQ(client.policyFingerprint(), fresh.convergedFingerprint());
+    expectSameTotalsByName(expectedTotals, fresh.totalsByName());
+}
+
+// The headline robustness property: a fleet under a seeded fault storm —
+// client stalls, frame drops, client deaths with reconnects, and one
+// aggregator crash recovered via checkpoint/restore — converges to the SAME
+// policy fingerprint and the SAME fleet totals as a fault-free twin fed the
+// identical per-client streams. Per-epoch internals legitimately differ
+// (the overhead model is an EWMA over whatever epoch segmentation faults
+// produce), so the property compares the converged fixed point.
+TEST_F(FleetFaultTest, FaultStormConvergesToFaultFreeTwin) {
+    const cg::CallGraph graph = tinyGraph();
+    const select::InstrumentationConfig survey =
+        adapt::surveyOfDefinedFunctions(graph);
+    fleet::AggregatorOptions options;
+    options.config.perEventCostNs = 100.0;
+    options.policyQueueCapacity = 64;  // queue whole storm backlogs
+    options.epochPolicy.timeoutNs = 2'000'000;
+    options.epochPolicy.quorum = 1;
+    options.epochPolicy.graceEpochs = 2;
+
+    constexpr std::size_t kClients = 4;
+    constexpr int kStormRounds = 5;
+    constexpr int kCleanRounds = 3;
+    constexpr std::uint64_t kCrashAtClose = 4;
+    auto saltOf = [](std::size_t i, int round) {
+        return i * 977 + static_cast<std::uint64_t>(round) * 131;
+    };
+    auto runtimeOf = [](std::size_t i, int round) {
+        return 1e9 * static_cast<double>(i + 1) + 1e6 * round;
+    };
+
+    // --- fault-free reference twin, same streams, strict epochs ----------
+    fleet::Aggregator cleanAgg(graph, survey, options);
+    {
+        std::vector<std::unique_ptr<scorep::Measurement>> ms;
+        std::vector<std::unique_ptr<fleet::FleetClient>> cs;
+        for (std::size_t i = 0; i < kClients; ++i) {
+            ms.push_back(std::make_unique<scorep::Measurement>());
+            cs.push_back(std::make_unique<fleet::FleetClient>(cleanAgg));
+        }
+        for (int round = 1; round <= kStormRounds + kCleanRounds; ++round) {
+            for (std::size_t i = 0; i < kClients; ++i) {
+                ASSERT_EQ(cs[i]->sendEpoch(flatProfile(*ms[i], saltOf(i, round)),
+                                           *ms[i], runtimeOf(i, round)),
+                          fleet::SendResult::Ok);
+            }
+            while (cleanAgg.epochsCompleted() <
+                   static_cast<std::uint64_t>(round)) {
+                ASSERT_TRUE(cleanAgg.pump());
+            }
+            for (auto& c : cs) {
+                c->awaitPolicy();
+            }
+        }
+        EXPECT_EQ(cleanAgg.stats().timeoutEpochs, 0u);  // never closed early
+    }
+
+    // --- storm twin ------------------------------------------------------
+    auto agg = std::make_unique<fleet::Aggregator>(graph, survey, options);
+    std::vector<std::unique_ptr<scorep::Measurement>> ms;
+    std::vector<std::unique_ptr<fleet::FleetClient>> clients;
+    for (std::size_t i = 0; i < kClients; ++i) {
+        ms.push_back(std::make_unique<scorep::Measurement>());
+        clients.push_back(std::make_unique<fleet::FleetClient>(*agg));
+    }
+    std::vector<std::uint8_t> lastCheckpoint = agg->checkpoint();
+    std::uint64_t deaths = 0;
+    bool crashed = false;
+    {
+        fault::ScopedFaultInjection storm(0x57A6 ^ envFaultSeed());
+        storm.arm(fault::sites::kFleetClientStall, {.probability = 0.2});
+        storm.arm(fault::sites::kFleetFrameDrop, {.probability = 0.15});
+        storm.arm(fault::sites::kFleetClientDeath, {.probability = 0.15});
+        // Deterministic crash: fire on the (kCrashAtClose)-th epoch close.
+        storm.arm(fault::sites::kFleetAggregatorCrash,
+                  {.probability = 1.0, .afterHits = kCrashAtClose - 1,
+                   .maxFires = 1});
+
+        for (int round = 1; round <= kStormRounds; ++round) {
+            bool anyPending = false;
+            for (std::size_t i = 0; i < kClients; ++i) {
+                scorep::ProfileTree profile =
+                    flatProfile(*ms[i], saltOf(i, round));
+                const double runtime = runtimeOf(i, round);
+                fleet::SendResult sent;
+                try {
+                    sent = clients[i]->sendEpoch(profile, *ms[i], runtime);
+                } catch (const fleet::ClientDeadError&) {
+                    ++deaths;
+                    // Recovery re-drives the SAME epoch; recovery paths do
+                    // not re-fault (the process that just died is gone).
+                    fault::SuppressFaults calm;
+                    ASSERT_TRUE(clients[i]->reconnect(*agg));
+                    sent = clients[i]->sendEpoch(profile, *ms[i], runtime);
+                }
+                // Backpressure here is an injected stall/drop: the epoch
+                // coalesces into the client's next frame.
+                anyPending = anyPending || sent == fleet::SendResult::Ok;
+            }
+            if (!anyPending) {
+                continue;  // everyone stalled: nothing can close this round
+            }
+            const std::uint64_t target = agg->epochsCompleted() + 1;
+            const auto deadline =
+                std::chrono::steady_clock::now() + std::chrono::seconds(30);
+            while (agg->epochsCompleted() < target) {
+                try {
+                    agg->pump();
+                } catch (const fleet::AggregatorCrashError&) {
+                    crashed = true;
+                    // The server died mid-close: every in-memory structure
+                    // (including this round's ingested frames) is gone.
+                    // Rebuild from the last good checkpoint; the clients'
+                    // session rewind re-ships everything unacknowledged.
+                    fault::SuppressFaults calm;
+                    auto revived = std::make_unique<fleet::Aggregator>(
+                        graph, survey, lastCheckpoint, options);
+                    for (auto& client : clients) {
+                        ASSERT_TRUE(client->reconnect(*revived));
+                    }
+                    agg = std::move(revived);
+                    break;
+                }
+                ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+                    << "storm round " << round << " never closed";
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+            }
+            if (agg->epochsCompleted() >= target) {
+                lastCheckpoint = agg->checkpoint();
+            }
+            // No awaitPolicy during the storm: clients catch up from their
+            // queued policy frames once the weather clears.
+        }
+    }
+    EXPECT_TRUE(crashed);
+
+    // Clean tail: faults disarmed, every client ships (coalescing whatever
+    // the storm left pending) until the fleet reaches a quiet fixed point.
+    for (int round = kStormRounds + 1; round <= kStormRounds + kCleanRounds;
+         ++round) {
+        for (std::size_t i = 0; i < kClients; ++i) {
+            ASSERT_EQ(clients[i]->sendEpoch(flatProfile(*ms[i], saltOf(i, round)),
+                                            *ms[i], runtimeOf(i, round)),
+                      fleet::SendResult::Ok);
+        }
+        const std::uint64_t target = agg->epochsCompleted() + 1;
+        while (agg->epochsCompleted() < target) {
+            ASSERT_TRUE(agg->pump());
+        }
+    }
+    for (auto& client : clients) {
+        int drained = 0;
+        while (client->policyFingerprint() != agg->convergedFingerprint()) {
+            ASSERT_LT(drained++, 64) << "client never converged post-storm";
+            client->awaitPolicy();
+        }
+    }
+
+    // The headline: same fixed point as the fault-free twin.
+    EXPECT_EQ(agg->convergedFingerprint(), cleanAgg.convergedFingerprint());
+    expectSameTotalsByName(cleanAgg.totalsByName(), agg->totalsByName());
+    EXPECT_EQ(agg->stats().decodeErrors, 0u);
+
+    // The storm actually stormed (schedules are deterministic per seed).
+    std::uint64_t stalls = 0;
+    std::uint64_t drops = 0;
+    for (const auto& client : clients) {
+        stalls += client->stats().stallsInjected;
+        drops += client->stats().dropsInjected;
+    }
+    EXPECT_GT(stalls + drops + deaths, 0u);
+    EXPECT_EQ(agg->incarnation(), 2u);  // exactly one crash+restore
 }
 
 }  // namespace

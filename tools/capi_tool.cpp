@@ -44,10 +44,16 @@
 // and backpressure statistics:
 //   capi_tool fleet [--app lulesh|openfoam] [--clients N] [--epochs E]
 //             [--budget 0.05] [--per-event-cost-ns 200]
-//             [--queue-capacity N] [--lossy]
+//             [--queue-capacity N] [--lossy] [--kill-after N] [--restore]
+//             [--stats]
 // --lossy switches clients to drop-and-coalesce sends (a full queue drops
 // the frame; the next one covers both epochs), the mode the stats make
 // visible: drops and coalesced epochs must balance exactly.
+// --kill-after N checkpoints and destroys the aggregator after fleet epoch
+// N; with --restore a replacement is rebuilt from the snapshot and every
+// client resumes its session against it (the crash-restart smoke CI runs),
+// without it the tool stops there. --stats prints the fault-tolerance and
+// divergence-diagnosis accounting after the run.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -111,7 +117,8 @@ void usage() {
                  "   or: capi_tool fleet [--app lulesh|openfoam] "
                  "[--clients <n>] [--epochs <n>]\n"
                  "       [--budget <fraction>] [--per-event-cost-ns <ns>]\n"
-                 "       [--queue-capacity <n>] [--lossy]\n");
+                 "       [--queue-capacity <n>] [--lossy] "
+                 "[--kill-after <n>] [--restore] [--stats]\n");
 }
 
 std::string readFile(const std::string& path) {
@@ -139,6 +146,37 @@ std::size_t parseThreads(const std::string& value) {
 /// a cold run and the printed survival counters meaningless.
 constexpr const char* kVisitsRefineSpec =
     "hot = profiledVisits(\">=\", 1, defined(%%))\ncoarse(%hot)\n";
+
+/// One-line rendering of a divergence diagnosis: which regions moved and in
+/// which direction (+added -removed ^promoted v demoted ~regated), capped so
+/// a pathological diff cannot flood the output.
+std::string policyDeltaSummary(const capi::select::PolicyDelta& delta) {
+    std::ostringstream out;
+    std::size_t total = 0;
+    std::size_t shown = 0;
+    auto emit = [&](const char* tag, const std::vector<std::string>& names) {
+        total += names.size();
+        for (const std::string& name : names) {
+            if (shown >= 8) {
+                continue;
+            }
+            if (shown > 0) {
+                out << ' ';
+            }
+            out << tag << name;
+            ++shown;
+        }
+    };
+    emit("+", delta.added);
+    emit("-", delta.removed);
+    emit("^", delta.promoted);
+    emit("v", delta.demoted);
+    emit("~", delta.regated);
+    if (total > shown) {
+        out << " (+" << (total - shown) << " more)";
+    }
+    return out.str();
+}
 
 void writeTextFile(const std::string& path, const std::string& text) {
     std::ofstream out(path, std::ios::binary);
@@ -330,6 +368,12 @@ int runAdapt(int argc, char** argv, AdaptMode mode) {
                         report.promotedFunctions, report.demotedFunctions,
                         static_cast<unsigned long long>(report.policyFingerprint),
                         report.divergentRanks, ranks);
+            if (!report.divergence.empty()) {
+                // The region-level diagnosis behind the divergent-rank
+                // count: what the diverged policy actually differed in.
+                std::printf("  divergence: %s\n",
+                            policyDeltaSummary(report.divergence).c_str());
+            }
             // The self-healing loop's epoch verdict: state machine position,
             // what it took to get the patch in, and any kill-switch motion.
             const adapt::HealthStats& health = controller.healthStats();
@@ -431,6 +475,9 @@ int runFleet(int argc, char** argv) {
     std::size_t epochs = 5;
     std::size_t queueCapacity = 0;  // 0: derived below.
     bool lossy = false;
+    std::size_t killAfter = 0;  // 0: never crash.
+    bool restoreAfterKill = false;
+    bool printStats = false;
     adapt::Config config;
     config.budgetFraction = 0.05;
     config.perEventCostNs = 200.0;
@@ -456,6 +503,10 @@ int runFleet(int argc, char** argv) {
             else if (arg == "--queue-capacity")
                 queueCapacity = parseThreads(next());
             else if (arg == "--lossy") lossy = true;
+            else if (arg == "--kill-after")
+                killAfter = std::max<std::size_t>(1, parseThreads(next()));
+            else if (arg == "--restore") restoreAfterKill = true;
+            else if (arg == "--stats") printStats = true;
             else {
                 usage();
                 return 2;
@@ -490,8 +541,10 @@ int runFleet(int argc, char** argv) {
         queueCapacity != 0 ? queueCapacity
                            : (lossy ? std::max<std::size_t>(8, clientCount / 8)
                                     : clientCount + 8);
-    fleet::Aggregator aggregator(graph, adapt::surveyOfDefinedFunctions(graph),
-                                 options);
+    // unique_ptr so the crash-restart path below can destroy the running
+    // aggregator and swap in one restored from its checkpoint.
+    auto aggregator = std::make_unique<fleet::Aggregator>(
+        graph, adapt::surveyOfDefinedFunctions(graph), options);
 
     std::vector<std::string> regions;
     for (cg::FunctionId id = 0; id < graph.size(); ++id) {
@@ -506,7 +559,7 @@ int runFleet(int argc, char** argv) {
     for (std::size_t i = 0; i < clientCount; ++i) {
         measurements.push_back(std::make_unique<scorep::Measurement>());
         clients.push_back(
-            std::make_unique<fleet::FleetClient>(aggregator, clientOptions));
+            std::make_unique<fleet::FleetClient>(*aggregator, clientOptions));
     }
     std::printf("fleet: %s, %zu clients, %zu regions, queue capacity %zu "
                 "(%s sends), budget %.1f%%\n",
@@ -536,13 +589,13 @@ int runFleet(int argc, char** argv) {
                 // Single-threaded: drain as we go so a blocking send never
                 // waits on a pump that cannot happen. Lossy mode skips this
                 // on purpose — the queue must fill for drops to engage.
-                aggregator.pump();
+                aggregator->pump();
             }
         }
         // Drain until the epoch closes; dropped senders retry with an empty
         // profile — their unadvanced watermark re-ships the missed epoch.
-        while (aggregator.epochsCompleted() < epoch) {
-            const bool progressed = aggregator.pump();
+        while (aggregator->epochsCompleted() < epoch) {
+            const bool progressed = aggregator->pump();
             std::vector<std::size_t> still;
             for (std::size_t i : retry) {
                 if (clients[i]->sendEpoch(scorep::ProfileTree{},
@@ -567,25 +620,67 @@ int runFleet(int argc, char** argv) {
                     static_cast<unsigned long long>(report.policyFingerprint),
                     report.measuredOverheadRatio * 100.0, report.budgetNs,
                     report.withinBudget ? " [in budget]" : "");
+
+        if (killAfter != 0 && epoch == killAfter) {
+            // Crash-restart smoke: seal the aggregator's full state into a
+            // snapshot frame, destroy the process-equivalent (the running
+            // Aggregator with all in-memory state), rebuild from the bytes
+            // under the next incarnation, and have every client resume its
+            // session against the replacement.
+            std::vector<std::uint8_t> snapshot = aggregator->checkpoint();
+            std::printf("checkpoint: %zu bytes at fleet epoch %zu\n",
+                        snapshot.size(), epoch);
+            if (!restoreAfterKill) {
+                std::printf("killed aggregator (no --restore); stopping\n");
+                return 0;
+            }
+            auto restored = std::make_unique<fleet::Aggregator>(
+                graph, adapt::surveyOfDefinedFunctions(graph), snapshot,
+                options);
+            std::size_t resumed = 0;
+            for (auto& client : clients) {
+                if (client->reconnect(*restored)) {
+                    ++resumed;
+                }
+            }
+            aggregator = std::move(restored);
+            std::printf("restore: incarnation %llu, %zu/%zu sessions "
+                        "resumed\n",
+                        static_cast<unsigned long long>(
+                            aggregator->incarnation()),
+                        resumed, clientCount);
+        }
     }
 
     bool converged = true;
     std::uint64_t drops = 0;
     std::uint64_t coalesced = 0;
     std::uint64_t bytesSent = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t sessionResumes = 0;
+    std::uint64_t fullResyncs = 0;
+    std::uint64_t restartsDetected = 0;
+    std::uint64_t stallsInjected = 0;
+    std::uint64_t dropsInjected = 0;
     for (const auto& client : clients) {
         converged &= client->policyFingerprint() ==
-                     aggregator.convergedFingerprint();
+                     aggregator->convergedFingerprint();
         drops += client->stats().droppedDeltas;
         coalesced += client->stats().coalescedEpochs;
         bytesSent += client->stats().bytesSent;
+        reconnects += client->stats().reconnects;
+        sessionResumes += client->stats().sessionResumes;
+        fullResyncs += client->stats().fullResyncs;
+        restartsDetected += client->stats().restartsDetected;
+        stallsInjected += client->stats().stallsInjected;
+        dropsInjected += client->stats().dropsInjected;
     }
-    const fleet::AggregatorStats stats = aggregator.stats();
-    const fleet::ChannelStats channel = aggregator.dataChannel().stats();
+    const fleet::AggregatorStats stats = aggregator->stats();
+    const fleet::ChannelStats channel = aggregator->dataChannel().stats();
     std::printf("%s: %zu clients on policy %016llx after %llu fleet epochs\n",
                 converged ? "converged" : "DIVERGED", clientCount,
                 static_cast<unsigned long long>(
-                    aggregator.convergedFingerprint()),
+                    aggregator->convergedFingerprint()),
                 static_cast<unsigned long long>(stats.epochsCompleted));
     std::printf("wire: %llu frames merged, %.1f bytes/frame in, %llu bytes "
                 "out across %llu policy frames, %llu decode errors\n",
@@ -604,7 +699,45 @@ int runFleet(int argc, char** argv) {
                 static_cast<unsigned long long>(drops),
                 static_cast<unsigned long long>(coalesced),
                 static_cast<unsigned long long>(bytesSent));
-    if (drops != channel.rejected || drops != coalesced) {
+    if (printStats) {
+        std::printf("fault tolerance: incarnation %llu, %llu checkpoints "
+                    "(%llu bytes), %llu restores, %llu session resumes "
+                    "served\n",
+                    static_cast<unsigned long long>(aggregator->incarnation()),
+                    static_cast<unsigned long long>(stats.checkpoints),
+                    static_cast<unsigned long long>(stats.checkpointBytes),
+                    static_cast<unsigned long long>(stats.restores),
+                    static_cast<unsigned long long>(stats.sessionResumes));
+        std::printf("liveness: %llu timeout epochs, %llu missed frames, "
+                    "%llu evictions, %llu delta resumes, %llu lagging policy "
+                    "drops, %llu abandoned\n",
+                    static_cast<unsigned long long>(stats.timeoutEpochs),
+                    static_cast<unsigned long long>(stats.missedFrames),
+                    static_cast<unsigned long long>(stats.evictions),
+                    static_cast<unsigned long long>(stats.resumes),
+                    static_cast<unsigned long long>(stats.laggingPolicyDrops),
+                    static_cast<unsigned long long>(stats.abandonedClients));
+        std::printf("clients: %llu reconnects (%llu resumed, %llu full "
+                    "resyncs), %llu restarts detected, %llu stalls + %llu "
+                    "drops injected\n",
+                    static_cast<unsigned long long>(reconnects),
+                    static_cast<unsigned long long>(sessionResumes),
+                    static_cast<unsigned long long>(fullResyncs),
+                    static_cast<unsigned long long>(restartsDetected),
+                    static_cast<unsigned long long>(stallsInjected),
+                    static_cast<unsigned long long>(dropsInjected));
+        const select::PolicyDelta& divergence = aggregator->lastDivergence();
+        std::printf("divergence: %s\n",
+                    divergence.empty()
+                        ? "none"
+                        : policyDeltaSummary(divergence).c_str());
+    }
+    // The exact drop==rejected==coalesced identity only holds on a clean
+    // run: a restore swaps in a fresh data channel (its rejected counter
+    // restarts) and injected stalls/drops coalesce without a rejection.
+    const bool cleanRun =
+        killAfter == 0 && stallsInjected == 0 && dropsInjected == 0;
+    if (cleanRun && (drops != channel.rejected || drops != coalesced)) {
         std::fprintf(stderr,
                      "fleet: drop accounting broken (%llu drops, %llu "
                      "rejected, %llu coalesced)\n",
